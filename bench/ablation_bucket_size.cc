@@ -1,0 +1,39 @@
+// Ablation (DESIGN.md): sensitivity of the Optimized/Batch logs to the
+// bucket capacity — the knob the paper says balances long-running
+// transactions' memory waste against expansion frequency (Section 3.3).
+#include "bench/bench_util.h"
+#include "src/core/transaction_manager.h"
+
+namespace rwd {
+namespace {
+
+double RunInserts(LogImpl impl, std::size_t bucket_capacity) {
+  RewindConfig rc =
+      BenchConfig(impl, Layers::kOne, Policy::kNoForce, 1024);
+  rc.bucket_capacity = bucket_capacity;
+  NvmManager nvm(rc.nvm);
+  TransactionManager tm(&nvm, rc);
+  auto* tbl = nvm.AllocArray<std::uint64_t>(4096);
+  const std::size_t kRecords = Scaled(200000);
+  Timer t;
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    std::uint32_t tid = tm.Begin();
+    tm.Write(tid, &tbl[i % 4096], i);
+    tm.Commit(tid);
+  }
+  return t.Seconds();
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  using namespace rwd;
+  std::printf("# Ablation: logging time (s) vs bucket capacity, 1L-NFP\n");
+  CsvTable table({"bucket_capacity", "Optimized_s", "Batch_s"});
+  for (std::size_t cap : {10u, 50u, 100u, 500u, 1000u, 5000u, 20000u}) {
+    table.Row({static_cast<double>(cap), RunInserts(LogImpl::kOptimized, cap),
+               RunInserts(LogImpl::kBatch, cap)});
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared helpers for the figure-reproduction benches.
+#ifndef REWIND_BENCH_BENCH_UTIL_H_
+#define REWIND_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+
+namespace rwd {
+
+/// NVM config for benches: fast mode (no crash tracking), paper latencies
+/// (150 ns per NVM write; fence latency is the Fig. 10 knob).
+inline NvmConfig BenchNvmConfig(std::size_t heap_mb = 512) {
+  NvmConfig cfg;
+  cfg.mode = NvmMode::kFast;
+  cfg.heap_bytes = heap_mb << 20;
+  cfg.write_latency_ns = 150;
+  cfg.fence_latency_ns = 100;
+  return cfg;
+}
+
+inline RewindConfig BenchConfig(LogImpl impl, Layers layers, Policy policy,
+                                std::size_t heap_mb = 512) {
+  RewindConfig c;
+  c.nvm = BenchNvmConfig(heap_mb);
+  c.log_impl = impl;
+  c.layers = layers;
+  c.policy = policy;
+  c.bucket_capacity = 1000;  // paper's Optimized configuration
+  c.batch_group_size = 8;    // paper's Batch configuration
+  return c;
+}
+
+/// Wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints a CSV table: header row then data rows.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%s", i ? "," : "", columns_[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<double>& values) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::printf("%s%.4g", i ? "," : "", values[i]);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+/// Scale factor: REWIND_BENCH_SCALE environment variable (default 1) scales
+/// workload sizes so the full paper-sized runs are one knob away.
+inline double BenchScale() {
+  const char* s = std::getenv("REWIND_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline std::size_t Scaled(std::size_t base) {
+  return static_cast<std::size_t>(static_cast<double>(base) * BenchScale());
+}
+
+}  // namespace rwd
+
+#endif  // REWIND_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,142 @@
+// Figure 3: logging overhead of the four REWIND configurations.
+//   Left:  overhead (slowdown vs non-recoverable NVM) as a function of
+//          update intensity, for 2L/1L x force/no-force.
+//   Right: overhead as a function of the number of skip records, 1L-FP vs
+//          2L-FP at 100% update intensity.
+// One-layer configurations use the Optimized log, as in the paper.
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "src/core/transaction_manager.h"
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+namespace {
+
+// Calibrated "computation" between updates: multiples of a non-logged NVM
+// store cost, as in the paper's microbenchmark.
+inline void Compute(std::uint64_t* sink, std::size_t units) {
+  std::uint64_t x = *sink;
+  for (std::size_t i = 0; i < units * 40; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  *sink = x;
+}
+
+/// One transaction alternating table updates with computation; commits at
+/// the end. Returns elapsed seconds.
+double RunMicrobench(TransactionManager* tm, std::uint64_t* table,
+                     std::size_t table_words, std::size_t updates,
+                     std::size_t compute_units_per_update) {
+  std::uint64_t sink = 1;
+  Timer t;
+  std::uint32_t tid = tm->Begin();
+  for (std::size_t i = 0; i < updates; ++i) {
+    tm->Write(tid, &table[i % table_words], i);
+    Compute(&sink, compute_units_per_update);
+  }
+  tm->Commit(tid);
+  return t.Seconds() + (sink == 0 ? 1e-12 : 0.0);
+}
+
+/// Non-recoverable reference: NT stores to NVM, no logging.
+double RunBaseline(NvmManager* nvm, std::uint64_t* table,
+                   std::size_t table_words, std::size_t updates,
+                   std::size_t compute_units_per_update) {
+  std::uint64_t sink = 1;
+  Timer t;
+  for (std::size_t i = 0; i < updates; ++i) {
+    nvm->StoreNT(&table[i % table_words], static_cast<std::uint64_t>(i));
+    Compute(&sink, compute_units_per_update);
+  }
+  return t.Seconds() + (sink == 0 ? 1e-12 : 0.0);
+}
+
+void LeftPlot() {
+  std::printf("# Fig 3 (left): logging overhead vs update intensity\n");
+  CsvTable table({"update_intensity_pct", "2L-FP", "2L-NFP", "1L-FP",
+                  "1L-NFP"});
+  const std::size_t kUpdates = Scaled(20000);
+  const std::size_t kTableWords = 1024;
+  struct Cfg {
+    Layers layers;
+    Policy policy;
+  };
+  const Cfg kConfigs[] = {{Layers::kTwo, Policy::kForce},
+                          {Layers::kTwo, Policy::kNoForce},
+                          {Layers::kOne, Policy::kForce},
+                          {Layers::kOne, Policy::kNoForce}};
+  for (int pct = 10; pct <= 100; pct += 10) {
+    // The computation share makes updates pct% of total work.
+    std::size_t compute_units = pct >= 100 ? 0 : (100 - pct) / (pct / 10);
+    std::vector<double> row{static_cast<double>(pct)};
+    NvmManager ref_nvm(BenchNvmConfig(64));
+    auto* ref_table = ref_nvm.AllocArray<std::uint64_t>(kTableWords);
+    double base =
+        RunBaseline(&ref_nvm, ref_table, kTableWords, kUpdates, compute_units);
+    for (const Cfg& c : kConfigs) {
+      RewindConfig rc =
+          BenchConfig(LogImpl::kOptimized, c.layers, c.policy, 512);
+      NvmManager nvm(rc.nvm);
+      TransactionManager tm(&nvm, rc);
+      auto* tbl = nvm.AllocArray<std::uint64_t>(kTableWords);
+      double secs =
+          RunMicrobench(&tm, tbl, kTableWords, kUpdates, compute_units);
+      row.push_back(secs / base);
+    }
+    table.Row(row);
+  }
+}
+
+void RightPlot() {
+  std::printf(
+      "\n# Fig 3 (right): logging overhead vs skip records (100%% updates, "
+      "force policy)\n");
+  CsvTable table({"skip_records", "2L-FP", "1L-FP"});
+  const std::size_t kTargetUpdates = Scaled(300);
+  const std::size_t kTableWords = 1024;
+  for (std::size_t skip = 100; skip <= 1000; skip += 100) {
+    std::vector<double> row{static_cast<double>(skip)};
+    NvmManager ref_nvm(BenchNvmConfig(64));
+    auto* ref_table = ref_nvm.AllocArray<std::uint64_t>(kTableWords);
+    double base =
+        RunBaseline(&ref_nvm, ref_table, kTableWords, kTargetUpdates, 0);
+    for (Layers layers : {Layers::kTwo, Layers::kOne}) {
+      RewindConfig rc =
+          BenchConfig(LogImpl::kOptimized, layers, Policy::kForce, 512);
+      NvmManager nvm(rc.nvm);
+      TransactionManager tm(&nvm, rc);
+      auto* tbl = nvm.AllocArray<std::uint64_t>(kTableWords);
+      // Interleave: the target transaction's records are separated by
+      // `skip` records of other (open) transactions updating the same
+      // table. Only the *target's* operations are timed — its logging calls
+      // plus its commit, whose force-policy clearing scans over all the
+      // interleaved records (the skip-record cost).
+      std::uint32_t target = tm.Begin();
+      std::uint32_t other = tm.Begin();
+      double target_secs = 0.0;
+      for (std::size_t i = 0; i < kTargetUpdates; ++i) {
+        Timer seg;
+        tm.Write(target, &tbl[i % kTableWords], i);
+        target_secs += seg.Seconds();
+        for (std::size_t s = 0; s < skip; ++s) {
+          tm.Write(other, &tbl[(i + s) % kTableWords], s);
+        }
+      }
+      Timer commit_t;
+      tm.Commit(target);  // force policy: clears via backward scan
+      target_secs += commit_t.Seconds();
+      row.push_back(target_secs / base);
+    }
+    table.Row(row);
+  }
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  rwd::LeftPlot();
+  rwd::RightPlot();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 4: single-transaction rollback (left) and recovery of one
+// uncommitted transaction (right) as a function of the number of skip
+// records, one- vs two-layer logging under the force policy.
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "src/core/transaction_manager.h"
+
+namespace rwd {
+namespace {
+
+constexpr std::size_t kTargetUpdates = 200;
+constexpr std::size_t kTableWords = 1024;
+
+/// Builds the interleaved log state: the target transaction's records are
+/// separated by `skip` records from other transactions.
+std::uint32_t BuildInterleaved(TransactionManager* tm, std::uint64_t* tbl,
+                               std::size_t skip, bool commit_others) {
+  std::uint32_t target = tm->Begin();
+  std::uint32_t other = tm->Begin();
+  for (std::size_t i = 0; i < Scaled(kTargetUpdates); ++i) {
+    tm->Write(target, &tbl[i % kTableWords], i);
+    for (std::size_t s = 0; s < skip; ++s) {
+      tm->Write(other, &tbl[(i + s) % kTableWords], s);
+    }
+  }
+  if (commit_others) {
+    // The paper's Fig 4 (right) scenario: the other transactions logged
+    // their END records, but the crash hit before the log was cleared.
+    tm->CommitNoClear(other);
+  }
+  return target;
+}
+
+void RollbackPlot() {
+  std::printf("# Fig 4 (left): single-transaction rollback (ms) vs skip "
+              "records, force policy\n");
+  CsvTable table({"skip_records", "2L-FP_ms", "1L-FP_ms"});
+  for (std::size_t skip = 100; skip <= 1000; skip += 100) {
+    std::vector<double> row{static_cast<double>(skip)};
+    for (Layers layers : {Layers::kTwo, Layers::kOne}) {
+      RewindConfig rc =
+          BenchConfig(LogImpl::kOptimized, layers, Policy::kForce, 768);
+      NvmManager nvm(rc.nvm);
+      TransactionManager tm(&nvm, rc);
+      auto* tbl = nvm.AllocArray<std::uint64_t>(kTableWords);
+      std::uint32_t target =
+          BuildInterleaved(&tm, tbl, skip, /*commit_others=*/false);
+      Timer t;
+      tm.Rollback(target);
+      row.push_back(t.Millis());
+    }
+    table.Row(row);
+  }
+}
+
+void RecoveryPlot() {
+  std::printf("\n# Fig 4 (right): recovery of one uncommitted transaction "
+              "(s) vs skip records, force policy\n");
+  CsvTable table({"skip_records", "2L-FP_s", "1L-FP_s"});
+  for (std::size_t skip = 100; skip <= 1000; skip += 100) {
+    std::vector<double> row{static_cast<double>(skip)};
+    for (Layers layers : {Layers::kTwo, Layers::kOne}) {
+      RewindConfig rc =
+          BenchConfig(LogImpl::kOptimized, layers, Policy::kForce, 768);
+      NvmManager nvm(rc.nvm);
+      TransactionManager tm(&nvm, rc);
+      auto* tbl = nvm.AllocArray<std::uint64_t>(kTableWords);
+      BuildInterleaved(&tm, tbl, skip, /*commit_others=*/true);
+      // Crash with the target transaction unfinished, then recover.
+      tm.ForgetVolatileState();
+      Timer t;
+      tm.Recover();
+      row.push_back(t.Seconds());
+    }
+    table.Row(row);
+  }
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  rwd::RollbackPlot();
+  rwd::RecoveryPlot();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 6: checkpointing overhead as a percentage of non-checkpointed
+// execution, for the Simple, Optimized and Batch logs (one-layer, no-force)
+// across checkpoint frequencies. The paper inserts ten million records over
+// tens of seconds; we scale both the record count and the period range down
+// proportionally (REWIND_BENCH_SCALE restores larger runs).
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "src/core/runtime.h"
+
+namespace rwd {
+namespace {
+
+double RunInsertions(LogImpl impl, std::uint32_t checkpoint_ms) {
+  RewindConfig rc = BenchConfig(impl, Layers::kOne, Policy::kNoForce, 1024);
+  Runtime rt(rc);
+  auto& tm = rt.tm();
+  auto* tbl = rt.nvm().AllocArray<std::uint64_t>(4096);
+  const std::size_t kRecords = Scaled(150000);
+  if (checkpoint_ms != 0) rt.StartCheckpointDaemon(checkpoint_ms);
+  Timer t;
+  // Committed single-update transactions: each leaves records for the
+  // checkpointer to clear.
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    std::uint32_t tid = tm.Begin();
+    tm.Write(tid, &tbl[i % 4096], i);
+    tm.Commit(tid);
+  }
+  double secs = t.Seconds();
+  rt.StopCheckpointDaemon();
+  return secs;
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  using namespace rwd;
+  std::printf("# Fig 6: checkpoint overhead (%% over no checkpoints) vs "
+              "checkpoint period; 1L-NFP\n");
+  std::printf("# paper sweeps 2-14 s; scaled run sweeps 40-280 ms over a "
+              "proportionally smaller insertion count\n");
+  CsvTable table({"period_ms", "Simple_pct", "Optimized_pct", "Batch_pct"});
+  double base[3];
+  const LogImpl kImpls[] = {LogImpl::kSimple, LogImpl::kOptimized,
+                            LogImpl::kBatch};
+  for (int i = 0; i < 3; ++i) base[i] = RunInsertions(kImpls[i], 0);
+  for (std::uint32_t period = 40; period <= 280; period += 40) {
+    std::vector<double> row{static_cast<double>(period)};
+    for (int i = 0; i < 3; ++i) {
+      double with = RunInsertions(kImpls[i], period);
+      row.push_back((with - base[i]) / base[i] * 100.0);
+    }
+    table.Row(row);
+  }
+  return 0;
+}

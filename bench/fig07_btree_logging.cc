@@ -1,0 +1,170 @@
+// Figure 7: B+-tree logging performance.
+//   Left:  response time vs fraction of update queries — DRAM, NVM (both
+//          non-recoverable), and the three REWIND versions (1L, no-force,
+//          no checkpoints).
+//   Right: REWIND Batch vs the Stasis / BerkeleyDB / Shore-MT analogues.
+// Workload: load Scaled(100k) 32-byte records, then Scaled(200k) operations
+// with the given update fraction; updates split evenly between insertions
+// and deletions (constant tree size).
+#include <cstdint>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/core/transaction_manager.h"
+#include "src/structures/btree.h"
+
+namespace rwd {
+namespace {
+
+constexpr std::uint64_t kKeySpace = 1 << 22;
+
+struct Workload {
+  std::size_t load;
+  std::size_t ops;
+};
+
+// Paper sizes are 100k records / 200k ops; defaults are 1/5 of that so the
+// whole bench suite runs in minutes. REWIND_BENCH_SCALE=5 restores them.
+Workload TheWorkload() { return {Scaled(20000), Scaled(40000)}; }
+
+void Load(BTree* tree, StorageOps* ops, std::size_t n, bool txn_per_op) {
+  std::uint64_t p[4] = {1, 2, 3, 4};
+  std::uint64_t rng = 88172645463325252ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    p[0] = rng;
+    if (txn_per_op) {
+      tree->InsertTxn(ops, 1 + rng % kKeySpace, p);
+    } else {
+      tree->Insert(ops, 1 + rng % kKeySpace, p);
+    }
+  }
+}
+
+/// The paper's mixed workload: lookups plus insert/delete pairs.
+double RunMix(BTree* tree, StorageOps* ops, std::size_t n_ops,
+              double update_fraction, bool txn_per_op) {
+  std::uint64_t rng = 0x1234567890ABCDEFull;
+  std::uint64_t p[4] = {0, 0, 0, 0};
+  Timer t;
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    std::uint64_t key = 1 + rng % kKeySpace;
+    bool update = (rng >> 32) % 1000 <
+                  static_cast<std::uint64_t>(update_fraction * 1000);
+    if (!update) {
+      tree->Lookup(ops, key, p);
+    } else if (i % 2 == 0) {
+      p[0] = rng;
+      if (txn_per_op) {
+        tree->InsertTxn(ops, key, p);
+      } else {
+        ops->BeginOp();
+        tree->Insert(ops, key, p);
+        ops->CommitOp();
+      }
+    } else {
+      if (txn_per_op) {
+        tree->RemoveTxn(ops, key);
+      } else {
+        ops->BeginOp();
+        tree->Remove(ops, key);
+        ops->CommitOp();
+      }
+    }
+  }
+  return t.Seconds();
+}
+
+double RunRewind(LogImpl impl, double frac) {
+  RewindConfig rc = BenchConfig(impl, Layers::kOne, Policy::kNoForce, 2048);
+  NvmManager nvm(rc.nvm);
+  TransactionManager tm(&nvm, rc);
+  RewindOps ops(&tm);
+  ops.BeginOp();
+  BTree tree(&ops);
+  ops.CommitOp();
+  Load(&tree, &ops, TheWorkload().load, /*txn_per_op=*/true);
+  return RunMix(&tree, &ops, TheWorkload().ops, frac, /*txn_per_op=*/true);
+}
+
+double RunPlain(bool dram, double frac) {
+  std::unique_ptr<NvmManager> nvm;
+  std::unique_ptr<StorageOps> ops;
+  if (dram) {
+    ops = std::make_unique<DramOps>();
+  } else {
+    nvm = std::make_unique<NvmManager>(BenchNvmConfig(2048));
+    ops = std::make_unique<NvmOps>(nvm.get());
+  }
+  BTree tree(ops.get());
+  Load(&tree, ops.get(), TheWorkload().load, false);
+  return RunMix(&tree, ops.get(), TheWorkload().ops, frac, false);
+}
+
+double RunBaseline(AriesEngine* engine, double frac) {
+  BaselineOps ops(engine);
+  ops.BeginOp();
+  BTree tree(&ops);
+  ops.CommitOp();
+  Load(&tree, &ops, TheWorkload().load / 10, /*txn_per_op=*/true);
+  // The baselines are orders of magnitude slower: run a tenth of the ops
+  // and scale, or the bench takes minutes per point.
+  double secs =
+      RunMix(&tree, &ops, TheWorkload().ops / 10, frac, /*txn_per_op=*/true);
+  return secs * 10.0;
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  using namespace rwd;
+  std::printf("# Fig 7 (left): B+-tree response time (s) vs update "
+              "fraction\n");
+  {
+    CsvTable table({"update_fraction", "DRAM", "NVM", "REWIND_Simple",
+                    "REWIND_Opt", "REWIND_Batch"});
+    for (double f = 0.1; f <= 1.001; f += 0.1) {
+      std::vector<double> row{f};
+      row.push_back(RunPlain(/*dram=*/true, f));
+      row.push_back(RunPlain(/*dram=*/false, f));
+      row.push_back(RunRewind(LogImpl::kSimple, f));
+      row.push_back(RunRewind(LogImpl::kOptimized, f));
+      row.push_back(RunRewind(LogImpl::kBatch, f));
+      table.Row(row);
+    }
+  }
+  std::printf("\n# Fig 7 (right): REWIND Batch vs baselines (s, estimated "
+              "from 1/10 ops)\n");
+  {
+    CsvTable table({"update_fraction", "BerkeleyDB", "Stasis",
+                    "REWIND_Batch", "Shore-MT"});
+    for (double f = 0.2; f <= 1.001; f += 0.2) {
+      std::vector<double> row{f};
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto bdb = MakeBdbLike(&nvm, 65536);
+        row.push_back(RunBaseline(bdb.get(), f));
+      }
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto stasis = MakeStasisLike(&nvm, 65536);
+        row.push_back(RunBaseline(stasis.get(), f));
+      }
+      row.push_back(RunRewind(LogImpl::kBatch, f));
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto shore = MakeShoreLike(&nvm, 65536);
+        row.push_back(RunBaseline(shore.get(), f));
+      }
+      table.Row(row);
+    }
+  }
+  return 0;
+}

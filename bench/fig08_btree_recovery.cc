@@ -1,0 +1,172 @@
+// Figure 8: B+-tree rollback of a single large transaction (left) and full
+// recovery with many transactions (right), REWIND Batch vs the baselines,
+// as a function of the number of operations.
+#include <cstdint>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/core/transaction_manager.h"
+#include "src/structures/btree.h"
+
+namespace rwd {
+namespace {
+
+constexpr std::uint64_t kKeySpace = 1 << 22;
+
+void LoadTree(BTree* tree, StorageOps* ops, std::size_t n) {
+  std::uint64_t p[4] = {1, 0, 0, 0};
+  std::uint64_t rng = 0xABCDEF1234567ull;
+  ops->BeginOp();
+  for (std::size_t i = 0; i < n; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    tree->Insert(ops, 1 + rng % kKeySpace, p);
+  }
+  ops->CommitOp();
+}
+
+/// Runs `n_ops` random insert/delete pairs. With `txn_every` > 0 a new
+/// transaction starts every that many operations (all left to the crash);
+/// otherwise everything happens in one transaction that is rolled back.
+template <typename OpsT>
+void MixedOps(BTree* tree, OpsT* ops, std::size_t n_ops,
+              std::size_t txn_every) {
+  std::uint64_t p[4] = {2, 0, 0, 0};
+  std::uint64_t rng = 99;
+  ops->BeginOp();
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    std::uint64_t key = 1 + rng % kKeySpace;
+    if (i % 2 == 0) {
+      tree->Insert(ops, key, p);
+    } else {
+      tree->Remove(ops, key);
+    }
+    if (txn_every != 0 && (i + 1) % txn_every == 0) {
+      ops->CommitOp();
+      ops->BeginOp();
+    }
+  }
+}
+
+double RewindRollback(std::size_t n_ops) {
+  RewindConfig rc =
+      BenchConfig(LogImpl::kBatch, Layers::kOne, Policy::kNoForce, 3072);
+  NvmManager nvm(rc.nvm);
+  TransactionManager tm(&nvm, rc);
+  RewindOps ops(&tm);
+  ops.BeginOp();
+  BTree tree(&ops);
+  ops.CommitOp();
+  LoadTree(&tree, &ops, Scaled(20000));
+  MixedOps(&tree, &ops, n_ops, 0);
+  Timer t;
+  ops.AbortOp();
+  return t.Seconds();
+}
+
+double RewindRecovery(std::size_t n_ops) {
+  RewindConfig rc =
+      BenchConfig(LogImpl::kBatch, Layers::kOne, Policy::kNoForce, 3072);
+  NvmManager nvm(rc.nvm);
+  TransactionManager tm(&nvm, rc);
+  RewindOps ops(&tm);
+  ops.BeginOp();
+  BTree tree(&ops);
+  ops.CommitOp();
+  LoadTree(&tree, &ops, Scaled(20000));
+  MixedOps(&tree, &ops, n_ops, 200);  // a transaction every 200 ops
+  tm.ForgetVolatileState();
+  Timer t;
+  tm.Recover();
+  return t.Seconds();
+}
+
+double BaselineRollback(AriesEngine* engine, std::size_t n_ops) {
+  BaselineOps ops(engine);
+  ops.BeginOp();
+  BTree tree(&ops);
+  ops.CommitOp();
+  LoadTree(&tree, &ops, Scaled(20000) / 10);
+  MixedOps(&tree, &ops, n_ops / 10, 0);
+  Timer t;
+  ops.AbortOp();
+  return t.Seconds() * 10.0;  // estimated from a tenth of the work
+}
+
+double BaselineRecovery(AriesEngine* engine, std::size_t n_ops) {
+  BaselineOps ops(engine);
+  ops.BeginOp();
+  BTree tree(&ops);
+  ops.CommitOp();
+  LoadTree(&tree, &ops, Scaled(20000) / 10);
+  MixedOps(&tree, &ops, n_ops / 10, 200);
+  Timer t;
+  engine->SimulateCrashAndRecover();
+  return t.Seconds() * 10.0;
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  using namespace rwd;
+  std::printf("# Fig 8 (left): single-transaction rollback (s) vs thousands of operations (paper: 80-800k; scaled 1/20)\n");
+  {
+    CsvTable table({"kops", "Shore-MT", "BerkeleyDB", "Stasis",
+                    "REWIND_Batch"});
+    for (std::size_t kops = 4; kops <= 40; kops += 4) {
+      std::size_t n = Scaled(kops * 1000);
+      std::vector<double> row{static_cast<double>(kops)};
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto e = MakeShoreLike(&nvm, 65536);
+        row.push_back(BaselineRollback(e.get(), n));
+      }
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto e = MakeBdbLike(&nvm, 65536);
+        row.push_back(BaselineRollback(e.get(), n));
+      }
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto e = MakeStasisLike(&nvm, 65536);
+        row.push_back(BaselineRollback(e.get(), n));
+      }
+      row.push_back(RewindRollback(n));
+      table.Row(row);
+    }
+  }
+  std::printf("\n# Fig 8 (right): multi-transaction recovery (s) vs "
+              "thousands of operations (txn per 200 ops)\n");
+  {
+    CsvTable table({"kops", "Shore-MT", "BerkeleyDB", "Stasis",
+                    "REWIND_Batch"});
+    for (std::size_t kops = 4; kops <= 40; kops += 4) {
+      std::size_t n = Scaled(kops * 1000);
+      std::vector<double> row{static_cast<double>(kops)};
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto e = MakeShoreLike(&nvm, 65536);
+        row.push_back(BaselineRecovery(e.get(), n));
+      }
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto e = MakeBdbLike(&nvm, 65536);
+        row.push_back(BaselineRecovery(e.get(), n));
+      }
+      {
+        NvmManager nvm(BenchNvmConfig(3072));
+        auto e = MakeStasisLike(&nvm, 65536);
+        row.push_back(BaselineRecovery(e.get(), n));
+      }
+      row.push_back(RewindRecovery(n));
+      table.Row(row);
+    }
+  }
+  return 0;
+}

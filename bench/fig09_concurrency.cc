@@ -1,0 +1,120 @@
+// Figure 9: multithreaded B+-tree logging performance — total processing
+// time vs number of threads, each thread performing Scaled(100k)/10
+// operations (insert/delete pairs or lookups, per-thread ratio 20-80%).
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baselines.h"
+#include "src/core/transaction_manager.h"
+#include "src/structures/btree.h"
+
+namespace rwd {
+namespace {
+
+constexpr std::uint64_t kKeySpace = 1 << 22;
+
+/// Each thread owns a key-space slice, as the paper's task pool effectively
+/// partitions work; thread-safety of user data is the programmer's job.
+template <typename MakeOps>
+double RunThreads(BTree* tree, MakeOps make_ops, std::size_t threads,
+                  std::size_t ops_per_thread) {
+  Timer t;
+  std::vector<std::thread> workers;
+  for (std::size_t th = 0; th < threads; ++th) {
+    workers.emplace_back([&, th] {
+      auto ops = make_ops();
+      // Per-thread lookup ratio from 20% to 80%.
+      std::uint64_t lookup_pct = 20 + (th * 60) / (threads == 1 ? 1 : threads - 1);
+      std::uint64_t rng = 7777 * (th + 1);
+      std::uint64_t p[4] = {th, 0, 0, 0};
+      std::uint64_t base = (kKeySpace / threads) * th;
+      for (std::size_t i = 0; i < ops_per_thread; ++i) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        std::uint64_t key = 1 + base + rng % (kKeySpace / threads);
+        if (rng % 100 < lookup_pct) {
+          tree->Lookup(ops.get(), key, p);
+        } else {
+          // Insert/delete pair.
+          ops->BeginOp();
+          tree->Insert(ops.get(), key, p);
+          ops->CommitOp();
+          ops->BeginOp();
+          tree->Remove(ops.get(), key);
+          ops->CommitOp();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return t.Seconds();
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  using namespace rwd;
+  const std::size_t kOps = Scaled(4000);
+  std::printf("# Fig 9: multithreaded B+-tree processing time (s) vs "
+              "threads (%zu mixed ops per thread)\n", kOps);
+  CsvTable table(
+      {"threads", "Shore-MT", "BerkeleyDB", "Stasis", "REWIND_Batch"});
+  for (std::size_t threads = 1; threads <= 8; ++threads) {
+    std::vector<double> row{static_cast<double>(threads)};
+    {
+      NvmManager nvm(BenchNvmConfig(2048));
+      auto e = MakeShoreLike(&nvm, 32768, "shore",
+                             std::min<std::size_t>(threads, 4));
+      BaselineOps boot(e.get());
+      boot.BeginOp();
+      BTree tree(&boot);
+      boot.CommitOp();
+      row.push_back(RunThreads(
+          &tree, [&] { return std::make_unique<BaselineOps>(e.get()); },
+          threads, kOps / 4));
+    }
+    {
+      NvmManager nvm(BenchNvmConfig(2048));
+      auto e = MakeBdbLike(&nvm, 32768);
+      BaselineOps boot(e.get());
+      boot.BeginOp();
+      BTree tree(&boot);
+      boot.CommitOp();
+      row.push_back(RunThreads(
+          &tree, [&] { return std::make_unique<BaselineOps>(e.get()); },
+          threads, kOps / 4));
+    }
+    {
+      NvmManager nvm(BenchNvmConfig(2048));
+      auto e = MakeStasisLike(&nvm, 32768);
+      BaselineOps boot(e.get());
+      boot.BeginOp();
+      BTree tree(&boot);
+      boot.CommitOp();
+      row.push_back(RunThreads(
+          &tree, [&] { return std::make_unique<BaselineOps>(e.get()); },
+          threads, kOps / 4));
+    }
+    {
+      RewindConfig rc =
+          BenchConfig(LogImpl::kBatch, Layers::kOne, Policy::kNoForce, 2048);
+      NvmManager nvm(rc.nvm);
+      TransactionManager tm(&nvm, rc);
+      RewindOps boot(&tm);
+      boot.BeginOp();
+      BTree tree(&boot);
+      boot.CommitOp();
+      // Baselines ran a quarter of the ops; scale REWIND identically.
+      row.push_back(RunThreads(
+          &tree, [&] { return std::make_unique<RewindOps>(&tm); }, threads,
+          kOps / 4));
+    }
+    table.Row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 10: memory-fence latency sensitivity. Repeats the Fig. 7 workload
+// at 100% updates while sweeping the fence latency 0-5 us; REWIND Optimized
+// (no grouping) vs REWIND Batch with group sizes 8, 16, 32.
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "src/core/transaction_manager.h"
+#include "src/structures/btree.h"
+
+namespace rwd {
+namespace {
+
+constexpr std::uint64_t kKeySpace = 1 << 22;
+
+double RunAllUpdates(LogImpl impl, std::size_t group,
+                     std::uint32_t fence_ns) {
+  RewindConfig rc =
+      BenchConfig(impl, Layers::kOne, Policy::kNoForce, 2048);
+  rc.batch_group_size = group;
+  rc.nvm.fence_latency_ns = fence_ns;
+  NvmManager nvm(rc.nvm);
+  TransactionManager tm(&nvm, rc);
+  RewindOps ops(&tm);
+  ops.BeginOp();
+  BTree tree(&ops);
+  ops.CommitOp();
+  std::uint64_t p[4] = {1, 0, 0, 0};
+  std::uint64_t rng = 0xFEDCBA987654321ull;
+  const std::size_t kLoad = Scaled(20000);
+  for (std::size_t i = 0; i < kLoad; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    tree.InsertTxn(&ops, 1 + rng % kKeySpace, p);
+  }
+  const std::size_t kOps = Scaled(40000);
+  Timer t;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    std::uint64_t key = 1 + rng % kKeySpace;
+    if (i % 2 == 0) {
+      tree.InsertTxn(&ops, key, p);
+    } else {
+      tree.RemoveTxn(&ops, key);
+    }
+  }
+  return t.Seconds();
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  using namespace rwd;
+  std::printf("# Fig 10: duration (s) vs memory fence latency (us), 100%% "
+              "update B+-tree workload\n");
+  CsvTable table({"fence_us", "REWIND_Batch32", "REWIND_Batch16",
+                  "REWIND_Batch8", "REWIND_Opt"});
+  for (std::uint32_t fence_us = 0; fence_us <= 5; ++fence_us) {
+    std::vector<double> row{static_cast<double>(fence_us)};
+    row.push_back(RunAllUpdates(LogImpl::kBatch, 32, fence_us * 1000));
+    row.push_back(RunAllUpdates(LogImpl::kBatch, 16, fence_us * 1000));
+    row.push_back(RunAllUpdates(LogImpl::kBatch, 8, fence_us * 1000));
+    row.push_back(RunAllUpdates(LogImpl::kOptimized, 0, fence_us * 1000));
+    table.Row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 11: TPC-C new_order throughput (thousand transactions per minute)
+// for the four data layouts — non-recoverable NVM B+-trees, naive REWIND,
+// co-designed (optimized) REWIND, and optimized REWIND with a distributed
+// log. Scale factor 1, ten terminals, 1% user aborts.
+#include "bench/bench_util.h"
+#include "src/core/runtime.h"
+#include "src/tpcc/tpcc.h"
+
+namespace rwd {
+namespace {
+
+double RunLayout(TpccLayout layout) {
+  RewindConfig rc =
+      BenchConfig(LogImpl::kBatch, Layers::kOne, Policy::kNoForce, 2048);
+  std::size_t partitions =
+      layout == TpccLayout::kRewindDistLog ? TpccScale::kTerminals : 1;
+  Runtime rt(rc, partitions);
+  return RunTpcc(&rt, layout, static_cast<std::uint32_t>(Scaled(2000)));
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main() {
+  using namespace rwd;
+  std::printf("# Fig 11: TPC-C new_order throughput (thousand txns/min), "
+              "10 terminals, 1%% aborts\n");
+  CsvTable table({"NVM_plain_ktpm", "REWIND_opt_dlog_ktpm",
+                  "REWIND_opt_ktpm", "REWIND_naive_ktpm"});
+  std::vector<double> row;
+  row.push_back(RunLayout(TpccLayout::kNvmPlain) / 1000.0);
+  row.push_back(RunLayout(TpccLayout::kRewindDistLog) / 1000.0);
+  row.push_back(RunLayout(TpccLayout::kRewindOptimized) / 1000.0);
+  row.push_back(RunLayout(TpccLayout::kRewindNaive) / 1000.0);
+  table.Row(row);
+  return 0;
+}

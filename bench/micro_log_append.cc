@@ -1,0 +1,96 @@
+// Google-benchmark micro costs: per-record append cost of the three log
+// structures and per-write cost of the transaction manager configurations.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/transaction_manager.h"
+#include "src/log/batch_log.h"
+#include "src/log/simple_log.h"
+
+namespace rwd {
+namespace {
+
+LogRecord* NewRec(NvmManager* nvm, std::uint64_t lsn) {
+  LogRecord local{};
+  local.lsn = lsn;
+  local.tid = 1;
+  local.type = LogRecordType::kUpdate;
+  auto* rec = static_cast<LogRecord*>(nvm->Alloc(sizeof(LogRecord)));
+  nvm->StoreNTObject(rec, local);
+  nvm->Fence();
+  return rec;
+}
+
+void BM_SimpleLogAppend(benchmark::State& state) {
+  NvmManager nvm(BenchNvmConfig(1024));
+  SimpleLog log(&nvm);
+  std::uint64_t lsn = 0;
+  for (auto _ : state) {
+    log.Append(NewRec(&nvm, ++lsn));
+  }
+}
+BENCHMARK(BM_SimpleLogAppend);
+
+void BM_BucketLogAppend(benchmark::State& state) {
+  NvmManager nvm(BenchNvmConfig(1024));
+  BucketLog log(&nvm, 1000, 0);
+  std::uint64_t lsn = 0;
+  for (auto _ : state) {
+    log.Append(NewRec(&nvm, ++lsn));
+  }
+}
+BENCHMARK(BM_BucketLogAppend);
+
+void BM_BatchLogAppend(benchmark::State& state) {
+  NvmManager nvm(BenchNvmConfig(1024));
+  BatchLog log(&nvm, 1000, 8);
+  std::uint64_t lsn = 0;
+  for (auto _ : state) {
+    LogRecord local{};
+    local.lsn = ++lsn;
+    local.tid = 1;
+    local.type = LogRecordType::kUpdate;
+    auto* rec = static_cast<LogRecord*>(nvm.Alloc(sizeof(LogRecord)));
+    nvm.StoreObject(rec, local);
+    log.Append(rec);
+  }
+}
+BENCHMARK(BM_BatchLogAppend);
+
+void BM_TmWriteCommit(benchmark::State& state) {
+  auto impl = static_cast<LogImpl>(state.range(0));
+  auto policy = static_cast<Policy>(state.range(1));
+  RewindConfig rc = BenchConfig(impl, Layers::kOne, policy, 1024);
+  NvmManager nvm(rc.nvm);
+  TransactionManager tm(&nvm, rc);
+  auto* tbl = nvm.AllocArray<std::uint64_t>(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    std::uint32_t tid = tm.Begin();
+    tm.Write(tid, &tbl[i++ % 1024], i);
+    tm.Commit(tid);
+  }
+}
+BENCHMARK(BM_TmWriteCommit)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->ArgNames({"log_impl", "policy"});
+
+void BM_TwoLayerWrite(benchmark::State& state) {
+  RewindConfig rc =
+      BenchConfig(LogImpl::kOptimized, Layers::kTwo, Policy::kNoForce, 1024);
+  NvmManager nvm(rc.nvm);
+  TransactionManager tm(&nvm, rc);
+  auto* tbl = nvm.AllocArray<std::uint64_t>(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    std::uint32_t tid = tm.Begin();
+    tm.Write(tid, &tbl[i++ % 1024], i);
+    tm.Commit(tid);
+  }
+}
+BENCHMARK(BM_TwoLayerWrite);
+
+}  // namespace
+}  // namespace rwd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Quickstart: transactional updates to persistent memory with REWIND.
+//
+// Mirrors the paper's Listings 1 and 2: a recoverable doubly-linked list
+// whose critical updates are wrapped in "persistent atomic" transactions,
+// plus a demonstration that a crash in the middle of an operation is
+// recovered cleanly.
+//
+// Build: cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/runtime.h"
+#include "src/structures/pdlist.h"
+
+int main() {
+  using namespace rwd;
+
+  // 1. Configure the runtime: Batch log (one fence per 8 records),
+  //    one-layer logging, no-force policy — the paper's best-performing
+  //    configuration. Crash simulation is enabled so we can demo recovery.
+  RewindConfig config;
+  config.nvm.mode = NvmMode::kCrashSim;
+  config.nvm.heap_bytes = 64 << 20;
+  config.nvm.write_latency_ns = 0;  // no latency emulation in the demo
+  config.nvm.fence_latency_ns = 0;
+  config.log_impl = LogImpl::kBatch;
+  config.policy = Policy::kNoForce;
+  Runtime runtime(config);
+
+  // 2. A persistent data structure in NVM. Every mutation is one
+  //    transaction: log calls precede each critical CPU write, exactly as
+  //    the paper's expanded Listing 2.
+  RewindOps ops(&runtime.tm());
+  PDList list(&ops);
+  for (std::uint64_t v = 1; v <= 5; ++v) list.PushBack(&ops, v * 10);
+  std::printf("list after five appends: ");
+  list.ForEach(&ops, [](std::uint64_t v) { std::printf("%lu ", v); });
+  std::printf("\n");
+
+  // 3. The paper's remove() — unlink a node, de-allocation deferred past
+  //    commit via a DELETE record.
+  list.Remove(&ops, list.Find(&ops, 30));
+  std::printf("after removing 30:       ");
+  list.ForEach(&ops, [](std::uint64_t v) { std::printf("%lu ", v); });
+  std::printf("\n");
+
+  // 4. Crash in the middle of a removal: arm the injector so the "machine"
+  //    loses power partway through the transaction.
+  runtime.nvm().crash_injector().Arm(3);
+  try {
+    list.Remove(&ops, list.Find(&ops, 50));
+    std::printf("no crash this time\n");
+  } catch (const CrashException&) {
+    std::printf("simulated power failure mid-transaction!\n");
+  }
+
+  // 5. Recovery: analysis, redo, undo — the half-done removal is rolled
+  //    back and the list is consistent again.
+  runtime.CrashAndRecover();
+  std::printf("after crash + recovery:  ");
+  list.ForEach(&ops, [](std::uint64_t v) { std::printf("%lu ", v); });
+  std::printf("\n");
+  std::printf("recoveries run: %lu\n", runtime.tm().stats().recoveries);
+  return 0;
+}

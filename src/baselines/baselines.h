@@ -1,0 +1,42 @@
+// Convenience constructors for the three baseline systems the paper
+// compares against (Section 5.2). Each is the common AriesEngine with the
+// cost profile of the original system; see DESIGN.md for the substitution
+// rationale.
+#ifndef REWIND_BASELINES_BASELINES_H_
+#define REWIND_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/aries_engine.h"
+
+namespace rwd {
+
+/// Stasis (Sears & Brewer, OSDI'06): flexible transactional storage with
+/// operation (logical) logging over a page file.
+inline std::unique_ptr<AriesEngine> MakeStasisLike(
+    NvmManager* nvm, std::size_t num_pages = 16384,
+    const std::string& tag = "stasis") {
+  return std::make_unique<AriesEngine>(nvm, StasisLikeTuning(), num_pages,
+                                       tag);
+}
+
+/// BerkeleyDB 6.0: page-level physical WAL, buffer pool, coarse latching.
+inline std::unique_ptr<AriesEngine> MakeBdbLike(
+    NvmManager* nvm, std::size_t num_pages = 16384,
+    const std::string& tag = "bdb") {
+  return std::make_unique<AriesEngine>(nvm, BdbLikeTuning(), num_pages, tag);
+}
+
+/// Shore-MT as modified for NVM by Wang & Johnson (PVLDB'14): distributed
+/// per-core logs and volatile undo buffers.
+inline std::unique_ptr<AriesEngine> MakeShoreLike(
+    NvmManager* nvm, std::size_t num_pages = 16384,
+    const std::string& tag = "shore", std::size_t partitions = 4) {
+  return std::make_unique<AriesEngine>(nvm, ShoreLikeTuning(partitions),
+                                       num_pages, tag);
+}
+
+}  // namespace rwd
+
+#endif  // REWIND_BASELINES_BASELINES_H_

@@ -1,0 +1,79 @@
+// A PMFS-like substrate: a byte-addressable, memory-mounted "file system"
+// over the emulated NVM device (paper Section 5: baselines run on PMFS, and
+// NVM latency is charged only for user-data writes, not for internal
+// bookkeeping — we follow the same accounting).
+#ifndef REWIND_BASELINES_PMFS_H_
+#define REWIND_BASELINES_PMFS_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// Minimal byte-addressable file system: named, fixed-size extents in NVM.
+/// Writes are charged NVM latency per touched cacheline plus a fence per
+/// synchronous write, mimicking PMFS's optimized byte-addressable path.
+class Pmfs {
+ public:
+  struct File {
+    std::string name;
+    char* base = nullptr;
+    std::size_t size = 0;
+    std::size_t append_off = 0;  // convenience cursor for log-style files
+  };
+
+  explicit Pmfs(NvmManager* nvm) : nvm_(nvm) {}
+
+  /// Creates (or truncates) a file of `bytes` bytes.
+  File* Create(const std::string& name, std::size_t bytes) {
+    auto& f = files_[name];
+    if (f == nullptr) f = std::make_unique<File>();
+    if (f->base != nullptr) nvm_->Free(f->base);
+    f->name = name;
+    f->base = static_cast<char*>(nvm_->Alloc(bytes));
+    f->size = bytes;
+    f->append_off = 0;
+    return f.get();
+  }
+
+  File* Open(const std::string& name) {
+    auto it = files_.find(name);
+    return it == files_.end() ? nullptr : it->second.get();
+  }
+
+  /// Synchronous write: data is durable when the call returns (PMFS write
+  /// path: copy + cacheline writeback + fence).
+  void Write(File* f, std::size_t off, const void* src, std::size_t n) {
+    std::memcpy(f->base + off, src, n);
+    nvm_->PersistRangeNT(f->base + off, n);
+    nvm_->Fence();
+  }
+
+  /// Appends at the file cursor; returns the offset written.
+  std::size_t Append(File* f, const void* src, std::size_t n) {
+    std::size_t off = f->append_off;
+    Write(f, off, src, n);
+    f->append_off += n;
+    return off;
+  }
+
+  void Read(const File* f, std::size_t off, void* dst, std::size_t n) const {
+    std::memcpy(dst, f->base + off, n);
+  }
+
+  NvmManager* nvm() { return nvm_; }
+
+ private:
+  NvmManager* nvm_;
+  std::unordered_map<std::string, std::unique_ptr<File>> files_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_BASELINES_PMFS_H_

@@ -1,0 +1,79 @@
+// Cache-consistent log checkpointing (paper Section 4.6).
+#include <vector>
+
+#include "src/core/transaction_manager.h"
+#include "src/log/bucket_log.h"
+
+namespace rwd {
+
+void TransactionManager::CheckpointLocked() {
+  // Under a force policy the log is cleared at commit time; checkpoints are
+  // a no-force mechanism.
+  if (config_.force()) return;
+  ++stats_.checkpoints;
+
+  if (!config_.two_layer()) {
+    // Mark the persistence horizon *before* flushing the cache: issuing the
+    // flush first could make newly inserted records appear persistent
+    // (paper Section 4.6).
+    LogRecord* ckpt =
+        MakeRecord(LogRecordType::kCheckpoint, 0, 0, 0, 0, 0, 0);
+    AppendLocked(ckpt);
+    log_->Sync();
+  }
+  nvm_->FlushAllDirty();
+
+  if (config_.two_layer()) {
+    // Remove each finished transaction's node; the removal itself is an
+    // atomic recoverable AAVLT operation.
+    for (const auto& [tid, committed] : finished_txns_) {
+      std::vector<LogRecord*> recs = ChainRecordsLocked(tid);
+      if (recs.empty()) continue;
+      index_->RemoveTxn(tid);
+      for (LogRecord* r : recs) {
+        if (r->type == LogRecordType::kDelete && committed) {
+          nvm_->Free(reinterpret_cast<void*>(r->addr));
+        }
+        FreeRecordLocked(r);
+      }
+      table_.Erase(tid);
+    }
+    finished_txns_.clear();
+    return;
+  }
+
+  // One-layer: remove the records of finished transactions. END records are
+  // removed last so that a crash during clearing makes the next checkpoint
+  // repeat exactly the same work (paper Section 4.6). Stale CHECKPOINT
+  // records are dropped along the way.
+  std::vector<LogRecord*> ends;
+  std::vector<LogRecord*> gone;
+  log_->ForEach([&](LogRecord* r) {
+    if (r->type == LogRecordType::kCheckpoint) {
+      log_->Remove(r);
+      gone.push_back(r);
+      return true;
+    }
+    auto it = finished_txns_.find(r->tid);
+    if (it == finished_txns_.end()) return true;
+    if (r->type == LogRecordType::kEnd) {
+      ends.push_back(r);
+      return true;
+    }
+    if (r->type == LogRecordType::kDelete && it->second) {
+      nvm_->Free(reinterpret_cast<void*>(r->addr));
+    }
+    log_->Remove(r);
+    gone.push_back(r);
+    return true;
+  });
+  for (LogRecord* r : ends) {
+    log_->Remove(r);
+    gone.push_back(r);
+  }
+  for (LogRecord* r : gone) FreeRecordLocked(r);
+  if (auto* bl = dynamic_cast<BucketLog*>(log_.get())) bl->ReclaimBuckets();
+  finished_txns_.clear();
+}
+
+}  // namespace rwd

@@ -1,0 +1,68 @@
+// REWIND configuration: the design space of paper Section 2.
+#ifndef REWIND_CORE_CONFIG_H_
+#define REWIND_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/nvm/nvm_config.h"
+
+namespace rwd {
+
+/// Which log layout to use (paper Sections 3.2-3.3).
+enum class LogImpl {
+  kSimple,     ///< Records directly in the ADLL.
+  kOptimized,  ///< Bucketed hybrid layout, one NT store per insertion.
+  kBatch,      ///< Bucketed layout + grouped fences/persisted-index stores.
+};
+
+/// One- or two-layer logging (paper Sections 3.2 / 3.4).
+enum class Layers {
+  kOne,  ///< Log only; no per-transaction state during logging.
+  kTwo,  ///< AAVLT index over transactions above the optimized bucket log.
+};
+
+/// Force or no-force treatment of user updates (paper Section 2).
+enum class Policy {
+  kForce,    ///< User updates NT-stored; 2-phase recovery; clear at commit.
+  kNoForce,  ///< User updates cached; 3-phase recovery; clear at checkpoint.
+};
+
+/// Full configuration of a REWIND runtime.
+struct RewindConfig {
+  NvmConfig nvm;
+  LogImpl log_impl = LogImpl::kBatch;
+  Layers layers = Layers::kOne;
+  Policy policy = Policy::kNoForce;
+  /// Records per bucket (Optimized/Batch layouts). Paper default: 1000.
+  std::size_t bucket_capacity = 1000;
+  /// Records per fence group (Batch layout). Paper default: 8
+  /// (64-byte cacheline / 8-byte pointer).
+  std::size_t batch_group_size = 8;
+
+  bool force() const { return policy == Policy::kForce; }
+  bool two_layer() const { return layers == Layers::kTwo; }
+
+  /// Short label such as "1L-NFP/Batch" for bench output.
+  std::string Label() const {
+    std::string s = two_layer() ? "2L-" : "1L-";
+    s += force() ? "FP" : "NFP";
+    switch (log_impl) {
+      case LogImpl::kSimple:
+        s += "/Simple";
+        break;
+      case LogImpl::kOptimized:
+        s += "/Opt";
+        break;
+      case LogImpl::kBatch:
+        s += "/Batch";
+        break;
+    }
+    return s;
+  }
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_CORE_CONFIG_H_

@@ -1,0 +1,267 @@
+// Restart recovery (paper Section 4.5): recover the log structure itself,
+// then analysis -> redo (no-force only) -> undo -> END records -> clearing.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/transaction_manager.h"
+#include "src/log/bucket_log.h"
+
+namespace rwd {
+
+namespace {
+constexpr std::uint64_t kUndoAll = ~std::uint64_t{0};
+}
+
+void TransactionManager::RecoverLogStructure() {
+  if (config_.two_layer()) {
+    // First the AAVLT's private log, then the tree's pending operation; the
+    // tree contents then drive the rest of recovery (paper Section 2:
+    // "Recovery starts by recovering the simple data structure ... whose
+    // contents are then used to recover the auxiliary log structure").
+    index_->Recover();
+  } else {
+    log_->Recover();
+  }
+}
+
+void TransactionManager::AnalysisPhase() {
+  // Forward scan reconstructing the transaction table (paper Section 4.5)
+  // plus the volatile LSN/TID counters.
+  table_.Clear();
+  std::uint64_t max_lsn = 0;
+  std::uint32_t max_tid = 0;
+  auto visit = [&](LogRecord* r) {
+    max_lsn = std::max(max_lsn, r->lsn);
+    max_tid = std::max(max_tid, r->tid);
+    if (r->type == LogRecordType::kCheckpoint) return true;
+    auto& e = table_.Touch(r->tid);
+    e.last_lsn = std::max(e.last_lsn, r->lsn);
+    switch (r->type) {
+      case LogRecordType::kEnd:
+        e.status = TxnStatus::kFinished;
+        break;
+      case LogRecordType::kRollback:
+        e.status = TxnStatus::kAborted;
+        break;
+      default:
+        break;  // UPDATE/CLR/DELETE leave the status as-is
+    }
+    return true;
+  };
+  if (config_.two_layer()) {
+    // Analysis is a *forward* (LSN-ordered) scan; the index has no global
+    // order, so the records must be gathered and sorted first — the slower
+    // log iteration the paper blames for two-layer recovery times
+    // (Fig. 4, right).
+    std::vector<LogRecord*> all;
+    index_->ForEachTxn([&](std::uint64_t, LogRecord* tail) {
+      for (LogRecord* r = tail; r != nullptr; r = r->hint.chain.tx_prev) {
+        all.push_back(r);
+      }
+      return true;
+    });
+    std::sort(all.begin(), all.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->lsn < b->lsn;
+              });
+    for (LogRecord* r : all) visit(r);
+  } else {
+    log_->ForEach(visit);
+  }
+  next_lsn_ = max_lsn + 1;
+  next_tid_.store(max_tid + 1, std::memory_order_relaxed);
+}
+
+void TransactionManager::RedoPhase() {
+  // No-force only: repeat history. Physical redo of every UPDATE and CLR in
+  // LSN order is idempotent; it also re-establishes the undos of a rollback
+  // that was interrupted by the crash (paper Section 4.5).
+  auto redo = [&](LogRecord* r) {
+    if (r->type == LogRecordType::kUpdate || r->type == LogRecordType::kClr) {
+      nvm_->Store(reinterpret_cast<std::uint64_t*>(r->addr), r->new_value);
+    }
+    return true;
+  };
+  if (config_.two_layer()) {
+    // The 2L log has no global order: gather and sort — the slower
+    // iteration the paper blames for 2L's recovery times (Fig. 4 right).
+    std::vector<LogRecord*> all;
+    index_->ForEachTxn([&](std::uint64_t, LogRecord* tail) {
+      for (LogRecord* r = tail; r != nullptr; r = r->hint.chain.tx_prev) {
+        all.push_back(r);
+      }
+      return true;
+    });
+    std::sort(all.begin(), all.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->lsn < b->lsn;
+              });
+    for (LogRecord* r : all) redo(r);
+  } else {
+    log_->ForEach(redo);
+  }
+}
+
+void TransactionManager::UndoPhase() {
+  if (config_.two_layer()) {
+    // Per-transaction undo through the index (paper Section 4.5,
+    // "Two-layer logging").
+    std::vector<std::uint32_t> losers;
+    table_.ForEach([&](std::uint32_t tid, TransactionTable::Entry& e) {
+      if (e.status != TxnStatus::kFinished) losers.push_back(tid);
+    });
+    std::sort(losers.begin(), losers.end());
+    for (std::uint32_t tid : losers) {
+      auto& e = *table_.Find(tid);
+      if (e.status == TxnStatus::kRunning) {
+        LogRecord* marker =
+            MakeRecord(LogRecordType::kRollback, tid, 0, 0, 0, 0, 0);
+        AppendLocked(marker);
+        e.status = TxnStatus::kAborted;
+      }
+      // Horizon: the newest CLR tells how far the interrupted rollback got.
+      std::uint64_t horizon = kUndoAll;
+      for (LogRecord* r = index_->ChainOf(tid); r != nullptr;
+           r = r->hint.chain.tx_prev) {
+        if (r->type == LogRecordType::kClr) {
+          if (horizon == kUndoAll) horizon = r->undo_next_lsn;
+          if (config_.force()) {
+            // Corner case (paper Section 4.4), generalized for the Batch
+            // log: redo every CLR whose compensating write may not have
+            // persisted; newest-to-oldest converges to the undo result.
+            nvm_->StoreNT(reinterpret_cast<std::uint64_t*>(r->addr),
+                          r->new_value);
+          }
+        }
+      }
+      RollbackLocked(tid, horizon);
+      LogRecord* end = MakeRecord(LogRecordType::kEnd, tid, 0, 0, 0, 0, 0);
+      AppendLocked(end);
+      e.status = TxnStatus::kFinished;
+      finished_txns_[tid] = false;  // rolled back, not committed
+    }
+    return;
+  }
+
+  // One-layer logging: Algorithm 2 — undo every loser in a single backward
+  // scan, tracking per-transaction undo horizons so records already undone
+  // by a pre-crash rollback are skipped.
+  std::unordered_map<std::uint32_t, std::uint64_t> undo_map;
+  log_->ForEachBackward([&](LogRecord* r) {
+    TransactionTable::Entry* e = table_.Find(r->tid);
+    if (e == nullptr || e->status == TxnStatus::kFinished) return true;
+    if (e->status == TxnStatus::kRunning) {
+      LogRecord* marker =
+          MakeRecord(LogRecordType::kRollback, r->tid, 0, 0, 0, 0, 0);
+      AppendLocked(marker);
+      e->status = TxnStatus::kAborted;
+    }
+    if (r->type == LogRecordType::kClr) {
+      if (undo_map.find(r->tid) == undo_map.end()) {
+        undo_map[r->tid] = r->undo_next_lsn;
+      }
+      if (config_.force()) {
+        // Corner case (paper Section 4.4) generalized for the Batch log:
+        // any CLR whose compensating write had not persisted by the crash
+        // must be redone. Re-applying them newest-to-oldest converges to
+        // the same state as the original undo sequence.
+        nvm_->StoreNT(reinterpret_cast<std::uint64_t*>(r->addr),
+                      r->new_value);
+      }
+    } else if (r->type == LogRecordType::kUpdate && r->undoable()) {
+      auto it = undo_map.find(r->tid);
+      if (it == undo_map.end() || r->lsn < it->second) {
+        LogRecord* clr =
+            MakeRecord(LogRecordType::kClr, r->tid, r->addr, r->new_value,
+                       r->old_value, r->lsn, 0);
+        AppendLocked(clr);
+        ApplyWriteLocked(reinterpret_cast<std::uint64_t*>(r->addr),
+                         r->old_value);
+        undo_map[r->tid] = r->lsn;
+      }
+    }
+    return true;
+  });
+  // The undo writes must be persistent before any END record is (the END
+  // marks the rollback complete; under the Batch log the compensating
+  // writes may still sit in the WAL deferral buffer).
+  if (log_) log_->Sync();
+  if (config_.force()) nvm_->Fence();
+  // Add END records for every transaction that was not finished.
+  table_.ForEach([&](std::uint32_t tid, TransactionTable::Entry& e) {
+    if (e.status != TxnStatus::kFinished) {
+      LogRecord* end = MakeRecord(LogRecordType::kEnd, tid, 0, 0, 0, 0, 0);
+      AppendLocked(end);
+      e.status = TxnStatus::kFinished;
+      finished_txns_[tid] = false;
+    }
+  });
+  if (log_) log_->Sync();
+}
+
+void TransactionManager::ClearAllAfterRecovery() {
+  // After recovery every transaction is complete, so the whole log can be
+  // dropped at once: remember the records, swap in the fresh structure, then
+  // de-allocate (paper Section 4.5).
+  //
+  // DELETE records are honoured first: transactions that *committed* before
+  // the crash release their deferred memory; rolled-back ones must not.
+  std::unordered_set<std::uint32_t> rolled_back;
+  for (const auto& [tid, committed] : finished_txns_) {
+    if (!committed) rolled_back.insert(tid);
+  }
+  std::vector<LogRecord*> all;
+  auto visit = [&](LogRecord* r) {
+    all.push_back(r);
+    if (r->type == LogRecordType::kRollback) rolled_back.insert(r->tid);
+    return true;
+  };
+  if (config_.two_layer()) {
+    index_->ForEachTxn([&](std::uint64_t, LogRecord* tail) {
+      for (LogRecord* r = tail; r != nullptr; r = r->hint.chain.tx_prev) {
+        visit(r);
+      }
+      return true;
+    });
+  } else {
+    log_->ForEach(visit);
+  }
+  for (LogRecord* r : all) {
+    if (r->type == LogRecordType::kDelete &&
+        rolled_back.find(r->tid) == rolled_back.end()) {
+      nvm_->Free(reinterpret_cast<void*>(r->addr));
+    }
+  }
+  if (config_.two_layer()) {
+    index_->Clear();
+  } else {
+    log_->Clear();
+    if (auto* bl = dynamic_cast<BucketLog*>(log_.get())) {
+      bl->ReclaimBuckets();
+    }
+  }
+  for (LogRecord* r : all) nvm_->Free(r);
+  // "When recovery finishes, we also clear the transaction table as all
+  // transactions are henceforth considered completed."
+  table_.Clear();
+  finished_txns_.clear();
+  pending_writes_.clear();
+}
+
+void TransactionManager::Recover() {
+  std::lock_guard<std::mutex> lock(latch_);
+  RecoverLogStructure();
+  AnalysisPhase();
+  if (!config_.force()) RedoPhase();
+  UndoPhase();
+  if (!config_.force()) {
+    // Undone state was written with cached stores; persist it before the
+    // log disappears.
+    nvm_->FlushAllDirty();
+  }
+  ClearAllAfterRecovery();
+  ++stats_.recoveries;
+}
+
+}  // namespace rwd

@@ -1,0 +1,77 @@
+#include "src/core/runtime.h"
+
+#include <chrono>
+
+namespace rwd {
+
+Runtime::Runtime(const RewindConfig& config, std::size_t partitions)
+    : config_(config), nvm_(std::make_unique<NvmManager>(config.nvm)) {
+  boot_ = static_cast<BootSector*>(nvm_->Alloc(sizeof(BootSector)));
+  bool unclean = boot_->magic == kBootMagic && boot_->open == 1;
+  nvm_->StoreNT(&boot_->magic, kBootMagic);
+  nvm_->StoreNT(&boot_->open, std::uint64_t{1});
+  nvm_->Fence();
+  tms_.reserve(partitions == 0 ? 1 : partitions);
+  for (std::size_t i = 0; i < std::max<std::size_t>(partitions, 1); ++i) {
+    tms_.push_back(std::make_unique<TransactionManager>(nvm_.get(), config_));
+  }
+  if (unclean) {
+    // In this emulated setting the heap is fresh per process, so an unclean
+    // boot sector can only come from an in-process simulated crash; still,
+    // run the full protocol for fidelity.
+    for (auto& tm : tms_) tm->Recover();
+    recovered_at_boot_ = true;
+  }
+}
+
+Runtime::~Runtime() {
+  StopCheckpointDaemon();
+  Close();
+}
+
+void Runtime::Close() {
+  if (boot_ != nullptr) {
+    nvm_->StoreNT(&boot_->open, std::uint64_t{0});
+    nvm_->Fence();
+  }
+}
+
+void Runtime::CrashAndRecover(double evict_probability, std::uint64_t seed) {
+  StopCheckpointDaemon();
+  nvm_->SimulateCrash(evict_probability, seed);
+  for (auto& tm : tms_) {
+    tm->ForgetVolatileState();
+    tm->Recover();
+  }
+}
+
+void Runtime::StartCheckpointDaemon(std::uint32_t period_ms) {
+  StopCheckpointDaemon();
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_stop_ = false;
+  }
+  ckpt_thread_ = std::thread([this, period_ms] {
+    std::unique_lock<std::mutex> lock(ckpt_mu_);
+    while (!ckpt_stop_) {
+      if (ckpt_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                            [this] { return ckpt_stop_; })) {
+        return;
+      }
+      lock.unlock();
+      for (auto& tm : tms_) tm->Checkpoint();
+      lock.lock();
+    }
+  });
+}
+
+void Runtime::StopCheckpointDaemon() {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
+}
+
+}  // namespace rwd

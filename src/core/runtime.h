@@ -1,0 +1,80 @@
+// The public facade of the REWIND library.
+#ifndef REWIND_CORE_RUNTIME_H_
+#define REWIND_CORE_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/transaction_manager.h"
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// Owns the emulated NVM device and one or more transaction managers.
+///
+/// The common case is a single shared log (one TransactionManager). Passing
+/// `partitions > 1` creates a distributed log — one manager per partition —
+/// which the paper's TPC-C co-design section uses to reduce log contention
+/// ("REWIND Opt. Data Structure D.Log", Fig. 11); threads pick a partition
+/// and all of a transaction's records go to that partition's log.
+///
+/// On construction the runtime inspects a persistent boot sector: a previous
+/// unclean shutdown (or simulated crash) triggers full recovery, exactly as
+/// an application relinking the REWIND library would experience at restart
+/// (paper Section 4.1).
+class Runtime {
+ public:
+  explicit Runtime(const RewindConfig& config, std::size_t partitions = 1);
+  ~Runtime();
+
+  NvmManager& nvm() { return *nvm_; }
+  TransactionManager& tm(std::size_t partition = 0) {
+    return *tms_[partition];
+  }
+  std::size_t partitions() const { return tms_.size(); }
+  const RewindConfig& config() const { return config_; }
+
+  /// True if construction found an unclean shutdown and ran recovery.
+  bool recovered_at_boot() const { return recovered_at_boot_; }
+
+  /// Marks the shutdown clean; called by the destructor too.
+  void Close();
+
+  /// Test/bench helper: simulate a power failure (kCrashSim mode loses all
+  /// unflushed cachelines, optionally randomly evicting some first), drop
+  /// all volatile state, and run full recovery on every partition.
+  void CrashAndRecover(double evict_probability = 0.0,
+                       std::uint64_t seed = 0);
+
+  /// Starts a background checkpointing thread with the given period
+  /// (no-force policy; paper Section 4.6). Stop with StopCheckpointDaemon().
+  void StartCheckpointDaemon(std::uint32_t period_ms);
+  void StopCheckpointDaemon();
+
+ private:
+  struct BootSector {
+    std::uint64_t magic;
+    std::uint64_t open;  // 1 while the runtime is live
+  };
+  static constexpr std::uint64_t kBootMagic = 0x5245'5749'4e44'0001ull;
+
+  RewindConfig config_;
+  std::unique_ptr<NvmManager> nvm_;
+  std::vector<std::unique_ptr<TransactionManager>> tms_;
+  BootSector* boot_ = nullptr;
+  bool recovered_at_boot_ = false;
+
+  std::thread ckpt_thread_;
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_CORE_RUNTIME_H_

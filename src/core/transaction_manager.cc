@@ -1,0 +1,360 @@
+#include "src/core/transaction_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/log/batch_log.h"
+#include "src/log/simple_log.h"
+
+namespace rwd {
+
+namespace {
+constexpr std::uint64_t kUndoAll = ~std::uint64_t{0};
+}
+
+TransactionManager::TransactionManager(NvmManager* nvm,
+                                       const RewindConfig& config)
+    : nvm_(nvm), config_(config) {
+  if (config_.two_layer()) {
+    // Two-layer logging: the AAVLT indexes user records and logs its own
+    // maintenance to a private optimized bucket log (paper Section 3.4).
+    index_ = std::make_unique<Aavlt>(nvm_, config_.bucket_capacity);
+  } else {
+    switch (config_.log_impl) {
+      case LogImpl::kSimple:
+        log_ = std::make_unique<SimpleLog>(nvm_);
+        break;
+      case LogImpl::kOptimized:
+        log_ = std::make_unique<BucketLog>(nvm_, config_.bucket_capacity,
+                                           /*group_size=*/0);
+        break;
+      case LogImpl::kBatch:
+        log_ = std::make_unique<BatchLog>(nvm_, config_.bucket_capacity,
+                                          config_.batch_group_size);
+        break;
+    }
+    if (auto* bl = dynamic_cast<BucketLog*>(log_.get());
+        bl != nullptr && bl->batch()) {
+      bl->set_group_flush_callback([this] { FlushPendingWrites(); });
+    }
+  }
+}
+
+TransactionManager::~TransactionManager() = default;
+
+std::uint32_t TransactionManager::Begin() {
+  std::uint32_t tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.two_layer()) {
+    std::lock_guard<std::mutex> lock(latch_);
+    table_.Touch(tid).status = TxnStatus::kRunning;
+  }
+  return tid;
+}
+
+LogRecord* TransactionManager::MakeRecord(LogRecordType type,
+                                          std::uint32_t tid,
+                                          std::uint64_t addr,
+                                          std::uint64_t old_value,
+                                          std::uint64_t new_value,
+                                          std::uint64_t undo_next,
+                                          std::uint16_t flags) {
+  LogRecord local{};
+  local.lsn = next_lsn_++;
+  local.tid = tid;
+  local.type = type;
+  local.flags = flags;
+  local.addr = addr;
+  local.old_value = old_value;
+  local.new_value = new_value;
+  local.undo_next_lsn = undo_next;
+  auto* rec = static_cast<LogRecord*>(nvm_->Alloc(sizeof(LogRecord)));
+  if (!config_.two_layer() && config_.log_impl == LogImpl::kBatch) {
+    // Batch: the record is persisted by the covering group flush.
+    nvm_->StoreObject(rec, local);
+  } else {
+    // Simple/Optimized/2L: persist the record, then fence so its fields
+    // have reached NVM before it becomes reachable (paper Section 4.2).
+    nvm_->StoreNTObject(rec, local);
+    nvm_->Fence();
+  }
+  return rec;
+}
+
+void TransactionManager::AppendLocked(LogRecord* rec) {
+  if (config_.two_layer()) {
+    index_->Insert(rec);
+    auto& e = table_.Touch(rec->tid);
+    e.last_lsn = rec->lsn;
+  } else {
+    log_->Append(rec);
+  }
+  ++stats_.records_logged;
+}
+
+void TransactionManager::ApplyWriteLocked(std::uint64_t* addr,
+                                          std::uint64_t value) {
+  bool batch = !config_.two_layer() && config_.log_impl == LogImpl::kBatch;
+  if (batch) {
+    // The WAL protocol holds the user write back until its log record is
+    // persistent; the group-flush callback releases it.
+    pending_writes_.push_back({addr, value});
+  } else if (config_.force()) {
+    nvm_->StoreNT(addr, value);
+  } else {
+    nvm_->Store(addr, value);
+  }
+}
+
+void TransactionManager::FlushPendingWrites() {
+  for (const PendingWrite& w : pending_writes_) {
+    if (config_.force()) {
+      nvm_->StoreNT(w.addr, w.value);
+    } else {
+      nvm_->Store(w.addr, w.value);
+    }
+  }
+  pending_writes_.clear();
+}
+
+void TransactionManager::Log(std::uint32_t tid, std::uint64_t* addr,
+                             std::uint64_t old_value,
+                             std::uint64_t new_value) {
+  std::lock_guard<std::mutex> lock(latch_);
+  LogRecord* rec = MakeRecord(
+      LogRecordType::kUpdate, tid, reinterpret_cast<std::uint64_t>(addr),
+      old_value, new_value, 0, LogRecord::kFlagUndoable);
+  AppendLocked(rec);
+}
+
+void TransactionManager::Write(std::uint32_t tid, std::uint64_t* addr,
+                               std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(latch_);
+  // Read-your-writes: the current value may still be parked in the Batch
+  // deferral buffer.
+  std::uint64_t old_value = *addr;
+  for (auto it = pending_writes_.rbegin(); it != pending_writes_.rend();
+       ++it) {
+    if (it->addr == addr) {
+      old_value = it->value;
+      break;
+    }
+  }
+  LogRecord* rec = MakeRecord(
+      LogRecordType::kUpdate, tid, reinterpret_cast<std::uint64_t>(addr),
+      old_value, value, 0, LogRecord::kFlagUndoable);
+  AppendLocked(rec);
+  ApplyWriteLocked(addr, value);
+}
+
+std::uint64_t TransactionManager::Read(const std::uint64_t* addr) const {
+  if (config_.two_layer() || config_.log_impl != LogImpl::kBatch) {
+    return *addr;
+  }
+  std::lock_guard<std::mutex> lock(latch_);
+  for (auto it = pending_writes_.rbegin(); it != pending_writes_.rend();
+       ++it) {
+    if (it->addr == addr) return it->value;
+  }
+  return *addr;
+}
+
+void TransactionManager::LogDelete(std::uint32_t tid, void* ptr) {
+  std::lock_guard<std::mutex> lock(latch_);
+  LogRecord* rec = MakeRecord(LogRecordType::kDelete, tid,
+                              reinterpret_cast<std::uint64_t>(ptr), 0, 0, 0,
+                              0);
+  AppendLocked(rec);
+}
+
+std::vector<LogRecord*> TransactionManager::ChainRecordsLocked(
+    std::uint32_t tid) const {
+  std::vector<LogRecord*> recs;
+  for (LogRecord* r = index_->ChainOf(tid); r != nullptr;
+       r = r->hint.chain.tx_prev) {
+    recs.push_back(r);
+  }
+  std::reverse(recs.begin(), recs.end());  // oldest first
+  return recs;
+}
+
+void TransactionManager::FreeRecordLocked(LogRecord* rec) {
+  nvm_->Free(rec);
+}
+
+void TransactionManager::ClearTransactionLocked(std::uint32_t tid,
+                                                bool committed) {
+  // Force-policy clearing (paper Sections 2, 4.6): remove this
+  // transaction's records, END last, so that a crash mid-clear leads the
+  // next attempt down exactly the same path.
+  std::vector<LogRecord*> to_free;
+  LogRecord* end_rec = nullptr;
+  if (config_.two_layer()) {
+    std::vector<LogRecord*> recs = ChainRecordsLocked(tid);
+    for (LogRecord* r : recs) {
+      if (r->type == LogRecordType::kEnd) {
+        end_rec = r;
+      } else {
+        if (r->type == LogRecordType::kDelete && committed) {
+          nvm_->Free(reinterpret_cast<void*>(r->addr));
+        }
+        to_free.push_back(r);
+      }
+    }
+    index_->RemoveTxn(tid);  // atomic: drops all membership at once
+    table_.Erase(tid);
+  } else {
+    // One-layer logging keeps no per-transaction state, so clearing is a
+    // full backward scan — this is exactly the commit-time cost that grows
+    // with the number of skip records (paper Fig. 3, right).
+    std::vector<LogRecord*> mine;
+    log_->ForEachBackward([&](LogRecord* r) {
+      if (r->tid == tid) mine.push_back(r);
+      return true;
+    });
+    for (LogRecord* r : mine) {
+      if (r->type == LogRecordType::kEnd) {
+        end_rec = r;
+        continue;
+      }
+      if (r->type == LogRecordType::kDelete && committed) {
+        nvm_->Free(reinterpret_cast<void*>(r->addr));
+      }
+      log_->Remove(r);
+      to_free.push_back(r);
+    }
+    if (end_rec != nullptr) log_->Remove(end_rec);
+  }
+  if (end_rec != nullptr) to_free.push_back(end_rec);
+  for (LogRecord* r : to_free) FreeRecordLocked(r);
+  if (auto* bl = dynamic_cast<BucketLog*>(log_.get())) bl->ReclaimBuckets();
+}
+
+void TransactionManager::Commit(std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(latch_);
+  if (config_.force()) {
+    // All user updates must be persistent *before* the END record is: under
+    // the Batch log some may still be parked in the WAL deferral buffer, so
+    // flush the open group (which releases them as NT stores) first. Then
+    // fence, END, and clear this transaction's records (paper Section 4.3).
+    if (log_) log_->Sync();
+    nvm_->Fence();
+    LogRecord* end = MakeRecord(LogRecordType::kEnd, tid, 0, 0, 0, 0, 0);
+    AppendLocked(end);
+    if (log_) log_->Sync();
+    ClearTransactionLocked(tid, /*committed=*/true);
+  } else {
+    LogRecord* end = MakeRecord(LogRecordType::kEnd, tid, 0, 0, 0, 0, 0);
+    AppendLocked(end);
+    if (log_) log_->Sync();
+    finished_txns_[tid] = true;
+    if (config_.two_layer()) table_.Touch(tid).status = TxnStatus::kFinished;
+  }
+  ++stats_.commits;
+}
+
+void TransactionManager::RollbackLocked(std::uint32_t tid,
+                                        std::uint64_t undo_horizon_lsn) {
+  // Collect this transaction's undoable UPDATE records newest-first.
+  std::vector<LogRecord*> updates;
+  if (config_.two_layer()) {
+    // Selective scan through the index (fast path; paper Section 4.4).
+    for (LogRecord* r = index_->ChainOf(tid); r != nullptr;
+         r = r->hint.chain.tx_prev) {
+      if (r->type == LogRecordType::kUpdate && r->undoable() &&
+          r->lsn < undo_horizon_lsn) {
+        updates.push_back(r);
+      }
+    }
+  } else {
+    // One-layer: a full backward scan over the log, skipping interleaved
+    // records of other transactions (the "skip records" cost).
+    log_->ForEachBackward([&](LogRecord* r) {
+      if (r->tid == tid && r->type == LogRecordType::kUpdate &&
+          r->undoable() && r->lsn < undo_horizon_lsn) {
+        updates.push_back(r);
+      }
+      return true;
+    });
+    std::sort(updates.begin(), updates.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->lsn > b->lsn;
+              });
+  }
+  for (LogRecord* r : updates) {
+    // CLR first (logging the undo), then the compensating write. The CLR's
+    // undo_next_lsn names the record it compensates: during recovery only
+    // records older than the newest CLR's target still need undoing.
+    LogRecord* clr =
+        MakeRecord(LogRecordType::kClr, tid, r->addr, r->new_value,
+                   r->old_value, r->lsn, 0);
+    AppendLocked(clr);
+    ApplyWriteLocked(reinterpret_cast<std::uint64_t*>(r->addr),
+                     r->old_value);
+  }
+  if (config_.force()) {
+    // The undos must be persistent before the rollback's END record is
+    // (paper Section 4.4); release any Batch-deferred writes first.
+    if (log_) log_->Sync();
+    nvm_->Fence();
+  }
+}
+
+void TransactionManager::Rollback(std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(latch_);
+  LogRecord* marker =
+      MakeRecord(LogRecordType::kRollback, tid, 0, 0, 0, 0, 0);
+  AppendLocked(marker);
+  if (config_.two_layer()) table_.Touch(tid).status = TxnStatus::kAborted;
+  RollbackLocked(tid, kUndoAll);
+  LogRecord* end = MakeRecord(LogRecordType::kEnd, tid, 0, 0, 0, 0, 0);
+  AppendLocked(end);
+  if (log_) log_->Sync();
+  if (config_.force()) {
+    ClearTransactionLocked(tid, /*committed=*/false);
+  } else {
+    finished_txns_[tid] = false;
+    if (config_.two_layer()) table_.Touch(tid).status = TxnStatus::kFinished;
+  }
+  ++stats_.rollbacks;
+}
+
+void TransactionManager::CommitNoClear(std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(latch_);
+  if (log_) log_->Sync();
+  nvm_->Fence();
+  LogRecord* end = MakeRecord(LogRecordType::kEnd, tid, 0, 0, 0, 0, 0);
+  AppendLocked(end);
+  if (log_) log_->Sync();
+  finished_txns_[tid] = true;
+  if (config_.two_layer()) table_.Touch(tid).status = TxnStatus::kFinished;
+  ++stats_.commits;
+}
+
+void TransactionManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(latch_);
+  CheckpointLocked();
+}
+
+std::size_t TransactionManager::LogSize() const {
+  std::lock_guard<std::mutex> lock(latch_);
+  if (config_.two_layer()) {
+    std::size_t n = 0;
+    index_->ForEachTxn([&](std::uint64_t, LogRecord* tail) {
+      for (LogRecord* r = tail; r != nullptr; r = r->hint.chain.tx_prev) ++n;
+      return true;
+    });
+    return n;
+  }
+  return log_->size();
+}
+
+void TransactionManager::ForgetVolatileState() {
+  std::lock_guard<std::mutex> lock(latch_);
+  table_.Clear();
+  pending_writes_.clear();
+  finished_txns_.clear();
+  next_lsn_ = 1;
+  next_tid_.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace rwd

@@ -1,0 +1,169 @@
+// The REWIND transaction recovery manager (paper Section 4).
+#ifndef REWIND_CORE_TRANSACTION_MANAGER_H_
+#define REWIND_CORE_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/transaction_table.h"
+#include "src/log/aavlt.h"
+#include "src/log/ilog.h"
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// Statistics exposed for tests and benches.
+struct TmStats {
+  std::uint64_t records_logged = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t recoveries = 0;
+};
+
+/// Write-ahead logging and ARIES-style recovery for persistent in-memory
+/// data structures.
+///
+/// The programmer-visible protocol matches the paper's Listing 2: `Begin()`
+/// hands out a transaction id; every critical update is preceded by `Log()`
+/// (or performed via `Write()`, which combines logging with the store and
+/// honours the force policy and the Batch log's write deferral); `Commit()`
+/// or `Rollback()` finish the transaction. De-allocation of persistent
+/// memory goes through `LogDelete()` so it can be deferred past commit.
+///
+/// Configurations (paper Section 2): {Simple, Optimized, Batch} log layout ×
+/// {one, two} logging layers × {force, no-force} policy.
+///
+/// Thread safety: all public methods are safe to call from multiple threads;
+/// the log is latched briefly per record (fine-grained) and coarsely during
+/// clearing, checkpoints and recovery (paper Section 4.7). Isolation between
+/// transactions on *user* data is the programmer's job, as in the paper.
+class TransactionManager {
+ public:
+  TransactionManager(NvmManager* nvm, const RewindConfig& config);
+  ~TransactionManager();
+
+  /// Starts a transaction; returns its id.
+  std::uint32_t Begin();
+
+  /// WAL call: records that `addr` is about to change from `old_value` to
+  /// `new_value`. The caller performs the store itself afterwards (paper
+  /// Listing 2 style). Under the Batch log prefer Write(), which also
+  /// sequences the store after the group flush.
+  void Log(std::uint32_t tid, std::uint64_t* addr, std::uint64_t old_value,
+           std::uint64_t new_value);
+
+  /// Logs and applies a critical update: cached store under no-force,
+  /// non-temporal store under force, deferred until the covering group flush
+  /// under the Batch log (the paper's compiler reordering of user writes
+  /// below the batched log calls, Section 3.3).
+  void Write(std::uint32_t tid, std::uint64_t* addr, std::uint64_t value);
+
+  /// Reads a persistent word with read-your-writes semantics under the
+  /// Batch log's deferral; a plain load otherwise.
+  std::uint64_t Read(const std::uint64_t* addr) const;
+
+  /// Logs a deferred de-allocation; the memory is freed after commit
+  /// (force) or at the covering checkpoint / recovery (no-force). If the
+  /// transaction rolls back the memory is kept alive.
+  void LogDelete(std::uint32_t tid, void* ptr);
+
+  /// Commits: force policy fences the user updates, writes END and clears
+  /// the transaction's records; no-force just writes END (clearing happens
+  /// at checkpoints).
+  void Commit(std::uint32_t tid);
+
+  /// Rolls the transaction back with CLRs, then writes END (paper 4.4).
+  void Rollback(std::uint32_t tid);
+
+  /// Bench/test hook: commits by writing END only, skipping the force
+  /// policy's commit-time clearing. Reproduces the paper's Fig. 4 (right)
+  /// scenario — a crash after transactions logged their END records but
+  /// before the log was cleared.
+  void CommitNoClear(std::uint32_t tid);
+
+  /// Cache-consistent checkpoint (no-force; paper Section 4.6): CHECKPOINT
+  /// record, full cache flush, then removal of finished transactions'
+  /// records with ENDs removed last. A no-op under force policy.
+  void Checkpoint();
+
+  /// Full restart recovery (paper Section 4.5): recover the log structure,
+  /// analysis, redo (no-force only), undo, END records, log clearing.
+  void Recover();
+
+  /// Number of live log records (1L) or indexed records (2L).
+  std::size_t LogSize() const;
+
+  const RewindConfig& config() const { return config_; }
+  NvmManager* nvm() { return nvm_; }
+  const TmStats& stats() const { return stats_; }
+  TransactionTable& txn_table() { return table_; }
+  ILog* log() { return log_.get(); }
+  Aavlt* index() { return index_.get(); }
+
+  /// Test hook: drops all volatile state, as a process restart would. The
+  /// persistent log structures are left as-is; call Recover() afterwards.
+  void ForgetVolatileState();
+
+ private:
+  struct PendingWrite {
+    std::uint64_t* addr;
+    std::uint64_t value;
+  };
+
+  // --- unlatched internals (callers hold log latch) ---
+  LogRecord* MakeRecord(LogRecordType type, std::uint32_t tid,
+                        std::uint64_t addr, std::uint64_t old_value,
+                        std::uint64_t new_value, std::uint64_t undo_next,
+                        std::uint16_t flags);
+  /// Appends to the 1L log or inserts into the 2L AAVLT.
+  void AppendLocked(LogRecord* rec);
+  /// Applies a user write honouring policy and Batch deferral.
+  void ApplyWriteLocked(std::uint64_t* addr, std::uint64_t value);
+  /// Releases writes held back by the Batch WAL deferral.
+  void FlushPendingWrites();
+  /// Removes and frees every record of `tid` (force-policy clearing):
+  /// full backward scan in 1L, AAVLT chain in 2L. END removed last.
+  void ClearTransactionLocked(std::uint32_t tid, bool committed);
+  /// Rolls back `tid` from `undo_horizon_lsn` downwards, writing CLRs.
+  /// Passing ~0 undoes everything.
+  void RollbackLocked(std::uint32_t tid, std::uint64_t undo_horizon_lsn);
+  /// Collects `tid`'s records, oldest first (helper for 2L paths).
+  std::vector<LogRecord*> ChainRecordsLocked(std::uint32_t tid) const;
+  void FreeRecordLocked(LogRecord* rec);
+
+  // --- recovery phases (recovery.cc) ---
+  void RecoverLogStructure();
+  void AnalysisPhase();
+  void RedoPhase();
+  void UndoPhase();
+  void ClearAllAfterRecovery();
+
+  // --- checkpoint internals (checkpoint.cc) ---
+  void CheckpointLocked();
+
+  NvmManager* nvm_;
+  RewindConfig config_;
+  std::unique_ptr<ILog> log_;     // 1L: the user log; 2L: unused
+  std::unique_ptr<Aavlt> index_;  // 2L only
+  TransactionTable table_;        // live in 2L; recovery-built in 1L
+  mutable std::mutex latch_;      // serializes log access
+
+  std::atomic<std::uint32_t> next_tid_{1};
+  std::uint64_t next_lsn_ = 1;  // under latch_
+
+  std::vector<PendingWrite> pending_writes_;  // Batch deferral
+  /// Finished but not yet cleared transactions -> true iff committed
+  /// (rolled-back transactions must keep their DELETE targets alive).
+  std::unordered_map<std::uint32_t, bool> finished_txns_;
+  TmStats stats_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_CORE_TRANSACTION_MANAGER_H_

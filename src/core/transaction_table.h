@@ -1,0 +1,53 @@
+// The transaction table (paper Section 4.1).
+#ifndef REWIND_CORE_TRANSACTION_TABLE_H_
+#define REWIND_CORE_TRANSACTION_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace rwd {
+
+/// Status of a transaction as tracked by the table.
+enum class TxnStatus : std::uint8_t {
+  kRunning,   ///< Active (or a loser found during analysis).
+  kAborted,   ///< Rollback in progress (a ROLLBACK record exists).
+  kFinished,  ///< END record written (committed or fully rolled back).
+};
+
+/// Volatile transaction table. Constructed during recovery in every
+/// configuration; additionally maintained during normal processing in the
+/// two-layer configuration (paper Section 4.1). There is no dirty-page
+/// table: NVM is byte-addressable.
+class TransactionTable {
+ public:
+  struct Entry {
+    TxnStatus status = TxnStatus::kRunning;
+    std::uint64_t last_lsn = 0;       ///< Newest record of the transaction.
+    std::uint64_t undo_next_lsn = 0;  ///< Next record to undo (2L rollback).
+  };
+
+  Entry& Touch(std::uint32_t tid) { return map_[tid]; }
+  Entry* Find(std::uint32_t tid) {
+    auto it = map_.find(tid);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  const Entry* Find(std::uint32_t tid) const {
+    auto it = map_.find(tid);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  void Erase(std::uint32_t tid) { map_.erase(tid); }
+  void Clear() { map_.clear(); }
+  std::size_t size() const { return map_.size(); }
+
+  void ForEach(const std::function<void(std::uint32_t, Entry&)>& fn) {
+    for (auto& [tid, entry] : map_) fn(tid, entry);
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, Entry> map_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_CORE_TRANSACTION_TABLE_H_

@@ -1,0 +1,323 @@
+#include "src/log/aavlt.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rwd {
+
+Aavlt::Aavlt(NvmManager* nvm, std::size_t internal_bucket_capacity)
+    : nvm_(nvm),
+      ilog_(nvm, internal_bucket_capacity, /*group_size=*/0),
+      root_slot_(static_cast<AavltNode**>(nvm->Alloc(sizeof(AavltNode*)))) {}
+
+Aavlt::~Aavlt() {
+  Clear();
+  nvm_->Free(root_slot_);
+}
+
+void Aavlt::LoggedStoreWord(void* addr, std::uint64_t value) {
+  auto* word = static_cast<std::uint64_t*>(addr);
+  std::uint64_t old = *word;
+  if (old == value) return;
+  // WAL for the tree's own state: record first (persist + fence), then the
+  // non-temporal store of the new value.
+  LogRecord local{};
+  local.lsn = ++ilsn_;
+  local.tid = 0;
+  local.type = LogRecordType::kUpdate;
+  local.flags = LogRecord::kFlagUndoable;
+  local.addr = reinterpret_cast<std::uint64_t>(addr);
+  local.old_value = old;
+  local.new_value = value;
+  auto* rec = static_cast<LogRecord*>(nvm_->Alloc(sizeof(LogRecord)));
+  nvm_->StoreNTObject(rec, local);
+  nvm_->Fence();
+  ilog_.Append(rec);
+  nvm_->StoreNT(word, value);
+}
+
+AavltNode* Aavlt::NewNode(std::uint64_t key, LogRecord* first) {
+  // The node is unreachable until its parent link is (logged and) written,
+  // so its initialization needs no undo information.
+  auto* n = static_cast<AavltNode*>(nvm_->Alloc(sizeof(AavltNode)));
+  AavltNode init;
+  init.key = key;
+  init.left = nullptr;
+  init.right = nullptr;
+  init.height = 1;
+  init.recs_tail = first;
+  nvm_->StoreNTObject(n, init);
+  return n;
+}
+
+void Aavlt::LinkRecord(AavltNode* node, LogRecord* rec) {
+  // The record is unreachable from the tree until recs_tail points at it, so
+  // its chain pointer is written "off-line" without logging.
+  nvm_->StoreNT(&rec->hint.chain.tx_prev, node->recs_tail);
+  nvm_->Fence();
+  LoggedStorePtr(&node->recs_tail, rec);
+}
+
+void Aavlt::UpdateHeight(AavltNode* t) {
+  std::int64_t h = 1 + std::max(HeightOf(t->left), HeightOf(t->right));
+  if (h != t->height) {
+    LoggedStoreWord(&t->height, static_cast<std::uint64_t>(h));
+  }
+}
+
+AavltNode* Aavlt::RotateRight(AavltNode* y) {
+  AavltNode* x = y->left;
+  AavltNode* t2 = x->right;
+  LoggedStorePtr(&x->right, y);
+  LoggedStorePtr(&y->left, t2);
+  UpdateHeight(y);
+  UpdateHeight(x);
+  return x;
+}
+
+AavltNode* Aavlt::RotateLeft(AavltNode* y) {
+  AavltNode* x = y->right;
+  AavltNode* t2 = x->left;
+  LoggedStorePtr(&x->left, y);
+  LoggedStorePtr(&y->right, t2);
+  UpdateHeight(y);
+  UpdateHeight(x);
+  return x;
+}
+
+AavltNode* Aavlt::Rebalance(AavltNode* t) {
+  UpdateHeight(t);
+  std::int64_t balance = HeightOf(t->left) - HeightOf(t->right);
+  if (balance > 1) {
+    if (HeightOf(t->left->left) < HeightOf(t->left->right)) {
+      LoggedStorePtr(&t->left, RotateLeft(t->left));
+    }
+    return RotateRight(t);
+  }
+  if (balance < -1) {
+    if (HeightOf(t->right->right) < HeightOf(t->right->left)) {
+      LoggedStorePtr(&t->right, RotateRight(t->right));
+    }
+    return RotateLeft(t);
+  }
+  return t;
+}
+
+AavltNode* Aavlt::InsertRec(AavltNode* t, std::uint64_t key, LogRecord* rec) {
+  if (t == nullptr) {
+    nvm_->StoreNT(&rec->hint.chain.tx_prev, static_cast<LogRecord*>(nullptr));
+    AavltNode* n = NewNode(key, rec);
+    nvm_->Fence();
+    ++txn_count_;
+    return n;
+  }
+  if (key == t->key) {
+    LinkRecord(t, rec);
+    return t;
+  }
+  if (key < t->key) {
+    AavltNode* c = InsertRec(t->left, key, rec);
+    if (c != t->left) LoggedStorePtr(&t->left, c);
+  } else {
+    AavltNode* c = InsertRec(t->right, key, rec);
+    if (c != t->right) LoggedStorePtr(&t->right, c);
+  }
+  return Rebalance(t);
+}
+
+void Aavlt::Insert(LogRecord* rec) {
+  assert(ilog_.size() == 0 && "previous AAVLT operation not completed");
+  AavltNode* new_root = InsertRec(root(), rec->tid, rec);
+  if (new_root != root()) LoggedStorePtr(root_slot_, new_root);
+  EndOp();
+}
+
+AavltNode* Aavlt::RemoveRec(AavltNode* t, std::uint64_t key) {
+  if (t == nullptr) return nullptr;
+  if (key < t->key) {
+    AavltNode* c = RemoveRec(t->left, key);
+    if (c != t->left) LoggedStorePtr(&t->left, c);
+  } else if (key > t->key) {
+    AavltNode* c = RemoveRec(t->right, key);
+    if (c != t->right) LoggedStorePtr(&t->right, c);
+  } else {
+    if (t->left == nullptr || t->right == nullptr) {
+      AavltNode* child = t->left != nullptr ? t->left : t->right;
+      // De-allocation deferred until the operation completes.
+      defer_free_.push_back(t);
+      return child;
+    }
+    // Two children: move the in-order successor's payload here, then remove
+    // the successor node from the right subtree.
+    AavltNode* s = t->right;
+    while (s->left != nullptr) s = s->left;
+    LoggedStoreWord(&t->key, s->key);
+    LoggedStorePtr(&t->recs_tail, s->recs_tail);
+    AavltNode* c = RemoveRec(t->right, s->key);
+    if (c != t->right) LoggedStorePtr(&t->right, c);
+  }
+  return Rebalance(t);
+}
+
+void Aavlt::RemoveTxn(std::uint32_t tid) {
+  assert(ilog_.size() == 0 && "previous AAVLT operation not completed");
+  bool present = false;
+  for (AavltNode* t = root(); t != nullptr;) {
+    if (tid == t->key) {
+      present = true;
+      break;
+    }
+    t = tid < t->key ? t->left : t->right;
+  }
+  if (!present) return;
+  AavltNode* before = root();
+  AavltNode* new_root = RemoveRec(before, tid);
+  if (new_root != before) LoggedStorePtr(root_slot_, new_root);
+  --txn_count_;
+  EndOp();
+}
+
+LogRecord* Aavlt::ChainOf(std::uint32_t tid) const {
+  AavltNode* t = root();
+  while (t != nullptr) {
+    if (tid == t->key) return t->recs_tail;
+    t = tid < t->key ? t->left : t->right;
+  }
+  return nullptr;
+}
+
+void Aavlt::EndOp() {
+  // The operation is complete. Commit it with an internal END record, then
+  // clear the internal log with the END removed *last* (force-policy
+  // clearing, paper Sections 3.4/4.6): a crash during clearing must not be
+  // mistaken for a crash during the operation, or recovery would undo a
+  // committed operation's remaining records.
+  if (ilog_.size() != 0) {
+    LogRecord local{};
+    local.lsn = ++ilsn_;
+    local.type = LogRecordType::kEnd;
+    auto* end = static_cast<LogRecord*>(nvm_->Alloc(sizeof(LogRecord)));
+    nvm_->StoreNTObject(end, local);
+    nvm_->Fence();
+    ilog_.Append(end);
+    std::vector<LogRecord*> recs;
+    recs.reserve(ilog_.size());
+    ilog_.ForEach([&](LogRecord* r) {
+      if (r != end) recs.push_back(r);
+      return true;
+    });
+    for (LogRecord* r : recs) ilog_.Remove(r);
+    ilog_.Remove(end);
+    for (LogRecord* r : recs) nvm_->Free(r);
+    nvm_->Free(end);
+    ilog_.ReclaimBuckets();
+  }
+  for (AavltNode* n : defer_free_) nvm_->Free(n);
+  defer_free_.clear();
+}
+
+void Aavlt::Recover() {
+  ilog_.Recover();
+  if (ilog_.size() != 0) {
+    std::vector<LogRecord*> recs;  // newest first
+    LogRecord* end = nullptr;
+    ilog_.ForEach([&](LogRecord* r) {
+      if (r->type == LogRecordType::kEnd) {
+        end = r;
+      } else {
+        recs.push_back(r);
+      }
+      return true;
+    });
+    std::sort(recs.begin(), recs.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->lsn > b->lsn;
+              });
+    if (end == nullptr) {
+      // The crash interrupted the operation itself: undo, newest write
+      // first. This is pure physical undo and idempotent, so a crash during
+      // recovery simply restarts it (paper Section 3.4 / 4.5).
+      for (LogRecord* r : recs) {
+        nvm_->StoreNT(reinterpret_cast<std::uint64_t*>(r->addr),
+                      r->old_value);
+      }
+      nvm_->Fence();
+    }
+    // Else: the END record shows the operation committed and the crash hit
+    // the clearing phase — just finish clearing, END last. Removal proceeds
+    // newest first so that a second crash leaves an oldest-prefix whose
+    // re-undo is still idempotent.
+    for (LogRecord* r : recs) ilog_.Remove(r);
+    if (end != nullptr) ilog_.Remove(end);
+    for (LogRecord* r : recs) nvm_->Free(r);
+    if (end != nullptr) nvm_->Free(end);
+    ilog_.ReclaimBuckets();
+  }
+  ilsn_ = 0;
+  defer_free_.clear();
+  // Rebuild the volatile transaction count.
+  txn_count_ = 0;
+  ForEachTxn([&](std::uint64_t, LogRecord*) {
+    ++txn_count_;
+    return true;
+  });
+}
+
+void Aavlt::Clear() {
+  // Post-order free of all nodes; the root slot is reset first so a crash
+  // leaves an empty, consistent tree (leaked nodes at worst).
+  std::vector<AavltNode*> stack;
+  if (root() != nullptr) stack.push_back(root());
+  nvm_->StoreNT(root_slot_, static_cast<AavltNode*>(nullptr));
+  nvm_->Fence();
+  while (!stack.empty()) {
+    AavltNode* n = stack.back();
+    stack.pop_back();
+    if (n->left != nullptr) stack.push_back(n->left);
+    if (n->right != nullptr) stack.push_back(n->right);
+    nvm_->Free(n);
+  }
+  txn_count_ = 0;
+}
+
+namespace {
+bool ForEachTxnRec(const AavltNode* t,
+                   const std::function<bool(std::uint64_t, LogRecord*)>& fn) {
+  if (t == nullptr) return true;
+  if (!ForEachTxnRec(t->left, fn)) return false;
+  if (!fn(t->key, t->recs_tail)) return false;
+  return ForEachTxnRec(t->right, fn);
+}
+
+// Validates BST ordering within (lo, hi), exact heights, and AVL balance.
+bool CheckRec(const AavltNode* t, const std::uint64_t* lo,
+              const std::uint64_t* hi, std::int64_t* height) {
+  if (t == nullptr) {
+    *height = 0;
+    return true;
+  }
+  if (lo != nullptr && t->key <= *lo) return false;
+  if (hi != nullptr && t->key >= *hi) return false;
+  std::int64_t hl = 0, hr = 0;
+  if (!CheckRec(t->left, lo, &t->key, &hl)) return false;
+  if (!CheckRec(t->right, &t->key, hi, &hr)) return false;
+  if (t->height != 1 + std::max(hl, hr)) return false;
+  if (hl - hr > 1 || hr - hl > 1) return false;
+  *height = t->height;
+  return true;
+}
+}  // namespace
+
+void Aavlt::ForEachTxn(
+    const std::function<bool(std::uint64_t, LogRecord*)>& fn) const {
+  ForEachTxnRec(root(), fn);
+}
+
+std::int64_t Aavlt::HeightOf() const { return HeightOf(root()); }
+
+bool Aavlt::CheckInvariants() const {
+  std::int64_t h = 0;
+  return CheckRec(root(), nullptr, nullptr, &h);
+}
+
+}  // namespace rwd

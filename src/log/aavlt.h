@@ -1,0 +1,105 @@
+// The Atomic AVL Tree (paper Section 3.4): the upper layer of two-layer
+// logging. Indexes user log records by transaction id and recovers itself by
+// logging its own structural writes to a private optimized bucket log.
+#ifndef REWIND_LOG_AAVLT_H_
+#define REWIND_LOG_AAVLT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/log/bucket_log.h"
+#include "src/log/log_record.h"
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// An AVL tree node in NVM. All fields are word-sized so every mutation is a
+/// single loggable non-temporal store. `recs_tail` heads a backward chain of
+/// the transaction's log records linked through LogRecord::hint.chain.tx_prev
+/// (that hint field is *persistent* state in the two-layer configuration).
+struct AavltNode {
+  std::uint64_t key = 0;  ///< Transaction id.
+  AavltNode* left = nullptr;
+  AavltNode* right = nullptr;
+  std::int64_t height = 1;
+  LogRecord* recs_tail = nullptr;  ///< Newest record of this transaction.
+};
+
+/// Recoverable AVL index over log records.
+///
+/// Each public mutation (Insert, RemoveTxn) forms one internal transaction:
+/// every state-affecting word write is WAL-logged to the private bucket log
+/// and applied with a non-temporal store; node de-allocation is deferred
+/// until the operation completes (paper Section 3.4). Because only the last
+/// operation can ever be pending, recovery is a single backward undo pass
+/// over the internal log — which is idempotent, so repeated crashes during
+/// recovery are safe.
+///
+/// Callers serialize operations (the transaction manager's latch).
+class Aavlt {
+ public:
+  Aavlt(NvmManager* nvm, std::size_t internal_bucket_capacity = 256);
+  ~Aavlt();
+
+  /// Indexes `rec` under its transaction id, creating the node on first use
+  /// and rebalancing as needed. Atomic and recoverable.
+  void Insert(LogRecord* rec);
+
+  /// Removes the transaction's node (log clearing for one transaction).
+  /// The chained records are the caller's to free — collect them with
+  /// ChainOf() *before* calling this. Atomic and recoverable. No-op when the
+  /// transaction is absent.
+  void RemoveTxn(std::uint32_t tid);
+
+  /// Newest record of `tid`, or null. Follow hint.chain.tx_prev backwards.
+  LogRecord* ChainOf(std::uint32_t tid) const;
+
+  /// Undoes any half-finished operation after a crash. Idempotent.
+  void Recover();
+
+  /// Frees every tree node (not the records). Used for wholesale clearing.
+  void Clear();
+
+  /// In-order visit of (tid, newest record) pairs. `fn` must not mutate the
+  /// tree. Stops early when `fn` returns false.
+  void ForEachTxn(
+      const std::function<bool(std::uint64_t, LogRecord*)>& fn) const;
+
+  std::size_t txn_count() const { return txn_count_; }
+  /// Height of the tree (0 when empty); exposed for invariant tests.
+  std::int64_t HeightOf() const;
+  /// Validates AVL balance + BST order; aborts the test via return value.
+  bool CheckInvariants() const;
+
+ private:
+  AavltNode* root() const { return *root_slot_; }
+  AavltNode* NewNode(std::uint64_t key, LogRecord* first);
+  void LinkRecord(AavltNode* node, LogRecord* rec);
+  void LoggedStoreWord(void* addr, std::uint64_t value);
+  template <typename T>
+  void LoggedStorePtr(T** addr, T* value) {
+    LoggedStoreWord(addr, reinterpret_cast<std::uint64_t>(value));
+  }
+  void UpdateHeight(AavltNode* t);
+  static std::int64_t HeightOf(const AavltNode* t) {
+    return t == nullptr ? 0 : t->height;
+  }
+  AavltNode* Rebalance(AavltNode* t);
+  AavltNode* RotateLeft(AavltNode* y);
+  AavltNode* RotateRight(AavltNode* y);
+  AavltNode* InsertRec(AavltNode* t, std::uint64_t key, LogRecord* rec);
+  AavltNode* RemoveRec(AavltNode* t, std::uint64_t key);
+  void EndOp();
+
+  NvmManager* nvm_;
+  BucketLog ilog_;          // internal WAL (Optimized configuration)
+  AavltNode** root_slot_;   // in NVM
+  std::uint64_t ilsn_ = 0;  // internal record sequence (volatile)
+  std::size_t txn_count_ = 0;
+  std::vector<AavltNode*> defer_free_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_LOG_AAVLT_H_

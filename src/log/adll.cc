@@ -1,0 +1,108 @@
+#include "src/log/adll.h"
+
+namespace rwd {
+
+AdllNode* Adll::Append(void* element) {
+  // Set up the new node "off-line": it is not reachable from the list yet,
+  // so these writes need no undo information.
+  auto* n = static_cast<AdllNode*>(nvm_->Alloc(sizeof(AdllNode)));
+  AdllNode init;
+  init.next = nullptr;
+  init.prior = c_->tail;
+  init.element = element;
+  nvm_->StoreNTObject(n, init);
+  nvm_->Fence();
+
+  // Undo information. last_tail must persist before to_append: to_append is
+  // the critical update that commits us to redoing the append, and the redo
+  // uses last_tail (Algorithm 1, lines 4-5).
+  nvm_->StoreNT(&c_->last_tail, c_->tail);
+  nvm_->StoreNT(&c_->to_append, n);
+  nvm_->Fence();
+
+  // Splice in. Each step is individually idempotent so RecoverAppend() can
+  // repeat them.
+  if (c_->head == nullptr) nvm_->StoreNT(&c_->head, n);
+  if (c_->tail != nullptr) nvm_->StoreNT(&c_->tail->next, n);
+  nvm_->StoreNT(&c_->tail, n);
+
+  // Append finished; clear the undo information.
+  nvm_->StoreNT(&c_->to_append, static_cast<AdllNode*>(nullptr));
+  return n;
+}
+
+void Adll::RecoverAppend() {
+  AdllNode* n = c_->to_append;
+  if (c_->head == nullptr) nvm_->StoreNT(&c_->head, n);
+  // Use last_tail, not tail: tail may already have advanced to n, and a
+  // second crash during this recovery must still find the true predecessor.
+  if (c_->last_tail != nullptr) nvm_->StoreNT(&c_->last_tail->next, n);
+  nvm_->StoreNT(&c_->tail, n);
+  nvm_->StoreNT(&c_->to_append, static_cast<AdllNode*>(nullptr));
+  nvm_->Fence();
+}
+
+void Adll::Remove(AdllNode* node) {
+  // Critical update: committing to the removal.
+  nvm_->StoreNT(&c_->to_remove, node);
+  nvm_->Fence();
+
+  // The removal code never modifies `node` itself, so every step can be
+  // safely re-executed during recovery.
+  if (c_->head == node) nvm_->StoreNT(&c_->head, node->next);
+  if (c_->tail == node) nvm_->StoreNT(&c_->tail, node->prior);
+  if (node->prior != nullptr) nvm_->StoreNT(&node->prior->next, node->next);
+  if (node->next != nullptr) nvm_->StoreNT(&node->next->prior, node->prior);
+
+  nvm_->StoreNT(&c_->to_remove, static_cast<AdllNode*>(nullptr));
+  // De-allocation of `node` is the caller's job, after this returns.
+}
+
+void Adll::RecoverRemove() {
+  AdllNode* node = c_->to_remove;
+  if (c_->head == node) nvm_->StoreNT(&c_->head, node->next);
+  if (c_->tail == node) nvm_->StoreNT(&c_->tail, node->prior);
+  if (node->prior != nullptr) nvm_->StoreNT(&node->prior->next, node->next);
+  if (node->next != nullptr) nvm_->StoreNT(&node->next->prior, node->prior);
+  nvm_->StoreNT(&c_->to_remove, static_cast<AdllNode*>(nullptr));
+  nvm_->Fence();
+}
+
+void Adll::Recover() {
+  if (c_->to_append != nullptr) RecoverAppend();
+  if (c_->to_remove != nullptr) RecoverRemove();
+  // Normalize a crash in the middle of Clear(): head is reset first there,
+  // so an empty head with a stale tail means the clear must be completed.
+  if (c_->head == nullptr && c_->tail != nullptr) {
+    nvm_->StoreNT(&c_->tail, static_cast<AdllNode*>(nullptr));
+  }
+  if (c_->head == nullptr) {
+    nvm_->StoreNT(&c_->last_tail, static_cast<AdllNode*>(nullptr));
+  }
+  nvm_->Fence();
+}
+
+void Adll::Clear() {
+  AdllNode* first = c_->head;
+  // Detach the whole chain atomically-enough: once head is null the list is
+  // empty for every observer and for recovery; a crash below leaks nodes at
+  // worst (paper Section 4.5 clears the log the same way: keep a temporary
+  // pointer, swap in a fresh log, then de-allocate the old one).
+  nvm_->StoreNT(&c_->head, static_cast<AdllNode*>(nullptr));
+  nvm_->StoreNT(&c_->tail, static_cast<AdllNode*>(nullptr));
+  nvm_->StoreNT(&c_->last_tail, static_cast<AdllNode*>(nullptr));
+  nvm_->Fence();
+  while (first != nullptr) {
+    AdllNode* next = first->next;
+    nvm_->Free(first);
+    first = next;
+  }
+}
+
+std::size_t Adll::CountNodes() const {
+  std::size_t n = 0;
+  for (AdllNode* p = c_->head; p != nullptr; p = p->next) ++n;
+  return n;
+}
+
+}  // namespace rwd

@@ -1,0 +1,85 @@
+// The Atomic Doubly-Linked List (paper Section 3.2, Algorithm 1): the
+// keystone recoverable structure from which every REWIND log is built.
+#ifndef REWIND_LOG_ADLL_H_
+#define REWIND_LOG_ADLL_H_
+
+#include <cstddef>
+
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// A node of the ADLL. `element` points at the payload (a LogRecord for the
+/// Simple log, a Bucket for the hybrid logs). Nodes live in NVM.
+struct AdllNode {
+  AdllNode* next = nullptr;
+  AdllNode* prior = nullptr;
+  void* element = nullptr;
+};
+
+/// A doubly-linked list whose append and remove operations are atomic with
+/// respect to crashes and recoverable by redoing only the last pending
+/// operation (paper Section 3.2).
+///
+/// Recovery relies on three single-word logging variables that are updated
+/// with atomic non-temporal stores:
+///   - `last_tail`: the tail before the pending append (so that recovery of
+///     the append is itself re-executable);
+///   - `to_append`: non-null iff an append is pending;
+///   - `to_remove`: non-null iff a removal is pending.
+///
+/// All state updates use non-temporal stores so they are persistent in
+/// program order; `Recover()` may run any number of times (including being
+/// interrupted by further crashes) and always leaves the list consistent.
+///
+/// Thread safety is the caller's job: the owning log serializes structural
+/// operations with its latch (paper Section 4.7).
+class Adll {
+ public:
+  /// Persistent control block. Allocate in NVM and pass to the constructor;
+  /// zero-initialized memory is a valid empty list.
+  struct Control {
+    AdllNode* head = nullptr;
+    AdllNode* tail = nullptr;
+    AdllNode* last_tail = nullptr;
+    AdllNode* to_append = nullptr;
+    AdllNode* to_remove = nullptr;
+  };
+
+  Adll(NvmManager* nvm, Control* control) : nvm_(nvm), c_(control) {}
+
+  /// Appends a new node carrying `element`; returns the node. Atomic and
+  /// recoverable per Algorithm 1.
+  AdllNode* Append(void* element);
+
+  /// Unlinks `node` from the list. Atomic and recoverable. The node's memory
+  /// is *not* freed (callers defer de-allocation until after the operation
+  /// completes, as the paper requires).
+  void Remove(AdllNode* node);
+
+  /// Completes any pending append/removal after a crash. Idempotent.
+  void Recover();
+
+  /// Unlinks every node and frees node memory. Performed as the paper's
+  /// wholesale log clearing: the head pointer is reset first so that a crash
+  /// mid-clear leaves an empty (recoverable) list and at worst leaks nodes.
+  void Clear();
+
+  AdllNode* head() const { return c_->head; }
+  AdllNode* tail() const { return c_->tail; }
+  bool empty() const { return c_->head == nullptr; }
+
+  /// Walks the list counting nodes (volatile convenience).
+  std::size_t CountNodes() const;
+
+ private:
+  void RecoverAppend();
+  void RecoverRemove();
+
+  NvmManager* nvm_;
+  Control* c_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_LOG_ADLL_H_

@@ -1,0 +1,13 @@
+#include "src/log/batch_log.h"
+
+#include <cassert>
+
+namespace rwd {
+
+BatchLog::BatchLog(NvmManager* nvm, std::size_t bucket_capacity,
+                   std::size_t group_size)
+    : BucketLog(nvm, bucket_capacity, group_size) {
+  assert(group_size >= 1);
+}
+
+}  // namespace rwd

@@ -1,0 +1,24 @@
+// "Batch" log: the hybrid bucketed log with grouped persistence
+// (paper Section 3.3, "Multiple log records per cacheline").
+#ifndef REWIND_LOG_BATCH_LOG_H_
+#define REWIND_LOG_BATCH_LOG_H_
+
+#include "src/log/bucket_log.h"
+
+namespace rwd {
+
+/// The Batch configuration: with 64-byte cachelines and 8-byte pointers the
+/// default group of 8 records costs a single fence and a single
+/// non-temporal persisted-index store (paper Section 3.3). The group size is
+/// the tuning knob for fence-latency sensitivity (Figure 10).
+class BatchLog : public BucketLog {
+ public:
+  static constexpr std::size_t kDefaultGroupSize = 8;
+
+  BatchLog(NvmManager* nvm, std::size_t bucket_capacity,
+           std::size_t group_size = kDefaultGroupSize);
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_LOG_BATCH_LOG_H_

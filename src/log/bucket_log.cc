@@ -1,0 +1,229 @@
+#include "src/log/bucket_log.h"
+
+#include <cassert>
+
+namespace rwd {
+
+BucketLog::BucketLog(NvmManager* nvm, std::size_t bucket_capacity,
+                     std::size_t group_size)
+    : nvm_(nvm),
+      control_(static_cast<Adll::Control*>(nvm->Alloc(sizeof(Adll::Control)))),
+      list_(nvm, control_),
+      bucket_capacity_(bucket_capacity),
+      group_size_(group_size) {
+  assert(bucket_capacity_ >= 2);
+}
+
+BucketLog::~BucketLog() {
+  Clear();
+  ReclaimBuckets();
+  nvm_->Free(control_);
+}
+
+void BucketLog::AddBucket() {
+  // A tail bucket whose records were all cleared stays in place (Remove()
+  // never drops the tail); retire it now that it is being superseded.
+  if (tail_node_ != nullptr && TailBucket()->live_count == 0) {
+    AdllNode* old = tail_node_;
+    Bucket* ob = TailBucket();
+    list_.Remove(old);
+    reclaimable_.push_back(old);
+    reclaimable_.push_back(ob);
+  }
+  auto* b = static_cast<Bucket*>(nvm_->Alloc(Bucket::AllocBytes(
+      bucket_capacity_)));
+  b->capacity = bucket_capacity_;
+  b->persisted_upto = batch() ? 0 : static_cast<std::uint32_t>(
+                                        bucket_capacity_);
+  b->live_count = 0;
+  // The zeroed slot array must be persistently zero: recovery distinguishes
+  // never-used (null) from cleared (tombstone) slots.
+  nvm_->PersistRangeNT(b, Bucket::AllocBytes(bucket_capacity_));
+  nvm_->Fence();
+  tail_node_ = list_.Append(b);  // atomic log expansion
+  next_pos_ = 0;
+  group_start_ = 0;
+}
+
+void BucketLog::Append(LogRecord* rec) {
+  if (tail_node_ == nullptr || next_pos_ >= bucket_capacity_) {
+    if (batch()) FlushGroup();  // persist the group under the old indices
+    AddBucket();
+  }
+  Bucket* b = TailBucket();
+  rec->hint.where.node = tail_node_;
+  rec->hint.where.slot = next_pos_;
+  LogRecord** slot = &b->slots[next_pos_];
+  if (batch()) {
+    // Cached stores; persistence deferred to the group flush.
+    nvm_->Store(slot, rec);
+    pending_.push_back(rec);
+  } else {
+    // Optimized: the record is already persistent (the transaction manager
+    // persisted and fenced it); membership becomes persistent with exactly
+    // one non-temporal store.
+    nvm_->StoreNT(slot, rec);
+  }
+  ++next_pos_;
+  ++b->live_count;
+  ++size_;
+  if (batch() &&
+      (pending_.size() >= group_size_ || rec->type == LogRecordType::kEnd ||
+       rec->type == LogRecordType::kCheckpoint ||
+       next_pos_ >= bucket_capacity_)) {
+    FlushGroup();
+  }
+}
+
+void BucketLog::FlushGroup() {
+  if (!batch()) return;
+  if (tail_node_ == nullptr || group_start_ == next_pos_) {
+    // No records pending — everything appended so far is persistent — but
+    // the transaction manager may still hold user writes whose covering
+    // flush was triggered by the very record that logged them. Release
+    // them now; the callback is idempotent.
+    if (group_flush_cb_) group_flush_cb_();
+    return;
+  }
+  Bucket* b = TailBucket();
+  // Persist the records themselves, then the slot pointers, then publish the
+  // new horizon with a single fence + single non-temporal store (paper
+  // Section 3.3: one fence and one NT store per group).
+  for (LogRecord* rec : pending_) nvm_->FlushRange(rec, sizeof(LogRecord));
+  nvm_->FlushRange(&b->slots[group_start_],
+                   (next_pos_ - group_start_) * sizeof(LogRecord*));
+  nvm_->Fence();
+  nvm_->StoreNT(&b->persisted_upto, next_pos_);
+  group_start_ = next_pos_;
+  pending_.clear();
+  if (group_flush_cb_) group_flush_cb_();
+}
+
+void BucketLog::Remove(LogRecord* rec) {
+  auto* node = static_cast<AdllNode*>(rec->hint.where.node);
+  auto* b = static_cast<Bucket*>(node->element);
+  std::uint32_t slot = rec->hint.where.slot;
+  assert(b->slots[slot] == rec);
+  // A single atomic tombstone store; counts are reconstructed after a crash
+  // from the tombstones themselves (paper Section 3.3, "Clearing the log").
+  nvm_->StoreNT(&b->slots[slot], Bucket::Tombstone());
+  --b->live_count;
+  --size_;
+  if (b->live_count == 0 && node != tail_node_) {
+    list_.Remove(node);
+    // Keep the memory readable for iterators in flight; reclaimed later.
+    reclaimable_.push_back(node);
+    reclaimable_.push_back(b);
+  }
+}
+
+void BucketLog::ReclaimBuckets() {
+  for (void* p : reclaimable_) nvm_->Free(p);
+  reclaimable_.clear();
+}
+
+std::uint32_t BucketLog::IterEnd(const AdllNode* node, const Bucket* b) const {
+  // Iteration sees every appended record, including the Batch log's open
+  // (not yet persisted) group: a live rollback must undo unflushed updates
+  // too. The persisted_upto horizon matters only during Recover(), which
+  // resets next_pos_ to it and scrubs everything beyond.
+  if (node == tail_node_) return next_pos_;
+  return static_cast<std::uint32_t>(b->capacity);
+}
+
+void BucketLog::Recover() {
+  list_.Recover();
+  pending_.clear();
+  size_ = 0;
+  tail_node_ = list_.tail();
+  for (AdllNode* n = list_.head(); n != nullptr; n = n->next) {
+    auto* b = static_cast<Bucket*>(n->element);
+    // Trust horizon: the Batch variant only believes slots below the
+    // persisted index; the Optimized variant NT-stored every slot, so the
+    // first null marks the insertion frontier.
+    auto trusted = batch() ? b->persisted_upto
+                           : static_cast<std::uint32_t>(b->capacity);
+    std::uint32_t live = 0;
+    std::uint32_t frontier = trusted;
+    for (std::uint32_t i = 0; i < trusted; ++i) {
+      LogRecord* r = b->slots[i];
+      if (r == nullptr) {
+        frontier = i;  // never-used cells start here (last bucket only)
+        break;
+      }
+      if (r == Bucket::Tombstone()) continue;
+      r->hint.where.node = n;
+      r->hint.where.slot = i;
+      ++live;
+    }
+    b->live_count = live;
+    size_ += live;
+    if (n == tail_node_) {
+      next_pos_ = batch() ? b->persisted_upto : frontier;
+      group_start_ = next_pos_;
+      if (batch()) {
+        // Anything beyond the horizon is untrusted debris (cachelines that
+        // happened to be evicted before the crash). Scrub it so recovery
+        // semantics do not depend on eviction luck.
+        for (std::uint32_t i = next_pos_; i < b->capacity; ++i) {
+          if (b->slots[i] != nullptr) {
+            nvm_->StoreNT(&b->slots[i], static_cast<LogRecord*>(nullptr));
+          }
+        }
+      }
+    }
+  }
+  if (tail_node_ == nullptr) {
+    next_pos_ = 0;
+    group_start_ = 0;
+  }
+}
+
+void BucketLog::Clear() {
+  // Wholesale clearing (paper Section 4.5): detach and free every bucket.
+  std::vector<void*> buckets;
+  for (AdllNode* n = list_.head(); n != nullptr; n = n->next) {
+    buckets.push_back(n->element);
+  }
+  list_.Clear();
+  for (void* b : buckets) nvm_->Free(b);
+  tail_node_ = nullptr;
+  next_pos_ = 0;
+  group_start_ = 0;
+  size_ = 0;
+  pending_.clear();
+}
+
+void BucketLog::ForEach(const std::function<bool(LogRecord*)>& fn) const {
+  for (AdllNode* n = list_.head(); n != nullptr;) {
+    AdllNode* next = n->next;
+    auto* b = static_cast<Bucket*>(n->element);
+    std::uint32_t end = IterEnd(n, b);
+    for (std::uint32_t i = 0; i < end; ++i) {
+      LogRecord* r = b->slots[i];
+      if (r == nullptr) break;
+      if (r == Bucket::Tombstone()) continue;
+      if (!fn(r)) return;
+    }
+    n = next;
+  }
+}
+
+void BucketLog::ForEachBackward(
+    const std::function<bool(LogRecord*)>& fn) const {
+  for (AdllNode* n = list_.tail(); n != nullptr;) {
+    AdllNode* prior = n->prior;
+    auto* b = static_cast<Bucket*>(n->element);
+    std::uint32_t end = IterEnd(n, b);
+    // Skip trailing never-used cells.
+    while (end > 0 && b->slots[end - 1] == nullptr) --end;
+    for (std::uint32_t i = end; i > 0; --i) {
+      LogRecord* r = b->slots[i - 1];
+      if (r == nullptr || r == Bucket::Tombstone()) continue;
+      if (!fn(r)) return;
+    }
+    n = prior;
+  }
+}
+
+}  // namespace rwd

@@ -1,0 +1,111 @@
+// "Optimized" hybrid log: an ADLL of fixed-size buckets of record pointers
+// (paper Section 3.3, Figure 2). Also the base for the "Batch" variant.
+#ifndef REWIND_LOG_BUCKET_LOG_H_
+#define REWIND_LOG_BUCKET_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/log/adll.h"
+#include "src/log/ilog.h"
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// A fixed-size array of record pointers, the element type of the hybrid
+/// log's ADLL. Lives in NVM.
+///
+/// Slot states: nullptr = never used (only at the end of the last bucket),
+/// kTombstone = cleared by log clearing, otherwise a live record. Occupancy
+/// is deliberately not persisted; it is reconstructed from the tombstones
+/// during the analysis phase, which keeps removal a single atomic store.
+struct Bucket {
+  std::uint64_t capacity = 0;
+  /// Batch variant: slots below this index are guaranteed persistent. The
+  /// Optimized variant (which NT-stores every slot) keeps it at capacity.
+  std::uint32_t persisted_upto = 0;
+  /// Volatile: live (non-tombstone) slots; reconstructed on recovery.
+  std::uint32_t live_count = 0;
+  LogRecord* slots[];  // flexible array member
+
+  static LogRecord* Tombstone() { return reinterpret_cast<LogRecord*>(1); }
+  static std::size_t AllocBytes(std::size_t capacity) {
+    return sizeof(Bucket) + capacity * sizeof(LogRecord*);
+  }
+};
+
+/// Hybrid bucketed log. With `group_size == 0` this is the paper's
+/// *Optimized* log: records are persisted individually and inserted with a
+/// single non-temporal slot store. With `group_size == G > 0` it is the
+/// *Batch* log: records and slots are written with cached stores and made
+/// persistent one fence + one non-temporal persisted-index store per G
+/// records (or on END/CHECKPOINT records, or when the bucket fills).
+///
+/// During recovery the Batch variant trusts only slots below each bucket's
+/// `persisted_upto`, exactly as the paper prescribes; everything else is
+/// discarded (leaked records are acceptable, lost ones are fine because the
+/// WAL protocol defers the corresponding user writes until the group flush
+/// — see TransactionManager).
+class BucketLog : public ILog {
+ public:
+  BucketLog(NvmManager* nvm, std::size_t bucket_capacity,
+            std::size_t group_size);
+  ~BucketLog() override;
+
+  void Append(LogRecord* rec) override;
+  void Remove(LogRecord* rec) override;
+  void Recover() override;
+  void Clear() override;
+  void ForEach(const std::function<bool(LogRecord*)>& fn) const override;
+  void ForEachBackward(
+      const std::function<bool(LogRecord*)>& fn) const override;
+  std::size_t size() const override { return size_; }
+
+  /// Batch: persists the open group now.
+  void Sync() override { FlushGroup(); }
+
+  /// Invoked after each group flush, i.e. whenever appended records became
+  /// persistent. The transaction manager uses it to release the user writes
+  /// the WAL protocol was holding back.
+  void set_group_flush_callback(std::function<void()> cb) {
+    group_flush_cb_ = std::move(cb);
+  }
+
+  /// Frees buckets emptied by Remove(). Unlinked buckets are kept readable
+  /// until this is called so that iteration interleaved with removal stays
+  /// safe; the runtime reclaims at quiescent points.
+  void ReclaimBuckets();
+
+  std::size_t bucket_count() const { return list_.CountNodes(); }
+  bool batch() const { return group_size_ > 0; }
+  std::size_t group_size() const { return group_size_; }
+
+ private:
+  void AddBucket();
+  void FlushGroup();
+  Bucket* TailBucket() const {
+    return tail_node_ ? static_cast<Bucket*>(tail_node_->element) : nullptr;
+  }
+  /// Index one past the last readable slot of `b` during iteration.
+  std::uint32_t IterEnd(const AdllNode* node, const Bucket* b) const;
+
+  NvmManager* nvm_;
+  Adll::Control* control_;
+  Adll list_;
+  std::size_t bucket_capacity_;
+  std::size_t group_size_;
+
+  // Volatile insertion state, rebuilt by Recover().
+  AdllNode* tail_node_ = nullptr;
+  std::uint32_t next_pos_ = 0;
+  std::uint32_t group_start_ = 0;  // first slot of the open (unflushed) group
+  std::size_t size_ = 0;
+  std::vector<LogRecord*> pending_;       // batch: records awaiting flush
+  std::vector<void*> reclaimable_;        // emptied buckets + their nodes
+  std::function<void()> group_flush_cb_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_LOG_BUCKET_LOG_H_

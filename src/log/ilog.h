@@ -1,0 +1,69 @@
+// Common interface of the three one-layer log implementations.
+#ifndef REWIND_LOG_ILOG_H_
+#define REWIND_LOG_ILOG_H_
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "src/log/log_record.h"
+
+namespace rwd {
+
+/// A recoverable, in-NVM sequence of log records.
+///
+/// Implementations: SimpleLog (records directly in an ADLL), BucketLog
+/// ("Optimized": ADLL of fixed-size buckets, one NT store per insertion) and
+/// BatchLog ("Batch": bucket layout with one fence + one persisted-index
+/// store per group of records).
+///
+/// Threading: callers serialize Append/Remove/iteration with `latch()`; the
+/// transaction manager holds it only briefly around insertions (paper
+/// Section 4.7) and coarsely during clearing/checkpoints.
+class ILog {
+ public:
+  virtual ~ILog() = default;
+
+  /// Appends `rec`, making its membership persistent. The record contents
+  /// themselves must already be persistent (or are persisted here, for the
+  /// Batch log which owns record persistence timing).
+  virtual void Append(LogRecord* rec) = 0;
+
+  /// Removes a record previously appended (log clearing). Does not free the
+  /// record; the caller de-allocates after removal completes.
+  virtual void Remove(LogRecord* rec) = 0;
+
+  /// Recovers the structure after a crash: completes the pending structural
+  /// operation and rebuilds all volatile bookkeeping (insertion position,
+  /// bucket occupancy, record location hints, size). Idempotent.
+  virtual void Recover() = 0;
+
+  /// Wholesale clearing: drops every record at once (paper Section 4.5).
+  /// Frees log-owned memory but not the records, which the caller owns.
+  virtual void Clear() = 0;
+
+  /// Forward iteration in append order over live records. Stops early when
+  /// `fn` returns false.
+  virtual void ForEach(const std::function<bool(LogRecord*)>& fn) const = 0;
+
+  /// Backward iteration (most recent first).
+  virtual void ForEachBackward(
+      const std::function<bool(LogRecord*)>& fn) const = 0;
+
+  /// Number of live records.
+  virtual std::size_t size() const = 0;
+
+  /// Ensures every appended record is persistent (Batch log flushes its
+  /// open group; others are a no-op). Called before user writes may proceed
+  /// under the WAL protocol.
+  virtual void Sync() {}
+
+  std::mutex& latch() { return latch_; }
+
+ protected:
+  mutable std::mutex latch_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_LOG_ILOG_H_

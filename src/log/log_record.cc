@@ -1,0 +1,38 @@
+#include "src/log/log_record.h"
+
+#include <sstream>
+
+namespace rwd {
+
+const char* LogRecordTypeName(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kInvalid:
+      return "INVALID";
+    case LogRecordType::kUpdate:
+      return "UPDATE";
+    case LogRecordType::kClr:
+      return "CLR";
+    case LogRecordType::kEnd:
+      return "END";
+    case LogRecordType::kRollback:
+      return "ROLLBACK";
+    case LogRecordType::kDelete:
+      return "DELETE";
+    case LogRecordType::kCheckpoint:
+      return "CHECKPOINT";
+  }
+  return "?";
+}
+
+std::string LogRecord::ToString() const {
+  std::ostringstream os;
+  os << LogRecordTypeName(type) << " lsn=" << lsn << " tid=" << tid;
+  if (type == LogRecordType::kUpdate || type == LogRecordType::kClr) {
+    os << " addr=0x" << std::hex << addr << std::dec << " old=" << old_value
+       << " new=" << new_value;
+  }
+  if (type == LogRecordType::kClr) os << " undo_next=" << undo_next_lsn;
+  return os.str();
+}
+
+}  // namespace rwd

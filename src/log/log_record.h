@@ -1,0 +1,74 @@
+// ARIES-style log records stored in NVM (paper Sections 3.1, 4.1).
+#ifndef REWIND_LOG_LOG_RECORD_H_
+#define REWIND_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rwd {
+
+/// Record types. Matches the paper's vocabulary: UPDATE for user writes, CLR
+/// for compensation (undo) records, END marks completed commit or rollback,
+/// ROLLBACK marks a rollback in progress, DELETE defers memory
+/// de-allocation past commit, CHECKPOINT marks the persistence horizon of a
+/// cache-consistent checkpoint.
+enum class LogRecordType : std::uint16_t {
+  kInvalid = 0,
+  kUpdate = 1,
+  kClr = 2,
+  kEnd = 3,
+  kRollback = 4,
+  kDelete = 5,
+  kCheckpoint = 6,
+};
+
+/// Returns a short human-readable name ("UPDATE", "CLR", ...).
+const char* LogRecordTypeName(LogRecordType type);
+
+/// A fixed-size (one cacheline) physical log record.
+///
+/// REWIND logs at 8-byte word granularity: `addr` is the persistent memory
+/// word updated, `old_value`/`new_value` its before/after images. Larger
+/// updates are logged as several records.
+///
+/// The trailing union holds *volatile* bookkeeping that the owning log
+/// structure uses to locate the record for removal (1-layer logs) or to
+/// chain a transaction's records (2-layer AAVLT). It is reconstructed during
+/// recovery and never trusted across a crash.
+struct alignas(64) LogRecord {
+  std::uint64_t lsn = 0;           ///< Log sequence number (unique, rising).
+  std::uint64_t addr = 0;          ///< Target word (persistent address), or
+                                   ///< pointer payload for DELETE records.
+  std::uint64_t old_value = 0;     ///< Before image (UPDATE) / undo value.
+  std::uint64_t new_value = 0;     ///< After image (UPDATE/CLR).
+  std::uint64_t undo_next_lsn = 0; ///< CLR: LSN of the next record to undo.
+  std::uint32_t tid = 0;           ///< Owning transaction.
+  LogRecordType type = LogRecordType::kInvalid;
+  std::uint16_t flags = 0;
+
+  /// Volatile location/chaining hints (see struct comment).
+  union {
+    struct {
+      void* node;          ///< SimpleLog: owning ADLL node.
+      std::uint32_t slot;  ///< Bucket logs: slot index in `node`'s bucket.
+      std::uint32_t pad;
+    } where;
+    struct {
+      LogRecord* tx_prev;  ///< AAVLT: previous record of the same txn.
+      std::uint64_t pad;
+    } chain;
+  } hint = {{nullptr, 0, 0}};
+
+  static constexpr std::uint16_t kFlagUndoable = 1u << 0;
+
+  bool undoable() const { return (flags & kFlagUndoable) != 0; }
+
+  /// Debug rendering, e.g. "UPDATE lsn=7 tid=3 addr=0x.. old=1 new=2".
+  std::string ToString() const;
+};
+
+static_assert(sizeof(LogRecord) == 64, "LogRecord must fill one cacheline");
+
+}  // namespace rwd
+
+#endif  // REWIND_LOG_LOG_RECORD_H_

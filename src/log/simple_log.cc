@@ -1,0 +1,63 @@
+#include "src/log/simple_log.h"
+
+namespace rwd {
+
+SimpleLog::SimpleLog(NvmManager* nvm)
+    : nvm_(nvm),
+      control_(static_cast<Adll::Control*>(nvm->Alloc(sizeof(Adll::Control)))),
+      list_(nvm, control_) {}
+
+SimpleLog::~SimpleLog() {
+  Clear();
+  nvm_->Free(control_);
+}
+
+void SimpleLog::Append(LogRecord* rec) {
+  AdllNode* node = list_.Append(rec);
+  rec->hint.where.node = node;  // volatile locator for later removal
+  ++size_;
+}
+
+void SimpleLog::Remove(LogRecord* rec) {
+  auto* node = static_cast<AdllNode*>(rec->hint.where.node);
+  list_.Remove(node);
+  nvm_->Free(node);
+  --size_;
+}
+
+void SimpleLog::Recover() {
+  list_.Recover();
+  // A record whose append was interrupted before the critical point may be
+  // orphaned (allocated but never linked); it is simply leaked. Rebuild the
+  // volatile locator hints and the size.
+  size_ = 0;
+  for (AdllNode* n = list_.head(); n != nullptr; n = n->next) {
+    auto* rec = static_cast<LogRecord*>(n->element);
+    rec->hint.where.node = n;
+    ++size_;
+  }
+}
+
+void SimpleLog::Clear() {
+  list_.Clear();
+  size_ = 0;
+}
+
+void SimpleLog::ForEach(const std::function<bool(LogRecord*)>& fn) const {
+  for (AdllNode* n = list_.head(); n != nullptr;) {
+    AdllNode* next = n->next;  // fn may remove the current record
+    if (!fn(static_cast<LogRecord*>(n->element))) return;
+    n = next;
+  }
+}
+
+void SimpleLog::ForEachBackward(
+    const std::function<bool(LogRecord*)>& fn) const {
+  for (AdllNode* n = list_.tail(); n != nullptr;) {
+    AdllNode* prior = n->prior;
+    if (!fn(static_cast<LogRecord*>(n->element))) return;
+    n = prior;
+  }
+}
+
+}  // namespace rwd

@@ -1,0 +1,37 @@
+// "Simple" log: records stored directly as ADLL elements (paper Section 3.2).
+#ifndef REWIND_LOG_SIMPLE_LOG_H_
+#define REWIND_LOG_SIMPLE_LOG_H_
+
+#include "src/log/adll.h"
+#include "src/log/ilog.h"
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// The baseline REWIND log: one ADLL node per record. Every append costs
+/// several non-consecutive non-temporal stores plus fences, which is what
+/// the Optimized and Batch layouts improve on.
+class SimpleLog : public ILog {
+ public:
+  explicit SimpleLog(NvmManager* nvm);
+  ~SimpleLog() override;
+
+  void Append(LogRecord* rec) override;
+  void Remove(LogRecord* rec) override;
+  void Recover() override;
+  void Clear() override;
+  void ForEach(const std::function<bool(LogRecord*)>& fn) const override;
+  void ForEachBackward(
+      const std::function<bool(LogRecord*)>& fn) const override;
+  std::size_t size() const override { return size_; }
+
+ private:
+  NvmManager* nvm_;
+  Adll::Control* control_;  // in NVM
+  Adll list_;
+  std::size_t size_ = 0;  // volatile; rebuilt by Recover()
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_LOG_SIMPLE_LOG_H_

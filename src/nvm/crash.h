@@ -1,0 +1,67 @@
+// Deterministic crash injection for recovery testing.
+#ifndef REWIND_NVM_CRASH_H_
+#define REWIND_NVM_CRASH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+
+namespace rwd {
+
+/// Thrown by the NVM manager at an injected crash point. Test code catches
+/// this at the outermost level, calls NvmManager::SimulateCrash(), and then
+/// runs recovery against the surviving persistent image.
+class CrashException : public std::exception {
+ public:
+  explicit CrashException(std::uint64_t event) : event_(event) {}
+  const char* what() const noexcept override {
+    return "simulated NVM crash";
+  }
+  /// Ordinal of the persistence event at which the crash fired.
+  std::uint64_t event() const { return event_; }
+
+ private:
+  std::uint64_t event_;
+};
+
+/// Counts persistence events (non-temporal stores, flushes, fences) and
+/// throws CrashException when a preset ordinal is reached. Disarmed by
+/// default. Exhaustive recovery tests arm it at every ordinal in turn.
+class CrashInjector {
+ public:
+  /// Arms the injector: the `at_event`-th subsequent persistence event
+  /// (1-based) throws.
+  void Arm(std::uint64_t at_event) {
+    counter_.store(0, std::memory_order_relaxed);
+    target_.store(at_event, std::memory_order_relaxed);
+  }
+
+  /// Disarms the injector.
+  void Disarm() { target_.store(0, std::memory_order_relaxed); }
+
+  bool armed() const { return target_.load(std::memory_order_relaxed) != 0; }
+
+  /// Number of persistence events observed since the last Arm().
+  std::uint64_t events() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by the NVM manager on every persistence event.
+  void OnPersistEvent() {
+    std::uint64_t target = target_.load(std::memory_order_relaxed);
+    if (target == 0) return;
+    std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n == target) {
+      target_.store(0, std::memory_order_relaxed);
+      throw CrashException(n);
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> counter_{0};
+  std::atomic<std::uint64_t> target_{0};
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_NVM_CRASH_H_

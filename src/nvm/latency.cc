@@ -1,0 +1,48 @@
+#include "src/nvm/latency.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace rwd {
+
+std::uint64_t LatencyEmulator::iters_per_ns_q8_ = 0;
+
+namespace {
+
+// Opaque counter the optimizer cannot elide.
+std::atomic<std::uint64_t> g_spin_sink{0};
+
+inline void SpinIterations(std::uint64_t iters) {
+  std::uint64_t x = g_spin_sink.load(std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x += i ^ (x >> 7);
+    asm volatile("" : "+r"(x));  // keep the loop body alive
+  }
+  g_spin_sink.store(x, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void LatencyEmulator::Calibrate() {
+  if (iters_per_ns_q8_ != 0) return;
+  using Clock = std::chrono::steady_clock;
+  constexpr std::uint64_t kProbeIters = 4'000'000;
+  // Warm up, then time the probe loop.
+  SpinIterations(kProbeIters / 8);
+  auto start = Clock::now();
+  SpinIterations(kProbeIters);
+  auto end = Clock::now();
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count();
+  if (ns <= 0) ns = 1;
+  std::uint64_t q8 = (kProbeIters << 8) / static_cast<std::uint64_t>(ns);
+  iters_per_ns_q8_ = q8 == 0 ? 1 : q8;
+}
+
+void LatencyEmulator::Spin(std::uint32_t ns) {
+  if (ns == 0) return;
+  if (iters_per_ns_q8_ == 0) Calibrate();
+  SpinIterations((static_cast<std::uint64_t>(ns) * iters_per_ns_q8_) >> 8);
+}
+
+}  // namespace rwd

@@ -1,0 +1,27 @@
+// Busy-wait latency emulation, as in the paper's methodology (Section 5):
+// "We emulated NVM by adding latency through a busy loop".
+#ifndef REWIND_NVM_LATENCY_H_
+#define REWIND_NVM_LATENCY_H_
+
+#include <cstdint>
+
+namespace rwd {
+
+/// Calibrated busy-wait used to charge emulated NVM latencies.
+class LatencyEmulator {
+ public:
+  /// Calibrates the spin loop against the steady clock. Idempotent and cheap
+  /// after the first call.
+  static void Calibrate();
+
+  /// Spins for approximately `ns` nanoseconds. No-op when `ns` is zero.
+  static void Spin(std::uint32_t ns);
+
+ private:
+  // Spin-loop iterations per nanosecond, fixed-point with 8 fractional bits.
+  static std::uint64_t iters_per_ns_q8_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_NVM_LATENCY_H_

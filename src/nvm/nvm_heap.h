@@ -1,0 +1,99 @@
+// Persistent arena: the emulated NVM device.
+#ifndef REWIND_NVM_NVM_HEAP_H_
+#define REWIND_NVM_NVM_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nvm/nvm_config.h"
+
+namespace rwd {
+
+/// A contiguous arena backing the emulated NVM device, with a recycling
+/// allocator.
+///
+/// The arena holds the *volatile view*: what the CPU (caches included) sees.
+/// In kCrashSim mode a second buffer of equal size holds the *persistent
+/// image*: what has actually reached NVM. The NvmManager moves cachelines
+/// from the view to the image on flushes/non-temporal stores and restores
+/// the view from the image on a simulated crash.
+///
+/// Allocator metadata (free lists and block sizes) is kept *outside* the
+/// arena and is volatile by design: REWIND defers de-allocation past commit
+/// via DELETE log records, and a crash may at worst leak memory (paper
+/// Section 4.3). Keeping it external also means a simulated crash cannot
+/// corrupt it, mirroring a real system where the allocator would be
+/// reinitialized conservatively after a failure. Allocation is thread-safe.
+class NvmHeap {
+ public:
+  explicit NvmHeap(const NvmConfig& config);
+  NvmHeap(const NvmHeap&) = delete;
+  NvmHeap& operator=(const NvmHeap&) = delete;
+
+  /// Allocates `bytes` (16-byte aligned, zero-initialized) from the arena.
+  /// Never returns null; aborts if the arena is exhausted.
+  void* Alloc(std::size_t bytes);
+
+  /// Returns a block to the free list. `ptr` must come from Alloc().
+  /// Freeing an already-free block is a counted no-op: recovery may replay
+  /// the de-allocation of a DELETE record whose first free preceded a crash
+  /// (see TransactionManager), which is legitimate; unit tests assert
+  /// double_free_count() == 0 for crash-free executions.
+  void Free(void* ptr);
+
+  /// Number of ignored repeat frees (see Free()).
+  std::uint64_t double_free_count() const { return double_free_count_; }
+
+  /// True if `ptr` is a currently allocated block (test/diagnostic hook).
+  bool IsLive(const void* ptr) const;
+
+  /// True if `ptr` points into the arena.
+  bool Contains(const void* ptr) const {
+    auto p = reinterpret_cast<std::uintptr_t>(ptr);
+    return p >= base_ && p < base_ + size_;
+  }
+
+  /// Offset of an arena pointer from the base (persistent address).
+  std::size_t OffsetOf(const void* ptr) const {
+    return reinterpret_cast<std::uintptr_t>(ptr) - base_;
+  }
+
+  char* data() { return view_; }
+  char* image() { return image_; }
+  std::size_t size() const { return size_; }
+  bool crash_sim() const { return image_ != nullptr; }
+
+  /// Bytes currently handed out (allocated minus freed).
+  std::size_t live_bytes() const { return live_bytes_; }
+
+ private:
+  // Owning buffers plus cacheline-aligned bases into them: heap offsets and
+  // absolute addresses must agree on cacheline boundaries for the flush and
+  // coalescing accounting to be exact.
+  std::unique_ptr<char[]> view_storage_;
+  std::unique_ptr<char[]> image_storage_;
+  char* view_ = nullptr;
+  char* image_ = nullptr;  // null in kFast mode
+  std::uintptr_t base_ = 0;
+  std::size_t size_ = 0;
+
+  struct BlockInfo {
+    std::size_t bytes;
+    bool live;
+  };
+
+  std::mutex mu_;
+  std::size_t bump_ = 0;  // next never-allocated offset
+  std::unordered_map<std::size_t, std::vector<void*>> free_lists_;
+  std::unordered_map<void*, BlockInfo> blocks_;
+  std::size_t live_bytes_ = 0;
+  std::uint64_t double_free_count_ = 0;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_NVM_NVM_HEAP_H_

@@ -1,0 +1,144 @@
+#include "src/nvm/nvm_manager.h"
+
+#include <algorithm>
+
+namespace rwd {
+
+thread_local NvmManager::NtRun NvmManager::last_nt_ = {nullptr, 0};
+
+NvmManager::NvmManager(const NvmConfig& config)
+    : config_(config),
+      heap_(config),
+      tracking_(config.mode == NvmMode::kCrashSim),
+      line_bytes_(config.cacheline_bytes) {
+  if (config_.write_latency_ns != 0 || config_.fence_latency_ns != 0) {
+    LatencyEmulator::Calibrate();
+  }
+  if (tracking_) {
+    dirty_.assign((heap_.size() + line_bytes_ - 1) / line_bytes_, 0);
+  }
+}
+
+void NvmManager::MarkDirty(const void* addr, std::size_t bytes) {
+  if (!heap_.Contains(addr)) return;  // volatile (stack/DRAM) address
+  std::size_t first = heap_.OffsetOf(addr) / line_bytes_;
+  std::size_t last = (heap_.OffsetOf(addr) + bytes - 1) / line_bytes_;
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  for (std::size_t l = first; l <= last; ++l) dirty_[l] = 1;
+}
+
+void NvmManager::PersistLine(std::size_t line) {
+  std::size_t off = line * line_bytes_;
+  std::size_t n = std::min<std::size_t>(line_bytes_, heap_.size() - off);
+  std::memcpy(heap_.image() + off, heap_.data() + off, n);
+  dirty_[line] = 0;
+}
+
+void NvmManager::PersistBytes(const void* addr, std::size_t bytes) {
+  if (!heap_.Contains(addr)) return;
+  std::size_t off = heap_.OffsetOf(addr);
+  std::memcpy(heap_.image() + off, heap_.data() + off, bytes);
+  // A non-temporal store leaves the rest of its line untouched in NVM; the
+  // line may still be dirty from earlier cached stores, so the dirty bit is
+  // left alone.
+}
+
+void NvmManager::ChargeWrite(const void* addr) {
+  auto line = reinterpret_cast<std::uintptr_t>(addr) / line_bytes_;
+  if (last_nt_.mgr == this && last_nt_.line == line) {
+    return;  // coalesced with the immediately preceding store
+  }
+  last_nt_ = {this, line};
+  stats_.nvm_writes.fetch_add(1, std::memory_order_relaxed);
+  LatencyEmulator::Spin(config_.write_latency_ns);
+}
+
+void NvmManager::PersistRangeNT(const void* addr, std::size_t bytes) {
+  if (tracking_) PersistBytes(addr, bytes);
+  auto p = reinterpret_cast<std::uintptr_t>(addr);
+  auto end = p + bytes;
+  for (auto line = p / line_bytes_; line * line_bytes_ < end; ++line) {
+    ChargeWrite(reinterpret_cast<const void*>(line * line_bytes_));
+  }
+  crash_injector_.OnPersistEvent();
+}
+
+void NvmManager::Flush(const void* addr) {
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  if (tracking_ && heap_.Contains(addr)) {
+    // Persist unconditionally: a flush writes back whatever the cacheline
+    // currently holds, whether or not our bookkeeping saw the stores.
+    std::size_t line = heap_.OffsetOf(addr) / line_bytes_;
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    PersistLine(line);
+  }
+  ChargeWrite(addr);
+  crash_injector_.OnPersistEvent();
+}
+
+void NvmManager::FlushRange(const void* addr, std::size_t bytes) {
+  auto p = reinterpret_cast<const char*>(addr);
+  auto line0 = reinterpret_cast<std::uintptr_t>(p) / line_bytes_;
+  auto line1 =
+      (reinterpret_cast<std::uintptr_t>(p) + (bytes ? bytes - 1 : 0)) /
+      line_bytes_;
+  for (auto l = line0; l <= line1; ++l) {
+    Flush(reinterpret_cast<const void*>(l * line_bytes_));
+  }
+}
+
+void NvmManager::Fence() {
+  stats_.fences.fetch_add(1, std::memory_order_relaxed);
+  LatencyEmulator::Spin(config_.fence_latency_ns);
+  last_nt_ = {nullptr, 0};  // a fence ends any coalescing run
+  crash_injector_.OnPersistEvent();
+}
+
+std::size_t NvmManager::FlushAllDirty() {
+  if (!tracking_) {
+    // In fast mode a full cache flush is approximated by a fence.
+    Fence();
+    return 0;
+  }
+  std::size_t flushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    for (std::size_t l = 0; l < dirty_.size(); ++l) {
+      if (dirty_[l]) {
+        PersistLine(l);
+        ++flushed;
+      }
+    }
+  }
+  Fence();
+  return flushed;
+}
+
+void NvmManager::SimulateCrash(double evict_probability, std::uint64_t seed) {
+  stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+  crash_injector_.Disarm();
+  last_nt_ = {nullptr, 0};
+  if (!tracking_) return;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  for (std::size_t l = 0; l < dirty_.size(); ++l) {
+    if (!dirty_[l]) continue;
+    if (evict_probability > 0.0 && coin(rng) < evict_probability) {
+      PersistLine(l);  // the hardware happened to evict this line
+    } else {
+      dirty_[l] = 0;  // contents lost with the cache
+    }
+  }
+  // The surviving image becomes the post-reboot view.
+  std::memcpy(heap_.data(), heap_.image(), heap_.size());
+}
+
+bool NvmManager::IsDirty(const void* addr) const {
+  if (!tracking_ || !heap_.Contains(addr)) return false;
+  std::size_t line = heap_.OffsetOf(addr) / line_bytes_;
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  return dirty_[line] != 0;
+}
+
+}  // namespace rwd

@@ -1,0 +1,162 @@
+// The persistence facade: every access to emulated NVM goes through here.
+#ifndef REWIND_NVM_NVM_MANAGER_H_
+#define REWIND_NVM_NVM_MANAGER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <type_traits>
+#include <vector>
+
+#include "src/nvm/crash.h"
+#include "src/nvm/latency.h"
+#include "src/nvm/nvm_config.h"
+#include "src/nvm/nvm_heap.h"
+#include "src/nvm/stats.h"
+
+namespace rwd {
+
+/// Emulates the persistence primitives REWIND relies on (paper Section 3.1):
+///
+///  - Store:   a regular cached CPU store. Reaches NVM only when its
+///             cacheline is flushed (or randomly evicted at a crash).
+///  - StoreNT: a non-temporal, synchronous store that bypasses the cache and
+///             "does not complete before reaching NVM".
+///  - Flush:   a cacheline flush (clflush) with persistence guarantee.
+///  - Fence:   a persistent memory fence ordering and persisting preceding
+///             writes.
+///
+/// Latency accounting follows the paper: every non-temporal store is an
+/// individual NVM write, but consecutive stores to the same cacheline are
+/// grouped into a single charged write; fences carry their own (sweepable)
+/// latency.
+///
+/// In kCrashSim mode the manager additionally tracks which cachelines of the
+/// heap are dirty (cached but not persistent) and maintains the persistent
+/// image, so tests can crash the "machine" at any persistence event and run
+/// recovery against exactly what would have survived.
+class NvmManager {
+ public:
+  explicit NvmManager(const NvmConfig& config);
+
+  NvmHeap& heap() { return heap_; }
+  const NvmConfig& config() const { return config_; }
+  NvmStats& stats() { return stats_; }
+  CrashInjector& crash_injector() { return crash_injector_; }
+
+  /// Changes the fence latency (Fig 10 sensitivity sweep).
+  void set_fence_latency_ns(std::uint32_t ns) { config_.fence_latency_ns = ns; }
+  /// Changes the write latency.
+  void set_write_latency_ns(std::uint32_t ns) { config_.write_latency_ns = ns; }
+
+  /// Allocates zeroed persistent memory.
+  void* Alloc(std::size_t bytes) { return heap_.Alloc(bytes); }
+  template <typename T>
+  T* AllocArray(std::size_t n) {
+    return static_cast<T*>(Alloc(sizeof(T) * n));
+  }
+  /// Frees persistent memory (callers must obey REWIND's deferred-free
+  /// discipline; the heap itself does not check).
+  void Free(void* ptr) { heap_.Free(ptr); }
+
+  /// Regular cached store: volatile until flushed/evicted.
+  template <typename T>
+  void Store(T* addr, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    *addr = value;
+    stats_.cached_stores.fetch_add(1, std::memory_order_relaxed);
+    if (tracking_) MarkDirty(addr, sizeof(T));
+  }
+
+  /// Cached store of a whole trivially-copyable object (volatile until
+  /// flushed/evicted, like Store()).
+  template <typename T>
+  void StoreObject(T* addr, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(static_cast<void*>(addr), &value, sizeof(T));
+    stats_.cached_stores.fetch_add(1, std::memory_order_relaxed);
+    if (tracking_) MarkDirty(addr, sizeof(T));
+  }
+
+  /// Non-temporal store of a word-sized value: persistent on completion.
+  /// Charges one NVM write unless it coalesces with the immediately
+  /// preceding non-temporal store to the same cacheline on this thread.
+  template <typename T>
+  void StoreNT(T* addr, const T& value) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    *addr = value;
+    if (tracking_) PersistBytes(addr, sizeof(T));
+    ChargeWrite(addr);
+    crash_injector_.OnPersistEvent();
+  }
+
+  /// Non-temporal store of an arbitrary trivially-copyable object, emulating
+  /// a sequence of word-sized non-temporal stores (with coalescing).
+  template <typename T>
+  void StoreNTObject(T* addr, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(static_cast<void*>(addr), &value, sizeof(T));
+    PersistRangeNT(addr, sizeof(T));
+  }
+
+  /// Emulates non-temporal persistence of `bytes` bytes already written at
+  /// `addr` (charging one NVM write per cacheline touched).
+  void PersistRangeNT(const void* addr, std::size_t bytes);
+
+  /// Cacheline flush: persists the line containing `addr`.
+  void Flush(const void* addr);
+
+  /// Flushes every cacheline in [addr, addr+bytes).
+  void FlushRange(const void* addr, std::size_t bytes);
+
+  /// Persistent memory fence: orders and persists preceding writes.
+  void Fence();
+
+  /// Flushes the entire cache (all dirty lines), as a checkpoint does.
+  /// Returns the number of lines flushed.
+  std::size_t FlushAllDirty();
+
+  /// kCrashSim only: models a power failure. Every dirty (unflushed)
+  /// cacheline is either lost or — with probability `evict_probability` —
+  /// persisted, modelling arbitrary cache eviction. The volatile view is
+  /// then replaced by the persistent image.
+  void SimulateCrash(double evict_probability = 0.0, std::uint64_t seed = 0);
+
+  /// kCrashSim only: true if the line containing `addr` is dirty in cache.
+  bool IsDirty(const void* addr) const;
+
+  /// Resets the per-thread cacheline-coalescing state (e.g. between
+  /// benchmark phases).
+  void ResetCoalescing() { last_nt_ = {nullptr, 0}; }
+
+ private:
+  void MarkDirty(const void* addr, std::size_t bytes);
+  void PersistBytes(const void* addr, std::size_t bytes);
+  void PersistLine(std::size_t line);
+  void ChargeWrite(const void* addr);
+
+  NvmConfig config_;
+  NvmStats stats_;
+  CrashInjector crash_injector_;
+  NvmHeap heap_;
+  bool tracking_;
+  std::uint32_t line_bytes_;
+
+  // Dirty-line bitmap (one byte per line; only in kCrashSim mode).
+  std::vector<std::uint8_t> dirty_;
+  mutable std::mutex dirty_mu_;
+
+  // Per-thread coalescing state: the last line non-temporally stored to,
+  // tagged with the owning manager so independent devices don't coalesce
+  // with each other.
+  struct NtRun {
+    const void* mgr;
+    std::uintptr_t line;
+  };
+  static thread_local NtRun last_nt_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_NVM_NVM_MANAGER_H_

@@ -1,0 +1,23 @@
+#include "src/nvm/stats.h"
+
+#include <sstream>
+
+namespace rwd {
+
+void NvmStats::Reset() {
+  nvm_writes.store(0, std::memory_order_relaxed);
+  fences.store(0, std::memory_order_relaxed);
+  flushes.store(0, std::memory_order_relaxed);
+  cached_stores.store(0, std::memory_order_relaxed);
+  crashes.store(0, std::memory_order_relaxed);
+}
+
+std::string NvmStats::ToString() const {
+  std::ostringstream os;
+  os << "nvm_writes=" << nvm_writes.load() << " fences=" << fences.load()
+     << " flushes=" << flushes.load() << " cached_stores="
+     << cached_stores.load() << " crashes=" << crashes.load();
+  return os.str();
+}
+
+}  // namespace rwd

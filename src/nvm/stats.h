@@ -1,0 +1,32 @@
+// Counters for emulated NVM traffic.
+#ifndef REWIND_NVM_STATS_H_
+#define REWIND_NVM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rwd {
+
+/// Aggregate statistics of the emulated NVM device. All counters are
+/// monotonically increasing and thread-safe.
+struct NvmStats {
+  /// Charged NVM writes (after cacheline coalescing).
+  std::atomic<std::uint64_t> nvm_writes{0};
+  /// Persistent memory fences issued.
+  std::atomic<std::uint64_t> fences{0};
+  /// Explicit cacheline flushes issued.
+  std::atomic<std::uint64_t> flushes{0};
+  /// Cached (volatile-path) stores issued.
+  std::atomic<std::uint64_t> cached_stores{0};
+  /// Simulated crashes taken.
+  std::atomic<std::uint64_t> crashes{0};
+
+  void Reset();
+  /// One-line human-readable rendering, for bench harness output.
+  std::string ToString() const;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_NVM_STATS_H_

@@ -1,0 +1,276 @@
+#include "src/structures/btree.h"
+
+#include <cstring>
+
+namespace rwd {
+
+namespace {
+std::uint64_t AsWord(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);
+}
+}  // namespace
+
+BTree::BTree(StorageOps* ops) {
+  header_ = static_cast<Header*>(ops->AllocRaw(sizeof(Header)));
+  Node* root = NewNode(ops, /*leaf=*/true);
+  ops->InitStore(&header_->root, AsWord(root));
+  ops->InitStore(&header_->size, 0);
+  ops->PublishInit(header_, sizeof(Header));
+}
+
+BTree::Node* BTree::NewNode(StorageOps* ops, bool leaf) const {
+  auto* n = static_cast<Node*>(ops->AllocRaw(sizeof(Node)));
+  ops->InitStore(&n->is_leaf, leaf ? 1 : 0);
+  ops->InitStore(&n->count, 0);
+  ops->InitStore(&n->next, 0);
+  return n;  // caller publishes (PublishInit) once fully initialized
+}
+
+BTree::Node* BTree::FindLeaf(StorageOps* ops, std::uint64_t key) const {
+  Node* n = Root(ops);
+  while (ops->Load(&n->is_leaf) == 0) {
+    std::uint64_t cnt = ops->Load(&n->count);
+    std::uint64_t idx = 0;
+    while (idx < cnt && key >= ops->Load(&n->keys[idx])) ++idx;
+    n = reinterpret_cast<Node*>(ops->Load(&n->ptrs[idx]));
+  }
+  return n;
+}
+
+BTree::Node* BTree::SplitNode(StorageOps* ops, Node* node,
+                              std::uint64_t* split_key) {
+  std::uint64_t cnt = ops->Load(&node->count);
+  bool leaf = ops->Load(&node->is_leaf) != 0;
+  Node* right = NewNode(ops, leaf);
+  if (leaf) {
+    // Right sibling takes the upper half; the separator is its first key.
+    std::uint64_t half = cnt / 2;
+    for (std::uint64_t i = half; i < cnt; ++i) {
+      ops->InitStore(&right->keys[i - half], ops->Load(&node->keys[i]));
+      ops->InitStore(&right->ptrs[i - half], ops->Load(&node->ptrs[i]));
+    }
+    ops->InitStore(&right->count, cnt - half);
+    ops->InitStore(&right->next, ops->Load(&node->next));
+    ops->PublishInit(right, sizeof(Node));
+    *split_key = ops->Load(&right->keys[0]);
+    // Publish with logged critical updates on the surviving node.
+    ops->Store(&node->count, half);
+    ops->Store(&node->next, AsWord(right));
+  } else {
+    // The middle key moves up; the right sibling takes keys above it.
+    std::uint64_t mid = cnt / 2;
+    *split_key = ops->Load(&node->keys[mid]);
+    for (std::uint64_t i = mid + 1; i < cnt; ++i) {
+      ops->InitStore(&right->keys[i - mid - 1], ops->Load(&node->keys[i]));
+    }
+    for (std::uint64_t i = mid + 1; i <= cnt; ++i) {
+      ops->InitStore(&right->ptrs[i - mid - 1], ops->Load(&node->ptrs[i]));
+    }
+    ops->InitStore(&right->count, cnt - mid - 1);
+    ops->PublishInit(right, sizeof(Node));
+    ops->Store(&node->count, mid);
+  }
+  return right;
+}
+
+void BTree::InsertIntoInternal(StorageOps* ops, Node* node,
+                               std::uint64_t key, Node* child,
+                               std::uint64_t* split_key, Node** split_node) {
+  std::uint64_t cnt = ops->Load(&node->count);
+  if (cnt == kFanout) {
+    std::uint64_t sk = 0;
+    Node* right = SplitNode(ops, node, &sk);
+    Node* target = key < sk ? node : right;
+    std::uint64_t ignored_k = 0;
+    Node* ignored_n = nullptr;
+    InsertIntoInternal(ops, target, key, child, &ignored_k, &ignored_n);
+    *split_key = sk;
+    *split_node = right;
+    return;
+  }
+  std::uint64_t pos = 0;
+  while (pos < cnt && key >= ops->Load(&node->keys[pos])) ++pos;
+  for (std::uint64_t i = cnt; i > pos; --i) {
+    ops->Store(&node->keys[i], ops->Load(&node->keys[i - 1]));
+    ops->Store(&node->ptrs[i + 1], ops->Load(&node->ptrs[i]));
+  }
+  ops->Store(&node->keys[pos], key);
+  ops->Store(&node->ptrs[pos + 1], AsWord(child));
+  ops->Store(&node->count, cnt + 1);
+}
+
+bool BTree::InsertRec(StorageOps* ops, Node* node, std::uint64_t key,
+                      const void* payload, std::uint64_t* split_key,
+                      Node** split_node) {
+  if (ops->Load(&node->is_leaf) != 0) {
+    std::uint64_t cnt = ops->Load(&node->count);
+    std::uint64_t pos = 0;
+    while (pos < cnt && ops->Load(&node->keys[pos]) < key) ++pos;
+    if (pos < cnt && ops->Load(&node->keys[pos]) == key) return false;
+    if (cnt == kFanout) {
+      std::uint64_t sk = 0;
+      Node* right = SplitNode(ops, node, &sk);
+      Node* target = key < sk ? node : right;
+      std::uint64_t ignored_k = 0;
+      Node* ignored_n = nullptr;
+      InsertRec(ops, target, key, payload, &ignored_k, &ignored_n);
+      *split_key = sk;
+      *split_node = right;
+      return true;
+    }
+    // Store the 32-byte payload in its own block, initialized off-line.
+    auto* blk = static_cast<std::uint64_t*>(ops->AllocRaw(kPayloadBytes));
+    const auto* src = static_cast<const std::uint64_t*>(payload);
+    for (std::size_t w = 0; w < kPayloadWords; ++w) {
+      ops->InitStore(&blk[w], src != nullptr ? src[w] : 0);
+    }
+    ops->PublishInit(blk, kPayloadBytes);
+    // Logged shift-and-insert: this is where REWIND's physical logging
+    // emits one record per moved word (paper Section 1).
+    for (std::uint64_t i = cnt; i > pos; --i) {
+      ops->Store(&node->keys[i], ops->Load(&node->keys[i - 1]));
+      ops->Store(&node->ptrs[i], ops->Load(&node->ptrs[i - 1]));
+    }
+    ops->Store(&node->keys[pos], key);
+    ops->Store(&node->ptrs[pos], AsWord(blk));
+    ops->Store(&node->count, cnt + 1);
+    return true;
+  }
+  std::uint64_t cnt = ops->Load(&node->count);
+  std::uint64_t idx = 0;
+  while (idx < cnt && key >= ops->Load(&node->keys[idx])) ++idx;
+  auto* child = reinterpret_cast<Node*>(ops->Load(&node->ptrs[idx]));
+  std::uint64_t csk = 0;
+  Node* csn = nullptr;
+  if (!InsertRec(ops, child, key, payload, &csk, &csn)) return false;
+  if (csn != nullptr) {
+    InsertIntoInternal(ops, node, csk, csn, split_key, split_node);
+  }
+  return true;
+}
+
+bool BTree::Insert(StorageOps* ops, std::uint64_t key, const void* payload) {
+  Node* root = Root(ops);
+  std::uint64_t sk = 0;
+  Node* sn = nullptr;
+  if (!InsertRec(ops, root, key, payload, &sk, &sn)) return false;
+  if (sn != nullptr) {
+    Node* new_root = NewNode(ops, /*leaf=*/false);
+    ops->InitStore(&new_root->count, 1);
+    ops->InitStore(&new_root->keys[0], sk);
+    ops->InitStore(&new_root->ptrs[0], AsWord(root));
+    ops->InitStore(&new_root->ptrs[1], AsWord(sn));
+    ops->PublishInit(new_root, sizeof(Node));
+    ops->Store(&header_->root, AsWord(new_root));
+  }
+  ops->Store(&header_->size, ops->Load(&header_->size) + 1);
+  return true;
+}
+
+bool BTree::Remove(StorageOps* ops, std::uint64_t key) {
+  Node* leaf = FindLeaf(ops, key);
+  std::uint64_t cnt = ops->Load(&leaf->count);
+  std::uint64_t pos = 0;
+  while (pos < cnt && ops->Load(&leaf->keys[pos]) < key) ++pos;
+  if (pos == cnt || ops->Load(&leaf->keys[pos]) != key) return false;
+  ops->DeferredFree(reinterpret_cast<void*>(ops->Load(&leaf->ptrs[pos])));
+  for (std::uint64_t i = pos + 1; i < cnt; ++i) {
+    ops->Store(&leaf->keys[i - 1], ops->Load(&leaf->keys[i]));
+    ops->Store(&leaf->ptrs[i - 1], ops->Load(&leaf->ptrs[i]));
+  }
+  ops->Store(&leaf->count, cnt - 1);
+  ops->Store(&header_->size, ops->Load(&header_->size) - 1);
+  return true;
+}
+
+bool BTree::Lookup(StorageOps* ops, std::uint64_t key,
+                   void* payload_out) const {
+  Node* leaf = FindLeaf(ops, key);
+  std::uint64_t cnt = ops->Load(&leaf->count);
+  for (std::uint64_t i = 0; i < cnt; ++i) {
+    if (ops->Load(&leaf->keys[i]) == key) {
+      if (payload_out != nullptr) {
+        auto* blk =
+            reinterpret_cast<std::uint64_t*>(ops->Load(&leaf->ptrs[i]));
+        auto* dst = static_cast<std::uint64_t*>(payload_out);
+        for (std::size_t w = 0; w < kPayloadWords; ++w) {
+          dst[w] = ops->Load(&blk[w]);
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BTree::UpdatePayloadWord(StorageOps* ops, std::uint64_t key,
+                              std::size_t word_idx, std::uint64_t value) {
+  Node* leaf = FindLeaf(ops, key);
+  std::uint64_t cnt = ops->Load(&leaf->count);
+  for (std::uint64_t i = 0; i < cnt; ++i) {
+    if (ops->Load(&leaf->keys[i]) == key) {
+      auto* blk = reinterpret_cast<std::uint64_t*>(ops->Load(&leaf->ptrs[i]));
+      ops->Store(&blk[word_idx], value);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BTree::InsertTxn(StorageOps* ops, std::uint64_t key,
+                      const void* payload) {
+  ops->BeginOp();
+  bool ok = Insert(ops, key, payload);
+  ops->CommitOp();
+  return ok;
+}
+
+bool BTree::RemoveTxn(StorageOps* ops, std::uint64_t key) {
+  ops->BeginOp();
+  bool ok = Remove(ops, key);
+  ops->CommitOp();
+  return ok;
+}
+
+void BTree::Scan(
+    StorageOps* ops, std::uint64_t from_key,
+    const std::function<bool(std::uint64_t, const void*)>& fn) const {
+  Node* leaf = FindLeaf(ops, from_key);
+  while (leaf != nullptr) {
+    std::uint64_t cnt = ops->Load(&leaf->count);
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+      std::uint64_t k = ops->Load(&leaf->keys[i]);
+      if (k < from_key) continue;
+      if (!fn(k, reinterpret_cast<const void*>(ops->Load(&leaf->ptrs[i])))) {
+        return;
+      }
+    }
+    leaf = reinterpret_cast<Node*>(ops->Load(&leaf->next));
+  }
+}
+
+bool BTree::CheckInvariants(StorageOps* ops) const {
+  // Leaf-chain keys strictly ascending and their number equal to size.
+  Node* n = Root(ops);
+  while (ops->Load(&n->is_leaf) == 0) {
+    n = reinterpret_cast<Node*>(ops->Load(&n->ptrs[0]));
+  }
+  std::uint64_t prev = 0;
+  bool first = true;
+  std::uint64_t total = 0;
+  while (n != nullptr) {
+    std::uint64_t cnt = ops->Load(&n->count);
+    if (cnt > kFanout) return false;
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+      std::uint64_t k = ops->Load(&n->keys[i]);
+      if (!first && k <= prev) return false;
+      prev = k;
+      first = false;
+      ++total;
+    }
+    n = reinterpret_cast<Node*>(ops->Load(&n->next));
+  }
+  return total == ops->Load(&header_->size);
+}
+
+}  // namespace rwd

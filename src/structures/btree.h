@@ -1,0 +1,111 @@
+// In-memory B+-tree over a pluggable persistence layer (paper Section 5.2).
+#ifndef REWIND_STRUCTURES_BTREE_H_
+#define REWIND_STRUCTURES_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/structures/storage_ops.h"
+
+namespace rwd {
+
+/// A B+-tree mapping 64-bit keys to fixed 32-byte payloads, written entirely
+/// against the word-granularity StorageOps interface so that the identical
+/// structure runs on DRAM (volatile), NVM (persistent, non-recoverable),
+/// REWIND (recoverable) and the baseline engines.
+///
+/// Mutations are single recoverable operations: callers wrap them in
+/// BeginOp()/CommitOp() themselves when composing larger transactions (as
+/// TPC-C does), or use the *Txn convenience wrappers for one-op
+/// transactions.
+///
+/// Deletion is lazy: a leaf may underflow, an empty leaf is unlinked from
+/// its parent, and a root with a single child collapses. Separator keys may
+/// go stale, which only affects routing, never correctness. This is a
+/// common production simplification and keeps the logged write sequences
+/// (shifts, splits, unlinks) representative of the paper's workload.
+class BTree {
+ public:
+  /// 32-byte records, as in the paper's B+-tree experiments.
+  static constexpr std::size_t kPayloadWords = 4;
+  static constexpr std::size_t kPayloadBytes = kPayloadWords * 8;
+  /// Maximum keys per node.
+  static constexpr std::uint64_t kFanout = 32;
+
+  /// Creates an empty tree; the header and root leaf are allocated from
+  /// `ops`.
+  explicit BTree(StorageOps* ops);
+
+  /// Inserts key -> payload. Returns false (and changes nothing) when the
+  /// key already exists. Not itself a transaction.
+  bool Insert(StorageOps* ops, std::uint64_t key, const void* payload);
+
+  /// Removes a key. Returns false when absent. Not itself a transaction.
+  bool Remove(StorageOps* ops, std::uint64_t key);
+
+  /// Copies the payload into `payload_out` (may be null). Returns presence.
+  bool Lookup(StorageOps* ops, std::uint64_t key, void* payload_out) const;
+
+  /// Overwrites one 8-byte word of an existing payload in place (a logged
+  /// critical update). Returns false when the key is absent.
+  bool UpdatePayloadWord(StorageOps* ops, std::uint64_t key,
+                         std::size_t word_idx, std::uint64_t value);
+
+  /// One-transaction wrappers.
+  bool InsertTxn(StorageOps* ops, std::uint64_t key, const void* payload);
+  bool RemoveTxn(StorageOps* ops, std::uint64_t key);
+
+  /// In-order scan of (key, payload) pairs starting at `from_key`; stops
+  /// when `fn` returns false.
+  void Scan(StorageOps* ops, std::uint64_t from_key,
+            const std::function<bool(std::uint64_t, const void*)>& fn) const;
+
+  std::uint64_t size(StorageOps* ops) const {
+    return ops->Load(&header_->size);
+  }
+
+  /// Validates key order along the leaf chain and child counts; for tests.
+  bool CheckInvariants(StorageOps* ops) const;
+
+ private:
+  struct Node {
+    std::uint64_t is_leaf;
+    std::uint64_t count;  // keys in use
+    std::uint64_t next;   // leaf chain
+    std::uint64_t keys[kFanout];
+    // Leaf: ptrs[i] = payload of keys[i]. Internal: ptrs[0..count] children.
+    std::uint64_t ptrs[kFanout + 1];
+  };
+  struct Header {
+    std::uint64_t root;
+    std::uint64_t size;
+  };
+
+  Node* NewNode(StorageOps* ops, bool leaf) const;
+  Node* Root(StorageOps* ops) const {
+    return reinterpret_cast<Node*>(ops->Load(&header_->root));
+  }
+  Node* FindLeaf(StorageOps* ops, std::uint64_t key) const;
+
+  /// Returns true if inserted; sets *split_key/*split_node when the node
+  /// split and the parent must absorb a new separator.
+  bool InsertRec(StorageOps* ops, Node* node, std::uint64_t key,
+                 const void* payload, std::uint64_t* split_key,
+                 Node** split_node);
+  /// Returns true if removed; sets *emptied when `node` has become empty
+  /// and the parent should unlink it.
+  bool RemoveRec(StorageOps* ops, Node* node, std::uint64_t key,
+                 bool* emptied);
+  /// Inserts (key, child) into an internal node at `pos` (after splitting
+  /// if needed); same split-out contract as InsertRec.
+  void InsertIntoInternal(StorageOps* ops, Node* node, std::uint64_t key,
+                          Node* child, std::uint64_t* split_key,
+                          Node** split_node);
+  Node* SplitNode(StorageOps* ops, Node* node, std::uint64_t* split_key);
+
+  Header* header_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_STRUCTURES_BTREE_H_

@@ -1,0 +1,101 @@
+#include "src/structures/pdlist.h"
+
+namespace rwd {
+
+namespace {
+std::uint64_t AsWord(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);
+}
+}  // namespace
+
+PDList::PDList(StorageOps* ops) {
+  anchor_ = static_cast<Anchor*>(ops->AllocRaw(sizeof(Anchor)));
+  ops->InitStore(&anchor_->head, 0);
+  ops->InitStore(&anchor_->tail, 0);
+  ops->PublishInit(anchor_, sizeof(Anchor));
+}
+
+PDList::Node* PDList::PushBack(StorageOps* ops, std::uint64_t value) {
+  ops->BeginOp();
+  auto* n = static_cast<Node*>(ops->AllocRaw(sizeof(Node)));
+  // Off-line initialization of the unreachable node, then the barrier that
+  // makes it persistent before the logged links publish it.
+  Node* old_tail = tail(ops);
+  ops->InitStore(&n->value, value);
+  ops->InitStore(reinterpret_cast<std::uint64_t*>(&n->next), 0);
+  ops->InitStore(reinterpret_cast<std::uint64_t*>(&n->prv), AsWord(old_tail));
+  ops->PublishInit(n, sizeof(Node));
+  if (old_tail != nullptr) {
+    ops->Store(reinterpret_cast<std::uint64_t*>(&old_tail->next), AsWord(n));
+  } else {
+    ops->Store(&anchor_->head, AsWord(n));
+  }
+  ops->Store(&anchor_->tail, AsWord(n));
+  ops->CommitOp();
+  return n;
+}
+
+PDList::Node* PDList::PushFront(StorageOps* ops, std::uint64_t value) {
+  ops->BeginOp();
+  auto* n = static_cast<Node*>(ops->AllocRaw(sizeof(Node)));
+  Node* old_head = head(ops);
+  ops->InitStore(&n->value, value);
+  ops->InitStore(reinterpret_cast<std::uint64_t*>(&n->next),
+                 AsWord(old_head));
+  ops->InitStore(reinterpret_cast<std::uint64_t*>(&n->prv), 0);
+  ops->PublishInit(n, sizeof(Node));
+  if (old_head != nullptr) {
+    ops->Store(reinterpret_cast<std::uint64_t*>(&old_head->prv), AsWord(n));
+  } else {
+    ops->Store(&anchor_->tail, AsWord(n));
+  }
+  ops->Store(&anchor_->head, AsWord(n));
+  ops->CommitOp();
+  return n;
+}
+
+void PDList::Remove(StorageOps* ops, Node* n) {
+  // Listing 1/2: four critical updates, each preceded by its log call
+  // (performed inside ops->Store), then commit, then the deferred delete.
+  ops->BeginOp();
+  Node* nxt = reinterpret_cast<Node*>(
+      ops->Load(reinterpret_cast<std::uint64_t*>(&n->next)));
+  Node* prv = reinterpret_cast<Node*>(
+      ops->Load(reinterpret_cast<std::uint64_t*>(&n->prv)));
+  if (tail(ops) == n) ops->Store(&anchor_->tail, AsWord(prv));
+  if (head(ops) == n) ops->Store(&anchor_->head, AsWord(nxt));
+  if (prv != nullptr) {
+    ops->Store(reinterpret_cast<std::uint64_t*>(&prv->next), AsWord(nxt));
+  }
+  if (nxt != nullptr) {
+    ops->Store(reinterpret_cast<std::uint64_t*>(&nxt->prv), AsWord(prv));
+  }
+  ops->DeferredFree(n);
+  ops->CommitOp();
+}
+
+PDList::Node* PDList::Find(StorageOps* ops, std::uint64_t value) const {
+  for (Node* n = head(ops); n != nullptr;
+       n = reinterpret_cast<Node*>(
+           ops->Load(reinterpret_cast<std::uint64_t*>(&n->next)))) {
+    if (ops->Load(&n->value) == value) return n;
+  }
+  return nullptr;
+}
+
+void PDList::ForEach(StorageOps* ops,
+                     const std::function<void(std::uint64_t)>& fn) const {
+  for (Node* n = head(ops); n != nullptr;
+       n = reinterpret_cast<Node*>(
+           ops->Load(reinterpret_cast<std::uint64_t*>(&n->next)))) {
+    fn(ops->Load(&n->value));
+  }
+}
+
+std::size_t PDList::Size(StorageOps* ops) const {
+  std::size_t n = 0;
+  ForEach(ops, [&](std::uint64_t) { ++n; });
+  return n;
+}
+
+}  // namespace rwd

@@ -1,0 +1,69 @@
+// The paper's running example (Listings 1 and 2): a recoverable persistent
+// doubly-linked list whose critical updates are WAL-logged through REWIND.
+#ifndef REWIND_STRUCTURES_PDLIST_H_
+#define REWIND_STRUCTURES_PDLIST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/structures/storage_ops.h"
+
+namespace rwd {
+
+/// A persistent doubly-linked list of 64-bit values.
+///
+/// Each mutation is one recoverable operation: `persistent_atomic { ... }`
+/// in the paper's notation, expanded here the way Listing 2 expands
+/// Listing 1 — a transaction id from the manager, a log call before each
+/// critical CPU write, commit at the end, and node de-allocation deferred
+/// past commit via DELETE records.
+class PDList {
+ public:
+  struct Node {
+    std::uint64_t value;
+    Node* next;
+    Node* prv;
+  };
+
+  /// Creates an empty list whose anchor (head/tail words) lives in storage
+  /// allocated from `ops`.
+  explicit PDList(StorageOps* ops);
+
+  /// Appends a value at the tail inside its own transaction.
+  Node* PushBack(StorageOps* ops, std::uint64_t value);
+
+  /// Prepends a value at the head inside its own transaction.
+  Node* PushFront(StorageOps* ops, std::uint64_t value);
+
+  /// The paper's Listing 1: unlinks `n` and (deferred-)frees it, inside its
+  /// own transaction.
+  void Remove(StorageOps* ops, Node* n);
+
+  /// First node holding `value`, or null.
+  Node* Find(StorageOps* ops, std::uint64_t value) const;
+
+  /// Visits values front to back.
+  void ForEach(StorageOps* ops,
+               const std::function<void(std::uint64_t)>& fn) const;
+
+  std::size_t Size(StorageOps* ops) const;
+
+  Node* head(StorageOps* ops) const {
+    return reinterpret_cast<Node*>(ops->Load(&anchor_->head));
+  }
+  Node* tail(StorageOps* ops) const {
+    return reinterpret_cast<Node*>(ops->Load(&anchor_->tail));
+  }
+
+ private:
+  struct Anchor {
+    std::uint64_t head;
+    std::uint64_t tail;
+  };
+
+  Anchor* anchor_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_STRUCTURES_PDLIST_H_

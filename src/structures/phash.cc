@@ -1,0 +1,114 @@
+#include "src/structures/phash.h"
+
+#include <cassert>
+
+namespace rwd {
+
+PHash::PHash(StorageOps* ops, std::size_t initial_capacity) {
+  std::uint64_t cap = 8;
+  while (cap < initial_capacity) cap <<= 1;
+  anchor_ = static_cast<Anchor*>(ops->AllocRaw(sizeof(Anchor)));
+  auto* table = static_cast<Cell*>(ops->AllocRaw(cap * sizeof(Cell)));
+  ops->PublishInit(table, cap * sizeof(Cell));
+  ops->InitStore(&anchor_->table,
+                 reinterpret_cast<std::uint64_t>(table));
+  ops->InitStore(&anchor_->capacity, cap);
+  ops->InitStore(&anchor_->size, 0);
+  ops->InitStore(&anchor_->used, 0);
+  ops->PublishInit(anchor_, sizeof(Anchor));
+}
+
+void PHash::Grow(StorageOps* ops) {
+  std::uint64_t old_cap = ops->Load(&anchor_->capacity);
+  Cell* old_table = TableOf(ops);
+  std::uint64_t new_cap = old_cap * 2;
+  // Build the successor table off-line: InitStores need no undo records.
+  auto* nt = static_cast<Cell*>(ops->AllocRaw(new_cap * sizeof(Cell)));
+  std::uint64_t live = 0;
+  for (std::uint64_t i = 0; i < old_cap; ++i) {
+    std::uint64_t k = ops->Load(&old_table[i].key);
+    if (k == 0 || k == kTombKey) continue;
+    std::uint64_t pos = Mix(k) & (new_cap - 1);
+    while (ops->Load(&nt[pos].key) != 0) pos = (pos + 1) & (new_cap - 1);
+    ops->InitStore(&nt[pos].key, k);
+    ops->InitStore(&nt[pos].value, ops->Load(&old_table[i].value));
+    ++live;
+  }
+  ops->PublishInit(nt, new_cap * sizeof(Cell));
+  // Publish: logged pointer swing plus the dependent counters.
+  ops->Store(&anchor_->table, reinterpret_cast<std::uint64_t>(nt));
+  ops->Store(&anchor_->capacity, new_cap);
+  ops->Store(&anchor_->used, live);
+  ops->DeferredFree(old_table);
+}
+
+void PHash::Put(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
+  assert(key != 0 && key != kTombKey);
+  ops->BeginOp();
+  if ((ops->Load(&anchor_->used) + 1) * 4 >=
+      ops->Load(&anchor_->capacity) * 3) {
+    Grow(ops);
+  }
+  std::uint64_t cap = ops->Load(&anchor_->capacity);
+  Cell* table = TableOf(ops);
+  std::uint64_t pos = Mix(key) & (cap - 1);
+  std::uint64_t first_tomb = cap;  // sentinel: none seen
+  for (;;) {
+    std::uint64_t k = ops->Load(&table[pos].key);
+    if (k == key) {
+      ops->Store(&table[pos].value, value);
+      ops->CommitOp();
+      return;
+    }
+    if (k == kTombKey && first_tomb == cap) first_tomb = pos;
+    if (k == 0) break;
+    pos = (pos + 1) & (cap - 1);
+  }
+  bool reuse_tomb = first_tomb != cap;
+  std::uint64_t target = reuse_tomb ? first_tomb : pos;
+  ops->Store(&table[target].value, value);
+  ops->Store(&table[target].key, key);
+  ops->Store(&anchor_->size, ops->Load(&anchor_->size) + 1);
+  if (!reuse_tomb) ops->Store(&anchor_->used, ops->Load(&anchor_->used) + 1);
+  ops->CommitOp();
+}
+
+bool PHash::Erase(StorageOps* ops, std::uint64_t key) {
+  assert(key != 0 && key != kTombKey);
+  ops->BeginOp();
+  std::uint64_t cap = ops->Load(&anchor_->capacity);
+  Cell* table = TableOf(ops);
+  std::uint64_t pos = Mix(key) & (cap - 1);
+  for (;;) {
+    std::uint64_t k = ops->Load(&table[pos].key);
+    if (k == 0) {
+      ops->CommitOp();
+      return false;
+    }
+    if (k == key) {
+      ops->Store(&table[pos].key, kTombKey);
+      ops->Store(&anchor_->size, ops->Load(&anchor_->size) - 1);
+      ops->CommitOp();
+      return true;
+    }
+    pos = (pos + 1) & (cap - 1);
+  }
+}
+
+bool PHash::Get(StorageOps* ops, std::uint64_t key,
+                std::uint64_t* value) const {
+  std::uint64_t cap = ops->Load(&anchor_->capacity);
+  Cell* table = TableOf(ops);
+  std::uint64_t pos = Mix(key) & (cap - 1);
+  for (;;) {
+    std::uint64_t k = ops->Load(&table[pos].key);
+    if (k == 0) return false;
+    if (k == key) {
+      if (value != nullptr) *value = ops->Load(&table[pos].value);
+      return true;
+    }
+    pos = (pos + 1) & (cap - 1);
+  }
+}
+
+}  // namespace rwd

@@ -1,0 +1,73 @@
+// A recoverable open-addressing hash table over REWIND (extra persistent
+// structure demonstrating the library beyond the paper's examples).
+#ifndef REWIND_STRUCTURES_PHASH_H_
+#define REWIND_STRUCTURES_PHASH_H_
+
+#include <cstdint>
+
+#include "src/structures/storage_ops.h"
+
+namespace rwd {
+
+/// Persistent hash map from non-zero 64-bit keys to 64-bit values, using
+/// linear probing with tombstones.
+///
+/// Growth is crash-safe by construction: the new table is built off-line
+/// (InitStore), published with one logged pointer swing, and the old table
+/// is deferred-freed — the same publish-then-swing idiom the B+-tree uses
+/// for splits.
+class PHash {
+ public:
+  /// `initial_capacity` is rounded up to a power of two (minimum 8).
+  PHash(StorageOps* ops, std::size_t initial_capacity = 64);
+
+  /// Inserts or overwrites. Each call is one transaction. `key` must be
+  /// non-zero.
+  void Put(StorageOps* ops, std::uint64_t key, std::uint64_t value);
+
+  /// Removes a key inside its own transaction; returns presence.
+  bool Erase(StorageOps* ops, std::uint64_t key);
+
+  /// Reads a value; returns presence.
+  bool Get(StorageOps* ops, std::uint64_t key, std::uint64_t* value) const;
+
+  std::uint64_t size(StorageOps* ops) const {
+    return ops->Load(&anchor_->size);
+  }
+  std::uint64_t capacity(StorageOps* ops) const {
+    return ops->Load(&anchor_->capacity);
+  }
+
+ private:
+  struct Cell {
+    std::uint64_t key;  // 0 = empty, kTombKey = tombstone
+    std::uint64_t value;
+  };
+  struct Anchor {
+    std::uint64_t table;  // Cell*
+    std::uint64_t capacity;
+    std::uint64_t size;
+    std::uint64_t used;  // live + tombstones, drives growth
+  };
+  static constexpr std::uint64_t kTombKey = ~std::uint64_t{0};
+
+  static std::uint64_t Mix(std::uint64_t k) {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    k ^= k >> 33;
+    return k;
+  }
+
+  Cell* TableOf(StorageOps* ops) const {
+    return reinterpret_cast<Cell*>(ops->Load(&anchor_->table));
+  }
+  void Grow(StorageOps* ops);
+
+  Anchor* anchor_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_STRUCTURES_PHASH_H_

@@ -1,0 +1,134 @@
+// Pluggable persistence layer for the data structures (paper Section 5.2:
+// "We implemented one in-memory B+-tree version for each different
+// persistence layer").
+#ifndef REWIND_STRUCTURES_STORAGE_OPS_H_
+#define REWIND_STRUCTURES_STORAGE_OPS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/transaction_manager.h"
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// Word-granularity storage interface a persistent data structure is written
+/// against. One instance per thread (adapters carry the thread's current
+/// transaction).
+///
+/// The protocol separates three kinds of writes:
+///  - Store():     a *critical* update to reachable persistent state; must
+///                 be recoverable (logged under REWIND).
+///  - InitStore(): initialization of freshly allocated, still-unreachable
+///                 memory; needs no undo information but must be persistent
+///                 before the (critical) write that publishes it —
+///                 PublishInit() provides that barrier.
+///  - Load():      a read; under REWIND's Batch log this must observe
+///                 writes still parked in the WAL deferral buffer.
+class StorageOps {
+ public:
+  virtual ~StorageOps() = default;
+
+  /// Allocates zeroed storage for a node/payload.
+  virtual void* AllocRaw(std::size_t bytes) = 0;
+  /// Immediately frees storage (only safe for never-published memory).
+  virtual void FreeRaw(void* p) = 0;
+  /// Frees storage belonging to the current operation's transaction, with
+  /// whatever deferral the layer requires for recoverability.
+  virtual void DeferredFree(void* p) = 0;
+
+  virtual std::uint64_t Load(const std::uint64_t* addr) = 0;
+  virtual void Store(std::uint64_t* addr, std::uint64_t value) = 0;
+  virtual void InitStore(std::uint64_t* addr, std::uint64_t value) = 0;
+  /// Persistence barrier for preceding InitStore()s to [p, p+bytes).
+  virtual void PublishInit(void* p, std::size_t bytes) = 0;
+
+  /// Begins / finishes a recoverable operation (a transaction under
+  /// REWIND). Layers without transactions make these no-ops.
+  virtual void BeginOp() {}
+  virtual void CommitOp() {}
+  virtual void AbortOp() {}
+};
+
+/// Volatile layer: plain loads/stores on malloc'd memory. The paper's
+/// "DRAM" configuration — no persistence, no recoverability.
+class DramOps : public StorageOps {
+ public:
+  void* AllocRaw(std::size_t bytes) override {
+    return std::calloc(1, bytes);
+  }
+  void FreeRaw(void* p) override { std::free(p); }
+  void DeferredFree(void* p) override { std::free(p); }
+  std::uint64_t Load(const std::uint64_t* addr) override { return *addr; }
+  void Store(std::uint64_t* addr, std::uint64_t value) override {
+    *addr = value;
+  }
+  void InitStore(std::uint64_t* addr, std::uint64_t value) override {
+    *addr = value;
+  }
+  void PublishInit(void*, std::size_t) override {}
+};
+
+/// Persistent but non-recoverable layer: every write is a non-temporal
+/// store to NVM. The paper's "NVM" configuration — data survives power
+/// loss only if no operation was in flight.
+class NvmOps : public StorageOps {
+ public:
+  explicit NvmOps(NvmManager* nvm) : nvm_(nvm) {}
+  void* AllocRaw(std::size_t bytes) override { return nvm_->Alloc(bytes); }
+  void FreeRaw(void* p) override { nvm_->Free(p); }
+  void DeferredFree(void* p) override { nvm_->Free(p); }
+  std::uint64_t Load(const std::uint64_t* addr) override { return *addr; }
+  void Store(std::uint64_t* addr, std::uint64_t value) override {
+    nvm_->StoreNT(addr, value);
+  }
+  void InitStore(std::uint64_t* addr, std::uint64_t value) override {
+    nvm_->StoreNT(addr, value);
+  }
+  void PublishInit(void*, std::size_t) override { nvm_->Fence(); }
+
+ private:
+  NvmManager* nvm_;
+};
+
+/// The REWIND layer: critical writes are WAL-logged through the transaction
+/// manager; loads honour the Batch deferral; frees become DELETE records.
+class RewindOps : public StorageOps {
+ public:
+  explicit RewindOps(TransactionManager* tm) : tm_(tm) {}
+
+  void* AllocRaw(std::size_t bytes) override {
+    return tm_->nvm()->Alloc(bytes);
+  }
+  void FreeRaw(void* p) override { tm_->nvm()->Free(p); }
+  void DeferredFree(void* p) override { tm_->LogDelete(tid_, p); }
+  std::uint64_t Load(const std::uint64_t* addr) override {
+    return tm_->Read(addr);
+  }
+  void Store(std::uint64_t* addr, std::uint64_t value) override {
+    tm_->Write(tid_, addr, value);
+  }
+  void InitStore(std::uint64_t* addr, std::uint64_t value) override {
+    // Off-line initialization: persistent via non-temporal store, no undo
+    // information needed (the memory is unreachable until published by a
+    // logged Store).
+    tm_->nvm()->StoreNT(addr, value);
+  }
+  void PublishInit(void*, std::size_t) override { tm_->nvm()->Fence(); }
+
+  void BeginOp() override { tid_ = tm_->Begin(); }
+  void CommitOp() override { tm_->Commit(tid_); }
+  void AbortOp() override { tm_->Rollback(tid_); }
+
+  std::uint32_t tid() const { return tid_; }
+  TransactionManager* tm() { return tm_; }
+
+ private:
+  TransactionManager* tm_;
+  std::uint32_t tid_ = 0;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_STRUCTURES_STORAGE_OPS_H_

@@ -1,0 +1,87 @@
+// TPC-C variant of paper Section 5.3: scale factor 1, ten terminals issuing
+// only new_order (the most write-intensive transaction), 1% user aborts,
+// schema stored in B+-trees, four data layouts.
+#ifndef REWIND_TPCC_TPCC_H_
+#define REWIND_TPCC_TPCC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/structures/btree.h"
+#include "src/structures/storage_ops.h"
+
+namespace rwd {
+
+/// The four data layouts of Figure 11.
+enum class TpccLayout {
+  /// Standard persistent but non-recoverable B+-trees in NVM.
+  kNvmPlain,
+  /// Straightforward compound-key B+-trees over REWIND; coarse (whole-
+  /// database) programmer locking.
+  kRewindNaive,
+  /// Co-designed layout: the order tables become arrays of ten per-district
+  /// B+-trees keyed by order id, enabling per-district locking.
+  kRewindOptimized,
+  /// The optimized layout plus a distributed (per-terminal) log.
+  kRewindDistLog,
+};
+
+const char* TpccLayoutName(TpccLayout layout);
+
+/// TPC-C constants for scale factor 1.
+struct TpccScale {
+  static constexpr std::uint32_t kWarehouses = 1;
+  static constexpr std::uint32_t kDistricts = 10;
+  static constexpr std::uint32_t kCustomersPerDistrict = 300;  // scaled down
+  static constexpr std::uint32_t kItems = 1000;                // scaled down
+  static constexpr std::uint32_t kTerminals = 10;
+};
+
+/// The TPC-C database: schema tables over a chosen layout.
+///
+/// Rows are packed into the B+-tree's 32-byte payloads (the fields new_order
+/// touches); compound keys are encoded into one 64-bit key for the naive
+/// layout and split into per-district trees for the optimized layouts.
+class TpccDb {
+ public:
+  TpccDb(Runtime* runtime, TpccLayout layout);
+  ~TpccDb();
+
+  /// Loads warehouses, districts, customers, items and stock.
+  void Load();
+
+  /// Runs one new_order transaction for `terminal`; `rng_state` drives the
+  /// input generation. Returns true if committed, false if it hit the 1%
+  /// user abort (rolled back under REWIND, ignored under kNvmPlain).
+  bool NewOrder(std::uint32_t terminal, std::uint64_t* rng_state);
+
+  TpccLayout layout() const { return layout_; }
+
+  /// Consistency check: for every district, next_o_id - 1 equals the number
+  /// of orders inserted for it.
+  bool CheckConsistency();
+
+ private:
+  struct Tables;
+  StorageOps* OpsFor(std::uint32_t terminal);
+  std::uint64_t Rand(std::uint64_t* state, std::uint64_t bound) const;
+
+  Runtime* runtime_;
+  TpccLayout layout_;
+  std::unique_ptr<Tables> t_;
+  std::vector<std::unique_ptr<StorageOps>> per_terminal_ops_;
+  std::unique_ptr<std::mutex> global_lock_;          // naive layout
+  std::vector<std::unique_ptr<std::mutex>> district_locks_;  // optimized
+};
+
+/// Drives `terminals` worker threads for `txns_per_terminal` transactions;
+/// returns throughput in transactions per minute.
+double RunTpcc(Runtime* runtime, TpccLayout layout,
+               std::uint32_t txns_per_terminal,
+               std::uint32_t terminals = TpccScale::kTerminals);
+
+}  // namespace rwd
+
+#endif  // REWIND_TPCC_TPCC_H_

@@ -1,0 +1,209 @@
+// Tests for the Atomic AVL Tree (paper Section 3.4): functional behaviour
+// against a reference map, AVL invariants, and crash-point sweeps.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "src/log/aavlt.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+LogRecord* NewRec(NvmManager* nvm, std::uint64_t lsn, std::uint32_t tid) {
+  LogRecord local{};
+  local.lsn = lsn;
+  local.tid = tid;
+  local.type = LogRecordType::kUpdate;
+  local.flags = LogRecord::kFlagUndoable;
+  auto* rec = static_cast<LogRecord*>(nvm->Alloc(sizeof(LogRecord)));
+  nvm->StoreNTObject(rec, local);
+  nvm->Fence();
+  return rec;
+}
+
+std::vector<std::uint64_t> ChainLsns(const Aavlt& t, std::uint32_t tid) {
+  std::vector<std::uint64_t> out;
+  for (LogRecord* r = t.ChainOf(tid); r != nullptr;
+       r = r->hint.chain.tx_prev) {
+    out.push_back(r->lsn);
+  }
+  return out;  // newest first
+}
+
+TEST(Aavlt, InsertChainsRecordsNewestFirst) {
+  NvmManager nvm(TestNvmConfig(2));
+  Aavlt tree(&nvm);
+  tree.Insert(NewRec(&nvm, 1, 7));
+  tree.Insert(NewRec(&nvm, 2, 7));
+  tree.Insert(NewRec(&nvm, 3, 7));
+  auto lsns = ChainLsns(tree, 7);
+  ASSERT_EQ(lsns.size(), 3u);
+  EXPECT_EQ(lsns[0], 3u);
+  EXPECT_EQ(lsns[1], 2u);
+  EXPECT_EQ(lsns[2], 1u);
+  EXPECT_EQ(tree.txn_count(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(Aavlt, ManyTransactionsKeepAvlBalanced) {
+  NvmManager nvm(TestNvmConfig(4));
+  Aavlt tree(&nvm);
+  std::uint64_t lsn = 0;
+  // Ascending keys: the worst case for an unbalanced BST.
+  for (std::uint32_t tid = 1; tid <= 1024; ++tid) {
+    tree.Insert(NewRec(&nvm, ++lsn, tid));
+  }
+  EXPECT_EQ(tree.txn_count(), 1024u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_LE(tree.HeightOf(), 15);  // ~1.44*log2(1024) + 2
+}
+
+TEST(Aavlt, RemoveTxnDropsOnlyThatTransaction) {
+  NvmManager nvm(TestNvmConfig(2));
+  Aavlt tree(&nvm);
+  std::uint64_t lsn = 0;
+  for (std::uint32_t tid = 1; tid <= 50; ++tid) {
+    tree.Insert(NewRec(&nvm, ++lsn, tid));
+    tree.Insert(NewRec(&nvm, ++lsn, tid));
+  }
+  tree.RemoveTxn(25);
+  EXPECT_EQ(tree.txn_count(), 49u);
+  EXPECT_EQ(tree.ChainOf(25), nullptr);
+  EXPECT_EQ(ChainLsns(tree, 24).size(), 2u);
+  EXPECT_EQ(ChainLsns(tree, 26).size(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(Aavlt, RemoveAbsentTxnIsNoOp) {
+  NvmManager nvm(TestNvmConfig(2));
+  Aavlt tree(&nvm);
+  tree.Insert(NewRec(&nvm, 1, 1));
+  tree.RemoveTxn(99);
+  EXPECT_EQ(tree.txn_count(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(Aavlt, RandomizedAgainstReference) {
+  NvmManager nvm(TestNvmConfig(4));
+  Aavlt tree(&nvm);
+  std::map<std::uint32_t, std::vector<std::uint64_t>> ref;
+  std::mt19937_64 rng(42);
+  std::uint64_t lsn = 0;
+  for (int step = 0; step < 4000; ++step) {
+    std::uint32_t tid = 1 + rng() % 100;
+    if (rng() % 4 != 0 || ref.empty()) {
+      auto* r = NewRec(&nvm, ++lsn, tid);
+      tree.Insert(r);
+      ref[tid].push_back(r->lsn);
+    } else {
+      auto it = ref.begin();
+      std::advance(it, rng() % ref.size());
+      tree.RemoveTxn(it->first);
+      ref.erase(it);
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.txn_count(), ref.size());
+  for (const auto& [tid, lsns] : ref) {
+    auto got = ChainLsns(tree, tid);  // newest first
+    ASSERT_EQ(got.size(), lsns.size()) << "tid " << tid;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], lsns[lsns.size() - 1 - i]);
+    }
+  }
+  // ForEachTxn visits keys in ascending order.
+  std::uint64_t prev = 0;
+  tree.ForEachTxn([&](std::uint64_t key, LogRecord*) {
+    EXPECT_GT(key, prev);
+    prev = key;
+    return true;
+  });
+}
+
+// Crash-point sweep over inserts: after recovery the tree must satisfy its
+// invariants and hold a prefix of the inserted records per transaction.
+TEST(Aavlt, CrashDuringInsertsRecoversConsistently) {
+  bool completed = false;
+  for (std::uint64_t at = 1; at < 600 && !completed; at += 1) {
+    NvmManager nvm(TestNvmConfig(2));
+    Aavlt tree(&nvm);
+    std::uint64_t lsn = 0;
+    bool crashed = RunWithCrashAt(&nvm, at, [&] {
+      for (std::uint32_t tid : {5u, 3u, 8u, 1u, 4u, 7u, 2u, 6u, 9u, 10u}) {
+        tree.Insert(NewRec(&nvm, ++lsn, tid));
+        tree.Insert(NewRec(&nvm, ++lsn, tid));
+      }
+    });
+    tree.Recover();
+    ASSERT_TRUE(tree.CheckInvariants()) << "crash at " << at;
+    // Each indexed transaction's chain must be intact (1 or 2 records, the
+    // interrupted insert rolled back).
+    tree.ForEachTxn([&](std::uint64_t tid, LogRecord* tail) {
+      std::size_t n = 0;
+      for (LogRecord* r = tail; r != nullptr; r = r->hint.chain.tx_prev) {
+        EXPECT_EQ(r->tid, tid);
+        ++n;
+      }
+      EXPECT_GE(n, 1u);
+      EXPECT_LE(n, 2u);
+      return true;
+    });
+    if (!crashed) {
+      EXPECT_EQ(tree.txn_count(), 10u);
+      completed = true;
+    }
+  }
+  EXPECT_TRUE(completed);
+}
+
+// Crash-point sweep over removals, including a second crash during
+// recovery itself.
+TEST(Aavlt, CrashDuringRemovalAndRecoveryIsSafe) {
+  for (std::uint64_t at = 1; at < 250; at += 3) {
+    NvmManager nvm(TestNvmConfig(2));
+    Aavlt tree(&nvm);
+    std::uint64_t lsn = 0;
+    for (std::uint32_t tid = 1; tid <= 20; ++tid) {
+      tree.Insert(NewRec(&nvm, ++lsn, tid));
+    }
+    bool crashed = RunWithCrashAt(&nvm, at, [&] {
+      tree.RemoveTxn(10);
+      tree.RemoveTxn(1);
+      tree.RemoveTxn(20);
+    });
+    if (crashed) {
+      // Crash again during the first recovery attempt.
+      RunWithCrashAt(&nvm, 5, [&] { tree.Recover(); });
+    }
+    tree.Recover();
+    ASSERT_TRUE(tree.CheckInvariants()) << "crash at " << at;
+    // Each removal is atomic: the surviving set is a prefix of the removal
+    // sequence applied to {1..20}.
+    std::set<std::uint64_t> keys;
+    tree.ForEachTxn([&](std::uint64_t k, LogRecord*) {
+      keys.insert(k);
+      return true;
+    });
+    std::set<std::uint64_t> full;
+    for (std::uint64_t k = 1; k <= 20; ++k) full.insert(k);
+    std::vector<std::set<std::uint64_t>> valid;
+    valid.push_back(full);
+    full.erase(10);
+    valid.push_back(full);
+    full.erase(1);
+    valid.push_back(full);
+    full.erase(20);
+    valid.push_back(full);
+    bool match = false;
+    for (const auto& v : valid) match |= (v == keys);
+    ASSERT_TRUE(match) << "crash at " << at;
+    if (!crashed) break;
+  }
+}
+
+}  // namespace
+}  // namespace rwd

@@ -1,0 +1,299 @@
+// Tests for the hybrid bucketed log ("Optimized") and its batched variant
+// ("Batch"), paper Section 3.3.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/log/batch_log.h"
+#include "src/log/bucket_log.h"
+#include "src/log/simple_log.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+LogRecord* NewRec(NvmManager* nvm, std::uint64_t lsn, std::uint32_t tid,
+                  LogRecordType type = LogRecordType::kUpdate) {
+  LogRecord local{};
+  local.lsn = lsn;
+  local.tid = tid;
+  local.type = type;
+  local.flags = LogRecord::kFlagUndoable;
+  auto* rec = static_cast<LogRecord*>(nvm->Alloc(sizeof(LogRecord)));
+  nvm->StoreNTObject(rec, local);
+  nvm->Fence();
+  return rec;
+}
+
+std::vector<std::uint64_t> Lsns(const ILog& log) {
+  std::vector<std::uint64_t> out;
+  log.ForEach([&](LogRecord* r) {
+    out.push_back(r->lsn);
+    return true;
+  });
+  return out;
+}
+
+enum class Kind { kSimple, kOptimized, kBatch };
+
+class LogParamTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  LogParamTest() : nvm_(TestNvmConfig(2)) { log_ = Make(&nvm_); }
+
+  std::unique_ptr<ILog> Make(NvmManager* nvm) {
+    switch (GetParam()) {
+      case Kind::kSimple:
+        return std::make_unique<SimpleLog>(nvm);
+      case Kind::kOptimized:
+        return std::make_unique<BucketLog>(nvm, 8, 0);
+      case Kind::kBatch:
+        return std::make_unique<BatchLog>(nvm, 8, 4);
+    }
+    return nullptr;
+  }
+
+  NvmManager nvm_;
+  std::unique_ptr<ILog> log_;
+};
+
+TEST_P(LogParamTest, AppendPreservesOrder) {
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    log_->Append(NewRec(&nvm_, i, 1));
+  }
+  log_->Sync();
+  EXPECT_EQ(log_->size(), 30u);
+  auto lsns = Lsns(*log_);
+  ASSERT_EQ(lsns.size(), 30u);
+  for (std::uint64_t i = 0; i < 30; ++i) EXPECT_EQ(lsns[i], i + 1);
+}
+
+TEST_P(LogParamTest, BackwardIterationReverses) {
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    log_->Append(NewRec(&nvm_, i, 1));
+  }
+  log_->Sync();
+  std::vector<std::uint64_t> back;
+  log_->ForEachBackward([&](LogRecord* r) {
+    back.push_back(r->lsn);
+    return true;
+  });
+  ASSERT_EQ(back.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(back[i], 20 - i);
+}
+
+TEST_P(LogParamTest, RemoveLeavesOthersIntact) {
+  std::vector<LogRecord*> recs;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    recs.push_back(NewRec(&nvm_, i, 1));
+    log_->Append(recs.back());
+  }
+  log_->Sync();
+  for (std::uint64_t i = 0; i < 20; i += 2) log_->Remove(recs[i]);
+  EXPECT_EQ(log_->size(), 10u);
+  auto lsns = Lsns(*log_);
+  ASSERT_EQ(lsns.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(lsns[i], 2 * i + 2);
+}
+
+TEST_P(LogParamTest, EarlyStopInIteration) {
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    log_->Append(NewRec(&nvm_, i, 1));
+  }
+  log_->Sync();
+  int seen = 0;
+  log_->ForEach([&](LogRecord*) { return ++seen < 3; });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST_P(LogParamTest, ClearEmptiesLog) {
+  for (std::uint64_t i = 1; i <= 25; ++i) {
+    log_->Append(NewRec(&nvm_, i, 1));
+  }
+  log_->Sync();
+  log_->Clear();
+  EXPECT_EQ(log_->size(), 0u);
+  EXPECT_TRUE(Lsns(*log_).empty());
+  // Usable again after clearing.
+  log_->Append(NewRec(&nvm_, 100, 2));
+  log_->Sync();
+  EXPECT_EQ(log_->size(), 1u);
+}
+
+TEST_P(LogParamTest, RecoverAfterCleanRunKeepsEverything) {
+  for (std::uint64_t i = 1; i <= 23; ++i) {
+    log_->Append(NewRec(&nvm_, i, 1));
+  }
+  log_->Sync();
+  log_->Recover();
+  auto lsns = Lsns(*log_);
+  ASSERT_EQ(lsns.size(), 23u);
+  for (std::uint64_t i = 0; i < 23; ++i) EXPECT_EQ(lsns[i], i + 1);
+  // Appends continue to work after recovery.
+  log_->Append(NewRec(&nvm_, 24, 1));
+  log_->Sync();
+  EXPECT_EQ(log_->size(), 24u);
+}
+
+// Crash-point sweep: appended records recovered must form a prefix
+// (Optimized persists per record; Batch per group — either way a prefix).
+TEST_P(LogParamTest, CrashDuringAppendsRecoversPrefix) {
+  bool done = false;
+  for (std::uint64_t at = 1; at < 500 && !done; ++at) {
+    NvmManager nvm(TestNvmConfig(2));
+    auto log = Make(&nvm);
+    bool crashed = RunWithCrashAt(&nvm, at, [&] {
+      for (std::uint64_t i = 1; i <= 20; ++i) {
+        log->Append(NewRec(&nvm, i, 1));
+      }
+      log->Sync();
+    });
+    log->Recover();
+    auto lsns = Lsns(*log);
+    ASSERT_LE(lsns.size(), 20u);
+    for (std::uint64_t i = 0; i < lsns.size(); ++i) {
+      ASSERT_EQ(lsns[i], i + 1) << "crash at " << at;
+    }
+    if (!crashed) {
+      ASSERT_EQ(lsns.size(), 20u);
+      done = true;
+    }
+  }
+  EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLogs, LogParamTest,
+                         ::testing::Values(Kind::kSimple, Kind::kOptimized,
+                                           Kind::kBatch),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Kind::kSimple:
+                               return "Simple";
+                             case Kind::kOptimized:
+                               return "Optimized";
+                             case Kind::kBatch:
+                               return "Batch";
+                           }
+                           return "?";
+                         });
+
+TEST(BucketLog, BucketsAreRetiredWhenEmpty) {
+  NvmManager nvm(TestNvmConfig(2));
+  BucketLog log(&nvm, 4, 0);
+  std::vector<LogRecord*> recs;
+  for (std::uint64_t i = 1; i <= 12; ++i) {  // 3 full buckets
+    recs.push_back(NewRec(&nvm, i, 1));
+    log.Append(recs.back());
+  }
+  EXPECT_EQ(log.bucket_count(), 3u);
+  // Empty the middle bucket (records 5..8).
+  for (int i = 4; i < 8; ++i) log.Remove(recs[i]);
+  log.ReclaimBuckets();
+  EXPECT_EQ(log.bucket_count(), 2u);
+  auto lsns = Lsns(log);
+  ASSERT_EQ(lsns.size(), 8u);
+}
+
+TEST(BucketLog, TombstonesSurviveRecovery) {
+  NvmManager nvm(TestNvmConfig(2));
+  BucketLog log(&nvm, 8, 0);
+  std::vector<LogRecord*> recs;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    recs.push_back(NewRec(&nvm, i, 1));
+    log.Append(recs.back());
+  }
+  log.Remove(recs[1]);
+  log.Remove(recs[3]);
+  nvm.SimulateCrash();
+  log.Recover();
+  auto lsns = Lsns(log);
+  ASSERT_EQ(lsns.size(), 4u);
+  EXPECT_EQ(lsns[0], 1u);
+  EXPECT_EQ(lsns[1], 3u);
+  EXPECT_EQ(lsns[2], 5u);
+  EXPECT_EQ(lsns[3], 6u);
+  EXPECT_EQ(log.size(), 4u);
+}
+
+TEST(BatchLog, UnsyncedRecordsAreDiscardedAtCrash) {
+  NvmManager nvm(TestNvmConfig(2));
+  BatchLog log(&nvm, 100, 8);
+  // 10 records: first 8 flushed as a group, last 2 pending.
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    log.Append(NewRec(&nvm, i, 1));
+  }
+  nvm.SimulateCrash();
+  log.Recover();
+  auto lsns = Lsns(log);
+  ASSERT_EQ(lsns.size(), 8u);  // only the flushed group survives
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(lsns[i], i + 1);
+}
+
+TEST(BatchLog, EndRecordForcesGroupFlush) {
+  NvmManager nvm(TestNvmConfig(2));
+  BatchLog log(&nvm, 100, 8);
+  log.Append(NewRec(&nvm, 1, 1));
+  log.Append(NewRec(&nvm, 2, 1, LogRecordType::kEnd));  // forces flush
+  nvm.SimulateCrash();
+  log.Recover();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(BatchLog, GroupFlushCallbackReleasesEveryGroup) {
+  // The callback contract: whenever it fires, every appended record is
+  // persistent; and Sync() always ends with a callback so the transaction
+  // manager can release deferred user writes. Exact firing counts are an
+  // implementation detail (the callback is idempotent by design).
+  NvmManager nvm(TestNvmConfig(2));
+  BatchLog log(&nvm, 100, 4);
+  std::uint64_t appended = 0;
+  std::uint64_t released_upto = 0;
+  log.set_group_flush_callback([&] { released_upto = appended; });
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    log.Append(NewRec(&nvm, i, 1));
+    ++appended;
+  }
+  // The boundary flush fires *inside* the 4th Append, so the caller-side
+  // count it observed was 3 — mirroring how the transaction manager's
+  // fourth user write stays deferred until the next flush.
+  EXPECT_EQ(released_upto, 3u);
+  log.Append(NewRec(&nvm, 5, 1));
+  ++appended;
+  EXPECT_LT(released_upto, 5u);  // open group still deferred
+  log.Sync();
+  EXPECT_EQ(released_upto, 5u);  // Sync always releases
+  log.Sync();
+  EXPECT_EQ(released_upto, 5u);
+}
+
+TEST(BatchLog, FencesAmortizedAcrossGroup) {
+  // Mirror the transaction manager's record creation: the Batch log's
+  // records are written with cached stores (no per-record fence; the group
+  // flush persists them), whereas the Optimized log persists and fences
+  // each record before insertion.
+  NvmConfig cfg = TestNvmConfig(2);
+  cfg.mode = NvmMode::kFast;
+  NvmManager nvm_batch(cfg);
+  BatchLog batch(&nvm_batch, 1000, 8);
+  for (std::uint64_t i = 1; i <= 800; ++i) {
+    LogRecord local{};
+    local.lsn = i;
+    local.tid = 1;
+    local.type = LogRecordType::kUpdate;
+    auto* rec = static_cast<LogRecord*>(nvm_batch.Alloc(sizeof(LogRecord)));
+    nvm_batch.StoreObject(rec, local);  // cached; persisted by group flush
+    batch.Append(rec);
+  }
+  batch.Sync();
+  NvmManager nvm_opt(cfg);
+  BucketLog opt(&nvm_opt, 1000, 0);
+  for (std::uint64_t i = 1; i <= 800; ++i) {
+    opt.Append(NewRec(&nvm_opt, i, 1));  // NT store + fence per record
+  }
+  // ~1 fence per 8 records vs ~1 per record.
+  EXPECT_LT(nvm_batch.stats().fences.load() * 4,
+            nvm_opt.stats().fences.load());
+}
+
+}  // namespace
+}  // namespace rwd

@@ -1,0 +1,107 @@
+// Randomized property tests: long mixed operation sequences checked against
+// volatile reference structures, with periodic crash/recovery cycles.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <random>
+
+#include "src/core/transaction_manager.h"
+#include "src/log/adll.h"
+#include "tests/tm_config_util.h"
+
+namespace rwd {
+namespace {
+
+// ADLL vs std::deque under a random append/remove stream with periodic
+// simulated crashes (clean-point crashes: between operations).
+TEST(AdllFuzz, MatchesDequeUnderRandomOpsAndCrashes) {
+  NvmManager nvm(TestNvmConfig(16));
+  auto* ctrl = static_cast<Adll::Control*>(nvm.Alloc(sizeof(Adll::Control)));
+  Adll list(&nvm, ctrl);
+  std::deque<AdllNode*> ref;
+  std::mt19937_64 rng(2025);
+  std::uintptr_t next_elem = 1;
+  for (int step = 0; step < 20000; ++step) {
+    int dice = static_cast<int>(rng() % 10);
+    if (dice < 6 || ref.empty()) {
+      AdllNode* n = list.Append(reinterpret_cast<void*>(next_elem++));
+      ref.push_back(n);
+    } else {
+      std::size_t idx = rng() % ref.size();
+      AdllNode* n = ref[idx];
+      list.Remove(n);
+      nvm.Free(n);
+      ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    if (step % 2500 == 2499) {
+      // All ADLL updates are non-temporal: a between-ops crash loses
+      // nothing.
+      nvm.SimulateCrash();
+      list.Recover();
+    }
+    if (step % 500 == 0) {
+      std::size_t i = 0;
+      for (AdllNode* n = list.head(); n != nullptr; n = n->next, ++i) {
+        ASSERT_LT(i, ref.size());
+        ASSERT_EQ(n, ref[i]) << "step " << step;
+      }
+      ASSERT_EQ(i, ref.size());
+    }
+  }
+  EXPECT_EQ(list.CountNodes(), ref.size());
+}
+
+// Long-running TM fuzz: random transactions over a word array, some
+// committed, some rolled back, periodic checkpoints and crash/recovery
+// cycles; the array must always equal the committed reference.
+class TmFuzzTest : public ::testing::TestWithParam<RewindConfig> {};
+
+TEST_P(TmFuzzTest, RandomTransactionsWithCrashes) {
+  NvmManager nvm(GetParam().nvm);
+  TransactionManager tm(&nvm, GetParam());
+  constexpr std::size_t kWords = 64;
+  auto* d = static_cast<std::uint64_t*>(nvm.Alloc(kWords * 8));
+  std::uint64_t ref[kWords] = {0};
+  std::mt19937_64 rng(GetParam().force() ? 11 : 22);
+  for (int round = 0; round < 120; ++round) {
+    std::uint32_t tid = tm.Begin();
+    std::uint64_t staged[kWords];
+    std::copy(std::begin(ref), std::end(ref), std::begin(staged));
+    int writes = 1 + static_cast<int>(rng() % 12);
+    for (int w = 0; w < writes; ++w) {
+      std::size_t i = rng() % kWords;
+      std::uint64_t v = rng();
+      tm.Write(tid, &d[i], v);
+      staged[i] = v;
+    }
+    int outcome = static_cast<int>(rng() % 10);
+    if (outcome < 6) {
+      tm.Commit(tid);
+      std::copy(std::begin(staged), std::end(staged), std::begin(ref));
+    } else if (outcome < 9) {
+      tm.Rollback(tid);
+    } else {
+      // Crash with the transaction in flight; random eviction.
+      nvm.SimulateCrash(/*evict_probability=*/0.3, rng());
+      tm.ForgetVolatileState();
+      tm.Recover();
+    }
+    if (round % 25 == 24 && !GetParam().force()) tm.Checkpoint();
+    for (std::size_t i = 0; i < kWords; ++i) {
+      ASSERT_EQ(tm.Read(&d[i]), ref[i]) << "round " << round << " word " << i;
+    }
+  }
+  if (!GetParam().force()) tm.Checkpoint();
+  EXPECT_EQ(tm.LogSize(), 0u);
+  EXPECT_EQ(nvm.heap().double_free_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, TmFuzzTest, ::testing::ValuesIn(AllConfigs()),
+    [](const ::testing::TestParamInfo<RewindConfig>& info) {
+      return ConfigName(info.param);
+    });
+
+}  // namespace
+}  // namespace rwd

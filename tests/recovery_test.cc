@@ -1,0 +1,269 @@
+// Crash-recovery tests: atomicity and durability across every REWIND
+// configuration, with crash points swept over the persistence-event stream
+// and randomized cacheline eviction.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/transaction_manager.h"
+#include "tests/tm_config_util.h"
+
+namespace rwd {
+namespace {
+
+class RecoveryTest : public ::testing::TestWithParam<RewindConfig> {};
+
+// The canonical scenario: txn A commits, txn B is in flight at the crash.
+// After recovery A's values must be durable and B's rolled back — at every
+// possible crash point.
+TEST_P(RecoveryTest, CommittedSurviveUncommittedRollBack) {
+  bool completed = false;
+  for (std::uint64_t at = 1; at < 2000 && !completed; ++at) {
+    NvmManager nvm(GetParam().nvm);
+    TransactionManager tm(&nvm, GetParam());
+    auto* d = static_cast<std::uint64_t*>(nvm.Alloc(8 * 8));
+    // Pre-state: all words 100.
+    {
+      std::uint32_t t = tm.Begin();
+      for (int i = 0; i < 8; ++i) tm.Write(t, &d[i], 100);
+      tm.Commit(t);
+      if (!GetParam().force()) tm.Checkpoint();
+    }
+    bool a_committed = false;
+    bool crashed = RunWithCrashAt(&nvm, at, [&] {
+      std::uint32_t a = tm.Begin();
+      for (int i = 0; i < 4; ++i) tm.Write(a, &d[i], 200 + i);
+      tm.Commit(a);
+      a_committed = true;
+      std::uint32_t b = tm.Begin();
+      for (int i = 0; i < 8; ++i) tm.Write(b, &d[i], 300 + i);
+      tm.Commit(b);  // if we get here without crashing, everything applied
+    });
+    if (crashed) {
+      tm.ForgetVolatileState();
+      tm.Recover();
+      if (a_committed) {
+        // Durability of A, atomicity of B: either B rolled back (A's state)
+        // or B's commit had logically completed before the crash (its END
+        // record persisted) and all of B survives.
+        bool b_rolled_back = true, b_committed = true;
+        for (int i = 0; i < 4; ++i) b_rolled_back &= (d[i] == 200u + i);
+        for (int i = 4; i < 8; ++i) b_rolled_back &= (d[i] == 100u);
+        for (int i = 0; i < 8; ++i) b_committed &= (d[i] == 300u + i);
+        ASSERT_TRUE(b_rolled_back || b_committed) << "crash at " << at;
+      } else {
+        // Atomicity: either all of A or none of it; B never observable
+        // before A's commit completed.
+        bool all_a = true, none_a = true;
+        for (int i = 0; i < 4; ++i) {
+          all_a &= (d[i] == 200u + i);
+          none_a &= (d[i] == 100u);
+        }
+        ASSERT_TRUE(all_a || none_a) << "crash at " << at;
+      }
+      ASSERT_EQ(tm.LogSize(), 0u) << "log cleared after recovery";
+    } else {
+      for (int i = 0; i < 8; ++i) ASSERT_EQ(d[i], 300u + i);
+      completed = true;
+    }
+  }
+  EXPECT_TRUE(completed) << "crash sweep never reached workload completion";
+}
+
+// Same scenario but with randomized cache eviction at the crash: dirty
+// lines may persist arbitrarily, which is exactly what WAL must tolerate.
+TEST_P(RecoveryTest, RandomEvictionDoesNotBreakAtomicity) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    NvmManager nvm(GetParam().nvm);
+    TransactionManager tm(&nvm, GetParam());
+    auto* d = static_cast<std::uint64_t*>(nvm.Alloc(8 * 8));
+    {
+      std::uint32_t t = tm.Begin();
+      for (int i = 0; i < 8; ++i) tm.Write(t, &d[i], 7);
+      tm.Commit(t);
+      if (!GetParam().force()) tm.Checkpoint();
+    }
+    bool crashed = RunWithCrashAt(
+        &nvm, 40 + seed * 13,
+        [&] {
+          std::uint32_t b = tm.Begin();
+          for (int i = 0; i < 8; ++i) tm.Write(b, &d[i], 1000 + i);
+          tm.Commit(b);
+        },
+        /*evict_probability=*/0.5, seed);
+    if (!crashed) continue;
+    tm.ForgetVolatileState();
+    tm.Recover();
+    bool all_new = true, all_old = true;
+    for (int i = 0; i < 8; ++i) {
+      all_new &= (d[i] == 1000u + i);
+      all_old &= (d[i] == 7u);
+    }
+    ASSERT_TRUE(all_new || all_old) << "seed " << seed;
+  }
+}
+
+// Crash during an explicit rollback: recovery must finish the rollback.
+TEST_P(RecoveryTest, CrashDuringRollbackCompletesUndo) {
+  bool completed = false;
+  for (std::uint64_t at = 1; at < 1500 && !completed; ++at) {
+    NvmManager nvm(GetParam().nvm);
+    TransactionManager tm(&nvm, GetParam());
+    auto* d = static_cast<std::uint64_t*>(nvm.Alloc(8 * 8));
+    {
+      std::uint32_t t = tm.Begin();
+      for (int i = 0; i < 8; ++i) tm.Write(t, &d[i], 50);
+      tm.Commit(t);
+      if (!GetParam().force()) tm.Checkpoint();
+    }
+    std::uint32_t b = tm.Begin();
+    for (int i = 0; i < 8; ++i) tm.Write(b, &d[i], 900 + i);
+    bool crashed = RunWithCrashAt(&nvm, at, [&] { tm.Rollback(b); });
+    if (crashed) {
+      tm.ForgetVolatileState();
+      tm.Recover();
+    }
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(d[i], 50u) << "crash at " << at << " word " << i;
+    }
+    if (!crashed) completed = true;
+  }
+  EXPECT_TRUE(completed);
+}
+
+// Crash during recovery itself, then a second recovery.
+TEST_P(RecoveryTest, CrashDuringRecoveryIsRepeatable) {
+  for (std::uint64_t first : {20ull, 45ull, 80ull, 130ull}) {
+    for (std::uint64_t second = 1; second < 40; second += 3) {
+      NvmManager nvm(GetParam().nvm);
+      TransactionManager tm(&nvm, GetParam());
+      auto* d = static_cast<std::uint64_t*>(nvm.Alloc(8 * 8));
+      {
+        std::uint32_t t = tm.Begin();
+        for (int i = 0; i < 8; ++i) tm.Write(t, &d[i], 3);
+        tm.Commit(t);
+        if (!GetParam().force()) tm.Checkpoint();
+      }
+      bool crashed = RunWithCrashAt(&nvm, first, [&] {
+        std::uint32_t b = tm.Begin();
+        for (int i = 0; i < 8; ++i) tm.Write(b, &d[i], 600 + i);
+        tm.Commit(b);
+      });
+      if (!crashed) continue;
+      tm.ForgetVolatileState();
+      bool crashed_again = RunWithCrashAt(&nvm, second, [&] { tm.Recover(); });
+      if (crashed_again) {
+        tm.ForgetVolatileState();
+        tm.Recover();
+      }
+      bool all_new = true, all_old = true;
+      for (int i = 0; i < 8; ++i) {
+        all_new &= (d[i] == 600u + i);
+        all_old &= (d[i] == 3u);
+      }
+      ASSERT_TRUE(all_new || all_old)
+          << "first=" << first << " second=" << second;
+      ASSERT_EQ(tm.LogSize(), 0u);
+    }
+  }
+}
+
+// Crash in the middle of a checkpoint (no-force): nothing may be lost.
+TEST_P(RecoveryTest, CrashDuringCheckpointLosesNothing) {
+  if (GetParam().force()) return;
+  bool completed = false;
+  for (std::uint64_t at = 1; at < 800 && !completed; ++at) {
+    NvmManager nvm(GetParam().nvm);
+    TransactionManager tm(&nvm, GetParam());
+    auto* d = static_cast<std::uint64_t*>(nvm.Alloc(8 * 16));
+    for (int i = 0; i < 16; ++i) {
+      std::uint32_t t = tm.Begin();
+      tm.Write(t, &d[i], 40 + static_cast<std::uint64_t>(i));
+      tm.Commit(t);
+    }
+    bool crashed = RunWithCrashAt(&nvm, at, [&] { tm.Checkpoint(); });
+    if (crashed) {
+      tm.ForgetVolatileState();
+      tm.Recover();
+    }
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(d[i], 40u + i) << "crash at " << at;
+    }
+    if (!crashed) completed = true;
+  }
+  EXPECT_TRUE(completed);
+}
+
+// Crash in the middle of a force-policy commit (including its log
+// clearing): the committed values must survive.
+TEST_P(RecoveryTest, CrashDuringForceCommitKeepsDurability) {
+  if (!GetParam().force()) return;
+  bool completed = false;
+  for (std::uint64_t at = 1; at < 800 && !completed; ++at) {
+    NvmManager nvm(GetParam().nvm);
+    TransactionManager tm(&nvm, GetParam());
+    auto* d = static_cast<std::uint64_t*>(nvm.Alloc(8 * 8));
+    std::uint32_t t = tm.Begin();
+    for (int i = 0; i < 8; ++i) tm.Write(t, &d[i], 70 + i);
+    bool crashed = RunWithCrashAt(&nvm, at, [&] { tm.Commit(t); });
+    if (crashed) {
+      tm.ForgetVolatileState();
+      tm.Recover();
+    }
+    // The values were NT-stored during Write (force policy); whether or not
+    // the END record made it, recovery must leave either all-new (commit
+    // completed logically) or all-old (rolled back) — with all-old only
+    // possible before the END record persisted.
+    bool all_new = true, all_old = true;
+    for (int i = 0; i < 8; ++i) {
+      all_new &= (d[i] == 70u + i);
+      all_old &= (d[i] == 0u);
+    }
+    ASSERT_TRUE(all_new || all_old) << "crash at " << at;
+    ASSERT_EQ(tm.LogSize(), 0u);
+    if (!crashed) {
+      ASSERT_TRUE(all_new);
+      completed = true;
+    }
+  }
+  EXPECT_TRUE(completed);
+}
+
+// Many transactions, some committed, one uncommitted; recovery resolves all
+// of them and clears the log (the paper's multi-transaction recovery).
+TEST_P(RecoveryTest, MultiTransactionRecovery) {
+  NvmManager nvm(GetParam().nvm);
+  TransactionManager tm(&nvm, GetParam());
+  constexpr int kTxns = 30;
+  auto* d = static_cast<std::uint64_t*>(nvm.Alloc(8 * kTxns));
+  for (int i = 0; i < kTxns - 1; ++i) {
+    std::uint32_t t = tm.Begin();
+    tm.Write(t, &d[i], 1000 + static_cast<std::uint64_t>(i));
+    tm.Commit(t);
+  }
+  // Last transaction left hanging at the crash.
+  std::uint32_t hang = tm.Begin();
+  tm.Write(hang, &d[kTxns - 1], 9999);
+  nvm.SimulateCrash();
+  tm.ForgetVolatileState();
+  tm.Recover();
+  for (int i = 0; i < kTxns - 1; ++i) {
+    EXPECT_EQ(d[i], 1000u + i) << "txn " << i;
+  }
+  EXPECT_EQ(d[kTxns - 1], 0u);
+  EXPECT_EQ(tm.LogSize(), 0u);
+  // The system keeps working after recovery.
+  std::uint32_t t = tm.Begin();
+  tm.Write(t, &d[0], 4242);
+  tm.Commit(t);
+  EXPECT_EQ(tm.Read(&d[0]), 4242u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, RecoveryTest, ::testing::ValuesIn(AllConfigs(4)),
+    [](const ::testing::TestParamInfo<RewindConfig>& info) {
+      return ConfigName(info.param);
+    });
+
+}  // namespace
+}  // namespace rwd

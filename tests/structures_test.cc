@@ -1,0 +1,174 @@
+// Tests for the recoverable doubly-linked list (the paper's running
+// example) and the persistent hash table.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "src/core/transaction_manager.h"
+#include "src/structures/phash.h"
+#include "src/structures/pdlist.h"
+#include "tests/tm_config_util.h"
+
+namespace rwd {
+namespace {
+
+std::vector<std::uint64_t> Values(PDList& list, StorageOps* ops) {
+  std::vector<std::uint64_t> out;
+  list.ForEach(ops, [&](std::uint64_t v) { out.push_back(v); });
+  return out;
+}
+
+class PDListTest : public ::testing::TestWithParam<RewindConfig> {};
+
+TEST_P(PDListTest, PushAndRemoveSemantics) {
+  NvmManager nvm(GetParam().nvm);
+  TransactionManager tm(&nvm, GetParam());
+  RewindOps ops(&tm);
+  PDList list(&ops);
+  list.PushBack(&ops, 2);
+  list.PushBack(&ops, 3);
+  list.PushFront(&ops, 1);
+  EXPECT_EQ(Values(list, &ops), (std::vector<std::uint64_t>{1, 2, 3}));
+  // Remove middle / head / tail, each the paper's Listing 1 transaction.
+  list.Remove(&ops, list.Find(&ops, 2));
+  EXPECT_EQ(Values(list, &ops), (std::vector<std::uint64_t>{1, 3}));
+  list.Remove(&ops, list.Find(&ops, 1));
+  list.Remove(&ops, list.Find(&ops, 3));
+  EXPECT_TRUE(Values(list, &ops).empty());
+  EXPECT_EQ(list.head(&ops), nullptr);
+  EXPECT_EQ(list.tail(&ops), nullptr);
+  EXPECT_EQ(nvm.heap().double_free_count(), 0u);
+}
+
+TEST_P(PDListTest, CrashSweepDuringRemovals) {
+  // Crash at a spread of events while removing nodes; each Remove is one
+  // persistent_atomic block, so the surviving list must be a prefix of the
+  // removal sequence applied to {1..6}.
+  for (std::uint64_t at = 1; at < 900; at += 17) {
+    NvmManager nvm(GetParam().nvm);
+    TransactionManager tm(&nvm, GetParam());
+    RewindOps ops(&tm);
+    PDList list(&ops);
+    for (std::uint64_t v = 1; v <= 6; ++v) list.PushBack(&ops, v);
+    if (!GetParam().force()) tm.Checkpoint();
+    bool crashed = RunWithCrashAt(
+        &nvm, at,
+        [&] {
+          list.Remove(&ops, list.Find(&ops, 3));
+          list.Remove(&ops, list.Find(&ops, 1));
+          list.Remove(&ops, list.Find(&ops, 6));
+        },
+        /*evict_probability=*/0.4, at);
+    if (crashed) {
+      tm.ForgetVolatileState();
+      tm.Recover();
+    }
+    auto got = Values(list, &ops);
+    std::vector<std::vector<std::uint64_t>> valid = {{1, 2, 3, 4, 5, 6},
+                                                     {1, 2, 4, 5, 6},
+                                                     {2, 4, 5, 6},
+                                                     {2, 4, 5}};
+    bool match = false;
+    for (const auto& v : valid) match |= (v == got);
+    ASSERT_TRUE(match) << "crash at " << at << " size " << got.size();
+    if (!crashed) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PDListTest, ::testing::ValuesIn(AllConfigs()),
+    [](const ::testing::TestParamInfo<RewindConfig>& info) {
+      return ConfigName(info.param);
+    });
+
+class PHashTest : public ::testing::TestWithParam<RewindConfig> {};
+
+TEST_P(PHashTest, PutGetEraseAndGrowth) {
+  NvmManager nvm(GetParam().nvm);
+  TransactionManager tm(&nvm, GetParam());
+  RewindOps ops(&tm);
+  PHash h(&ops, 8);
+  std::map<std::uint64_t, std::uint64_t> ref;
+  std::mt19937_64 rng(99);
+  for (int step = 0; step < 5000; ++step) {
+    std::uint64_t key = 1 + rng() % 700;
+    if (rng() % 3 != 0) {
+      std::uint64_t val = rng();
+      h.Put(&ops, key, val);
+      ref[key] = val;
+    } else {
+      EXPECT_EQ(h.Erase(&ops, key), ref.erase(key) > 0);
+    }
+    if (!GetParam().force() && step % 1000 == 999) tm.Checkpoint();
+  }
+  EXPECT_EQ(h.size(&ops), ref.size());
+  EXPECT_GT(h.capacity(&ops), 700u);  // grew past the initial 8
+  for (const auto& [k, v] : ref) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(h.Get(&ops, k, &got)) << k;
+    ASSERT_EQ(got, v);
+  }
+  std::uint64_t ignored;
+  EXPECT_FALSE(h.Get(&ops, 100000, &ignored));
+}
+
+TEST_P(PHashTest, CrashSweepKeepsCommittedEntries) {
+  for (std::uint64_t at = 10; at < 2500; at += 113) {
+    NvmManager nvm(GetParam().nvm);
+    TransactionManager tm(&nvm, GetParam());
+    RewindOps ops(&tm);
+    PHash h(&ops, 8);
+    std::map<std::uint64_t, std::uint64_t> committed;
+    std::mt19937_64 rng(at);
+    // The Put in flight at the crash may have committed just before the
+    // exception propagated; both outcomes are valid for that one key.
+    std::uint64_t pending_key = 0, pending_val = 0;
+    bool crashed = RunWithCrashAt(
+        &nvm, at,
+        [&] {
+          for (int step = 0; step < 150; ++step) {
+            std::uint64_t key = 1 + rng() % 60;
+            std::uint64_t val = rng();
+            pending_key = key;
+            pending_val = val;
+            h.Put(&ops, key, val);  // one txn; committed on return
+            committed[key] = val;
+            pending_key = 0;
+          }
+        },
+        /*evict_probability=*/0.3, at);
+    if (!crashed) break;
+    tm.ForgetVolatileState();
+    tm.Recover();
+    std::size_t expected_size = committed.size();
+    for (const auto& [k, v] : committed) {
+      std::uint64_t got = 0;
+      ASSERT_TRUE(h.Get(&ops, k, &got)) << "crash at " << at << " key " << k;
+      if (k == pending_key) {
+        ASSERT_TRUE(got == v || got == pending_val) << "crash at " << at;
+      } else {
+        ASSERT_EQ(got, v) << "crash at " << at << " key " << k;
+      }
+    }
+    if (pending_key != 0 &&
+        committed.find(pending_key) == committed.end()) {
+      std::uint64_t got = 0;
+      if (h.Get(&ops, pending_key, &got)) {
+        ASSERT_EQ(got, pending_val) << "crash at " << at;
+        ++expected_size;
+      }
+    }
+    ASSERT_EQ(h.size(&ops), expected_size) << "crash at " << at;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PHashTest, ::testing::ValuesIn(AllConfigs()),
+    [](const ::testing::TestParamInfo<RewindConfig>& info) {
+      return ConfigName(info.param);
+    });
+
+}  // namespace
+}  // namespace rwd

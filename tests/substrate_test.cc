@@ -1,0 +1,156 @@
+// Unit tests for the baseline substrate (PMFS, WAL file, buffer pool) and
+// small library pieces (record rendering, config labels).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/baselines/buffer_pool.h"
+#include "src/baselines/pmfs.h"
+#include "src/baselines/wal_file.h"
+#include "src/core/config.h"
+#include "src/log/log_record.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+TEST(Pmfs, CreateWriteRead) {
+  NvmManager nvm(TestNvmConfig(8));
+  Pmfs fs(&nvm);
+  Pmfs::File* f = fs.Create("data", 4096);
+  const char msg[] = "hello persistent world";
+  fs.Write(f, 100, msg, sizeof(msg));
+  char out[sizeof(msg)] = {0};
+  fs.Read(f, 100, out, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+  EXPECT_EQ(fs.Open("data"), f);
+  EXPECT_EQ(fs.Open("missing"), nullptr);
+}
+
+TEST(Pmfs, WritesAreDurable) {
+  NvmManager nvm(TestNvmConfig(8));
+  Pmfs fs(&nvm);
+  Pmfs::File* f = fs.Create("data", 4096);
+  std::uint64_t v = 42;
+  fs.Write(f, 0, &v, sizeof(v));
+  nvm.SimulateCrash();
+  std::uint64_t out = 0;
+  fs.Read(f, 0, &out, sizeof(out));
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(Pmfs, AppendAdvancesCursor) {
+  NvmManager nvm(TestNvmConfig(8));
+  Pmfs fs(&nvm);
+  Pmfs::File* f = fs.Create("log", 4096);
+  EXPECT_EQ(fs.Append(f, "aaaa", 4), 0u);
+  EXPECT_EQ(fs.Append(f, "bbbb", 4), 4u);
+  EXPECT_EQ(f->append_off, 8u);
+}
+
+TEST(WalFile, BufferedUntilFlush) {
+  NvmManager nvm(TestNvmConfig(8));
+  Pmfs fs(&nvm);
+  WalFile log(&fs, "wal", 1 << 20);
+  WalRecordHeader h;
+  h.tid = 1;
+  h.type = 1;
+  h.payload_bytes = 8;
+  std::uint64_t payload = 7;
+  log.Append(h, &payload);
+  EXPECT_EQ(log.durable_lsn(), 0u);  // still buffered
+  log.Flush();
+  EXPECT_GT(log.durable_lsn(), 0u);
+  int seen = 0;
+  log.ForEachDurable([&](const WalRecordHeader& hdr, const char* p) {
+    EXPECT_EQ(hdr.tid, 1u);
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    EXPECT_EQ(v, 7u);
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(WalFile, LoseBufferDropsUnflushed) {
+  NvmManager nvm(TestNvmConfig(8));
+  Pmfs fs(&nvm);
+  WalFile log(&fs, "wal", 1 << 20);
+  WalRecordHeader h;
+  h.payload_bytes = 0;
+  log.Append(h, nullptr);
+  log.Flush();
+  log.Append(h, nullptr);
+  log.LoseBuffer();  // crash
+  int seen = 0;
+  log.ForEachDurable([&](const WalRecordHeader&, const char*) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(BufferPool, WriteBackAndReload) {
+  NvmManager nvm(TestNvmConfig(16));
+  Pmfs fs(&nvm);
+  BufferPool pool(&fs, "db", 16);
+  auto* words = reinterpret_cast<std::uint64_t*>(pool.frame_data(3));
+  pool.FixExclusive(3);
+  words[0] = 77;
+  pool.set_page_lsn(3, 5);
+  pool.Unfix(3);
+  EXPECT_TRUE(pool.dirty(3));
+  EXPECT_EQ(pool.PidOf(&words[0]), 3u);
+  pool.WriteBack(3);
+  EXPECT_FALSE(pool.dirty(3));
+  // Scribble the frame, reload from the durable file.
+  words[0] = 0;
+  pool.ReloadAll();
+  EXPECT_EQ(words[0], 77u);
+}
+
+TEST(BufferPool, WriteBackAllFlushesOnlyDirty) {
+  NvmManager nvm(TestNvmConfig(16));
+  Pmfs fs(&nvm);
+  BufferPool pool(&fs, "db", 8);
+  pool.set_page_lsn(1, 1);
+  pool.set_page_lsn(5, 2);
+  EXPECT_EQ(pool.WriteBackAll(), 2u);
+  EXPECT_EQ(pool.WriteBackAll(), 0u);
+}
+
+TEST(LogRecordRendering, TypeNamesAndToString) {
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kUpdate), "UPDATE");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kClr), "CLR");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kEnd), "END");
+  EXPECT_STREQ(LogRecordTypeName(LogRecordType::kCheckpoint), "CHECKPOINT");
+  LogRecord r{};
+  r.lsn = 9;
+  r.tid = 3;
+  r.type = LogRecordType::kUpdate;
+  r.addr = 0x1000;
+  r.old_value = 1;
+  r.new_value = 2;
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("UPDATE"), std::string::npos);
+  EXPECT_NE(s.find("lsn=9"), std::string::npos);
+  EXPECT_NE(s.find("old=1"), std::string::npos);
+}
+
+TEST(ConfigLabels, CoverTheDesignSpace) {
+  RewindConfig c;
+  c.layers = Layers::kOne;
+  c.policy = Policy::kNoForce;
+  c.log_impl = LogImpl::kBatch;
+  EXPECT_EQ(c.Label(), "1L-NFP/Batch");
+  c.layers = Layers::kTwo;
+  c.policy = Policy::kForce;
+  c.log_impl = LogImpl::kOptimized;
+  EXPECT_EQ(c.Label(), "2L-FP/Opt");
+  EXPECT_TRUE(c.force());
+  EXPECT_TRUE(c.two_layer());
+}
+
+}  // namespace
+}  // namespace rwd

@@ -1,0 +1,49 @@
+// Shared helpers for the REWIND test suites.
+#ifndef REWIND_TESTS_TEST_UTIL_H_
+#define REWIND_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/nvm/crash.h"
+#include "src/nvm/nvm_config.h"
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+
+/// NVM config for unit tests: crash simulation on, latency off, small heap.
+inline NvmConfig TestNvmConfig(std::size_t heap_mb = 64) {
+  NvmConfig cfg;
+  cfg.mode = NvmMode::kCrashSim;
+  cfg.heap_bytes = heap_mb << 20;
+  cfg.write_latency_ns = 0;
+  cfg.fence_latency_ns = 0;
+  return cfg;
+}
+
+/// Runs `body` with a crash injected at persistence event `at` (1-based).
+/// Returns true if the crash fired (false means the body completed with
+/// fewer than `at` events). The simulated power failure is taken before
+/// returning, so the caller can immediately run recovery.
+///
+/// `evict_probability`/`seed` control the randomized cacheline eviction the
+/// crash applies to dirty lines.
+inline bool RunWithCrashAt(NvmManager* nvm, std::uint64_t at,
+                           const std::function<void()>& body,
+                           double evict_probability = 0.0,
+                           std::uint64_t seed = 0) {
+  nvm->crash_injector().Arm(at);
+  bool crashed = false;
+  try {
+    body();
+  } catch (const CrashException&) {
+    crashed = true;
+  }
+  nvm->crash_injector().Disarm();
+  if (crashed) nvm->SimulateCrash(evict_probability, seed);
+  return crashed;
+}
+
+}  // namespace rwd
+
+#endif  // REWIND_TESTS_TEST_UTIL_H_

@@ -1,0 +1,51 @@
+// Parameterization helpers: the REWIND configuration space for TEST_P.
+#ifndef REWIND_TESTS_TM_CONFIG_UTIL_H_
+#define REWIND_TESTS_TM_CONFIG_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+
+/// All meaningful configurations: one-layer logging with each of the three
+/// log layouts, and two-layer logging (whose bottom layer is always the
+/// optimized bucket log, as in the paper), each under force and no-force.
+inline std::vector<RewindConfig> AllConfigs(std::size_t heap_mb = 8) {
+  std::vector<RewindConfig> out;
+  for (Policy policy : {Policy::kForce, Policy::kNoForce}) {
+    for (LogImpl impl :
+         {LogImpl::kSimple, LogImpl::kOptimized, LogImpl::kBatch}) {
+      RewindConfig c;
+      c.nvm = TestNvmConfig(heap_mb);
+      c.layers = Layers::kOne;
+      c.log_impl = impl;
+      c.policy = policy;
+      c.bucket_capacity = 16;  // small buckets exercise expansion
+      c.batch_group_size = 4;
+      out.push_back(c);
+    }
+    RewindConfig c;
+    c.nvm = TestNvmConfig(heap_mb);
+    c.layers = Layers::kTwo;
+    c.log_impl = LogImpl::kOptimized;
+    c.policy = policy;
+    c.bucket_capacity = 16;
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string ConfigName(const RewindConfig& c) {
+  std::string s = c.Label();
+  for (char& ch : s) {
+    if (ch == '-' || ch == '/') ch = '_';
+  }
+  return s;
+}
+
+}  // namespace rwd
+
+#endif  // REWIND_TESTS_TM_CONFIG_UTIL_H_

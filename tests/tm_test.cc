@@ -1,0 +1,202 @@
+// Functional tests of the transaction manager across every REWIND
+// configuration (no crashes here; see recovery_test.cc for those).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/core/transaction_manager.h"
+#include "tests/tm_config_util.h"
+
+namespace rwd {
+namespace {
+
+class TmTest : public ::testing::TestWithParam<RewindConfig> {
+ protected:
+  TmTest()
+      : nvm_(GetParam().nvm),
+        tm_(&nvm_, GetParam()),
+        data_(static_cast<std::uint64_t*>(nvm_.Alloc(8 * 64))) {}
+
+  bool force() const { return GetParam().force(); }
+
+  NvmManager nvm_;
+  TransactionManager tm_;
+  std::uint64_t* data_;
+};
+
+TEST_P(TmTest, CommitAppliesWrites) {
+  std::uint32_t t = tm_.Begin();
+  tm_.Write(t, &data_[0], 11);
+  tm_.Write(t, &data_[1], 22);
+  tm_.Commit(t);
+  EXPECT_EQ(tm_.Read(&data_[0]), 11u);
+  EXPECT_EQ(tm_.Read(&data_[1]), 22u);
+  EXPECT_EQ(data_[0], 11u);  // applied, not just buffered
+  EXPECT_EQ(tm_.stats().commits, 1u);
+}
+
+TEST_P(TmTest, ForcePolicyClearsLogAtCommit) {
+  std::uint32_t t = tm_.Begin();
+  for (int i = 0; i < 10; ++i) {
+    tm_.Write(t, &data_[i % 8], static_cast<std::uint64_t>(i));
+  }
+  EXPECT_GT(tm_.LogSize(), 0u);
+  tm_.Commit(t);
+  if (force()) {
+    EXPECT_EQ(tm_.LogSize(), 0u);  // cleared at commit
+  } else {
+    EXPECT_GT(tm_.LogSize(), 0u);  // awaiting checkpoint
+    tm_.Checkpoint();
+    EXPECT_EQ(tm_.LogSize(), 0u);
+  }
+}
+
+TEST_P(TmTest, RollbackRestoresOldValues) {
+  std::uint32_t t0 = tm_.Begin();
+  tm_.Write(t0, &data_[0], 5);
+  tm_.Write(t0, &data_[1], 6);
+  tm_.Commit(t0);
+  std::uint32_t t1 = tm_.Begin();
+  tm_.Write(t1, &data_[0], 50);
+  tm_.Write(t1, &data_[1], 60);
+  tm_.Write(t1, &data_[0], 500);  // second write to the same word
+  tm_.Rollback(t1);
+  EXPECT_EQ(tm_.Read(&data_[0]), 5u);
+  EXPECT_EQ(tm_.Read(&data_[1]), 6u);
+  EXPECT_EQ(tm_.stats().rollbacks, 1u);
+}
+
+TEST_P(TmTest, RollbackOfReadOnlyTxnIsHarmless) {
+  std::uint32_t t = tm_.Begin();
+  tm_.Rollback(t);
+  EXPECT_EQ(tm_.Read(&data_[0]), 0u);
+}
+
+TEST_P(TmTest, InterleavedTransactionsCommitIndependently) {
+  std::uint32_t a = tm_.Begin();
+  std::uint32_t b = tm_.Begin();
+  tm_.Write(a, &data_[0], 1);
+  tm_.Write(b, &data_[1], 2);
+  tm_.Write(a, &data_[2], 3);
+  tm_.Write(b, &data_[3], 4);
+  tm_.Commit(a);
+  tm_.Rollback(b);
+  EXPECT_EQ(tm_.Read(&data_[0]), 1u);
+  EXPECT_EQ(tm_.Read(&data_[1]), 0u);
+  EXPECT_EQ(tm_.Read(&data_[2]), 3u);
+  EXPECT_EQ(tm_.Read(&data_[3]), 0u);
+}
+
+TEST_P(TmTest, ReadYourWritesBeforeGroupFlush) {
+  // Under the Batch log a write may be parked in the WAL deferral buffer;
+  // Read() must still observe it immediately.
+  std::uint32_t t = tm_.Begin();
+  tm_.Write(t, &data_[0], 77);
+  EXPECT_EQ(tm_.Read(&data_[0]), 77u);
+  tm_.Write(t, &data_[0], 78);
+  EXPECT_EQ(tm_.Read(&data_[0]), 78u);
+  tm_.Commit(t);
+  EXPECT_EQ(data_[0], 78u);
+}
+
+TEST_P(TmTest, WalOrderRecordBeforeData) {
+  // Under force + non-batch, the data word is NT-stored right after its
+  // record; under no-force it sits in cache. Either way the record count
+  // grows with each Write.
+  std::uint32_t t = tm_.Begin();
+  auto before = tm_.stats().records_logged;
+  tm_.Write(t, &data_[0], 9);
+  EXPECT_EQ(tm_.stats().records_logged, before + 1);
+  tm_.Commit(t);
+}
+
+TEST_P(TmTest, DeferredFreeHonoursCommit) {
+  void* blk = nvm_.Alloc(64);
+  std::uint32_t t = tm_.Begin();
+  tm_.Write(t, &data_[0], 1);
+  tm_.LogDelete(t, blk);
+  EXPECT_TRUE(nvm_.heap().IsLive(blk));  // not freed yet
+  tm_.Commit(t);
+  if (!force()) tm_.Checkpoint();
+  EXPECT_FALSE(nvm_.heap().IsLive(blk));  // freed after commit
+  EXPECT_EQ(nvm_.heap().double_free_count(), 0u);
+}
+
+TEST_P(TmTest, DeferredFreeSkippedOnRollback) {
+  void* blk = nvm_.Alloc(64);
+  std::uint32_t t = tm_.Begin();
+  tm_.Write(t, &data_[0], 1);
+  tm_.LogDelete(t, blk);
+  tm_.Rollback(t);
+  if (!force()) tm_.Checkpoint();
+  EXPECT_TRUE(nvm_.heap().IsLive(blk));  // kept alive
+  nvm_.Free(blk);
+  EXPECT_EQ(nvm_.heap().double_free_count(), 0u);
+}
+
+TEST_P(TmTest, CheckpointKeepsActiveTransactionsRecords) {
+  std::uint32_t done = tm_.Begin();
+  std::uint32_t active = tm_.Begin();
+  tm_.Write(done, &data_[0], 1);
+  tm_.Write(active, &data_[1], 2);
+  tm_.Commit(done);
+  if (force()) return;  // checkpoints are a no-force mechanism
+  tm_.Checkpoint();
+  EXPECT_GT(tm_.LogSize(), 0u);  // active txn's record survives
+  tm_.Commit(active);
+  tm_.Checkpoint();
+  EXPECT_EQ(tm_.LogSize(), 0u);
+}
+
+TEST_P(TmTest, ManySmallTransactionsStayBalanced) {
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    std::uint32_t t = tm_.Begin();
+    tm_.Write(t, &data_[i % 8], i);
+    if (i % 7 == 0) {
+      tm_.Rollback(t);
+    } else {
+      tm_.Commit(t);
+    }
+    if (!force() && i % 100 == 99) tm_.Checkpoint();
+  }
+  if (!force()) tm_.Checkpoint();
+  EXPECT_EQ(tm_.LogSize(), 0u);
+  if (tm_.index() != nullptr) {
+    EXPECT_TRUE(tm_.index()->CheckInvariants());
+    EXPECT_EQ(tm_.index()->txn_count(), 0u);
+  }
+}
+
+TEST_P(TmTest, ConcurrentWritersToDistinctWords) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 200;
+  auto* arr = static_cast<std::uint64_t*>(nvm_.Alloc(kThreads * kOps * 8));
+  std::vector<std::thread> threads;
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      for (int i = 0; i < kOps; ++i) {
+        std::uint32_t t = tm_.Begin();
+        tm_.Write(t, &arr[th * kOps + i], static_cast<std::uint64_t>(th + 1));
+        tm_.Commit(t);
+      }
+    });
+  }
+  for (auto& t : threads) threads[&t - &threads[0]].join();
+  for (int th = 0; th < kThreads; ++th) {
+    for (int i = 0; i < kOps; ++i) {
+      EXPECT_EQ(tm_.Read(&arr[th * kOps + i]),
+                static_cast<std::uint64_t>(th + 1));
+    }
+  }
+  EXPECT_EQ(tm_.stats().commits, kThreads * kOps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, TmTest, ::testing::ValuesIn(AllConfigs()),
+    [](const ::testing::TestParamInfo<RewindConfig>& info) {
+      return ConfigName(info.param);
+    });
+
+}  // namespace
+}  // namespace rwd

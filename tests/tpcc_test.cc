@@ -1,0 +1,86 @@
+// TPC-C tests: loading, new_order correctness, consistency across layouts,
+// recovery of the TPC-C database after a crash.
+#include <gtest/gtest.h>
+
+#include "src/tpcc/tpcc.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+RewindConfig TpccConfig() {
+  RewindConfig c;
+  c.nvm = TestNvmConfig(192);
+  c.nvm.mode = NvmMode::kFast;  // functional tests; crash test overrides
+  c.log_impl = LogImpl::kBatch;
+  c.policy = Policy::kNoForce;
+  c.bucket_capacity = 1000;
+  return c;
+}
+
+class TpccTest : public ::testing::TestWithParam<TpccLayout> {};
+
+TEST_P(TpccTest, NewOrdersKeepDatabaseConsistent) {
+  RewindConfig cfg = TpccConfig();
+  std::size_t parts = GetParam() == TpccLayout::kRewindDistLog ? 4 : 1;
+  Runtime rt(cfg, parts);
+  TpccDb db(&rt, GetParam());
+  db.Load();
+  std::uint64_t rng = 42;
+  int committed = 0;
+  for (int i = 0; i < 300; ++i) {
+    committed += db.NewOrder(i % TpccScale::kTerminals, &rng) ? 1 : 0;
+  }
+  EXPECT_GT(committed, 250);
+  EXPECT_LT(committed, 301);
+  EXPECT_TRUE(db.CheckConsistency());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, TpccTest,
+    ::testing::Values(TpccLayout::kNvmPlain, TpccLayout::kRewindNaive,
+                      TpccLayout::kRewindOptimized,
+                      TpccLayout::kRewindDistLog),
+    [](const auto& info) {
+      switch (info.param) {
+        case TpccLayout::kNvmPlain:
+          return "NvmPlain";
+        case TpccLayout::kRewindNaive:
+          return "RewindNaive";
+        case TpccLayout::kRewindOptimized:
+          return "RewindOptimized";
+        case TpccLayout::kRewindDistLog:
+          return "RewindDistLog";
+      }
+      return "?";
+    });
+
+TEST(TpccRecovery, CrashMidWorkloadRecoversConsistentState) {
+  RewindConfig cfg = TpccConfig();
+  cfg.nvm.mode = NvmMode::kCrashSim;
+  cfg.nvm.heap_bytes = std::size_t{192} << 20;
+  Runtime rt(cfg);
+  TpccDb db(&rt, TpccLayout::kRewindOptimized);
+  db.Load();
+  std::uint64_t rng = 7;
+  bool crashed = RunWithCrashAt(
+      &rt.nvm(), 40000,
+      [&] {
+        for (int i = 0; i < 2000; ++i) db.NewOrder(0, &rng);
+      },
+      /*evict_probability=*/0.2, /*seed=*/3);
+  ASSERT_TRUE(crashed);
+  rt.CrashAndRecover();
+  EXPECT_TRUE(db.CheckConsistency());
+}
+
+TEST(TpccThroughput, MultiTerminalRunCompletes) {
+  RewindConfig cfg = TpccConfig();
+  Runtime rt(cfg);
+  double tpm = RunTpcc(&rt, TpccLayout::kRewindOptimized,
+                       /*txns_per_terminal=*/100);
+  EXPECT_GT(tpm, 0.0);
+}
+
+}  // namespace
+}  // namespace rwd
