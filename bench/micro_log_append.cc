@@ -67,7 +67,8 @@ void BM_TmWriteCommit(benchmark::State& state) {
   std::uint64_t i = 0;
   for (auto _ : state) {
     std::uint32_t tid = tm.Begin();
-    tm.Write(tid, &tbl[i++ % 1024], i);
+    ++i;
+    tm.Write(tid, &tbl[i % 1024], i);
     tm.Commit(tid);
   }
 }
@@ -84,7 +85,8 @@ void BM_TwoLayerWrite(benchmark::State& state) {
   std::uint64_t i = 0;
   for (auto _ : state) {
     std::uint32_t tid = tm.Begin();
-    tm.Write(tid, &tbl[i++ % 1024], i);
+    ++i;
+    tm.Write(tid, &tbl[i % 1024], i);
     tm.Commit(tid);
   }
 }

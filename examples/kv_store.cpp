@@ -1,105 +1,84 @@
-// A persistent key-value store: the paper's motivating use-case of
-// co-designing application data structures with their persistent
-// representation. Combines a recoverable B+-tree (ordered index, 32-byte
-// values) with a recoverable hash table (secondary index), both updated in
-// a single transaction — multi-structure atomicity is exactly what the
-// REWIND transaction manager provides and ad-hoc persistence cannot.
+// RewindKV quickstart: the paper's motivating use-case — application data
+// structures co-designed with recoverable logging — packaged as an
+// embedded, sharded key-value store. Each shard owns one log partition
+// (the paper's distributed log, Fig. 11) plus a recoverable B+-tree
+// primary index and hash-table secondary index updated atomically in one
+// REWIND transaction.
 //
 // Build: cmake --build build && ./build/examples/kv_store
 #include <cstdio>
-#include <cstring>
+#include <string>
 
-#include "src/core/runtime.h"
-#include "src/structures/btree.h"
-#include "src/structures/phash.h"
-
-namespace {
-
-// A tiny "user profile" record packed into the tree's 32-byte payload.
-struct Profile {
-  std::uint64_t user_id;
-  std::uint64_t follower_count;
-  std::uint64_t post_count;
-  std::uint64_t flags;
-};
-static_assert(sizeof(Profile) == rwd::BTree::kPayloadBytes);
-
-constexpr std::uint64_t kHandleSalt = 0x9E3779B97F4A7C15ull;
-
-}  // namespace
+#include "src/kv/kv_store.h"
+#include "src/workload/workload.h"
 
 int main() {
   using namespace rwd;
-  RewindConfig config;
-  config.nvm.mode = NvmMode::kCrashSim;
-  config.nvm.heap_bytes = 128 << 20;
-  config.nvm.write_latency_ns = 0;
-  config.nvm.fence_latency_ns = 0;
-  config.log_impl = LogImpl::kBatch;
-  config.policy = Policy::kNoForce;
-  Runtime runtime(config);
-  RewindOps ops(&runtime.tm());
+  KvConfig config;
+  config.rewind.nvm.mode = NvmMode::kCrashSim;
+  config.rewind.nvm.heap_bytes = 128 << 20;
+  config.rewind.nvm.write_latency_ns = 0;
+  config.rewind.nvm.fence_latency_ns = 0;
+  config.rewind.log_impl = LogImpl::kBatch;
+  config.rewind.policy = Policy::kNoForce;
+  config.shards = 4;
+  KvStore store(config);
 
-  // Primary store: user_id -> profile. Secondary index: handle -> user_id.
-  ops.BeginOp();
-  BTree profiles(&ops);
-  PHash handle_index(&ops, 64);
-  ops.CommitOp();
-
-  // Insert users: both structures change in ONE transaction, so a crash can
-  // never leave the index pointing at a missing profile.
-  auto create_user = [&](std::uint64_t id, std::uint64_t handle_hash) {
-    ops.BeginOp();
-    Profile p{id, 0, 0, 1};
-    profiles.Insert(&ops, id, &p);
-    ops.CommitOp();
-    handle_index.Put(&ops, handle_hash, id);  // its own transaction
-  };
+  // Single-key operations: each Put updates the shard's B+-tree and hash
+  // index in ONE transaction, so a crash can never leave them disagreeing.
   for (std::uint64_t id = 1; id <= 1000; ++id) {
-    create_user(id, kHandleSalt * id);
+    store.Put(id, "profile-" + std::to_string(id));
   }
-  std::printf("loaded %lu profiles, %lu handles\n",
-              profiles.size(&ops), handle_index.size(&ops));
+  std::printf("loaded %lu profiles across %zu shards\n",
+              static_cast<unsigned long>(store.Size()), store.shards());
 
-  // In-place transactional updates (follower bump across two users).
-  ops.BeginOp();
-  profiles.UpdatePayloadWord(&ops, 7, 1, 42);    // user 7 gains followers
-  profiles.UpdatePayloadWord(&ops, 9, 2, 1000);  // user 9 posts a lot
-  ops.CommitOp();
+  // A cross-shard batch: every involved shard moves together or not at
+  // all for concurrent readers.
+  store.MultiPut({{2001, "alice"}, {2002, "bob"}, {2003, "carol"}});
 
-  // A transaction that changes many profiles, then aborts: nothing sticks.
-  ops.BeginOp();
-  for (std::uint64_t id = 1; id <= 50; ++id) {
-    profiles.UpdatePayloadWord(&ops, id, 3, 0xDEAD);
-  }
-  ops.AbortOp();
+  // Snapshot-consistent ordered scan across every shard.
+  std::printf("users 2001..: ");
+  store.Scan(2001, 3, [](std::uint64_t key, std::string_view value) {
+    std::printf("[%lu=%.*s] ", static_cast<unsigned long>(key),
+                static_cast<int>(value.size()), value.data());
+    return true;
+  });
+  std::printf("\n");
 
-  Profile out{};
-  profiles.Lookup(&ops, 7, &out);
-  std::printf("user 7: followers=%lu (expected 42)\n", out.follower_count);
-  profiles.Lookup(&ops, 1, &out);
-  std::printf("user 1: flags=%lu (expected 1; the abort rolled back)\n",
-              out.flags);
-
-  // Crash mid-bulk-update, recover, verify.
-  runtime.nvm().crash_injector().Arm(500);
+  // Crash mid-overwrite, recover, verify: the interrupted transaction
+  // rolls back; every committed key survives on every shard.
+  store.Put(7, "before-crash");
+  store.runtime().nvm().crash_injector().Arm(500);
   try {
-    ops.BeginOp();
     for (std::uint64_t id = 1; id <= 1000; ++id) {
-      profiles.UpdatePayloadWord(&ops, id, 1, 777);
+      store.Put(id, "bulk-overwrite-" + std::to_string(id));
     }
-    ops.CommitOp();
   } catch (const CrashException&) {
-    std::printf("power failure during the bulk update...\n");
+    std::printf("power failure during the bulk overwrite...\n");
   }
-  runtime.CrashAndRecover();
-  profiles.Lookup(&ops, 7, &out);
-  std::printf("after recovery user 7: followers=%lu (42 = rolled back, "
-              "777 = committed before crash)\n",
-              out.follower_count);
-  std::uint64_t id_out = 0;
-  bool found = handle_index.Get(&ops, kHandleSalt * 7, &id_out);
-  std::printf("handle lookup intact: %s -> user %lu\n",
-              found ? "yes" : "no", id_out);
+  store.CrashAndRecover();
+
+  std::string value;
+  store.Get(7, &value);
+  std::printf("after recovery user 7 -> \"%s\" (committed value survives)\n",
+              value.c_str());
+  bool found = store.Get(2002, &value);
+  std::printf("cross-shard batch intact: %s -> %s\n",
+              found ? "yes" : "no", value.c_str());
+
+  // Drive a quick YCSB workload A mix (50/50 read/update, zipfian).
+  WorkloadSpec spec = WorkloadSpec::Preset('a');
+  spec.record_count = 2000;
+  spec.op_count = 5000;
+  spec.threads = 2;
+  KvConfig bench_cfg = config;
+  bench_cfg.checkpoint_period_ms = 20;
+  KvStore bench_store(bench_cfg);
+  WorkloadDriver driver(&bench_store, spec);
+  driver.Load();
+  WorkloadResult r = driver.Run();
+  std::printf("ycsb-a: %lu ops in %.3f s (%.0f ops/s)\n",
+              static_cast<unsigned long>(r.ops()), r.seconds,
+              r.throughput());
   return 0;
 }

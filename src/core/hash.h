@@ -1,0 +1,23 @@
+// Shared 64-bit hashing primitives.
+#ifndef REWIND_CORE_HASH_H_
+#define REWIND_CORE_HASH_H_
+
+#include <cstdint>
+
+namespace rwd {
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation used
+/// for shard placement (KvStore) and deterministic value streams
+/// (WorkloadDriver).
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace rwd
+
+#endif  // REWIND_CORE_HASH_H_

@@ -47,11 +47,21 @@ void Runtime::CrashAndRecover(double evict_probability, std::uint64_t seed) {
 
 void Runtime::StartCheckpointDaemon(std::uint32_t period_ms) {
   StopCheckpointDaemon();
+  LaunchCheckpointThread(kAllPartitions, period_ms);
+}
+
+void Runtime::StartPartitionCheckpointDaemon(std::size_t partition,
+                                             std::uint32_t period_ms) {
+  LaunchCheckpointThread(partition, period_ms);
+}
+
+void Runtime::LaunchCheckpointThread(std::size_t partition,
+                                     std::uint32_t period_ms) {
   {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
     ckpt_stop_ = false;
   }
-  ckpt_thread_ = std::thread([this, period_ms] {
+  ckpt_threads_.emplace_back([this, partition, period_ms] {
     std::unique_lock<std::mutex> lock(ckpt_mu_);
     while (!ckpt_stop_) {
       if (ckpt_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
@@ -59,7 +69,18 @@ void Runtime::StartCheckpointDaemon(std::uint32_t period_ms) {
         return;
       }
       lock.unlock();
-      for (auto& tm : tms_) tm->Checkpoint();
+      try {
+        if (partition == kAllPartitions) {
+          for (auto& tm : tms_) tm->Checkpoint();
+        } else {
+          tms_[partition]->Checkpoint();
+        }
+      } catch (const CrashException&) {
+        // An armed crash injector fired on this daemon thread (kCrashSim):
+        // the "machine" lost power, so the daemon just stops; the driving
+        // thread runs SimulateCrash()/recovery as usual.
+        return;
+      }
       lock.lock();
     }
   });
@@ -71,7 +92,19 @@ void Runtime::StopCheckpointDaemon() {
     ckpt_stop_ = true;
   }
   ckpt_cv_.notify_all();
-  if (ckpt_thread_.joinable()) ckpt_thread_.join();
+  for (auto& t : ckpt_threads_) {
+    if (t.joinable()) t.join();
+  }
+  ckpt_threads_.clear();
+}
+
+void Runtime::CheckpointPartition(std::size_t partition) {
+  tms_[partition]->Checkpoint();
+}
+
+void Runtime::RecoverPartition(std::size_t partition) {
+  tms_[partition]->ForgetVolatileState();
+  tms_[partition]->Recover();
 }
 
 }  // namespace rwd

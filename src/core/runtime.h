@@ -51,10 +51,29 @@ class Runtime {
   void CrashAndRecover(double evict_probability = 0.0,
                        std::uint64_t seed = 0);
 
-  /// Starts a background checkpointing thread with the given period
-  /// (no-force policy; paper Section 4.6). Stop with StopCheckpointDaemon().
+  /// Starts a background checkpointing thread covering every partition with
+  /// the given period (no-force policy; paper Section 4.6). Replaces any
+  /// running daemons. Stop with StopCheckpointDaemon().
   void StartCheckpointDaemon(std::uint32_t period_ms);
+
+  /// Starts a daemon that checkpoints only `partition`, so shards of a
+  /// larger system (e.g. RewindKV) run independent checkpoint cadences.
+  /// Unlike StartCheckpointDaemon() this does not stop daemons already
+  /// running for other partitions.
+  void StartPartitionCheckpointDaemon(std::size_t partition,
+                                      std::uint32_t period_ms);
+
+  /// Stops every checkpoint daemon (whole-store and per-partition).
   void StopCheckpointDaemon();
+
+  /// Checkpoints a single partition's log (shard-local hook).
+  void CheckpointPartition(std::size_t partition);
+
+  /// Re-runs restart recovery on one partition after dropping its volatile
+  /// state — the shard-local counterpart of CrashAndRecover() (which the
+  /// caller must still use after a simulated power failure, since a crash
+  /// hits the whole NVM device).
+  void RecoverPartition(std::size_t partition);
 
  private:
   struct BootSector {
@@ -69,7 +88,11 @@ class Runtime {
   BootSector* boot_ = nullptr;
   bool recovered_at_boot_ = false;
 
-  std::thread ckpt_thread_;
+  /// Launches a daemon thread; `partition` == kAllPartitions covers all.
+  void LaunchCheckpointThread(std::size_t partition, std::uint32_t period_ms);
+  static constexpr std::size_t kAllPartitions = ~std::size_t{0};
+
+  std::vector<std::thread> ckpt_threads_;
   std::mutex ckpt_mu_;
   std::condition_variable ckpt_cv_;
   bool ckpt_stop_ = false;

@@ -1,0 +1,233 @@
+#include "src/kv/kv_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rwd {
+
+KvStore::KvStore(const KvConfig& config)
+    : config_(config),
+      runtime_(std::make_unique<Runtime>(
+          config.rewind, std::max<std::size_t>(config.shards, 1))) {
+  std::size_t n = runtime_->partitions();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->ops = std::make_unique<RewindOps>(&runtime_->tm(i));
+    shard->ops->BeginOp();
+    shard->primary = std::make_unique<BTree>(shard->ops.get());
+    shard->secondary = std::make_unique<PHash>(
+        shard->ops.get(), config_.secondary_initial_capacity);
+    shard->ops->CommitOp();
+    shards_.push_back(std::move(shard));
+  }
+  if (config_.checkpoint_period_ms != 0) {
+    StartCheckpointDaemons(config_.checkpoint_period_ms);
+  }
+}
+
+KvStore::~KvStore() { runtime_->StopCheckpointDaemon(); }
+
+std::uint64_t* KvStore::NewValueBuffer(StorageOps* ops,
+                                       std::string_view value) {
+  std::size_t words = 1 + (value.size() + 7) / 8;
+  auto* buf = static_cast<std::uint64_t*>(ops->AllocRaw(words * 8));
+  ops->InitStore(&buf[0], value.size());
+  for (std::size_t w = 0; w + 1 < words; ++w) {
+    std::uint64_t word = 0;
+    std::size_t off = w * 8;
+    std::memcpy(&word, value.data() + off,
+                std::min<std::size_t>(8, value.size() - off));
+    ops->InitStore(&buf[1 + w], word);
+  }
+  ops->PublishInit(buf, words * 8);
+  return buf;
+}
+
+void KvStore::PutInOp(Shard& s, std::uint64_t key, std::string_view value) {
+  StorageOps* ops = s.ops.get();
+  std::uint64_t old_ptr = 0;
+  bool existed = s.secondary->Get(ops, key, &old_ptr);
+  std::uint64_t* buf = NewValueBuffer(ops, value);
+  auto buf_word = reinterpret_cast<std::uint64_t>(buf);
+  if (existed) {
+    s.primary->UpdatePayloadWord(ops, key, 0, buf_word);
+    s.primary->UpdatePayloadWord(ops, key, 1, value.size());
+    s.secondary->PutOp(ops, key, buf_word);
+    ops->DeferredFree(reinterpret_cast<void*>(old_ptr));
+  } else {
+    std::uint64_t payload[BTree::kPayloadWords] = {buf_word, value.size(), 0,
+                                                   0};
+    s.primary->Insert(ops, key, payload);
+    s.secondary->PutOp(ops, key, buf_word);
+  }
+}
+
+bool KvStore::Put(std::uint64_t key, std::string_view value) {
+  if (!ValidKey(key)) return false;
+  Shard& s = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.stats.puts;
+  s.ops->BeginOp();
+  PutInOp(s, key, value);
+  s.ops->CommitOp();
+  return true;
+}
+
+bool KvStore::Get(std::uint64_t key, std::string* value_out) {
+  if (!ValidKey(key)) return false;
+  Shard& s = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.stats.gets;
+  std::uint64_t ptr = 0;
+  if (!s.secondary->Get(s.ops.get(), key, &ptr)) return false;
+  ++s.stats.hits;
+  const auto* buf = reinterpret_cast<const std::uint64_t*>(ptr);
+  std::uint64_t size = s.ops->Load(&buf[0]);
+  if (value_out != nullptr) {
+    value_out->assign(reinterpret_cast<const char*>(buf + 1), size);
+  }
+  return true;
+}
+
+bool KvStore::Delete(std::uint64_t key) {
+  if (!ValidKey(key)) return false;
+  Shard& s = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.stats.deletes;
+  std::uint64_t ptr = 0;
+  if (!s.secondary->Get(s.ops.get(), key, &ptr)) return false;
+  s.ops->BeginOp();
+  s.primary->Remove(s.ops.get(), key);
+  s.secondary->EraseOp(s.ops.get(), key);
+  s.ops->DeferredFree(reinterpret_cast<void*>(ptr));
+  s.ops->CommitOp();
+  return true;
+}
+
+std::size_t KvStore::Scan(
+    std::uint64_t from_key, std::size_t max_items,
+    const std::function<bool(std::uint64_t, std::string_view)>& fn) {
+  if (max_items == 0) return 0;
+  // Shard-ordered latch acquisition: the scan sees one consistent cut.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& s : shards_) locks.emplace_back(s->mu);
+
+  struct Item {
+    std::uint64_t key;
+    const std::uint64_t* buf;
+    std::uint64_t size;
+  };
+  std::vector<Item> items;
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    ++s.stats.scans;
+    StorageOps* ops = s.ops.get();
+    s.primary->ScanRange(
+        ops, from_key, ~std::uint64_t{0}, max_items,
+        [&](std::uint64_t k, const void* payload) {
+          const auto* p = static_cast<const std::uint64_t*>(payload);
+          items.push_back({k,
+                           reinterpret_cast<const std::uint64_t*>(
+                               ops->Load(&p[0])),
+                           ops->Load(&p[1])});
+          return true;
+        });
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.key < b.key; });
+  std::size_t visited = 0;
+  for (const Item& it : items) {
+    if (visited == max_items) break;
+    ++visited;
+    if (!fn(it.key, std::string_view(
+                        reinterpret_cast<const char*>(it.buf + 1), it.size))) {
+      break;
+    }
+  }
+  return visited;
+}
+
+bool KvStore::MultiPut(
+    const std::vector<std::pair<std::uint64_t, std::string>>& kvs) {
+  for (const auto& kv : kvs) {
+    if (!ValidKey(kv.first)) return false;
+  }
+  std::vector<std::vector<const std::pair<std::uint64_t, std::string>*>>
+      by_shard(shards_.size());
+  for (const auto& kv : kvs) by_shard[ShardOf(kv.first)].push_back(&kv);
+
+  // Latch the involved shards in ascending shard order, open one
+  // transaction per shard, apply, then commit them all.
+  std::vector<std::size_t> involved;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (by_shard[i].empty()) continue;
+    involved.push_back(i);
+    locks.emplace_back(shards_[i]->mu);
+  }
+  for (std::size_t i : involved) shards_[i]->ops->BeginOp();
+  for (std::size_t i : involved) {
+    Shard& s = *shards_[i];
+    for (const auto* kv : by_shard[i]) {
+      PutInOp(s, kv->first, kv->second);
+      ++s.stats.multiput_keys;
+    }
+  }
+  for (std::size_t i : involved) shards_[i]->ops->CommitOp();
+  return true;
+}
+
+void KvStore::CrashAndRecover(double evict_probability, std::uint64_t seed) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& s : shards_) locks.emplace_back(s->mu);
+  runtime_->CrashAndRecover(evict_probability, seed);
+  if (config_.checkpoint_period_ms != 0) {
+    StartCheckpointDaemons(config_.checkpoint_period_ms);
+  }
+}
+
+void KvStore::StartCheckpointDaemons(std::uint32_t period_ms) {
+  // Replace any daemons already running (e.g. a cadence change); the
+  // per-partition launcher itself deliberately does not stop others.
+  runtime_->StopCheckpointDaemon();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    runtime_->StartPartitionCheckpointDaemon(i, period_ms);
+  }
+}
+
+void KvStore::StopCheckpointDaemons() { runtime_->StopCheckpointDaemon(); }
+
+void KvStore::CheckpointShard(std::size_t shard) {
+  // No shard latch: the transaction manager is internally latched, and the
+  // per-shard daemons checkpoint concurrently with operations the same way.
+  runtime_->CheckpointPartition(shard);
+}
+
+std::uint64_t KvStore::Size() {
+  std::uint64_t total = 0;
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    total += sp->primary->size(sp->ops.get());
+  }
+  return total;
+}
+
+KvShardStats KvStore::shard_stats(std::size_t shard) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  KvShardStats stats = s.stats;
+  stats.keys = s.primary->size(s.ops.get());
+  return stats;
+}
+
+void KvStore::ResetStats() {
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mu);
+    sp->stats = KvShardStats{};
+  }
+}
+
+}  // namespace rwd

@@ -1,0 +1,166 @@
+// RewindKV: an embedded, sharded, crash-recoverable key-value store built
+// on the REWIND runtime — the paper's motivating use-case of co-designing
+// application data structures with recoverable logging (the TPC-C
+// "Opt. Data Structure D.Log" co-design, Fig. 11), grown into a reusable
+// serving-store subsystem.
+#ifndef REWIND_KV_KV_STORE_H_
+#define REWIND_KV_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/hash.h"
+#include "src/core/runtime.h"
+#include "src/structures/btree.h"
+#include "src/structures/phash.h"
+#include "src/structures/storage_ops.h"
+
+namespace rwd {
+
+/// Configuration of a RewindKV instance.
+struct KvConfig {
+  /// REWIND configuration shared by every shard (log layout, policy, NVM).
+  RewindConfig rewind;
+  /// Number of shards; each shard owns one Runtime log partition (the
+  /// paper's distributed log) plus its own primary and secondary index.
+  std::size_t shards = 4;
+  /// Period of the per-shard checkpoint daemons; 0 leaves them off (the
+  /// caller can checkpoint explicitly or start daemons later).
+  std::uint32_t checkpoint_period_ms = 0;
+  /// Initial capacity of each shard's secondary hash index.
+  std::size_t secondary_initial_capacity = 64;
+};
+
+/// Per-shard operation counters (volatile; reset by ResetStats()).
+struct KvShardStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;  ///< gets that found the key
+  std::uint64_t deletes = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t multiput_keys = 0;
+  std::uint64_t keys = 0;  ///< live keys (snapshot; filled by shard_stats())
+};
+
+/// An embedded key-value store mapping non-zero 64-bit keys to byte-string
+/// values. Keys are hashed across N shards; each shard pairs a recoverable
+/// B+-tree primary index (ordered, drives Scan) with a recoverable hash
+/// table secondary index (O(1), drives Get), both updated atomically in ONE
+/// REWIND transaction on the shard's own log partition — multi-structure
+/// atomicity is exactly what the REWIND transaction manager provides and
+/// ad-hoc persistence cannot.
+///
+/// Values live in immutable NVM buffers written off-line (InitStore) and
+/// published by the logged index updates, so an overwrite is one logged
+/// pointer swing and the old buffer is deferred-freed — the same
+/// publish-then-swing idiom the B+-tree uses for splits.
+///
+/// Thread safety: every operation latches its shard; Scan / MultiPut /
+/// CrashAndRecover latch all involved shards in ascending shard order
+/// (shard-ordered acquisition, so they cannot deadlock against each other).
+///
+/// Valid keys are [1, 2^64-2]: 0 and ~0 are the secondary index's empty and
+/// tombstone sentinels. Operations on invalid keys return false.
+class KvStore {
+ public:
+  explicit KvStore(const KvConfig& config);
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Inserts or overwrites one key in a single shard-local transaction.
+  /// Returns false (and does nothing) for an invalid key.
+  bool Put(std::uint64_t key, std::string_view value);
+
+  /// Reads a key's value into `*value_out` (may be null). Returns presence.
+  bool Get(std::uint64_t key, std::string* value_out);
+
+  /// Removes a key (primary, secondary and value buffer in one
+  /// transaction). Returns presence.
+  bool Delete(std::uint64_t key);
+
+  /// Snapshot-consistent ordered scan: visits up to `max_items` live
+  /// (key, value) pairs with key >= from_key in ascending key order,
+  /// stopping early when `fn` returns false. All shards are latched in
+  /// shard order for the duration, so the callback sees one consistent
+  /// cut across the whole store. The string_view is only valid during the
+  /// callback. Returns the number of pairs visited.
+  std::size_t Scan(
+      std::uint64_t from_key, std::size_t max_items,
+      const std::function<bool(std::uint64_t, std::string_view)>& fn);
+
+  /// Applies every (key, value) pair, grouped into one transaction per
+  /// involved shard, with all involved shards latched for the duration:
+  /// concurrent readers see either none or all of the batch, and within a
+  /// shard the batch is crash-atomic. Returns false (and applies nothing)
+  /// if any key is invalid. Later duplicates of a key win.
+  bool MultiPut(const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
+
+  /// Simulates a whole-store power failure and recovers every shard's
+  /// partition (paper Section 4.5), then restarts the checkpoint daemons
+  /// if the config enabled them. Committed transactions survive; in-flight
+  /// ones roll back.
+  void CrashAndRecover(double evict_probability = 0.0, std::uint64_t seed = 0);
+
+  /// Starts one checkpoint daemon per shard (independent cadences on
+  /// independent log partitions). Stop with StopCheckpointDaemons().
+  void StartCheckpointDaemons(std::uint32_t period_ms);
+  void StopCheckpointDaemons();
+
+  /// Checkpoints one shard's log partition.
+  void CheckpointShard(std::size_t shard);
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t ShardOf(std::uint64_t key) const {
+    return HashKey(key) % shards_.size();
+  }
+
+  /// Total live keys across all shards.
+  std::uint64_t Size();
+
+  /// Snapshot of one shard's counters (keys filled from the primary index).
+  KvShardStats shard_stats(std::size_t shard);
+  void ResetStats();
+
+  Runtime& runtime() { return *runtime_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<RewindOps> ops;
+    std::unique_ptr<BTree> primary;
+    std::unique_ptr<PHash> secondary;
+    std::mutex mu;
+    KvShardStats stats;
+  };
+
+  static bool ValidKey(std::uint64_t key) {
+    return key != 0 && key != ~std::uint64_t{0};
+  }
+  /// Decorrelates shard choice from key order so range-adjacent keys
+  /// spread across shards.
+  static std::uint64_t HashKey(std::uint64_t k) { return Mix64(k); }
+
+  /// Writes `value` into a fresh off-line NVM buffer ([size][bytes...])
+  /// and returns it published-but-unreachable; the caller links it in with
+  /// logged index updates.
+  static std::uint64_t* NewValueBuffer(StorageOps* ops,
+                                       std::string_view value);
+
+  /// Put body inside the shard's already-open transaction.
+  void PutInOp(Shard& s, std::uint64_t key, std::string_view value);
+
+  KvConfig config_;
+  std::unique_ptr<Runtime> runtime_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_KV_KV_STORE_H_

@@ -235,18 +235,30 @@ bool BTree::RemoveTxn(StorageOps* ops, std::uint64_t key) {
 void BTree::Scan(
     StorageOps* ops, std::uint64_t from_key,
     const std::function<bool(std::uint64_t, const void*)>& fn) const {
+  ScanRange(ops, from_key, ~std::uint64_t{0}, 0, fn);
+}
+
+std::uint64_t BTree::ScanRange(
+    StorageOps* ops, std::uint64_t from_key, std::uint64_t to_key,
+    std::uint64_t limit,
+    const std::function<bool(std::uint64_t, const void*)>& fn) const {
+  std::uint64_t visited = 0;
   Node* leaf = FindLeaf(ops, from_key);
   while (leaf != nullptr) {
     std::uint64_t cnt = ops->Load(&leaf->count);
     for (std::uint64_t i = 0; i < cnt; ++i) {
       std::uint64_t k = ops->Load(&leaf->keys[i]);
       if (k < from_key) continue;
-      if (!fn(k, reinterpret_cast<const void*>(ops->Load(&leaf->ptrs[i])))) {
-        return;
+      if (k > to_key) return visited;
+      ++visited;
+      if (!fn(k, reinterpret_cast<const void*>(ops->Load(&leaf->ptrs[i]))) ||
+          visited == limit) {
+        return visited;
       }
     }
     leaf = reinterpret_cast<Node*>(ops->Load(&leaf->next));
   }
+  return visited;
 }
 
 bool BTree::CheckInvariants(StorageOps* ops) const {

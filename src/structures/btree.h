@@ -60,6 +60,15 @@ class BTree {
   void Scan(StorageOps* ops, std::uint64_t from_key,
             const std::function<bool(std::uint64_t, const void*)>& fn) const;
 
+  /// Bounded in-order scan over [from_key, to_key]: visits at most `limit`
+  /// pairs (0 = unlimited), stopping early when `fn` returns false. Returns
+  /// the number of pairs visited. This is the key-iteration primitive range
+  /// queries (RewindKV Scan, YCSB workload E) build on.
+  std::uint64_t ScanRange(
+      StorageOps* ops, std::uint64_t from_key, std::uint64_t to_key,
+      std::uint64_t limit,
+      const std::function<bool(std::uint64_t, const void*)>& fn) const;
+
   std::uint64_t size(StorageOps* ops) const {
     return ops->Load(&header_->size);
   }

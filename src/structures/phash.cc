@@ -42,9 +42,8 @@ void PHash::Grow(StorageOps* ops) {
   ops->DeferredFree(old_table);
 }
 
-void PHash::Put(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
+void PHash::PutOp(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
   assert(key != 0 && key != kTombKey);
-  ops->BeginOp();
   if ((ops->Load(&anchor_->used) + 1) * 4 >=
       ops->Load(&anchor_->capacity) * 3) {
     Grow(ops);
@@ -57,7 +56,6 @@ void PHash::Put(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
     std::uint64_t k = ops->Load(&table[pos].key);
     if (k == key) {
       ops->Store(&table[pos].value, value);
-      ops->CommitOp();
       return;
     }
     if (k == kTombKey && first_tomb == cap) first_tomb = pos;
@@ -70,29 +68,36 @@ void PHash::Put(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
   ops->Store(&table[target].key, key);
   ops->Store(&anchor_->size, ops->Load(&anchor_->size) + 1);
   if (!reuse_tomb) ops->Store(&anchor_->used, ops->Load(&anchor_->used) + 1);
+}
+
+void PHash::Put(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
+  ops->BeginOp();
+  PutOp(ops, key, value);
   ops->CommitOp();
 }
 
-bool PHash::Erase(StorageOps* ops, std::uint64_t key) {
+bool PHash::EraseOp(StorageOps* ops, std::uint64_t key) {
   assert(key != 0 && key != kTombKey);
-  ops->BeginOp();
   std::uint64_t cap = ops->Load(&anchor_->capacity);
   Cell* table = TableOf(ops);
   std::uint64_t pos = Mix(key) & (cap - 1);
   for (;;) {
     std::uint64_t k = ops->Load(&table[pos].key);
-    if (k == 0) {
-      ops->CommitOp();
-      return false;
-    }
+    if (k == 0) return false;
     if (k == key) {
       ops->Store(&table[pos].key, kTombKey);
       ops->Store(&anchor_->size, ops->Load(&anchor_->size) - 1);
-      ops->CommitOp();
       return true;
     }
     pos = (pos + 1) & (cap - 1);
   }
+}
+
+bool PHash::Erase(StorageOps* ops, std::uint64_t key) {
+  ops->BeginOp();
+  bool present = EraseOp(ops, key);
+  ops->CommitOp();
+  return present;
 }
 
 bool PHash::Get(StorageOps* ops, std::uint64_t key,

@@ -28,6 +28,13 @@ class PHash {
   /// Removes a key inside its own transaction; returns presence.
   bool Erase(StorageOps* ops, std::uint64_t key);
 
+  /// Put/Erase bodies that run inside the caller's already-open operation
+  /// (no BeginOp/CommitOp of their own) — for composing multi-structure
+  /// transactions, e.g. RewindKV updating a B+-tree primary and this
+  /// secondary index atomically.
+  void PutOp(StorageOps* ops, std::uint64_t key, std::uint64_t value);
+  bool EraseOp(StorageOps* ops, std::uint64_t key);
+
   /// Reads a value; returns presence.
   bool Get(StorageOps* ops, std::uint64_t key, std::uint64_t* value) const;
 

@@ -1,0 +1,239 @@
+#include "src/workload/workload.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/core/hash.h"
+
+namespace rwd {
+namespace {
+
+/// splitmix64 step: the deterministic byte stream behind MakeValue.
+std::uint64_t SplitMix(std::uint64_t& state) {
+  return Mix64(state += 0x9E3779B97F4A7C15ull);
+}
+
+double Uniform01(std::mt19937_64& rng) {
+  return (rng() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+}  // namespace
+
+ZipfianChooser::ZipfianChooser(std::uint64_t items, double theta)
+    : items_(items == 0 ? 1 : items), theta_(theta) {
+  zetan_ = Zeta(items_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianChooser::Zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianChooser::Next(std::mt19937_64& rng) const {
+  double u = Uniform01(rng);
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= items_ ? items_ - 1 : rank;
+}
+
+std::uint64_t ScrambledZipfianChooser::Next(std::mt19937_64& rng) const {
+  std::uint64_t state = zipf_.Next(rng);
+  return SplitMix(state) % items_;
+}
+
+WorkloadSpec WorkloadSpec::Preset(char workload) {
+  WorkloadSpec s;
+  switch (workload | 0x20) {  // tolower for ASCII letters
+    default:
+    case 'a':
+      s.read_prop = 0.5;
+      s.update_prop = 0.5;
+      break;
+    case 'b':
+      s.read_prop = 0.95;
+      s.update_prop = 0.05;
+      break;
+    case 'c':
+      s.read_prop = 1.0;
+      s.update_prop = 0.0;
+      break;
+    case 'd':
+      s.read_prop = 0.95;
+      s.update_prop = 0.0;
+      s.insert_prop = 0.05;
+      s.dist = KeyDist::kLatest;
+      break;
+    case 'e':
+      s.read_prop = 0.0;
+      s.update_prop = 0.0;
+      s.scan_prop = 0.95;
+      s.insert_prop = 0.05;
+      break;
+    case 'f':
+      s.read_prop = 0.5;
+      s.update_prop = 0.0;
+      s.rmw_prop = 0.5;
+      break;
+  }
+  return s;
+}
+
+WorkloadDriver::WorkloadDriver(KvStore* store, const WorkloadSpec& spec,
+                               std::uint64_t seed)
+    : store_(store),
+      spec_(spec),
+      seed_(seed),
+      zipf_(spec.record_count),
+      latest_skew_(spec.record_count),
+      next_key_(0),
+      max_key_(0) {}
+
+std::string WorkloadDriver::MakeValue(std::uint64_t key,
+                                      std::uint64_t version,
+                                      std::size_t size) {
+  std::string value(size, '\0');
+  std::uint64_t state = key ^ (version * 0xD6E8FEB86659FD93ull);
+  for (std::size_t off = 0; off < size; off += 8) {
+    std::uint64_t word = SplitMix(state);
+    for (std::size_t b = 0; b < 8 && off + b < size; ++b) {
+      value[off + b] =
+          static_cast<char>('a' + ((word >> (8 * b)) % 26));
+    }
+  }
+  return value;
+}
+
+std::uint64_t WorkloadDriver::Load() {
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  std::size_t batch_size = spec_.load_batch == 0 ? 1 : spec_.load_batch;
+  batch.reserve(batch_size);
+  for (std::uint64_t key = 1; key <= spec_.record_count; ++key) {
+    batch.emplace_back(key, MakeValue(key, 0, spec_.value_size));
+    if (batch.size() == batch_size || key == spec_.record_count) {
+      store_->MultiPut(batch);
+      max_key_.store(key, std::memory_order_relaxed);
+      batch.clear();
+    }
+  }
+  next_key_.store(spec_.record_count, std::memory_order_relaxed);
+  return spec_.record_count;
+}
+
+std::uint64_t WorkloadDriver::ChooseKey(std::mt19937_64& rng) const {
+  std::uint64_t maxk = max_key_.load(std::memory_order_relaxed);
+  if (maxk == 0) return 1;
+  switch (spec_.dist) {
+    case KeyDist::kUniform:
+      return 1 + UniformChooser(maxk).Next(rng);
+    case KeyDist::kZipfian:
+      return 1 + zipf_.Next(rng) % maxk;
+    case KeyDist::kLatest:
+      // Rank 0 is the most recently inserted key.
+      return maxk - latest_skew_.Next(rng) % maxk;
+  }
+  return 1;
+}
+
+void WorkloadDriver::RunThread(std::size_t thread_idx, std::uint64_t ops,
+                               WorkloadResult* result,
+                               std::exception_ptr* error) {
+  try {
+    RunThreadBody(thread_idx, ops, result);
+  } catch (...) {
+    // Surfaced by Run() after the join, so crash-injection tests can catch
+    // the simulated power failure on the driving thread.
+    *error = std::current_exception();
+  }
+}
+
+void WorkloadDriver::RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
+                                   WorkloadResult* result) {
+  std::mt19937_64 rng(seed_ ^ (0x9E3779B97F4A7C15ull * (thread_idx + 1)));
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    double p = Uniform01(rng);
+    if (p < spec_.read_prop) {
+      if (!store_->Get(ChooseKey(rng), nullptr)) ++result->read_misses;
+      ++result->reads;
+    } else if (p < spec_.read_prop + spec_.update_prop) {
+      std::uint64_t key = ChooseKey(rng);
+      store_->Put(key, MakeValue(key, rng(), spec_.value_size));
+      ++result->updates;
+    } else if (p < spec_.read_prop + spec_.update_prop + spec_.insert_prop) {
+      std::uint64_t key = next_key_.fetch_add(1, std::memory_order_relaxed) + 1;
+      store_->Put(key, MakeValue(key, 0, spec_.value_size));
+      // Publish only after the Put committed (monotonic CAS-max), so the
+      // latest distribution reads keys that actually exist.
+      std::uint64_t cur = max_key_.load(std::memory_order_relaxed);
+      while (cur < key && !max_key_.compare_exchange_weak(
+                              cur, key, std::memory_order_relaxed)) {
+      }
+      ++result->inserts;
+    } else if (p < spec_.read_prop + spec_.update_prop + spec_.insert_prop +
+                       spec_.scan_prop) {
+      std::uint64_t from = ChooseKey(rng);
+      std::size_t len = 1 + rng() % (spec_.max_scan_len == 0
+                                         ? 1
+                                         : spec_.max_scan_len);
+      result->scanned_items += store_->Scan(
+          from, len, [](std::uint64_t, std::string_view) { return true; });
+      ++result->scans;
+    } else {
+      // Read-modify-write: read the value, write a successor version.
+      std::uint64_t key = ChooseKey(rng);
+      std::string value;
+      store_->Get(key, &value);
+      store_->Put(key, MakeValue(key, rng(), spec_.value_size));
+      ++result->rmws;
+    }
+  }
+}
+
+WorkloadResult WorkloadDriver::Run() {
+  std::size_t threads = spec_.threads == 0 ? 1 : spec_.threads;
+  std::vector<WorkloadResult> partial(threads);
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  auto start = std::chrono::steady_clock::now();
+  std::uint64_t per_thread = spec_.op_count / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    std::uint64_t ops =
+        per_thread + (t == 0 ? spec_.op_count % threads : 0);
+    pool.emplace_back([this, t, ops, &partial, &errors] {
+      RunThread(t, ops, &partial[t], &errors[t]);
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  WorkloadResult total;
+  total.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const auto& r : partial) {
+    total.reads += r.reads;
+    total.read_misses += r.read_misses;
+    total.updates += r.updates;
+    total.inserts += r.inserts;
+    total.scans += r.scans;
+    total.scanned_items += r.scanned_items;
+    total.rmws += r.rmws;
+  }
+  return total;
+}
+
+}  // namespace rwd

@@ -1,0 +1,162 @@
+// YCSB-style workload generation for RewindKV: key-choice distributions,
+// the standard A-F workload mixes, and a multi-threaded driver reusable
+// from benches and tests.
+#ifndef REWIND_WORKLOAD_WORKLOAD_H_
+#define REWIND_WORKLOAD_WORKLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <random>
+#include <string>
+
+#include "src/kv/kv_store.h"
+
+namespace rwd {
+
+/// Draws keys uniformly from [0, items).
+class UniformChooser {
+ public:
+  explicit UniformChooser(std::uint64_t items) : items_(items) {}
+  std::uint64_t Next(std::mt19937_64& rng) const { return rng() % items_; }
+
+ private:
+  std::uint64_t items_;
+};
+
+/// Zipf-distributed choice over [0, items) with the YCSB constant
+/// theta = 0.99, using Gray et al.'s rejection-free inversion (the
+/// algorithm YCSB's ZipfianGenerator implements). Rank 0 is the hottest.
+class ZipfianChooser {
+ public:
+  explicit ZipfianChooser(std::uint64_t items, double theta = 0.99);
+  std::uint64_t Next(std::mt19937_64& rng) const;
+  std::uint64_t items() const { return items_; }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta);
+
+  std::uint64_t items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Zipfian rank scrambled across the key space by a 64-bit hash, so the
+/// hot set is spread over the whole domain (YCSB's ScrambledZipfian).
+class ScrambledZipfianChooser {
+ public:
+  explicit ScrambledZipfianChooser(std::uint64_t items)
+      : items_(items == 0 ? 1 : items), zipf_(items) {}
+  std::uint64_t Next(std::mt19937_64& rng) const;
+
+ private:
+  std::uint64_t items_;
+  ZipfianChooser zipf_;
+};
+
+/// Operation mix of one YCSB workload.
+enum class KvOp { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+/// Key-choice distribution for reads/updates.
+enum class KeyDist {
+  kUniform,
+  kZipfian,  ///< scrambled zipfian over the loaded key space
+  kLatest,   ///< zipfian skewed toward the most recently inserted keys
+};
+
+/// A YCSB-style workload specification. The standard presets:
+///   A: 50% read / 50% update, zipfian          (session store)
+///   B: 95% read /  5% update, zipfian          (photo tagging)
+///   C: 100% read, zipfian                      (profile cache)
+///   D: 95% read /  5% insert, latest           (status feed)
+///   E: 95% scan /  5% insert, zipfian          (threaded conversations)
+///   F: 50% read / 50% read-modify-write, zipfian (user database)
+struct WorkloadSpec {
+  double read_prop = 0.5;
+  double update_prop = 0.5;
+  double insert_prop = 0.0;
+  double scan_prop = 0.0;
+  double rmw_prop = 0.0;
+  KeyDist dist = KeyDist::kZipfian;
+  std::uint64_t record_count = 10000;  ///< keys loaded before the run
+  std::uint64_t op_count = 10000;      ///< total operations in the run
+  std::size_t value_size = 100;        ///< bytes per value
+  std::size_t max_scan_len = 100;      ///< scan length ~ U[1, max]
+  std::size_t threads = 1;
+  std::size_t load_batch = 64;  ///< keys per MultiPut during Load()
+
+  /// Returns the preset for workload 'a'..'f' (case-insensitive).
+  /// Unknown letters fall back to workload A.
+  static WorkloadSpec Preset(char workload);
+};
+
+/// Aggregate result of one Run().
+struct WorkloadResult {
+  std::uint64_t reads = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t scanned_items = 0;
+  std::uint64_t rmws = 0;
+  double seconds = 0;
+
+  std::uint64_t ops() const {
+    return reads + updates + inserts + scans + rmws;
+  }
+  double throughput() const { return seconds > 0 ? ops() / seconds : 0; }
+};
+
+/// Drives a KvStore with a WorkloadSpec: Load() populates keys
+/// [1, record_count] via batched MultiPut, Run() executes the operation
+/// mix from `spec.threads` threads. Values are deterministic functions of
+/// (key, version, size) so correctness checks can recompute them.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(KvStore* store, const WorkloadSpec& spec,
+                 std::uint64_t seed = 42);
+
+  /// Inserts the initial records; returns the number inserted.
+  std::uint64_t Load();
+
+  /// Runs the mixed workload and returns aggregate counters. An exception
+  /// thrown by a worker (notably an injected CrashException) is rethrown
+  /// on the calling thread after every worker has joined.
+  WorkloadResult Run();
+
+  /// The deterministic value for a key at a write version.
+  static std::string MakeValue(std::uint64_t key, std::uint64_t version,
+                               std::size_t size);
+
+  /// Largest key published as readable so far (load + committed inserts).
+  std::uint64_t max_key() const {
+    return max_key_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One thread's share of the run; stores any exception into `*error`.
+  void RunThread(std::size_t thread_idx, std::uint64_t ops,
+                 WorkloadResult* result, std::exception_ptr* error);
+  void RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
+                     WorkloadResult* result);
+  std::uint64_t ChooseKey(std::mt19937_64& rng) const;
+
+  KvStore* store_;
+  WorkloadSpec spec_;
+  std::uint64_t seed_;
+  ScrambledZipfianChooser zipf_;
+  ZipfianChooser latest_skew_;
+  /// Key allocation counter for inserts; may run ahead of max_key_.
+  std::atomic<std::uint64_t> next_key_;
+  /// Ceiling for ChooseKey: advanced (monotonic CAS-max) only after a
+  /// key's Put returned, so readers rarely pick a not-yet-inserted key.
+  /// A small race window remains when inserts commit out of key order —
+  /// the same NOT_FOUND tolerance real YCSB has under workload D.
+  std::atomic<std::uint64_t> max_key_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,341 @@
+// RewindKV tests: round-trips, ordered snapshot scans, cross-shard
+// MultiPut atomicity, and exhaustive crash-at-every-persistence-event
+// recovery across all shards.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/workload/workload.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+KvConfig TestKvConfig(std::size_t shards = 4) {
+  KvConfig cfg;
+  cfg.rewind.nvm = TestNvmConfig(64);
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 32;
+  cfg.rewind.batch_group_size = 4;
+  cfg.shards = shards;
+  return cfg;
+}
+
+std::string ValueFor(std::uint64_t key, std::uint64_t version) {
+  // Varying sizes (including empty) exercise the buffer layout.
+  return WorkloadDriver::MakeValue(key, version, (key * 7 + version) % 200);
+}
+
+TEST(KvStore, PutGetDeleteRoundTrip) {
+  KvStore store(TestKvConfig());
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    EXPECT_TRUE(store.Put(k, ValueFor(k, 0)));
+  }
+  EXPECT_EQ(store.Size(), 500u);
+  std::string value;
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(store.Get(k, &value)) << "key " << k;
+    EXPECT_EQ(value, ValueFor(k, 0)) << "key " << k;
+  }
+  // Overwrites replace the value buffer in place.
+  for (std::uint64_t k = 1; k <= 500; k += 3) {
+    EXPECT_TRUE(store.Put(k, ValueFor(k, 1)));
+  }
+  EXPECT_EQ(store.Size(), 500u);
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(store.Get(k, &value));
+    EXPECT_EQ(value, ValueFor(k, k % 3 == 1 ? 1 : 0)) << "key " << k;
+  }
+  // Deletes drop both indexes and report presence.
+  for (std::uint64_t k = 2; k <= 500; k += 5) {
+    EXPECT_TRUE(store.Delete(k));
+    EXPECT_FALSE(store.Delete(k));
+    EXPECT_FALSE(store.Get(k, nullptr));
+  }
+  EXPECT_EQ(store.Size(), 500u - 100u);
+  // Invalid keys are rejected.
+  EXPECT_FALSE(store.Put(0, "x"));
+  EXPECT_FALSE(store.Put(~std::uint64_t{0}, "x"));
+  EXPECT_FALSE(store.Get(0, nullptr));
+  EXPECT_FALSE(store.Delete(0));
+}
+
+TEST(KvStore, ScanIsOrderedBoundedAndComplete) {
+  KvStore store(TestKvConfig(/*shards=*/3));
+  // Insert in a scattered order; scan must come back globally sorted even
+  // though keys are hash-distributed over shards.
+  for (std::uint64_t k = 200; k >= 1; --k) store.Put(k, ValueFor(k, 9));
+  std::vector<std::uint64_t> keys;
+  std::size_t n = store.Scan(
+      50, 30, [&](std::uint64_t key, std::string_view value) {
+        keys.push_back(key);
+        EXPECT_EQ(value, ValueFor(key, 9));
+        return true;
+      });
+  EXPECT_EQ(n, 30u);
+  ASSERT_EQ(keys.size(), 30u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], 50 + i);
+  }
+  // Unbounded scan sees everything; early stop is honoured.
+  std::size_t all = store.Scan(
+      1, 10000, [](std::uint64_t, std::string_view) { return true; });
+  EXPECT_EQ(all, 200u);
+  std::size_t stopped = store.Scan(
+      1, 10000, [](std::uint64_t key, std::string_view) { return key < 5; });
+  EXPECT_EQ(stopped, 5u);
+}
+
+TEST(KvStore, MultiPutSpansShardsAndRejectsInvalidBatches) {
+  KvStore store(TestKvConfig());
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  for (std::uint64_t k = 1; k <= 64; ++k) batch.emplace_back(k, ValueFor(k, 3));
+  ASSERT_TRUE(store.MultiPut(batch));
+  EXPECT_EQ(store.Size(), 64u);
+  // The batch really did hit more than one shard.
+  std::set<std::size_t> touched;
+  for (std::uint64_t k = 1; k <= 64; ++k) touched.insert(store.ShardOf(k));
+  EXPECT_GT(touched.size(), 1u);
+  std::string value;
+  for (std::uint64_t k = 1; k <= 64; ++k) {
+    ASSERT_TRUE(store.Get(k, &value));
+    EXPECT_EQ(value, ValueFor(k, 3));
+  }
+  // Later duplicates win within one batch.
+  ASSERT_TRUE(store.MultiPut({{7, "first"}, {7, "second"}}));
+  ASSERT_TRUE(store.Get(7, &value));
+  EXPECT_EQ(value, "second");
+  // An invalid key poisons the whole batch before anything applies.
+  EXPECT_FALSE(store.MultiPut({{100, "x"}, {0, "bad"}}));
+  EXPECT_FALSE(store.Get(100, nullptr));
+}
+
+// Readers that latch every shard (Scan) must never observe a MultiPut
+// half-applied: all keys of a batch carry the same version or none do.
+TEST(KvStore, MultiPutIsAtomicForSnapshotReaders) {
+  KvStore store(TestKvConfig());
+  const std::vector<std::uint64_t> keys = {11, 22, 33, 44, 55, 66};
+  std::vector<std::pair<std::uint64_t, std::string>> v0;
+  for (auto k : keys) v0.emplace_back(k, WorkloadDriver::MakeValue(k, 0, 32));
+  ASSERT_TRUE(store.MultiPut(v0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread writer([&] {
+    for (std::uint64_t version = 1; version <= 200; ++version) {
+      std::vector<std::pair<std::uint64_t, std::string>> batch;
+      for (auto k : keys) {
+        batch.emplace_back(k, WorkloadDriver::MakeValue(k, version, 32));
+      }
+      store.MultiPut(batch);
+    }
+    stop.store(true);
+  });
+  while (!stop.load()) {
+    std::map<std::uint64_t, std::string> snap;
+    store.Scan(1, 1000, [&](std::uint64_t key, std::string_view value) {
+      snap[key] = std::string(value);
+      return true;
+    });
+    ASSERT_EQ(snap.size(), keys.size());
+    // Recover the version of the first key, then demand uniformity.
+    std::uint64_t version = ~std::uint64_t{0};
+    for (std::uint64_t v = 0; v <= 200; ++v) {
+      if (snap[keys[0]] == WorkloadDriver::MakeValue(keys[0], v, 32)) {
+        version = v;
+        break;
+      }
+    }
+    ASSERT_NE(version, ~std::uint64_t{0});
+    for (auto k : keys) {
+      if (snap[k] != WorkloadDriver::MakeValue(k, version, 32)) {
+        torn.store(true);
+      }
+    }
+  }
+  writer.join();
+  EXPECT_FALSE(torn.load()) << "a scan observed a half-applied MultiPut";
+}
+
+// Crash at EVERY persistence event of a Put and of a Delete: after
+// recovery the key is in exactly its old or its new state, never between,
+// and untouched keys keep their values.
+TEST(KvStoreRecovery, CrashAtEveryEventDuringPutAndDelete) {
+  KvStore store(TestKvConfig());
+  NvmManager& nvm = store.runtime().nvm();
+  std::map<std::uint64_t, std::string> expected;
+  for (std::uint64_t k = 1; k <= 40; ++k) {
+    std::string v = ValueFor(k, 0);
+    ASSERT_TRUE(store.Put(k, v));
+    expected[k] = v;
+  }
+  const std::uint64_t target = 17;
+  std::uint64_t version = 1;
+  // Overwrite crash sweep.
+  for (std::uint64_t at = 1;; ++at) {
+    std::string next = ValueFor(target, version);
+    bool crashed = RunWithCrashAt(&nvm, at, [&] { store.Put(target, next); });
+    if (!crashed) {
+      expected[target] = next;
+      break;
+    }
+    store.CrashAndRecover();
+    std::string value;
+    ASSERT_TRUE(store.Get(target, &value)) << "crash at event " << at;
+    EXPECT_TRUE(value == expected[target] || value == next)
+        << "torn value after crash at event " << at;
+    if (value == next) expected[target] = next;
+    ++version;  // use a fresh value each round so old/new are distinct
+    for (auto& [k, v] : expected) {
+      if (k == target) continue;
+      ASSERT_TRUE(store.Get(k, &value)) << "key " << k;
+      EXPECT_EQ(value, v) << "bystander key " << k << " after crash " << at;
+    }
+  }
+  // Delete crash sweep: the key is fully present or fully absent.
+  for (std::uint64_t at = 1;; ++at) {
+    store.Put(target, expected[target]);  // ensure present
+    bool crashed = RunWithCrashAt(&nvm, at, [&] { store.Delete(target); });
+    if (!crashed) break;
+    store.CrashAndRecover();
+    std::string value;
+    if (store.Get(target, &value)) {
+      EXPECT_EQ(value, expected[target]) << "crash at event " << at;
+    }
+    EXPECT_TRUE(store.runtime().tm(store.ShardOf(target)).LogSize() == 0u);
+  }
+}
+
+// Crash at every persistence event of a cross-shard MultiPut: each shard's
+// slice of the batch applies all-or-nothing, and recovery never loses a
+// committed bystander key on any shard.
+TEST(KvStoreRecovery, MultiPutCrashIsAtomicPerShard) {
+  KvStore store(TestKvConfig());
+  NvmManager& nvm = store.runtime().nvm();
+  std::map<std::uint64_t, std::string> expected;
+  for (std::uint64_t k = 1; k <= 32; ++k) {
+    std::string v = ValueFor(k, 0);
+    ASSERT_TRUE(store.Put(k, v));
+    expected[k] = v;
+  }
+  const std::vector<std::uint64_t> batch_keys = {3, 9, 14, 20, 27, 31};
+  std::uint64_t version = 1;
+  for (std::uint64_t at = 1;; ++at) {
+    std::vector<std::pair<std::uint64_t, std::string>> batch;
+    for (auto k : batch_keys) batch.emplace_back(k, ValueFor(k, version));
+    bool crashed = RunWithCrashAt(&nvm, at, [&] { store.MultiPut(batch); });
+    if (!crashed) {
+      for (auto& [k, v] : batch) expected[k] = v;
+      break;
+    }
+    store.CrashAndRecover();
+    // Per shard: the slice moved entirely or not at all.
+    std::map<std::size_t, std::set<bool>> shard_outcomes;
+    std::string value;
+    for (auto& [k, v] : batch) {
+      ASSERT_TRUE(store.Get(k, &value)) << "key " << k;
+      if (value == v) {
+        shard_outcomes[store.ShardOf(k)].insert(true);
+        expected[k] = v;
+      } else {
+        EXPECT_EQ(value, expected[k]) << "torn key " << k << " at " << at;
+        shard_outcomes[store.ShardOf(k)].insert(false);
+      }
+    }
+    for (auto& [shard, outcomes] : shard_outcomes) {
+      EXPECT_EQ(outcomes.size(), 1u)
+          << "shard " << shard << " applied a partial batch at event " << at;
+    }
+    for (auto& [k, v] : expected) {
+      ASSERT_TRUE(store.Get(k, &value)) << "key " << k;
+      EXPECT_EQ(value, v) << "key " << k << " after crash at " << at;
+    }
+    ++version;
+  }
+  std::string value;
+  for (auto& [k, v] : expected) {
+    ASSERT_TRUE(store.Get(k, &value));
+    EXPECT_EQ(value, v);
+  }
+}
+
+// The acceptance scenario: a mixed committed workload across all shards,
+// a crash mid-stream, and recovery restoring every committed key.
+TEST(KvStoreRecovery, RecoveryRestoresEveryCommittedKeyAcrossShards) {
+  KvStore store(TestKvConfig(/*shards=*/4));
+  NvmManager& nvm = store.runtime().nvm();
+  std::map<std::uint64_t, std::string> committed;
+  std::uint64_t next_key = 1;
+  for (int round = 0; round < 6; ++round) {
+    std::uint64_t in_flight = 0;
+    bool crashed = RunWithCrashAt(
+        &nvm, 400 + 97 * static_cast<std::uint64_t>(round), [&] {
+          for (int i = 0; i < 120; ++i) {
+            std::uint64_t k = next_key++;
+            std::string v = ValueFor(k, static_cast<std::uint64_t>(round));
+            in_flight = k;
+            store.Put(k, v);
+            committed[k] = v;  // reached only if Put returned
+          }
+          in_flight = 0;
+        });
+    if (crashed) store.CrashAndRecover();
+    std::string value;
+    for (auto& [k, v] : committed) {
+      if (k == in_flight) continue;  // may legitimately be old or new
+      ASSERT_TRUE(store.Get(k, &value))
+          << "committed key " << k << " lost in round " << round;
+      EXPECT_EQ(value, v) << "committed key " << k;
+    }
+    // Every shard's log is clean after recovery.
+    if (crashed) {
+      for (std::size_t s = 0; s < store.shards(); ++s) {
+        EXPECT_EQ(store.runtime().tm(s).LogSize(), 0u) << "shard " << s;
+      }
+    }
+  }
+  EXPECT_GE(store.Size(), committed.size());
+}
+
+TEST(KvStore, PerShardStatsAndCheckpointDaemons) {
+  KvConfig cfg = TestKvConfig();
+  cfg.checkpoint_period_ms = 5;
+  KvStore store(cfg);
+  for (std::uint64_t k = 1; k <= 200; ++k) store.Put(k, ValueFor(k, 0));
+  for (std::uint64_t k = 1; k <= 200; ++k) store.Get(k, nullptr);
+  std::uint64_t puts = 0, gets = 0, hits = 0, keys = 0;
+  for (std::size_t s = 0; s < store.shards(); ++s) {
+    KvShardStats st = store.shard_stats(s);
+    EXPECT_GT(st.keys, 0u) << "shard " << s << " got no keys";
+    puts += st.puts;
+    gets += st.gets;
+    hits += st.hits;
+    keys += st.keys;
+  }
+  EXPECT_EQ(puts, 200u);
+  EXPECT_EQ(gets, 200u);
+  EXPECT_EQ(hits, 200u);
+  EXPECT_EQ(keys, 200u);
+  // Daemons checkpoint each partition independently; give them a beat,
+  // then checkpoint each shard explicitly so the drain check is
+  // deterministic (no-force clears records at checkpoints).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  store.StopCheckpointDaemons();
+  std::size_t total_log = 0;
+  for (std::size_t s = 0; s < store.shards(); ++s) {
+    store.CheckpointShard(s);
+    total_log += store.runtime().tm(s).LogSize();
+  }
+  EXPECT_EQ(total_log, 0u);
+  store.ResetStats();
+  EXPECT_EQ(store.shard_stats(0).puts, 0u);
+}
+
+}  // namespace
+}  // namespace rwd

@@ -87,5 +87,68 @@ TEST(Runtime, DistributedLogPartitionsAreIndependent) {
   }
 }
 
+TEST(Runtime, RecoverPartitionRollsBackOnlyThatPartition) {
+  Runtime rt(BaseConfig(), /*partitions=*/2);
+  auto* d = static_cast<std::uint64_t*>(rt.nvm().Alloc(8 * 2));
+  auto t0 = rt.tm(0).Begin();
+  rt.tm(0).Write(t0, &d[0], 5);
+  rt.tm(0).Commit(t0);
+  auto t1 = rt.tm(1).Begin();
+  rt.tm(1).Write(t1, &d[1], 6);
+  rt.tm(1).Commit(t1);
+  // Leave a transaction hanging on partition 1 and recover just it.
+  auto hang = rt.tm(1).Begin();
+  rt.tm(1).Write(hang, &d[1], 999);
+  rt.RecoverPartition(1);
+  EXPECT_EQ(d[1], 6u);
+  EXPECT_EQ(rt.tm(1).LogSize(), 0u);
+  // Partition 0 is untouched and still live.
+  EXPECT_EQ(d[0], 5u);
+  auto t2 = rt.tm(0).Begin();
+  rt.tm(0).Write(t2, &d[0], 7);
+  rt.tm(0).Commit(t2);
+  EXPECT_EQ(d[0], 7u);
+}
+
+TEST(Runtime, CheckpointDaemonSurvivesInjectedCrash) {
+  Runtime rt(BaseConfig());
+  auto& tm = rt.tm();
+  auto* d = static_cast<std::uint64_t*>(rt.nvm().Alloc(8));
+  auto t = tm.Begin();
+  tm.Write(t, d, 1);
+  tm.Commit(t);
+  rt.StartCheckpointDaemon(1);
+  // The daemon's next checkpoint hits the armed event; it must catch the
+  // simulated power failure and stop, not std::terminate the process.
+  rt.nvm().crash_injector().Arm(1);
+  for (int i = 0; i < 400 && rt.nvm().crash_injector().armed(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(rt.nvm().crash_injector().armed());
+  rt.CrashAndRecover();
+  EXPECT_EQ(*d, 1u);
+}
+
+TEST(Runtime, PerPartitionCheckpointDaemonsDrainTheirOwnLogs) {
+  Runtime rt(BaseConfig(), /*partitions=*/2);
+  auto* d = static_cast<std::uint64_t*>(rt.nvm().Alloc(8 * 2));
+  rt.StartPartitionCheckpointDaemon(0, 5);
+  rt.StartPartitionCheckpointDaemon(1, 5);
+  for (int i = 0; i < 20; ++i) {
+    for (int p = 0; p < 2; ++p) {
+      auto t = rt.tm(p).Begin();
+      rt.tm(p).Write(t, &d[p], static_cast<std::uint64_t>(i));
+      rt.tm(p).Commit(t);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rt.StopCheckpointDaemon();
+  for (int p = 0; p < 2; ++p) {
+    rt.CheckpointPartition(p);
+    EXPECT_EQ(rt.tm(p).LogSize(), 0u) << "partition " << p;
+    EXPECT_GT(rt.tm(p).stats().checkpoints, 0u) << "partition " << p;
+  }
+}
+
 }  // namespace
 }  // namespace rwd

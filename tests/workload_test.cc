@@ -1,0 +1,134 @@
+// Tests of the YCSB-style workload subsystem: distribution properties,
+// the A-F presets, and the driver running against RewindKV.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/workload/workload.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+KvConfig SmallKvConfig() {
+  KvConfig cfg;
+  cfg.rewind.nvm = TestNvmConfig(64);
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 32;
+  cfg.rewind.batch_group_size = 4;
+  cfg.shards = 4;
+  return cfg;
+}
+
+TEST(Choosers, ZipfianStaysInRangeAndIsSkewed) {
+  ZipfianChooser zipf(1000);
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t r = zipf.Next(rng);
+    ASSERT_LT(r, 1000u);
+    ++counts[r];
+  }
+  // Rank 0 must dominate a mid-pack rank by a wide margin (theta=0.99).
+  EXPECT_GT(counts[0], 20u * (counts[500] + 1));
+  // ... and the hottest ~1% of ranks should carry a large share.
+  std::uint64_t head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, 20000u / 5);
+}
+
+TEST(Choosers, ScrambledZipfianSpreadsTheHotSet) {
+  ScrambledZipfianChooser scrambled(1000);
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t r = scrambled.Next(rng);
+    ASSERT_LT(r, 1000u);
+    ++counts[r];
+  }
+  // The hottest item is no longer item 0 in general, but the skew remains:
+  std::uint64_t max_count = 0;
+  for (auto c : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 20000u / 100);
+}
+
+TEST(Workload, PresetsMatchTheYcsbMixes) {
+  WorkloadSpec a = WorkloadSpec::Preset('a');
+  EXPECT_DOUBLE_EQ(a.read_prop, 0.5);
+  EXPECT_DOUBLE_EQ(a.update_prop, 0.5);
+  WorkloadSpec c = WorkloadSpec::Preset('C');  // case-insensitive
+  EXPECT_DOUBLE_EQ(c.read_prop, 1.0);
+  WorkloadSpec d = WorkloadSpec::Preset('d');
+  EXPECT_EQ(d.dist, KeyDist::kLatest);
+  EXPECT_DOUBLE_EQ(d.insert_prop, 0.05);
+  WorkloadSpec e = WorkloadSpec::Preset('e');
+  EXPECT_DOUBLE_EQ(e.scan_prop, 0.95);
+  WorkloadSpec f = WorkloadSpec::Preset('f');
+  EXPECT_DOUBLE_EQ(f.rmw_prop, 0.5);
+}
+
+TEST(Workload, MakeValueIsDeterministicAndSized) {
+  EXPECT_EQ(WorkloadDriver::MakeValue(42, 7, 100),
+            WorkloadDriver::MakeValue(42, 7, 100));
+  EXPECT_NE(WorkloadDriver::MakeValue(42, 7, 100),
+            WorkloadDriver::MakeValue(42, 8, 100));
+  EXPECT_EQ(WorkloadDriver::MakeValue(1, 0, 37).size(), 37u);
+  EXPECT_EQ(WorkloadDriver::MakeValue(1, 0, 0).size(), 0u);
+}
+
+TEST(Workload, EveryPresetRunsToCompletion) {
+  for (char w : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+    KvStore store(SmallKvConfig());
+    WorkloadSpec spec = WorkloadSpec::Preset(w);
+    spec.record_count = 300;
+    spec.op_count = 600;
+    spec.value_size = 64;
+    spec.max_scan_len = 20;
+    spec.threads = 2;
+    WorkloadDriver driver(&store, spec);
+    EXPECT_EQ(driver.Load(), 300u);
+    EXPECT_EQ(store.Size(), 300u);
+    WorkloadResult r = driver.Run();
+    EXPECT_EQ(r.ops(), 600u) << "workload " << w;
+    if (w == 'd') {
+      // The latest distribution may race a concurrent insert whose commit
+      // is not yet published; a small miss rate is legitimate (as in YCSB).
+      EXPECT_LE(r.read_misses, r.reads / 10) << "workload d";
+    } else {
+      EXPECT_EQ(r.read_misses, 0u) << "workload " << w;
+    }
+    EXPECT_EQ(store.Size(), 300u + r.inserts) << "workload " << w;
+    if (w == 'e') {
+      EXPECT_GT(r.scanned_items, 0u);
+    }
+  }
+}
+
+TEST(Workload, CrashMidWorkloadRecoversTheLoadedKeySpace) {
+  KvStore store(SmallKvConfig());
+  WorkloadSpec spec = WorkloadSpec::Preset('a');
+  spec.record_count = 200;
+  spec.op_count = 2000;
+  spec.value_size = 48;
+  spec.threads = 1;
+  WorkloadDriver driver(&store, spec);
+  driver.Load();
+  bool crashed = RunWithCrashAt(&store.runtime().nvm(), 5000,
+                                [&] { driver.Run(); });
+  if (crashed) store.CrashAndRecover();
+  // Every loaded key survives with SOME committed value; the interrupted
+  // update (if any) rolled back to its predecessor.
+  for (std::uint64_t k = 1; k <= 200; ++k) {
+    EXPECT_TRUE(store.Get(k, nullptr)) << "key " << k;
+  }
+  EXPECT_GE(store.Size(), 200u);
+  for (std::size_t s = 0; s < store.shards(); ++s) {
+    EXPECT_EQ(store.runtime().tm(s).LogSize(), 0u) << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace rwd
