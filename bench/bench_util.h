@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,85 @@ class CsvTable {
 
  private:
   std::vector<std::string> columns_;
+};
+
+/// --name=value flag helpers shared by the benches.
+inline std::uint64_t FlagOr(int argc, char** argv, const char* name,
+                            std::uint64_t def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+inline std::string StringFlag(int argc, char** argv, const char* name,
+                              const std::string& def = "") {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+/// The --workload=a..f letter (default 'a').
+inline char WorkloadFlag(int argc, char** argv) {
+  std::string w = StringFlag(argc, argv, "workload", "a");
+  return w.empty() ? 'a' : w[0];
+}
+
+/// Minimal writer for the benches' machine-readable `--json=<path>`
+/// results: one flat object of numbers and strings per file, so the
+/// repo's perf trajectory (BENCH_*.json) can accumulate comparable runs.
+class JsonObject {
+ public:
+  void Add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields_.push_back("\"" + key + "\": " + buf);
+  }
+  void Add(const std::string& key, std::uint64_t v) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(v));
+  }
+  void Add(const std::string& key, const std::string& v) {
+    fields_.push_back("\"" + key + "\": \"" + Escape(v) + "\"");
+  }
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "%s\n  %s", i ? "," : "", fields_[i].c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out.append(buf);
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::string> fields_;
 };
 
 /// Scale factor: REWIND_BENCH_SCALE environment variable (default 1) scales

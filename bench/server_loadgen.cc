@@ -1,0 +1,150 @@
+// Network load generator for RewindServe: drives a running kv_server with
+// the YCSB-style A-F mixes over pipelined connections and reports
+// client-observed throughput and latency percentiles.
+//
+//   ./build/examples/kv_server --port=7170 &
+//   ./build/bench/server_loadgen --port=7170 --workload=a --threads=4
+//
+// Flags: --host=IP  --port=N  --workload=a..f  --threads=N  --records=N
+//        --ops=N  --value-size=BYTES  --pipeline=N (in-flight reqs/conn)
+//        --skip-load=1 (reuse an already-loaded server)
+//        --json=PATH (machine-readable results: ops/s, p50/p99, config)
+// REWIND_BENCH_SCALE scales --records/--ops defaults like the other
+// benches. Exits nonzero when the server is unreachable or no operation
+// completed, so smoke tests can assert on the exit code alone.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/server/client.h"
+#include "src/workload/net_driver.h"
+#include "src/workload/workload.h"
+
+namespace rwd {
+namespace {
+
+int Main(int argc, char** argv) {
+  char workload = WorkloadFlag(argc, argv);
+  WorkloadSpec spec = WorkloadSpec::Preset(workload);
+  spec.record_count = FlagOr(argc, argv, "records", Scaled(20000));
+  spec.op_count = FlagOr(argc, argv, "ops", Scaled(50000));
+  spec.value_size = FlagOr(argc, argv, "value-size", 100);
+  spec.threads = FlagOr(argc, argv, "threads", 4);
+  spec.collect_latencies = true;
+
+  NetDriverSpec net;
+  net.host = StringFlag(argc, argv, "host", "127.0.0.1");
+  net.port = static_cast<std::uint16_t>(FlagOr(argc, argv, "port", 7170));
+  net.pipeline_depth = FlagOr(argc, argv, "pipeline", 16);
+  bool skip_load = FlagOr(argc, argv, "skip-load", 0) != 0;
+  std::string json_path = StringFlag(argc, argv, "json");
+
+  std::printf("# server_loadgen %s:%u workload=%c threads=%zu pipeline=%zu "
+              "records=%lu ops=%lu value=%zuB\n",
+              net.host.c_str(), net.port, workload, spec.threads,
+              net.pipeline_depth,
+              static_cast<unsigned long>(spec.record_count),
+              static_cast<unsigned long>(spec.op_count), spec.value_size);
+
+  NetWorkloadDriver driver(net, spec);
+  if (skip_load) {
+    // The key space is assumed loaded; seed the choosers' ceiling and
+    // check the server is actually there.
+    serve::KvClient probe;
+    if (!probe.Connect(net.host, net.port)) {
+      std::fprintf(stderr, "cannot reach %s:%u\n", net.host.c_str(),
+                   net.port);
+      return 1;
+    }
+    driver.AssumeLoaded();
+  } else {
+    Timer load_timer;
+    std::uint64_t loaded = driver.Load();
+    if (loaded == 0) {
+      std::fprintf(stderr, "load failed: cannot reach %s:%u\n",
+                   net.host.c_str(), net.port);
+      return 1;
+    }
+    double load_s = load_timer.Seconds();
+    std::printf("# load: %lu keys in %.3f s (%.0f keys/s)\n",
+                static_cast<unsigned long>(loaded), load_s,
+                static_cast<double>(loaded) / load_s);
+  }
+
+  bool ok = true;
+  WorkloadResult r = driver.Run(&ok);
+  double p50 = r.LatencyPercentileUs(50);
+  double p99 = r.LatencyPercentileUs(99);
+  std::printf("# run: %lu ops in %.3f s (%.0f ops/s) — reads=%lu "
+              "(misses=%lu) updates=%lu inserts=%lu scans=%lu (items=%lu) "
+              "rmw=%lu%s\n",
+              static_cast<unsigned long>(r.ops()), r.seconds,
+              r.throughput(), static_cast<unsigned long>(r.reads),
+              static_cast<unsigned long>(r.read_misses),
+              static_cast<unsigned long>(r.updates),
+              static_cast<unsigned long>(r.inserts),
+              static_cast<unsigned long>(r.scans),
+              static_cast<unsigned long>(r.scanned_items),
+              static_cast<unsigned long>(r.rmws),
+              ok ? "" : " [connection errors]");
+  std::printf("# latency: p50=%.1fus p99=%.1fus over %zu samples\n", p50,
+              p99, r.latencies_us.size());
+
+  serve::StatsReply stats{};
+  serve::KvClient stats_client;
+  if (stats_client.Connect(net.host, net.port) &&
+      stats_client.Stats(&stats)) {
+    std::printf("# server: keys=%lu acked_writes=%lu batches=%lu "
+                "(%.1f writes/batch) gets=%lu scans=%lu conns=%lu "
+                "shards=%lu\n",
+                static_cast<unsigned long>(stats.keys),
+                static_cast<unsigned long>(stats.acked_writes),
+                static_cast<unsigned long>(stats.batches),
+                stats.batches ? static_cast<double>(stats.batched_writes) /
+                                    static_cast<double>(stats.batches)
+                              : 0.0,
+                static_cast<unsigned long>(stats.gets),
+                static_cast<unsigned long>(stats.scans),
+                static_cast<unsigned long>(stats.connections),
+                static_cast<unsigned long>(stats.shards));
+  }
+
+  if (!json_path.empty()) {
+    JsonObject json;
+    json.Add("bench", std::string("server_loadgen"));
+    json.Add("workload", std::string(1, workload));
+    json.Add("host", net.host);
+    json.Add("port", static_cast<std::uint64_t>(net.port));
+    json.Add("threads", static_cast<std::uint64_t>(spec.threads));
+    json.Add("pipeline", static_cast<std::uint64_t>(net.pipeline_depth));
+    json.Add("records", spec.record_count);
+    json.Add("value_size", static_cast<std::uint64_t>(spec.value_size));
+    json.Add("ops", r.ops());
+    json.Add("seconds", r.seconds);
+    json.Add("ops_per_s", r.throughput());
+    json.Add("p50_us", p50);
+    json.Add("p99_us", p99);
+    json.Add("reads", r.reads);
+    json.Add("read_misses", r.read_misses);
+    json.Add("updates", r.updates);
+    json.Add("inserts", r.inserts);
+    json.Add("scans", r.scans);
+    json.Add("scanned_items", r.scanned_items);
+    json.Add("rmws", r.rmws);
+    json.Add("server_acked_writes", stats.acked_writes);
+    json.Add("server_batches", stats.batches);
+    if (!json.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# json results -> %s\n", json_path.c_str());
+  }
+  // Smoke contract: nonzero completed ops and no mid-run connection
+  // failures, or the run is a failure.
+  return (r.ops() > 0 && ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rwd
+
+int main(int argc, char** argv) { return rwd::Main(argc, argv); }

@@ -6,6 +6,7 @@
 //
 // Flags: --workload=a..f  --shards=N  --threads=N  --records=N  --ops=N
 //        --value-size=BYTES  --checkpoint-ms=N (0 = off)
+//        --json=PATH (machine-readable results: ops/s, p50/p99, config)
 // REWIND_BENCH_SCALE scales --records/--ops defaults like the other benches.
 #include <algorithm>
 #include <cstring>
@@ -18,26 +19,6 @@
 namespace rwd {
 namespace {
 
-std::uint64_t FlagOr(int argc, char** argv, const char* name,
-                     std::uint64_t def) {
-  std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
-    }
-  }
-  return def;
-}
-
-char WorkloadFlag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--workload=", 11) == 0 && argv[i][11] != 0) {
-      return argv[i][11];
-    }
-  }
-  return 'a';
-}
-
 int Main(int argc, char** argv) {
   char workload = WorkloadFlag(argc, argv);
   WorkloadSpec spec = WorkloadSpec::Preset(workload);
@@ -45,6 +26,10 @@ int Main(int argc, char** argv) {
   spec.op_count = FlagOr(argc, argv, "ops", Scaled(50000));
   spec.value_size = FlagOr(argc, argv, "value-size", 100);
   spec.threads = FlagOr(argc, argv, "threads", 4);
+  // Latency sampling costs two clock reads per op — noticeable on the
+  // sub-µs read-mostly mixes — so it is only on when results are kept.
+  std::string json_path = StringFlag(argc, argv, "json");
+  spec.collect_latencies = !json_path.empty();
 
   KvConfig config;
   config.rewind = BenchConfig(LogImpl::kBatch, Layers::kOne, Policy::kNoForce);
@@ -100,9 +85,42 @@ int Main(int argc, char** argv) {
                static_cast<double>(s.scans),
                static_cast<double>(s.multiput_keys), kops});
   }
+  double p50 = r.LatencyPercentileUs(50);
+  double p99 = r.LatencyPercentileUs(99);
   std::printf("# total: %.1f kops/s across %zu shards (%.0f ops/s "
               "aggregate)\n",
               total_kops, store.shards(), r.throughput());
+  if (spec.collect_latencies) {
+    std::printf("# latency: p50=%.1fus p99=%.1fus\n", p50, p99);
+  }
+
+  if (!json_path.empty()) {
+    JsonObject json;
+    json.Add("bench", std::string("ycsb"));
+    json.Add("workload", std::string(1, workload));
+    json.Add("rewind", config.rewind.Label());
+    json.Add("shards", static_cast<std::uint64_t>(config.shards));
+    json.Add("threads", static_cast<std::uint64_t>(spec.threads));
+    json.Add("records", spec.record_count);
+    json.Add("value_size", static_cast<std::uint64_t>(spec.value_size));
+    json.Add("ops", r.ops());
+    json.Add("seconds", r.seconds);
+    json.Add("ops_per_s", r.throughput());
+    json.Add("p50_us", p50);
+    json.Add("p99_us", p99);
+    json.Add("reads", r.reads);
+    json.Add("read_misses", r.read_misses);
+    json.Add("updates", r.updates);
+    json.Add("inserts", r.inserts);
+    json.Add("scans", r.scans);
+    json.Add("scanned_items", r.scanned_items);
+    json.Add("rmws", r.rmws);
+    if (!json.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# json results -> %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -102,6 +102,8 @@ void Runtime::CheckpointPartition(std::size_t partition) {
   tms_[partition]->Checkpoint();
 }
 
+void Runtime::CommitFence() { nvm_->Fence(); }
+
 void Runtime::RecoverPartition(std::size_t partition) {
   tms_[partition]->ForgetVolatileState();
   tms_[partition]->Recover();

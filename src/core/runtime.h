@@ -69,6 +69,14 @@ class Runtime {
   /// Checkpoints a single partition's log (shard-local hook).
   void CheckpointPartition(std::size_t partition);
 
+  /// Group-commit durability hook: one persistent-memory fence ordering and
+  /// persisting everything stored so far across every partition. A serving
+  /// layer that coalesces many clients' writes into one transaction per
+  /// shard (RewindServe's batcher) calls this once per batch window before
+  /// acking, paying the fence cost the paper's Fig. 10 sweeps once per
+  /// batch instead of once per request.
+  void CommitFence();
+
   /// Re-runs restart recovery on one partition after dropping its volatile
   /// state — the shard-local counterpart of CrashAndRecover() (which the
   /// caller must still use after a simulated power failure, since a crash

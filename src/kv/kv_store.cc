@@ -46,21 +46,35 @@ std::uint64_t* KvStore::NewValueBuffer(StorageOps* ops,
 
 void KvStore::PutInOp(Shard& s, std::uint64_t key, std::string_view value) {
   StorageOps* ops = s.ops.get();
-  std::uint64_t old_ptr = 0;
-  bool existed = s.secondary->Get(ops, key, &old_ptr);
   std::uint64_t* buf = NewValueBuffer(ops, value);
   auto buf_word = reinterpret_cast<std::uint64_t>(buf);
-  if (existed) {
-    s.primary->UpdatePayloadWord(ops, key, 0, buf_word);
-    s.primary->UpdatePayloadWord(ops, key, 1, value.size());
-    s.secondary->PutOp(ops, key, buf_word);
+  // Single-probe upsert: the secondary index is probed once and reports
+  // the predecessor buffer, so an overwrite needs one more B+-tree descent
+  // and nothing else.
+  std::uint64_t old_ptr = 0;
+  if (s.secondary->UpsertOp(ops, key, buf_word, &old_ptr)) {
+    std::uint64_t words[2] = {buf_word, value.size()};
+    s.primary->UpdatePayloadWords(ops, key, words, 2);
     ops->DeferredFree(reinterpret_cast<void*>(old_ptr));
   } else {
     std::uint64_t payload[BTree::kPayloadWords] = {buf_word, value.size(), 0,
                                                    0};
     s.primary->Insert(ops, key, payload);
-    s.secondary->PutOp(ops, key, buf_word);
   }
+}
+
+void KvStore::EraseInOp(Shard& s, std::uint64_t key, std::uint64_t ptr) {
+  StorageOps* ops = s.ops.get();
+  s.primary->Remove(ops, key);
+  s.secondary->EraseOp(ops, key);
+  ops->DeferredFree(reinterpret_cast<void*>(ptr));
+}
+
+bool KvStore::DeleteInOp(Shard& s, std::uint64_t key) {
+  std::uint64_t ptr = 0;
+  if (!s.secondary->Get(s.ops.get(), key, &ptr)) return false;
+  EraseInOp(s, key, ptr);
+  return true;
 }
 
 bool KvStore::Put(std::uint64_t key, std::string_view value) {
@@ -98,9 +112,7 @@ bool KvStore::Delete(std::uint64_t key) {
   std::uint64_t ptr = 0;
   if (!s.secondary->Get(s.ops.get(), key, &ptr)) return false;
   s.ops->BeginOp();
-  s.primary->Remove(s.ops.get(), key);
-  s.secondary->EraseOp(s.ops.get(), key);
-  s.ops->DeferredFree(reinterpret_cast<void*>(ptr));
+  EraseInOp(s, key, ptr);
   s.ops->CommitOp();
   return true;
 }
@@ -177,6 +189,42 @@ bool KvStore::MultiPut(
   }
   for (std::size_t i : involved) shards_[i]->ops->CommitOp();
   return true;
+}
+
+void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
+  if (ops.empty()) return;
+  // Group op indexes by shard, preserving submission order within a shard.
+  std::vector<std::vector<KvWriteOp*>> by_shard(shards_.size());
+  for (KvWriteOp& op : ops) {
+    op.applied = false;
+    if (ValidKey(op.key)) by_shard[ShardOf(op.key)].push_back(&op);
+  }
+  // Latch the involved shards in ascending shard order (the same order
+  // Scan and MultiPut use, so batches cannot deadlock against either),
+  // open ONE transaction per shard, apply, commit them all, then pay a
+  // single durability fence for the whole batch.
+  std::vector<std::size_t> involved;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (by_shard[i].empty()) continue;
+    involved.push_back(i);
+    locks.emplace_back(shards_[i]->mu);
+  }
+  for (std::size_t i : involved) shards_[i]->ops->BeginOp();
+  for (std::size_t i : involved) {
+    Shard& s = *shards_[i];
+    for (KvWriteOp* op : by_shard[i]) {
+      if (op->kind == KvWriteOp::Kind::kPut) {
+        PutInOp(s, op->key, op->value);
+        op->applied = true;
+      } else {
+        op->applied = DeleteInOp(s, op->key);
+      }
+      ++s.stats.batched_writes;
+    }
+  }
+  for (std::size_t i : involved) shards_[i]->ops->CommitOp();
+  runtime_->CommitFence();
 }
 
 void KvStore::CrashAndRecover(double evict_probability, std::uint64_t seed) {

@@ -45,7 +45,20 @@ struct KvShardStats {
   std::uint64_t deletes = 0;
   std::uint64_t scans = 0;
   std::uint64_t multiput_keys = 0;
+  std::uint64_t batched_writes = 0;  ///< ops applied through ApplyBatch
   std::uint64_t keys = 0;  ///< live keys (snapshot; filled by shard_stats())
+};
+
+/// One write in an ApplyBatch group commit: a put or a delete, plus the
+/// per-op outcome the caller acks from.
+struct KvWriteOp {
+  enum class Kind : std::uint8_t { kPut, kDelete };
+  Kind kind = Kind::kPut;
+  std::uint64_t key = 0;
+  std::string value;  ///< puts only
+  /// Out: true when the op took effect (put applied / delete found the
+  /// key). Invalid keys leave it false without poisoning the batch.
+  bool applied = false;
 };
 
 /// An embedded key-value store mapping non-zero 64-bit keys to byte-string
@@ -103,6 +116,18 @@ class KvStore {
   /// if any key is invalid. Later duplicates of a key win.
   bool MultiPut(const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
 
+  /// Group commit: applies a heterogeneous batch of puts and deletes —
+  /// typically coalesced from many client connections by RewindServe's
+  /// batcher — as ONE transaction per involved shard, with all involved
+  /// shards latched in ascending shard order for the duration, then one
+  /// store-wide durability fence (Runtime::CommitFence). Per shard the
+  /// whole batch slice is crash-atomic, and the logging/ordering cost is
+  /// paid once per shard per batch instead of once per op. Ops apply in
+  /// submission order within each shard (later writes to a key win, a
+  /// delete after a put in the same batch deletes). Each op's `applied`
+  /// field reports its outcome; invalid keys fail individually.
+  void ApplyBatch(std::vector<KvWriteOp>& ops);
+
   /// Simulates a whole-store power failure and recovers every shard's
   /// partition (paper Section 4.5), then restarts the checkpoint daemons
   /// if the config enabled them. Committed transactions survive; in-flight
@@ -153,8 +178,18 @@ class KvStore {
   static std::uint64_t* NewValueBuffer(StorageOps* ops,
                                        std::string_view value);
 
-  /// Put body inside the shard's already-open transaction.
+  /// Put body inside the shard's already-open transaction. Overwrites take
+  /// the fast path: one secondary-index probe (PHash::UpsertOp) and one
+  /// B+-tree descent (UpdatePayloadWords) instead of two of each.
   void PutInOp(Shard& s, std::uint64_t key, std::string_view value);
+
+  /// Delete body inside the shard's already-open transaction; returns
+  /// presence.
+  bool DeleteInOp(Shard& s, std::uint64_t key);
+
+  /// Unlinks a key already located at `ptr` inside the open transaction:
+  /// primary remove, secondary erase, value buffer deferred-free.
+  void EraseInOp(Shard& s, std::uint64_t key, std::uint64_t ptr);
 
   KvConfig config_;
   std::unique_ptr<Runtime> runtime_;

@@ -1,0 +1,109 @@
+#include "src/server/batcher.h"
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "src/nvm/crash.h"
+
+namespace rwd {
+namespace serve {
+
+GroupCommitBatcher::GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
+                                       CompletionSink sink, CrashHook on_crash)
+    : store_(store),
+      window_us_(window_us),
+      sink_(std::move(sink)),
+      on_crash_(std::move(on_crash)) {}
+
+GroupCommitBatcher::~GroupCommitBatcher() { Stop(); }
+
+void GroupCommitBatcher::Start() {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void GroupCommitBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // Join outside the latch: the batch thread takes mu_ to drain.
+  if (thread_.joinable()) thread_.join();
+}
+
+bool GroupCommitBatcher::Submit(std::uint32_t worker, std::uint64_t conn_id,
+                                Op op, std::vector<KvWriteOp> ops) {
+  if (crashed()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
+    std::size_t first = pending_ops_.size();
+    for (KvWriteOp& w : ops) pending_ops_.push_back(std::move(w));
+    pending_groups_.push_back({worker, conn_id, op, first, ops.size()});
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void GroupCommitBatcher::Loop() {
+  for (;;) {
+    std::vector<KvWriteOp> ops;
+    std::vector<Group> groups;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !pending_groups_.empty(); });
+      if (pending_groups_.empty()) return;  // stop requested, queue drained
+      bool draining = stop_;
+      if (!draining && window_us_ != 0) {
+        // The coalescing window: the first write of a batch waits briefly
+        // so concurrent connections' writes share its commit and fence.
+        lock.unlock();
+        std::this_thread::sleep_for(std::chrono::microseconds(window_us_));
+        lock.lock();
+      }
+      ops.swap(pending_ops_);
+      groups.swap(pending_groups_);
+    }
+    if (!CommitBatch(ops, groups)) return;  // simulated power failure
+  }
+}
+
+bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
+                                     std::vector<Group>& groups) {
+  try {
+    store_->ApplyBatch(ops);
+  } catch (const CrashException&) {
+    // The "machine" lost power mid-batch: nothing from this batch is
+    // acked (earlier batches already fenced before their acks went out).
+    crashed_.store(true, std::memory_order_release);
+    if (on_crash_) on_crash_();
+    return false;
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_writes_.fetch_add(ops.size(), std::memory_order_relaxed);
+  std::map<std::uint32_t, std::vector<WriteCompletion>> by_worker;
+  for (const Group& g : groups) {
+    Status status = Status::kOk;
+    std::uint64_t applied = 0;
+    for (std::size_t i = 0; i < g.count; ++i) {
+      if (ops[g.first + i].applied) ++applied;
+    }
+    if (g.op == Op::kDel) {
+      status = applied != 0 ? Status::kOk : Status::kNotFound;
+    } else if (applied != g.count) {
+      // A put ApplyBatch refused (invalid key that slipped past the
+      // server's validation) must never be acked as durable.
+      status = Status::kBadRequest;
+    }
+    by_worker[g.worker].push_back({g.conn_id, g.op, status});
+    acked_writes_.fetch_add(applied, std::memory_order_relaxed);
+  }
+  for (auto& [worker, completions] : by_worker) {
+    sink_(worker, std::move(completions));
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace rwd

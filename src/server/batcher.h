@@ -1,0 +1,101 @@
+// RewindServe's group-commit batcher: coalesces logged writes from many
+// connections into one KvStore::ApplyBatch (one transaction per involved
+// shard + one durability fence) per batch window, so the per-transaction
+// logging/ordering cost the paper measures in its fence-sensitivity
+// experiments (Fig. 3/10) is paid once per batch instead of once per
+// request. Acks are released only after the covering batch has committed
+// and fenced — every acked write is durable.
+#ifndef REWIND_SERVER_BATCHER_H_
+#define REWIND_SERVER_BATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/server/protocol.h"
+
+namespace rwd {
+namespace serve {
+
+/// Delivered to the owning worker once a submitted write group's batch has
+/// committed and fenced (or failed fast at submit time).
+struct WriteCompletion {
+  std::uint64_t conn_id = 0;
+  Op op = Op::kPut;
+  Status status = Status::kOk;
+};
+
+class GroupCommitBatcher {
+ public:
+  /// Routes a batch's completions to the worker that owns the connections.
+  /// Called on the batcher thread; implementations must only enqueue+wake.
+  using CompletionSink =
+      std::function<void(std::uint32_t worker, std::vector<WriteCompletion>)>;
+  /// Called (once, on the batcher thread) when ApplyBatch hits a simulated
+  /// power failure; the server uses it to drop every connection.
+  using CrashHook = std::function<void()>;
+
+  GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
+                     CompletionSink sink, CrashHook on_crash);
+  ~GroupCommitBatcher();
+
+  void Start();
+  /// Drains and commits everything still queued (unless a crash was
+  /// observed), then joins the batch thread. Idempotent.
+  void Stop();
+
+  /// Enqueues one logical client write — 1 op for PUT/DEL, n for MPUT — as
+  /// an unsplittable group; all of a group's ops land in the same batch, so
+  /// an MPUT stays per-shard atomic. Returns false (and takes nothing) when
+  /// the batcher is stopped or crashed; the caller fails the request fast.
+  bool Submit(std::uint32_t worker, std::uint64_t conn_id, Op op,
+              std::vector<KvWriteOp> ops);
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  std::uint64_t batches() const { return batches_.load(); }
+  std::uint64_t batched_writes() const { return batched_writes_.load(); }
+  std::uint64_t acked_writes() const { return acked_writes_.load(); }
+
+ private:
+  /// One submitted write group: `count` ops starting at `first` in the
+  /// pending op vector, acked as a unit.
+  struct Group {
+    std::uint32_t worker;
+    std::uint64_t conn_id;
+    Op op;
+    std::size_t first;
+    std::size_t count;
+  };
+
+  void Loop();
+  /// Applies one swapped-out batch and dispatches its completions.
+  /// Returns false when a simulated crash fired mid-batch.
+  bool CommitBatch(std::vector<KvWriteOp>& ops, std::vector<Group>& groups);
+
+  KvStore* store_;
+  std::uint32_t window_us_;
+  CompletionSink sink_;
+  CrashHook on_crash_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<KvWriteOp> pending_ops_;
+  std::vector<Group> pending_groups_;
+  bool stop_ = false;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_writes_{0};
+  std::atomic<std::uint64_t> acked_writes_{0};
+  std::thread thread_;
+};
+
+}  // namespace serve
+}  // namespace rwd
+
+#endif  // REWIND_SERVER_BATCHER_H_

@@ -1,0 +1,205 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rwd {
+namespace serve {
+
+KvClient::~KvClient() { Close(); }
+
+bool KvClient::Connect(const std::string& host, std::uint16_t port,
+                       int recv_timeout_ms) {
+  Close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &res) != 0 ||
+      res == nullptr) {
+    return false;
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype | SOCK_CLOEXEC,
+                    res->ai_protocol);
+  bool ok = fd >= 0 && ::connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+  ::freeaddrinfo(res);
+  if (!ok) {
+    if (fd >= 0) ::close(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = fd;
+  return true;
+}
+
+void KvClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  send_.clear();
+  recv_.clear();
+  recv_off_ = 0;
+  pending_ = 0;
+}
+
+void KvClient::QueueGet(std::uint64_t key) {
+  EncodeGet(&send_, key);
+  ++pending_;
+}
+
+void KvClient::QueuePut(std::uint64_t key, std::string_view value) {
+  EncodePut(&send_, key, value);
+  ++pending_;
+}
+
+void KvClient::QueueDel(std::uint64_t key) {
+  EncodeDel(&send_, key);
+  ++pending_;
+}
+
+void KvClient::QueueScan(std::uint64_t from_key, std::uint32_t max_items) {
+  EncodeScan(&send_, from_key, max_items);
+  ++pending_;
+}
+
+void KvClient::QueueMput(
+    const std::vector<std::pair<std::uint64_t, std::string>>& kvs) {
+  EncodeMput(&send_, kvs);
+  ++pending_;
+}
+
+void KvClient::QueueStats() {
+  EncodeStats(&send_);
+  ++pending_;
+}
+
+bool KvClient::SendAll(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool KvClient::Flush() {
+  if (fd_ < 0) return false;
+  if (send_.empty()) return true;
+  bool ok = SendAll(send_.data(), send_.size());
+  if (ok) send_.clear();
+  return ok;
+}
+
+bool KvClient::FillTo(std::size_t need) {
+  while (recv_.size() - recv_off_ < need) {
+    char buf[65536];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      recv_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();  // EOF, timeout or error: the pipeline is unrecoverable
+    return false;
+  }
+  return true;
+}
+
+bool KvClient::ReadReply(Reply* out) {
+  if (fd_ < 0) return false;
+  if (!FillTo(4)) return false;
+  std::uint32_t len = ReadU32(recv_.data() + recv_off_);
+  if (len < 1 || len > kMaxFrameBytes) {
+    Close();
+    return false;
+  }
+  if (!FillTo(4 + static_cast<std::size_t>(len))) return false;
+  const char* p = recv_.data() + recv_off_ + 4;
+  out->status = static_cast<Status>(static_cast<std::uint8_t>(*p));
+  out->payload.assign(p + 1, len - 1);
+  recv_off_ += 4 + len;
+  if (recv_off_ == recv_.size()) {
+    recv_.clear();
+    recv_off_ = 0;
+  }
+  if (pending_ > 0) --pending_;
+  return true;
+}
+
+bool KvClient::RoundTrip(Reply* reply) {
+  return Flush() && ReadReply(reply);
+}
+
+bool KvClient::Put(std::uint64_t key, std::string_view value) {
+  if (pending_ != 0) return false;
+  QueuePut(key, value);
+  Reply r;
+  return RoundTrip(&r) && r.status == Status::kOk;
+}
+
+bool KvClient::Get(std::uint64_t key, std::string* value_out) {
+  if (pending_ != 0) return false;
+  QueueGet(key);
+  Reply r;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  if (value_out != nullptr) *value_out = std::move(r.payload);
+  return true;
+}
+
+bool KvClient::Delete(std::uint64_t key) {
+  if (pending_ != 0) return false;
+  QueueDel(key);
+  Reply r;
+  return RoundTrip(&r) && r.status == Status::kOk;
+}
+
+bool KvClient::Scan(
+    std::uint64_t from_key, std::uint32_t max_items,
+    std::vector<std::pair<std::uint64_t, std::string>>* out) {
+  if (pending_ != 0) return false;
+  QueueScan(from_key, max_items);
+  Reply r;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  return DecodeScanPayload(r.payload, out);
+}
+
+bool KvClient::MultiPut(
+    const std::vector<std::pair<std::uint64_t, std::string>>& kvs) {
+  if (pending_ != 0) return false;
+  QueueMput(kvs);
+  Reply r;
+  return RoundTrip(&r) && r.status == Status::kOk;
+}
+
+bool KvClient::Stats(StatsReply* out) {
+  if (pending_ != 0) return false;
+  QueueStats();
+  Reply r;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  return DecodeStatsPayload(r.payload, out);
+}
+
+}  // namespace serve
+}  // namespace rwd

@@ -1,0 +1,83 @@
+// A small blocking client for RewindServe: synchronous conveniences plus
+// an explicit pipelining interface (queue N requests, flush once, read the
+// N replies in order) used by tests and the network load generator.
+#ifndef REWIND_SERVER_CLIENT_H_
+#define REWIND_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/server/protocol.h"
+
+namespace rwd {
+namespace serve {
+
+class KvClient {
+ public:
+  struct Reply {
+    Status status = Status::kServerError;
+    std::string payload;
+  };
+
+  KvClient() = default;
+  ~KvClient();
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+
+  /// Connects to a RewindServe endpoint (numeric IPv4 or a resolvable
+  /// host name). `recv_timeout_ms` bounds every blocking read; a timeout
+  /// closes the connection so callers never hang on a dead server.
+  bool Connect(const std::string& host, std::uint16_t port,
+               int recv_timeout_ms = 30000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- pipelining: queue requests, flush, then read replies in order ---
+  void QueueGet(std::uint64_t key);
+  void QueuePut(std::uint64_t key, std::string_view value);
+  void QueueDel(std::uint64_t key);
+  void QueueScan(std::uint64_t from_key, std::uint32_t max_items);
+  void QueueMput(
+      const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
+  void QueueStats();
+  /// Sends everything queued. False on socket error (connection closed).
+  bool Flush();
+  /// Reads the next reply frame; replies arrive in request order. False on
+  /// socket error, EOF or timeout (connection closed).
+  bool ReadReply(Reply* out);
+  /// Requests queued or flushed whose replies have not been read yet.
+  std::size_t pending() const { return pending_; }
+
+  // --- blocking conveniences (require pending() == 0) ---
+  bool Put(std::uint64_t key, std::string_view value);
+  bool Get(std::uint64_t key, std::string* value_out);
+  bool Delete(std::uint64_t key);
+  /// Returns items via `out`; false on error (out left partial on parse
+  /// failure). An empty result is success.
+  bool Scan(std::uint64_t from_key, std::uint32_t max_items,
+            std::vector<std::pair<std::uint64_t, std::string>>* out);
+  bool MultiPut(
+      const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
+  bool Stats(StatsReply* out);
+
+ private:
+  bool SendAll(const char* data, std::size_t size);
+  /// Ensures `recv_` holds at least `need` unconsumed bytes.
+  bool FillTo(std::size_t need);
+  /// Runs one queued request to completion and returns its reply.
+  bool RoundTrip(Reply* reply);
+
+  int fd_ = -1;
+  std::string send_;
+  std::string recv_;
+  std::size_t recv_off_ = 0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace serve
+}  // namespace rwd
+
+#endif  // REWIND_SERVER_CLIENT_H_

@@ -1,0 +1,193 @@
+// RewindServe wire protocol: a compact length-prefixed binary framing
+// shared by the server, the blocking client library and the load
+// generator. Full client-side pipelining is the design center: a client
+// may stream any number of request frames before reading; the server
+// answers every frame in order on the same connection.
+//
+// Request frame:   [u32 len][u8 op][payload]      (len covers op+payload)
+// Response frame:  [u32 len][u8 status][payload]
+//
+// All integers are little-endian. Payloads per op:
+//   GET   key:u64                      -> OK value-bytes | NOT_FOUND
+//   PUT   key:u64 value-bytes          -> OK   (acked after group commit)
+//   DEL   key:u64                      -> OK | NOT_FOUND (after commit)
+//   SCAN  from:u64 max:u32             -> OK n:u32 n*(key:u64 len:u32 bytes)
+//   MPUT  n:u32 n*(key:u64 len:u32 bytes) -> OK (per-shard atomic batch)
+//   STATS (empty)                      -> OK 8*u64 (see StatsReply)
+#ifndef REWIND_SERVER_PROTOCOL_H_
+#define REWIND_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rwd {
+namespace serve {
+
+enum class Op : std::uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kDel = 3,
+  kScan = 4,
+  kMput = 5,
+  kStats = 6,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kBadRequest = 2,
+  kServerError = 3,  ///< shutting down / batcher unavailable
+};
+
+/// Upper bound on one frame (guards the server against hostile lengths).
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+/// Server-side cap on SCAN result counts.
+constexpr std::uint32_t kMaxScanItems = 4096;
+/// Server-side cap on SCAN reply payload bytes: a scan over large values
+/// truncates (returns fewer than the requested items) rather than build a
+/// frame the kMaxFrameBytes check would reject.
+constexpr std::uint32_t kMaxScanReplyBytes = 8u << 20;
+
+/// STATS response payload, in wire order.
+struct StatsReply {
+  std::uint64_t keys = 0;           ///< live keys across all shards
+  std::uint64_t acked_writes = 0;   ///< write ops acked (PUT/DEL/MPUT keys)
+  std::uint64_t batches = 0;        ///< group commits executed
+  std::uint64_t batched_writes = 0; ///< write ops carried by those batches
+  std::uint64_t gets = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t connections = 0;    ///< connections accepted so far
+  std::uint64_t shards = 0;
+};
+constexpr std::size_t kStatsWords = 8;
+
+inline void AppendU32(std::string* s, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  s->append(b, 4);
+}
+
+inline void AppendU64(std::string* s, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  s->append(b, 8);
+}
+
+inline std::uint32_t ReadU32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t ReadU64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Starts a frame in `out`, returning the offset of its length field;
+/// callers append the body then call EndFrame with the same offset.
+inline std::size_t BeginFrame(std::string* out, std::uint8_t tag) {
+  std::size_t at = out->size();
+  AppendU32(out, 0);  // patched by EndFrame
+  out->push_back(static_cast<char>(tag));
+  return at;
+}
+
+inline void EndFrame(std::string* out, std::size_t at) {
+  std::uint32_t len = static_cast<std::uint32_t>(out->size() - at - 4);
+  std::memcpy(&(*out)[at], &len, 4);
+}
+
+// --- request encoders (client side) ---
+
+inline void EncodeGet(std::string* out, std::uint64_t key) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kGet));
+  AppendU64(out, key);
+  EndFrame(out, at);
+}
+
+inline void EncodePut(std::string* out, std::uint64_t key,
+                      std::string_view value) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kPut));
+  AppendU64(out, key);
+  out->append(value.data(), value.size());
+  EndFrame(out, at);
+}
+
+inline void EncodeDel(std::string* out, std::uint64_t key) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kDel));
+  AppendU64(out, key);
+  EndFrame(out, at);
+}
+
+inline void EncodeScan(std::string* out, std::uint64_t from_key,
+                       std::uint32_t max_items) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kScan));
+  AppendU64(out, from_key);
+  AppendU32(out, max_items);
+  EndFrame(out, at);
+}
+
+inline void EncodeMput(
+    std::string* out,
+    const std::vector<std::pair<std::uint64_t, std::string>>& kvs) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kMput));
+  AppendU32(out, static_cast<std::uint32_t>(kvs.size()));
+  for (const auto& [key, value] : kvs) {
+    AppendU64(out, key);
+    AppendU32(out, static_cast<std::uint32_t>(value.size()));
+    out->append(value);
+  }
+  EndFrame(out, at);
+}
+
+inline void EncodeStats(std::string* out) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kStats));
+  EndFrame(out, at);
+}
+
+// --- payload decoders shared by client and tests ---
+
+/// Parses a SCAN response payload into (key, value) pairs.
+inline bool DecodeScanPayload(
+    std::string_view payload,
+    std::vector<std::pair<std::uint64_t, std::string>>* out) {
+  if (payload.size() < 4) return false;
+  std::uint32_t n = ReadU32(payload.data());
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (payload.size() - off < 12) return false;
+    std::uint64_t key = ReadU64(payload.data() + off);
+    std::uint32_t vlen = ReadU32(payload.data() + off + 8);
+    off += 12;
+    if (payload.size() - off < vlen) return false;
+    out->emplace_back(key, std::string(payload.substr(off, vlen)));
+    off += vlen;
+  }
+  return off == payload.size();
+}
+
+/// Parses a STATS response payload.
+inline bool DecodeStatsPayload(std::string_view payload, StatsReply* out) {
+  if (payload.size() != kStatsWords * 8) return false;
+  const char* p = payload.data();
+  out->keys = ReadU64(p);
+  out->acked_writes = ReadU64(p + 8);
+  out->batches = ReadU64(p + 16);
+  out->batched_writes = ReadU64(p + 24);
+  out->gets = ReadU64(p + 32);
+  out->scans = ReadU64(p + 40);
+  out->connections = ReadU64(p + 48);
+  out->shards = ReadU64(p + 56);
+  return true;
+}
+
+}  // namespace serve
+}  // namespace rwd
+
+#endif  // REWIND_SERVER_PROTOCOL_H_

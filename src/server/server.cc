@@ -1,0 +1,547 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace rwd {
+namespace serve {
+namespace {
+
+// epoll user-data ids below the first connection id.
+constexpr std::uint64_t kIdWake = 0;
+constexpr std::uint64_t kIdListen = 1;
+
+bool ValidWriteKey(std::uint64_t key) {
+  return key != 0 && key != ~std::uint64_t{0};
+}
+
+/// One parsed request frame, queued per connection in arrival order.
+struct Request {
+  Op op = Op::kGet;
+  bool bad = false;  ///< malformed payload or invalid write key
+  std::uint64_t key = 0;
+  std::uint32_t max_items = 0;
+  std::string value;
+  std::vector<std::pair<std::uint64_t, std::string>> kvs;
+};
+
+}  // namespace
+
+struct KvServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::string in;
+  std::size_t in_off = 0;
+  std::string out;
+  std::size_t out_off = 0;
+  std::deque<Request> reqs;
+  /// Writes submitted to the batcher whose acks are still pending; reads
+  /// (and responses generally) are barriered behind them so replies go out
+  /// in request order and a pipelined read sees the connection's writes.
+  std::uint32_t unacked = 0;
+  bool want_write = false;  ///< EPOLLOUT currently subscribed
+};
+
+struct KvServer::Worker {
+  std::uint32_t idx = 0;
+  int epfd = -1;
+  int evfd = -1;
+  std::thread thread;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  // Inbox: filled by the acceptor and the batcher thread, drained by this
+  // worker after an eventfd wake. All other Conn state is worker-private.
+  std::mutex mu;
+  std::vector<int> inbox_fds;
+  std::vector<WriteCompletion> inbox_completions;
+};
+
+KvServer::KvServer(KvStore* store, const ServerConfig& config)
+    : store_(store), config_(config) {}
+
+KvServer::~KvServer() { Stop(); }
+
+bool KvServer::Start() {
+  if (started_) return true;
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+
+  std::uint32_t n = std::max<std::uint32_t>(config_.workers, 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->idx = i;
+    w->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->evfd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kIdWake;
+    ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->evfd, &ev);
+    workers_.push_back(std::move(w));
+  }
+  epoll_event lev{};
+  lev.events = EPOLLIN;
+  lev.data.u64 = kIdListen;
+  ::epoll_ctl(workers_[0]->epfd, EPOLL_CTL_ADD, listen_fd_, &lev);
+
+  batcher_ = std::make_unique<GroupCommitBatcher>(
+      store_, config_.batch_window_us,
+      [this](std::uint32_t worker, std::vector<WriteCompletion> completions) {
+        Worker& w = *workers_[worker];
+        {
+          std::lock_guard<std::mutex> lock(w.mu);
+          for (const WriteCompletion& c : completions) {
+            w.inbox_completions.push_back(c);
+          }
+        }
+        WakeWorker(w);
+      },
+      [this] {
+        for (auto& w : workers_) WakeWorker(*w);
+      });
+  batcher_->Start();
+  stop_.store(false, std::memory_order_release);
+  for (auto& w : workers_) {
+    std::uint32_t idx = w->idx;
+    w->thread = std::thread([this, idx] { WorkerLoop(idx); });
+  }
+  started_ = true;
+  return true;
+}
+
+void KvServer::Stop() {
+  if (!started_) return;
+  // Commit and ack everything already queued while the workers are still
+  // alive to deliver the final completions, then wind the workers down.
+  batcher_->Stop();
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) WakeWorker(*w);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  for (auto& w : workers_) {
+    // Accepted fds the worker never adopted (e.g. handed over just as it
+    // exited, or on the crash path which skips the final inbox drain)
+    // would otherwise leak.
+    std::lock_guard<std::mutex> lock(w->mu);
+    for (int fd : w->inbox_fds) ::close(fd);
+    w->inbox_fds.clear();
+    w->inbox_completions.clear();
+    ::close(w->evfd);
+    ::close(w->epfd);
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+void KvServer::WakeWorker(Worker& w) {
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t r = ::write(w.evfd, &one, sizeof(one));
+}
+
+void KvServer::WorkerLoop(std::uint32_t idx) {
+  Worker& w = *workers_[idx];
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire) && !crashed()) {
+    int n = ::epoll_wait(w.epfd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t id = events[i].data.u64;
+      if (id == kIdWake) {
+        std::uint64_t junk;
+        while (::read(w.evfd, &junk, sizeof(junk)) == sizeof(junk)) {
+        }
+        HandleInbox(w);
+      } else if (id == kIdListen) {
+        AcceptReady(w);
+      } else {
+        auto it = w.conns.find(id);
+        if (it == w.conns.end()) continue;
+        Conn& c = *it->second;
+        bool ok = (events[i].events & (EPOLLERR | EPOLLHUP)) == 0;
+        if (ok && (events[i].events & EPOLLIN)) ok = HandleReadable(w, c);
+        if (ok && (events[i].events & EPOLLOUT)) ok = TryFlush(w, c);
+        if (!ok) CloseConn(w, c);
+      }
+    }
+  }
+  // Wind-down: deliver the batcher's final completions first (a graceful
+  // Stop() commits and acks everything already queued), best-effort flush,
+  // then drop every connection so blocked clients observe EOF. After a
+  // simulated power failure nothing is delivered — a crashed server acks
+  // nothing.
+  if (!crashed()) HandleInbox(w);
+  for (auto& [id, conn] : w.conns) {
+    if (!crashed()) TryFlush(w, *conn);
+    ::close(conn->fd);
+  }
+  w.conns.clear();
+}
+
+void KvServer::HandleInbox(Worker& w) {
+  std::vector<int> fds;
+  std::vector<WriteCompletion> completions;
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    fds.swap(w.inbox_fds);
+    completions.swap(w.inbox_completions);
+  }
+  for (int fd : fds) AdoptConn(w, fd);
+  // Append every ack frame first, then drive/flush each touched
+  // connection once — a group commit of N pipelined writes costs one
+  // send(), not N.
+  std::vector<Conn*> touched;
+  for (const WriteCompletion& comp : completions) {
+    auto it = w.conns.find(comp.conn_id);
+    if (it == w.conns.end()) continue;  // connection closed while in flight
+    Conn& c = *it->second;
+    std::size_t at =
+        BeginFrame(&c.out, static_cast<std::uint8_t>(comp.status));
+    EndFrame(&c.out, at);
+    if (c.unacked > 0) --c.unacked;
+    if (std::find(touched.begin(), touched.end(), &c) == touched.end()) {
+      touched.push_back(&c);
+    }
+  }
+  for (Conn* c : touched) {
+    Drive(w, *c);
+    if (!TryFlush(w, *c)) CloseConn(w, *c);
+  }
+}
+
+void KvServer::AcceptReady(Worker& w0) {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t target = static_cast<std::uint32_t>(
+        rr_next_.fetch_add(1, std::memory_order_relaxed) % workers_.size());
+    if (target == w0.idx) {
+      AdoptConn(w0, fd);
+    } else {
+      Worker& t = *workers_[target];
+      {
+        std::lock_guard<std::mutex> lock(t.mu);
+        t.inbox_fds.push_back(fd);
+      }
+      WakeWorker(t);
+    }
+  }
+}
+
+void KvServer::AdoptConn(Worker& w, int fd) {
+  auto c = std::make_unique<Conn>();
+  c->fd = fd;
+  c->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = c->id;
+  if (::epoll_ctl(w.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  w.conns.emplace(c->id, std::move(c));
+}
+
+bool KvServer::HandleReadable(Worker& w, Conn& c) {
+  char buf[65536];
+  for (;;) {
+    ssize_t r = ::read(c.fd, buf, sizeof(buf));
+    if (r > 0) {
+      c.in.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  if (!ParseFrames(c)) return false;  // protocol error
+  Drive(w, c);
+  return TryFlush(w, c);
+}
+
+bool KvServer::ParseFrames(Conn& c) {
+  for (;;) {
+    std::size_t avail = c.in.size() - c.in_off;
+    if (avail < 4) break;
+    std::uint32_t len = ReadU32(c.in.data() + c.in_off);
+    if (len < 1 || len > kMaxFrameBytes) return false;
+    if (avail < 4 + static_cast<std::size_t>(len)) break;
+    const char* p = c.in.data() + c.in_off + 4;
+    const char* q = p + 1;
+    std::uint32_t body = len - 1;
+    c.in_off += 4 + len;
+    Request req;
+    switch (static_cast<Op>(static_cast<std::uint8_t>(*p))) {
+      case Op::kGet:
+      case Op::kDel:
+        req.op = static_cast<Op>(static_cast<std::uint8_t>(*p));
+        if (body != 8) {
+          req.bad = true;
+        } else {
+          req.key = ReadU64(q);
+          if (req.op == Op::kDel && !ValidWriteKey(req.key)) req.bad = true;
+        }
+        break;
+      case Op::kPut:
+        req.op = Op::kPut;
+        if (body < 8) {
+          req.bad = true;
+        } else {
+          req.key = ReadU64(q);
+          req.value.assign(q + 8, body - 8);
+          if (!ValidWriteKey(req.key)) req.bad = true;
+        }
+        break;
+      case Op::kScan:
+        req.op = Op::kScan;
+        if (body != 12) {
+          req.bad = true;
+        } else {
+          req.key = ReadU64(q);
+          req.max_items = ReadU32(q + 8);
+        }
+        break;
+      case Op::kMput: {
+        req.op = Op::kMput;
+        if (body < 4) {
+          req.bad = true;
+          break;
+        }
+        std::uint32_t count = ReadU32(q);
+        std::size_t off = 4;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (body - off < 12) {
+            req.bad = true;
+            break;
+          }
+          std::uint64_t key = ReadU64(q + off);
+          std::uint32_t vlen = ReadU32(q + off + 8);
+          off += 12;
+          if (body - off < vlen) {
+            req.bad = true;
+            break;
+          }
+          if (!ValidWriteKey(key)) req.bad = true;
+          req.kvs.emplace_back(key, std::string(q + off, vlen));
+          off += vlen;
+        }
+        if (!req.bad && off != body) req.bad = true;
+        break;
+      }
+      case Op::kStats:
+        req.op = Op::kStats;
+        if (body != 0) req.bad = true;
+        break;
+      default:
+        return false;  // unknown opcode: drop the connection
+    }
+    c.reqs.push_back(std::move(req));
+  }
+  if (c.in_off == c.in.size()) {
+    c.in.clear();
+    c.in_off = 0;
+  } else if (c.in_off > (1u << 20)) {
+    c.in.erase(0, c.in_off);
+    c.in_off = 0;
+  }
+  return true;
+}
+
+void KvServer::Drive(Worker& w, Conn& c) {
+  while (!c.reqs.empty()) {
+    Request& req = c.reqs.front();
+    // Every response — including errors and reads — waits behind the
+    // connection's unacked writes, so replies keep request order and a
+    // pipelined read observes the writes issued before it.
+    bool is_write = !req.bad && (req.op == Op::kPut || req.op == Op::kDel ||
+                                 req.op == Op::kMput);
+    if (!is_write) {
+      if (c.unacked > 0) return;  // parked until the acks drain
+      if (req.bad) {
+        std::size_t at = BeginFrame(
+            &c.out, static_cast<std::uint8_t>(Status::kBadRequest));
+        EndFrame(&c.out, at);
+      } else if (req.op == Op::kGet) {
+        gets_.fetch_add(1, std::memory_order_relaxed);
+        std::string value;
+        bool found = store_->Get(req.key, &value);
+        std::size_t at = BeginFrame(
+            &c.out, static_cast<std::uint8_t>(found ? Status::kOk
+                                                    : Status::kNotFound));
+        if (found) c.out.append(value);
+        EndFrame(&c.out, at);
+      } else if (req.op == Op::kScan) {
+        scans_.fetch_add(1, std::memory_order_relaxed);
+        std::uint32_t max_items =
+            std::min(req.max_items, config_.max_scan_items);
+        std::string items;
+        std::uint32_t count = 0;
+        store_->Scan(req.key, max_items,
+                     [&](std::uint64_t key, std::string_view value) {
+                       // Byte budget: the whole frame must stay under
+                       // kMaxFrameBytes or the client (rightly) drops the
+                       // connection; large-value scans truncate instead.
+                       if (items.size() + 12 + value.size() >
+                           kMaxScanReplyBytes) {
+                         return false;
+                       }
+                       AppendU64(&items, key);
+                       AppendU32(&items,
+                                 static_cast<std::uint32_t>(value.size()));
+                       items.append(value);
+                       ++count;
+                       return true;
+                     });
+        std::size_t at =
+            BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
+        AppendU32(&c.out, count);
+        c.out.append(items);
+        EndFrame(&c.out, at);
+      } else {  // Op::kStats
+        StatsReply stats = StatsSnapshot();
+        std::size_t at =
+            BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
+        AppendU64(&c.out, stats.keys);
+        AppendU64(&c.out, stats.acked_writes);
+        AppendU64(&c.out, stats.batches);
+        AppendU64(&c.out, stats.batched_writes);
+        AppendU64(&c.out, stats.gets);
+        AppendU64(&c.out, stats.scans);
+        AppendU64(&c.out, stats.connections);
+        AppendU64(&c.out, stats.shards);
+        EndFrame(&c.out, at);
+      }
+      c.reqs.pop_front();
+      continue;
+    }
+    // A logged write: hand it to the group-commit batcher; the ack frame
+    // is emitted by HandleInbox once the covering batch has fenced.
+    std::vector<KvWriteOp> ops;
+    if (req.op == Op::kMput) {
+      ops.resize(req.kvs.size());
+      for (std::size_t i = 0; i < req.kvs.size(); ++i) {
+        ops[i].kind = KvWriteOp::Kind::kPut;
+        ops[i].key = req.kvs[i].first;
+        ops[i].value = std::move(req.kvs[i].second);
+      }
+    } else {
+      ops.resize(1);
+      ops[0].kind = req.op == Op::kPut ? KvWriteOp::Kind::kPut
+                                       : KvWriteOp::Kind::kDelete;
+      ops[0].key = req.key;
+      ops[0].value = std::move(req.value);
+    }
+    if (batcher_->Submit(w.idx, c.id, req.op, std::move(ops))) {
+      ++c.unacked;
+      c.reqs.pop_front();
+      continue;
+    }
+    // Batcher stopped (shutdown) or crashed — permanently. Fail the
+    // request fast, but never jump ahead of acks still in flight: leave
+    // it queued (its payload is already consumed; only the error reply
+    // matters) until the acks drain, keeping replies in request order.
+    if (c.unacked > 0) return;
+    std::size_t at = BeginFrame(
+        &c.out, static_cast<std::uint8_t>(Status::kServerError));
+    EndFrame(&c.out, at);
+    c.reqs.pop_front();
+  }
+}
+
+bool KvServer::TryFlush(Worker& w, Conn& c) {
+  while (c.out_off < c.out.size()) {
+    ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                       c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!c.want_write) {
+        c.want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.u64 = c.id;
+        ::epoll_ctl(w.epfd, EPOLL_CTL_MOD, c.fd, &ev);
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  c.out.clear();
+  c.out_off = 0;
+  if (c.want_write) {
+    c.want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = c.id;
+    ::epoll_ctl(w.epfd, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+  return true;
+}
+
+void KvServer::CloseConn(Worker& w, Conn& c) {
+  ::epoll_ctl(w.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  w.conns.erase(c.id);  // frees `c`
+}
+
+StatsReply KvServer::StatsSnapshot() {
+  StatsReply r;
+  r.keys = store_->Size();
+  if (batcher_) {
+    r.acked_writes = batcher_->acked_writes();
+    r.batches = batcher_->batches();
+    r.batched_writes = batcher_->batched_writes();
+  }
+  r.gets = gets_.load(std::memory_order_relaxed);
+  r.scans = scans_.load(std::memory_order_relaxed);
+  r.connections = connections_.load(std::memory_order_relaxed);
+  r.shards = store_->shards();
+  return r;
+}
+
+}  // namespace serve
+}  // namespace rwd

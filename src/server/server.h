@@ -1,0 +1,104 @@
+// RewindServe: a TCP serving layer over KvStore — epoll event loop with N
+// worker threads, the length-prefixed protocol of protocol.h with full
+// client-side pipelining, and a group-commit batcher that coalesces logged
+// writes from many connections into one shard transaction per shard per
+// batch window before acking (batcher.h).
+//
+// Consistency contract per connection: responses are sent in request
+// order, and a read (GET/SCAN/STATS) issued after a write on the same
+// connection observes that write — reads act as a barrier behind the
+// connection's unacked writes. Reads on other connections may observe a
+// batch's writes as soon as its shard transactions commit.
+#ifndef REWIND_SERVER_SERVER_H_
+#define REWIND_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/server/batcher.h"
+#include "src/server/protocol.h"
+
+namespace rwd {
+namespace serve {
+
+struct ServerConfig {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 7170;
+  /// Epoll worker threads; connections are assigned round-robin.
+  std::uint32_t workers = 2;
+  /// Group-commit coalescing window (microseconds; 0 commits eagerly).
+  std::uint32_t batch_window_us = 150;
+  /// Server-side cap on one SCAN's item count.
+  std::uint32_t max_scan_items = kMaxScanItems;
+};
+
+class KvServer {
+ public:
+  KvServer(KvStore* store, const ServerConfig& config);
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  /// Binds, listens and launches the worker + batcher threads. Returns
+  /// false (with everything torn down) when the socket setup fails.
+  bool Start();
+
+  /// Graceful shutdown: commits and acks everything already queued, then
+  /// stops the workers and closes every connection. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start; meaningful with config.port == 0).
+  std::uint16_t port() const { return port_; }
+
+  /// True once a simulated power failure fired inside a group commit; the
+  /// server has dropped every connection and stopped acking.
+  bool crashed() const { return batcher_ && batcher_->crashed(); }
+
+  /// Aggregate counters (also the STATS op's payload).
+  StatsReply StatsSnapshot();
+
+ private:
+  struct Conn;
+  struct Worker;
+
+  void WorkerLoop(std::uint32_t idx);
+  void HandleInbox(Worker& w);
+  void AcceptReady(Worker& w0);
+  void AdoptConn(Worker& w, int fd);
+  /// Reads, parses and drives one connection; false = close it.
+  bool HandleReadable(Worker& w, Conn& c);
+  bool ParseFrames(Conn& c);
+  /// Executes runnable requests in order (reads inline, writes to the
+  /// batcher) honouring the read-after-write barrier. Stops early when a
+  /// response must wait behind unacked writes.
+  void Drive(Worker& w, Conn& c);
+  /// Flushes the out buffer; manages EPOLLOUT interest; false = close.
+  bool TryFlush(Worker& w, Conn& c);
+  void CloseConn(Worker& w, Conn& c);
+  void WakeWorker(Worker& w);
+
+  KvStore* store_;
+  ServerConfig config_;
+  std::unique_ptr<GroupCommitBatcher> batcher_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> next_conn_id_{2};  // 0/1 mark eventfd/listener
+  std::atomic<std::uint64_t> rr_next_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> gets_{0};
+  std::atomic<std::uint64_t> scans_{0};
+};
+
+}  // namespace serve
+}  // namespace rwd
+
+#endif  // REWIND_SERVER_SERVER_H_

@@ -217,6 +217,20 @@ bool BTree::UpdatePayloadWord(StorageOps* ops, std::uint64_t key,
   return false;
 }
 
+bool BTree::UpdatePayloadWords(StorageOps* ops, std::uint64_t key,
+                               const std::uint64_t* words, std::size_t n) {
+  Node* leaf = FindLeaf(ops, key);
+  std::uint64_t cnt = ops->Load(&leaf->count);
+  for (std::uint64_t i = 0; i < cnt; ++i) {
+    if (ops->Load(&leaf->keys[i]) == key) {
+      auto* blk = reinterpret_cast<std::uint64_t*>(ops->Load(&leaf->ptrs[i]));
+      for (std::size_t w = 0; w < n; ++w) ops->Store(&blk[w], words[w]);
+      return true;
+    }
+  }
+  return false;
+}
+
 bool BTree::InsertTxn(StorageOps* ops, std::uint64_t key,
                       const void* payload) {
   ops->BeginOp();

@@ -51,6 +51,13 @@ class BTree {
   bool UpdatePayloadWord(StorageOps* ops, std::uint64_t key,
                          std::size_t word_idx, std::uint64_t value);
 
+  /// Overwrites the first `n` payload words (n <= kPayloadWords) of an
+  /// existing key in ONE descent — the overwrite fast path for callers like
+  /// RewindKV that swing a value pointer and its size together. Returns
+  /// false when the key is absent.
+  bool UpdatePayloadWords(StorageOps* ops, std::uint64_t key,
+                          const std::uint64_t* words, std::size_t n);
+
   /// One-transaction wrappers.
   bool InsertTxn(StorageOps* ops, std::uint64_t key, const void* payload);
   bool RemoveTxn(StorageOps* ops, std::uint64_t key);

@@ -42,7 +42,8 @@ void PHash::Grow(StorageOps* ops) {
   ops->DeferredFree(old_table);
 }
 
-void PHash::PutOp(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
+bool PHash::UpsertOp(StorageOps* ops, std::uint64_t key, std::uint64_t value,
+                     std::uint64_t* old_value) {
   assert(key != 0 && key != kTombKey);
   if ((ops->Load(&anchor_->used) + 1) * 4 >=
       ops->Load(&anchor_->capacity) * 3) {
@@ -55,8 +56,9 @@ void PHash::PutOp(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
   for (;;) {
     std::uint64_t k = ops->Load(&table[pos].key);
     if (k == key) {
+      if (old_value != nullptr) *old_value = ops->Load(&table[pos].value);
       ops->Store(&table[pos].value, value);
-      return;
+      return true;
     }
     if (k == kTombKey && first_tomb == cap) first_tomb = pos;
     if (k == 0) break;
@@ -68,6 +70,11 @@ void PHash::PutOp(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
   ops->Store(&table[target].key, key);
   ops->Store(&anchor_->size, ops->Load(&anchor_->size) + 1);
   if (!reuse_tomb) ops->Store(&anchor_->used, ops->Load(&anchor_->used) + 1);
+  return false;
+}
+
+void PHash::PutOp(StorageOps* ops, std::uint64_t key, std::uint64_t value) {
+  UpsertOp(ops, key, value, nullptr);
 }
 
 void PHash::Put(StorageOps* ops, std::uint64_t key, std::uint64_t value) {

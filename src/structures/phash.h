@@ -35,6 +35,14 @@ class PHash {
   void PutOp(StorageOps* ops, std::uint64_t key, std::uint64_t value);
   bool EraseOp(StorageOps* ops, std::uint64_t key);
 
+  /// Single-probe upsert inside the caller's open operation: inserts or
+  /// overwrites at the probe position reached by one descent of the chain,
+  /// so callers that need the previous value (e.g. an overwriting KV Put)
+  /// pay one probe instead of a Get followed by a PutOp. Returns true and
+  /// fills `*old_value` (may be null) when the key already existed.
+  bool UpsertOp(StorageOps* ops, std::uint64_t key, std::uint64_t value,
+                std::uint64_t* old_value);
+
   /// Reads a value; returns presence.
   bool Get(StorageOps* ops, std::uint64_t key, std::uint64_t* value) const;
 

@@ -1,0 +1,238 @@
+#include "src/workload/net_driver.h"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+
+namespace rwd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// What one in-flight request was, so its reply can be accounted.
+struct Inflight {
+  enum class Kind : std::uint8_t {
+    kGet,
+    kUpdate,
+    kInsert,
+    kScan,
+    kRmwGet,   // the read half of an RMW; not counted as an op
+    kRmwPut,   // the write half; counts the RMW
+  };
+  Kind kind;
+  std::uint64_t key;
+  Clock::time_point sent_at;
+};
+
+}  // namespace
+
+NetWorkloadDriver::NetWorkloadDriver(const NetDriverSpec& net,
+                                     const WorkloadSpec& spec,
+                                     std::uint64_t seed)
+    : net_(net), spec_(spec), seed_(seed), chooser_(spec) {}
+
+std::uint64_t NetWorkloadDriver::Load() {
+  serve::KvClient client;
+  if (!client.Connect(net_.host, net_.port)) return 0;
+  std::size_t batch_size = spec_.load_batch == 0 ? 1 : spec_.load_batch;
+  std::size_t depth = net_.pipeline_depth == 0 ? 1 : net_.pipeline_depth;
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  batch.reserve(batch_size);
+  for (std::uint64_t key = 1; key <= spec_.record_count; ++key) {
+    batch.emplace_back(
+        key, WorkloadDriver::MakeValue(key, 0, spec_.value_size));
+    if (batch.size() == batch_size || key == spec_.record_count) {
+      client.QueueMput(batch);
+      batch.clear();
+      while (client.pending() >= depth) {
+        serve::KvClient::Reply reply;
+        if (!client.Flush() || !client.ReadReply(&reply) ||
+            reply.status != serve::Status::kOk) {
+          return 0;
+        }
+      }
+    }
+  }
+  serve::KvClient::Reply reply;
+  while (client.pending() > 0) {
+    if (!client.Flush() || !client.ReadReply(&reply) ||
+        reply.status != serve::Status::kOk) {
+      return 0;
+    }
+  }
+  chooser_.SetLoaded(spec_.record_count);
+  return spec_.record_count;
+}
+
+void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
+                                WorkloadResult* result, bool* conn_ok) {
+  serve::KvClient client;
+  if (!client.Connect(net_.host, net_.port)) {
+    *conn_ok = false;
+    return;
+  }
+  std::mt19937_64 rng(seed_ ^ (0x9E3779B97F4A7C15ull * (thread_idx + 1)));
+  std::size_t depth = net_.pipeline_depth == 0 ? 1 : net_.pipeline_depth;
+  std::deque<Inflight> inflight;
+  if (spec_.collect_latencies) result->latencies_us.reserve(ops);
+
+  // Only successfully executed operations count (a kServerError reply
+  // during shutdown is not a completed op), and an insert is published
+  // to the shared chooser only once its Put really was acked.
+  auto account = [&](const Inflight& sent,
+                     const serve::KvClient::Reply& reply) {
+    bool ok = reply.status == serve::Status::kOk;
+    switch (sent.kind) {
+      case Inflight::Kind::kGet:
+        if (!ok && reply.status != serve::Status::kNotFound) return;
+        ++result->reads;
+        if (!ok) ++result->read_misses;
+        break;
+      case Inflight::Kind::kUpdate:
+        if (!ok) return;
+        ++result->updates;
+        break;
+      case Inflight::Kind::kInsert:
+        if (!ok) return;
+        ++result->inserts;
+        chooser_.PublishInserted(sent.key);
+        break;
+      case Inflight::Kind::kScan:
+        if (!ok) return;
+        ++result->scans;
+        if (reply.payload.size() >= 4) {
+          result->scanned_items += serve::ReadU32(reply.payload.data());
+        }
+        break;
+      case Inflight::Kind::kRmwGet:
+        return;  // the write half carries the op count and the sample
+      case Inflight::Kind::kRmwPut:
+        if (!ok) return;
+        ++result->rmws;
+        break;
+    }
+    if (spec_.collect_latencies) {
+      result->latencies_us.push_back(static_cast<std::uint32_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - sent.sent_at)
+              .count()));
+    }
+  };
+
+  auto read_one = [&]() -> bool {
+    serve::KvClient::Reply reply;
+    if (!client.Flush() || !client.ReadReply(&reply)) return false;
+    account(inflight.front(), reply);
+    inflight.pop_front();
+    return true;
+  };
+
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    KvOp op = PickOp(spec_, rng);
+    Clock::time_point now = Clock::now();
+    switch (op) {
+      case KvOp::kRead:
+        client.QueueGet(chooser_.Choose(rng));
+        inflight.push_back({Inflight::Kind::kGet, 0, now});
+        break;
+      case KvOp::kUpdate: {
+        std::uint64_t key = chooser_.Choose(rng);
+        client.QueuePut(
+            key, WorkloadDriver::MakeValue(key, rng(), spec_.value_size));
+        inflight.push_back({Inflight::Kind::kUpdate, key, now});
+        break;
+      }
+      case KvOp::kInsert: {
+        std::uint64_t key = chooser_.AllocateInsertKey();
+        client.QueuePut(key,
+                        WorkloadDriver::MakeValue(key, 0, spec_.value_size));
+        inflight.push_back({Inflight::Kind::kInsert, key, now});
+        break;
+      }
+      case KvOp::kScan: {
+        std::uint64_t from = chooser_.Choose(rng);
+        std::uint32_t len = static_cast<std::uint32_t>(
+            1 + rng() % (spec_.max_scan_len == 0 ? 1 : spec_.max_scan_len));
+        client.QueueScan(from, len);
+        inflight.push_back({Inflight::Kind::kScan, 0, now});
+        break;
+      }
+      case KvOp::kReadModifyWrite: {
+        // The read and the successor write travel the pipeline together;
+        // the server's per-connection ordering executes the read first.
+        std::uint64_t key = chooser_.Choose(rng);
+        client.QueueGet(key);
+        inflight.push_back({Inflight::Kind::kRmwGet, key, now});
+        client.QueuePut(
+            key, WorkloadDriver::MakeValue(key, rng(), spec_.value_size));
+        inflight.push_back({Inflight::Kind::kRmwPut, key, now});
+        break;
+      }
+    }
+    while (inflight.size() >= depth) {
+      if (!read_one()) {
+        *conn_ok = false;
+        return;
+      }
+    }
+  }
+  while (!inflight.empty()) {
+    if (!read_one()) {
+      *conn_ok = false;
+      return;
+    }
+  }
+}
+
+WorkloadResult NetWorkloadDriver::Run(bool* ok) {
+  std::size_t threads = spec_.threads == 0 ? 1 : spec_.threads;
+  std::vector<WorkloadResult> partial(threads);
+  // Not vector<bool>: distinct elements must be writable from distinct
+  // threads without sharing a word.
+  std::vector<char> conn_ok(threads, 1);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  auto start = Clock::now();
+  std::uint64_t per_thread = spec_.op_count / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    std::uint64_t thread_ops =
+        per_thread + (t == 0 ? spec_.op_count % threads : 0);
+    pool.emplace_back([this, t, thread_ops, &partial, &conn_ok] {
+      bool good = true;
+      RunConn(t, thread_ops, &partial[t], &good);
+      conn_ok[t] = good ? 1 : 0;
+    });
+  }
+  for (auto& th : pool) th.join();
+  WorkloadResult total;
+  total.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  bool all_ok = true;
+  for (std::size_t t = 0; t < threads; ++t) {
+    WorkloadResult& r = partial[t];
+    total.reads += r.reads;
+    total.read_misses += r.read_misses;
+    total.updates += r.updates;
+    total.inserts += r.inserts;
+    total.scans += r.scans;
+    total.scanned_items += r.scanned_items;
+    total.rmws += r.rmws;
+    if (total.latencies_us.empty()) {
+      total.latencies_us = std::move(r.latencies_us);
+    } else {
+      total.latencies_us.insert(total.latencies_us.end(),
+                                r.latencies_us.begin(),
+                                r.latencies_us.end());
+    }
+    if (conn_ok[t] == 0) all_ok = false;
+  }
+  if (ok != nullptr) *ok = all_ok;
+  return total;
+}
+
+}  // namespace rwd

@@ -1,0 +1,62 @@
+// Network-driver mode of the YCSB workload subsystem: the same key
+// choosers and standard A-F mixes as WorkloadDriver, executed against a
+// RewindServe endpoint through pipelined KvClient connections — one
+// connection per driver thread, up to `pipeline_depth` requests in flight
+// each, so the server's group-commit batcher sees the concurrency it was
+// built to amortize.
+#ifndef REWIND_WORKLOAD_NET_DRIVER_H_
+#define REWIND_WORKLOAD_NET_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/workload/workload.h"
+
+namespace rwd {
+
+/// Where and how hard to drive a RewindServe endpoint.
+struct NetDriverSpec {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7170;
+  /// Requests each connection keeps in flight before blocking on a reply.
+  std::size_t pipeline_depth = 16;
+};
+
+/// Drives a remote KvStore with a WorkloadSpec over TCP. Latency samples
+/// (spec.collect_latencies) measure enqueue-to-reply under pipelining, the
+/// client-observed figure a closed-loop loadgen reports.
+class NetWorkloadDriver {
+ public:
+  NetWorkloadDriver(const NetDriverSpec& net, const WorkloadSpec& spec,
+                    std::uint64_t seed = 42);
+
+  /// Loads keys [1, record_count] via pipelined MPUT batches on one
+  /// connection. Returns keys inserted (0 on connection failure).
+  std::uint64_t Load();
+
+  /// Marks keys [1, record_count] as already loaded (server reuse) so the
+  /// key choosers draw from the full space without a fresh Load().
+  void AssumeLoaded() { chooser_.SetLoaded(spec_.record_count); }
+
+  /// Runs the mix from spec.threads connections. `*ok` (may be null) is
+  /// cleared when any connection failed mid-run; counters then reflect
+  /// only the completed operations.
+  WorkloadResult Run(bool* ok = nullptr);
+
+  std::uint64_t max_key() const { return chooser_.max_key(); }
+
+ private:
+  void RunConn(std::size_t thread_idx, std::uint64_t ops,
+               WorkloadResult* result, bool* conn_ok);
+
+  NetDriverSpec net_;
+  WorkloadSpec spec_;
+  std::uint64_t seed_;
+  /// Shared chooser state; inserts are published only once acked.
+  KeyChooser chooser_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_WORKLOAD_NET_DRIVER_H_

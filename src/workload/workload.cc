@@ -1,5 +1,6 @@
 #include "src/workload/workload.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -54,6 +55,28 @@ std::uint64_t ScrambledZipfianChooser::Next(std::mt19937_64& rng) const {
   return SplitMix(state) % items_;
 }
 
+KvOp PickOp(const WorkloadSpec& spec, std::mt19937_64& rng) {
+  double p = Uniform01(rng);
+  if (p < spec.read_prop) return KvOp::kRead;
+  p -= spec.read_prop;
+  if (p < spec.update_prop) return KvOp::kUpdate;
+  p -= spec.update_prop;
+  if (p < spec.insert_prop) return KvOp::kInsert;
+  p -= spec.insert_prop;
+  if (p < spec.scan_prop) return KvOp::kScan;
+  return KvOp::kReadModifyWrite;
+}
+
+double WorkloadResult::LatencyPercentileUs(double p) const {
+  if (latencies_us.empty()) return 0;
+  std::vector<std::uint32_t> sorted = latencies_us;
+  std::size_t idx = static_cast<std::size_t>(
+      (p / 100.0) * static_cast<double>(sorted.size() - 1) + 0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+  return sorted[idx];
+}
+
 WorkloadSpec WorkloadSpec::Preset(char workload) {
   WorkloadSpec s;
   switch (workload | 0x20) {  // tolower for ASCII letters
@@ -91,15 +114,24 @@ WorkloadSpec WorkloadSpec::Preset(char workload) {
   return s;
 }
 
+std::uint64_t KeyChooser::Choose(std::mt19937_64& rng) const {
+  std::uint64_t maxk = max_key_.load(std::memory_order_relaxed);
+  if (maxk == 0) return 1;
+  switch (dist_) {
+    case KeyDist::kUniform:
+      return 1 + UniformChooser(maxk).Next(rng);
+    case KeyDist::kZipfian:
+      return 1 + zipf_.Next(rng) % maxk;
+    case KeyDist::kLatest:
+      // Rank 0 is the most recently inserted key.
+      return maxk - latest_skew_.Next(rng) % maxk;
+  }
+  return 1;
+}
+
 WorkloadDriver::WorkloadDriver(KvStore* store, const WorkloadSpec& spec,
                                std::uint64_t seed)
-    : store_(store),
-      spec_(spec),
-      seed_(seed),
-      zipf_(spec.record_count),
-      latest_skew_(spec.record_count),
-      next_key_(0),
-      max_key_(0) {}
+    : store_(store), spec_(spec), seed_(seed), chooser_(spec) {}
 
 std::string WorkloadDriver::MakeValue(std::uint64_t key,
                                       std::uint64_t version,
@@ -124,27 +156,11 @@ std::uint64_t WorkloadDriver::Load() {
     batch.emplace_back(key, MakeValue(key, 0, spec_.value_size));
     if (batch.size() == batch_size || key == spec_.record_count) {
       store_->MultiPut(batch);
-      max_key_.store(key, std::memory_order_relaxed);
+      chooser_.SetLoaded(key);
       batch.clear();
     }
   }
-  next_key_.store(spec_.record_count, std::memory_order_relaxed);
   return spec_.record_count;
-}
-
-std::uint64_t WorkloadDriver::ChooseKey(std::mt19937_64& rng) const {
-  std::uint64_t maxk = max_key_.load(std::memory_order_relaxed);
-  if (maxk == 0) return 1;
-  switch (spec_.dist) {
-    case KeyDist::kUniform:
-      return 1 + UniformChooser(maxk).Next(rng);
-    case KeyDist::kZipfian:
-      return 1 + zipf_.Next(rng) % maxk;
-    case KeyDist::kLatest:
-      // Rank 0 is the most recently inserted key.
-      return maxk - latest_skew_.Next(rng) % maxk;
-  }
-  return 1;
 }
 
 void WorkloadDriver::RunThread(std::size_t thread_idx, std::uint64_t ops,
@@ -162,41 +178,58 @@ void WorkloadDriver::RunThread(std::size_t thread_idx, std::uint64_t ops,
 void WorkloadDriver::RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
                                    WorkloadResult* result) {
   std::mt19937_64 rng(seed_ ^ (0x9E3779B97F4A7C15ull * (thread_idx + 1)));
+  if (spec_.collect_latencies) result->latencies_us.reserve(ops);
   for (std::uint64_t i = 0; i < ops; ++i) {
-    double p = Uniform01(rng);
-    if (p < spec_.read_prop) {
-      if (!store_->Get(ChooseKey(rng), nullptr)) ++result->read_misses;
-      ++result->reads;
-    } else if (p < spec_.read_prop + spec_.update_prop) {
-      std::uint64_t key = ChooseKey(rng);
-      store_->Put(key, MakeValue(key, rng(), spec_.value_size));
-      ++result->updates;
-    } else if (p < spec_.read_prop + spec_.update_prop + spec_.insert_prop) {
-      std::uint64_t key = next_key_.fetch_add(1, std::memory_order_relaxed) + 1;
-      store_->Put(key, MakeValue(key, 0, spec_.value_size));
-      // Publish only after the Put committed (monotonic CAS-max), so the
-      // latest distribution reads keys that actually exist.
-      std::uint64_t cur = max_key_.load(std::memory_order_relaxed);
-      while (cur < key && !max_key_.compare_exchange_weak(
-                              cur, key, std::memory_order_relaxed)) {
+    KvOp op = PickOp(spec_, rng);
+    std::chrono::steady_clock::time_point op_start;
+    if (spec_.collect_latencies) op_start = std::chrono::steady_clock::now();
+    switch (op) {
+      case KvOp::kRead:
+        if (!store_->Get(chooser_.Choose(rng), nullptr)) {
+          ++result->read_misses;
+        }
+        ++result->reads;
+        break;
+      case KvOp::kUpdate: {
+        std::uint64_t key = chooser_.Choose(rng);
+        store_->Put(key, MakeValue(key, rng(), spec_.value_size));
+        ++result->updates;
+        break;
       }
-      ++result->inserts;
-    } else if (p < spec_.read_prop + spec_.update_prop + spec_.insert_prop +
-                       spec_.scan_prop) {
-      std::uint64_t from = ChooseKey(rng);
-      std::size_t len = 1 + rng() % (spec_.max_scan_len == 0
-                                         ? 1
-                                         : spec_.max_scan_len);
-      result->scanned_items += store_->Scan(
-          from, len, [](std::uint64_t, std::string_view) { return true; });
-      ++result->scans;
-    } else {
-      // Read-modify-write: read the value, write a successor version.
-      std::uint64_t key = ChooseKey(rng);
-      std::string value;
-      store_->Get(key, &value);
-      store_->Put(key, MakeValue(key, rng(), spec_.value_size));
-      ++result->rmws;
+      case KvOp::kInsert: {
+        std::uint64_t key = chooser_.AllocateInsertKey();
+        store_->Put(key, MakeValue(key, 0, spec_.value_size));
+        // Publish only after the Put committed, so the latest
+        // distribution reads keys that actually exist.
+        chooser_.PublishInserted(key);
+        ++result->inserts;
+        break;
+      }
+      case KvOp::kScan: {
+        std::uint64_t from = chooser_.Choose(rng);
+        std::size_t len = 1 + rng() % (spec_.max_scan_len == 0
+                                           ? 1
+                                           : spec_.max_scan_len);
+        result->scanned_items += store_->Scan(
+            from, len, [](std::uint64_t, std::string_view) { return true; });
+        ++result->scans;
+        break;
+      }
+      case KvOp::kReadModifyWrite: {
+        // Read the value, write a successor version.
+        std::uint64_t key = chooser_.Choose(rng);
+        std::string value;
+        store_->Get(key, &value);
+        store_->Put(key, MakeValue(key, rng(), spec_.value_size));
+        ++result->rmws;
+        break;
+      }
+    }
+    if (spec_.collect_latencies) {
+      result->latencies_us.push_back(static_cast<std::uint32_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - op_start)
+              .count()));
     }
   }
 }
@@ -224,7 +257,7 @@ WorkloadResult WorkloadDriver::Run() {
   total.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  for (const auto& r : partial) {
+  for (auto& r : partial) {
     total.reads += r.reads;
     total.read_misses += r.read_misses;
     total.updates += r.updates;
@@ -232,6 +265,13 @@ WorkloadResult WorkloadDriver::Run() {
     total.scans += r.scans;
     total.scanned_items += r.scanned_items;
     total.rmws += r.rmws;
+    if (total.latencies_us.empty()) {
+      total.latencies_us = std::move(r.latencies_us);
+    } else {
+      total.latencies_us.insert(total.latencies_us.end(),
+                                r.latencies_us.begin(),
+                                r.latencies_us.end());
+    }
   }
   return total;
 }

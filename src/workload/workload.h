@@ -9,6 +9,7 @@
 #include <exception>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "src/kv/kv_store.h"
 
@@ -87,9 +88,65 @@ struct WorkloadSpec {
   std::size_t threads = 1;
   std::size_t load_batch = 64;  ///< keys per MultiPut during Load()
 
+  /// When set, drivers record one per-operation latency sample (µs) into
+  /// WorkloadResult::latencies_us for percentile reporting.
+  bool collect_latencies = false;
+
   /// Returns the preset for workload 'a'..'f' (case-insensitive).
   /// Unknown letters fall back to workload A.
   static WorkloadSpec Preset(char workload);
+};
+
+/// Draws the next operation from a spec's mix (shared by the embedded
+/// WorkloadDriver and the network driver).
+KvOp PickOp(const WorkloadSpec& spec, std::mt19937_64& rng);
+
+/// Shared key-selection state for the drivers: the read-key distributions
+/// plus the insert bookkeeping — an allocation counter that may run ahead,
+/// and the published-key ceiling advanced (monotonic CAS-max) only after a
+/// key's write completed, so readers rarely pick a not-yet-inserted key.
+/// A small race window remains when inserts complete out of key order —
+/// the same NOT_FOUND tolerance real YCSB has under workload D.
+class KeyChooser {
+ public:
+  explicit KeyChooser(const WorkloadSpec& spec)
+      : dist_(spec.dist),
+        zipf_(spec.record_count),
+        latest_skew_(spec.record_count),
+        next_key_(spec.record_count),
+        max_key_(0) {}
+
+  /// Key for a read/update/scan, drawn over the published key space.
+  std::uint64_t Choose(std::mt19937_64& rng) const;
+
+  /// Allocates the next insert key.
+  std::uint64_t AllocateInsertKey() {
+    return next_key_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Publishes an inserted key as readable once its write completed.
+  void PublishInserted(std::uint64_t key) {
+    std::uint64_t cur = max_key_.load(std::memory_order_relaxed);
+    while (cur < key && !max_key_.compare_exchange_weak(
+                            cur, key, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Marks keys [1, max] loaded (bulk-load progress / server reuse).
+  void SetLoaded(std::uint64_t max) {
+    max_key_.store(max, std::memory_order_relaxed);
+  }
+
+  std::uint64_t max_key() const {
+    return max_key_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  KeyDist dist_;
+  ScrambledZipfianChooser zipf_;
+  ZipfianChooser latest_skew_;
+  std::atomic<std::uint64_t> next_key_;
+  std::atomic<std::uint64_t> max_key_;
 };
 
 /// Aggregate result of one Run().
@@ -102,11 +159,16 @@ struct WorkloadResult {
   std::uint64_t scanned_items = 0;
   std::uint64_t rmws = 0;
   double seconds = 0;
+  /// Per-op latency samples (µs); filled when spec.collect_latencies.
+  std::vector<std::uint32_t> latencies_us;
 
   std::uint64_t ops() const {
     return reads + updates + inserts + scans + rmws;
   }
   double throughput() const { return seconds > 0 ? ops() / seconds : 0; }
+  /// Latency percentile in µs (p in [0,100]); 0 when no samples were
+  /// collected. Sorts a copy — call once per percentile at report time.
+  double LatencyPercentileUs(double p) const;
 };
 
 /// Drives a KvStore with a WorkloadSpec: Load() populates keys
@@ -131,9 +193,7 @@ class WorkloadDriver {
                                std::size_t size);
 
   /// Largest key published as readable so far (load + committed inserts).
-  std::uint64_t max_key() const {
-    return max_key_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t max_key() const { return chooser_.max_key(); }
 
  private:
   /// One thread's share of the run; stores any exception into `*error`.
@@ -141,20 +201,11 @@ class WorkloadDriver {
                  WorkloadResult* result, std::exception_ptr* error);
   void RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
                      WorkloadResult* result);
-  std::uint64_t ChooseKey(std::mt19937_64& rng) const;
 
   KvStore* store_;
   WorkloadSpec spec_;
   std::uint64_t seed_;
-  ScrambledZipfianChooser zipf_;
-  ZipfianChooser latest_skew_;
-  /// Key allocation counter for inserts; may run ahead of max_key_.
-  std::atomic<std::uint64_t> next_key_;
-  /// Ceiling for ChooseKey: advanced (monotonic CAS-max) only after a
-  /// key's Put returned, so readers rarely pick a not-yet-inserted key.
-  /// A small race window remains when inserts commit out of key order —
-  /// the same NOT_FOUND tolerance real YCSB has under workload D.
-  std::atomic<std::uint64_t> max_key_;
+  KeyChooser chooser_;
 };
 
 }  // namespace rwd

@@ -1,0 +1,310 @@
+// RewindServe tests: protocol round-trips over real sockets, pipelined
+// clients with read-your-writes ordering, group-commit coalescing, the
+// network workload driver, and the acceptance sweep — kill the "machine"
+// mid-batch and verify every acked write survives recovery with no
+// partially-applied batch visible.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/workload/net_driver.h"
+#include "src/workload/workload.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+KvConfig ServerKvConfig(std::size_t shards = 4) {
+  KvConfig cfg;
+  cfg.rewind.nvm = TestNvmConfig(64);
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 32;
+  cfg.rewind.batch_group_size = 4;
+  cfg.shards = shards;
+  return cfg;
+}
+
+serve::ServerConfig TestServerConfig(std::uint32_t batch_window_us = 100) {
+  serve::ServerConfig cfg;
+  cfg.port = 0;  // ephemeral
+  cfg.workers = 2;
+  cfg.batch_window_us = batch_window_us;
+  return cfg;
+}
+
+std::string ValueFor(std::uint64_t key, std::uint64_t version) {
+  return WorkloadDriver::MakeValue(key, version, 48);
+}
+
+TEST(KvServer, RoundTripAllOps) {
+  KvStore store(ServerKvConfig());
+  serve::KvServer server(&store, TestServerConfig());
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+
+  // Put / Get / overwrite.
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    ASSERT_TRUE(client.Put(k, ValueFor(k, 0)));
+  }
+  std::string value;
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    ASSERT_TRUE(client.Get(k, &value)) << "key " << k;
+    EXPECT_EQ(value, ValueFor(k, 0));
+  }
+  ASSERT_TRUE(client.Put(7, ValueFor(7, 1)));
+  ASSERT_TRUE(client.Get(7, &value));
+  EXPECT_EQ(value, ValueFor(7, 1));
+  EXPECT_FALSE(client.Get(999, nullptr));  // miss
+
+  // Delete reports presence exactly once.
+  EXPECT_TRUE(client.Delete(13));
+  EXPECT_FALSE(client.Delete(13));
+  EXPECT_FALSE(client.Get(13, nullptr));
+
+  // Scan is ordered and bounded.
+  std::vector<std::pair<std::uint64_t, std::string>> items;
+  ASSERT_TRUE(client.Scan(10, 5, &items));
+  ASSERT_EQ(items.size(), 5u);
+  std::uint64_t prev = 0;
+  for (const auto& [k, v] : items) {
+    EXPECT_GT(k, prev);
+    EXPECT_EQ(v, ValueFor(k, k == 7 ? 1 : 0));
+    prev = k;
+  }
+  EXPECT_EQ(items[0].first, 10u);
+  EXPECT_EQ(items[1].first, 11u);
+  EXPECT_EQ(items[2].first, 12u);
+  EXPECT_EQ(items[3].first, 14u);  // 13 was deleted
+
+  // MultiPut lands atomically and later duplicates win.
+  ASSERT_TRUE(client.MultiPut(
+      {{201, "alice"}, {202, "bob"}, {203, "carol"}, {203, "carol2"}}));
+  ASSERT_TRUE(client.Get(203, &value));
+  EXPECT_EQ(value, "carol2");
+
+  // Bad requests are rejected per-frame without dropping the connection.
+  client.QueuePut(0, "x");
+  serve::KvClient::Reply reply;
+  ASSERT_TRUE(client.Flush());
+  ASSERT_TRUE(client.ReadReply(&reply));
+  EXPECT_EQ(reply.status, serve::Status::kBadRequest);
+  EXPECT_TRUE(client.Get(201, &value));  // still alive
+  EXPECT_EQ(value, "alice");
+
+  // Stats reflect the session.
+  serve::StatsReply stats;
+  ASSERT_TRUE(client.Stats(&stats));
+  EXPECT_EQ(stats.keys, store.Size());
+  EXPECT_GE(stats.acked_writes, 56u);  // 51 puts + 1 del + 4 mput keys
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GT(stats.gets, 0u);
+  EXPECT_GT(stats.scans, 0u);
+  EXPECT_EQ(stats.shards, store.shards());
+
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
+// One connection streams a deep pipeline of interleaved writes and reads
+// in a single flush; replies come back in request order and every read
+// observes the writes queued before it (the per-connection barrier).
+TEST(KvServer, PipelinedClientRoundTripWithReadYourWrites) {
+  KvStore store(ServerKvConfig());
+  serve::KvServer server(&store, TestServerConfig());
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+
+  enum class Expect { kOk, kNotFound, kValue };
+  std::vector<std::pair<Expect, std::string>> expected;
+  for (std::uint64_t k = 1; k <= 40; ++k) {
+    client.QueuePut(k, ValueFor(k, 1));
+    expected.emplace_back(Expect::kOk, "");
+    client.QueueGet(k);
+    expected.emplace_back(Expect::kValue, ValueFor(k, 1));
+    if (k % 2 == 0) {
+      client.QueuePut(k, ValueFor(k, 2));
+      expected.emplace_back(Expect::kOk, "");
+      client.QueueGet(k);
+      expected.emplace_back(Expect::kValue, ValueFor(k, 2));
+    }
+    if (k % 5 == 0) {
+      client.QueueDel(k);
+      expected.emplace_back(Expect::kOk, "");
+      client.QueueGet(k);
+      expected.emplace_back(Expect::kNotFound, "");
+    }
+  }
+  ASSERT_TRUE(client.Flush());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    serve::KvClient::Reply reply;
+    ASSERT_TRUE(client.ReadReply(&reply)) << "reply " << i;
+    switch (expected[i].first) {
+      case Expect::kOk:
+        EXPECT_EQ(reply.status, serve::Status::kOk) << "reply " << i;
+        break;
+      case Expect::kNotFound:
+        EXPECT_EQ(reply.status, serve::Status::kNotFound) << "reply " << i;
+        break;
+      case Expect::kValue:
+        ASSERT_EQ(reply.status, serve::Status::kOk) << "reply " << i;
+        EXPECT_EQ(reply.payload, expected[i].second) << "reply " << i;
+        break;
+    }
+  }
+  EXPECT_EQ(client.pending(), 0u);
+}
+
+// With a wide batch window, a deep pipeline of writes from one flush must
+// coalesce into a handful of group commits, not one commit per request.
+TEST(KvServer, GroupCommitCoalescesPipelinedWrites) {
+  KvStore store(ServerKvConfig());
+  serve::KvServer server(&store, TestServerConfig(/*batch_window_us=*/50000));
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 10000));
+
+  constexpr std::uint64_t kWrites = 100;
+  for (std::uint64_t k = 1; k <= kWrites; ++k) {
+    client.QueuePut(k, ValueFor(k, 3));
+  }
+  ASSERT_TRUE(client.Flush());
+  for (std::uint64_t k = 1; k <= kWrites; ++k) {
+    serve::KvClient::Reply reply;
+    ASSERT_TRUE(client.ReadReply(&reply));
+    EXPECT_EQ(reply.status, serve::Status::kOk);
+  }
+  serve::StatsReply stats;
+  ASSERT_TRUE(client.Stats(&stats));
+  EXPECT_EQ(stats.acked_writes, kWrites);
+  EXPECT_EQ(stats.batched_writes, kWrites);
+  EXPECT_LE(stats.batches, 10u)
+      << "writes were not coalesced into group commits";
+  EXPECT_EQ(store.Size(), kWrites);
+}
+
+// The network driver reuses the YCSB mixes over many pipelined
+// connections; everything it loads and writes is served and survives a
+// whole-store crash+recovery.
+TEST(KvServer, NetWorkloadDriverRunsMixOverManyConnections) {
+  KvStore store(ServerKvConfig());
+  serve::KvServer server(&store, TestServerConfig());
+  ASSERT_TRUE(server.Start());
+
+  WorkloadSpec spec = WorkloadSpec::Preset('a');
+  spec.record_count = 1500;
+  spec.op_count = 6000;
+  spec.threads = 4;
+  spec.value_size = 64;
+  NetDriverSpec net;
+  net.host = "127.0.0.1";
+  net.port = server.port();
+  net.pipeline_depth = 16;
+  NetWorkloadDriver driver(net, spec);
+  ASSERT_EQ(driver.Load(), spec.record_count);
+  bool ok = true;
+  WorkloadResult r = driver.Run(&ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(r.ops(), spec.op_count);
+  EXPECT_EQ(r.read_misses, 0u);  // workload A only reads loaded keys
+  EXPECT_EQ(store.Size(), spec.record_count);
+
+  server.Stop();
+  store.CrashAndRecover();
+  EXPECT_EQ(store.Size(), spec.record_count);
+  std::string value;
+  ASSERT_TRUE(store.Get(1, &value));  // loaded key still present
+}
+
+// The acceptance sweep: crash the "machine" at many different persistence
+// events while pipelined clients stream writes through the batcher. After
+// recovery every ACKED write must be present with its exact value, and
+// un-acked writes are fully present or fully absent — never torn.
+TEST(KvServerRecovery, KillMidBatchDurabilitySweep) {
+  constexpr std::uint64_t kKeys = 120;
+  const std::uint64_t version = 5;
+  bool completed_without_crash = false;
+  int crashes = 0;
+  for (std::uint64_t at = 60; !completed_without_crash; at += 211) {
+    KvStore store(ServerKvConfig());
+    NvmManager& nvm = store.runtime().nvm();
+    serve::KvServer server(&store, TestServerConfig(/*batch_window_us=*/50));
+    ASSERT_TRUE(server.Start());
+    serve::KvClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+
+    std::map<std::uint64_t, std::string> sent;
+    std::map<std::uint64_t, std::string> acked;
+    std::deque<std::uint64_t> inflight;
+    bool conn_lost = false;
+    nvm.crash_injector().Arm(at);
+    auto read_one = [&]() -> bool {
+      serve::KvClient::Reply reply;
+      if (!client.Flush() || !client.ReadReply(&reply)) return false;
+      if (reply.status == serve::Status::kOk) {
+        acked[inflight.front()] = sent[inflight.front()];
+      }
+      inflight.pop_front();
+      return true;
+    };
+    for (std::uint64_t k = 1; k <= kKeys && !conn_lost; ++k) {
+      std::string v = ValueFor(k, version);
+      sent[k] = v;
+      client.QueuePut(k, v);
+      inflight.push_back(k);
+      while (inflight.size() >= 16 && !conn_lost) {
+        conn_lost = !read_one();
+      }
+    }
+    while (!conn_lost && !inflight.empty()) {
+      conn_lost = !read_one();
+    }
+    nvm.crash_injector().Disarm();
+
+    if (conn_lost) {
+      // The armed crash fired inside a group commit; the server dropped
+      // every connection and stopped acking.
+      EXPECT_TRUE(server.crashed()) << "connection lost without a crash";
+      ++crashes;
+    } else {
+      EXPECT_FALSE(server.crashed());
+      EXPECT_EQ(acked.size(), kKeys);
+      completed_without_crash = true;  // sweep passed every crash point
+    }
+    server.Stop();
+    // Whole-store power failure + recovery (also exercised on the clean
+    // final round: committed state must survive losing the cache).
+    store.CrashAndRecover();
+
+    std::string value;
+    for (const auto& [k, v] : acked) {
+      ASSERT_TRUE(store.Get(k, &value))
+          << "acked key " << k << " lost (crash at event " << at << ")";
+      EXPECT_EQ(value, v) << "acked key " << k << " torn at event " << at;
+    }
+    for (const auto& [k, v] : sent) {
+      if (acked.count(k) != 0) continue;
+      if (store.Get(k, &value)) {
+        EXPECT_EQ(value, v)
+            << "unacked key " << k << " torn at event " << at;
+      }
+    }
+    for (std::size_t s = 0; s < store.shards(); ++s) {
+      EXPECT_EQ(store.runtime().tm(s).LogSize(), 0u)
+          << "shard " << s << " log dirty after recovery at event " << at;
+    }
+  }
+  EXPECT_GT(crashes, 0) << "the sweep never hit a mid-batch crash";
+}
+
+}  // namespace
+}  // namespace rwd
