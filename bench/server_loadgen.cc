@@ -107,6 +107,13 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long>(stats.scans),
                 static_cast<unsigned long>(stats.connections),
                 static_cast<unsigned long>(stats.shards));
+    std::uint64_t log_bytes = 0;
+    for (std::uint64_t b : stats.shard_log_bytes) log_bytes += b;
+    std::printf("# server: batcher_depth=%lu prepared_txns=%lu "
+                "log_bytes=%lu\n",
+                static_cast<unsigned long>(stats.batcher_depth),
+                static_cast<unsigned long>(stats.prepared_txns),
+                static_cast<unsigned long>(log_bytes));
   }
 
   if (!json_path.empty()) {
@@ -133,6 +140,9 @@ int Main(int argc, char** argv) {
     json.Add("rmws", r.rmws);
     json.Add("server_acked_writes", stats.acked_writes);
     json.Add("server_batches", stats.batches);
+    json.Add("server_shards", stats.shards);
+    json.Add("server_batcher_depth", stats.batcher_depth);
+    json.Add("server_prepared_txns", stats.prepared_txns);
     if (!json.WriteTo(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

@@ -99,7 +99,17 @@ int Main(int argc, char** argv) {
     json.Add("bench", std::string("ycsb"));
     json.Add("workload", std::string(1, workload));
     json.Add("rewind", config.rewind.Label());
+    // Commit-pipeline configuration and counters, so BENCH_*.json
+    // trajectories stay comparable across PRs: how the store was sharded,
+    // how the Batch log groups fences, and how many commits took the
+    // two-phase (cross-shard) vs. fast (single-shard) path.
     json.Add("shards", static_cast<std::uint64_t>(config.shards));
+    json.Add("batch_group_size",
+             static_cast<std::uint64_t>(config.rewind.batch_group_size));
+    json.Add("checkpoint_ms",
+             static_cast<std::uint64_t>(config.checkpoint_period_ms));
+    json.Add("two_phase_commits", store.store_txn().two_phase_commits());
+    json.Add("fast_commits", store.store_txn().fast_commits());
     json.Add("threads", static_cast<std::uint64_t>(spec.threads));
     json.Add("records", spec.record_count);
     json.Add("value_size", static_cast<std::uint64_t>(spec.value_size));

@@ -86,5 +86,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long>(stats.gets),
               static_cast<unsigned long>(stats.scans),
               static_cast<unsigned long>(stats.connections));
+  std::printf("kv_server: commit pipeline batcher_depth=%lu "
+              "prepared_txns=%lu 2pc_commits=%lu fast_commits=%lu\n",
+              static_cast<unsigned long>(stats.batcher_depth),
+              static_cast<unsigned long>(stats.prepared_txns),
+              static_cast<unsigned long>(store.store_txn().two_phase_commits()),
+              static_cast<unsigned long>(store.store_txn().fast_commits()));
+  for (std::size_t s = 0; s < stats.shard_log_bytes.size(); ++s) {
+    std::printf("kv_server: shard %zu log_bytes=%lu\n", s,
+                static_cast<unsigned long>(stats.shard_log_bytes[s]));
+  }
   return 0;
 }

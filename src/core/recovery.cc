@@ -44,8 +44,13 @@ void TransactionManager::AnalysisPhase() {
       case LogRecordType::kRollback:
         e.status = TxnStatus::kAborted;
         break;
+      case LogRecordType::kTxnPrepare:
+        // LSN-ordered scan: a later END/ROLLBACK overrides this.
+        e.status = TxnStatus::kPrepared;
+        e.gtid = r->addr;
+        break;
       default:
-        break;  // UPDATE/CLR/DELETE leave the status as-is
+        break;  // UPDATE/CLR/DELETE/decision records leave the status as-is
     }
     return true;
   };
@@ -103,6 +108,30 @@ void TransactionManager::RedoPhase() {
   }
 }
 
+void TransactionManager::ResolvePreparedPhase(
+    const PrepareResolver& resolve_prepared) {
+  // Prepared-but-undecided transactions: the coordinator's decision log is
+  // the single source of truth. A persistent TXN_COMMIT finishes the
+  // transaction exactly as CommitPrepared() would have; everything else
+  // stays kPrepared and is rolled back by the undo phase (presumed abort —
+  // the decision record is written before any participant ENDs, so its
+  // absence proves no participant committed).
+  std::vector<std::uint32_t> prepared;
+  table_.ForEach([&](std::uint32_t tid, TransactionTable::Entry& e) {
+    if (e.status == TxnStatus::kPrepared && resolve_prepared != nullptr &&
+        resolve_prepared(e.gtid)) {
+      prepared.push_back(tid);
+    }
+  });
+  for (std::uint32_t tid : prepared) {
+    LogRecord* end = MakeRecord(LogRecordType::kEnd, tid, 0, 0, 0, 0, 0);
+    AppendLocked(end);
+    table_.Touch(tid).status = TxnStatus::kFinished;
+    finished_txns_[tid] = true;  // committed: honour its DELETE records
+  }
+  if (!prepared.empty() && log_) log_->Sync();
+}
+
 void TransactionManager::UndoPhase() {
   if (config_.two_layer()) {
     // Per-transaction undo through the index (paper Section 4.5,
@@ -114,7 +143,8 @@ void TransactionManager::UndoPhase() {
     std::sort(losers.begin(), losers.end());
     for (std::uint32_t tid : losers) {
       auto& e = *table_.Find(tid);
-      if (e.status == TxnStatus::kRunning) {
+      if (e.status == TxnStatus::kRunning ||
+          e.status == TxnStatus::kPrepared) {
         LogRecord* marker =
             MakeRecord(LogRecordType::kRollback, tid, 0, 0, 0, 0, 0);
         AppendLocked(marker);
@@ -151,7 +181,8 @@ void TransactionManager::UndoPhase() {
   log_->ForEachBackward([&](LogRecord* r) {
     TransactionTable::Entry* e = table_.Find(r->tid);
     if (e == nullptr || e->status == TxnStatus::kFinished) return true;
-    if (e->status == TxnStatus::kRunning) {
+    if (e->status == TxnStatus::kRunning ||
+        e->status == TxnStatus::kPrepared) {
       LogRecord* marker =
           MakeRecord(LogRecordType::kRollback, r->tid, 0, 0, 0, 0, 0);
       AppendLocked(marker);
@@ -249,11 +280,12 @@ void TransactionManager::ClearAllAfterRecovery() {
   pending_writes_.clear();
 }
 
-void TransactionManager::Recover() {
+void TransactionManager::Recover(const PrepareResolver& resolve_prepared) {
   std::lock_guard<std::mutex> lock(latch_);
   RecoverLogStructure();
   AnalysisPhase();
   if (!config_.force()) RedoPhase();
+  ResolvePreparedPhase(resolve_prepared);
   UndoPhase();
   if (!config_.force()) {
     // Undone state was written with cached stores; persist it before the

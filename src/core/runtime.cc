@@ -1,10 +1,12 @@
 #include "src/core/runtime.h"
 
 #include <chrono>
+#include <unordered_set>
 
 namespace rwd {
 
-Runtime::Runtime(const RewindConfig& config, std::size_t partitions)
+Runtime::Runtime(const RewindConfig& config, std::size_t partitions,
+                 std::size_t coordinator_partition)
     : config_(config), nvm_(std::make_unique<NvmManager>(config.nvm)) {
   boot_ = static_cast<BootSector*>(nvm_->Alloc(sizeof(BootSector)));
   bool unclean = boot_->magic == kBootMagic && boot_->open == 1;
@@ -15,13 +17,35 @@ Runtime::Runtime(const RewindConfig& config, std::size_t partitions)
   for (std::size_t i = 0; i < std::max<std::size_t>(partitions, 1); ++i) {
     tms_.push_back(std::make_unique<TransactionManager>(nvm_.get(), config_));
   }
+  if (coordinator_partition < tms_.size()) {
+    coordinator_ = coordinator_partition;
+  }
   if (unclean) {
     // In this emulated setting the heap is fresh per process, so an unclean
     // boot sector can only come from an in-process simulated crash; still,
     // run the full protocol for fidelity.
-    for (auto& tm : tms_) tm->Recover();
+    RecoverAllPartitions();
     recovered_at_boot_ = true;
   }
+}
+
+void Runtime::RecoverAllPartitions() {
+  // Coordinator-ordered recovery: collect the persistent commit decisions
+  // first, resolve every participant's prepared transactions against them,
+  // and only then recover (and thereby clear) the decision log itself.
+  std::unordered_set<std::uint64_t> decisions;
+  PrepareResolver resolver;
+  if (has_coordinator()) {
+    decisions = tms_[coordinator_]->CollectCommitDecisions();
+    resolver = [&decisions](std::uint64_t gtid) {
+      return decisions.count(gtid) != 0;
+    };
+  }
+  for (std::size_t i = 0; i < tms_.size(); ++i) {
+    if (i == coordinator_) continue;
+    tms_[i]->Recover(resolver);
+  }
+  if (has_coordinator()) tms_[coordinator_]->Recover();
 }
 
 Runtime::~Runtime() {
@@ -39,10 +63,8 @@ void Runtime::Close() {
 void Runtime::CrashAndRecover(double evict_probability, std::uint64_t seed) {
   StopCheckpointDaemon();
   nvm_->SimulateCrash(evict_probability, seed);
-  for (auto& tm : tms_) {
-    tm->ForgetVolatileState();
-    tm->Recover();
-  }
+  for (auto& tm : tms_) tm->ForgetVolatileState();
+  RecoverAllPartitions();
 }
 
 void Runtime::StartCheckpointDaemon(std::uint32_t period_ms) {
@@ -106,7 +128,14 @@ void Runtime::CommitFence() { nvm_->Fence(); }
 
 void Runtime::RecoverPartition(std::size_t partition) {
   tms_[partition]->ForgetVolatileState();
-  tms_[partition]->Recover();
+  PrepareResolver resolver;
+  if (has_coordinator() && partition != coordinator_) {
+    TransactionManager* coord = tms_[coordinator_].get();
+    resolver = [coord](std::uint64_t gtid) {
+      return coord->HasCommitDecision(gtid);
+    };
+  }
+  tms_[partition]->Recover(resolver);
 }
 
 }  // namespace rwd

@@ -29,7 +29,20 @@ namespace rwd {
 /// (paper Section 4.1).
 class Runtime {
  public:
-  explicit Runtime(const RewindConfig& config, std::size_t partitions = 1);
+  /// Sentinel for "no coordinator partition".
+  static constexpr std::size_t kNoCoordinator = ~std::size_t{0};
+
+  /// `coordinator_partition`, when set, names the partition that holds
+  /// only store-level two-phase commit decision records (TXN_COMMIT /
+  /// TXN_ABORT, written through StoreTxn). Recovery — at boot and in
+  /// CrashAndRecover() — then runs in coordinator order: first the
+  /// decision log's structure is recovered and its persistent commit
+  /// decisions collected, then every participant partition recovers with a
+  /// resolver that commits or rolls back its prepared transactions
+  /// accordingly, and finally the coordinator partition itself is
+  /// recovered (clearing the now-consumed decisions).
+  explicit Runtime(const RewindConfig& config, std::size_t partitions = 1,
+                   std::size_t coordinator_partition = kNoCoordinator);
   ~Runtime();
 
   NvmManager& nvm() { return *nvm_; }
@@ -37,6 +50,8 @@ class Runtime {
     return *tms_[partition];
   }
   std::size_t partitions() const { return tms_.size(); }
+  std::size_t coordinator_partition() const { return coordinator_; }
+  bool has_coordinator() const { return coordinator_ != kNoCoordinator; }
   const RewindConfig& config() const { return config_; }
 
   /// True if construction found an unclean shutdown and ran recovery.
@@ -80,7 +95,8 @@ class Runtime {
   /// Re-runs restart recovery on one partition after dropping its volatile
   /// state — the shard-local counterpart of CrashAndRecover() (which the
   /// caller must still use after a simulated power failure, since a crash
-  /// hits the whole NVM device).
+  /// hits the whole NVM device). With a coordinator configured, prepared
+  /// transactions found in the partition consult the live decision log.
   void RecoverPartition(std::size_t partition);
 
  private:
@@ -90,9 +106,13 @@ class Runtime {
   };
   static constexpr std::uint64_t kBootMagic = 0x5245'5749'4e44'0001ull;
 
+  /// Coordinator-ordered recovery of every partition (see constructor).
+  void RecoverAllPartitions();
+
   RewindConfig config_;
   std::unique_ptr<NvmManager> nvm_;
   std::vector<std::unique_ptr<TransactionManager>> tms_;
+  std::size_t coordinator_ = kNoCoordinator;
   BootSector* boot_ = nullptr;
   bool recovered_at_boot_ = false;
 

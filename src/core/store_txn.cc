@@ -1,0 +1,61 @@
+#include "src/core/store_txn.h"
+
+#include <stdexcept>
+
+namespace rwd {
+
+StoreTxn::StoreTxn(Runtime* runtime)
+    : runtime_(runtime),
+      coordinator_(runtime->has_coordinator()
+                       ? &runtime->tm(runtime->coordinator_partition())
+                       : nullptr) {
+  if (coordinator_ == nullptr) {
+    // Fail at construction, not at the first multi-participant commit.
+    throw std::logic_error(
+        "StoreTxn requires a Runtime built with a coordinator partition");
+  }
+}
+
+void StoreTxn::Commit(const std::vector<Participant>& participants) {
+  if (participants.empty()) return;
+  if (participants.size() == 1) {
+    // Fast path: one shard transaction is already crash-atomic on its own
+    // partition; 2PC would only add records and fences. The single fence
+    // below is the batch durability barrier the caller acks behind.
+    runtime_->tm(participants[0].partition).Commit(participants[0].tid);
+    runtime_->CommitFence();
+    fast_commits_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t gtid = next_gtid_.fetch_add(1, std::memory_order_relaxed);
+  // Phase 1: every participant durable in the PREPARED state. A crash
+  // anywhere up to (and including) the decision append leaves no
+  // persistent TXN_COMMIT, so recovery rolls every shard back.
+  for (const Participant& p : participants) {
+    runtime_->tm(p.partition).Prepare(p.tid, gtid);
+    prepared_now_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The commit point: one durable decision record in the dedicated
+  // partition. From here the global transaction WILL commit, crash or not.
+  LogRecord* decision = coordinator_->LogDecision(gtid, /*commit=*/true);
+  // Phase 2: finish every shard transaction. CommitPrepared syncs each
+  // END's membership; the fence below — which doubles as the batch
+  // durability barrier the caller acks behind — persists them all before
+  // the decision record (the only thing that could still commit an
+  // END-less shard after a crash) is erased.
+  for (const Participant& p : participants) {
+    runtime_->tm(p.partition).CommitPrepared(p.tid);
+    prepared_now_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  runtime_->CommitFence();
+  coordinator_->EraseDecision(decision);
+  two_phase_commits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StoreTxn::Abort(const std::vector<Participant>& participants) {
+  for (const Participant& p : participants) {
+    runtime_->tm(p.partition).RollbackPrepared(p.tid);
+  }
+}
+
+}  // namespace rwd

@@ -1,0 +1,96 @@
+// Store-level two-phase commit coordinator: turns N open shard
+// transactions into ONE atomic, crash-recoverable decision.
+//
+// REWIND (the paper) makes each data structure's transaction crash-atomic
+// on its own log; a store spanning several log partitions still risked
+// applying a *prefix* of partitions when a crash landed between per-shard
+// commits. StoreTxn closes that gap with the classic presumed-abort
+// protocol, co-designed with the REWIND logs:
+//
+//   phase 1   every participant writes TXN_PREPARE (carrying the global
+//             txn id) into its own partition and persists all its records
+//   decision  the coordinator appends one TXN_COMMIT record to a dedicated
+//             decision-log partition and fences — THE commit point
+//   phase 2   every participant writes END (CommitPrepared); once all ENDs
+//             are persistent the decision record is erased again
+//
+// Recovery (Runtime::RecoverAllPartitions) replays the contract: prepared
+// transactions whose gtid has a persistent TXN_COMMIT are completed,
+// everything else rolls back — so the whole multi-shard write is
+// all-or-nothing no matter which persistence event the crash hit.
+#ifndef REWIND_CORE_STORE_TXN_H_
+#define REWIND_CORE_STORE_TXN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace rwd {
+
+/// Volatile counters exposed for stats/tests.
+struct StoreTxnStats {
+  std::uint64_t fast_commits = 0;       ///< single-participant fast path
+  std::uint64_t two_phase_commits = 0;  ///< full prepare/decide/commit runs
+  std::uint64_t prepared_now = 0;       ///< participants currently PREPARED
+};
+
+class StoreTxn {
+ public:
+  /// One open shard transaction taking part in a global commit.
+  struct Participant {
+    std::size_t partition = 0;  ///< Runtime log partition (shard index).
+    std::uint32_t tid = 0;      ///< The shard-local transaction id.
+  };
+
+  /// The runtime must have been constructed with a coordinator partition;
+  /// that partition's log holds only decision records.
+  explicit StoreTxn(Runtime* runtime);
+
+  StoreTxn(const StoreTxn&) = delete;
+  StoreTxn& operator=(const StoreTxn&) = delete;
+
+  /// Atomically commits the participants' open transactions. A single
+  /// participant bypasses 2PC entirely (its shard transaction is already
+  /// crash-atomic); several run the full prepare / decide / commit
+  /// pipeline above. Both paths end with exactly one store-wide
+  /// durability fence (Runtime::CommitFence), so callers ack right after
+  /// this returns — no additional fence needed. The caller holds the
+  /// shards' latches throughout, as KvStore's MultiPut/ApplyBatch do.
+  void Commit(const std::vector<Participant>& participants);
+
+  /// Rolls every participant back (no decision record needed: absence of
+  /// TXN_COMMIT already means abort).
+  void Abort(const std::vector<Participant>& participants);
+
+  /// Number of participants currently sitting in the PREPARED state (the
+  /// STATS gauge). Reset by ResetAfterCrash().
+  std::uint64_t prepared_now() const {
+    return prepared_now_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fast_commits() const {
+    return fast_commits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t two_phase_commits() const {
+    return two_phase_commits_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears the prepared gauge after a simulated power failure (the
+  /// in-flight commit it counted no longer exists; recovery resolved it).
+  void ResetAfterCrash() {
+    prepared_now_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Runtime* runtime_;
+  TransactionManager* coordinator_;
+  std::atomic<std::uint64_t> next_gtid_{1};
+  std::atomic<std::uint64_t> prepared_now_{0};
+  std::atomic<std::uint64_t> fast_commits_{0};
+  std::atomic<std::uint64_t> two_phase_commits_{0};
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_CORE_STORE_TXN_H_

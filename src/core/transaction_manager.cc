@@ -318,6 +318,123 @@ void TransactionManager::Rollback(std::uint32_t tid) {
   ++stats_.rollbacks;
 }
 
+void TransactionManager::Prepare(std::uint32_t tid, std::uint64_t gtid) {
+  std::lock_guard<std::mutex> lock(latch_);
+  if (config_.force()) {
+    // Exactly like Commit()'s force path: the user updates (some possibly
+    // still parked in the Batch WAL deferral) must be persistent BEFORE
+    // the prepare record can be — force-policy recovery has no redo, so a
+    // durable TXN_PREPARE is a promise that the transaction's effects are
+    // already all in NVM.
+    if (log_) log_->Sync();
+    nvm_->Fence();
+  }
+  LogRecord* rec = MakeRecord(LogRecordType::kTxnPrepare, tid, gtid, 0, 0,
+                              0, 0);
+  AppendLocked(rec);
+  // Under no-force the records themselves carry the transaction (redo
+  // replays them); a group flush makes them — and the prepare record —
+  // reachable in append order, so a reachable TXN_PREPARE implies every
+  // earlier record of the transaction is reachable too.
+  if (log_) log_->Sync();
+  nvm_->Fence();
+  if (config_.two_layer()) {
+    auto& e = table_.Touch(tid);
+    e.status = TxnStatus::kPrepared;
+    e.gtid = gtid;
+  }
+  ++stats_.prepares;
+}
+
+void TransactionManager::CommitPrepared(std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(latch_);
+  // The user updates are already persistent (force) or re-creatable from
+  // the persistent records (no-force redo) since Prepare(); only the END
+  // and clearing remain.
+  LogRecord* end = MakeRecord(LogRecordType::kEnd, tid, 0, 0, 0, 0, 0);
+  AppendLocked(end);
+  if (log_) log_->Sync();
+  if (config_.force()) {
+    ClearTransactionLocked(tid, /*committed=*/true);
+  } else {
+    finished_txns_[tid] = true;
+    if (config_.two_layer()) table_.Touch(tid).status = TxnStatus::kFinished;
+  }
+  ++stats_.commits;
+}
+
+void TransactionManager::RollbackPrepared(std::uint32_t tid) {
+  Rollback(tid);
+}
+
+LogRecord* TransactionManager::LogDecision(std::uint64_t gtid, bool commit) {
+  // Each decision gets its own tid so erasure maps onto per-transaction
+  // removal in every log layout (2L removes the AAVLT chain by tid).
+  std::uint32_t tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(latch_);
+  LogRecord* rec = MakeRecord(
+      commit ? LogRecordType::kTxnCommit : LogRecordType::kTxnAbort, tid,
+      gtid, 0, 0, 0, 0);
+  AppendLocked(rec);
+  // The decision must be durable before any participant enters phase 2.
+  if (log_) log_->Sync();
+  nvm_->Fence();
+  return rec;
+}
+
+void TransactionManager::EraseDecision(LogRecord* rec) {
+  std::lock_guard<std::mutex> lock(latch_);
+  if (config_.two_layer()) {
+    index_->RemoveTxn(rec->tid);
+    table_.Erase(rec->tid);
+  } else {
+    log_->Remove(rec);
+    if (auto* bl = dynamic_cast<BucketLog*>(log_.get())) {
+      bl->ReclaimBuckets();
+    }
+  }
+  FreeRecordLocked(rec);
+}
+
+void TransactionManager::ForEachRecordLocked(
+    const std::function<bool(LogRecord*)>& fn) const {
+  if (config_.two_layer()) {
+    index_->ForEachTxn([&](std::uint64_t, LogRecord* tail) {
+      for (LogRecord* r = tail; r != nullptr; r = r->hint.chain.tx_prev) {
+        if (!fn(r)) return false;
+      }
+      return true;
+    });
+  } else {
+    log_->ForEach(fn);
+  }
+}
+
+bool TransactionManager::HasCommitDecision(std::uint64_t gtid) const {
+  std::lock_guard<std::mutex> lock(latch_);
+  bool found = false;
+  ForEachRecordLocked([&](LogRecord* r) {
+    if (r->type == LogRecordType::kTxnCommit && r->addr == gtid) {
+      found = true;
+      return false;  // stop
+    }
+    return true;
+  });
+  return found;
+}
+
+std::unordered_set<std::uint64_t>
+TransactionManager::CollectCommitDecisions() {
+  std::lock_guard<std::mutex> lock(latch_);
+  RecoverLogStructure();
+  std::unordered_set<std::uint64_t> decisions;
+  ForEachRecordLocked([&](LogRecord* r) {
+    if (r->type == LogRecordType::kTxnCommit) decisions.insert(r->addr);
+    return true;
+  });
+  return decisions;
+}
+
 void TransactionManager::CommitNoClear(std::uint32_t tid) {
   std::lock_guard<std::mutex> lock(latch_);
   if (log_) log_->Sync();

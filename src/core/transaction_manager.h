@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/config.h"
@@ -24,7 +26,14 @@ struct TmStats {
   std::uint64_t rollbacks = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t recoveries = 0;
+  std::uint64_t prepares = 0;  ///< transactions taken through Prepare()
 };
+
+/// Consulted during recovery for every prepared-but-undecided transaction:
+/// given its global transaction id, returns true iff the coordinator's
+/// decision log shows a persistent TXN_COMMIT for it (commit the
+/// transaction); false rolls it back (presumed abort).
+using PrepareResolver = std::function<bool(std::uint64_t gtid)>;
 
 /// Write-ahead logging and ARIES-style recovery for persistent in-memory
 /// data structures.
@@ -81,6 +90,49 @@ class TransactionManager {
   /// Rolls the transaction back with CLRs, then writes END (paper 4.4).
   void Rollback(std::uint32_t tid);
 
+  // --- store-level two-phase commit (participant side) ---
+
+  /// Phase 1: moves `tid` into the PREPARED state under global id `gtid`.
+  /// Writes a TXN_PREPARE record carrying `gtid` and makes every record of
+  /// the transaction (and, under the force policy, its user updates)
+  /// persistent. A prepared transaction survives checkpoints and is neither
+  /// committed nor rolled back by recovery until the coordinator's decision
+  /// is known.
+  void Prepare(std::uint32_t tid, std::uint64_t gtid);
+
+  /// Phase 2 (commit): finishes a prepared transaction — END record, then
+  /// force-policy clearing or the no-force finished mark. The user updates
+  /// were already persisted (force) or are covered by the persistent
+  /// records (no-force redo) at Prepare() time.
+  void CommitPrepared(std::uint32_t tid);
+
+  /// Phase 2 (abort): rolls a prepared transaction back. Equivalent to
+  /// Rollback(); named for symmetry in coordinator code.
+  void RollbackPrepared(std::uint32_t tid);
+
+  // --- store-level two-phase commit (coordinator side) ---
+
+  /// Durably appends the coordinator's decision for `gtid` (TXN_COMMIT or
+  /// TXN_ABORT) to this manager's log and returns the record so the
+  /// coordinator can erase it once every participant finished phase 2.
+  LogRecord* LogDecision(std::uint64_t gtid, bool commit);
+
+  /// Removes a decision record written by LogDecision() (all participants
+  /// have durable ENDs; the decision is no longer needed for recovery).
+  void EraseDecision(LogRecord* rec);
+
+  /// Live-log query: is there a TXN_COMMIT decision record for `gtid`?
+  /// Used when a single partition re-runs recovery while the coordinator
+  /// manager is still running (Runtime::RecoverPartition).
+  bool HasCommitDecision(std::uint64_t gtid) const;
+
+  /// Post-crash hook for the runtime: recovers this manager's log
+  /// *structure* only (idempotent — the later full Recover() repeats it)
+  /// and returns the set of global transaction ids with a persistent
+  /// TXN_COMMIT decision record. Called on the coordinator partition
+  /// before any participant partition recovers.
+  std::unordered_set<std::uint64_t> CollectCommitDecisions();
+
   /// Bench/test hook: commits by writing END only, skipping the force
   /// policy's commit-time clearing. Reproduces the paper's Fig. 4 (right)
   /// scenario — a crash after transactions logged their END records but
@@ -93,8 +145,12 @@ class TransactionManager {
   void Checkpoint();
 
   /// Full restart recovery (paper Section 4.5): recover the log structure,
-  /// analysis, redo (no-force only), undo, END records, log clearing.
-  void Recover();
+  /// analysis, redo (no-force only), prepared-transaction resolution, undo,
+  /// END records, log clearing. `resolve_prepared` decides the fate of
+  /// prepared-but-undecided transactions; when absent they roll back
+  /// (presumed abort — correct for a standalone manager, which writes no
+  /// TXN_PREPARE records of its own).
+  void Recover(const PrepareResolver& resolve_prepared = nullptr);
 
   /// Number of live log records (1L) or indexed records (2L).
   std::size_t LogSize() const;
@@ -135,12 +191,18 @@ class TransactionManager {
   void RollbackLocked(std::uint32_t tid, std::uint64_t undo_horizon_lsn);
   /// Collects `tid`'s records, oldest first (helper for 2L paths).
   std::vector<LogRecord*> ChainRecordsLocked(std::uint32_t tid) const;
+  /// Visits every live record in either layout (append order in 1L,
+  /// per-transaction chains in 2L). Stops early when `fn` returns false.
+  void ForEachRecordLocked(const std::function<bool(LogRecord*)>& fn) const;
   void FreeRecordLocked(LogRecord* rec);
 
   // --- recovery phases (recovery.cc) ---
   void RecoverLogStructure();
   void AnalysisPhase();
   void RedoPhase();
+  /// Commits prepared transactions whose gtid the resolver confirms; the
+  /// rest stay kPrepared and the undo phase rolls them back.
+  void ResolvePreparedPhase(const PrepareResolver& resolve_prepared);
   void UndoPhase();
   void ClearAllAfterRecovery();
 

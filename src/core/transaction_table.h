@@ -11,6 +11,7 @@ namespace rwd {
 /// Status of a transaction as tracked by the table.
 enum class TxnStatus : std::uint8_t {
   kRunning,   ///< Active (or a loser found during analysis).
+  kPrepared,  ///< TXN_PREPARE written; outcome owned by the coordinator.
   kAborted,   ///< Rollback in progress (a ROLLBACK record exists).
   kFinished,  ///< END record written (committed or fully rolled back).
 };
@@ -25,6 +26,7 @@ class TransactionTable {
     TxnStatus status = TxnStatus::kRunning;
     std::uint64_t last_lsn = 0;       ///< Newest record of the transaction.
     std::uint64_t undo_next_lsn = 0;  ///< Next record to undo (2L rollback).
+    std::uint64_t gtid = 0;  ///< Global txn id when prepared (0 otherwise).
   };
 
   Entry& Touch(std::uint32_t tid) { return map_[tid]; }

@@ -7,9 +7,14 @@ namespace rwd {
 
 KvStore::KvStore(const KvConfig& config)
     : config_(config),
+      // One partition per shard plus a trailing partition holding only the
+      // two-phase commit coordinator's decision records.
       runtime_(std::make_unique<Runtime>(
-          config.rewind, std::max<std::size_t>(config.shards, 1))) {
-  std::size_t n = runtime_->partitions();
+          config.rewind, std::max<std::size_t>(config.shards, 1) + 1,
+          /*coordinator_partition=*/std::max<std::size_t>(config.shards,
+                                                          1))),
+      store_txn_(std::make_unique<StoreTxn>(runtime_.get())) {
+  std::size_t n = runtime_->partitions() - 1;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -187,8 +192,21 @@ bool KvStore::MultiPut(
       ++s.stats.multiput_keys;
     }
   }
-  for (std::size_t i : involved) shards_[i]->ops->CommitOp();
+  CommitInvolved(involved);
   return true;
+}
+
+void KvStore::CommitInvolved(const std::vector<std::size_t>& involved) {
+  // Shard index == Runtime partition index, so the open transactions map
+  // directly onto two-phase commit participants. One shard takes the
+  // plain-commit fast path inside StoreTxn. Either way StoreTxn ends
+  // with the batch's single durability fence.
+  std::vector<StoreTxn::Participant> participants;
+  participants.reserve(involved.size());
+  for (std::size_t i : involved) {
+    participants.push_back({i, shards_[i]->ops->tid()});
+  }
+  store_txn_->Commit(participants);
 }
 
 void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
@@ -201,8 +219,8 @@ void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
   }
   // Latch the involved shards in ascending shard order (the same order
   // Scan and MultiPut use, so batches cannot deadlock against either),
-  // open ONE transaction per shard, apply, commit them all, then pay a
-  // single durability fence for the whole batch.
+  // open ONE transaction per shard, apply, commit them as one two-phase
+  // decision, then pay a single durability fence for the whole batch.
   std::vector<std::size_t> involved;
   std::vector<std::unique_lock<std::mutex>> locks;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -223,8 +241,7 @@ void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
       ++s.stats.batched_writes;
     }
   }
-  for (std::size_t i : involved) shards_[i]->ops->CommitOp();
-  runtime_->CommitFence();
+  CommitInvolved(involved);
 }
 
 void KvStore::CrashAndRecover(double evict_probability, std::uint64_t seed) {
@@ -232,6 +249,7 @@ void KvStore::CrashAndRecover(double evict_probability, std::uint64_t seed) {
   locks.reserve(shards_.size());
   for (auto& s : shards_) locks.emplace_back(s->mu);
   runtime_->CrashAndRecover(evict_probability, seed);
+  store_txn_->ResetAfterCrash();
   if (config_.checkpoint_period_ms != 0) {
     StartCheckpointDaemons(config_.checkpoint_period_ms);
   }

@@ -17,6 +17,7 @@
 
 #include "src/core/hash.h"
 #include "src/core/runtime.h"
+#include "src/core/store_txn.h"
 #include "src/structures/btree.h"
 #include "src/structures/phash.h"
 #include "src/structures/storage_ops.h"
@@ -29,6 +30,8 @@ struct KvConfig {
   RewindConfig rewind;
   /// Number of shards; each shard owns one Runtime log partition (the
   /// paper's distributed log) plus its own primary and secondary index.
+  /// One extra partition is created for the two-phase commit coordinator's
+  /// decision log (StoreTxn).
   std::size_t shards = 4;
   /// Period of the per-shard checkpoint daemons; 0 leaves them off (the
   /// caller can checkpoint explicitly or start daemons later).
@@ -111,21 +114,26 @@ class KvStore {
 
   /// Applies every (key, value) pair, grouped into one transaction per
   /// involved shard, with all involved shards latched for the duration:
-  /// concurrent readers see either none or all of the batch, and within a
-  /// shard the batch is crash-atomic. Returns false (and applies nothing)
-  /// if any key is invalid. Later duplicates of a key win.
+  /// concurrent readers see either none or all of the batch. The involved
+  /// shards commit through the store's two-phase pipeline (StoreTxn), so
+  /// the whole batch is crash-atomic ACROSS shards: a crash at any
+  /// persistence event recovers to all of the batch or none of it. Ends
+  /// with one store-wide durability fence. Returns false (and applies
+  /// nothing) if any key is invalid. Later duplicates of a key win.
   bool MultiPut(const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
 
   /// Group commit: applies a heterogeneous batch of puts and deletes —
   /// typically coalesced from many client connections by RewindServe's
   /// batcher — as ONE transaction per involved shard, with all involved
-  /// shards latched in ascending shard order for the duration, then one
-  /// store-wide durability fence (Runtime::CommitFence). Per shard the
-  /// whole batch slice is crash-atomic, and the logging/ordering cost is
-  /// paid once per shard per batch instead of once per op. Ops apply in
-  /// submission order within each shard (later writes to a key win, a
-  /// delete after a put in the same batch deletes). Each op's `applied`
-  /// field reports its outcome; invalid keys fail individually.
+  /// shards latched in ascending shard order for the duration, committed
+  /// through the same two-phase pipeline as MultiPut (one atomic decision
+  /// for the whole batch, not N independent shard transactions), then one
+  /// store-wide durability fence (Runtime::CommitFence). The batch is
+  /// crash-atomic across every involved shard, and the logging/ordering
+  /// cost is paid once per shard per batch instead of once per op. Ops
+  /// apply in submission order within each shard (later writes to a key
+  /// win, a delete after a put in the same batch deletes). Each op's
+  /// `applied` field reports its outcome; invalid keys fail individually.
   void ApplyBatch(std::vector<KvWriteOp>& ops);
 
   /// Simulates a whole-store power failure and recovers every shard's
@@ -154,6 +162,16 @@ class KvStore {
   KvShardStats shard_stats(std::size_t shard);
   void ResetStats();
 
+  /// Participants currently in the PREPARED state of a two-phase commit
+  /// (a gauge; nonzero only while a cross-shard commit is in flight).
+  std::uint64_t prepared_txns() const { return store_txn_->prepared_now(); }
+
+  /// Live bytes in one shard's log partition (record count × record size).
+  std::uint64_t ShardLogBytes(std::size_t shard) {
+    return runtime_->tm(shard).LogSize() * sizeof(LogRecord);
+  }
+
+  StoreTxn& store_txn() { return *store_txn_; }
   Runtime& runtime() { return *runtime_; }
 
  private:
@@ -191,8 +209,13 @@ class KvStore {
   /// primary remove, secondary erase, value buffer deferred-free.
   void EraseInOp(Shard& s, std::uint64_t key, std::uint64_t ptr);
 
+  /// Commits the involved shards' open transactions: one shard commits
+  /// directly, several go through the two-phase pipeline.
+  void CommitInvolved(const std::vector<std::size_t>& involved);
+
   KvConfig config_;
   std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<StoreTxn> store_txn_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -20,6 +20,12 @@ const char* LogRecordTypeName(LogRecordType type) {
       return "DELETE";
     case LogRecordType::kCheckpoint:
       return "CHECKPOINT";
+    case LogRecordType::kTxnPrepare:
+      return "TXN_PREPARE";
+    case LogRecordType::kTxnCommit:
+      return "TXN_COMMIT";
+    case LogRecordType::kTxnAbort:
+      return "TXN_ABORT";
   }
   return "?";
 }
@@ -32,6 +38,10 @@ std::string LogRecord::ToString() const {
        << " new=" << new_value;
   }
   if (type == LogRecordType::kClr) os << " undo_next=" << undo_next_lsn;
+  if (type == LogRecordType::kTxnPrepare || type == LogRecordType::kTxnCommit ||
+      type == LogRecordType::kTxnAbort) {
+    os << " gtid=" << addr;
+  }
   return os.str();
 }
 

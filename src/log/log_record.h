@@ -12,6 +12,13 @@ namespace rwd {
 /// ROLLBACK marks a rollback in progress, DELETE defers memory
 /// de-allocation past commit, CHECKPOINT marks the persistence horizon of a
 /// cache-consistent checkpoint.
+///
+/// The last three types drive the store-level two-phase commit pipeline:
+/// TXN_PREPARE (in a participant's log partition, addr = global txn id)
+/// marks the transaction PREPARED — recovery must not roll it back without
+/// consulting the coordinator; TXN_COMMIT / TXN_ABORT (in the coordinator's
+/// dedicated log partition, addr = global txn id) record the coordinator's
+/// decision for that global transaction.
 enum class LogRecordType : std::uint16_t {
   kInvalid = 0,
   kUpdate = 1,
@@ -20,6 +27,9 @@ enum class LogRecordType : std::uint16_t {
   kRollback = 4,
   kDelete = 5,
   kCheckpoint = 6,
+  kTxnPrepare = 7,
+  kTxnCommit = 8,
+  kTxnAbort = 9,
 };
 
 /// Returns a short human-readable name ("UPDATE", "CLR", ...).

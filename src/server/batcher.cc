@@ -10,9 +10,11 @@ namespace rwd {
 namespace serve {
 
 GroupCommitBatcher::GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
+                                       std::size_t max_pending_ops,
                                        CompletionSink sink, CrashHook on_crash)
     : store_(store),
       window_us_(window_us),
+      max_pending_ops_(max_pending_ops == 0 ? 1 : max_pending_ops),
       sink_(std::move(sink)),
       on_crash_(std::move(on_crash)) {}
 
@@ -41,6 +43,7 @@ bool GroupCommitBatcher::Submit(std::uint32_t worker, std::uint64_t conn_id,
     std::size_t first = pending_ops_.size();
     for (KvWriteOp& w : ops) pending_ops_.push_back(std::move(w));
     pending_groups_.push_back({worker, conn_id, op, first, ops.size()});
+    depth_.fetch_add(ops.size(), std::memory_order_relaxed);
   }
   cv_.notify_one();
   return true;
@@ -55,7 +58,11 @@ void GroupCommitBatcher::Loop() {
       cv_.wait(lock, [this] { return stop_ || !pending_groups_.empty(); });
       if (pending_groups_.empty()) return;  // stop requested, queue drained
       bool draining = stop_;
-      if (!draining && window_us_ != 0) {
+      // Backpressure: a queue already at its cap forfeits the coalescing
+      // window — committing immediately drains faster than coalescing
+      // further, and the cap bounds how much a window can accumulate.
+      bool saturated = pending_ops_.size() >= max_pending_ops_;
+      if (!draining && !saturated && window_us_ != 0) {
         // The coalescing window: the first write of a batch waits briefly
         // so concurrent connections' writes share its commit and fence.
         lock.unlock();
@@ -65,7 +72,9 @@ void GroupCommitBatcher::Loop() {
       ops.swap(pending_ops_);
       groups.swap(pending_groups_);
     }
-    if (!CommitBatch(ops, groups)) return;  // simulated power failure
+    bool ok = CommitBatch(ops, groups);
+    depth_.fetch_sub(ops.size(), std::memory_order_relaxed);
+    if (!ok) return;  // simulated power failure
   }
 }
 

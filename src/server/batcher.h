@@ -1,10 +1,12 @@
 // RewindServe's group-commit batcher: coalesces logged writes from many
 // connections into one KvStore::ApplyBatch (one transaction per involved
-// shard + one durability fence) per batch window, so the per-transaction
-// logging/ordering cost the paper measures in its fence-sensitivity
-// experiments (Fig. 3/10) is paid once per batch instead of once per
-// request. Acks are released only after the covering batch has committed
-// and fenced — every acked write is durable.
+// shard, committed through the store's two-phase pipeline as ONE atomic
+// decision, + one durability fence) per batch window, so the
+// per-transaction logging/ordering cost the paper measures in its
+// fence-sensitivity experiments (Fig. 3/10) is paid once per batch instead
+// of once per request. Acks are released only after the covering batch has
+// committed and fenced — every acked write is durable, and a batch
+// spanning shards recovers all-or-nothing.
 #ifndef REWIND_SERVER_BATCHER_H_
 #define REWIND_SERVER_BATCHER_H_
 
@@ -40,8 +42,14 @@ class GroupCommitBatcher {
   /// power failure; the server uses it to drop every connection.
   using CrashHook = std::function<void()>;
 
+  /// `max_pending_ops` caps the coalescing queue: once that many write ops
+  /// are pending the batch thread forfeits the coalescing window and
+  /// commits immediately, so the queue drains at full speed instead of
+  /// growing while the window timer runs. (The server additionally stops
+  /// reading from connections whose own writes are not draining.)
   GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
-                     CompletionSink sink, CrashHook on_crash);
+                     std::size_t max_pending_ops, CompletionSink sink,
+                     CrashHook on_crash);
   ~GroupCommitBatcher();
 
   void Start();
@@ -51,8 +59,9 @@ class GroupCommitBatcher {
 
   /// Enqueues one logical client write — 1 op for PUT/DEL, n for MPUT — as
   /// an unsplittable group; all of a group's ops land in the same batch, so
-  /// an MPUT stays per-shard atomic. Returns false (and takes nothing) when
-  /// the batcher is stopped or crashed; the caller fails the request fast.
+  /// an MPUT stays atomic even across shards. Returns false (and takes
+  /// nothing) when the batcher is stopped or crashed; the caller fails the
+  /// request fast.
   bool Submit(std::uint32_t worker, std::uint64_t conn_id, Op op,
               std::vector<KvWriteOp> ops);
 
@@ -60,6 +69,10 @@ class GroupCommitBatcher {
   std::uint64_t batches() const { return batches_.load(); }
   std::uint64_t batched_writes() const { return batched_writes_.load(); }
   std::uint64_t acked_writes() const { return acked_writes_.load(); }
+  /// Write ops queued or mid-commit, not yet acked (the STATS gauge).
+  std::uint64_t depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One submitted write group: `count` ops starting at `first` in the
@@ -79,6 +92,7 @@ class GroupCommitBatcher {
 
   KvStore* store_;
   std::uint32_t window_us_;
+  std::size_t max_pending_ops_;
   CompletionSink sink_;
   CrashHook on_crash_;
 
@@ -89,6 +103,7 @@ class GroupCommitBatcher {
   bool stop_ = false;
 
   std::atomic<bool> crashed_{false};
+  std::atomic<std::uint64_t> depth_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_writes_{0};
   std::atomic<std::uint64_t> acked_writes_{0};

@@ -12,8 +12,10 @@
 //   PUT   key:u64 value-bytes          -> OK   (acked after group commit)
 //   DEL   key:u64                      -> OK | NOT_FOUND (after commit)
 //   SCAN  from:u64 max:u32             -> OK n:u32 n*(key:u64 len:u32 bytes)
-//   MPUT  n:u32 n*(key:u64 len:u32 bytes) -> OK (per-shard atomic batch)
-//   STATS (empty)                      -> OK 8*u64 (see StatsReply)
+//   MPUT  n:u32 n*(key:u64 len:u32 bytes) -> OK (cross-shard atomic batch)
+//   STATS (empty)                      -> OK 10*u64 + shards*u64
+//                                         (see StatsReply; the trailing
+//                                         array is per-shard log bytes)
 #ifndef REWIND_SERVER_PROTOCOL_H_
 #define REWIND_SERVER_PROTOCOL_H_
 
@@ -52,7 +54,8 @@ constexpr std::uint32_t kMaxScanItems = 4096;
 /// frame the kMaxFrameBytes check would reject.
 constexpr std::uint32_t kMaxScanReplyBytes = 8u << 20;
 
-/// STATS response payload, in wire order.
+/// STATS response payload: 10 fixed words in wire order, then `shards`
+/// trailing words of per-shard log-partition bytes.
 struct StatsReply {
   std::uint64_t keys = 0;           ///< live keys across all shards
   std::uint64_t acked_writes = 0;   ///< write ops acked (PUT/DEL/MPUT keys)
@@ -62,8 +65,11 @@ struct StatsReply {
   std::uint64_t scans = 0;
   std::uint64_t connections = 0;    ///< connections accepted so far
   std::uint64_t shards = 0;
+  std::uint64_t batcher_depth = 0;  ///< write ops queued, not yet committed
+  std::uint64_t prepared_txns = 0;  ///< 2PC participants currently PREPARED
+  std::vector<std::uint64_t> shard_log_bytes;  ///< live log bytes per shard
 };
-constexpr std::size_t kStatsWords = 8;
+constexpr std::size_t kStatsWords = 10;
 
 inline void AppendU32(std::string* s, std::uint32_t v) {
   char b[4];
@@ -172,9 +178,9 @@ inline bool DecodeScanPayload(
   return off == payload.size();
 }
 
-/// Parses a STATS response payload.
+/// Parses a STATS response payload (fixed words + the per-shard array).
 inline bool DecodeStatsPayload(std::string_view payload, StatsReply* out) {
-  if (payload.size() != kStatsWords * 8) return false;
+  if (payload.size() < kStatsWords * 8) return false;
   const char* p = payload.data();
   out->keys = ReadU64(p);
   out->acked_writes = ReadU64(p + 8);
@@ -184,6 +190,19 @@ inline bool DecodeStatsPayload(std::string_view payload, StatsReply* out) {
   out->scans = ReadU64(p + 40);
   out->connections = ReadU64(p + 48);
   out->shards = ReadU64(p + 56);
+  out->batcher_depth = ReadU64(p + 64);
+  out->prepared_txns = ReadU64(p + 72);
+  // Divide, don't multiply: a hostile shards count must not overflow the
+  // size check and walk the loop past the payload.
+  if (out->shards != (payload.size() - kStatsWords * 8) / 8 ||
+      payload.size() % 8 != 0) {
+    return false;
+  }
+  out->shard_log_bytes.clear();
+  for (std::uint64_t s = 0; s < out->shards; ++s) {
+    out->shard_log_bytes.push_back(
+        ReadU64(p + (kStatsWords + s) * 8));
+  }
   return true;
 }
 

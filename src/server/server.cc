@@ -52,7 +52,8 @@ struct KvServer::Conn {
   /// (and responses generally) are barriered behind them so replies go out
   /// in request order and a pipelined read sees the connection's writes.
   std::uint32_t unacked = 0;
-  bool want_write = false;  ///< EPOLLOUT currently subscribed
+  bool want_write = false;     ///< out buffer has unsent residue
+  std::uint32_t interest = 0;  ///< epoll event mask currently registered
 };
 
 struct KvServer::Worker {
@@ -114,7 +115,7 @@ bool KvServer::Start() {
   ::epoll_ctl(workers_[0]->epfd, EPOLL_CTL_ADD, listen_fd_, &lev);
 
   batcher_ = std::make_unique<GroupCommitBatcher>(
-      store_, config_.batch_window_us,
+      store_, config_.batch_window_us, config_.max_batch_queue_ops,
       [this](std::uint32_t worker, std::vector<WriteCompletion> completions) {
         Worker& w = *workers_[worker];
         {
@@ -272,6 +273,7 @@ void KvServer::AdoptConn(Worker& w, int fd) {
   auto c = std::make_unique<Conn>();
   c->fd = fd;
   c->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  c->interest = EPOLLIN;
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.u64 = c->id;
@@ -450,6 +452,11 @@ void KvServer::Drive(Worker& w, Conn& c) {
         AppendU64(&c.out, stats.scans);
         AppendU64(&c.out, stats.connections);
         AppendU64(&c.out, stats.shards);
+        AppendU64(&c.out, stats.batcher_depth);
+        AppendU64(&c.out, stats.prepared_txns);
+        for (std::uint64_t bytes : stats.shard_log_bytes) {
+          AppendU64(&c.out, bytes);
+        }
         EndFrame(&c.out, at);
       }
       c.reqs.pop_front();
@@ -497,29 +504,36 @@ bool KvServer::TryFlush(Worker& w, Conn& c) {
       c.out_off += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!c.want_write) {
-        c.want_write = true;
-        epoll_event ev{};
-        ev.events = EPOLLIN | EPOLLOUT;
-        ev.data.u64 = c.id;
-        ::epoll_ctl(w.epfd, EPOLL_CTL_MOD, c.fd, &ev);
-      }
-      return true;
-    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
-  c.out.clear();
-  c.out_off = 0;
-  if (c.want_write) {
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
     c.want_write = false;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = c.id;
-    ::epoll_ctl(w.epfd, EPOLL_CTL_MOD, c.fd, &ev);
+  } else {
+    c.want_write = true;
   }
+  UpdateInterest(w, c);
   return true;
+}
+
+void KvServer::UpdateInterest(Worker& w, Conn& c) {
+  // Backpressure: a connection whose replies are not draining — response
+  // bytes parked past the out-buffer cap, or too many writes still waiting
+  // for group commit — stops being read instead of buffering unboundedly.
+  // Flush progress and ack delivery both land back here, re-subscribing
+  // EPOLLIN once the connection is under its caps again.
+  bool paused = c.out.size() - c.out_off >= config_.max_conn_out_bytes ||
+                c.unacked >= config_.max_unacked_writes;
+  std::uint32_t want =
+      (paused ? 0u : EPOLLIN) | (c.want_write ? EPOLLOUT : 0u);
+  if (want == c.interest) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = c.id;
+  if (::epoll_ctl(w.epfd, EPOLL_CTL_MOD, c.fd, &ev) == 0) c.interest = want;
 }
 
 void KvServer::CloseConn(Worker& w, Conn& c) {
@@ -535,11 +549,16 @@ StatsReply KvServer::StatsSnapshot() {
     r.acked_writes = batcher_->acked_writes();
     r.batches = batcher_->batches();
     r.batched_writes = batcher_->batched_writes();
+    r.batcher_depth = batcher_->depth();
   }
   r.gets = gets_.load(std::memory_order_relaxed);
   r.scans = scans_.load(std::memory_order_relaxed);
   r.connections = connections_.load(std::memory_order_relaxed);
   r.shards = store_->shards();
+  r.prepared_txns = store_->prepared_txns();
+  for (std::size_t s = 0; s < store_->shards(); ++s) {
+    r.shard_log_bytes.push_back(store_->ShardLogBytes(s));
+  }
   return r;
 }
 

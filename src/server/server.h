@@ -34,6 +34,16 @@ struct ServerConfig {
   std::uint32_t batch_window_us = 150;
   /// Server-side cap on one SCAN's item count.
   std::uint32_t max_scan_items = kMaxScanItems;
+  // --- backpressure caps (overload protection, not request limits) ---
+  /// Batcher queue cap: at this many pending write ops the batcher stops
+  /// coalescing (commits immediately) until the queue drains.
+  std::size_t max_batch_queue_ops = 8192;
+  /// Per-connection cap on un-flushed response bytes; a connection over it
+  /// stops being read (epoll interest drops EPOLLIN) until it drains.
+  std::size_t max_conn_out_bytes = 1 << 20;
+  /// Per-connection cap on writes awaiting group commit; over it the
+  /// connection likewise stops being read until acks arrive.
+  std::uint32_t max_unacked_writes = 512;
 };
 
 class KvServer {
@@ -77,8 +87,12 @@ class KvServer {
   /// batcher) honouring the read-after-write barrier. Stops early when a
   /// response must wait behind unacked writes.
   void Drive(Worker& w, Conn& c);
-  /// Flushes the out buffer; manages EPOLLOUT interest; false = close.
+  /// Flushes the out buffer; false = close.
   bool TryFlush(Worker& w, Conn& c);
+  /// Recomputes the connection's epoll interest: EPOLLOUT while the out
+  /// buffer has residue, EPOLLIN unless the connection is over a
+  /// backpressure cap (out-buffer bytes or unacked writes).
+  void UpdateInterest(Worker& w, Conn& c);
   void CloseConn(Worker& w, Conn& c);
   void WakeWorker(Worker& w);
 

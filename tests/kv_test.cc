@@ -353,6 +353,132 @@ TEST(KvStoreRecovery, MultiPutCrashIsAtomicPerShard) {
   }
 }
 
+// The tentpole acceptance sweep: a MultiPut spanning >= 3 shards must be
+// all-or-nothing across the WHOLE STORE — not merely per shard — when the
+// machine dies at EVERY persistence event of the operation, including
+// every event between the first shard's prepare and the final commit
+// fence of the two-phase pipeline.
+TEST(KvStoreRecovery, MultiPutCrashIsAtomicAcrossShards) {
+  KvStore store(TestKvConfig(/*shards=*/4));
+  NvmManager& nvm = store.runtime().nvm();
+  // Enough keys that the batch provably spans at least 3 shards.
+  std::vector<std::uint64_t> batch_keys = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::set<std::size_t> touched;
+  for (auto k : batch_keys) touched.insert(store.ShardOf(k));
+  ASSERT_GE(touched.size(), 3u) << "batch does not span enough shards";
+
+  std::map<std::uint64_t, std::string> expected;
+  for (auto k : batch_keys) {
+    std::string v = ValueFor(k, 0);
+    ASSERT_TRUE(store.Put(k, v));
+    expected[k] = v;
+  }
+  // A committed bystander key on some shard must never be disturbed.
+  ASSERT_TRUE(store.Put(1000, "bystander"));
+
+  std::uint64_t version = 1;
+  std::uint64_t crash_events = 0;
+  for (std::uint64_t at = 1;; ++at) {
+    std::vector<std::pair<std::uint64_t, std::string>> batch;
+    for (auto k : batch_keys) batch.emplace_back(k, ValueFor(k, version));
+    bool crashed = RunWithCrashAt(&nvm, at, [&] { store.MultiPut(batch); });
+    if (!crashed) {
+      for (auto& [k, v] : batch) expected[k] = v;
+      break;
+    }
+    ++crash_events;
+    store.CrashAndRecover();
+    // All-or-nothing across the whole batch: whatever the first key says,
+    // every other key must agree.
+    std::string value;
+    ASSERT_TRUE(store.Get(batch_keys[0], &value));
+    bool applied = value == ValueFor(batch_keys[0], version);
+    if (!applied) {
+      EXPECT_EQ(value, expected[batch_keys[0]])
+          << "torn key " << batch_keys[0] << " at event " << at;
+    }
+    for (auto& [k, v] : batch) {
+      ASSERT_TRUE(store.Get(k, &value)) << "key " << k;
+      EXPECT_EQ(value, applied ? v : expected[k])
+          << "batch applied a PREFIX of shards at event " << at;
+    }
+    if (applied) {
+      for (auto& [k, v] : batch) expected[k] = v;
+    }
+    ASSERT_TRUE(store.Get(1000, &value));
+    EXPECT_EQ(value, "bystander") << "at event " << at;
+    // Every shard's log — and the coordinator's decision log — is clean.
+    for (std::size_t s = 0; s < store.runtime().partitions(); ++s) {
+      EXPECT_EQ(store.runtime().tm(s).LogSize(), 0u)
+          << "partition " << s << " dirty after recovery at event " << at;
+    }
+    ++version;
+  }
+  EXPECT_GT(crash_events, 10u) << "the sweep barely exercised the pipeline";
+  std::string value;
+  for (auto& [k, v] : expected) {
+    ASSERT_TRUE(store.Get(k, &value));
+    EXPECT_EQ(value, v);
+  }
+}
+
+// The same guarantee for the group-commit path: an ApplyBatch mixing
+// overwrites, deletes and fresh inserts across shards recovers to all of
+// its effects or none of them at every crash point.
+TEST(KvStoreRecovery, ApplyBatchCrashIsAtomicAcrossShards) {
+  KvStore store(TestKvConfig(/*shards=*/4));
+  NvmManager& nvm = store.runtime().nvm();
+  for (std::uint64_t k = 1; k <= 9; ++k) {
+    ASSERT_TRUE(store.Put(k, ValueFor(k, 0)));
+  }
+  std::uint64_t version = 1;
+  for (std::uint64_t at = 1;; ++at) {
+    // Overwrite 1..3, delete 4..6, insert 10..12 — then undo the batch's
+    // effects before the next round so every round starts identically.
+    std::vector<KvWriteOp> ops;
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      ops.push_back({KvWriteOp::Kind::kPut, k, ValueFor(k, version), false});
+    }
+    for (std::uint64_t k = 4; k <= 6; ++k) {
+      ops.push_back({KvWriteOp::Kind::kDelete, k, "", false});
+    }
+    for (std::uint64_t k = 10; k <= 12; ++k) {
+      ops.push_back({KvWriteOp::Kind::kPut, k, ValueFor(k, version), false});
+    }
+    bool crashed = RunWithCrashAt(&nvm, at, [&] { store.ApplyBatch(ops); });
+    if (crashed) store.CrashAndRecover();
+    std::string value;
+    bool applied = store.Get(10, &value) && value == ValueFor(10, version);
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      ASSERT_TRUE(store.Get(k, &value)) << "key " << k;
+      EXPECT_EQ(value, ValueFor(k, applied ? version : version - 1))
+          << "torn overwrite " << k << " at event " << at;
+    }
+    for (std::uint64_t k = 4; k <= 6; ++k) {
+      EXPECT_EQ(store.Get(k, &value), !applied)
+          << "half-applied delete " << k << " at event " << at;
+    }
+    for (std::uint64_t k = 10; k <= 12; ++k) {
+      EXPECT_EQ(store.Get(k, &value), applied)
+          << "half-applied insert " << k << " at event " << at;
+    }
+    if (!crashed) {
+      EXPECT_TRUE(applied);
+      break;
+    }
+    // Reset for the next round: restore the deleted keys at the new
+    // version, drop the inserts, and advance the baseline — every round
+    // then starts from "1..6 present at version-1, 10..12 absent".
+    if (applied) {
+      for (std::uint64_t k = 4; k <= 6; ++k) {
+        ASSERT_TRUE(store.Put(k, ValueFor(k, version)));
+      }
+      for (std::uint64_t k = 10; k <= 12; ++k) store.Delete(k);
+      ++version;
+    }
+  }
+}
+
 // The acceptance scenario: a mixed committed workload across all shards,
 // a crash mid-stream, and recovery restoring every committed key.
 TEST(KvStoreRecovery, RecoveryRestoresEveryCommittedKeyAcrossShards) {

@@ -229,6 +229,64 @@ TEST_P(RecoveryTest, CrashDuringForceCommitKeepsDurability) {
   EXPECT_TRUE(completed);
 }
 
+// Two-phase commit participant recovery at every crash point: a
+// transaction that crashed in (or on the way to) the PREPARED state rolls
+// back when no commit decision exists (presumed abort) and commits when
+// the resolver confirms one — in every configuration.
+TEST_P(RecoveryTest, PreparedTransactionsFollowTheResolver) {
+  for (bool decide_commit : {false, true}) {
+    bool completed = false;
+    for (std::uint64_t at = 1; at < 2000 && !completed; ++at) {
+      NvmManager nvm(GetParam().nvm);
+      TransactionManager tm(&nvm, GetParam());
+      auto* d = static_cast<std::uint64_t*>(nvm.Alloc(8 * 8));
+      {
+        std::uint32_t t = tm.Begin();
+        for (int i = 0; i < 4; ++i) tm.Write(t, &d[i], 100);
+        tm.Commit(t);
+        if (!GetParam().force()) tm.Checkpoint();
+      }
+      std::uint32_t t = tm.Begin();
+      bool crashed = RunWithCrashAt(&nvm, at, [&] {
+        for (int i = 0; i < 4; ++i) {
+          tm.Write(t, &d[i], 200 + static_cast<std::uint64_t>(i));
+        }
+        tm.Prepare(t, /*gtid=*/77);
+      });
+      if (!crashed) {
+        // Prepare completed: every later crash point is equivalent to
+        // dying right here, with the transaction durably PREPARED.
+        nvm.SimulateCrash();
+        completed = true;
+      }
+      tm.ForgetVolatileState();
+      tm.Recover([&](std::uint64_t gtid) {
+        EXPECT_EQ(gtid, 77u);
+        return decide_commit;
+      });
+      bool all_new = true, all_old = true;
+      for (int i = 0; i < 4; ++i) {
+        all_new &= (d[i] == 200u + static_cast<std::uint64_t>(i));
+        all_old &= (d[i] == 100u);
+      }
+      if (decide_commit) {
+        ASSERT_TRUE(all_new || all_old) << "torn prepared txn at " << at;
+        // A complete prepare + commit decision MUST commit.
+        if (!crashed) ASSERT_TRUE(all_new) << "prepared txn lost its commit";
+      } else {
+        ASSERT_TRUE(all_old) << "undecided prepared txn survived at " << at;
+      }
+      ASSERT_EQ(tm.LogSize(), 0u);
+      // The manager keeps working after resolution.
+      std::uint32_t next = tm.Begin();
+      tm.Write(next, &d[7], 4242);
+      tm.Commit(next);
+      ASSERT_EQ(tm.Read(&d[7]), 4242u);
+    }
+    EXPECT_TRUE(completed) << "sweep never completed a prepare";
+  }
+}
+
 // Many transactions, some committed, one uncommitted; recovery resolves all
 // of them and clears the log (the paper's multi-transaction recovery).
 TEST_P(RecoveryTest, MultiTransactionRecovery) {

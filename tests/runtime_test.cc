@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/core/runtime.h"
+#include "src/core/store_txn.h"
 #include "tests/tm_config_util.h"
 
 namespace rwd {
@@ -108,6 +109,49 @@ TEST(Runtime, RecoverPartitionRollsBackOnlyThatPartition) {
   rt.tm(0).Write(t2, &d[0], 7);
   rt.tm(0).Commit(t2);
   EXPECT_EQ(d[0], 7u);
+}
+
+// Direct StoreTxn exercise against a coordinator-equipped Runtime: the
+// two-phase commit path applies both partitions' writes, the abort path
+// undoes them, the prepared gauge returns to zero, and the decision log
+// is empty afterwards in both cases.
+TEST(Runtime, StoreTxnCommitsAndAbortsAcrossPartitions) {
+  Runtime rt(BaseConfig(), /*partitions=*/3, /*coordinator_partition=*/2);
+  StoreTxn st(&rt);
+  auto* d0 = static_cast<std::uint64_t*>(rt.nvm().Alloc(8));
+  auto* d1 = static_cast<std::uint64_t*>(rt.nvm().Alloc(8));
+
+  std::uint32_t t0 = rt.tm(0).Begin();
+  rt.tm(0).Write(t0, d0, 1);
+  std::uint32_t t1 = rt.tm(1).Begin();
+  rt.tm(1).Write(t1, d1, 2);
+  st.Commit({{0, t0}, {1, t1}});
+  EXPECT_EQ(rt.tm(0).Read(d0), 1u);
+  EXPECT_EQ(rt.tm(1).Read(d1), 2u);
+  EXPECT_EQ(st.two_phase_commits(), 1u);
+  EXPECT_EQ(st.prepared_now(), 0u);
+  EXPECT_EQ(rt.tm(2).LogSize(), 0u) << "decision log kept residue";
+
+  t0 = rt.tm(0).Begin();
+  rt.tm(0).Write(t0, d0, 10);
+  t1 = rt.tm(1).Begin();
+  rt.tm(1).Write(t1, d1, 20);
+  st.Abort({{0, t0}, {1, t1}});
+  EXPECT_EQ(rt.tm(0).Read(d0), 1u);
+  EXPECT_EQ(rt.tm(1).Read(d1), 2u);
+  EXPECT_EQ(st.prepared_now(), 0u);
+
+  std::uint32_t single = rt.tm(0).Begin();
+  rt.tm(0).Write(single, d0, 7);
+  st.Commit({{0, single}});
+  EXPECT_EQ(rt.tm(0).Read(d0), 7u);
+  EXPECT_EQ(st.fast_commits(), 1u);
+}
+
+// A Runtime without a coordinator partition cannot host a StoreTxn.
+TEST(Runtime, StoreTxnRequiresACoordinator) {
+  Runtime rt(BaseConfig(), /*partitions=*/2);
+  EXPECT_THROW(StoreTxn{&rt}, std::logic_error);
 }
 
 TEST(Runtime, CheckpointDaemonSurvivesInjectedCrash) {

@@ -192,6 +192,40 @@ TEST(KvServer, GroupCommitCoalescesPipelinedWrites) {
   EXPECT_EQ(store.Size(), kWrites);
 }
 
+// Backpressure: with tiny caps the server pauses reading a connection
+// whose writes outpace group commit (and whose replies outgrow the out
+// buffer), resumes as things drain, and still answers every request in
+// order — throttled, never wedged and never dropped.
+TEST(KvServer, BackpressurePausesAndResumesUnderTinyCaps) {
+  KvStore store(ServerKvConfig());
+  serve::ServerConfig cfg = TestServerConfig(/*batch_window_us=*/200);
+  cfg.max_unacked_writes = 4;
+  cfg.max_conn_out_bytes = 1 << 12;
+  cfg.max_batch_queue_ops = 8;
+  serve::KvServer server(&store, cfg);
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 10000));
+
+  constexpr std::uint64_t kWrites = 300;
+  for (std::uint64_t k = 1; k <= kWrites; ++k) {
+    client.QueuePut(k, ValueFor(k, 6));
+  }
+  ASSERT_TRUE(client.Flush());
+  for (std::uint64_t k = 1; k <= kWrites; ++k) {
+    serve::KvClient::Reply reply;
+    ASSERT_TRUE(client.ReadReply(&reply)) << "reply " << k;
+    EXPECT_EQ(reply.status, serve::Status::kOk) << "reply " << k;
+  }
+  // The connection is live and reads resume normally after the squeeze.
+  std::string value;
+  ASSERT_TRUE(client.Get(kWrites, &value));
+  EXPECT_EQ(value, ValueFor(kWrites, 6));
+  EXPECT_EQ(store.Size(), kWrites);
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
 // The network driver reuses the YCSB mixes over many pipelined
 // connections; everything it loads and writes is served and survives a
 // whole-store crash+recovery.
@@ -301,6 +335,114 @@ TEST(KvServerRecovery, KillMidBatchDurabilitySweep) {
     for (std::size_t s = 0; s < store.shards(); ++s) {
       EXPECT_EQ(store.runtime().tm(s).LogSize(), 0u)
           << "shard " << s << " log dirty after recovery at event " << at;
+    }
+  }
+  EXPECT_GT(crashes, 0) << "the sweep never hit a mid-batch crash";
+}
+
+// The cross-shard acceptance sweep: every networked batch is an MPUT whose
+// key group spans ALL shards, and the "machine" is killed at swept
+// persistence events inside the group commit. After recovery each group
+// must be fully at its new version or fully absent — a prefix of shards is
+// the exact torn state the two-phase pipeline exists to prevent — and
+// every ACKED group is fully present.
+TEST(KvServerRecovery, KillMidBatchMputSpanningAllShardsIsAtomic) {
+  constexpr std::uint64_t kGroups = 24;
+  const std::uint64_t version = 3;
+  // Build the groups once from the (deterministic) key->shard map: two
+  // keys from every shard per group, so every MPUT provably spans all of
+  // them.
+  std::vector<std::vector<std::uint64_t>> groups(kGroups);
+  {
+    KvStore probe(ServerKvConfig());
+    std::vector<std::vector<std::uint64_t>> by_shard(probe.shards());
+    for (std::uint64_t k = 1; ; ++k) {
+      std::size_t s = probe.ShardOf(k);
+      if (by_shard[s].size() < kGroups * 2) by_shard[s].push_back(k);
+      bool full = true;
+      for (auto& v : by_shard) full &= v.size() == kGroups * 2;
+      if (full) break;
+    }
+    for (std::uint64_t g = 0; g < kGroups; ++g) {
+      for (auto& v : by_shard) {
+        groups[g].push_back(v[g * 2]);
+        groups[g].push_back(v[g * 2 + 1]);
+      }
+    }
+  }
+  auto group_keys = [&](std::uint64_t g) { return groups[g]; };
+  bool completed_without_crash = false;
+  int crashes = 0;
+  for (std::uint64_t at = 60; !completed_without_crash; at += 173) {
+    KvStore store(ServerKvConfig());
+    NvmManager& nvm = store.runtime().nvm();
+    // Every group really does span every shard.
+    for (std::uint64_t g = 0; g < kGroups; ++g) {
+      std::set<std::size_t> touched;
+      for (auto k : group_keys(g)) touched.insert(store.ShardOf(k));
+      ASSERT_EQ(touched.size(), store.shards()) << "group " << g;
+    }
+    serve::KvServer server(&store, TestServerConfig(/*batch_window_us=*/50));
+    ASSERT_TRUE(server.Start());
+    serve::KvClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+
+    std::set<std::uint64_t> acked;
+    std::deque<std::uint64_t> inflight;
+    bool conn_lost = false;
+    nvm.crash_injector().Arm(at);
+    auto read_one = [&]() -> bool {
+      serve::KvClient::Reply reply;
+      if (!client.Flush() || !client.ReadReply(&reply)) return false;
+      if (reply.status == serve::Status::kOk) acked.insert(inflight.front());
+      inflight.pop_front();
+      return true;
+    };
+    for (std::uint64_t g = 0; g < kGroups && !conn_lost; ++g) {
+      std::vector<std::pair<std::uint64_t, std::string>> kvs;
+      for (auto k : group_keys(g)) {
+        kvs.emplace_back(k, ValueFor(k, version));
+      }
+      client.QueueMput(kvs);
+      inflight.push_back(g);
+      while (inflight.size() >= 4 && !conn_lost) conn_lost = !read_one();
+    }
+    while (!conn_lost && !inflight.empty()) conn_lost = !read_one();
+    nvm.crash_injector().Disarm();
+
+    if (conn_lost) {
+      EXPECT_TRUE(server.crashed()) << "connection lost without a crash";
+      ++crashes;
+    } else {
+      EXPECT_FALSE(server.crashed());
+      EXPECT_EQ(acked.size(), kGroups);
+      completed_without_crash = true;
+    }
+    server.Stop();
+    store.CrashAndRecover();
+
+    std::string value;
+    for (std::uint64_t g = 0; g < kGroups; ++g) {
+      std::vector<std::uint64_t> keys = group_keys(g);
+      std::size_t present = 0;
+      for (auto k : keys) {
+        if (store.Get(k, &value)) {
+          EXPECT_EQ(value, ValueFor(k, version))
+              << "group " << g << " key " << k << " torn at event " << at;
+          ++present;
+        }
+      }
+      EXPECT_TRUE(present == 0 || present == keys.size())
+          << "group " << g << " applied on a PREFIX of shards (" << present
+          << "/" << keys.size() << ") at event " << at;
+      if (acked.count(g) != 0) {
+        EXPECT_EQ(present, keys.size())
+            << "acked group " << g << " lost at event " << at;
+      }
+    }
+    for (std::size_t s = 0; s < store.runtime().partitions(); ++s) {
+      EXPECT_EQ(store.runtime().tm(s).LogSize(), 0u)
+          << "partition " << s << " dirty after recovery at event " << at;
     }
   }
   EXPECT_GT(crashes, 0) << "the sweep never hit a mid-batch crash";

@@ -192,6 +192,42 @@ TEST_P(TmTest, ConcurrentWritersToDistinctWords) {
   EXPECT_EQ(tm_.stats().commits, kThreads * kOps);
 }
 
+// Two-phase commit, participant side: a prepared transaction's records
+// survive checkpoints (its fate belongs to the coordinator) and
+// CommitPrepared finishes it exactly like a normal commit.
+TEST_P(TmTest, PreparedTransactionSurvivesCheckpointThenCommits) {
+  std::uint32_t t = tm_.Begin();
+  tm_.Write(t, &data_[0], 7);
+  tm_.Write(t, &data_[1], 8);
+  tm_.Prepare(t, /*gtid=*/42);
+  EXPECT_EQ(tm_.stats().prepares, 1u);
+  EXPECT_GT(tm_.LogSize(), 0u);
+  if (!force()) {
+    tm_.Checkpoint();
+    EXPECT_GT(tm_.LogSize(), 0u) << "checkpoint cleared a prepared txn";
+  }
+  tm_.CommitPrepared(t);
+  EXPECT_EQ(tm_.Read(&data_[0]), 7u);
+  EXPECT_EQ(tm_.Read(&data_[1]), 8u);
+  EXPECT_EQ(tm_.stats().commits, 1u);
+  if (!force()) tm_.Checkpoint();
+  EXPECT_EQ(tm_.LogSize(), 0u);
+}
+
+// Coordinator side: decision records are queryable while live and leave
+// no residue once erased.
+TEST_P(TmTest, DecisionRecordsRoundTrip) {
+  LogRecord* commit7 = tm_.LogDecision(7, /*commit=*/true);
+  LogRecord* abort9 = tm_.LogDecision(9, /*commit=*/false);
+  EXPECT_TRUE(tm_.HasCommitDecision(7));
+  EXPECT_FALSE(tm_.HasCommitDecision(9));  // TXN_ABORT is not a commit
+  EXPECT_FALSE(tm_.HasCommitDecision(8));
+  tm_.EraseDecision(commit7);
+  EXPECT_FALSE(tm_.HasCommitDecision(7));
+  tm_.EraseDecision(abort9);
+  EXPECT_EQ(tm_.LogSize(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllConfigs, TmTest, ::testing::ValuesIn(AllConfigs()),
     [](const ::testing::TestParamInfo<RewindConfig>& info) {
