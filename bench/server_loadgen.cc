@@ -110,10 +110,13 @@ int Main(int argc, char** argv) {
     std::uint64_t log_bytes = 0;
     for (std::uint64_t b : stats.shard_log_bytes) log_bytes += b;
     std::printf("# server: batcher_depth=%lu prepared_txns=%lu "
-                "log_bytes=%lu\n",
+                "log_bytes=%lu heap=%s used_bytes=%lu hwm=%lu\n",
                 static_cast<unsigned long>(stats.batcher_depth),
                 static_cast<unsigned long>(stats.prepared_txns),
-                static_cast<unsigned long>(log_bytes));
+                static_cast<unsigned long>(log_bytes),
+                stats.heap_mode != 0 ? "file" : "dram",
+                static_cast<unsigned long>(stats.heap_used_bytes),
+                static_cast<unsigned long>(stats.heap_high_watermark));
   }
 
   if (!json_path.empty()) {
@@ -143,6 +146,10 @@ int Main(int argc, char** argv) {
     json.Add("server_shards", stats.shards);
     json.Add("server_batcher_depth", stats.batcher_depth);
     json.Add("server_prepared_txns", stats.prepared_txns);
+    json.Add("server_heap_mode",
+             std::string(stats.heap_mode != 0 ? "file" : "dram"));
+    json.Add("server_heap_used_bytes", stats.heap_used_bytes);
+    json.Add("server_heap_high_watermark", stats.heap_high_watermark);
     if (!json.WriteTo(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

@@ -6,6 +6,7 @@
 //
 // Flags: --workload=a..f  --shards=N  --threads=N  --records=N  --ops=N
 //        --value-size=BYTES  --checkpoint-ms=N (0 = off)
+//        --heap-file=PATH (file-backed durable heap instead of DRAM)
 //        --json=PATH (machine-readable results: ops/s, p50/p99, config)
 // REWIND_BENCH_SCALE scales --records/--ops defaults like the other benches.
 #include <algorithm>
@@ -36,13 +37,17 @@ int Main(int argc, char** argv) {
   config.shards = std::max<std::uint64_t>(FlagOr(argc, argv, "shards", 4), 1);
   config.checkpoint_period_ms =
       static_cast<std::uint32_t>(FlagOr(argc, argv, "checkpoint-ms", 50));
+  config.rewind.nvm.heap_file = StringFlag(argc, argv, "heap-file");
 
   std::printf("# ycsb workload=%c shards=%zu threads=%zu records=%lu "
-              "ops=%lu value=%zuB rewind=%s\n",
+              "ops=%lu value=%zuB rewind=%s heap=%s\n",
               workload, config.shards, spec.threads,
               static_cast<unsigned long>(spec.record_count),
               static_cast<unsigned long>(spec.op_count), spec.value_size,
-              config.rewind.Label().c_str());
+              config.rewind.Label().c_str(),
+              config.rewind.nvm.heap_file.empty()
+                  ? "dram"
+                  : config.rewind.nvm.heap_file.c_str());
 
   KvStore store(config);
   WorkloadDriver driver(&store, spec);
@@ -110,6 +115,12 @@ int Main(int argc, char** argv) {
              static_cast<std::uint64_t>(config.checkpoint_period_ms));
     json.Add("two_phase_commits", store.store_txn().two_phase_commits());
     json.Add("fast_commits", store.store_txn().fast_commits());
+    // Heap dimension: where the emulated NVM device lives and how much of
+    // the arena the run consumed.
+    json.Add("heap_mode",
+             std::string(store.file_backed() ? "file" : "dram"));
+    json.Add("heap_used_bytes", store.heap_live_bytes());
+    json.Add("heap_high_watermark", store.heap_high_watermark());
     json.Add("threads", static_cast<std::uint64_t>(spec.threads));
     json.Add("records", spec.record_count);
     json.Add("value_size", static_cast<std::uint64_t>(spec.value_size));

@@ -1,0 +1,95 @@
+// Minimal command-line client for RewindServe: one operation per
+// invocation, built on the blocking client library. Used by the CI restart
+// smoke (write, SIGKILL the server, restart on the same heap file, read
+// back) and handy for poking a live server by hand.
+//
+//   ./build/examples/kv_client --port=7170 put 42 hello
+//   ./build/examples/kv_client --port=7170 get 42        # prints "hello"
+//   ./build/examples/kv_client --port=7170 del 42
+//   ./build/examples/kv_client --port=7170 stats
+//
+// Exit status: 0 on success, 2 on NOT_FOUND, 1 on usage/connection errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/server/client.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: kv_client [--host=H] [--port=N] "
+               "put KEY VALUE | get KEY | del KEY | stats\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rwd;
+
+  std::string host = StringFlag(argc, argv, "host", "127.0.0.1");
+  auto port = static_cast<std::uint16_t>(FlagOr(argc, argv, "port", 7170));
+
+  // First non-flag argument is the command.
+  int cmd_at = 1;
+  while (cmd_at < argc && std::strncmp(argv[cmd_at], "--", 2) == 0) ++cmd_at;
+  if (cmd_at >= argc) return Usage();
+  std::string cmd = argv[cmd_at];
+  int args_left = argc - cmd_at - 1;
+
+  serve::KvClient client;
+  if (!client.Connect(host, port, /*recv_timeout_ms=*/10000)) {
+    std::fprintf(stderr, "kv_client: cannot connect to %s:%u\n",
+                 host.c_str(), port);
+    return 1;
+  }
+
+  if (cmd == "put" && args_left >= 2) {
+    std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
+    if (!client.Put(key, argv[cmd_at + 2])) {
+      std::fprintf(stderr, "kv_client: put failed\n");
+      return 1;
+    }
+    return 0;
+  }
+  if (cmd == "get" && args_left >= 1) {
+    std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
+    std::string value;
+    if (!client.Get(key, &value)) return 2;
+    std::printf("%s\n", value.c_str());
+    return 0;
+  }
+  if (cmd == "del" && args_left >= 1) {
+    std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
+    return client.Delete(key) ? 0 : 2;
+  }
+  if (cmd == "stats") {
+    serve::StatsReply s;
+    if (!client.Stats(&s)) {
+      std::fprintf(stderr, "kv_client: stats failed\n");
+      return 1;
+    }
+    std::printf("keys=%lu acked_writes=%lu batches=%lu gets=%lu scans=%lu "
+                "connections=%lu shards=%lu batcher_depth=%lu "
+                "prepared_txns=%lu heap_mode=%s heap_used_bytes=%lu "
+                "heap_high_watermark=%lu\n",
+                static_cast<unsigned long>(s.keys),
+                static_cast<unsigned long>(s.acked_writes),
+                static_cast<unsigned long>(s.batches),
+                static_cast<unsigned long>(s.gets),
+                static_cast<unsigned long>(s.scans),
+                static_cast<unsigned long>(s.connections),
+                static_cast<unsigned long>(s.shards),
+                static_cast<unsigned long>(s.batcher_depth),
+                static_cast<unsigned long>(s.prepared_txns),
+                s.heap_mode != 0 ? "file" : "dram",
+                static_cast<unsigned long>(s.heap_used_bytes),
+                static_cast<unsigned long>(s.heap_high_watermark));
+    return 0;
+  }
+  return Usage();
+}

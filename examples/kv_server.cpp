@@ -8,9 +8,15 @@
 //
 // Flags: --port=N (0 = ephemeral)  --shards=N  --workers=N
 //        --batch-window-us=N  --checkpoint-ms=N (0 = off)  --heap-mb=N
+//        --heap-file=PATH (durable store: creates the file on first run,
+//        re-attaches and recovers on every later run — a SIGTERM'd or even
+//        SIGKILL'd server restarts with its data)
 #include <csignal>
 #include <cstdio>
+#include <sys/stat.h>
 #include <unistd.h>
+
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/kv/kv_store.h"
@@ -39,6 +45,8 @@ int main(int argc, char** argv) {
       std::max<std::uint64_t>(FlagOr(argc, argv, "shards", 4), 1);
   config.checkpoint_period_ms =
       static_cast<std::uint32_t>(FlagOr(argc, argv, "checkpoint-ms", 50));
+  std::string heap_file = StringFlag(argc, argv, "heap-file");
+  config.rewind.nvm.heap_file = heap_file;
 
   serve::ServerConfig server_config;
   server_config.port =
@@ -54,18 +62,39 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
-  KvStore store(config);
-  serve::KvServer server(&store, server_config);
+  // With --heap-file: first run creates the durable heap, later runs
+  // re-attach to it and recover (a real restart, not CrashAndRecover()).
+  std::unique_ptr<KvStore> store;
+  struct stat st;
+  bool reattach = !heap_file.empty() &&
+                  ::stat(heap_file.c_str(), &st) == 0 && st.st_size > 0;
+  try {
+    if (reattach) {
+      store = KvStore::Open(heap_file, config);
+      std::printf("kv_server: re-attached heap file %s (%lu keys, "
+                  "recovered=%d)\n",
+                  heap_file.c_str(),
+                  static_cast<unsigned long>(store->Size()),
+                  store->runtime().recovered_at_boot() ? 1 : 0);
+    } else {
+      store = std::make_unique<KvStore>(config);
+    }
+  } catch (const HeapAttachError& e) {
+    std::fprintf(stderr, "kv_server: %s\n", e.what());
+    return 1;
+  }
+  serve::KvServer server(store.get(), server_config);
   if (!server.Start()) {
     std::fprintf(stderr, "kv_server: cannot bind port %u\n",
                  server_config.port);
     return 1;
   }
   std::printf("kv_server listening on port %u — shards=%zu workers=%u "
-              "batch-window=%uus rewind=%s\n",
-              server.port(), store.shards(), server_config.workers,
+              "batch-window=%uus rewind=%s heap=%s\n",
+              server.port(), store->shards(), server_config.workers,
               server_config.batch_window_us,
-              config.rewind.Label().c_str());
+              config.rewind.Label().c_str(),
+              heap_file.empty() ? "dram" : heap_file.c_str());
   std::fflush(stdout);
 
   char byte;
@@ -90,8 +119,13 @@ int main(int argc, char** argv) {
               "prepared_txns=%lu 2pc_commits=%lu fast_commits=%lu\n",
               static_cast<unsigned long>(stats.batcher_depth),
               static_cast<unsigned long>(stats.prepared_txns),
-              static_cast<unsigned long>(store.store_txn().two_phase_commits()),
-              static_cast<unsigned long>(store.store_txn().fast_commits()));
+              static_cast<unsigned long>(
+                  store->store_txn().two_phase_commits()),
+              static_cast<unsigned long>(store->store_txn().fast_commits()));
+  std::printf("kv_server: heap mode=%s used_bytes=%lu high_watermark=%lu\n",
+              stats.heap_mode != 0 ? "file" : "dram",
+              static_cast<unsigned long>(stats.heap_used_bytes),
+              static_cast<unsigned long>(stats.heap_high_watermark));
   for (std::size_t s = 0; s < stats.shard_log_bytes.size(); ++s) {
     std::printf("kv_server: shard %zu log_bytes=%lu\n", s,
                 static_cast<unsigned long>(stats.shard_log_bytes[s]));

@@ -5,25 +5,94 @@
 
 namespace rwd {
 
+namespace {
+/// Stable catalog root name of partition `i`'s log anchor.
+std::string TmRootName(std::size_t i) { return "tm" + std::to_string(i); }
+}  // namespace
+
+std::uint64_t Runtime::ConfigFingerprint(const RewindConfig& config,
+                                         std::size_t partitions,
+                                         std::size_t coordinator_partition) {
+  // FNV-1a over the fields a re-attaching process must agree on. Not a
+  // cryptographic bind — just enough for a descriptive failure instead of
+  // attaching garbage.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(config.log_impl));
+  mix(static_cast<std::uint64_t>(config.layers));
+  mix(static_cast<std::uint64_t>(config.policy));
+  mix(config.bucket_capacity);
+  mix(config.batch_group_size);
+  mix(static_cast<std::uint64_t>(config.nvm.mode));
+  mix(config.nvm.heap_bytes);
+  mix(config.nvm.cacheline_bytes);
+  mix(std::max<std::size_t>(partitions, 1));
+  mix(coordinator_partition);
+  return h;
+}
+
 Runtime::Runtime(const RewindConfig& config, std::size_t partitions,
-                 std::size_t coordinator_partition)
-    : config_(config), nvm_(std::make_unique<NvmManager>(config.nvm)) {
-  boot_ = static_cast<BootSector*>(nvm_->Alloc(sizeof(BootSector)));
-  bool unclean = boot_->magic == kBootMagic && boot_->open == 1;
+                 std::size_t coordinator_partition, OpenMode open)
+    : config_(config) {
+  std::size_t n = std::max<std::size_t>(partitions, 1);
+  config_.nvm.config_fingerprint =
+      ConfigFingerprint(config_, n, coordinator_partition);
+  nvm_ = std::make_unique<NvmManager>(config_.nvm,
+                                      open == OpenMode::kAttach);
+  NvmHeap& heap = nvm_->heap();
+  bool unclean = false;
+  if (open == OpenMode::kAttach) {
+    boot_ = static_cast<BootSector*>(heap.GetRoot("boot"));
+    if (boot_ == nullptr) {
+      throw HeapAttachError("Runtime: heap file '" + heap.file_path() +
+                            "' has no boot-sector root in its catalog");
+    }
+    unclean = boot_->magic == kBootMagic && boot_->open == 1;
+  } else {
+    boot_ = static_cast<BootSector*>(nvm_->Alloc(sizeof(BootSector)));
+    heap.SetRoot("boot", boot_);
+    unclean = boot_->magic == kBootMagic && boot_->open == 1;
+  }
   nvm_->StoreNT(&boot_->magic, kBootMagic);
   nvm_->StoreNT(&boot_->open, std::uint64_t{1});
   nvm_->Fence();
-  tms_.reserve(partitions == 0 ? 1 : partitions);
-  for (std::size_t i = 0; i < std::max<std::size_t>(partitions, 1); ++i) {
-    tms_.push_back(std::make_unique<TransactionManager>(nvm_.get(), config_));
+  tms_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    void* anchor = nullptr;
+    if (open == OpenMode::kAttach) {
+      anchor = heap.GetRoot(TmRootName(i).c_str());
+      if (anchor == nullptr) {
+        throw HeapAttachError("Runtime: heap file '" + heap.file_path() +
+                              "' has no log anchor for partition " +
+                              std::to_string(i));
+      }
+    }
+    tms_.push_back(
+        std::make_unique<TransactionManager>(nvm_.get(), config_, anchor));
+    if (open != OpenMode::kAttach) {
+      heap.SetRoot(TmRootName(i).c_str(), tms_.back()->log_anchor());
+    }
   }
   if (coordinator_partition < tms_.size()) {
     coordinator_ = coordinator_partition;
   }
-  if (unclean) {
-    // In this emulated setting the heap is fresh per process, so an unclean
-    // boot sector can only come from an in-process simulated crash; still,
-    // run the full protocol for fidelity.
+  if (open == OpenMode::kAttach) {
+    // Always run the full coordinator-ordered protocol on attach: it
+    // rebuilds every partition's volatile state (log positions, txn table,
+    // LSN/TID counters) and, after an unclean exit, replays/undoes exactly
+    // as a machine reboot would. On a cleanly closed heap it is a no-op
+    // beyond the rebuild.
+    RecoverAllPartitions();
+    recovered_at_boot_ = unclean;
+  } else if (unclean) {
+    // A DRAM heap is fresh per process, so an unclean boot sector can only
+    // come from an in-process simulated crash; still, run the full
+    // protocol for fidelity.
     RecoverAllPartitions();
     recovered_at_boot_ = true;
   }
@@ -54,10 +123,16 @@ Runtime::~Runtime() {
 }
 
 void Runtime::Close() {
-  if (boot_ != nullptr) {
-    nvm_->StoreNT(&boot_->open, std::uint64_t{0});
-    nvm_->Fence();
+  if (boot_ == nullptr) return;
+  if (nvm_->heap().file_backed()) {
+    // Cached (no-force) user state must reach the persistent image before
+    // the shutdown is marked clean, or a re-attach would see a "clean"
+    // heap missing its latest committed writes.
+    nvm_->FlushAllDirty();
   }
+  nvm_->StoreNT(&boot_->open, std::uint64_t{0});
+  nvm_->Fence();
+  nvm_->heap().SyncFile();
 }
 
 void Runtime::CrashAndRecover(double evict_probability, std::uint64_t seed) {

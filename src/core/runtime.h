@@ -32,6 +32,14 @@ class Runtime {
   /// Sentinel for "no coordinator partition".
   static constexpr std::size_t kNoCoordinator = ~std::size_t{0};
 
+  /// Create a fresh store, or re-attach to the file-backed heap a previous
+  /// process left behind (`config.nvm.heap_file` names it). Attach re-maps
+  /// the arena at its recorded base address, re-binds every partition's log
+  /// to its catalog-registered anchor, and runs the full coordinator-ordered
+  /// recovery (analysis -> redo/undo -> ResolvePrepared) against the
+  /// reopened heap — exactly what a machine reboot looks like to REWIND.
+  enum class OpenMode { kCreate, kAttach };
+
   /// `coordinator_partition`, when set, names the partition that holds
   /// only store-level two-phase commit decision records (TXN_COMMIT /
   /// TXN_ABORT, written through StoreTxn). Recovery — at boot and in
@@ -41,9 +49,24 @@ class Runtime {
   /// resolver that commits or rolls back its prepared transactions
   /// accordingly, and finally the coordinator partition itself is
   /// recovered (clearing the now-consumed decisions).
+  ///
+  /// With `open == OpenMode::kAttach` the constructor throws
+  /// HeapAttachError when the heap file is missing, carries a mismatched
+  /// magic / format version / config fingerprint, or cannot be mapped at
+  /// its recorded base address. The partition count and configuration must
+  /// match what the store was created with (both feed the fingerprint).
   explicit Runtime(const RewindConfig& config, std::size_t partitions = 1,
-                   std::size_t coordinator_partition = kNoCoordinator);
+                   std::size_t coordinator_partition = kNoCoordinator,
+                   OpenMode open = OpenMode::kCreate);
   ~Runtime();
+
+  /// Fingerprint of everything that must match between the creator of a
+  /// heap file and a process re-attaching to it (log layout, layers,
+  /// policy, bucket/batch geometry, NVM mode and size, partition count and
+  /// coordinator). Stored in the heap catalog; mismatches fail attach.
+  static std::uint64_t ConfigFingerprint(const RewindConfig& config,
+                                         std::size_t partitions,
+                                         std::size_t coordinator_partition);
 
   NvmManager& nvm() { return *nvm_; }
   TransactionManager& tm(std::size_t partition = 0) {
@@ -57,7 +80,9 @@ class Runtime {
   /// True if construction found an unclean shutdown and ran recovery.
   bool recovered_at_boot() const { return recovered_at_boot_; }
 
-  /// Marks the shutdown clean; called by the destructor too.
+  /// Marks the shutdown clean; called by the destructor too. On a durable
+  /// (file-backed) heap this first flushes every dirty cacheline so cached
+  /// no-force state reaches the persistent image, then syncs the file.
   void Close();
 
   /// Test/bench helper: simulate a power failure (kCrashSim mode loses all

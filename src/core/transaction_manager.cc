@@ -13,24 +13,27 @@ constexpr std::uint64_t kUndoAll = ~std::uint64_t{0};
 }
 
 TransactionManager::TransactionManager(NvmManager* nvm,
-                                       const RewindConfig& config)
+                                       const RewindConfig& config,
+                                       void* attach_anchor)
     : nvm_(nvm), config_(config) {
   if (config_.two_layer()) {
     // Two-layer logging: the AAVLT indexes user records and logs its own
     // maintenance to a private optimized bucket log (paper Section 3.4).
-    index_ = std::make_unique<Aavlt>(nvm_, config_.bucket_capacity);
+    index_ = std::make_unique<Aavlt>(nvm_, config_.bucket_capacity,
+                                     static_cast<AavltAnchor*>(attach_anchor));
   } else {
+    auto* control = static_cast<Adll::Control*>(attach_anchor);
     switch (config_.log_impl) {
       case LogImpl::kSimple:
-        log_ = std::make_unique<SimpleLog>(nvm_);
+        log_ = std::make_unique<SimpleLog>(nvm_, control);
         break;
       case LogImpl::kOptimized:
         log_ = std::make_unique<BucketLog>(nvm_, config_.bucket_capacity,
-                                           /*group_size=*/0);
+                                           /*group_size=*/0, control);
         break;
       case LogImpl::kBatch:
         log_ = std::make_unique<BatchLog>(nvm_, config_.bucket_capacity,
-                                          config_.batch_group_size);
+                                          config_.batch_group_size, control);
         break;
     }
     if (auto* bl = dynamic_cast<BucketLog*>(log_.get());

@@ -54,7 +54,13 @@ using PrepareResolver = std::function<bool(std::uint64_t gtid)>;
 /// transactions on *user* data is the programmer's job, as in the paper.
 class TransactionManager {
  public:
-  TransactionManager(NvmManager* nvm, const RewindConfig& config);
+  /// `attach_anchor`, when non-null, is the persistent log anchor a
+  /// previous process registered in the heap's root catalog (log_anchor()):
+  /// an Adll::Control* for one-layer configurations, an AavltAnchor* for
+  /// two-layer. The manager re-attaches its log to it instead of allocating
+  /// fresh control blocks; the caller must run Recover() before use.
+  TransactionManager(NvmManager* nvm, const RewindConfig& config,
+                     void* attach_anchor = nullptr);
   ~TransactionManager();
 
   /// Starts a transaction; returns its id.
@@ -154,6 +160,13 @@ class TransactionManager {
 
   /// Number of live log records (1L) or indexed records (2L).
   std::size_t LogSize() const;
+
+  /// The log's persistent anchor, for the heap's root catalog (see the
+  /// attach constructor above).
+  void* log_anchor() const {
+    return config_.two_layer() ? static_cast<void*>(index_->anchor())
+                               : log_->anchor();
+  }
 
   const RewindConfig& config() const { return config_; }
   NvmManager* nvm() { return nvm_; }

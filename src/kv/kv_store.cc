@@ -6,25 +6,86 @@
 namespace rwd {
 
 KvStore::KvStore(const KvConfig& config)
+    : KvStore(config, Runtime::OpenMode::kCreate) {}
+
+std::unique_ptr<KvStore> KvStore::Open(const std::string& heap_file,
+                                       KvConfig config) {
+  config.rewind.nvm.heap_file = heap_file;
+  return std::unique_ptr<KvStore>(
+      new KvStore(config, Runtime::OpenMode::kAttach));
+}
+
+KvStore::KvStore(const KvConfig& config, Runtime::OpenMode open)
     : config_(config),
       // One partition per shard plus a trailing partition holding only the
       // two-phase commit coordinator's decision records.
       runtime_(std::make_unique<Runtime>(
           config.rewind, std::max<std::size_t>(config.shards, 1) + 1,
-          /*coordinator_partition=*/std::max<std::size_t>(config.shards,
-                                                          1))),
+          /*coordinator_partition=*/std::max<std::size_t>(config.shards, 1),
+          open)),
       store_txn_(std::make_unique<StoreTxn>(runtime_.get())) {
   std::size_t n = runtime_->partitions() - 1;
+  NvmHeap& heap = runtime_->nvm().heap();
   shards_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<Shard>();
-    shard->ops = std::make_unique<RewindOps>(&runtime_->tm(i));
-    shard->ops->BeginOp();
-    shard->primary = std::make_unique<BTree>(shard->ops.get());
-    shard->secondary = std::make_unique<PHash>(
-        shard->ops.get(), config_.secondary_initial_capacity);
-    shard->ops->CommitOp();
-    shards_.push_back(std::move(shard));
+  if (open == Runtime::OpenMode::kAttach) {
+    // The Runtime already recovered every partition against the reopened
+    // heap; re-bind each shard's structures from the shard directory.
+    auto* dir = static_cast<ShardDir*>(heap.GetRoot("kv_dir"));
+    if (dir == nullptr) {
+      throw HeapAttachError("KvStore: heap file '" + heap.file_path() +
+                            "' has no shard directory (not a RewindKV "
+                            "heap?)");
+    }
+    if (dir->shard_count != n) {
+      throw HeapAttachError(
+          "KvStore: heap file '" + heap.file_path() + "' was created with " +
+          std::to_string(dir->shard_count) + " shards but config asks for " +
+          std::to_string(n));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto* primary = reinterpret_cast<void*>(dir->entries[i].primary);
+      auto* secondary = reinterpret_cast<void*>(dir->entries[i].secondary);
+      if (!heap.Contains(primary) || !heap.Contains(secondary)) {
+        throw HeapAttachError(
+            "KvStore: heap file '" + heap.file_path() + "' shard " +
+            std::to_string(i) +
+            " directory entry points outside the arena (corrupt "
+            "directory)");
+      }
+      auto shard = std::make_unique<Shard>();
+      shard->ops = std::make_unique<RewindOps>(&runtime_->tm(i));
+      shard->primary = std::make_unique<BTree>(primary);
+      shard->secondary = std::make_unique<PHash>(secondary);
+      shards_.push_back(std::move(shard));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto shard = std::make_unique<Shard>();
+      shard->ops = std::make_unique<RewindOps>(&runtime_->tm(i));
+      shard->ops->BeginOp();
+      shard->primary = std::make_unique<BTree>(shard->ops.get());
+      shard->secondary = std::make_unique<PHash>(
+          shard->ops.get(), config_.secondary_initial_capacity);
+      shard->ops->CommitOp();
+      shards_.push_back(std::move(shard));
+    }
+    // Persist the shard directory and hang it off the root catalog so a
+    // fresh process can find every anchor again (done for DRAM heaps too —
+    // the catalog is uniform, the directory just dies with the process).
+    NvmManager& nvm = runtime_->nvm();
+    auto* dir = static_cast<ShardDir*>(
+        nvm.Alloc(sizeof(ShardDir) + n * sizeof(ShardDirEntry)));
+    nvm.StoreNT(&dir->shard_count, static_cast<std::uint64_t>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      nvm.StoreNT(&dir->entries[i].primary,
+                  reinterpret_cast<std::uint64_t>(
+                      shards_[i]->primary->persistent_anchor()));
+      nvm.StoreNT(&dir->entries[i].secondary,
+                  reinterpret_cast<std::uint64_t>(
+                      shards_[i]->secondary->persistent_anchor()));
+    }
+    nvm.Fence();
+    heap.SetRoot("kv_dir", dir);
   }
   if (config_.checkpoint_period_ms != 0) {
     StartCheckpointDaemons(config_.checkpoint_period_ms);

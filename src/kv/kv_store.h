@@ -88,6 +88,18 @@ class KvStore {
   explicit KvStore(const KvConfig& config);
   ~KvStore();
 
+  /// Re-attaches to the file-backed store a previous process created with
+  /// `config.rewind.nvm.heap_file` set (a *real* restart, not the
+  /// in-process CrashAndRecover()): reopens the heap at its recorded base
+  /// address, recovers every shard's log partition plus the coordinator
+  /// decision log, and re-binds each shard's B+-tree and hash index from
+  /// the persistent shard directory. `config` must match the creating
+  /// configuration (shards, log layout, policy, heap size — all checked
+  /// against the heap catalog's fingerprint). Throws HeapAttachError with
+  /// a descriptive message on any mismatch; never attaches garbage.
+  static std::unique_ptr<KvStore> Open(const std::string& heap_file,
+                                       KvConfig config);
+
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
 
@@ -174,7 +186,36 @@ class KvStore {
   StoreTxn& store_txn() { return *store_txn_; }
   Runtime& runtime() { return *runtime_; }
 
+  /// True when the emulated NVM device is backed by a heap file (the store
+  /// survives real process exits; see Open()).
+  bool file_backed() { return runtime_->nvm().heap().file_backed(); }
+  /// Heap bytes currently handed out by the NVM allocator.
+  std::uint64_t heap_live_bytes() {
+    return runtime_->nvm().heap().live_bytes();
+  }
+  /// Arena high watermark (next never-allocated offset; persisted in the
+  /// catalog and used for the conservative allocator rebuild on attach).
+  std::uint64_t heap_high_watermark() {
+    return runtime_->nvm().heap().high_watermark();
+  }
+
  private:
+  /// Persistent shard directory, reachable from the heap catalog's
+  /// "kv_dir" root: how many shards the store was created with and, per
+  /// shard, the anchors of its primary and secondary index. The log
+  /// partition mapping is positional (shard i == Runtime partition i,
+  /// coordinator last), recorded by the Runtime's own "tm<i>" roots.
+  struct ShardDirEntry {
+    std::uint64_t primary;    // BTree header
+    std::uint64_t secondary;  // PHash anchor
+  };
+  struct ShardDir {
+    std::uint64_t shard_count;
+    ShardDirEntry entries[];  // flexible array member
+  };
+
+  /// Attach body of Open().
+  KvStore(const KvConfig& config, Runtime::OpenMode open);
   struct Shard {
     std::unique_ptr<RewindOps> ops;
     std::unique_ptr<BTree> primary;

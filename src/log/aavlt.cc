@@ -5,14 +5,26 @@
 
 namespace rwd {
 
-Aavlt::Aavlt(NvmManager* nvm, std::size_t internal_bucket_capacity)
+Aavlt::Aavlt(NvmManager* nvm, std::size_t internal_bucket_capacity,
+             AavltAnchor* existing)
     : nvm_(nvm),
-      ilog_(nvm, internal_bucket_capacity, /*group_size=*/0),
-      root_slot_(static_cast<AavltNode**>(nvm->Alloc(sizeof(AavltNode*)))) {}
+      anchor_(existing != nullptr
+                  ? existing
+                  : static_cast<AavltAnchor*>(
+                        nvm->Alloc(sizeof(AavltAnchor)))),
+      owns_anchor_(existing == nullptr),
+      anchor_releaser_{nvm, owns_anchor_ ? anchor_ : nullptr},
+      ilog_(nvm, internal_bucket_capacity, /*group_size=*/0,
+            &anchor_->log_control),
+      root_slot_(&anchor_->root) {}
 
 Aavlt::~Aavlt() {
+  // A file-backed heap outlives the process; leave the tree for re-attach.
+  // The owned anchor is freed by anchor_releaser_ AFTER ~BucketLog ran
+  // (it is declared before ilog_), since the log's teardown still uses the
+  // control block embedded in the anchor.
+  if (nvm_->heap().file_backed()) return;
   Clear();
-  nvm_->Free(root_slot_);
 }
 
 void Aavlt::LoggedStoreWord(void* addr, std::uint64_t value) {

@@ -26,6 +26,14 @@ struct AavltNode {
   LogRecord* recs_tail = nullptr;  ///< Newest record of this transaction.
 };
 
+/// Persistent anchor of an Aavlt: the internal bucket log's ADLL control
+/// block plus the tree's root pointer, in one block so a single root-catalog
+/// entry re-attaches the whole two-layer log after a real restart.
+struct AavltAnchor {
+  Adll::Control log_control;
+  AavltNode* root = nullptr;
+};
+
 /// Recoverable AVL index over log records.
 ///
 /// Each public mutation (Insert, RemoveTxn) forms one internal transaction:
@@ -39,7 +47,11 @@ struct AavltNode {
 /// Callers serialize operations (the transaction manager's latch).
 class Aavlt {
  public:
-  Aavlt(NvmManager* nvm, std::size_t internal_bucket_capacity = 256);
+  /// `existing`, when non-null, re-attaches to the persistent anchor a
+  /// previous process left in a file-backed heap (see anchor()); call
+  /// Recover() afterwards.
+  Aavlt(NvmManager* nvm, std::size_t internal_bucket_capacity = 256,
+        AavltAnchor* existing = nullptr);
   ~Aavlt();
 
   /// Indexes `rec` under its transaction id, creating the node on first use
@@ -67,6 +79,8 @@ class Aavlt {
       const std::function<bool(std::uint64_t, LogRecord*)>& fn) const;
 
   std::size_t txn_count() const { return txn_count_; }
+  /// Persistent anchor for the heap's root catalog.
+  AavltAnchor* anchor() const { return anchor_; }
   /// Height of the tree (0 when empty); exposed for invariant tests.
   std::int64_t HeightOf() const;
   /// Validates AVL balance + BST order; aborts the test via return value.
@@ -92,9 +106,26 @@ class Aavlt {
   AavltNode* RemoveRec(AavltNode* t, std::uint64_t key);
   void EndOp();
 
+  /// Frees an owned anchor at destruction. Declared before ilog_ so it is
+  /// destroyed AFTER ~BucketLog, whose teardown (Clear/ReclaimBuckets)
+  /// still works through the control block embedded in the anchor —
+  /// freeing the anchor first would hand ~BucketLog a free-listed block.
+  struct AnchorReleaser {
+    NvmManager* nvm = nullptr;
+    AavltAnchor* anchor = nullptr;  // null = nothing to free
+    ~AnchorReleaser() {
+      if (anchor != nullptr && !nvm->heap().file_backed()) {
+        nvm->Free(anchor);
+      }
+    }
+  };
+
   NvmManager* nvm_;
+  AavltAnchor* anchor_;     // in NVM; holds ilog_'s control + the root slot
+  bool owns_anchor_;        // false when re-attached to an existing block
+  AnchorReleaser anchor_releaser_;
   BucketLog ilog_;          // internal WAL (Optimized configuration)
-  AavltNode** root_slot_;   // in NVM
+  AavltNode** root_slot_;   // = &anchor_->root
   std::uint64_t ilsn_ = 0;  // internal record sequence (volatile)
   std::size_t txn_count_ = 0;
   std::vector<AavltNode*> defer_free_;

@@ -5,8 +5,8 @@
 namespace rwd {
 
 BatchLog::BatchLog(NvmManager* nvm, std::size_t bucket_capacity,
-                   std::size_t group_size)
-    : BucketLog(nvm, bucket_capacity, group_size) {
+                   std::size_t group_size, Adll::Control* existing)
+    : BucketLog(nvm, bucket_capacity, group_size, existing) {
   assert(group_size >= 1);
 }
 

@@ -16,7 +16,8 @@ class BatchLog : public BucketLog {
   static constexpr std::size_t kDefaultGroupSize = 8;
 
   BatchLog(NvmManager* nvm, std::size_t bucket_capacity,
-           std::size_t group_size = kDefaultGroupSize);
+           std::size_t group_size = kDefaultGroupSize,
+           Adll::Control* existing = nullptr);
 };
 
 }  // namespace rwd

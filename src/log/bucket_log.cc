@@ -5,9 +5,13 @@
 namespace rwd {
 
 BucketLog::BucketLog(NvmManager* nvm, std::size_t bucket_capacity,
-                     std::size_t group_size)
+                     std::size_t group_size, Adll::Control* existing)
     : nvm_(nvm),
-      control_(static_cast<Adll::Control*>(nvm->Alloc(sizeof(Adll::Control)))),
+      control_(existing != nullptr
+                   ? existing
+                   : static_cast<Adll::Control*>(
+                         nvm->Alloc(sizeof(Adll::Control)))),
+      owns_control_(existing == nullptr),
       list_(nvm, control_),
       bucket_capacity_(bucket_capacity),
       group_size_(group_size) {
@@ -15,9 +19,12 @@ BucketLog::BucketLog(NvmManager* nvm, std::size_t bucket_capacity,
 }
 
 BucketLog::~BucketLog() {
+  // A file-backed heap outlives the process: the log *is* the durable
+  // state, so teardown must leave it intact for the next attach.
+  if (nvm_->heap().file_backed()) return;
   Clear();
   ReclaimBuckets();
-  nvm_->Free(control_);
+  if (owns_control_) nvm_->Free(control_);
 }
 
 void BucketLog::AddBucket() {

@@ -49,8 +49,11 @@ struct Bucket {
 /// — see TransactionManager).
 class BucketLog : public ILog {
  public:
+  /// `existing`, when non-null, re-attaches to the persistent control block
+  /// a previous process left in a file-backed heap (see ILog::anchor());
+  /// call Recover() afterwards to rebuild the volatile insertion state.
   BucketLog(NvmManager* nvm, std::size_t bucket_capacity,
-            std::size_t group_size);
+            std::size_t group_size, Adll::Control* existing = nullptr);
   ~BucketLog() override;
 
   void Append(LogRecord* rec) override;
@@ -80,6 +83,7 @@ class BucketLog : public ILog {
   std::size_t bucket_count() const { return list_.CountNodes(); }
   bool batch() const { return group_size_ > 0; }
   std::size_t group_size() const { return group_size_; }
+  void* anchor() const override { return control_; }
 
  private:
   void AddBucket();
@@ -92,6 +96,7 @@ class BucketLog : public ILog {
 
   NvmManager* nvm_;
   Adll::Control* control_;
+  bool owns_control_;  // false when re-attached to an existing block
   Adll list_;
   std::size_t bucket_capacity_;
   std::size_t group_size_;

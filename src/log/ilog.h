@@ -53,6 +53,12 @@ class ILog {
   /// Number of live records.
   virtual std::size_t size() const = 0;
 
+  /// The log's persistent control block (an Adll::Control for every
+  /// one-layer layout). Registered in the heap's root catalog so a fresh
+  /// process can re-attach after a real restart; pass it back to the
+  /// implementation's constructor as `existing` to reopen the log.
+  virtual void* anchor() const = 0;
+
   /// Ensures every appended record is persistent (Batch log flushes its
   /// open group; others are a no-op). Called before user writes may proceed
   /// under the WAL protocol.

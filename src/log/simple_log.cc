@@ -2,14 +2,21 @@
 
 namespace rwd {
 
-SimpleLog::SimpleLog(NvmManager* nvm)
+SimpleLog::SimpleLog(NvmManager* nvm, Adll::Control* existing)
     : nvm_(nvm),
-      control_(static_cast<Adll::Control*>(nvm->Alloc(sizeof(Adll::Control)))),
+      control_(existing != nullptr
+                   ? existing
+                   : static_cast<Adll::Control*>(
+                         nvm->Alloc(sizeof(Adll::Control)))),
+      owns_control_(existing == nullptr),
       list_(nvm, control_) {}
 
 SimpleLog::~SimpleLog() {
+  // A file-backed heap outlives the process: the log *is* the durable
+  // state, so teardown must leave it intact for the next attach.
+  if (nvm_->heap().file_backed()) return;
   Clear();
-  nvm_->Free(control_);
+  if (owns_control_) nvm_->Free(control_);
 }
 
 void SimpleLog::Append(LogRecord* rec) {

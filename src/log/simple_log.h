@@ -13,7 +13,11 @@ namespace rwd {
 /// the Optimized and Batch layouts improve on.
 class SimpleLog : public ILog {
  public:
-  explicit SimpleLog(NvmManager* nvm);
+  /// `existing`, when non-null, is the persistent control block of a log a
+  /// previous process left in a file-backed heap (from anchor() via the
+  /// root catalog): the log re-attaches to it instead of allocating a fresh
+  /// one; call Recover() afterwards to rebuild the volatile bookkeeping.
+  explicit SimpleLog(NvmManager* nvm, Adll::Control* existing = nullptr);
   ~SimpleLog() override;
 
   void Append(LogRecord* rec) override;
@@ -24,10 +28,12 @@ class SimpleLog : public ILog {
   void ForEachBackward(
       const std::function<bool(LogRecord*)>& fn) const override;
   std::size_t size() const override { return size_; }
+  void* anchor() const override { return control_; }
 
  private:
   NvmManager* nvm_;
   Adll::Control* control_;  // in NVM
+  bool owns_control_;       // false when re-attached to an existing block
   Adll list_;
   std::size_t size_ = 0;  // volatile; rebuilt by Recover()
 };

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace rwd {
 
@@ -32,6 +33,18 @@ struct NvmConfig {
   std::uint32_t fence_latency_ns = 100;
   /// Cacheline size used for coalescing and dirty tracking.
   std::uint32_t cacheline_bytes = 64;
+  /// When non-empty, the emulated NVM device is backed by this file instead
+  /// of DRAM and survives real process exits: in kFast mode the arena is a
+  /// shared mapping of the file; in kCrashSim mode the *persistent image*
+  /// is (the volatile view stays anonymous, exactly as caches are volatile).
+  /// The file records the view's base address so raw pointers in persistent
+  /// state stay valid when a fresh process re-attaches.
+  std::string heap_file;
+  /// Fingerprint of the owning runtime's configuration, stamped into the
+  /// heap file's catalog at creation and validated on attach so a file
+  /// cannot be reopened under an incompatible configuration. Filled by
+  /// Runtime; 0 skips the check (raw NvmManager users).
+  std::uint64_t config_fingerprint = 0;
 };
 
 }  // namespace rwd

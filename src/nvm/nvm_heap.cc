@@ -1,28 +1,378 @@
 #include "src/nvm/nvm_heap.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#ifndef MAP_FIXED_NOREPLACE
+// Linux >= 4.17; define the constant for older toolchain headers. Kernels
+// without support ignore the flag and fall back to hint behaviour, which the
+// post-mmap address check below still catches.
+#define MAP_FIXED_NOREPLACE 0x100000
+#endif
+
 namespace rwd {
 
 namespace {
+
 char* AlignUp64(char* p) {
   auto v = reinterpret_cast<std::uintptr_t>(p);
   return reinterpret_cast<char*>((v + 63) & ~std::uintptr_t{63});
 }
+
+[[noreturn]] void ThrowAttach(const std::string& path, const std::string& why) {
+  throw HeapAttachError("NvmHeap: cannot attach '" + path + "': " + why);
+}
+
 }  // namespace
 
-NvmHeap::NvmHeap(const NvmConfig& config) : size_(config.heap_bytes) {
-  view_storage_ = std::make_unique<char[]>(size_ + 64);
-  view_ = AlignUp64(view_storage_.get());
-  std::memset(view_, 0, size_);
-  if (config.mode == NvmMode::kCrashSim) {
-    image_storage_ = std::make_unique<char[]>(size_ + 64);
-    image_ = AlignUp64(image_storage_.get());
-    std::memset(image_, 0, size_);
+NvmHeap::NvmHeap(const NvmConfig& config, Open open)
+    : size_(config.heap_bytes), file_path_(config.heap_file) {
+  if (size_ < 2 * NvmCatalog::kBytes) {
+    std::fprintf(stderr, "NvmHeap: heap_bytes too small (%zu)\n", size_);
+    std::abort();
+  }
+  if (open == Open::kAttach) {
+    if (file_path_.empty()) {
+      throw HeapAttachError(
+          "NvmHeap: attach requires a heap file (config.heap_file is empty; "
+          "DRAM-backed heaps do not survive process exit)");
+    }
+    try {
+      AttachMappings(config);
+    } catch (...) {
+      // The destructor will not run for a throwing constructor: release
+      // the fd (and any mapping made before the failing check) here.
+      ReleaseMappings();
+      throw;
+    }
+    base_ = reinterpret_cast<std::uintptr_t>(view_);
+    const NvmCatalog* cat = catalog();
+    bump_ = cat->high_watermark;
+    attach_floor_ = bump_;
+    attached_ = true;
+    // Conservative allocator rebuild: everything below the high watermark
+    // is treated as allocated (crash-leak semantics); guard allocations
+    // against the catalog-reachable roots.
+    live_bytes_ = bump_ - NvmCatalog::kBytes;
+    for (const NvmCatalog::Root& r : cat->roots) {
+      if (r.offset != 0) root_offsets_.push_back(r.offset);
+    }
+    std::sort(root_offsets_.begin(), root_offsets_.end());
+    return;
+  }
+
+  try {
+    CreateMappings(config);
+  } catch (...) {
+    ReleaseMappings();
+    throw;
   }
   base_ = reinterpret_cast<std::uintptr_t>(view_);
+  bump_ = NvmCatalog::kBytes;
+  NvmCatalog* cat = MutableCatalog();
+  CatalogStore(&cat->magic, NvmCatalog::kMagic);
+  CatalogStore(&cat->format_version, NvmCatalog::kVersion);
+  CatalogStore(&cat->base_address, base_);
+  CatalogStore(&cat->heap_bytes, size_);
+  CatalogStore(&cat->mode, static_cast<std::uint64_t>(config.mode));
+  CatalogStore(&cat->config_fingerprint, config.config_fingerprint);
+  CatalogStore(&cat->high_watermark, bump_);
+}
+
+void NvmHeap::CreateMappings(const NvmConfig& config) {
+  if (file_path_.empty()) {
+    view_storage_ = std::make_unique<char[]>(size_ + 64);
+    view_ = AlignUp64(view_storage_.get());
+    std::memset(view_, 0, size_);
+    if (config.mode == NvmMode::kCrashSim) {
+      image_storage_ = std::make_unique<char[]>(size_ + 64);
+      image_ = AlignUp64(image_storage_.get());
+      std::memset(image_, 0, size_);
+    }
+    return;
+  }
+  fd_ = ::open(file_path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    ThrowAttach(file_path_, std::string("create failed: ") +
+                                std::strerror(errno));
+  }
+  LockFile();
+  // Truncate only once the exclusive lock is held, so creating over a file
+  // another process has live cannot wipe it.
+  if (::ftruncate(fd_, 0) != 0 ||
+      ::ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+    ThrowAttach(file_path_, std::string("ftruncate failed: ") +
+                                std::strerror(errno));
+  }
+  if (config.mode == NvmMode::kCrashSim) {
+    // The file holds the persistent image; the view is anonymous (cache
+    // contents are volatile and die with the process, as on power loss).
+    void* img = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd_, 0);
+    if (img == MAP_FAILED) {
+      ThrowAttach(file_path_, "mmap of persistent image failed");
+    }
+    image_ = static_cast<char*>(img);
+    image_is_mapped_ = true;
+    void* v = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (v == MAP_FAILED) ThrowAttach(file_path_, "mmap of view failed");
+    view_ = static_cast<char*>(v);
+    view_is_mapped_ = true;
+  } else {
+    // kFast: the file *is* the arena — every store is durable once the
+    // page cache holds it, which survives any process death (an
+    // eADR-style device where the cache is inside the persistence domain).
+    void* v = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd_, 0);
+    if (v == MAP_FAILED) ThrowAttach(file_path_, "mmap of heap file failed");
+    view_ = static_cast<char*>(v);
+    view_is_mapped_ = true;
+  }
+}
+
+void NvmHeap::LockFile() {
+  // One live process per heap file: a second attacher (or a create over a
+  // live file) MAP_FIXED_NOREPLACE would not catch — it only guards one
+  // address space — so exclusive-lock the file for the heap's lifetime.
+  if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+    ThrowAttach(file_path_,
+                std::string("heap file is in use by another process "
+                            "(flock: ") +
+                    std::strerror(errno) + ")");
+  }
+}
+
+void NvmHeap::AttachMappings(const NvmConfig& config) {
+  fd_ = ::open(file_path_.c_str(), O_RDWR);
+  if (fd_ < 0) {
+    ThrowAttach(file_path_, std::string("open failed: ") +
+                                std::strerror(errno));
+  }
+  LockFile();
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0 ||
+      st.st_size != static_cast<off_t>(config.heap_bytes)) {
+    ThrowAttach(file_path_,
+                "file size " + std::to_string(st.st_size) +
+                    " does not match configured heap_bytes " +
+                    std::to_string(config.heap_bytes));
+  }
+  // Validate the catalog before mapping anything at a fixed address.
+  NvmCatalog cat;
+  if (::pread(fd_, &cat, sizeof(cat), 0) !=
+      static_cast<ssize_t>(sizeof(cat))) {
+    ThrowAttach(file_path_, "short read of catalog block");
+  }
+  if (cat.magic != NvmCatalog::kMagic) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "bad magic 0x%llx (not a REWIND heap)",
+                  static_cast<unsigned long long>(cat.magic));
+    ThrowAttach(file_path_, buf);
+  }
+  if (cat.format_version != NvmCatalog::kVersion) {
+    ThrowAttach(file_path_,
+                "format version " + std::to_string(cat.format_version) +
+                    " != supported version " +
+                    std::to_string(NvmCatalog::kVersion));
+  }
+  if (cat.heap_bytes != config.heap_bytes) {
+    ThrowAttach(file_path_,
+                "catalog heap_bytes " + std::to_string(cat.heap_bytes) +
+                    " != configured " + std::to_string(config.heap_bytes));
+  }
+  if (cat.mode != static_cast<std::uint64_t>(config.mode)) {
+    ThrowAttach(file_path_,
+                "catalog NVM mode " + std::to_string(cat.mode) +
+                    " != configured mode " +
+                    std::to_string(static_cast<std::uint64_t>(config.mode)));
+  }
+  // Fingerprint 0 = caller opted out (raw NvmManager users / inspection
+  // tools); Runtime always stamps and checks a real one.
+  if (config.config_fingerprint != 0 &&
+      cat.config_fingerprint != config.config_fingerprint) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "config fingerprint mismatch (file 0x%llx vs runtime "
+                  "0x%llx): the store was created under a different "
+                  "configuration",
+                  static_cast<unsigned long long>(cat.config_fingerprint),
+                  static_cast<unsigned long long>(config.config_fingerprint));
+    ThrowAttach(file_path_, buf);
+  }
+  if (cat.high_watermark < NvmCatalog::kBytes ||
+      cat.high_watermark > cat.heap_bytes) {
+    ThrowAttach(file_path_, "corrupt high watermark " +
+                                std::to_string(cat.high_watermark));
+  }
+  // Root offsets must land inside the allocated arena, or GetRoot would
+  // hand out out-of-mapping pointers — exactly the garbage the catalog
+  // validation exists to refuse.
+  for (const NvmCatalog::Root& r : cat.roots) {
+    if (r.offset == 0) continue;
+    if (r.offset < NvmCatalog::kBytes || r.offset >= cat.high_watermark) {
+      ThrowAttach(file_path_,
+                  "corrupt catalog: root '" +
+                      std::string(r.name,
+                                  ::strnlen(r.name,
+                                            NvmCatalog::kRootNameBytes)) +
+                      "' at offset " + std::to_string(r.offset) +
+                      " lies outside the allocated arena");
+    }
+  }
+  // Re-map the view at the recorded base so raw pointers in persistent
+  // state stay valid. MAP_FIXED_NOREPLACE fails (rather than clobbers)
+  // when the range is already occupied in this process.
+  void* want = reinterpret_cast<void*>(cat.base_address);
+  if (config.mode == NvmMode::kCrashSim) {
+    void* img = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd_, 0);
+    if (img == MAP_FAILED) {
+      ThrowAttach(file_path_, "mmap of persistent image failed");
+    }
+    image_ = static_cast<char*>(img);
+    image_is_mapped_ = true;
+    void* v = ::mmap(want, size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE, -1,
+                     0);
+    if (v == MAP_FAILED || v != want) {
+      if (v != MAP_FAILED) ::munmap(v, size_);
+      ThrowAttach(file_path_,
+                  "base address collision: cannot map the view at the "
+                  "recorded address (something else occupies it in this "
+                  "process); retry from a fresh process");
+    }
+    view_ = static_cast<char*>(v);
+    view_is_mapped_ = true;
+    // Post-reboot view: what survived is exactly the persistent image.
+    std::memcpy(view_, image_, size_);
+  } else {
+    void* v = ::mmap(want, size_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_FIXED_NOREPLACE, fd_, 0);
+    if (v == MAP_FAILED || v != want) {
+      if (v != MAP_FAILED) ::munmap(v, size_);
+      ThrowAttach(file_path_,
+                  "base address collision: cannot map the heap file at the "
+                  "recorded address (something else occupies it in this "
+                  "process); retry from a fresh process");
+    }
+    view_ = static_cast<char*>(v);
+    view_is_mapped_ = true;
+  }
+}
+
+NvmHeap::~NvmHeap() {
+  SyncFile();
+  ReleaseMappings();
+}
+
+void NvmHeap::ReleaseMappings() {
+  if (view_is_mapped_ && view_ != nullptr) ::munmap(view_, size_);
+  view_is_mapped_ = false;
+  view_ = nullptr;
+  if (image_is_mapped_ && image_ != nullptr) ::munmap(image_, size_);
+  image_is_mapped_ = false;
+  image_ = nullptr;
+  if (fd_ >= 0) ::close(fd_);  // also drops the flock
+  fd_ = -1;
+}
+
+void NvmHeap::SyncFile() {
+  if (fd_ < 0) return;
+  // The durable buffer is the file mapping: the view in kFast mode, the
+  // persistent image in kCrashSim mode.
+  char* durable = image_is_mapped_ ? image_ : view_;
+  if (durable != nullptr) ::msync(durable, size_, MS_SYNC);
+}
+
+void NvmHeap::CatalogStore(std::uint64_t* view_addr, std::uint64_t value) {
+  *view_addr = value;
+  if (image_ != nullptr) {
+    std::memcpy(image_ + OffsetOf(view_addr), &value, sizeof(value));
+  }
+}
+
+void NvmHeap::SetRoot(const char* name, const void* ptr) {
+  std::size_t len = std::strlen(name);
+  if (len == 0 || len >= NvmCatalog::kRootNameBytes) {
+    std::fprintf(stderr, "NvmHeap: invalid root name '%s'\n", name);
+    std::abort();
+  }
+  if (!Contains(ptr)) {
+    std::fprintf(stderr, "NvmHeap: root '%s' outside the arena\n", name);
+    std::abort();
+  }
+  std::size_t off = OffsetOf(ptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  NvmCatalog* cat = MutableCatalog();
+  NvmCatalog::Root* slot = nullptr;
+  for (NvmCatalog::Root& r : cat->roots) {
+    if (std::strncmp(r.name, name, NvmCatalog::kRootNameBytes) == 0) {
+      slot = &r;
+      break;
+    }
+    if (slot == nullptr && r.offset == 0 && r.name[0] == '\0') slot = &r;
+  }
+  if (slot == nullptr) {
+    std::fprintf(stderr, "NvmHeap: root catalog full (max %zu roots)\n",
+                 NvmCatalog::kMaxRoots);
+    std::abort();
+  }
+  if (slot->offset != 0) {
+    // Re-pointing an existing root: retire its old offset from the
+    // allocation guard so it cannot veto legitimate recycling.
+    auto it = std::lower_bound(root_offsets_.begin(), root_offsets_.end(),
+                               slot->offset);
+    if (it != root_offsets_.end() && *it == slot->offset) {
+      root_offsets_.erase(it);
+    }
+  }
+  // Name first, offset last: a torn update leaves either an unused entry
+  // (offset still 0) or a complete one, never a named entry pointing at
+  // garbage from a previous use of the slot.
+  std::memset(slot->name, 0, NvmCatalog::kRootNameBytes);
+  std::memcpy(slot->name, name, len);
+  if (image_ != nullptr) {
+    std::memcpy(image_ + OffsetOf(slot->name), slot->name,
+                NvmCatalog::kRootNameBytes);
+  }
+  CatalogStore(&slot->offset, off);
+  root_offsets_.insert(
+      std::lower_bound(root_offsets_.begin(), root_offsets_.end(), off), off);
+}
+
+void* NvmHeap::GetRoot(const char* name) const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  for (const NvmCatalog::Root& r : catalog()->roots) {
+    if (r.offset != 0 &&
+        std::strncmp(r.name, name, NvmCatalog::kRootNameBytes) == 0) {
+      return const_cast<char*>(view_) + r.offset;
+    }
+  }
+  return nullptr;
+}
+
+void NvmHeap::AssertNoRootOverlap(std::size_t off, std::size_t bytes) const {
+  if (!attached_ || root_offsets_.empty()) return;
+  auto it =
+      std::lower_bound(root_offsets_.begin(), root_offsets_.end(), off);
+  if (it != root_offsets_.end() && *it < off + bytes) {
+    std::fprintf(stderr,
+                 "NvmHeap: allocator handed out block [%zu, %zu) overlapping "
+                 "catalog root at offset %zu after attach — allocator "
+                 "rebuild is corrupt\n",
+                 off, off + bytes, *it);
+    std::abort();
+  }
 }
 
 void* NvmHeap::Alloc(std::size_t bytes) {
@@ -37,6 +387,7 @@ void* NvmHeap::Alloc(std::size_t bytes) {
     void* p = it->second.back();
     it->second.pop_back();
     blocks_[p].live = true;
+    AssertNoRootOverlap(OffsetOf(p), bytes);
     std::memset(p, 0, bytes);
     if (image_ != nullptr) {
       // Allocator contract: blocks are handed out persistently zeroed (a
@@ -54,7 +405,11 @@ void* NvmHeap::Alloc(std::size_t bytes) {
     std::abort();
   }
   void* p = view_ + bump_;
+  AssertNoRootOverlap(bump_, bytes);
   bump_ += bytes;
+  // Persist the high watermark with the block: a crash right after can at
+  // worst over-count (leak) the block, never hand it out twice on attach.
+  CatalogStore(&MutableCatalog()->high_watermark, bump_);
   blocks_.emplace(p, BlockInfo{bytes, true});
   return p;
 }
@@ -64,6 +419,15 @@ void NvmHeap::Free(void* ptr) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(ptr);
   if (it == blocks_.end()) {
+    std::size_t off = OffsetOf(ptr);
+    if (attached_ && Contains(ptr) && off >= NvmCatalog::kBytes &&
+        off < attach_floor_) {
+      // A block handed out by a previous process: the conservative
+      // allocator rebuild does not know its size, so the free is a counted
+      // leak (crash-leak semantics, paper Section 4.3).
+      ++foreign_free_count_;
+      return;
+    }
     std::fprintf(stderr, "NvmHeap: Free of unknown block\n");
     std::abort();
   }

@@ -6,12 +6,59 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/nvm/nvm_config.h"
 
 namespace rwd {
+
+/// Thrown when a heap file cannot be created or re-attached: bad magic,
+/// format version or config fingerprint, a size mismatch, or a base-address
+/// collision (the recorded mapping address is already occupied in this
+/// process). The message always says which check failed.
+class HeapAttachError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The root/catalog block at arena offset 0 (file-backed heaps persist it;
+/// DRAM heaps keep it too so the root API is uniform).
+///
+/// The catalog is what makes a heap file self-describing: recovery starts
+/// from here. `base_address` is the virtual address the arena must be
+/// re-mapped at so that raw pointers stored in persistent state stay valid;
+/// `high_watermark` is the conservative allocator-rebuild point (everything
+/// below it is treated as allocated on attach — crash-leak semantics, paper
+/// Section 4.3); `roots` is a small table of named persistent anchors
+/// (boot sector, per-partition log control blocks, the KV shard directory)
+/// stored as arena *offsets* so the table itself is position-independent.
+struct NvmCatalog {
+  static constexpr std::uint64_t kMagic = 0x5245'5749'4e44'4856ull;
+  static constexpr std::uint64_t kVersion = 1;
+  static constexpr std::size_t kBytes = 4096;
+  static constexpr std::size_t kRootNameBytes = 24;
+  static constexpr std::size_t kMaxRoots = 126;
+
+  struct Root {
+    char name[kRootNameBytes];  // NUL-padded; all-zero = unused entry
+    std::uint64_t offset;       // arena offset of the anchor; 0 = unused
+  };
+
+  std::uint64_t magic;
+  std::uint64_t format_version;
+  std::uint64_t base_address;  // where the view must map on attach
+  std::uint64_t heap_bytes;
+  std::uint64_t mode;  // NvmMode at creation
+  std::uint64_t config_fingerprint;
+  std::uint64_t high_watermark;  // next never-allocated offset
+  std::uint64_t reserved;
+  Root roots[kMaxRoots];
+};
+static_assert(sizeof(NvmCatalog) == NvmCatalog::kBytes,
+              "catalog must fill exactly its reserved arena prefix");
 
 /// A contiguous arena backing the emulated NVM device, with a recycling
 /// allocator.
@@ -22,31 +69,52 @@ namespace rwd {
 /// from the view to the image on flushes/non-temporal stores and restores
 /// the view from the image on a simulated crash.
 ///
+/// With `config.heap_file` set the device is file-backed and survives real
+/// process exits: kFast maps the file itself as the view (every store is
+/// durable, an eADR-style device), kCrashSim maps the file as the persistent
+/// image and keeps the view anonymous (cache contents die with the process,
+/// exactly as on power loss). Attaching re-maps the view at the catalog's
+/// recorded base address with MAP_FIXED_NOREPLACE so raw pointers in
+/// persistent state remain valid; a collision raises HeapAttachError.
+///
 /// Allocator metadata (free lists and block sizes) is kept *outside* the
 /// arena and is volatile by design: REWIND defers de-allocation past commit
 /// via DELETE log records, and a crash may at worst leak memory (paper
-/// Section 4.3). Keeping it external also means a simulated crash cannot
-/// corrupt it, mirroring a real system where the allocator would be
-/// reinitialized conservatively after a failure. Allocation is thread-safe.
+/// Section 4.3). On attach the allocator is rebuilt conservatively: the
+/// catalog's high watermark is treated as allocated, and frees of blocks
+/// from a previous process ("foreign" blocks) become counted leaks instead
+/// of errors. Allocation is thread-safe.
 class NvmHeap {
  public:
-  explicit NvmHeap(const NvmConfig& config);
+  enum class Open { kCreate, kAttach };
+
+  explicit NvmHeap(const NvmConfig& config, Open open = Open::kCreate);
+  ~NvmHeap();
   NvmHeap(const NvmHeap&) = delete;
   NvmHeap& operator=(const NvmHeap&) = delete;
 
-  /// Allocates `bytes` (16-byte aligned, zero-initialized) from the arena.
-  /// Never returns null; aborts if the arena is exhausted.
+  /// Allocates `bytes` (cacheline aligned, zero-initialized) from the
+  /// arena. Never returns null; aborts if the arena is exhausted. Asserts
+  /// that the block does not overlap any catalog-reachable root (guards
+  /// against allocator-rebuild bugs silently corrupting live data after a
+  /// file-backed attach).
   void* Alloc(std::size_t bytes);
 
   /// Returns a block to the free list. `ptr` must come from Alloc().
   /// Freeing an already-free block is a counted no-op: recovery may replay
   /// the de-allocation of a DELETE record whose first free preceded a crash
   /// (see TransactionManager), which is legitimate; unit tests assert
-  /// double_free_count() == 0 for crash-free executions.
+  /// double_free_count() == 0 for crash-free executions. After an attach,
+  /// freeing a block handed out by a *previous* process is also a counted
+  /// no-op (the conservative allocator rebuild does not know its size, so
+  /// the block is leaked — crash-leak semantics).
   void Free(void* ptr);
 
   /// Number of ignored repeat frees (see Free()).
   std::uint64_t double_free_count() const { return double_free_count_; }
+
+  /// Number of frees of pre-attach ("foreign") blocks, each a counted leak.
+  std::uint64_t foreign_free_count() const { return foreign_free_count_; }
 
   /// True if `ptr` is a currently allocated block (test/diagnostic hook).
   bool IsLive(const void* ptr) const;
@@ -62,24 +130,87 @@ class NvmHeap {
     return reinterpret_cast<std::uintptr_t>(ptr) - base_;
   }
 
+  // --- persistent root catalog ---
+
+  /// Registers (or re-points) a named persistent root. `ptr` must lie in
+  /// the arena; `name` must fit NvmCatalog::kRootNameBytes - 1 characters.
+  /// The catalog entry is persisted immediately (it is written to the
+  /// persistent image / file directly, not through the cache emulation).
+  void SetRoot(const char* name, const void* ptr);
+
+  /// Looks up a named root; null when absent.
+  void* GetRoot(const char* name) const;
+
+  /// Read-only view of the catalog (tests/diagnostics).
+  const NvmCatalog* catalog() const {
+    return reinterpret_cast<const NvmCatalog*>(view_);
+  }
+
+  /// True when the arena is backed by a file (durable across process exit).
+  bool file_backed() const { return fd_ >= 0; }
+  /// True when this heap re-attached to an existing file.
+  bool attached() const { return attached_; }
+  const std::string& file_path() const { return file_path_; }
+
+  /// Flushes the file-backed buffer to stable storage (msync); no-op for
+  /// DRAM heaps.
+  void SyncFile();
+
   char* data() { return view_; }
   char* image() { return image_; }
   std::size_t size() const { return size_; }
   bool crash_sim() const { return image_ != nullptr; }
 
-  /// Bytes currently handed out (allocated minus freed).
-  std::size_t live_bytes() const { return live_bytes_; }
+  /// Bytes currently handed out (allocated minus freed). After an attach
+  /// this includes the whole pre-attach region below the high watermark.
+  /// Takes the allocator lock: safe to call from stats threads while
+  /// other threads allocate.
+  std::size_t live_bytes() const {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+    return live_bytes_;
+  }
+
+  /// Next never-allocated arena offset (persisted in the catalog). Locked
+  /// like live_bytes().
+  std::size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+    return bump_;
+  }
 
  private:
-  // Owning buffers plus cacheline-aligned bases into them: heap offsets and
-  // absolute addresses must agree on cacheline boundaries for the flush and
-  // coalescing accounting to be exact.
+  void CreateMappings(const NvmConfig& config);
+  void AttachMappings(const NvmConfig& config);
+  /// Takes the exclusive per-file flock (held for the heap's lifetime);
+  /// throws when another process has the file live.
+  void LockFile();
+  /// Unmaps/closes whatever CreateMappings/AttachMappings established.
+  /// Used by the destructor and by the constructor's failure paths (a
+  /// throwing constructor never runs the destructor).
+  void ReleaseMappings();
+  NvmCatalog* MutableCatalog() { return reinterpret_cast<NvmCatalog*>(view_); }
+  /// Writes a catalog word to the view and mirrors it into the persistent
+  /// image (catalog updates are synchronously persistent by construction).
+  void CatalogStore(std::uint64_t* view_addr, std::uint64_t value);
+  /// Aborts if [off, off+bytes) overlaps a registered root after an attach.
+  void AssertNoRootOverlap(std::size_t off, std::size_t bytes) const;
+
+  // Owning buffers (DRAM mode) plus cacheline-aligned bases into them:
+  // heap offsets and absolute addresses must agree on cacheline boundaries
+  // for the flush and coalescing accounting to be exact. File-backed mode
+  // uses mmap (page-aligned) instead and leaves these null.
   std::unique_ptr<char[]> view_storage_;
   std::unique_ptr<char[]> image_storage_;
   char* view_ = nullptr;
   char* image_ = nullptr;  // null in kFast mode
   std::uintptr_t base_ = 0;
   std::size_t size_ = 0;
+
+  int fd_ = -1;  // >= 0 iff file-backed
+  std::string file_path_;
+  bool view_is_mapped_ = false;   // view_ came from mmap
+  bool image_is_mapped_ = false;  // image_ came from mmap
+  bool attached_ = false;
+  std::size_t attach_floor_ = 0;  // pre-attach region is [catalog, floor)
 
   struct BlockInfo {
     std::size_t bytes;
@@ -90,8 +221,10 @@ class NvmHeap {
   std::size_t bump_ = 0;  // next never-allocated offset
   std::unordered_map<std::size_t, std::vector<void*>> free_lists_;
   std::unordered_map<void*, BlockInfo> blocks_;
+  std::vector<std::size_t> root_offsets_;  // sorted; guards Alloc
   std::size_t live_bytes_ = 0;
   std::uint64_t double_free_count_ = 0;
+  std::uint64_t foreign_free_count_ = 0;
 };
 
 }  // namespace rwd

@@ -1,14 +1,15 @@
 #include "src/nvm/nvm_manager.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace rwd {
 
-thread_local NvmManager::NtRun NvmManager::last_nt_ = {nullptr, 0};
+thread_local NvmManager::NtRun NvmManager::last_nt_ = {nullptr, 0, 0};
 
-NvmManager::NvmManager(const NvmConfig& config)
+NvmManager::NvmManager(const NvmConfig& config, bool attach)
     : config_(config),
-      heap_(config),
+      heap_(config, attach ? NvmHeap::Open::kAttach : NvmHeap::Open::kCreate),
       tracking_(config.mode == NvmMode::kCrashSim),
       line_bytes_(config.cacheline_bytes) {
   if (config_.write_latency_ns != 0 || config_.fence_latency_ns != 0) {
@@ -17,6 +18,11 @@ NvmManager::NvmManager(const NvmConfig& config)
   if (tracking_) {
     dirty_.assign((heap_.size() + line_bytes_ - 1) / line_bytes_, 0);
   }
+  // Unique generation: stale per-thread coalescing state from a destroyed
+  // manager whose address got recycled can never match this device, on any
+  // thread (see NtRun).
+  static std::atomic<std::uint64_t> next_generation{1};
+  generation_ = next_generation.fetch_add(1, std::memory_order_relaxed);
 }
 
 void NvmManager::MarkDirty(const void* addr, std::size_t bytes) {
@@ -45,10 +51,11 @@ void NvmManager::PersistBytes(const void* addr, std::size_t bytes) {
 
 void NvmManager::ChargeWrite(const void* addr) {
   auto line = reinterpret_cast<std::uintptr_t>(addr) / line_bytes_;
-  if (last_nt_.mgr == this && last_nt_.line == line) {
+  if (last_nt_.mgr == this && last_nt_.gen == generation_ &&
+      last_nt_.line == line) {
     return;  // coalesced with the immediately preceding store
   }
-  last_nt_ = {this, line};
+  last_nt_ = {this, generation_, line};
   stats_.nvm_writes.fetch_add(1, std::memory_order_relaxed);
   LatencyEmulator::Spin(config_.write_latency_ns);
 }
@@ -90,7 +97,7 @@ void NvmManager::FlushRange(const void* addr, std::size_t bytes) {
 void NvmManager::Fence() {
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
   LatencyEmulator::Spin(config_.fence_latency_ns);
-  last_nt_ = {nullptr, 0};  // a fence ends any coalescing run
+  last_nt_ = {nullptr, 0, 0};  // a fence ends any coalescing run
   crash_injector_.OnPersistEvent();
 }
 
@@ -117,7 +124,7 @@ std::size_t NvmManager::FlushAllDirty() {
 void NvmManager::SimulateCrash(double evict_probability, std::uint64_t seed) {
   stats_.crashes.fetch_add(1, std::memory_order_relaxed);
   crash_injector_.Disarm();
-  last_nt_ = {nullptr, 0};
+  last_nt_ = {nullptr, 0, 0};
   if (!tracking_) return;
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> coin(0.0, 1.0);

@@ -38,7 +38,11 @@ namespace rwd {
 /// recovery against exactly what would have survived.
 class NvmManager {
  public:
-  explicit NvmManager(const NvmConfig& config);
+  /// `attach` re-opens the file-backed heap named by `config.heap_file`
+  /// (validating its catalog and re-mapping at the recorded base address)
+  /// instead of creating a fresh arena; see NvmHeap. Throws HeapAttachError
+  /// when the file cannot be attached.
+  explicit NvmManager(const NvmConfig& config, bool attach = false);
 
   NvmHeap& heap() { return heap_; }
   const NvmConfig& config() const { return config_; }
@@ -128,7 +132,7 @@ class NvmManager {
 
   /// Resets the per-thread cacheline-coalescing state (e.g. between
   /// benchmark phases).
-  void ResetCoalescing() { last_nt_ = {nullptr, 0}; }
+  void ResetCoalescing() { last_nt_ = {nullptr, 0, 0}; }
 
  private:
   void MarkDirty(const void* addr, std::size_t bytes);
@@ -142,16 +146,20 @@ class NvmManager {
   NvmHeap heap_;
   bool tracking_;
   std::uint32_t line_bytes_;
+  std::uint64_t generation_;  // unique per manager instance, ever
 
   // Dirty-line bitmap (one byte per line; only in kCrashSim mode).
   std::vector<std::uint8_t> dirty_;
   mutable std::mutex dirty_mu_;
 
   // Per-thread coalescing state: the last line non-temporally stored to,
-  // tagged with the owning manager so independent devices don't coalesce
-  // with each other.
+  // tagged with the owning manager AND its generation — the address alone
+  // is not enough, since a destroyed manager's address (and arena) can be
+  // recycled for a new one on any thread, and stale state would silently
+  // swallow the new device's first charged write.
   struct NtRun {
     const void* mgr;
+    std::uint64_t gen;
     std::uintptr_t line;
   };
   static thread_local NtRun last_nt_;

@@ -13,7 +13,7 @@
 //   DEL   key:u64                      -> OK | NOT_FOUND (after commit)
 //   SCAN  from:u64 max:u32             -> OK n:u32 n*(key:u64 len:u32 bytes)
 //   MPUT  n:u32 n*(key:u64 len:u32 bytes) -> OK (cross-shard atomic batch)
-//   STATS (empty)                      -> OK 10*u64 + shards*u64
+//   STATS (empty)                      -> OK 13*u64 + shards*u64
 //                                         (see StatsReply; the trailing
 //                                         array is per-shard log bytes)
 #ifndef REWIND_SERVER_PROTOCOL_H_
@@ -54,7 +54,7 @@ constexpr std::uint32_t kMaxScanItems = 4096;
 /// frame the kMaxFrameBytes check would reject.
 constexpr std::uint32_t kMaxScanReplyBytes = 8u << 20;
 
-/// STATS response payload: 10 fixed words in wire order, then `shards`
+/// STATS response payload: 13 fixed words in wire order, then `shards`
 /// trailing words of per-shard log-partition bytes.
 struct StatsReply {
   std::uint64_t keys = 0;           ///< live keys across all shards
@@ -67,9 +67,12 @@ struct StatsReply {
   std::uint64_t shards = 0;
   std::uint64_t batcher_depth = 0;  ///< write ops queued, not yet committed
   std::uint64_t prepared_txns = 0;  ///< 2PC participants currently PREPARED
+  std::uint64_t heap_mode = 0;      ///< 0 = DRAM-backed, 1 = file-backed
+  std::uint64_t heap_used_bytes = 0;      ///< NVM allocator live bytes
+  std::uint64_t heap_high_watermark = 0;  ///< arena bump offset
   std::vector<std::uint64_t> shard_log_bytes;  ///< live log bytes per shard
 };
-constexpr std::size_t kStatsWords = 10;
+constexpr std::size_t kStatsWords = 13;
 
 inline void AppendU32(std::string* s, std::uint32_t v) {
   char b[4];
@@ -192,6 +195,9 @@ inline bool DecodeStatsPayload(std::string_view payload, StatsReply* out) {
   out->shards = ReadU64(p + 56);
   out->batcher_depth = ReadU64(p + 64);
   out->prepared_txns = ReadU64(p + 72);
+  out->heap_mode = ReadU64(p + 80);
+  out->heap_used_bytes = ReadU64(p + 88);
+  out->heap_high_watermark = ReadU64(p + 96);
   // Divide, don't multiply: a hostile shards count must not overflow the
   // size check and walk the loop past the payload.
   if (out->shards != (payload.size() - kStatsWords * 8) / 8 ||

@@ -454,6 +454,9 @@ void KvServer::Drive(Worker& w, Conn& c) {
         AppendU64(&c.out, stats.shards);
         AppendU64(&c.out, stats.batcher_depth);
         AppendU64(&c.out, stats.prepared_txns);
+        AppendU64(&c.out, stats.heap_mode);
+        AppendU64(&c.out, stats.heap_used_bytes);
+        AppendU64(&c.out, stats.heap_high_watermark);
         for (std::uint64_t bytes : stats.shard_log_bytes) {
           AppendU64(&c.out, bytes);
         }
@@ -556,6 +559,9 @@ StatsReply KvServer::StatsSnapshot() {
   r.connections = connections_.load(std::memory_order_relaxed);
   r.shards = store_->shards();
   r.prepared_txns = store_->prepared_txns();
+  r.heap_mode = store_->file_backed() ? 1 : 0;
+  r.heap_used_bytes = store_->heap_live_bytes();
+  r.heap_high_watermark = store_->heap_high_watermark();
   for (std::size_t s = 0; s < store_->shards(); ++s) {
     r.shard_log_bytes.push_back(store_->ShardLogBytes(s));
   }

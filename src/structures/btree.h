@@ -36,6 +36,16 @@ class BTree {
   /// `ops`.
   explicit BTree(StorageOps* ops);
 
+  /// Re-attaches to the persistent header of a tree a previous process
+  /// built in a durable heap (see persistent_anchor(); typically found via
+  /// the heap's root catalog). No allocation, no writes.
+  explicit BTree(void* existing_header)
+      : header_(static_cast<Header*>(existing_header)) {}
+
+  /// The tree's persistent anchor, for the heap's root catalog or an
+  /// application directory block (e.g. RewindKV's shard directory).
+  void* persistent_anchor() const { return header_; }
+
   /// Inserts key -> payload. Returns false (and changes nothing) when the
   /// key already exists. Not itself a transaction.
   bool Insert(StorageOps* ops, std::uint64_t key, const void* payload);

@@ -29,6 +29,14 @@ class PDList {
   /// allocated from `ops`.
   explicit PDList(StorageOps* ops);
 
+  /// Re-attaches to the persistent anchor of a list a previous process
+  /// built in a durable heap (see persistent_anchor()).
+  explicit PDList(void* existing_anchor)
+      : anchor_(static_cast<Anchor*>(existing_anchor)) {}
+
+  /// The list's persistent anchor, for the heap's root catalog.
+  void* persistent_anchor() const { return anchor_; }
+
   /// Appends a value at the tail inside its own transaction.
   Node* PushBack(StorageOps* ops, std::uint64_t value);
 

@@ -21,6 +21,15 @@ class PHash {
   /// `initial_capacity` is rounded up to a power of two (minimum 8).
   PHash(StorageOps* ops, std::size_t initial_capacity = 64);
 
+  /// Re-attaches to the persistent anchor of a table a previous process
+  /// built in a durable heap (see persistent_anchor()).
+  explicit PHash(void* existing_anchor)
+      : anchor_(static_cast<Anchor*>(existing_anchor)) {}
+
+  /// The table's persistent anchor, for the heap's root catalog or an
+  /// application directory block.
+  void* persistent_anchor() const { return anchor_; }
+
   /// Inserts or overwrites. Each call is one transaction. `key` must be
   /// non-zero.
   void Put(StorageOps* ops, std::uint64_t key, std::uint64_t value);

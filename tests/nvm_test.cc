@@ -1,8 +1,10 @@
 // Tests for the NVM emulation substrate: heap, persistence semantics,
 // cacheline coalescing, crash simulation and crash injection.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/nvm/nvm_manager.h"
@@ -181,6 +183,109 @@ TEST(NvmStats, ResetZeroesCounters) {
   nvm.stats().Reset();
   EXPECT_EQ(nvm.stats().nvm_writes.load(), 0u);
   EXPECT_EQ(nvm.stats().fences.load(), 0u);
+}
+
+TEST(NvmHeap, RootCatalogRegistersAndResolvesNames) {
+  NvmManager nvm(TestNvmConfig(4));
+  NvmHeap& heap = nvm.heap();
+  EXPECT_EQ(heap.GetRoot("absent"), nullptr);
+  void* a = nvm.Alloc(64);
+  void* b = nvm.Alloc(128);
+  heap.SetRoot("alpha", a);
+  heap.SetRoot("beta", b);
+  EXPECT_EQ(heap.GetRoot("alpha"), a);
+  EXPECT_EQ(heap.GetRoot("beta"), b);
+  // Re-pointing an existing name updates in place.
+  heap.SetRoot("alpha", b);
+  EXPECT_EQ(heap.GetRoot("alpha"), b);
+  // The catalog block itself sits at arena offset 0, below every alloc.
+  EXPECT_GE(heap.OffsetOf(a), NvmCatalog::kBytes);
+  EXPECT_EQ(heap.catalog()->magic, NvmCatalog::kMagic);
+  EXPECT_EQ(heap.catalog()->high_watermark, heap.high_watermark());
+}
+
+TEST(NvmHeap, FileBackedAttachRebuildsAllocatorConservatively) {
+  const std::string path = ::testing::TempDir() + "nvm_attach_" +
+                           std::to_string(::getpid()) + ".heap";
+  NvmConfig cfg = TestNvmConfig(4);
+  cfg.mode = NvmMode::kFast;
+  cfg.heap_file = path;
+  cfg.config_fingerprint = 0x1234;
+  std::size_t root_off = 0;
+  std::size_t hwm = 0;
+  void* old_block = nullptr;
+  {
+    NvmManager nvm(cfg);
+    auto* p = static_cast<std::uint64_t*>(nvm.Alloc(256));
+    old_block = p;
+    nvm.StoreNT(&p[0], std::uint64_t{0xfeedface});
+    nvm.heap().SetRoot("anchor", p);
+    root_off = nvm.heap().OffsetOf(p);
+    hwm = nvm.heap().high_watermark();
+  }
+  NvmManager nvm(cfg, /*attach=*/true);
+  NvmHeap& heap = nvm.heap();
+  EXPECT_TRUE(heap.attached());
+  EXPECT_TRUE(heap.file_backed());
+  // Same base address, so the old pointer is valid again.
+  auto* p = static_cast<std::uint64_t*>(heap.GetRoot("anchor"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p, old_block);
+  EXPECT_EQ(heap.OffsetOf(p), root_off);
+  EXPECT_EQ(p[0], 0xfeedfaceull);
+  // Conservative rebuild: the watermark survived; new blocks come from
+  // above it, never overlapping pre-attach state.
+  EXPECT_EQ(heap.high_watermark(), hwm);
+  void* fresh = nvm.Alloc(64);
+  EXPECT_GE(heap.OffsetOf(fresh), hwm);
+  // Freeing a pre-attach ("foreign") block is a counted leak, not an abort.
+  EXPECT_EQ(heap.foreign_free_count(), 0u);
+  nvm.Free(p);
+  EXPECT_EQ(heap.foreign_free_count(), 1u);
+  EXPECT_EQ(p[0], 0xfeedfaceull);  // untouched: leaked, not recycled
+  ::unlink(path.c_str());
+}
+
+TEST(NvmHeap, AttachRejectsMismatchedFingerprint) {
+  const std::string path = ::testing::TempDir() + "nvm_fpr_" +
+                           std::to_string(::getpid()) + ".heap";
+  NvmConfig cfg = TestNvmConfig(4);
+  cfg.mode = NvmMode::kFast;
+  cfg.heap_file = path;
+  cfg.config_fingerprint = 1;
+  { NvmManager nvm(cfg); }
+  cfg.config_fingerprint = 2;
+  EXPECT_THROW(NvmManager(cfg, /*attach=*/true), HeapAttachError);
+  ::unlink(path.c_str());
+}
+
+TEST(NvmHeap, AttachWithoutFileIsRejected) {
+  NvmConfig cfg = TestNvmConfig(4);
+  cfg.heap_file.clear();
+  EXPECT_THROW(NvmManager(cfg, /*attach=*/true), HeapAttachError);
+}
+
+TEST(NvmHeap, CrashSimFileBackedPersistsOnlyFlushedLines) {
+  const std::string path = ::testing::TempDir() + "nvm_img_" +
+                           std::to_string(::getpid()) + ".heap";
+  NvmConfig cfg = TestNvmConfig(4);  // kCrashSim
+  cfg.heap_file = path;
+  {
+    NvmManager nvm(cfg);
+    auto* p = static_cast<std::uint64_t*>(nvm.Alloc(128));
+    nvm.heap().SetRoot("blk", p);
+    nvm.StoreNT(&p[0], std::uint64_t{11});  // persistent (reaches the file)
+    nvm.Store(&p[8], std::uint64_t{22});    // cached only: a different line
+    nvm.Fence();
+    // No clean close, no FlushAllDirty: drop the manager as a dying
+    // process would.
+  }
+  NvmManager nvm(cfg, /*attach=*/true);
+  auto* p = static_cast<std::uint64_t*>(nvm.heap().GetRoot("blk"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p[0], 11u);  // NT store survived in the image file
+  EXPECT_EQ(p[8], 0u);   // cached store died with the process's "cache"
+  ::unlink(path.c_str());
 }
 
 TEST(Latency, SpinIsMonotoneInDuration) {

@@ -1,0 +1,490 @@
+// Durability across REAL process restarts (file-backed NVM device).
+//
+// Unlike the CrashAndRecover() sweeps elsewhere in the suite, these tests
+// exercise the full restart path: a CHILD process opens a file-backed store,
+// commits writes (including a cross-shard MultiPut), and dies via _exit or
+// SIGKILL — destructors never run, exactly like a real crash. The PARENT
+// then reopens the same heap file with KvStore::Open (re-mapping the arena
+// at its recorded base address and running coordinator-ordered recovery)
+// and verifies that every acked write survived and that the multi-shard
+// batch is all-or-nothing. No in-process CrashAndRecover() involved.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/kv/kv_store.h"
+
+namespace rwd {
+namespace {
+
+// Child exit codes.
+constexpr int kChildCompleted = 0;
+constexpr int kChildCrashed = 42;
+
+std::string TmpPath(const char* name) {
+  return ::testing::TempDir() + "restart_" + name + "_" +
+         std::to_string(::getpid()) + ".heap";
+}
+
+std::string Val(std::uint64_t key) {
+  return "value-" + std::to_string(key) + "-" + std::string(24, 'x');
+}
+
+KvConfig SmallConfig(const std::string& heap_file, NvmMode mode,
+                     std::size_t shards = 3) {
+  KvConfig cfg;
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.layers = Layers::kOne;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 64;
+  cfg.rewind.nvm.mode = mode;
+  cfg.rewind.nvm.heap_bytes = std::size_t{16} << 20;
+  cfg.rewind.nvm.write_latency_ns = 0;
+  cfg.rewind.nvm.fence_latency_ns = 0;
+  cfg.rewind.nvm.heap_file = heap_file;
+  cfg.shards = shards;
+  cfg.checkpoint_period_ms = 0;
+  return cfg;
+}
+
+/// Appends one ack line to the side file with a raw write() so it survives
+/// _exit exactly when the preceding store operation had returned.
+void Ack(int fd, const std::string& line) {
+  std::string s = line + "\n";
+  ASSERT_EQ(::write(fd, s.data(), s.size()),
+            static_cast<ssize_t>(s.size()));
+}
+
+std::vector<std::string> ReadAcks(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+const std::vector<std::uint64_t> kMputKeys = {1001, 1002, 1003, 1004, 1005};
+
+/// The deterministic child op sequence: a few puts, a cross-shard MultiPut,
+/// a delete, more puts. The parent replays the same list against the ack
+/// log to compute the expected post-restart state.
+struct OpSpec {
+  char kind;  // 'P' = put, 'M' = the MultiPut, 'D' = delete
+  std::uint64_t key;
+};
+
+std::vector<OpSpec> ChildOps() {
+  std::vector<OpSpec> ops;
+  for (std::uint64_t k = 1; k <= 6; ++k) ops.push_back({'P', k});
+  ops.push_back({'M', 0});
+  ops.push_back({'D', 3});
+  for (std::uint64_t k = 20; k <= 24; ++k) ops.push_back({'P', k});
+  return ops;
+}
+
+/// Runs the op sequence, acking each completed op to `ack_fd`. Throws
+/// CrashException when the armed injector fires.
+void ChildWorkload(KvStore* store, int ack_fd) {
+  for (const OpSpec& op : ChildOps()) {
+    switch (op.kind) {
+      case 'P':
+        ASSERT_TRUE(store->Put(op.key, Val(op.key)));
+        break;
+      case 'M': {
+        std::vector<std::pair<std::uint64_t, std::string>> kvs;
+        for (std::uint64_t k : kMputKeys) kvs.emplace_back(k, Val(k));
+        ASSERT_TRUE(store->MultiPut(kvs));
+        break;
+      }
+      case 'D':
+        ASSERT_TRUE(store->Delete(op.key));
+        break;
+    }
+    Ack(ack_fd, std::string(1, op.kind) + " " + std::to_string(op.key));
+  }
+}
+
+/// Runs the workload in a forked child with the crash injector armed at
+/// persistence event `crash_at` (0 = never). Returns the child's exit code.
+int RunChild(const std::string& heap, const std::string& acks,
+             std::uint64_t crash_at) {
+  ::unlink(heap.c_str());
+  ::unlink(acks.c_str());
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    int ack_fd = ::open(acks.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (ack_fd < 0) ::_exit(99);
+    {
+      KvStore store(SmallConfig(heap, NvmMode::kFast));
+      if (crash_at != 0) {
+        store.runtime().nvm().crash_injector().Arm(crash_at);
+      }
+      try {
+        ChildWorkload(&store, ack_fd);
+      } catch (const CrashException&) {
+        // The "machine" lost power at persistence event `crash_at`: die
+        // without running a single destructor, leaving the heap file
+        // exactly as the crash left it.
+        ::_exit(kChildCrashed);
+      }
+      store.runtime().nvm().crash_injector().Disarm();
+      // Scope end: clean shutdown (destructor marks the boot sector clean).
+    }
+    // _exit skips stdio flushing; push any buffered gtest failure output to
+    // the parent's capture first so child-side failures are diagnosable.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    ::_exit(::testing::Test::HasFailure() ? 98 : kChildCompleted);
+  }
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "child did not _exit cleanly";
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Reopens the heap and verifies the surviving state against the ack log.
+///
+/// With n acks, ops[0..n-1] committed and were acked (they MUST survive
+/// exactly); op[n] — the one in flight at the crash — may have committed
+/// (crash between its durability point and its ack) or not, so both
+/// outcomes are legal, but the MultiPut must still be all-or-nothing; ops
+/// beyond n never started (the child is sequential) and MUST NOT surface.
+void VerifyAfterRestart(const std::string& heap, const std::string& acks,
+                        std::uint64_t crash_at) {
+  std::unique_ptr<KvStore> store;
+  ASSERT_NO_THROW(store = KvStore::Open(
+                      heap, SmallConfig(heap, NvmMode::kFast)))
+      << "crash_at=" << crash_at;
+
+  const std::vector<OpSpec> ops = ChildOps();
+  std::size_t n = ReadAcks(acks).size();
+  ASSERT_LE(n, ops.size());
+
+  // Definite state after the acked prefix ops[0..n-1].
+  std::map<std::uint64_t, std::string> expect;
+  auto apply = [&expect](const OpSpec& op) {
+    if (op.kind == 'P') {
+      expect[op.key] = Val(op.key);
+    } else if (op.kind == 'M') {
+      for (std::uint64_t k : kMputKeys) expect[k] = Val(k);
+    } else {
+      expect.erase(op.key);
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) apply(ops[i]);
+
+  // Keys the ambiguous in-flight op may have changed.
+  std::set<std::uint64_t> ambiguous;
+  if (n < ops.size()) {
+    if (ops[n].kind == 'M') {
+      ambiguous.insert(kMputKeys.begin(), kMputKeys.end());
+    } else {
+      ambiguous.insert(ops[n].key);
+    }
+  }
+
+  for (const auto& [key, value] : expect) {
+    if (ambiguous.count(key) != 0) continue;
+    std::string got;
+    EXPECT_TRUE(store->Get(key, &got))
+        << "acked key " << key << " lost (crash_at=" << crash_at << ")";
+    EXPECT_EQ(got, value) << "crash_at=" << crash_at;
+  }
+  if (n < ops.size()) {
+    const OpSpec& inflight = ops[n];
+    if (inflight.kind == 'P') {
+      std::string got;
+      if (store->Get(inflight.key, &got)) {
+        EXPECT_EQ(got, Val(inflight.key))
+            << "in-flight put surfaced torn (crash_at=" << crash_at << ")";
+      }
+    } else if (inflight.kind == 'D') {
+      std::string got;
+      if (store->Get(inflight.key, &got)) {
+        EXPECT_EQ(got, expect[inflight.key])
+            << "in-flight delete surfaced torn (crash_at=" << crash_at
+            << ")";
+      }
+    } else {  // 'M': all-or-nothing across shards, with intact values
+      std::size_t present = 0;
+      for (std::uint64_t k : kMputKeys) {
+        std::string got;
+        if (store->Get(k, &got)) {
+          ++present;
+          EXPECT_EQ(got, Val(k)) << "crash_at=" << crash_at;
+        }
+      }
+      EXPECT_TRUE(present == 0 || present == kMputKeys.size())
+          << "MultiPut surfaced " << present << " of " << kMputKeys.size()
+          << " keys (crash_at=" << crash_at << ")";
+    }
+    // Ops past the in-flight one never started: they must not surface.
+    for (std::size_t i = n + 1; i < ops.size(); ++i) {
+      if (ops[i].kind == 'P' && ambiguous.count(ops[i].key) == 0) {
+        EXPECT_FALSE(store->Get(ops[i].key, nullptr))
+            << "unreached op surfaced key " << ops[i].key
+            << " (crash_at=" << crash_at << ")";
+      }
+    }
+  }
+  // The reopened store is a working store: foreign frees (blocks from the
+  // dead process) leak instead of aborting, and new writes commit.
+  EXPECT_TRUE(store->Put(5000 + crash_at, "post-restart"));
+  std::string value;
+  EXPECT_TRUE(store->Get(5000 + crash_at, &value));
+  EXPECT_EQ(value, "post-restart");
+}
+
+TEST(RestartTest, ChildCrashSweepEveryPersistenceEvent) {
+  const std::string heap = TmpPath("sweep");
+  const std::string acks = heap + ".acks";
+  // Sweep the crash ordinal until the child completes the whole workload;
+  // cap to catch runaways.
+  constexpr std::uint64_t kMaxEvents = 20000;
+  std::uint64_t crash_at = 1;
+  for (; crash_at <= kMaxEvents; ++crash_at) {
+    int code = RunChild(heap, acks, crash_at);
+    ASSERT_TRUE(code == kChildCrashed || code == kChildCompleted)
+        << "child failed internally (exit " << code
+        << ", crash_at=" << crash_at << ")";
+    VerifyAfterRestart(heap, acks, crash_at);
+    if (HasFatalFailure()) break;
+    if (code == kChildCompleted) break;
+  }
+  EXPECT_LE(crash_at, kMaxEvents) << "sweep never completed";
+  ::unlink(heap.c_str());
+  ::unlink((heap + ".acks").c_str());
+}
+
+TEST(RestartTest, SigkilledChildLosesNoAckedWrite) {
+  const std::string heap = TmpPath("sigkill");
+  ::unlink(heap.c_str());
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(pipefd[0]);
+    KvStore store(SmallConfig(heap, NvmMode::kFast, /*shards=*/4));
+    // Stream writes forever; report each acked key over the pipe only
+    // after Put returned (i.e. after the commit's durability point).
+    for (std::uint64_t k = 1;; ++k) {
+      if (!store.Put(k, Val(k))) ::_exit(99);
+      if (::write(pipefd[1], &k, sizeof(k)) != sizeof(k)) ::_exit(0);
+    }
+  }
+  ::close(pipefd[1]);
+  std::uint64_t last_acked = 0, k = 0;
+  while (last_acked < 300 &&
+         ::read(pipefd[0], &k, sizeof(k)) == sizeof(k)) {
+    last_acked = k;
+  }
+  ASSERT_GE(last_acked, 300u) << "child died early";
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+  // Drain acks that raced the kill; they too were post-return, so durable.
+  while (::read(pipefd[0], &k, sizeof(k)) == sizeof(k)) last_acked = k;
+  ::close(pipefd[0]);
+
+  auto store = KvStore::Open(heap, SmallConfig(heap, NvmMode::kFast, 4));
+  for (std::uint64_t key = 1; key <= last_acked; ++key) {
+    std::string value;
+    ASSERT_TRUE(store->Get(key, &value)) << "acked key " << key << " lost";
+    ASSERT_EQ(value, Val(key));
+  }
+  ::unlink(heap.c_str());
+}
+
+TEST(RestartTest, CrashSimModeRedoesAckedWritesAfterUncleanExit) {
+  // kCrashSim + file: the file holds the persistent image; cached (no-force)
+  // user data dies with the process and restart recovery must REDO it from
+  // the persisted log — the strictest restart path.
+  const std::string heap = TmpPath("crashsim");
+  ::unlink(heap.c_str());
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    KvStore store(SmallConfig(heap, NvmMode::kCrashSim));
+    for (std::uint64_t key = 1; key <= 50; ++key) {
+      if (!store.Put(key, Val(key))) ::_exit(99);
+    }
+    ::_exit(0);  // unclean: no destructor, boot sector still open
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  auto store = KvStore::Open(heap, SmallConfig(heap, NvmMode::kCrashSim));
+  EXPECT_TRUE(store->runtime().recovered_at_boot());
+  for (std::uint64_t key = 1; key <= 50; ++key) {
+    std::string value;
+    ASSERT_TRUE(store->Get(key, &value)) << "acked key " << key << " lost";
+    ASSERT_EQ(value, Val(key));
+  }
+  ::unlink(heap.c_str());
+}
+
+TEST(RestartTest, CleanCloseThenReopenSameProcess) {
+  const std::string heap = TmpPath("clean");
+  ::unlink(heap.c_str());
+  KvConfig cfg = SmallConfig(heap, NvmMode::kCrashSim);
+  {
+    KvStore store(cfg);
+    for (std::uint64_t key = 1; key <= 100; ++key) {
+      ASSERT_TRUE(store.Put(key, Val(key)));
+    }
+    ASSERT_TRUE(store.Put(7, "overwritten"));
+    ASSERT_TRUE(store.Delete(9));
+    // Destructor: clean close (flushes the cache into the image, marks the
+    // boot sector clean, unmaps) — the next Open re-maps at the same base.
+  }
+  auto store = KvStore::Open(heap, cfg);
+  EXPECT_FALSE(store->runtime().recovered_at_boot());
+  EXPECT_TRUE(store->file_backed());
+  EXPECT_EQ(store->Size(), 99u);
+  std::string value;
+  ASSERT_TRUE(store->Get(7, &value));
+  EXPECT_EQ(value, "overwritten");
+  EXPECT_FALSE(store->Get(9, nullptr));
+  for (std::uint64_t key = 10; key <= 100; ++key) {
+    ASSERT_TRUE(store->Get(key, &value));
+    ASSERT_EQ(value, Val(key));
+  }
+  // Scans work off the re-attached B+-tree primaries.
+  std::vector<std::uint64_t> keys;
+  store->Scan(1, 5, [&](std::uint64_t k, std::string_view) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  // Overwriting a pre-restart key deferred-frees its old (foreign) value
+  // buffer; the free executes at the covering checkpoint and must be a
+  // counted leak, never an abort.
+  ASSERT_TRUE(store->Put(10, "fresh"));
+  store->CheckpointShard(store->ShardOf(10));
+  EXPECT_GE(store->runtime().nvm().heap().foreign_free_count(), 1u);
+  ::unlink(heap.c_str());
+}
+
+TEST(RestartTest, ReopenValidatesMagic) {
+  const std::string heap = TmpPath("magic");
+  ::unlink(heap.c_str());
+  KvConfig cfg = SmallConfig(heap, NvmMode::kFast);
+  { KvStore store(cfg); }
+  // Corrupt the catalog magic (offset 0).
+  {
+    int fd = ::open(heap.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    std::uint64_t junk = 0xdeadbeefdeadbeefull;
+    ASSERT_EQ(::pwrite(fd, &junk, sizeof(junk), 0),
+              static_cast<ssize_t>(sizeof(junk)));
+    ::close(fd);
+  }
+  try {
+    KvStore::Open(heap, cfg);
+    FAIL() << "attach with corrupt magic succeeded";
+  } catch (const HeapAttachError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+  ::unlink(heap.c_str());
+}
+
+TEST(RestartTest, ReopenValidatesFormatVersion) {
+  const std::string heap = TmpPath("version");
+  ::unlink(heap.c_str());
+  KvConfig cfg = SmallConfig(heap, NvmMode::kFast);
+  { KvStore store(cfg); }
+  {
+    int fd = ::open(heap.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    std::uint64_t future_version = 999;
+    ASSERT_EQ(::pwrite(fd, &future_version, sizeof(future_version), 8),
+              static_cast<ssize_t>(sizeof(future_version)));
+    ::close(fd);
+  }
+  try {
+    KvStore::Open(heap, cfg);
+    FAIL() << "attach with wrong format version succeeded";
+  } catch (const HeapAttachError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+  ::unlink(heap.c_str());
+}
+
+TEST(RestartTest, ReopenValidatesConfigFingerprint) {
+  const std::string heap = TmpPath("fingerprint");
+  ::unlink(heap.c_str());
+  { KvStore store(SmallConfig(heap, NvmMode::kFast, /*shards=*/3)); }
+  // Different shard count => different partition count => different
+  // fingerprint: attaching must fail descriptively, not attach garbage.
+  KvConfig other = SmallConfig(heap, NvmMode::kFast, /*shards=*/5);
+  try {
+    KvStore::Open(heap, other);
+    FAIL() << "attach under a mismatched configuration succeeded";
+  } catch (const HeapAttachError& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos)
+        << e.what();
+  }
+  // Different log layout, same shard count: also a fingerprint mismatch.
+  KvConfig other2 = SmallConfig(heap, NvmMode::kFast, /*shards=*/3);
+  other2.rewind.log_impl = LogImpl::kSimple;
+  EXPECT_THROW(KvStore::Open(heap, other2), HeapAttachError);
+  ::unlink(heap.c_str());
+}
+
+TEST(RestartTest, ReopenValidatesHeapSizeAndMode) {
+  const std::string heap = TmpPath("sizemode");
+  ::unlink(heap.c_str());
+  { KvStore store(SmallConfig(heap, NvmMode::kFast)); }
+  KvConfig bigger = SmallConfig(heap, NvmMode::kFast);
+  bigger.rewind.nvm.heap_bytes = std::size_t{32} << 20;
+  EXPECT_THROW(KvStore::Open(heap, bigger), HeapAttachError);
+  KvConfig other_mode = SmallConfig(heap, NvmMode::kCrashSim);
+  EXPECT_THROW(KvStore::Open(heap, other_mode), HeapAttachError);
+  ::unlink(heap.c_str());
+}
+
+TEST(RestartTest, HeapFileIsSingleOwner) {
+  // The heap file is exclusively flocked for the store's lifetime: a
+  // second attacher — or a create over a live file — fails cleanly instead
+  // of silently double-mapping the same arena.
+  const std::string heap = TmpPath("flock");
+  ::unlink(heap.c_str());
+  KvConfig cfg = SmallConfig(heap, NvmMode::kFast);
+  KvStore live(cfg);
+  try {
+    KvStore::Open(heap, cfg);
+    FAIL() << "second attach to a live heap file succeeded";
+  } catch (const HeapAttachError& e) {
+    EXPECT_NE(std::string(e.what()).find("in use"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(KvStore second(cfg), HeapAttachError);  // create over live
+  ::unlink(heap.c_str());
+}
+
+TEST(RestartTest, OpenOfMissingFileFailsCleanly) {
+  const std::string heap = TmpPath("missing");
+  ::unlink(heap.c_str());
+  EXPECT_THROW(KvStore::Open(heap, SmallConfig(heap, NvmMode::kFast)),
+               HeapAttachError);
+}
+
+}  // namespace
+}  // namespace rwd
