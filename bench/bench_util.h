@@ -87,6 +87,15 @@ inline std::uint64_t FlagOr(int argc, char** argv, const char* name,
   return def;
 }
 
+/// True when the bare boolean flag `--name` is present.
+inline bool HasFlag(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 inline std::string StringFlag(int argc, char** argv, const char* name,
                               const std::string& def = "") {
   std::string prefix = std::string("--") + name + "=";

@@ -117,6 +117,13 @@ int Main(int argc, char** argv) {
                 stats.heap_mode != 0 ? "file" : "dram",
                 static_cast<unsigned long>(stats.heap_used_bytes),
                 static_cast<unsigned long>(stats.heap_high_watermark));
+    std::printf("# server read path: optimistic_hits=%lu retries=%lu "
+                "latched=%lu; 2pc fan-out: parallel=%lu max_width=%lu\n",
+                static_cast<unsigned long>(stats.optimistic_hits),
+                static_cast<unsigned long>(stats.optimistic_retries),
+                static_cast<unsigned long>(stats.read_latch_acquires),
+                static_cast<unsigned long>(stats.parallel_prepares),
+                static_cast<unsigned long>(stats.max_prepare_fanout));
   }
 
   if (!json_path.empty()) {
@@ -150,6 +157,11 @@ int Main(int argc, char** argv) {
              std::string(stats.heap_mode != 0 ? "file" : "dram"));
     json.Add("server_heap_used_bytes", stats.heap_used_bytes);
     json.Add("server_heap_high_watermark", stats.heap_high_watermark);
+    json.Add("server_optimistic_hits", stats.optimistic_hits);
+    json.Add("server_optimistic_retries", stats.optimistic_retries);
+    json.Add("server_read_latch_acquires", stats.read_latch_acquires);
+    json.Add("server_parallel_prepares", stats.parallel_prepares);
+    json.Add("server_max_prepare_fanout", stats.max_prepare_fanout);
     if (!json.WriteTo(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

@@ -5,7 +5,11 @@
 //   ./build/bench/ycsb --workload=a --shards=4 --threads=4
 //
 // Flags: --workload=a..f  --shards=N  --threads=N  --records=N  --ops=N
+//        --duration-seconds=S (fixed wall-clock window instead of --ops;
+//        the right mode for perf comparisons — sub-second op-count runs
+//        are too noisy to judge a change)
 //        --value-size=BYTES  --checkpoint-ms=N (0 = off)
+//        --no-optimistic-reads (disable the seqlock Get fast path)
 //        --heap-file=PATH (file-backed durable heap instead of DRAM)
 //        --json=PATH (machine-readable results: ops/s, p50/p99, config)
 // REWIND_BENCH_SCALE scales --records/--ops defaults like the other benches.
@@ -25,12 +29,18 @@ int Main(int argc, char** argv) {
   WorkloadSpec spec = WorkloadSpec::Preset(workload);
   spec.record_count = FlagOr(argc, argv, "records", Scaled(20000));
   spec.op_count = FlagOr(argc, argv, "ops", Scaled(50000));
+  spec.duration_seconds =
+      std::strtod(StringFlag(argc, argv, "duration-seconds", "0").c_str(),
+                  nullptr);
   spec.value_size = FlagOr(argc, argv, "value-size", 100);
   spec.threads = FlagOr(argc, argv, "threads", 4);
-  // Latency sampling costs two clock reads per op — noticeable on the
-  // sub-µs read-mostly mixes — so it is only on when results are kept.
+  // Latency sampling costs two clock reads per op — it DOMINATES the
+  // latch-free read path (tens of ns/op) on read-mostly mixes — so it is
+  // only on when results are kept, and --no-latencies turns it off even
+  // then (throughput-comparison runs; p50/p99 report as 0).
   std::string json_path = StringFlag(argc, argv, "json");
-  spec.collect_latencies = !json_path.empty();
+  spec.collect_latencies =
+      !json_path.empty() && !HasFlag(argc, argv, "no-latencies");
 
   KvConfig config;
   config.rewind = BenchConfig(LogImpl::kBatch, Layers::kOne, Policy::kNoForce);
@@ -38,16 +48,20 @@ int Main(int argc, char** argv) {
   config.checkpoint_period_ms =
       static_cast<std::uint32_t>(FlagOr(argc, argv, "checkpoint-ms", 50));
   config.rewind.nvm.heap_file = StringFlag(argc, argv, "heap-file");
+  config.optimistic_reads = !HasFlag(argc, argv, "no-optimistic-reads");
 
   std::printf("# ycsb workload=%c shards=%zu threads=%zu records=%lu "
-              "ops=%lu value=%zuB rewind=%s heap=%s\n",
+              "ops=%lu duration=%.2fs value=%zuB rewind=%s heap=%s "
+              "optimistic=%d\n",
               workload, config.shards, spec.threads,
               static_cast<unsigned long>(spec.record_count),
-              static_cast<unsigned long>(spec.op_count), spec.value_size,
+              static_cast<unsigned long>(spec.op_count),
+              spec.duration_seconds, spec.value_size,
               config.rewind.Label().c_str(),
               config.rewind.nvm.heap_file.empty()
                   ? "dram"
-                  : config.rewind.nvm.heap_file.c_str());
+                  : config.rewind.nvm.heap_file.c_str(),
+              config.optimistic_reads ? 1 : 0);
 
   KvStore store(config);
   WorkloadDriver driver(&store, spec);
@@ -73,10 +87,15 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long>(r.rmws));
 
   CsvTable table({"shard", "keys", "puts", "gets", "hits", "deletes",
-                  "scans", "multiput_keys", "kops_per_s"});
+                  "scans", "multiput_keys", "opt_hits", "opt_retries",
+                  "latched_reads", "kops_per_s"});
   double total_kops = 0;
+  std::uint64_t opt_hits = 0, opt_retries = 0, latched_reads = 0;
   for (std::size_t i = 0; i < store.shards(); ++i) {
     KvShardStats s = store.shard_stats(i);
+    opt_hits += s.optimistic_hits;
+    opt_retries += s.optimistic_retries;
+    latched_reads += s.read_latch_acquires;
     // A store-wide Scan bumps every shard's counter; attribute an even
     // share per shard so the kops column sums to the true rate.
     double shard_ops =
@@ -88,13 +107,24 @@ int Main(int argc, char** argv) {
                static_cast<double>(s.puts), static_cast<double>(s.gets),
                static_cast<double>(s.hits), static_cast<double>(s.deletes),
                static_cast<double>(s.scans),
-               static_cast<double>(s.multiput_keys), kops});
+               static_cast<double>(s.multiput_keys),
+               static_cast<double>(s.optimistic_hits),
+               static_cast<double>(s.optimistic_retries),
+               static_cast<double>(s.read_latch_acquires), kops});
   }
   double p50 = r.LatencyPercentileUs(50);
   double p99 = r.LatencyPercentileUs(99);
   std::printf("# total: %.1f kops/s across %zu shards (%.0f ops/s "
               "aggregate)\n",
               total_kops, store.shards(), r.throughput());
+  std::printf("# read path: optimistic=%lu retries=%lu latched=%lu; "
+              "2pc fan-out: parallel=%lu max_width=%lu\n",
+              static_cast<unsigned long>(opt_hits),
+              static_cast<unsigned long>(opt_retries),
+              static_cast<unsigned long>(latched_reads),
+              static_cast<unsigned long>(store.store_txn().parallel_prepares()),
+              static_cast<unsigned long>(
+                  store.store_txn().max_prepare_fanout()));
   if (spec.collect_latencies) {
     std::printf("# latency: p50=%.1fus p99=%.1fus\n", p50, p99);
   }
@@ -115,6 +145,14 @@ int Main(int argc, char** argv) {
              static_cast<std::uint64_t>(config.checkpoint_period_ms));
     json.Add("two_phase_commits", store.store_txn().two_phase_commits());
     json.Add("fast_commits", store.store_txn().fast_commits());
+    // Concurrent read path: how many Gets were served latch-free, how many
+    // seqlock validations conflicted, how many reads fell back to the
+    // shared latch — and how wide the 2PC prepare fan-out ran.
+    json.Add("optimistic_hits", opt_hits);
+    json.Add("optimistic_retries", opt_retries);
+    json.Add("read_latch_acquires", latched_reads);
+    json.Add("parallel_prepares", store.store_txn().parallel_prepares());
+    json.Add("max_prepare_fanout", store.store_txn().max_prepare_fanout());
     // Heap dimension: where the emulated NVM device lives and how much of
     // the arena the run consumed.
     json.Add("heap_mode",
@@ -122,6 +160,9 @@ int Main(int argc, char** argv) {
     json.Add("heap_used_bytes", store.heap_live_bytes());
     json.Add("heap_high_watermark", store.heap_high_watermark());
     json.Add("threads", static_cast<std::uint64_t>(spec.threads));
+    json.Add("duration_seconds", spec.duration_seconds);
+    json.Add("optimistic_reads",
+             static_cast<std::uint64_t>(config.optimistic_reads ? 1 : 0));
     json.Add("records", spec.record_count);
     json.Add("value_size", static_cast<std::uint64_t>(spec.value_size));
     json.Add("ops", r.ops());

@@ -76,7 +76,9 @@ int main(int argc, char** argv) {
     std::printf("keys=%lu acked_writes=%lu batches=%lu gets=%lu scans=%lu "
                 "connections=%lu shards=%lu batcher_depth=%lu "
                 "prepared_txns=%lu heap_mode=%s heap_used_bytes=%lu "
-                "heap_high_watermark=%lu\n",
+                "heap_high_watermark=%lu optimistic_hits=%lu "
+                "optimistic_retries=%lu read_latch_acquires=%lu "
+                "parallel_prepares=%lu max_prepare_fanout=%lu\n",
                 static_cast<unsigned long>(s.keys),
                 static_cast<unsigned long>(s.acked_writes),
                 static_cast<unsigned long>(s.batches),
@@ -88,7 +90,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long>(s.prepared_txns),
                 s.heap_mode != 0 ? "file" : "dram",
                 static_cast<unsigned long>(s.heap_used_bytes),
-                static_cast<unsigned long>(s.heap_high_watermark));
+                static_cast<unsigned long>(s.heap_high_watermark),
+                static_cast<unsigned long>(s.optimistic_hits),
+                static_cast<unsigned long>(s.optimistic_retries),
+                static_cast<unsigned long>(s.read_latch_acquires),
+                static_cast<unsigned long>(s.parallel_prepares),
+                static_cast<unsigned long>(s.max_prepare_fanout));
     return 0;
   }
   return Usage();

@@ -122,13 +122,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long>(
                   store->store_txn().two_phase_commits()),
               static_cast<unsigned long>(store->store_txn().fast_commits()));
+  std::printf("kv_server: read path optimistic_hits=%lu "
+              "optimistic_retries=%lu read_latch_acquires=%lu; 2pc fan-out "
+              "parallel_prepares=%lu max_width=%lu\n",
+              static_cast<unsigned long>(stats.optimistic_hits),
+              static_cast<unsigned long>(stats.optimistic_retries),
+              static_cast<unsigned long>(stats.read_latch_acquires),
+              static_cast<unsigned long>(stats.parallel_prepares),
+              static_cast<unsigned long>(stats.max_prepare_fanout));
   std::printf("kv_server: heap mode=%s used_bytes=%lu high_watermark=%lu\n",
               stats.heap_mode != 0 ? "file" : "dram",
               static_cast<unsigned long>(stats.heap_used_bytes),
               static_cast<unsigned long>(stats.heap_high_watermark));
   for (std::size_t s = 0; s < stats.shard_log_bytes.size(); ++s) {
-    std::printf("kv_server: shard %zu log_bytes=%lu\n", s,
-                static_cast<unsigned long>(stats.shard_log_bytes[s]));
+    std::printf("kv_server: shard %zu log_bytes=%lu read_latches=%lu\n", s,
+                static_cast<unsigned long>(stats.shard_log_bytes[s]),
+                s < stats.shard_read_latches.size()
+                    ? static_cast<unsigned long>(stats.shard_read_latches[s])
+                    : 0ul);
   }
   return 0;
 }

@@ -60,10 +60,14 @@ void TransactionManager::CheckpointLocked() {
       ends.push_back(r);
       return true;
     }
+    // Removal before the target free (same discipline as
+    // ClearTransactionLocked): a crash between the two leaks the block;
+    // the other order lets a crash replay the de-allocation against a
+    // block another transaction may have re-allocated meanwhile.
+    log_->Remove(r);
     if (r->type == LogRecordType::kDelete && it->second) {
       nvm_->Free(reinterpret_cast<void*>(r->addr));
     }
-    log_->Remove(r);
     gone.push_back(r);
     return true;
   });

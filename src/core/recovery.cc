@@ -278,6 +278,7 @@ void TransactionManager::ClearAllAfterRecovery() {
   table_.Clear();
   finished_txns_.clear();
   pending_writes_.clear();
+  pending_count_.store(0, std::memory_order_release);
 }
 
 void TransactionManager::Recover(const PrepareResolver& resolve_prepared) {

@@ -1,10 +1,12 @@
 #include "src/core/store_txn.h"
 
+#include <algorithm>
+#include <exception>
 #include <stdexcept>
 
 namespace rwd {
 
-StoreTxn::StoreTxn(Runtime* runtime)
+StoreTxn::StoreTxn(Runtime* runtime, std::size_t pool_threads)
     : runtime_(runtime),
       coordinator_(runtime->has_coordinator()
                        ? &runtime->tm(runtime->coordinator_partition())
@@ -14,6 +16,100 @@ StoreTxn::StoreTxn(Runtime* runtime)
     throw std::logic_error(
         "StoreTxn requires a Runtime built with a coordinator partition");
   }
+  // Pool sizing: `pool_threads` counts the calling thread, so W workers =
+  // width - 1. Auto (0) bounds the width by the widest possible commit
+  // (every participant partition) and by the hardware.
+  std::size_t width = pool_threads;
+  if (width == 0) {
+    std::size_t participants_max = runtime_->partitions() > 1
+                                       ? runtime_->partitions() - 1
+                                       : 1;
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 2;
+    width = std::min<std::size_t>({participants_max, hw, 8});
+  }
+  for (std::size_t i = 0; i + 1 < width; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+StoreTxn::~StoreTxn() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void StoreTxn::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    offloaded_tasks_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void StoreTxn::ForEachParticipant(
+    const std::vector<Participant>& participants, bool parallel,
+    const std::function<void(const Participant&)>& fn) {
+  std::size_t n = participants.size();
+  if (!parallel || n < 2 || workers_.empty()) {
+    for (const Participant& p : participants) fn(p);
+    return;
+  }
+  // Offload participants [1, n); the caller takes participant 0 — the
+  // phase's latency is max-of-shards, and a pool narrower than the batch
+  // still makes progress (tasks queue and drain as workers free up).
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    std::exception_ptr error;
+  };
+  auto join = std::make_shared<Join>();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (std::size_t i = 1; i < n; ++i) {
+      const Participant& p = participants[i];
+      queue_.emplace_back([join, &p, &fn] {
+        try {
+          fn(p);
+        } catch (...) {
+          std::lock_guard<std::mutex> l(join->mu);
+          if (!join->error) join->error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> l(join->mu);
+          ++join->done;
+        }
+        join->cv.notify_one();
+      });
+    }
+  }
+  queue_cv_.notify_all();
+  std::exception_ptr local;
+  try {
+    fn(participants[0]);
+  } catch (...) {
+    local = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(join->mu);
+    join->cv.wait(lock, [&] { return join->done == n - 1; });
+  }
+  // The caller's own failure wins (it fired first from this thread's point
+  // of view — notably an injected CrashException a crash-sweep test
+  // expects to catch); otherwise surface the first worker failure.
+  if (local) std::rethrow_exception(local);
+  if (join->error) std::rethrow_exception(join->error);
 }
 
 void StoreTxn::Commit(const std::vector<Participant>& participants) {
@@ -27,26 +123,39 @@ void StoreTxn::Commit(const std::vector<Participant>& participants) {
     fast_commits_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // With the crash injector armed the pool stands down: the injected
+  // CrashException must surface at a deterministic persistence-event
+  // ordinal on the calling thread, which a racing pool would scramble.
+  bool parallel = !runtime_->nvm().crash_injector().armed();
   std::uint64_t gtid = next_gtid_.fetch_add(1, std::memory_order_relaxed);
-  // Phase 1: every participant durable in the PREPARED state. A crash
-  // anywhere up to (and including) the decision append leaves no
-  // persistent TXN_COMMIT, so recovery rolls every shard back.
-  for (const Participant& p : participants) {
+  // Phase 1: every participant durable in the PREPARED state, fanned out
+  // across the pool and joined. A crash anywhere up to (and including)
+  // the decision append leaves no persistent TXN_COMMIT, so recovery
+  // rolls every shard back.
+  ForEachParticipant(participants, parallel, [this, gtid](const Participant& p) {
     runtime_->tm(p.partition).Prepare(p.tid, gtid);
     prepared_now_.fetch_add(1, std::memory_order_relaxed);
+  });
+  if (parallel && !workers_.empty()) {
+    parallel_prepares_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t width = participants.size();
+    std::uint64_t cur = max_prepare_fanout_.load(std::memory_order_relaxed);
+    while (cur < width && !max_prepare_fanout_.compare_exchange_weak(
+                              cur, width, std::memory_order_relaxed)) {
+    }
   }
   // The commit point: one durable decision record in the dedicated
   // partition. From here the global transaction WILL commit, crash or not.
   LogRecord* decision = coordinator_->LogDecision(gtid, /*commit=*/true);
-  // Phase 2: finish every shard transaction. CommitPrepared syncs each
-  // END's membership; the fence below — which doubles as the batch
-  // durability barrier the caller acks behind — persists them all before
-  // the decision record (the only thing that could still commit an
-  // END-less shard after a crash) is erased.
-  for (const Participant& p : participants) {
+  // Phase 2: finish every shard transaction, again max-of-shards wide.
+  // CommitPrepared syncs each END's membership; the fence below — which
+  // doubles as the batch durability barrier the caller acks behind —
+  // persists them all before the decision record (the only thing that
+  // could still commit an END-less shard after a crash) is erased.
+  ForEachParticipant(participants, parallel, [this](const Participant& p) {
     runtime_->tm(p.partition).CommitPrepared(p.tid);
     prepared_now_.fetch_sub(1, std::memory_order_relaxed);
-  }
+  });
   runtime_->CommitFence();
   coordinator_->EraseDecision(decision);
   two_phase_commits_.fetch_add(1, std::memory_order_relaxed);

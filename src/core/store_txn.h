@@ -14,6 +14,16 @@
 //   phase 2   every participant writes END (CommitPrepared); once all ENDs
 //             are persistent the decision record is erased again
 //
+// Both logging phases touch independent per-partition logs, so a wide
+// batch fans them out across a small internal worker pool (the caller
+// thread takes one participant itself) and joins before crossing into the
+// next protocol step: cross-shard commit latency is max-of-shards instead
+// of sum-of-shards, while the decision record keeps its place as the
+// single serialization point. The protocol's crash-atomicity argument is
+// untouched — it never depended on the order participants prepare in,
+// only on "all prepares durable before the decision, all ENDs durable
+// before the decision is erased", which the joins preserve.
+//
 // Recovery (Runtime::RecoverAllPartitions) replays the contract: prepared
 // transactions whose gtid has a persistent TXN_COMMIT are completed,
 // everything else rolls back — so the whole multi-shard write is
@@ -22,7 +32,12 @@
 #define REWIND_CORE_STORE_TXN_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/core/runtime.h"
@@ -46,7 +61,16 @@ class StoreTxn {
 
   /// The runtime must have been constructed with a coordinator partition;
   /// that partition's log holds only decision records.
-  explicit StoreTxn(Runtime* runtime);
+  ///
+  /// `pool_threads` sizes the prepare/commit fan-out: it is the total
+  /// parallelism of a phase *including the calling thread*, so 1 forces
+  /// the sequential pipeline (no pool at all) and 0 picks a width
+  /// automatically (bounded by the participant count the runtime can ever
+  /// produce and by the hardware). The pool also stands down whenever the
+  /// crash injector is armed, keeping crash-sweep tests deterministic and
+  /// delivering the injected CrashException on the calling thread.
+  explicit StoreTxn(Runtime* runtime, std::size_t pool_threads = 0);
+  ~StoreTxn();
 
   StoreTxn(const StoreTxn&) = delete;
   StoreTxn& operator=(const StoreTxn&) = delete;
@@ -54,10 +78,11 @@ class StoreTxn {
   /// Atomically commits the participants' open transactions. A single
   /// participant bypasses 2PC entirely (its shard transaction is already
   /// crash-atomic); several run the full prepare / decide / commit
-  /// pipeline above. Both paths end with exactly one store-wide
-  /// durability fence (Runtime::CommitFence), so callers ack right after
-  /// this returns — no additional fence needed. The caller holds the
-  /// shards' latches throughout, as KvStore's MultiPut/ApplyBatch do.
+  /// pipeline above, fanning each logging phase out across the pool. Both
+  /// paths end with exactly one store-wide durability fence
+  /// (Runtime::CommitFence), so callers ack right after this returns — no
+  /// additional fence needed. The caller holds the shards' latches
+  /// throughout, as KvStore's MultiPut/ApplyBatch do.
   void Commit(const std::vector<Participant>& participants);
 
   /// Rolls every participant back (no decision record needed: absence of
@@ -75,6 +100,19 @@ class StoreTxn {
   std::uint64_t two_phase_commits() const {
     return two_phase_commits_.load(std::memory_order_relaxed);
   }
+  /// Commits whose phases ran on the fan-out pool.
+  std::uint64_t parallel_prepares() const {
+    return parallel_prepares_.load(std::memory_order_relaxed);
+  }
+  /// Widest fan-out (participants of one parallel commit) seen so far.
+  std::uint64_t max_prepare_fanout() const {
+    return max_prepare_fanout_.load(std::memory_order_relaxed);
+  }
+  /// Total phase tasks executed by pool workers (excludes the caller's
+  /// own share; test hook proving work actually ran off-thread).
+  std::uint64_t offloaded_tasks() const {
+    return offloaded_tasks_.load(std::memory_order_relaxed);
+  }
 
   /// Clears the prepared gauge after a simulated power failure (the
   /// in-flight commit it counted no longer exists; recovery resolved it).
@@ -83,12 +121,34 @@ class StoreTxn {
   }
 
  private:
+  /// Applies `fn` to every participant. With `parallel` (and a live pool)
+  /// participants [1, n) are offloaded as pool tasks while the caller runs
+  /// participant 0, then joins; exceptions from any side are rethrown on
+  /// the calling thread after the join (first one wins). Sequential
+  /// otherwise.
+  void ForEachParticipant(const std::vector<Participant>& participants,
+                          bool parallel,
+                          const std::function<void(const Participant&)>& fn);
+
+  void WorkerLoop();
+
   Runtime* runtime_;
   TransactionManager* coordinator_;
   std::atomic<std::uint64_t> next_gtid_{1};
   std::atomic<std::uint64_t> prepared_now_{0};
   std::atomic<std::uint64_t> fast_commits_{0};
   std::atomic<std::uint64_t> two_phase_commits_{0};
+  std::atomic<std::uint64_t> parallel_prepares_{0};
+  std::atomic<std::uint64_t> max_prepare_fanout_{0};
+  std::atomic<std::uint64_t> offloaded_tasks_{0};
+
+  // Fan-out pool: a plain task queue so any number of concurrent Commit()
+  // calls (disjoint shard sets latch independently) can share the workers.
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
 };
 
 }  // namespace rwd

@@ -101,6 +101,7 @@ void TransactionManager::ApplyWriteLocked(std::uint64_t* addr,
     // The WAL protocol holds the user write back until its log record is
     // persistent; the group-flush callback releases it.
     pending_writes_.push_back({addr, value});
+    pending_count_.store(pending_writes_.size(), std::memory_order_release);
   } else if (config_.force()) {
     nvm_->StoreNT(addr, value);
   } else {
@@ -117,6 +118,8 @@ void TransactionManager::FlushPendingWrites() {
     }
   }
   pending_writes_.clear();
+  // Release: a reader observing 0 must also observe the stores above.
+  pending_count_.store(0, std::memory_order_release);
 }
 
 void TransactionManager::Log(std::uint32_t tid, std::uint64_t* addr,
@@ -151,14 +154,20 @@ void TransactionManager::Write(std::uint32_t tid, std::uint64_t* addr,
 
 std::uint64_t TransactionManager::Read(const std::uint64_t* addr) const {
   if (config_.two_layer() || config_.log_impl != LogImpl::kBatch) {
-    return *addr;
+    return RelaxedLoad64(addr);
+  }
+  // Lock-free when the deferral buffer is empty — the steady state for
+  // every thread but a writer inside its own critical section (commit,
+  // prepare and rollback all drain the buffer before returning).
+  if (pending_count_.load(std::memory_order_acquire) == 0) {
+    return RelaxedLoad64(addr);
   }
   std::lock_guard<std::mutex> lock(latch_);
   for (auto it = pending_writes_.rbegin(); it != pending_writes_.rend();
        ++it) {
     if (it->addr == addr) return it->value;
   }
-  return *addr;
+  return RelaxedLoad64(addr);
 }
 
 void TransactionManager::LogDelete(std::uint32_t tid, void* ptr) {
@@ -189,7 +198,18 @@ void TransactionManager::ClearTransactionLocked(std::uint32_t tid,
   // Force-policy clearing (paper Sections 2, 4.6): remove this
   // transaction's records, END last, so that a crash mid-clear leads the
   // next attempt down exactly the same path.
+  //
+  // DELETE targets are freed only AFTER their record has durably left the
+  // log (per record in 1L, after the atomic membership drop in 2L). The
+  // other order is a use-after-free under concurrency: free the target
+  // first and another shard's transaction may re-allocate the block before
+  // this clear finishes; if a crash then lands mid-clear, the DELETE
+  // record is still in the log, recovery replays the committed
+  // de-allocation, and the replay frees the OTHER transaction's live
+  // block. Removal-first turns that crash window into a bounded leak
+  // (crash-leak semantics, paper Section 4.3) instead.
   std::vector<LogRecord*> to_free;
+  std::vector<void*> delete_targets;
   LogRecord* end_rec = nullptr;
   if (config_.two_layer()) {
     std::vector<LogRecord*> recs = ChainRecordsLocked(tid);
@@ -198,13 +218,14 @@ void TransactionManager::ClearTransactionLocked(std::uint32_t tid,
         end_rec = r;
       } else {
         if (r->type == LogRecordType::kDelete && committed) {
-          nvm_->Free(reinterpret_cast<void*>(r->addr));
+          delete_targets.push_back(reinterpret_cast<void*>(r->addr));
         }
         to_free.push_back(r);
       }
     }
     index_->RemoveTxn(tid);  // atomic: drops all membership at once
     table_.Erase(tid);
+    for (void* target : delete_targets) nvm_->Free(target);
   } else {
     // One-layer logging keeps no per-transaction state, so clearing is a
     // full backward scan — this is exactly the commit-time cost that grows
@@ -219,10 +240,10 @@ void TransactionManager::ClearTransactionLocked(std::uint32_t tid,
         end_rec = r;
         continue;
       }
+      log_->Remove(r);
       if (r->type == LogRecordType::kDelete && committed) {
         nvm_->Free(reinterpret_cast<void*>(r->addr));
       }
-      log_->Remove(r);
       to_free.push_back(r);
     }
     if (end_rec != nullptr) log_->Remove(end_rec);
@@ -472,6 +493,7 @@ void TransactionManager::ForgetVolatileState() {
   std::lock_guard<std::mutex> lock(latch_);
   table_.Clear();
   pending_writes_.clear();
+  pending_count_.store(0, std::memory_order_release);
   finished_txns_.clear();
   next_lsn_ = 1;
   next_tid_.store(1, std::memory_order_relaxed);

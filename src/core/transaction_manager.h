@@ -80,7 +80,12 @@ class TransactionManager {
   void Write(std::uint32_t tid, std::uint64_t* addr, std::uint64_t value);
 
   /// Reads a persistent word with read-your-writes semantics under the
-  /// Batch log's deferral; a plain load otherwise.
+  /// Batch log's deferral; a relaxed-atomic load otherwise. Lock-free
+  /// whenever no writes are parked in the deferral buffer (an atomic
+  /// emptiness gauge is checked first), which is every instant outside a
+  /// writer's critical section: Commit/Prepare/Rollback all drain the
+  /// buffer before returning, so concurrent readers of a latched shard
+  /// never pay this manager's latch.
   std::uint64_t Read(const std::uint64_t* addr) const;
 
   /// Logs a deferred de-allocation; the memory is freed after commit
@@ -233,6 +238,10 @@ class TransactionManager {
   std::uint64_t next_lsn_ = 1;  // under latch_
 
   std::vector<PendingWrite> pending_writes_;  // Batch deferral
+  /// pending_writes_.size(), maintained under latch_ but readable without
+  /// it: Read()'s lock-free emptiness check (release-stored so a reader
+  /// seeing 0 also sees the flushed user values).
+  std::atomic<std::size_t> pending_count_{0};
   /// Finished but not yet cleared transactions -> true iff committed
   /// (rolled-back transactions must keep their DELETE targets alive).
   std::unordered_map<std::uint32_t, bool> finished_txns_;

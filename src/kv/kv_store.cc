@@ -2,8 +2,27 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+
+#include "src/nvm/atomic_mem.h"
 
 namespace rwd {
+namespace {
+
+/// Copies a value buffer's bytes with relaxed word loads (the latch-free
+/// read path may race a writer; the caller validates the seqlock after the
+/// copy and discards on conflict, so a torn copy is harmless).
+void CopyValueRelaxed(std::string* out, const std::uint64_t* payload,
+                      std::uint64_t size) {
+  out->resize(size);
+  std::size_t off = 0;
+  for (std::size_t w = 0; off < size; ++w, off += 8) {
+    std::uint64_t word = RelaxedLoad64(&payload[w]);
+    std::memcpy(&(*out)[off], &word, std::min<std::size_t>(8, size - off));
+  }
+}
+
+}  // namespace
 
 KvStore::KvStore(const KvConfig& config)
     : KvStore(config, Runtime::OpenMode::kCreate) {}
@@ -23,7 +42,8 @@ KvStore::KvStore(const KvConfig& config, Runtime::OpenMode open)
           config.rewind, std::max<std::size_t>(config.shards, 1) + 1,
           /*coordinator_partition=*/std::max<std::size_t>(config.shards, 1),
           open)),
-      store_txn_(std::make_unique<StoreTxn>(runtime_.get())) {
+      store_txn_(std::make_unique<StoreTxn>(runtime_.get(),
+                                            config.prepare_threads)) {
   std::size_t n = runtime_->partitions() - 1;
   NvmHeap& heap = runtime_->nvm().heap();
   shards_.reserve(n);
@@ -146,26 +166,77 @@ bool KvStore::DeleteInOp(Shard& s, std::uint64_t key) {
 bool KvStore::Put(std::uint64_t key, std::string_view value) {
   if (!ValidKey(key)) return false;
   Shard& s = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(s.mu);
-  ++s.stats.puts;
+  std::lock_guard<std::shared_mutex> lock(s.mu);
+  s.stats.puts.fetch_add(1, std::memory_order_relaxed);
+  WriteBegin(s);
   s.ops->BeginOp();
   PutInOp(s, key, value);
   s.ops->CommitOp();
+  WriteEnd(s);
+  return true;
+}
+
+bool KvStore::TryOptimisticGet(Shard& s, std::uint64_t key,
+                               std::string* value_out, bool* found) const {
+  std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+  if (s1 & 1) return false;  // a writer is mutating this shard right now
+  std::uint64_t ptr = 0;
+  bool present = s.secondary->GetRelaxed(key, &ptr);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.seq.load(std::memory_order_relaxed) != s1) return false;
+  if (!present) {
+    // Validated miss: the probe saw a stable table with no such key.
+    *found = false;
+    return true;
+  }
+  const auto* buf = reinterpret_cast<const std::uint64_t*>(ptr);
+  std::uint64_t size = RelaxedLoad64(&buf[0]);
+  // Re-validate before trusting `size`: a stable counter proves `buf` was
+  // the key's live buffer for the whole window (buffers are only freed —
+  // and thus only recycled/scrubbed — after a writer on this shard logged
+  // the overwrite or delete, which bumps the counter), so its header word
+  // is the genuine length, not a torn read of reused memory.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.seq.load(std::memory_order_relaxed) != s1) return false;
+  if (value_out != nullptr) {
+    CopyValueRelaxed(value_out, buf + 1, size);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) return false;
+  }
+  *found = true;
   return true;
 }
 
 bool KvStore::Get(std::uint64_t key, std::string* value_out) {
   if (!ValidKey(key)) return false;
   Shard& s = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(s.mu);
-  ++s.stats.gets;
+  s.stats.gets.fetch_add(1, std::memory_order_relaxed);
+  if (config_.optimistic_reads) {
+    // A couple of latch-free attempts; under a write burst the shared
+    // latch is cheaper than spinning on validation conflicts.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      bool found = false;
+      if (TryOptimisticGet(s, key, value_out, &found)) {
+        s.stats.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
+        if (found) s.stats.hits.fetch_add(1, std::memory_order_relaxed);
+        return found;
+      }
+      s.stats.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Shared-latch fallback: excludes writers only; concurrent readers
+  // proceed. With writers excluded the relaxed probe is exact (the Batch
+  // WAL deferral is drained before a writer releases its latch), so the
+  // locked path reads the same way the optimistic one does.
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  s.stats.read_latch_acquires.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t ptr = 0;
-  if (!s.secondary->Get(s.ops.get(), key, &ptr)) return false;
-  ++s.stats.hits;
+  if (!s.secondary->GetRelaxed(key, &ptr)) return false;
+  s.stats.hits.fetch_add(1, std::memory_order_relaxed);
   const auto* buf = reinterpret_cast<const std::uint64_t*>(ptr);
-  std::uint64_t size = s.ops->Load(&buf[0]);
+  std::uint64_t size = RelaxedLoad64(&buf[0]);
   if (value_out != nullptr) {
-    value_out->assign(reinterpret_cast<const char*>(buf + 1), size);
+    CopyValueRelaxed(value_out, buf + 1, size);
   }
   return true;
 }
@@ -173,13 +244,15 @@ bool KvStore::Get(std::uint64_t key, std::string* value_out) {
 bool KvStore::Delete(std::uint64_t key) {
   if (!ValidKey(key)) return false;
   Shard& s = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(s.mu);
-  ++s.stats.deletes;
+  std::lock_guard<std::shared_mutex> lock(s.mu);
+  s.stats.deletes.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t ptr = 0;
   if (!s.secondary->Get(s.ops.get(), key, &ptr)) return false;
+  WriteBegin(s);
   s.ops->BeginOp();
   EraseInOp(s, key, ptr);
   s.ops->CommitOp();
+  WriteEnd(s);
   return true;
 }
 
@@ -187,8 +260,12 @@ std::size_t KvStore::Scan(
     std::uint64_t from_key, std::size_t max_items,
     const std::function<bool(std::uint64_t, std::string_view)>& fn) {
   if (max_items == 0) return 0;
-  // Shard-ordered latch acquisition: the scan sees one consistent cut.
-  std::vector<std::unique_lock<std::mutex>> locks;
+  // Shard-ordered SHARED latch acquisition: the scan still sees one
+  // consistent cut (writers are excluded from every shard at once) but no
+  // longer blocks other readers — scans and gets overlap freely. The
+  // merge-sort across per-shard prefixes stays; range-partitioned sharding
+  // (so a scan streams one shard at a time) is a ROADMAP follow-up.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (auto& s : shards_) locks.emplace_back(s->mu);
 
@@ -200,7 +277,7 @@ std::size_t KvStore::Scan(
   std::vector<Item> items;
   for (auto& sp : shards_) {
     Shard& s = *sp;
-    ++s.stats.scans;
+    s.stats.scans.fetch_add(1, std::memory_order_relaxed);
     StorageOps* ops = s.ops.get();
     s.primary->ScanRange(
         ops, from_key, ~std::uint64_t{0}, max_items,
@@ -236,32 +313,37 @@ bool KvStore::MultiPut(
       by_shard(shards_.size());
   for (const auto& kv : kvs) by_shard[ShardOf(kv.first)].push_back(&kv);
 
-  // Latch the involved shards in ascending shard order, open one
+  // Latch the involved shards exclusive in ascending shard order, open one
   // transaction per shard, apply, then commit them all.
   std::vector<std::size_t> involved;
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (by_shard[i].empty()) continue;
     involved.push_back(i);
     locks.emplace_back(shards_[i]->mu);
   }
-  for (std::size_t i : involved) shards_[i]->ops->BeginOp();
+  for (std::size_t i : involved) {
+    WriteBegin(*shards_[i]);
+    shards_[i]->ops->BeginOp();
+  }
   for (std::size_t i : involved) {
     Shard& s = *shards_[i];
     for (const auto* kv : by_shard[i]) {
       PutInOp(s, kv->first, kv->second);
-      ++s.stats.multiput_keys;
+      s.stats.multiput_keys.fetch_add(1, std::memory_order_relaxed);
     }
   }
   CommitInvolved(involved);
+  for (std::size_t i : involved) WriteEnd(*shards_[i]);
   return true;
 }
 
 void KvStore::CommitInvolved(const std::vector<std::size_t>& involved) {
   // Shard index == Runtime partition index, so the open transactions map
   // directly onto two-phase commit participants. One shard takes the
-  // plain-commit fast path inside StoreTxn. Either way StoreTxn ends
-  // with the batch's single durability fence.
+  // plain-commit fast path inside StoreTxn; several fan the prepare and
+  // commit phases out across StoreTxn's worker pool. Either way StoreTxn
+  // ends with the batch's single durability fence.
   std::vector<StoreTxn::Participant> participants;
   participants.reserve(involved.size());
   for (std::size_t i : involved) {
@@ -278,18 +360,22 @@ void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
     op.applied = false;
     if (ValidKey(op.key)) by_shard[ShardOf(op.key)].push_back(&op);
   }
-  // Latch the involved shards in ascending shard order (the same order
-  // Scan and MultiPut use, so batches cannot deadlock against either),
-  // open ONE transaction per shard, apply, commit them as one two-phase
-  // decision, then pay a single durability fence for the whole batch.
+  // Latch the involved shards exclusive in ascending shard order (the same
+  // order Scan and MultiPut use, so batches cannot deadlock against
+  // either), open ONE transaction per shard, apply, commit them as one
+  // two-phase decision, then pay a single durability fence for the whole
+  // batch.
   std::vector<std::size_t> involved;
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (by_shard[i].empty()) continue;
     involved.push_back(i);
     locks.emplace_back(shards_[i]->mu);
   }
-  for (std::size_t i : involved) shards_[i]->ops->BeginOp();
+  for (std::size_t i : involved) {
+    WriteBegin(*shards_[i]);
+    shards_[i]->ops->BeginOp();
+  }
   for (std::size_t i : involved) {
     Shard& s = *shards_[i];
     for (KvWriteOp* op : by_shard[i]) {
@@ -299,18 +385,33 @@ void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
       } else {
         op->applied = DeleteInOp(s, op->key);
       }
-      ++s.stats.batched_writes;
+      s.stats.batched_writes.fetch_add(1, std::memory_order_relaxed);
     }
   }
   CommitInvolved(involved);
+  for (std::size_t i : involved) WriteEnd(*shards_[i]);
 }
 
 void KvStore::CrashAndRecover(double evict_probability, std::uint64_t seed) {
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (auto& s : shards_) locks.emplace_back(s->mu);
+  // Recovery rewrites arena words without going through the per-shard
+  // writer protocol, and optimistic readers take no latch — so force every
+  // shard's seqlock odd for the duration (a reader starting now bails
+  // immediately; one already mid-probe fails its re-validation), then
+  // advance to a fresh even value. This also re-evens counters left odd by
+  // writers the simulated power failure killed mid-mutation.
+  for (auto& s : shards_) {
+    s->seq.fetch_add(s->seq.load(std::memory_order_relaxed) % 2 ? 2 : 1,
+                     std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_release);
   runtime_->CrashAndRecover(evict_probability, seed);
   store_txn_->ResetAfterCrash();
+  for (auto& s : shards_) {
+    s->seq.fetch_add(1, std::memory_order_release);
+  }
   if (config_.checkpoint_period_ms != 0) {
     StartCheckpointDaemons(config_.checkpoint_period_ms);
   }
@@ -336,7 +437,7 @@ void KvStore::CheckpointShard(std::size_t shard) {
 std::uint64_t KvStore::Size() {
   std::uint64_t total = 0;
   for (auto& sp : shards_) {
-    std::lock_guard<std::mutex> lock(sp->mu);
+    std::shared_lock<std::shared_mutex> lock(sp->mu);
     total += sp->primary->size(sp->ops.get());
   }
   return total;
@@ -344,16 +445,35 @@ std::uint64_t KvStore::Size() {
 
 KvShardStats KvStore::shard_stats(std::size_t shard) {
   Shard& s = *shards_[shard];
-  std::lock_guard<std::mutex> lock(s.mu);
-  KvShardStats stats = s.stats;
+  KvShardStats stats;
+  stats.puts = s.stats.puts.load(std::memory_order_relaxed);
+  stats.gets = s.stats.gets.load(std::memory_order_relaxed);
+  stats.hits = s.stats.hits.load(std::memory_order_relaxed);
+  stats.deletes = s.stats.deletes.load(std::memory_order_relaxed);
+  stats.scans = s.stats.scans.load(std::memory_order_relaxed);
+  stats.multiput_keys = s.stats.multiput_keys.load(std::memory_order_relaxed);
+  stats.batched_writes =
+      s.stats.batched_writes.load(std::memory_order_relaxed);
+  stats.optimistic_hits =
+      s.stats.optimistic_hits.load(std::memory_order_relaxed);
+  stats.optimistic_retries =
+      s.stats.optimistic_retries.load(std::memory_order_relaxed);
+  stats.read_latch_acquires =
+      s.stats.read_latch_acquires.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
   stats.keys = s.primary->size(s.ops.get());
   return stats;
 }
 
 void KvStore::ResetStats() {
   for (auto& sp : shards_) {
-    std::lock_guard<std::mutex> lock(sp->mu);
-    sp->stats = KvShardStats{};
+    ShardCounters& c = sp->stats;
+    for (std::atomic<std::uint64_t>* a :
+         {&c.puts, &c.gets, &c.hits, &c.deletes, &c.scans, &c.multiput_keys,
+          &c.batched_writes, &c.optimistic_hits, &c.optimistic_retries,
+          &c.read_latch_acquires}) {
+      a->store(0, std::memory_order_relaxed);
+    }
   }
 }
 

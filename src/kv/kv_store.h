@@ -6,10 +6,11 @@
 #ifndef REWIND_KV_KV_STORE_H_
 #define REWIND_KV_KV_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -38,6 +39,15 @@ struct KvConfig {
   std::uint32_t checkpoint_period_ms = 0;
   /// Initial capacity of each shard's secondary hash index.
   std::size_t secondary_initial_capacity = 64;
+  /// Seqlock fast path for Get: probe the secondary index latch-free and
+  /// validate the shard's sequence counter afterwards, so the dominant
+  /// read-mostly op never touches the shard latch's cacheline. Reads fall
+  /// back to the shared latch after repeated validation conflicts.
+  bool optimistic_reads = true;
+  /// Threads in the two-phase-commit prepare/commit fan-out pool
+  /// (StoreTxn): 0 sizes it automatically from the hardware, 1 forces the
+  /// sequential (pre-fan-out) pipeline.
+  std::size_t prepare_threads = 0;
 };
 
 /// Per-shard operation counters (volatile; reset by ResetStats()).
@@ -50,6 +60,10 @@ struct KvShardStats {
   std::uint64_t multiput_keys = 0;
   std::uint64_t batched_writes = 0;  ///< ops applied through ApplyBatch
   std::uint64_t keys = 0;  ///< live keys (snapshot; filled by shard_stats())
+  // --- concurrent read path ---
+  std::uint64_t optimistic_hits = 0;     ///< Gets served latch-free
+  std::uint64_t optimistic_retries = 0;  ///< seqlock validation conflicts
+  std::uint64_t read_latch_acquires = 0; ///< shared-mode latch acquisitions
 };
 
 /// One write in an ApplyBatch group commit: a put or a delete, plus the
@@ -77,9 +91,23 @@ struct KvWriteOp {
 /// pointer swing and the old buffer is deferred-freed — the same
 /// publish-then-swing idiom the B+-tree uses for splits.
 ///
-/// Thread safety: every operation latches its shard; Scan / MultiPut /
-/// CrashAndRecover latch all involved shards in ascending shard order
-/// (shard-ordered acquisition, so they cannot deadlock against each other).
+/// Thread safety — the latch hierarchy, top down:
+///   1. Readers first try the *optimistic* path: no latch at all. A
+///      per-shard seqlock (even = stable, odd = writer in progress) is read,
+///      the secondary index probed and the value copied with relaxed atomic
+///      loads, and the seqlock re-validated; any conflict discards the
+///      attempt. Correct because writers drain the Batch WAL deferral
+///      before re-evening the counter, and freed buffers stay mapped (a
+///      racy probe reads garbage, never faults, and is always discarded).
+///   2. On conflict (or when KvConfig::optimistic_reads is off) Get — and
+///      always Scan — take the shard latch in *shared* mode: readers run
+///      concurrently with each other and exclude only writers.
+///   3. Writers (Put/Delete/MultiPut/ApplyBatch) take their shards'
+///      latches *exclusive* and bump the seqlock around the mutation.
+/// Scan / MultiPut / ApplyBatch / CrashAndRecover latch all involved
+/// shards in ascending shard order (shard-ordered acquisition, so they
+/// cannot deadlock against each other; shared and exclusive acquisitions
+/// of the same ordered set cannot either).
 ///
 /// Valid keys are [1, 2^64-2]: 0 and ~0 are the secondary index's empty and
 /// tombstone sentinels. Operations on invalid keys return false.
@@ -216,13 +244,54 @@ class KvStore {
 
   /// Attach body of Open().
   KvStore(const KvConfig& config, Runtime::OpenMode open);
-  struct Shard {
+
+  /// Per-shard counters, relaxed-atomic so concurrent shared-mode readers
+  /// (and the latch-free fast path) can bump them without racing.
+  struct ShardCounters {
+    std::atomic<std::uint64_t> puts{0};
+    std::atomic<std::uint64_t> gets{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> deletes{0};
+    std::atomic<std::uint64_t> scans{0};
+    std::atomic<std::uint64_t> multiput_keys{0};
+    std::atomic<std::uint64_t> batched_writes{0};
+    std::atomic<std::uint64_t> optimistic_hits{0};
+    std::atomic<std::uint64_t> optimistic_retries{0};
+    std::atomic<std::uint64_t> read_latch_acquires{0};
+  };
+
+  struct alignas(64) Shard {
     std::unique_ptr<RewindOps> ops;
     std::unique_ptr<BTree> primary;
     std::unique_ptr<PHash> secondary;
-    std::mutex mu;
-    KvShardStats stats;
+    /// Reader-writer latch: Get (fallback) and Scan shared, writers
+    /// exclusive.
+    std::shared_mutex mu;
+    /// Seqlock for the latch-free read path: even = stable, odd = a writer
+    /// is mutating. Bumped (odd, then even) around every mutation while
+    /// the exclusive latch is held; re-evened by CrashAndRecover for
+    /// writers that died mid-bump to a simulated power failure.
+    std::atomic<std::uint64_t> seq{0};
+    ShardCounters stats;
   };
+
+  /// Seqlock writer protocol. Begin: the odd bump must become visible
+  /// before any of the mutation's data stores (release fence = StoreStore
+  /// barrier), so a reader that observed new data cannot miss the odd
+  /// counter. End: release increment pairing with readers' acquire load.
+  static void WriteBegin(Shard& s) {
+    s.seq.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  static void WriteEnd(Shard& s) {
+    s.seq.fetch_add(1, std::memory_order_release);
+  }
+
+  /// One latch-free Get attempt. Returns false on a seqlock conflict
+  /// (caller retries or falls back); on true, `*found` and `*value_out`
+  /// carry a validated result.
+  bool TryOptimisticGet(Shard& s, std::uint64_t key, std::string* value_out,
+                        bool* found) const;
 
   static bool ValidKey(std::uint64_t key) {
     return key != 0 && key != ~std::uint64_t{0};

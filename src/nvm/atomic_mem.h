@@ -1,0 +1,95 @@
+// Relaxed-atomic word accessors for emulated-NVM memory.
+//
+// The concurrent read path (RewindKV's seqlock Gets) probes arena memory
+// without holding any shard latch, validating a per-shard sequence counter
+// afterwards and discarding whatever it read on conflict. For that to be a
+// defined execution (and ThreadSanitizer-clean), every racing access to
+// arena words must be atomic: readers use relaxed loads, and every store
+// the device emulation performs — cached stores, non-temporal stores,
+// recycled-block scrubbing, persistent-image writeback — uses relaxed
+// stores. On x86-64 and AArch64 a relaxed aligned load/store of 8 bytes
+// compiles to a plain MOV/LDR, so the "DRAM speed" read path stays exactly
+// that; the only effect is to give the race the semantics the seqlock
+// already assumes (a racy read returns *some* bytes, never UB).
+#ifndef REWIND_NVM_ATOMIC_MEM_H_
+#define REWIND_NVM_ATOMIC_MEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rwd {
+
+inline std::uint64_t RelaxedLoad64(const std::uint64_t* addr) {
+  return __atomic_load_n(addr, __ATOMIC_RELAXED);
+}
+
+inline void RelaxedStore64(std::uint64_t* addr, std::uint64_t value) {
+  __atomic_store_n(addr, value, __ATOMIC_RELAXED);
+}
+
+/// memcpy with relaxed-atomic element accesses: whole words where both
+/// pointers are 8-aligned, bytes otherwise. Used wherever the device
+/// emulation bulk-copies memory that a latch-free reader may be probing.
+inline void AtomicCopy(void* dst, const void* src, std::size_t bytes) {
+  auto* d = static_cast<unsigned char*>(dst);
+  auto* s = static_cast<const unsigned char*>(src);
+  if ((reinterpret_cast<std::uintptr_t>(d) & 7) == 0 &&
+      (reinterpret_cast<std::uintptr_t>(s) & 7) == 0) {
+    for (; bytes >= 8; bytes -= 8, d += 8, s += 8) {
+      RelaxedStore64(reinterpret_cast<std::uint64_t*>(d),
+                     RelaxedLoad64(reinterpret_cast<const std::uint64_t*>(s)));
+    }
+  }
+  for (; bytes > 0; --bytes, ++d, ++s) {
+    __atomic_store_n(d, __atomic_load_n(s, __ATOMIC_RELAXED),
+                     __ATOMIC_RELAXED);
+  }
+}
+
+/// Relaxed store of any trivially-copyable value of power-of-two size up
+/// to a word; larger objects fall back to AtomicCopy.
+template <typename T>
+inline void RelaxedStore(T* addr, const T& value) {
+  if constexpr (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                sizeof(T) == 8) {
+    __atomic_store(addr, const_cast<T*>(&value), __ATOMIC_RELAXED);
+  } else {
+    AtomicCopy(addr, &value, sizeof(T));
+  }
+}
+
+/// Release store of a word-or-smaller value. The device emulation uses
+/// this for every *critical* (publishing) store — a latch-free reader
+/// that observes the stored value through an acquire fence then also
+/// observes everything the writer wrote before it (off-line buffer
+/// initialization, the new hash table behind a swung table pointer, a
+/// doubled capacity's table). Free on x86 (plain MOV); one STLR on ARM,
+/// paid by writers only. Word-sized only BY DESIGN: a multi-word value
+/// cannot be published atomically, so accepting one here would silently
+/// void the ordering contract — publish a pointer to it instead.
+template <typename T>
+inline void ReleaseStore(T* addr, const T& value) {
+  static_assert(sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                    sizeof(T) == 8,
+                "ReleaseStore publishes single words; store a pointer to "
+                "larger objects");
+  __atomic_store(addr, const_cast<T*>(&value), __ATOMIC_RELEASE);
+}
+
+/// memset(0) with relaxed-atomic stores (recycled-block scrubbing).
+inline void AtomicZero(void* dst, std::size_t bytes) {
+  auto* d = static_cast<unsigned char*>(dst);
+  if ((reinterpret_cast<std::uintptr_t>(d) & 7) == 0) {
+    for (; bytes >= 8; bytes -= 8, d += 8) {
+      RelaxedStore64(reinterpret_cast<std::uint64_t*>(d), 0);
+    }
+  }
+  for (; bytes > 0; --bytes, ++d) {
+    __atomic_store_n(d, static_cast<unsigned char>(0), __ATOMIC_RELAXED);
+  }
+}
+
+}  // namespace rwd
+
+#endif  // REWIND_NVM_ATOMIC_MEM_H_

@@ -27,18 +27,36 @@ class CrashException : public std::exception {
 /// Counts persistence events (non-temporal stores, flushes, fences) and
 /// throws CrashException when a preset ordinal is reached. Disarmed by
 /// default. Exhaustive recovery tests arm it at every ordinal in turn.
+///
+/// The crash is STICKY: once it has fired, every subsequent persistence
+/// event — on any thread — throws too, until Disarm()/SimulateCrash().
+/// A power failure stops the whole machine, not one thread: without
+/// stickiness, a concurrent test's other threads would keep appending to
+/// shared logs *through the crash point*, building on the interrupted
+/// thread's half-updated volatile state and persisting structures no real
+/// crash could produce (recovery then walks garbage). With stickiness a
+/// surviving thread completes at most the persistence event it is already
+/// inside — indistinguishable from a store that was in flight when the
+/// power died — and aborts at its next one.
 class CrashInjector {
  public:
   /// Arms the injector: the `at_event`-th subsequent persistence event
   /// (1-based) throws.
   void Arm(std::uint64_t at_event) {
     counter_.store(0, std::memory_order_relaxed);
+    fired_.store(false, std::memory_order_relaxed);
     target_.store(at_event, std::memory_order_relaxed);
   }
 
-  /// Disarms the injector.
-  void Disarm() { target_.store(0, std::memory_order_relaxed); }
+  /// Disarms the injector ("the machine is serviceable again"); always
+  /// called before recovery runs (SimulateCrash disarms internally).
+  void Disarm() {
+    target_.store(0, std::memory_order_relaxed);
+    fired_.store(false, std::memory_order_relaxed);
+  }
 
+  /// True while armed and not yet fired (the post-fire dead-machine state
+  /// reports false, so sweep loops can wait for the shot to land).
   bool armed() const { return target_.load(std::memory_order_relaxed) != 0; }
 
   /// Number of persistence events observed since the last Arm().
@@ -48,10 +66,15 @@ class CrashInjector {
 
   /// Called by the NVM manager on every persistence event.
   void OnPersistEvent() {
+    if (fired_.load(std::memory_order_relaxed)) {
+      // The machine is dead; every further persistence attempt dies too.
+      throw CrashException(counter_.load(std::memory_order_relaxed));
+    }
     std::uint64_t target = target_.load(std::memory_order_relaxed);
     if (target == 0) return;
     std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (n == target) {
+      fired_.store(true, std::memory_order_relaxed);
       target_.store(0, std::memory_order_relaxed);
       throw CrashException(n);
     }
@@ -60,6 +83,7 @@ class CrashInjector {
  private:
   std::atomic<std::uint64_t> counter_{0};
   std::atomic<std::uint64_t> target_{0};
+  std::atomic<bool> fired_{false};
 };
 
 }  // namespace rwd

@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+
+#include "src/nvm/atomic_mem.h"
 #include <cstring>
 
 #ifndef MAP_FIXED_NOREPLACE
@@ -388,12 +390,15 @@ void* NvmHeap::Alloc(std::size_t bytes) {
     it->second.pop_back();
     blocks_[p].live = true;
     AssertNoRootOverlap(OffsetOf(p), bytes);
-    std::memset(p, 0, bytes);
+    // Word-atomic scrub: a latch-free seqlock reader may still be probing
+    // the recycled block through a stale index pointer (it will discard
+    // what it reads when the shard's sequence counter fails to validate).
+    AtomicZero(p, bytes);
     if (image_ != nullptr) {
       // Allocator contract: blocks are handed out persistently zeroed (a
       // real NVM allocator scrubs recycled blocks the same way), so callers
       // need not persist bytes they never write.
-      std::memset(image_ + OffsetOf(p), 0, bytes);
+      AtomicZero(image_ + OffsetOf(p), bytes);
     }
     return p;
   }

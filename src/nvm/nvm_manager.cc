@@ -36,14 +36,18 @@ void NvmManager::MarkDirty(const void* addr, std::size_t bytes) {
 void NvmManager::PersistLine(std::size_t line) {
   std::size_t off = line * line_bytes_;
   std::size_t n = std::min<std::size_t>(line_bytes_, heap_.size() - off);
-  std::memcpy(heap_.image() + off, heap_.data() + off, n);
+  // Word-atomic copy: the view side may be racing with writers' cached
+  // stores (a flush writes back whatever the line holds mid-race) and with
+  // latch-free seqlock readers; the image side may be racing with an
+  // unlatched PersistBytes of a word in the same line.
+  AtomicCopy(heap_.image() + off, heap_.data() + off, n);
   dirty_[line] = 0;
 }
 
 void NvmManager::PersistBytes(const void* addr, std::size_t bytes) {
   if (!heap_.Contains(addr)) return;
   std::size_t off = heap_.OffsetOf(addr);
-  std::memcpy(heap_.image() + off, heap_.data() + off, bytes);
+  AtomicCopy(heap_.image() + off, heap_.data() + off, bytes);
   // A non-temporal store leaves the rest of its line untouched in NVM; the
   // line may still be dirty from earlier cached stores, so the dirty bit is
   // left alone.
@@ -61,16 +65,21 @@ void NvmManager::ChargeWrite(const void* addr) {
 }
 
 void NvmManager::PersistRangeNT(const void* addr, std::size_t bytes) {
+  // Crash check before the image copy: an injected crash at this event
+  // means none of the range reached NVM (see StoreNT).
+  crash_injector_.OnPersistEvent();
   if (tracking_) PersistBytes(addr, bytes);
   auto p = reinterpret_cast<std::uintptr_t>(addr);
   auto end = p + bytes;
   for (auto line = p / line_bytes_; line * line_bytes_ < end; ++line) {
     ChargeWrite(reinterpret_cast<const void*>(line * line_bytes_));
   }
-  crash_injector_.OnPersistEvent();
 }
 
 void NvmManager::Flush(const void* addr) {
+  // Crash check before the writeback: a crash at this event loses the
+  // line (see StoreNT).
+  crash_injector_.OnPersistEvent();
   stats_.flushes.fetch_add(1, std::memory_order_relaxed);
   if (tracking_ && heap_.Contains(addr)) {
     // Persist unconditionally: a flush writes back whatever the cacheline
@@ -80,7 +89,6 @@ void NvmManager::Flush(const void* addr) {
     PersistLine(line);
   }
   ChargeWrite(addr);
-  crash_injector_.OnPersistEvent();
 }
 
 void NvmManager::FlushRange(const void* addr, std::size_t bytes) {
@@ -95,10 +103,10 @@ void NvmManager::FlushRange(const void* addr, std::size_t bytes) {
 }
 
 void NvmManager::Fence() {
+  crash_injector_.OnPersistEvent();
   stats_.fences.fetch_add(1, std::memory_order_relaxed);
   LatencyEmulator::Spin(config_.fence_latency_ns);
   last_nt_ = {nullptr, 0, 0};  // a fence ends any coalescing run
-  crash_injector_.OnPersistEvent();
 }
 
 std::size_t NvmManager::FlushAllDirty() {
@@ -107,6 +115,10 @@ std::size_t NvmManager::FlushAllDirty() {
     Fence();
     return 0;
   }
+  // One crash check for the whole bulk writeback (the per-line fast path
+  // deliberately skips the per-Flush accounting), so a dead machine's
+  // checkpoint cannot keep persisting lines.
+  crash_injector_.OnPersistEvent();
   std::size_t flushed = 0;
   {
     std::lock_guard<std::mutex> lock(dirty_mu_);

@@ -9,6 +9,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/nvm/atomic_mem.h"
 #include "src/nvm/crash.h"
 #include "src/nvm/latency.h"
 #include "src/nvm/nvm_config.h"
@@ -64,11 +65,17 @@ class NvmManager {
   /// discipline; the heap itself does not check).
   void Free(void* ptr) { heap_.Free(ptr); }
 
-  /// Regular cached store: volatile until flushed/evicted.
+  /// Regular cached store: volatile until flushed/evicted. Atomic at word
+  /// granularity so a latch-free seqlock reader racing with it is a
+  /// defined (and TSan-clean) execution, and RELEASE-ordered because this
+  /// is the critical-store path that publishes pointers (a value-buffer
+  /// cell, a grown hash table and its capacity): a reader whose relaxed
+  /// load observes the published word through an acquire fence must also
+  /// observe everything stored before it — see atomic_mem.h.
   template <typename T>
   void Store(T* addr, const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    *addr = value;
+    ReleaseStore(addr, value);
     stats_.cached_stores.fetch_add(1, std::memory_order_relaxed);
     if (tracking_) MarkDirty(addr, sizeof(T));
   }
@@ -78,7 +85,7 @@ class NvmManager {
   template <typename T>
   void StoreObject(T* addr, const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::memcpy(static_cast<void*>(addr), &value, sizeof(T));
+    AtomicCopy(static_cast<void*>(addr), &value, sizeof(T));
     stats_.cached_stores.fetch_add(1, std::memory_order_relaxed);
     if (tracking_) MarkDirty(addr, sizeof(T));
   }
@@ -86,13 +93,22 @@ class NvmManager {
   /// Non-temporal store of a word-sized value: persistent on completion.
   /// Charges one NVM write unless it coalesces with the immediately
   /// preceding non-temporal store to the same cacheline on this thread.
+  /// Release-ordered like Store(): under the force policy the critical
+  /// (publishing) user stores come through here.
   template <typename T>
   void StoreNT(T* addr, const T& value) {
     static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
-    *addr = value;
+    // The crash check comes FIRST: an injected crash at this event means
+    // the power died before the store completed, so it must not reach the
+    // view or the persistent image at all. This also protects a sticky
+    // post-crash injector (see CrashInjector): a thread that survived the
+    // crash instant may reach here with an address computed from another
+    // thread's interrupted volatile state, and must die before
+    // dereferencing it.
+    crash_injector_.OnPersistEvent();
+    ReleaseStore(addr, value);
     if (tracking_) PersistBytes(addr, sizeof(T));
     ChargeWrite(addr);
-    crash_injector_.OnPersistEvent();
   }
 
   /// Non-temporal store of an arbitrary trivially-copyable object, emulating
@@ -100,7 +116,7 @@ class NvmManager {
   template <typename T>
   void StoreNTObject(T* addr, const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::memcpy(static_cast<void*>(addr), &value, sizeof(T));
+    AtomicCopy(static_cast<void*>(addr), &value, sizeof(T));
     PersistRangeNT(addr, sizeof(T));
   }
 

@@ -13,9 +13,11 @@
 //   DEL   key:u64                      -> OK | NOT_FOUND (after commit)
 //   SCAN  from:u64 max:u32             -> OK n:u32 n*(key:u64 len:u32 bytes)
 //   MPUT  n:u32 n*(key:u64 len:u32 bytes) -> OK (cross-shard atomic batch)
-//   STATS (empty)                      -> OK 13*u64 + shards*u64
+//   STATS (empty)                      -> OK 18*u64 + 2*shards*u64
 //                                         (see StatsReply; the trailing
-//                                         array is per-shard log bytes)
+//                                         arrays are per-shard log bytes,
+//                                         then per-shard read-latch
+//                                         acquisitions)
 #ifndef REWIND_SERVER_PROTOCOL_H_
 #define REWIND_SERVER_PROTOCOL_H_
 
@@ -54,8 +56,9 @@ constexpr std::uint32_t kMaxScanItems = 4096;
 /// frame the kMaxFrameBytes check would reject.
 constexpr std::uint32_t kMaxScanReplyBytes = 8u << 20;
 
-/// STATS response payload: 13 fixed words in wire order, then `shards`
-/// trailing words of per-shard log-partition bytes.
+/// STATS response payload: 18 fixed words in wire order, then two
+/// `shards`-sized trailing arrays (per-shard log-partition bytes, then
+/// per-shard shared-mode read-latch acquisitions).
 struct StatsReply {
   std::uint64_t keys = 0;           ///< live keys across all shards
   std::uint64_t acked_writes = 0;   ///< write ops acked (PUT/DEL/MPUT keys)
@@ -70,9 +73,18 @@ struct StatsReply {
   std::uint64_t heap_mode = 0;      ///< 0 = DRAM-backed, 1 = file-backed
   std::uint64_t heap_used_bytes = 0;      ///< NVM allocator live bytes
   std::uint64_t heap_high_watermark = 0;  ///< arena bump offset
+  // --- concurrent read path / parallel 2PC (PR 5) ---
+  std::uint64_t optimistic_hits = 0;     ///< Gets served latch-free
+  std::uint64_t optimistic_retries = 0;  ///< seqlock validation conflicts
+  std::uint64_t read_latch_acquires = 0; ///< shared-latch reads (all shards)
+  std::uint64_t parallel_prepares = 0;   ///< 2PC commits run on the pool
+  std::uint64_t max_prepare_fanout = 0;  ///< widest parallel commit seen
   std::vector<std::uint64_t> shard_log_bytes;  ///< live log bytes per shard
+  /// Per-shard shared-mode read-latch acquisitions (optimistic fallbacks
+  /// plus scans), exposing per-shard read skew.
+  std::vector<std::uint64_t> shard_read_latches;
 };
-constexpr std::size_t kStatsWords = 13;
+constexpr std::size_t kStatsWords = 18;
 
 inline void AppendU32(std::string* s, std::uint32_t v) {
   char b[4];
@@ -198,16 +210,27 @@ inline bool DecodeStatsPayload(std::string_view payload, StatsReply* out) {
   out->heap_mode = ReadU64(p + 80);
   out->heap_used_bytes = ReadU64(p + 88);
   out->heap_high_watermark = ReadU64(p + 96);
+  out->optimistic_hits = ReadU64(p + 104);
+  out->optimistic_retries = ReadU64(p + 112);
+  out->read_latch_acquires = ReadU64(p + 120);
+  out->parallel_prepares = ReadU64(p + 128);
+  out->max_prepare_fanout = ReadU64(p + 136);
   // Divide, don't multiply: a hostile shards count must not overflow the
-  // size check and walk the loop past the payload.
-  if (out->shards != (payload.size() - kStatsWords * 8) / 8 ||
-      payload.size() % 8 != 0) {
+  // size check and walk the loop past the payload. Two trailing per-shard
+  // arrays follow the fixed words.
+  if (out->shards != (payload.size() - kStatsWords * 8) / 8 / 2 ||
+      payload.size() % 8 != 0 ||
+      (payload.size() - kStatsWords * 8) % 16 != 0) {
     return false;
   }
   out->shard_log_bytes.clear();
+  out->shard_read_latches.clear();
   for (std::uint64_t s = 0; s < out->shards; ++s) {
-    out->shard_log_bytes.push_back(
-        ReadU64(p + (kStatsWords + s) * 8));
+    out->shard_log_bytes.push_back(ReadU64(p + (kStatsWords + s) * 8));
+  }
+  for (std::uint64_t s = 0; s < out->shards; ++s) {
+    out->shard_read_latches.push_back(
+        ReadU64(p + (kStatsWords + out->shards + s) * 8));
   }
   return true;
 }

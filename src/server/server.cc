@@ -457,8 +457,16 @@ void KvServer::Drive(Worker& w, Conn& c) {
         AppendU64(&c.out, stats.heap_mode);
         AppendU64(&c.out, stats.heap_used_bytes);
         AppendU64(&c.out, stats.heap_high_watermark);
+        AppendU64(&c.out, stats.optimistic_hits);
+        AppendU64(&c.out, stats.optimistic_retries);
+        AppendU64(&c.out, stats.read_latch_acquires);
+        AppendU64(&c.out, stats.parallel_prepares);
+        AppendU64(&c.out, stats.max_prepare_fanout);
         for (std::uint64_t bytes : stats.shard_log_bytes) {
           AppendU64(&c.out, bytes);
+        }
+        for (std::uint64_t latches : stats.shard_read_latches) {
+          AppendU64(&c.out, latches);
         }
         EndFrame(&c.out, at);
       }
@@ -562,8 +570,15 @@ StatsReply KvServer::StatsSnapshot() {
   r.heap_mode = store_->file_backed() ? 1 : 0;
   r.heap_used_bytes = store_->heap_live_bytes();
   r.heap_high_watermark = store_->heap_high_watermark();
+  r.parallel_prepares = store_->store_txn().parallel_prepares();
+  r.max_prepare_fanout = store_->store_txn().max_prepare_fanout();
   for (std::size_t s = 0; s < store_->shards(); ++s) {
+    KvShardStats shard = store_->shard_stats(s);
+    r.optimistic_hits += shard.optimistic_hits;
+    r.optimistic_retries += shard.optimistic_retries;
+    r.read_latch_acquires += shard.read_latch_acquires;
     r.shard_log_bytes.push_back(store_->ShardLogBytes(s));
+    r.shard_read_latches.push_back(shard.read_latch_acquires);
   }
   return r;
 }

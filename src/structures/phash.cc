@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/nvm/atomic_mem.h"
+
 namespace rwd {
 
 PHash::PHash(StorageOps* ops, std::size_t initial_capacity) {
@@ -105,6 +107,39 @@ bool PHash::Erase(StorageOps* ops, std::uint64_t key) {
   bool present = EraseOp(ops, key);
   ops->CommitOp();
   return present;
+}
+
+bool PHash::GetRelaxed(std::uint64_t key, std::uint64_t* value) const {
+  std::uint64_t cap = RelaxedLoad64(&anchor_->capacity);
+  // Guard against a torn capacity/table pair mid-Grow: capacities are
+  // powers of two ≥ 8, anything else means we raced the publish — report
+  // absent and let the caller's seqlock validation reject the attempt.
+  if (cap < 8 || (cap & (cap - 1)) != 0) return false;
+  // Acquire fence: Grow publishes the table pointer BEFORE the doubled
+  // capacity (both release stores), so a capacity observed here forces the
+  // table load below to see at least that grow's table — the unsafe
+  // pairing (old table, doubled capacity), whose probe could walk past the
+  // old table's block, can never be observed. The benign inverse pairing
+  // (new table, old capacity) just under-probes and is caught by the
+  // caller's seqlock validation.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  auto* table = reinterpret_cast<Cell*>(RelaxedLoad64(&anchor_->table));
+  if (table == nullptr) return false;
+  // Second acquire fence: a table pointer observed above was release-
+  // published after its cells were initialized off-line; the probes below
+  // must see those initializing stores, not pre-scrub garbage.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  std::uint64_t pos = Mix(key) & (cap - 1);
+  for (std::uint64_t probes = 0; probes < cap; ++probes) {
+    std::uint64_t k = RelaxedLoad64(&table[pos].key);
+    if (k == 0) return false;
+    if (k == key) {
+      if (value != nullptr) *value = RelaxedLoad64(&table[pos].value);
+      return true;
+    }
+    pos = (pos + 1) & (cap - 1);
+  }
+  return false;
 }
 
 bool PHash::Get(StorageOps* ops, std::uint64_t key,

@@ -55,6 +55,17 @@ class PHash {
   /// Reads a value; returns presence.
   bool Get(StorageOps* ops, std::uint64_t key, std::uint64_t* value) const;
 
+  /// Latch-free probe for seqlock readers: walks the chain with relaxed
+  /// atomic loads directly on the persistent cells, bypassing StorageOps
+  /// (no Batch-deferral lookup — the caller guarantees, via its seqlock
+  /// protocol, that no writer holds parked deferred writes while the
+  /// result is accepted). The probe may observe torn intermediate states
+  /// when racing a writer; the caller MUST validate its sequence counter
+  /// afterwards and discard the result on conflict. The probe is bounded
+  /// (at most `capacity` cells) so a torn table can at worst return a
+  /// wrong answer, never loop forever.
+  bool GetRelaxed(std::uint64_t key, std::uint64_t* value) const;
+
   std::uint64_t size(StorageOps* ops) const {
     return ops->Load(&anchor_->size);
   }

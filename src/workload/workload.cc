@@ -164,10 +164,11 @@ std::uint64_t WorkloadDriver::Load() {
 }
 
 void WorkloadDriver::RunThread(std::size_t thread_idx, std::uint64_t ops,
+                               const std::atomic<bool>* stop,
                                WorkloadResult* result,
                                std::exception_ptr* error) {
   try {
-    RunThreadBody(thread_idx, ops, result);
+    RunThreadBody(thread_idx, ops, stop, result);
   } catch (...) {
     // Surfaced by Run() after the join, so crash-injection tests can catch
     // the simulated power failure on the driving thread.
@@ -176,10 +177,23 @@ void WorkloadDriver::RunThread(std::size_t thread_idx, std::uint64_t ops,
 }
 
 void WorkloadDriver::RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
+                                   const std::atomic<bool>* stop,
                                    WorkloadResult* result) {
   std::mt19937_64 rng(seed_ ^ (0x9E3779B97F4A7C15ull * (thread_idx + 1)));
-  if (spec_.collect_latencies) result->latencies_us.reserve(ops);
-  for (std::uint64_t i = 0; i < ops; ++i) {
+  if (spec_.collect_latencies && stop == nullptr) {
+    result->latencies_us.reserve(ops);
+  }
+  // Fixed-time mode (stop != nullptr): run until the driver flips the stop
+  // flag, checking every kStopStride ops so the flag's cacheline is not a
+  // shared hot spot. In op-count mode (stop == nullptr) run exactly `ops`
+  // iterations — zero ops means zero iterations, e.g. when op_count <
+  // threads leaves some threads with no share.
+  constexpr std::uint64_t kStopStride = 64;
+  for (std::uint64_t i = 0; stop != nullptr || i < ops; ++i) {
+    if (stop != nullptr && (i % kStopStride) == 0 &&
+        stop->load(std::memory_order_relaxed)) {
+      break;
+    }
     KvOp op = PickOp(spec_, rng);
     std::chrono::steady_clock::time_point op_start;
     if (spec_.collect_latencies) op_start = std::chrono::steady_clock::now();
@@ -236,18 +250,25 @@ void WorkloadDriver::RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
 
 WorkloadResult WorkloadDriver::Run() {
   std::size_t threads = spec_.threads == 0 ? 1 : spec_.threads;
+  bool timed = spec_.duration_seconds > 0;
   std::vector<WorkloadResult> partial(threads);
   std::vector<std::exception_ptr> errors(threads);
   std::vector<std::thread> pool;
   pool.reserve(threads);
+  std::atomic<bool> stop{false};
   auto start = std::chrono::steady_clock::now();
   std::uint64_t per_thread = spec_.op_count / threads;
   for (std::size_t t = 0; t < threads; ++t) {
     std::uint64_t ops =
-        per_thread + (t == 0 ? spec_.op_count % threads : 0);
-    pool.emplace_back([this, t, ops, &partial, &errors] {
-      RunThread(t, ops, &partial[t], &errors[t]);
+        timed ? 0 : per_thread + (t == 0 ? spec_.op_count % threads : 0);
+    pool.emplace_back([this, t, ops, timed, &stop, &partial, &errors] {
+      RunThread(t, ops, timed ? &stop : nullptr, &partial[t], &errors[t]);
     });
+  }
+  if (timed) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(spec_.duration_seconds));
+    stop.store(true, std::memory_order_relaxed);
   }
   for (auto& th : pool) th.join();
   for (auto& error : errors) {

@@ -83,6 +83,12 @@ struct WorkloadSpec {
   KeyDist dist = KeyDist::kZipfian;
   std::uint64_t record_count = 10000;  ///< keys loaded before the run
   std::uint64_t op_count = 10000;      ///< total operations in the run
+  /// Fixed-time mode: when > 0, Run() ignores op_count and every thread
+  /// executes operations until this much wall clock has elapsed (checked
+  /// every few ops against a shared stop flag). Sub-second op-count runs
+  /// are too noisy to judge a perf change; a fixed window makes ops/s
+  /// comparable across configurations.
+  double duration_seconds = 0;
   std::size_t value_size = 100;        ///< bytes per value
   std::size_t max_scan_len = 100;      ///< scan length ~ U[1, max]
   std::size_t threads = 1;
@@ -183,9 +189,11 @@ class WorkloadDriver {
   /// Inserts the initial records; returns the number inserted.
   std::uint64_t Load();
 
-  /// Runs the mixed workload and returns aggregate counters. An exception
-  /// thrown by a worker (notably an injected CrashException) is rethrown
-  /// on the calling thread after every worker has joined.
+  /// Runs the mixed workload and returns aggregate counters: op_count
+  /// operations split across the threads, or — when spec.duration_seconds
+  /// is set — as many operations as fit the wall-clock window. An
+  /// exception thrown by a worker (notably an injected CrashException) is
+  /// rethrown on the calling thread after every worker has joined.
   WorkloadResult Run();
 
   /// The deterministic value for a key at a write version.
@@ -197,10 +205,13 @@ class WorkloadDriver {
 
  private:
   /// One thread's share of the run; stores any exception into `*error`.
+  /// A non-null `stop` selects fixed-time mode ("run until *stop reads
+  /// true", `ops` ignored); null runs exactly `ops` iterations.
   void RunThread(std::size_t thread_idx, std::uint64_t ops,
-                 WorkloadResult* result, std::exception_ptr* error);
+                 const std::atomic<bool>* stop, WorkloadResult* result,
+                 std::exception_ptr* error);
   void RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
-                     WorkloadResult* result);
+                     const std::atomic<bool>* stop, WorkloadResult* result);
 
   KvStore* store_;
   WorkloadSpec spec_;

@@ -1,0 +1,383 @@
+// Reader/writer torture tests for RewindKV's concurrent read path (PR 5):
+// latch-free seqlock Gets and shared-latch Scans racing exclusive writers,
+// plus a crash-at-every-persistence-event sweep variant that drives
+// concurrent cross-shard MultiPuts into a simulated power failure and
+// asserts the two-phase pipeline stays all-or-nothing.
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kv/kv_store.h"
+#include "tests/tm_config_util.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+constexpr std::uint64_t kSalt = 0x5Ec10C0E5A17ull;  // "seqlock salt"
+
+/// A value whose words are mutually consistent, so a torn read (bytes from
+/// two different versions, or from scrubbed/recycled memory) is detected
+/// by recomputing the checksum word. 40 bytes = 5 words.
+std::string TortureValue(std::uint64_t key, std::uint64_t version) {
+  std::uint64_t words[5];
+  words[0] = key;
+  words[1] = version;
+  words[2] = key ^ version ^ kSalt;
+  words[3] = key * 0x9E3779B97F4A7C15ull + version;
+  words[4] = words[2] ^ words[3];
+  std::string out(sizeof(words), '\0');
+  std::memcpy(&out[0], words, sizeof(words));
+  return out;
+}
+
+/// Validates a value read for `key`; returns the version it carries.
+/// EXPECT-fails (and returns ~0) on any inconsistency.
+std::uint64_t CheckTortureValue(std::uint64_t key, const std::string& value) {
+  if (value.size() != 40) {
+    ADD_FAILURE() << "key " << key << ": torn value size " << value.size();
+    return ~std::uint64_t{0};
+  }
+  std::uint64_t words[5];
+  std::memcpy(words, value.data(), sizeof(words));
+  EXPECT_EQ(words[0], key) << "value belongs to another key";
+  EXPECT_EQ(words[2], words[0] ^ words[1] ^ kSalt)
+      << "key " << key << ": torn checksum word 2";
+  EXPECT_EQ(words[3], words[0] * 0x9E3779B97F4A7C15ull + words[1])
+      << "key " << key << ": torn checksum word 3";
+  EXPECT_EQ(words[4], words[2] ^ words[3])
+      << "key " << key << ": torn checksum word 4";
+  return words[1];
+}
+
+KvConfig FastKvConfig(std::size_t shards) {
+  KvConfig config;
+  config.rewind.nvm.mode = NvmMode::kFast;  // no crash tracking: pure speed
+  config.rewind.nvm.heap_bytes = 64u << 20;
+  config.rewind.nvm.write_latency_ns = 0;
+  config.rewind.nvm.fence_latency_ns = 0;
+  config.shards = shards;
+  config.checkpoint_period_ms = 5;  // daemons race the traffic too
+  return config;
+}
+
+// --- torture 1: raw integrity under concurrent Get/Scan vs writers ------
+
+TEST(KvConcurrency, ReadersNeverObserveTornValues) {
+  KvConfig config = FastKvConfig(/*shards=*/4);
+  KvStore store(config);
+  constexpr std::uint64_t kKeys = 64;
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_TRUE(store.Put(k, TortureValue(k, 0)));
+  }
+
+  const std::size_t writer_threads = 3;
+  const std::size_t reader_threads = 3;
+  const std::uint64_t writer_ops = kTsan ? 2000 : 10000;
+  std::atomic<std::uint64_t> next_version{1};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+
+  for (std::size_t t = 0; t < writer_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(1000 + t);
+      for (std::uint64_t i = 0; i < writer_ops; ++i) {
+        std::uint64_t key = 1 + rng() % kKeys;
+        std::uint64_t r = rng() % 100;
+        if (r < 70) {
+          std::uint64_t v = next_version.fetch_add(1);
+          store.Put(key, TortureValue(key, v));
+        } else if (r < 85) {
+          store.Delete(key);
+        } else {
+          // Cross-shard MultiPut: 6 distinct-ish keys, one version.
+          std::uint64_t v = next_version.fetch_add(1);
+          std::vector<std::pair<std::uint64_t, std::string>> batch;
+          for (int j = 0; j < 6; ++j) {
+            std::uint64_t k = 1 + rng() % kKeys;
+            batch.emplace_back(k, TortureValue(k, v));
+          }
+          store.MultiPut(batch);
+        }
+      }
+    });
+  }
+  for (std::size_t t = 0; t < reader_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(2000 + t);
+      std::string value;
+      std::uint64_t reads = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        std::uint64_t key = 1 + rng() % kKeys;
+        if (store.Get(key, &value)) CheckTortureValue(key, value);
+        ++reads;
+      }
+      EXPECT_GT(reads, 0u);
+    });
+  }
+  // One scanner: every (key, value) pair of every cut must be internally
+  // consistent (the scan holds every shard latch shared, so writers are
+  // fully excluded — a torn pair here means the latch hierarchy broke).
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      store.Scan(1, kKeys, [](std::uint64_t k, std::string_view v) {
+        CheckTortureValue(k, std::string(v));
+        return true;
+      });
+    }
+  });
+
+  for (std::size_t t = 0; t < writer_threads; ++t) threads[t].join();
+  done.store(true, std::memory_order_relaxed);
+  for (std::size_t t = writer_threads; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  // The latch-free fast path must actually have served reads, and every
+  // read must be accounted to exactly one of the two read paths.
+  std::uint64_t gets = 0, opt = 0, latched = 0;
+  for (std::size_t s = 0; s < store.shards(); ++s) {
+    KvShardStats st = store.shard_stats(s);
+    gets += st.gets;
+    opt += st.optimistic_hits;
+    latched += st.read_latch_acquires;
+  }
+  EXPECT_GT(opt, 0u) << "optimistic read path never engaged";
+  EXPECT_EQ(gets, opt + latched)
+      << "some Get was served by neither read path";
+
+  // Final state: all live values intact.
+  store.Scan(1, kKeys, [](std::uint64_t k, std::string_view v) {
+    CheckTortureValue(k, std::string(v));
+    return true;
+  });
+}
+
+// --- torture 2: snapshot-consistent scans of atomic group writes --------
+
+TEST(KvConcurrency, ScansSeeGroupConsistentMultiPuts) {
+  KvConfig config = FastKvConfig(/*shards=*/4);
+  // Force the 2PC fan-out pool on (auto sizing stands down on single-core
+  // hosts): this test is the correctness torture for the parallel
+  // prepare/commit path, so it must actually run parallel.
+  config.prepare_threads = 4;
+  KvStore store(config);
+  // The store holds ONLY this group, written wholesale by every MultiPut,
+  // so any scan must observe one version across all members — a mixed
+  // scan means either cross-shard atomicity or the shared-latch snapshot
+  // broke.
+  std::vector<std::uint64_t> group = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::set<std::size_t> shards_touched;
+  for (std::uint64_t k : group) shards_touched.insert(store.ShardOf(k));
+  ASSERT_GE(shards_touched.size(), 3u) << "group does not span enough shards";
+
+  auto group_batch = [&](std::uint64_t version) {
+    std::vector<std::pair<std::uint64_t, std::string>> batch;
+    for (std::uint64_t k : group) {
+      batch.emplace_back(k, TortureValue(k, version));
+    }
+    return batch;
+  };
+  ASSERT_TRUE(store.MultiPut(group_batch(0)));
+
+  const std::size_t writer_threads = 3;
+  const std::uint64_t writes_each = kTsan ? 150 : 600;
+  std::atomic<std::uint64_t> next_version{1};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < writer_threads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < writes_each; ++i) {
+        store.MultiPut(group_batch(next_version.fetch_add(1)));
+      }
+    });
+  }
+  for (std::size_t t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        std::map<std::uint64_t, std::uint64_t> seen;
+        store.Scan(1, 64, [&](std::uint64_t k, std::string_view v) {
+          seen[k] = CheckTortureValue(k, std::string(v));
+          return true;
+        });
+        ASSERT_EQ(seen.size(), group.size())
+            << "scan lost part of the group";
+        std::uint64_t version = seen.begin()->second;
+        for (auto& [k, ver] : seen) {
+          ASSERT_EQ(ver, version)
+              << "scan observed a MIXED group: key " << k << " at version "
+              << ver << " vs " << version
+              << " — cross-shard MultiPut was not snapshot-atomic";
+        }
+      }
+    });
+  }
+  // Plus a latch-free reader hammering one group member.
+  threads.emplace_back([&] {
+    std::string value;
+    while (!done.load(std::memory_order_relaxed)) {
+      if (store.Get(group[0], &value)) CheckTortureValue(group[0], value);
+    }
+  });
+
+  for (std::size_t t = 0; t < writer_threads; ++t) threads[t].join();
+  done.store(true, std::memory_order_relaxed);
+  for (std::size_t t = writer_threads; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  // The parallel prepare fan-out must have engaged for these cross-shard
+  // commits and actually moved work onto the pool.
+  EXPECT_GT(store.store_txn().parallel_prepares(), 0u);
+  EXPECT_GE(store.store_txn().max_prepare_fanout(), 3u);
+  EXPECT_GT(store.store_txn().offloaded_tasks(), 0u)
+      << "prepare fan-out never ran on the pool";
+}
+
+// --- torture 3: crash sweep under concurrency ---------------------------
+
+class KvConcurrencyCrashSweep
+    : public ::testing::TestWithParam<RewindConfig> {};
+
+TEST_P(KvConcurrencyCrashSweep, ConcurrentMultiPutsStayAtomicAcrossCrash) {
+  KvConfig config;
+  config.rewind = GetParam();
+  config.shards = 4;
+  KvStore store(config);
+  NvmManager& nvm = store.runtime().nvm();
+
+  // Each writer thread owns a private key group confined to its own pair
+  // of shards. Confinement matters: after the injected crash fires on one
+  // thread, the other may legitimately finish a commit before the sweep
+  // takes the simulated power failure, and REWIND's physical undo of the
+  // doomed transaction must not collide with that commit's cells — in a
+  // real power failure nothing runs after the crash, so the test keeps
+  // post-crash commits off the doomed transaction's shards entirely.
+  const std::size_t writers = 2;
+  std::vector<std::vector<std::uint64_t>> groups(writers);
+  {
+    std::vector<std::set<std::size_t>> owned(writers);
+    owned[0] = {0, 1};
+    owned[1] = {2, 3};
+    std::uint64_t k = 1;
+    for (std::size_t w = 0; w < writers; ++w) {
+      while (groups[w].size() < 6) {
+        if (owned[w].count(store.ShardOf(k)) != 0) groups[w].push_back(k);
+        ++k;
+      }
+      std::set<std::size_t> spanned;
+      for (std::uint64_t gk : groups[w]) spanned.insert(store.ShardOf(gk));
+      ASSERT_GE(spanned.size(), 2u) << "group " << w << " is single-shard";
+    }
+  }
+
+  auto check_groups = [&](const char* when, std::uint64_t at) {
+    // All-or-nothing per group: every member present with one common
+    // version, or (before the group's first successful write) all absent.
+    for (std::size_t w = 0; w < writers; ++w) {
+      std::string value;
+      std::size_t present = 0;
+      std::uint64_t version = 0;
+      for (std::uint64_t k : groups[w]) {
+        if (!store.Get(k, &value)) continue;
+        std::uint64_t v = CheckTortureValue(k, value);
+        if (present == 0) version = v;
+        ASSERT_EQ(v, version)
+            << when << " at event " << at << ": writer " << w
+            << " group torn (key " << k << ")";
+        ++present;
+      }
+      ASSERT_TRUE(present == 0 || present == groups[w].size())
+          << when << " at event " << at << ": writer " << w
+          << " group applied a prefix (" << present << "/"
+          << groups[w].size() << " keys)";
+    }
+  };
+
+  const std::uint64_t iters_each = 2;
+  std::uint64_t crash_events = 0;
+  std::uint64_t at = 1;
+  // Every persistence event is swept; under TSan (an order of magnitude
+  // slower) the sweep samples a fixed stride instead.
+  const std::uint64_t step = kTsan ? 97 : 1;
+  for (;;) {
+    nvm.crash_injector().Arm(at);
+    std::atomic<bool> crashed{false};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < writers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          for (std::uint64_t i = 0; i < iters_each; ++i) {
+            if (crashed.load(std::memory_order_relaxed)) return;
+            std::vector<std::pair<std::uint64_t, std::string>> batch;
+            for (std::uint64_t k : groups[w]) {
+              batch.emplace_back(k, TortureValue(k, at * 100 + i));
+            }
+            store.MultiPut(batch);
+          }
+        } catch (const CrashException&) {
+          crashed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      // A latch-free reader rides along; it must never see a torn value,
+      // crash or not.
+      std::string value;
+      std::mt19937_64 rng(7);
+      while (!done.load(std::memory_order_relaxed)) {
+        for (std::size_t w = 0; w < writers; ++w) {
+          std::uint64_t k = groups[w][rng() % groups[w].size()];
+          if (store.Get(k, &value)) CheckTortureValue(k, value);
+        }
+      }
+    });
+    for (std::size_t w = 0; w < writers; ++w) threads[w].join();
+    done.store(true, std::memory_order_relaxed);
+    threads.back().join();
+    nvm.crash_injector().Disarm();
+
+    if (!crashed.load()) break;  // the whole run fit under `at` events
+    ++crash_events;
+    nvm.SimulateCrash();
+    store.CrashAndRecover();
+    check_groups("post-recovery", at);
+    for (std::size_t p = 0; p < store.runtime().partitions(); ++p) {
+      ASSERT_EQ(store.runtime().tm(p).LogSize(), 0u)
+          << "partition " << p << " dirty after recovery at event " << at;
+    }
+    at += step;
+  }
+  EXPECT_GT(crash_events, kTsan ? 3u : 50u)
+      << "the sweep barely exercised the pipeline";
+  check_groups("final", at);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, KvConcurrencyCrashSweep,
+                         ::testing::ValuesIn(AllConfigs(16)),
+                         [](const ::testing::TestParamInfo<RewindConfig>& i) {
+                           return ConfigName(i.param);
+                         });
+
+}  // namespace
+}  // namespace rwd

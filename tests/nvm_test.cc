@@ -161,8 +161,28 @@ TEST(CrashInjector, FiresAtExactEvent) {
     nvm.StoreNT(x, std::uint64_t{4});
   });
   EXPECT_TRUE(crashed);
-  EXPECT_EQ(*x, 3u);  // the third store completed before the throw? No:
-  // The injector throws *after* applying the store, so value 3 persisted.
+  // A crash AT an event means the power died before that store completed:
+  // the check precedes the memory effect (crash-before-store), so value 2
+  // is the last persisted state. Crash-after-store states are still swept
+  // — they are exactly crash-before the NEXT event.
+  EXPECT_EQ(*x, 2u);
+}
+
+TEST(CrashInjector, StaysDeadAfterFiring) {
+  // Sticky post-fire behavior: a power failure stops the machine, so every
+  // later persistence attempt — e.g. from a thread that survived the crash
+  // instant — must die too until Disarm()/SimulateCrash().
+  NvmManager nvm(TestNvmConfig(4));
+  auto* x = static_cast<std::uint64_t*>(nvm.Alloc(8));
+  nvm.crash_injector().Arm(1);
+  EXPECT_THROW(nvm.StoreNT(x, std::uint64_t{1}), CrashException);
+  EXPECT_FALSE(nvm.crash_injector().armed());  // the shot has landed...
+  EXPECT_THROW(nvm.StoreNT(x, std::uint64_t{2}), CrashException);  // ...dead
+  EXPECT_THROW(nvm.Fence(), CrashException);
+  EXPECT_EQ(*x, 0u) << "no store may reach a dead device";
+  nvm.crash_injector().Disarm();
+  nvm.StoreNT(x, std::uint64_t{3});  // serviceable again
+  EXPECT_EQ(*x, 3u);
 }
 
 TEST(CrashInjector, DoesNotFireWhenBodyFinishesFirst) {
