@@ -7,10 +7,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
 #include "src/core/config.h"
+
+#ifndef REWIND_GIT_SHA
+#define REWIND_GIT_SHA "unknown"
+#endif
 
 namespace rwd {
 
@@ -113,9 +118,23 @@ inline char WorkloadFlag(int argc, char** argv) {
   return w.empty() ? 'a' : w[0];
 }
 
+/// FNV-1a over a string — the benches' config fingerprint hash, so two
+/// BENCH_*.json files are comparable iff their fingerprints match.
+inline std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 /// Minimal writer for the benches' machine-readable `--json=<path>`
 /// results: one flat object of numbers and strings per file, so the
 /// repo's perf trajectory (BENCH_*.json) can accumulate comparable runs.
+/// Every file is stamped with provenance — the git SHA the binary was
+/// built from, the UTC run timestamp and (when the bench supplies one via
+/// SetConfigFingerprint) a hash of the knobs that make runs comparable.
 class JsonObject {
  public:
   void Add(const std::string& key, double v) {
@@ -129,12 +148,21 @@ class JsonObject {
   void Add(const std::string& key, const std::string& v) {
     fields_.push_back("\"" + key + "\": \"" + Escape(v) + "\"");
   }
+  void SetConfigFingerprint(std::uint64_t fp) { fingerprint_ = fp; }
   bool WriteTo(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "{");
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      std::fprintf(f, "%s\n  %s", i ? "," : "", fields_[i].c_str());
+    std::fprintf(f, "{\n  \"git_sha\": \"%s\",\n", REWIND_GIT_SHA);
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char ts[32];
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    std::fprintf(f, "  \"timestamp_utc\": \"%s\",\n", ts);
+    std::fprintf(f, "  \"config_fingerprint\": \"%016llx\"",
+                 static_cast<unsigned long long>(fingerprint_));
+    for (const std::string& field : fields_) {
+      std::fprintf(f, ",\n  %s", field.c_str());
     }
     std::fprintf(f, "\n}\n");
     std::fclose(f);
@@ -161,6 +189,7 @@ class JsonObject {
   }
 
   std::vector<std::string> fields_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 /// Scale factor: REWIND_BENCH_SCALE environment variable (default 1) scales

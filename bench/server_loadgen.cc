@@ -74,7 +74,9 @@ int Main(int argc, char** argv) {
   bool ok = true;
   WorkloadResult r = driver.Run(&ok);
   double p50 = r.LatencyPercentileUs(50);
+  double p90 = r.LatencyPercentileUs(90);
   double p99 = r.LatencyPercentileUs(99);
+  double p999 = r.LatencyPercentileUs(99.9);
   std::printf("# run: %lu ops in %.3f s (%.0f ops/s) — reads=%lu "
               "(misses=%lu) updates=%lu inserts=%lu scans=%lu (items=%lu) "
               "rmw=%lu%s\n",
@@ -126,8 +128,39 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long>(stats.max_prepare_fanout));
   }
 
+  // STATS v2 scrape: the server's own RewindScope latency view (request
+  // execution inside the server) alongside the client-observed
+  // percentiles above — the gap between them is the network + pipeline
+  // queueing.
+  std::vector<serve::MetricSample> samples;
+  if (stats_client.connected()) stats_client.Stats2(&samples);
+  auto metric = [&samples](const char* name) {
+    for (const serve::MetricSample& m : samples) {
+      if (m.name == name) return m.value;
+    }
+    return 0.0;
+  };
+  if (!samples.empty()) {
+    std::printf("# server-side latency (STATS v2, %zu metrics): get "
+                "p50=%.1fus p99=%.1fus; put p50=%.1fus p99=%.1fus; "
+                "txn.prepare p99=%.1fus; batcher.commit p99=%.1fus\n",
+                samples.size(), metric("server.op.get.p50_us"),
+                metric("server.op.get.p99_us"),
+                metric("server.op.put.p50_us"),
+                metric("server.op.put.p99_us"),
+                metric("txn.prepare.p99_us"),
+                metric("batcher.commit.p99_us"));
+  }
+
   if (!json_path.empty()) {
     JsonObject json;
+    json.SetConfigFingerprint(Fnv1a(
+        std::string("server_loadgen|") + workload +
+        "|threads=" + std::to_string(spec.threads) +
+        "|pipeline=" + std::to_string(net.pipeline_depth) +
+        "|records=" + std::to_string(spec.record_count) +
+        "|value=" + std::to_string(spec.value_size) +
+        "|shards=" + std::to_string(stats.shards)));
     json.Add("bench", std::string("server_loadgen"));
     json.Add("workload", std::string(1, workload));
     json.Add("host", net.host);
@@ -140,7 +173,9 @@ int Main(int argc, char** argv) {
     json.Add("seconds", r.seconds);
     json.Add("ops_per_s", r.throughput());
     json.Add("p50_us", p50);
+    json.Add("p90_us", p90);
     json.Add("p99_us", p99);
+    json.Add("p999_us", p999);
     json.Add("reads", r.reads);
     json.Add("read_misses", r.read_misses);
     json.Add("updates", r.updates);
@@ -162,6 +197,15 @@ int Main(int argc, char** argv) {
     json.Add("server_read_latch_acquires", stats.read_latch_acquires);
     json.Add("server_parallel_prepares", stats.parallel_prepares);
     json.Add("server_max_prepare_fanout", stats.max_prepare_fanout);
+    json.Add("server_metrics_count",
+             static_cast<std::uint64_t>(samples.size()));
+    json.Add("server_get_p50_us", metric("server.op.get.p50_us"));
+    json.Add("server_get_p99_us", metric("server.op.get.p99_us"));
+    json.Add("server_put_p50_us", metric("server.op.put.p50_us"));
+    json.Add("server_put_p99_us", metric("server.op.put.p99_us"));
+    json.Add("server_txn_prepare_p99_us", metric("txn.prepare.p99_us"));
+    json.Add("server_batcher_commit_p99_us",
+             metric("batcher.commit.p99_us"));
     if (!json.WriteTo(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

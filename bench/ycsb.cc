@@ -113,7 +113,9 @@ int Main(int argc, char** argv) {
                static_cast<double>(s.read_latch_acquires), kops});
   }
   double p50 = r.LatencyPercentileUs(50);
+  double p90 = r.LatencyPercentileUs(90);
   double p99 = r.LatencyPercentileUs(99);
+  double p999 = r.LatencyPercentileUs(99.9);
   std::printf("# total: %.1f kops/s across %zu shards (%.0f ops/s "
               "aggregate)\n",
               total_kops, store.shards(), r.throughput());
@@ -131,6 +133,17 @@ int Main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     JsonObject json;
+    // Fingerprint over every knob that affects comparability: two runs
+    // with the same fingerprint measure the same configuration.
+    json.SetConfigFingerprint(Fnv1a(
+        std::string("ycsb|") + workload + "|" + config.rewind.Label() +
+        "|shards=" + std::to_string(config.shards) +
+        "|threads=" + std::to_string(spec.threads) +
+        "|records=" + std::to_string(spec.record_count) +
+        "|value=" + std::to_string(spec.value_size) +
+        "|ckpt=" + std::to_string(config.checkpoint_period_ms) +
+        "|opt=" + std::to_string(config.optimistic_reads ? 1 : 0) +
+        "|lat=" + std::to_string(spec.collect_latencies ? 1 : 0)));
     json.Add("bench", std::string("ycsb"));
     json.Add("workload", std::string(1, workload));
     json.Add("rewind", config.rewind.Label());
@@ -169,7 +182,9 @@ int Main(int argc, char** argv) {
     json.Add("seconds", r.seconds);
     json.Add("ops_per_s", r.throughput());
     json.Add("p50_us", p50);
+    json.Add("p90_us", p90);
     json.Add("p99_us", p99);
+    json.Add("p999_us", p999);
     json.Add("reads", r.reads);
     json.Add("read_misses", r.read_misses);
     json.Add("updates", r.updates);

@@ -7,6 +7,8 @@
 //   ./build/examples/kv_client --port=7170 get 42        # prints "hello"
 //   ./build/examples/kv_client --port=7170 del 42
 //   ./build/examples/kv_client --port=7170 stats
+//   ./build/examples/kv_client --port=7170 metrics   # STATS v2, one
+//                                                    # "name value" per line
 //
 // Exit status: 0 on success, 2 on NOT_FOUND, 1 on usage/connection errors.
 #include <cstdio>
@@ -22,7 +24,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: kv_client [--host=H] [--port=N] "
-               "put KEY VALUE | get KEY | del KEY | stats\n");
+               "put KEY VALUE | get KEY | del KEY | stats | metrics\n");
   return 1;
 }
 
@@ -96,6 +98,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long>(s.read_latch_acquires),
                 static_cast<unsigned long>(s.parallel_prepares),
                 static_cast<unsigned long>(s.max_prepare_fanout));
+    return 0;
+  }
+  if (cmd == "metrics") {
+    // STATS v2: one "name value" line per metric, awk/grep-friendly (the
+    // CI metrics smoke asserts on these lines).
+    std::vector<serve::MetricSample> samples;
+    if (!client.Stats2(&samples)) {
+      std::fprintf(stderr, "kv_client: metrics failed\n");
+      return 1;
+    }
+    for (const serve::MetricSample& m : samples) {
+      std::printf("%s %.6f\n", m.name.c_str(), m.value);
+    }
     return 0;
   }
   return Usage();

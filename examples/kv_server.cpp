@@ -11,6 +11,10 @@
 //        --heap-file=PATH (durable store: creates the file on first run,
 //        re-attaches and recovers on every later run — a SIGTERM'd or even
 //        SIGKILL'd server restarts with its data)
+//        --slow-op-us=N (rate-limited stderr report for ops over N µs;
+//        0 = off)  --trace-out=PATH (record phase events to per-thread
+//        rings; dumped as Chrome trace_event JSON on shutdown and on
+//        SIGUSR1 — load it in chrome://tracing or Perfetto)
 #include <csignal>
 #include <cstdio>
 #include <sys/stat.h>
@@ -20,15 +24,22 @@
 
 #include "bench/bench_util.h"
 #include "src/kv/kv_store.h"
+#include "src/obs/trace.h"
 #include "src/server/server.h"
 
 namespace {
 
 // Self-pipe: the handler writes one byte, main blocks on the read end.
+// Byte values: 1 = shut down (INT/TERM), 2 = dump the trace (USR1).
 int g_signal_pipe[2] = {-1, -1};
 
 extern "C" void HandleSignal(int) {
   char byte = 1;
+  [[maybe_unused]] ssize_t r = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+extern "C" void HandleDumpSignal(int) {
+  char byte = 2;
   [[maybe_unused]] ssize_t r = ::write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -55,12 +66,17 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(FlagOr(argc, argv, "workers", 2));
   server_config.batch_window_us = static_cast<std::uint32_t>(
       FlagOr(argc, argv, "batch-window-us", 150));
+  server_config.slow_op_threshold_us =
+      FlagOr(argc, argv, "slow-op-us", 0);
+  std::string trace_out = StringFlag(argc, argv, "trace-out");
+  if (!trace_out.empty()) obs::TraceEnable();
 
   // Handlers go in before the "listening" line: a supervisor may TERM us
   // the moment it reads it, and that must already take the graceful path.
   if (::pipe(g_signal_pipe) != 0) return 1;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  if (!trace_out.empty()) std::signal(SIGUSR1, HandleDumpSignal);
 
   // With --heap-file: first run creates the durable heap, later runs
   // re-attach to it and recover (a real restart, not CrashAndRecover()).
@@ -97,12 +113,28 @@ int main(int argc, char** argv) {
               heap_file.empty() ? "dram" : heap_file.c_str());
   std::fflush(stdout);
 
-  char byte;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  for (;;) {
+    char byte;
+    ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 1 && byte == 2) {
+      // SIGUSR1: snapshot the trace rings and keep serving.
+      if (obs::TraceDumpJson(trace_out)) {
+        std::printf("kv_server: dumped %zu trace events to %s\n",
+                    obs::TraceEventCount(), trace_out.c_str());
+        std::fflush(stdout);
+      }
+      continue;
+    }
+    break;  // shutdown byte, EOF or unrecoverable pipe error
   }
 
   std::printf("kv_server: shutting down...\n");
   server.Stop();
+  if (!trace_out.empty() && obs::TraceDumpJson(trace_out)) {
+    std::printf("kv_server: dumped %zu trace events to %s\n",
+                obs::TraceEventCount(), trace_out.c_str());
+  }
   serve::StatsReply stats = server.StatsSnapshot();
   std::printf("kv_server: served keys=%lu acked_writes=%lu batches=%lu "
               "(%.1f writes/batch) gets=%lu scans=%lu conns=%lu\n",

@@ -6,12 +6,36 @@
 
 #include "src/core/transaction_manager.h"
 #include "src/log/bucket_log.h"
+#include "src/obs/metrics.h"
 
 namespace rwd {
 
 namespace {
 constexpr std::uint64_t kUndoAll = ~std::uint64_t{0};
+
+/// Recovery phase histograms plus `.last_us` gauges (the gauges make the
+/// most recent restart's cost directly readable from STATS v2 without
+/// percentile math over a one-element histogram).
+struct RecoveryMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Histogram* total = reg.GetHistogram("recovery.total");
+  obs::Gauge* total_last = reg.GetGauge("recovery.last_us");
+  obs::Histogram* analysis = reg.GetHistogram("recovery.analysis");
+  obs::Gauge* analysis_last = reg.GetGauge("recovery.analysis.last_us");
+  obs::Histogram* redo = reg.GetHistogram("recovery.redo");
+  obs::Gauge* redo_last = reg.GetGauge("recovery.redo.last_us");
+  obs::Histogram* resolve = reg.GetHistogram("recovery.resolve");
+  obs::Gauge* resolve_last = reg.GetGauge("recovery.resolve.last_us");
+  obs::Histogram* undo = reg.GetHistogram("recovery.undo");
+  obs::Gauge* undo_last = reg.GetGauge("recovery.undo.last_us");
+};
+
+RecoveryMetrics& RecMetrics() {
+  static RecoveryMetrics m;
+  return m;
 }
+
+}  // namespace
 
 void TransactionManager::RecoverLogStructure() {
   if (config_.two_layer()) {
@@ -283,11 +307,25 @@ void TransactionManager::ClearAllAfterRecovery() {
 
 void TransactionManager::Recover(const PrepareResolver& resolve_prepared) {
   std::lock_guard<std::mutex> lock(latch_);
+  RecoveryMetrics& m = RecMetrics();
+  obs::ScopedTimer total(m.total, "recovery", m.total_last);
   RecoverLogStructure();
-  AnalysisPhase();
-  if (!config_.force()) RedoPhase();
-  ResolvePreparedPhase(resolve_prepared);
-  UndoPhase();
+  {
+    obs::ScopedTimer t(m.analysis, "recovery.analysis", m.analysis_last);
+    AnalysisPhase();
+  }
+  if (!config_.force()) {
+    obs::ScopedTimer t(m.redo, "recovery.redo", m.redo_last);
+    RedoPhase();
+  }
+  {
+    obs::ScopedTimer t(m.resolve, "recovery.resolve", m.resolve_last);
+    ResolvePreparedPhase(resolve_prepared);
+  }
+  {
+    obs::ScopedTimer t(m.undo, "recovery.undo", m.undo_last);
+    UndoPhase();
+  }
   if (!config_.force()) {
     // Undone state was written with cached stores; persist it before the
     // log disappears.

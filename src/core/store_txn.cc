@@ -4,7 +4,28 @@
 #include <exception>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+
 namespace rwd {
+namespace {
+
+/// 2PC phase histograms, created once on first commit. Function-local so
+/// the registry is only touched when a store actually commits.
+struct TxnMetrics {
+  obs::Histogram* prepare = obs::Registry::Get().GetHistogram("txn.prepare");
+  obs::Histogram* decision =
+      obs::Registry::Get().GetHistogram("txn.decision");
+  obs::Histogram* end = obs::Registry::Get().GetHistogram("txn.end");
+  obs::Histogram* fence = obs::Registry::Get().GetHistogram("txn.fence");
+  obs::Histogram* fast = obs::Registry::Get().GetHistogram("txn.fast_commit");
+};
+
+TxnMetrics& Metrics() {
+  static TxnMetrics m;
+  return m;
+}
+
+}  // namespace
 
 StoreTxn::StoreTxn(Runtime* runtime, std::size_t pool_threads)
     : runtime_(runtime),
@@ -118,6 +139,7 @@ void StoreTxn::Commit(const std::vector<Participant>& participants) {
     // Fast path: one shard transaction is already crash-atomic on its own
     // partition; 2PC would only add records and fences. The single fence
     // below is the batch durability barrier the caller acks behind.
+    obs::ScopedTimer timer(Metrics().fast, "txn.fast_commit");
     runtime_->tm(participants[0].partition).Commit(participants[0].tid);
     runtime_->CommitFence();
     fast_commits_.fetch_add(1, std::memory_order_relaxed);
@@ -132,10 +154,14 @@ void StoreTxn::Commit(const std::vector<Participant>& participants) {
   // across the pool and joined. A crash anywhere up to (and including)
   // the decision append leaves no persistent TXN_COMMIT, so recovery
   // rolls every shard back.
-  ForEachParticipant(participants, parallel, [this, gtid](const Participant& p) {
-    runtime_->tm(p.partition).Prepare(p.tid, gtid);
-    prepared_now_.fetch_add(1, std::memory_order_relaxed);
-  });
+  {
+    obs::ScopedTimer timer(Metrics().prepare, "txn.prepare");
+    ForEachParticipant(participants, parallel,
+                       [this, gtid](const Participant& p) {
+                         runtime_->tm(p.partition).Prepare(p.tid, gtid);
+                         prepared_now_.fetch_add(1, std::memory_order_relaxed);
+                       });
+  }
   if (parallel && !workers_.empty()) {
     parallel_prepares_.fetch_add(1, std::memory_order_relaxed);
     std::uint64_t width = participants.size();
@@ -146,17 +172,27 @@ void StoreTxn::Commit(const std::vector<Participant>& participants) {
   }
   // The commit point: one durable decision record in the dedicated
   // partition. From here the global transaction WILL commit, crash or not.
-  LogRecord* decision = coordinator_->LogDecision(gtid, /*commit=*/true);
+  LogRecord* decision;
+  {
+    obs::ScopedTimer timer(Metrics().decision, "txn.decision");
+    decision = coordinator_->LogDecision(gtid, /*commit=*/true);
+  }
   // Phase 2: finish every shard transaction, again max-of-shards wide.
   // CommitPrepared syncs each END's membership; the fence below — which
   // doubles as the batch durability barrier the caller acks behind —
   // persists them all before the decision record (the only thing that
   // could still commit an END-less shard after a crash) is erased.
-  ForEachParticipant(participants, parallel, [this](const Participant& p) {
-    runtime_->tm(p.partition).CommitPrepared(p.tid);
-    prepared_now_.fetch_sub(1, std::memory_order_relaxed);
-  });
-  runtime_->CommitFence();
+  {
+    obs::ScopedTimer timer(Metrics().end, "txn.end");
+    ForEachParticipant(participants, parallel, [this](const Participant& p) {
+      runtime_->tm(p.partition).CommitPrepared(p.tid);
+      prepared_now_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    obs::ScopedTimer timer(Metrics().fence, "txn.fence");
+    runtime_->CommitFence();
+  }
   coordinator_->EraseDecision(decision);
   two_phase_commits_.fetch_add(1, std::memory_order_relaxed);
 }

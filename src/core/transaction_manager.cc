@@ -5,6 +5,7 @@
 
 #include "src/log/batch_log.h"
 #include "src/log/simple_log.h"
+#include "src/obs/metrics.h"
 
 namespace rwd {
 
@@ -472,6 +473,12 @@ void TransactionManager::CommitNoClear(std::uint32_t tid) {
 }
 
 void TransactionManager::Checkpoint() {
+  // Timed from before the latch: what a checkpoint costs the system
+  // includes the wait behind concurrent commits, not just the scan.
+  static obs::Histogram* hist =
+      obs::Registry::Get().GetHistogram("checkpoint.duration");
+  static obs::Gauge* last = obs::Registry::Get().GetGauge("checkpoint.last_us");
+  obs::ScopedTimer timer(hist, "checkpoint", last);
   std::lock_guard<std::mutex> lock(latch_);
   CheckpointLocked();
 }

@@ -210,18 +210,24 @@ bool KvStore::TryOptimisticGet(Shard& s, std::uint64_t key,
 bool KvStore::Get(std::uint64_t key, std::string* value_out) {
   if (!ValidKey(key)) return false;
   Shard& s = *shards_[ShardOf(key)];
-  s.stats.gets.fetch_add(1, std::memory_order_relaxed);
+  // All read-path accounting goes to this thread's own stripe — one
+  // relaxed add on a thread-private cacheline, nothing shared with other
+  // readers. No clocks here either: per-op timing on this path measurably
+  // halves the latch-free read rate (PR 5), so latency histograms live at
+  // the server-op layer instead.
+  ReadStripe& rs = s.stats.read[obs::ThreadStripe()];
+  rs.gets.fetch_add(1, std::memory_order_relaxed);
   if (config_.optimistic_reads) {
     // A couple of latch-free attempts; under a write burst the shared
     // latch is cheaper than spinning on validation conflicts.
     for (int attempt = 0; attempt < 2; ++attempt) {
       bool found = false;
       if (TryOptimisticGet(s, key, value_out, &found)) {
-        s.stats.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
-        if (found) s.stats.hits.fetch_add(1, std::memory_order_relaxed);
+        rs.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
+        if (found) rs.hits.fetch_add(1, std::memory_order_relaxed);
         return found;
       }
-      s.stats.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+      rs.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Shared-latch fallback: excludes writers only; concurrent readers
@@ -229,10 +235,10 @@ bool KvStore::Get(std::uint64_t key, std::string* value_out) {
   // WAL deferral is drained before a writer releases its latch), so the
   // locked path reads the same way the optimistic one does.
   std::shared_lock<std::shared_mutex> lock(s.mu);
-  s.stats.read_latch_acquires.fetch_add(1, std::memory_order_relaxed);
+  rs.read_latch_acquires.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t ptr = 0;
   if (!s.secondary->GetRelaxed(key, &ptr)) return false;
-  s.stats.hits.fetch_add(1, std::memory_order_relaxed);
+  rs.hits.fetch_add(1, std::memory_order_relaxed);
   const auto* buf = reinterpret_cast<const std::uint64_t*>(ptr);
   std::uint64_t size = RelaxedLoad64(&buf[0]);
   if (value_out != nullptr) {
@@ -447,19 +453,21 @@ KvShardStats KvStore::shard_stats(std::size_t shard) {
   Shard& s = *shards_[shard];
   KvShardStats stats;
   stats.puts = s.stats.puts.load(std::memory_order_relaxed);
-  stats.gets = s.stats.gets.load(std::memory_order_relaxed);
-  stats.hits = s.stats.hits.load(std::memory_order_relaxed);
   stats.deletes = s.stats.deletes.load(std::memory_order_relaxed);
   stats.scans = s.stats.scans.load(std::memory_order_relaxed);
   stats.multiput_keys = s.stats.multiput_keys.load(std::memory_order_relaxed);
   stats.batched_writes =
       s.stats.batched_writes.load(std::memory_order_relaxed);
-  stats.optimistic_hits =
-      s.stats.optimistic_hits.load(std::memory_order_relaxed);
-  stats.optimistic_retries =
-      s.stats.optimistic_retries.load(std::memory_order_relaxed);
-  stats.read_latch_acquires =
-      s.stats.read_latch_acquires.load(std::memory_order_relaxed);
+  for (const ReadStripe& rs : s.stats.read) {
+    stats.gets += rs.gets.load(std::memory_order_relaxed);
+    stats.hits += rs.hits.load(std::memory_order_relaxed);
+    stats.optimistic_hits +=
+        rs.optimistic_hits.load(std::memory_order_relaxed);
+    stats.optimistic_retries +=
+        rs.optimistic_retries.load(std::memory_order_relaxed);
+    stats.read_latch_acquires +=
+        rs.read_latch_acquires.load(std::memory_order_relaxed);
+  }
   std::shared_lock<std::shared_mutex> lock(s.mu);
   stats.keys = s.primary->size(s.ops.get());
   return stats;
@@ -469,10 +477,16 @@ void KvStore::ResetStats() {
   for (auto& sp : shards_) {
     ShardCounters& c = sp->stats;
     for (std::atomic<std::uint64_t>* a :
-         {&c.puts, &c.gets, &c.hits, &c.deletes, &c.scans, &c.multiput_keys,
-          &c.batched_writes, &c.optimistic_hits, &c.optimistic_retries,
-          &c.read_latch_acquires}) {
+         {&c.puts, &c.deletes, &c.scans, &c.multiput_keys,
+          &c.batched_writes}) {
       a->store(0, std::memory_order_relaxed);
+    }
+    for (ReadStripe& rs : c.read) {
+      for (std::atomic<std::uint64_t>* a :
+           {&rs.gets, &rs.hits, &rs.optimistic_hits, &rs.optimistic_retries,
+            &rs.read_latch_acquires}) {
+        a->store(0, std::memory_order_relaxed);
+      }
     }
   }
 }

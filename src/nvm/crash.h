@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <exception>
 
+#include "src/obs/metrics.h"
+
 namespace rwd {
 
 /// Thrown by the NVM manager at an injected crash point. Test code catches
@@ -40,9 +42,23 @@ class CrashException : public std::exception {
 /// power died — and aborts at its next one.
 class CrashInjector {
  public:
+  ~CrashInjector() {
+    // A store torn down while still armed must not leave the global
+    // recording gate held.
+    if (pausing_.exchange(false, std::memory_order_relaxed)) {
+      obs::ResumeRecording();
+    }
+  }
+
   /// Arms the injector: the `at_event`-th subsequent persistence event
-  /// (1-based) throws.
+  /// (1-based) throws. Arming pauses ALL RewindScope recording (histogram
+  /// samples, trace events) until Disarm(): instrumentation timing must
+  /// not perturb a deterministic crash sweep, and nothing may allocate or
+  /// log between the shot landing and recovery.
   void Arm(std::uint64_t at_event) {
+    if (!pausing_.exchange(true, std::memory_order_relaxed)) {
+      obs::PauseRecording();
+    }
     counter_.store(0, std::memory_order_relaxed);
     fired_.store(false, std::memory_order_relaxed);
     target_.store(at_event, std::memory_order_relaxed);
@@ -50,9 +66,13 @@ class CrashInjector {
 
   /// Disarms the injector ("the machine is serviceable again"); always
   /// called before recovery runs (SimulateCrash disarms internally).
+  /// Resumes recording, so recovery itself IS timed.
   void Disarm() {
     target_.store(0, std::memory_order_relaxed);
     fired_.store(false, std::memory_order_relaxed);
+    if (pausing_.exchange(false, std::memory_order_relaxed)) {
+      obs::ResumeRecording();
+    }
   }
 
   /// True while armed and not yet fired (the post-fire dead-machine state
@@ -84,6 +104,9 @@ class CrashInjector {
   std::atomic<std::uint64_t> counter_{0};
   std::atomic<std::uint64_t> target_{0};
   std::atomic<bool> fired_{false};
+  /// True while this injector holds the global recording pause (spans the
+  /// whole armed-through-fired window; re-arming does not double-pause).
+  std::atomic<bool> pausing_{false};
 };
 
 }  // namespace rwd

@@ -1,0 +1,179 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rwd {
+namespace obs {
+namespace {
+
+/// Depth of nested PauseRecording() calls; recording runs at depth 0.
+std::atomic<int> g_pause_depth{0};
+
+/// Round-robin stripe assignment source.
+std::atomic<std::uint32_t> g_next_stripe{0};
+
+}  // namespace
+
+bool RecordingEnabled() {
+  return g_pause_depth.load(std::memory_order_relaxed) == 0;
+}
+
+void PauseRecording() {
+  g_pause_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResumeRecording() {
+  g_pause_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t ThreadStripe() {
+  thread_local std::size_t stripe =
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram() : stripes_(new Stripe[kHistStripes]) {}
+
+void Histogram::Record(std::uint64_t ns) {
+  if (!RecordingEnabled()) return;
+  Stripe& s = stripes_[ThreadStripe() & (kHistStripes - 1)];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+  while (cur < ns && !s.max.compare_exchange_weak(cur, ns,
+                                                  std::memory_order_relaxed)) {
+  }
+  s.buckets[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (std::size_t i = 0; i < kHistStripes; ++i) {
+    const Stripe& s = stripes_[i];
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum_ns += s.sum.load(std::memory_order_relaxed);
+    snap.max_ns =
+        std::max(snap.max_ns, s.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  if (buckets.empty()) buckets.assign(kBuckets, 0);
+  count += other.count;
+  sum_ns += other.sum_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+  for (std::size_t b = 0; b < other.buckets.size() && b < buckets.size();
+       ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+double Histogram::Snapshot::PercentileNs(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Rank of the percentile sample, 1-based, matching the nearest-rank
+  // definition a sorted-vector oracle uses.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // The midpoint can overshoot the true maximum in a sparse top
+      // bucket; the recorded max is a tighter bound.
+      return std::min(BucketMidNs(b), static_cast<double>(max_ns));
+    }
+  }
+  return static_cast<double>(max_ns);
+}
+
+// --- Registry --------------------------------------------------------------
+
+Registry& Registry::Get() {
+  static Registry* instance = new Registry();  // never destroyed: metric
+  return *instance;  // pointers must outlive static-destruction order
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<Sample> Registry::Snapshot() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(counters_.size() + gauges_.size() + 7 * histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, SampleType::kCounter,
+                   static_cast<double>(c->Value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, SampleType::kGauge, g->Value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    Histogram::Snapshot s = h->Snap();
+    out.push_back({name + ".count", SampleType::kCounter,
+                   static_cast<double>(s.count)});
+    out.push_back({name + ".p50_us", SampleType::kValue,
+                   s.PercentileNs(50) / 1e3});
+    out.push_back({name + ".p90_us", SampleType::kValue,
+                   s.PercentileNs(90) / 1e3});
+    out.push_back({name + ".p99_us", SampleType::kValue,
+                   s.PercentileNs(99) / 1e3});
+    out.push_back({name + ".p999_us", SampleType::kValue,
+                   s.PercentileNs(99.9) / 1e3});
+    out.push_back({name + ".mean_us", SampleType::kValue, s.MeanNs() / 1e3});
+    out.push_back({name + ".max_us", SampleType::kValue,
+                   static_cast<double>(s.max_ns) / 1e3});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+void SlowOpLog(const char* op, std::uint64_t detail, std::uint64_t dur_ns,
+               std::uint64_t threshold_us) {
+  if (threshold_us == 0 || dur_ns < threshold_us * 1000) return;
+  // One line per second process-wide: losing reports under a flood is the
+  // point — the first one already says where to look.
+  static std::atomic<std::uint64_t> last_log_ns{0};
+  std::uint64_t now = NowNs();
+  std::uint64_t last = last_log_ns.load(std::memory_order_relaxed);
+  if (now - last < 1'000'000'000ull) return;
+  if (!last_log_ns.compare_exchange_strong(last, now,
+                                           std::memory_order_relaxed)) {
+    return;  // another thread claimed this second's slot
+  }
+  std::fprintf(stderr, "[rewind] slow op: %s detail=%llu took %.1f us\n", op,
+               static_cast<unsigned long long>(detail),
+               static_cast<double>(dur_ns) / 1e3);
+}
+
+}  // namespace obs
+}  // namespace rwd

@@ -1,0 +1,285 @@
+// RewindScope metrics: a dependency-free observability layer shared by
+// every subsystem — named counters, gauges and log-linear latency
+// histograms behind a process-wide registry, designed so that recording
+// on the latch-free read path costs ONE relaxed increment to a
+// thread-striped cacheline (no locks, no clock reads, no allocation).
+//
+// Design rules, learned the hard way on the PR 5 read path:
+//   * Hot-path recording never reads a clock. Histograms are fed by the
+//     callers that already paid for timestamps (server ops, batch
+//     commits, 2PC phases, checkpoint/recovery) — KvStore::Get bumps
+//     striped counters only.
+//   * Everything is pre-allocated at metric-creation time; Record() and
+//     Add() never allocate, so they are safe from any context.
+//   * Recording is globally gated: while the deterministic crash
+//     injector is armed (PauseRecording), Histogram::Record, ScopedTimer
+//     and trace emission become no-ops — instrumentation must not add
+//     persistence events or timing jitter to a crash sweep.
+//   * Metrics live forever once created (the registry never erases), so
+//     cached `Histogram*`/`Counter*` pointers in hot paths stay valid
+//     for the life of the process.
+#ifndef REWIND_OBS_METRICS_H_
+#define REWIND_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rwd {
+namespace obs {
+
+// --- global recording gate -------------------------------------------------
+
+/// True unless recording is paused (crash injector armed). A relaxed load;
+/// callers use it to skip clock reads as well as the Record itself.
+bool RecordingEnabled();
+/// Nestable pause/resume of ALL histogram recording and trace emission.
+void PauseRecording();
+void ResumeRecording();
+
+/// Monotonic nanoseconds (steady clock) for phase timing.
+inline std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- striping --------------------------------------------------------------
+
+/// Stripes per counter/histogram. Power of two; 16 spreads a 2×-hyperthreaded
+/// 8-core box with no sharing in the common case.
+constexpr std::size_t kStripes = 16;
+
+/// This thread's stable stripe index in [0, kStripes): assigned round-robin
+/// on first use, so threads land on distinct cachelines until there are
+/// more threads than stripes.
+std::size_t ThreadStripe();
+
+// Emits one complete trace event (defined in trace.cc; declared here so
+// ScopedTimer needs no trace.h include). No-op unless tracing is enabled
+// and recording is not paused.
+void TraceEmit(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns);
+
+// --- metric kinds ----------------------------------------------------------
+
+/// A monotonically increasing striped counter. Add() is one relaxed
+/// fetch_add on a thread-local stripe's own cacheline. NOT gated by the
+/// recording pause: counters carry correctness-adjacent accounting (ops
+/// observed) that tests assert on even during crash sweeps.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n = 1) {
+    cells_[ThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    std::uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void Reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kStripes];
+};
+
+/// A last-value gauge (double, stored as bits in one atomic word).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double Value() const {
+    std::uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// A log-linear latency histogram over nanosecond values (HdrHistogram's
+/// bucketing scheme): 32 linear sub-buckets per power of two, so the
+/// relative quantization error is bounded by 1/32 ≈ 3.1% everywhere.
+/// Values below 32 ns map exactly; values at or above 2^36 ns (~69 s)
+/// clamp into the last bucket. Recording is striped (kHistStripes
+/// cacheline-padded bucket arrays summed at snapshot time) and gated by
+/// the global recording pause; it never allocates and is a no-op before
+/// any registry exists (the histogram itself owns all its storage).
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBits = 5;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  static constexpr std::size_t kMaxExp = 36;  ///< clamp at 2^36 ns
+  static constexpr std::size_t kBuckets =
+      (kMaxExp - kSubBits + 1) * kSubBuckets;  // 1024
+  /// Stripes per histogram (fewer than Counter's: each stripe is ~8 KiB).
+  static constexpr std::size_t kHistStripes = 8;
+
+  Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one nanosecond value: 4 relaxed atomic ops on this thread's
+  /// stripe. No-op while recording is paused.
+  void Record(std::uint64_t ns);
+
+  /// Bucket index for a value (exposed for boundary tests).
+  static std::size_t BucketIndex(std::uint64_t ns) {
+    if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+    int b = 63 - __builtin_clzll(ns);  // position of the highest set bit
+    if (b >= static_cast<int>(kMaxExp)) return kBuckets - 1;
+    std::size_t sub =
+        (ns >> (b - static_cast<int>(kSubBits))) & (kSubBuckets - 1);
+    return (static_cast<std::size_t>(b) - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+  /// Representative (midpoint) nanosecond value of a bucket.
+  static double BucketMidNs(std::size_t bucket) {
+    if (bucket < kSubBuckets) return static_cast<double>(bucket) + 0.5;
+    std::size_t chunk = bucket / kSubBuckets;  // >= 1
+    std::size_t sub = bucket % kSubBuckets;
+    double scale = static_cast<double>(std::uint64_t{1} << (chunk - 1));
+    return (static_cast<double>(kSubBuckets + sub) + 0.5) * scale;
+  }
+
+  /// A merged point-in-time view; also the merge unit (snapshots from
+  /// different histograms — e.g. per-shard instances — combine with
+  /// Merge, preserving percentile math).
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::vector<std::uint64_t> buckets;  ///< kBuckets entries
+
+    void Merge(const Snapshot& other);
+    /// Percentile in nanoseconds (p in [0, 100]); 0 with no samples.
+    /// Never exceeds max_ns (bucket midpoints are clamped to it).
+    double PercentileNs(double p) const;
+    double MeanNs() const {
+      return count ? static_cast<double>(sum_ns) / count : 0.0;
+    }
+  };
+  Snapshot Snap() const;
+
+ private:
+  struct alignas(64) Stripe {
+    Stripe() {
+      for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    }
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::atomic<std::uint64_t> buckets[kBuckets];
+  };
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+// --- registry --------------------------------------------------------------
+
+/// Wire/display type of one exported sample (STATS v2 `type` byte).
+enum class SampleType : std::uint8_t {
+  kCounter = 0,  ///< monotonic count
+  kGauge = 1,    ///< last value
+  kValue = 2,    ///< derived statistic (percentile, mean, ...)
+};
+
+/// One exported (name, type, value) triple.
+struct Sample {
+  std::string name;
+  SampleType type = SampleType::kValue;
+  double value = 0;
+};
+
+/// Process-wide metric registry. Get* calls find-or-create under a mutex
+/// (call once and cache the pointer in hot paths); returned pointers stay
+/// valid for the life of the process — entries are never erased, so a
+/// cached pointer can never dangle. Snapshot() expands each histogram
+/// into `<name>.count`, `.p50_us`, `.p90_us`, `.p99_us`, `.p999_us`,
+/// `.mean_us` and `.max_us` samples (microseconds, double).
+class Registry {
+ public:
+  static Registry& Get();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// All samples, sorted by name.
+  std::vector<Sample> Snapshot() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Rate-limited slow-operation report to stderr: logs when `dur_ns`
+/// exceeds `threshold_us` (0 disables), at most one line per second
+/// process-wide so a pathological phase cannot flood the log.
+void SlowOpLog(const char* op, std::uint64_t detail, std::uint64_t dur_ns,
+               std::uint64_t threshold_us);
+
+// --- scoped phase timer ----------------------------------------------------
+
+/// Times a scope into a histogram, optionally mirroring the duration into
+/// a `.last_us` gauge and emitting a trace event. Decides everything at
+/// construction: when recording is paused (crash injector armed) it takes
+/// no clock reads and records nothing, keeping crash sweeps deterministic.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist, const char* trace_name = nullptr,
+                       Gauge* last_us = nullptr)
+      : hist_(RecordingEnabled() ? hist : nullptr),
+        trace_name_(trace_name),
+        last_us_(last_us),
+        start_ns_(hist_ != nullptr ? NowNs() : 0) {}
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    std::uint64_t dur = NowNs() - start_ns_;
+    hist_->Record(dur);
+    if (last_us_ != nullptr) last_us_->Set(static_cast<double>(dur) / 1e3);
+    if (trace_name_ != nullptr) TraceEmit(trace_name_, start_ns_, dur);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  const char* trace_name_;
+  Gauge* last_us_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace rwd
+
+#endif  // REWIND_OBS_METRICS_H_

@@ -1,0 +1,131 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace rwd {
+namespace obs {
+namespace {
+
+/// One thread's bounded event ring. Slots are written with relaxed atomic
+/// stores, name last with release so a concurrent dump that observes the
+/// name also observes the timestamps (a dump racing an in-flight emit may
+/// read a slot mid-overwrite — tolerable for a diagnostic trace; what it
+/// can never do is fault or tear a pointer).
+struct Ring {
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+  };
+
+  Ring(std::size_t capacity, std::uint32_t tid)
+      : capacity(capacity), tid(tid), slots(new Slot[capacity]) {}
+
+  const std::size_t capacity;
+  const std::uint32_t tid;  ///< stable display id for the JSON "tid" field
+  std::unique_ptr<Slot[]> slots;
+  std::atomic<std::uint64_t> next{0};  ///< total events ever emitted
+};
+
+std::atomic<bool> g_enabled{false};
+
+/// Guards the ring registry and capacity; never held during Emit's fast
+/// path. Rings live for the life of the process (threads keep raw
+/// pointers), so a dump can walk them without lifetime games.
+std::mutex g_mu;
+std::vector<std::unique_ptr<Ring>>& Rings() {
+  static auto* rings = new std::vector<std::unique_ptr<Ring>>();
+  return *rings;
+}
+std::size_t g_capacity = 65536;
+std::uint32_t g_next_tid = 1;
+
+Ring* RegisterThisThread() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  Rings().push_back(std::make_unique<Ring>(g_capacity, g_next_tid++));
+  return Rings().back().get();
+}
+
+}  // namespace
+
+void TraceEnable(std::size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_capacity = std::max<std::size_t>(events_per_thread, 16);
+  for (auto& ring : Rings()) {
+    // Start the session empty; a slot being written right now by a thread
+    // that has not yet observed the enable flip is a lost event, not a
+    // hazard (every field is atomic).
+    for (std::size_t i = 0; i < ring->capacity; ++i) {
+      ring->slots[i].name.store(nullptr, std::memory_order_relaxed);
+    }
+    ring->next.store(0, std::memory_order_relaxed);
+  }
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceDisable() { g_enabled.store(false, std::memory_order_release); }
+
+bool TraceEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void TraceEmit(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (!RecordingEnabled()) return;
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) ring = RegisterThisThread();
+  std::uint64_t i =
+      ring->next.fetch_add(1, std::memory_order_relaxed) % ring->capacity;
+  Ring::Slot& slot = ring->slots[i];
+  slot.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_release);
+}
+
+std::size_t TraceEventCount() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::size_t total = 0;
+  for (const auto& ring : Rings()) {
+    total += static_cast<std::size_t>(std::min<std::uint64_t>(
+        ring->next.load(std::memory_order_relaxed), ring->capacity));
+  }
+  return total;
+}
+
+bool TraceDumpJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"traceEvents\": [");
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (const auto& ring : Rings()) {
+      std::uint64_t filled = std::min<std::uint64_t>(
+          ring->next.load(std::memory_order_relaxed), ring->capacity);
+      for (std::uint64_t i = 0; i < filled; ++i) {
+        const Ring::Slot& slot = ring->slots[i];
+        const char* name = slot.name.load(std::memory_order_acquire);
+        if (name == nullptr) continue;  // cleared or mid-first-write
+        std::fprintf(
+            f, "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+            "\"ts\":%.3f,\"dur\":%.3f}",
+            first ? "" : ",", name, ring->tid,
+            static_cast<double>(slot.ts_ns.load(std::memory_order_relaxed)) /
+                1e3,
+            static_cast<double>(slot.dur_ns.load(std::memory_order_relaxed)) /
+                1e3);
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace rwd

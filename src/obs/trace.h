@@ -1,0 +1,51 @@
+// RewindScope tracing: a lock-free per-thread event ring buffer dumped as
+// Chrome trace_event JSON (load the file at chrome://tracing or
+// https://ui.perfetto.dev). Emission is wait-free on the recording thread
+// — one relaxed fetch_add plus three relaxed stores into a
+// thread-private ring slot — and a disabled tracer costs one relaxed
+// load. Rings are bounded: each thread keeps its most recent
+// `events_per_thread` events, older ones are overwritten.
+//
+// Event names must be string literals (or otherwise immortal): only the
+// pointer is stored in the ring.
+#ifndef REWIND_OBS_TRACE_H_
+#define REWIND_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rwd {
+namespace obs {
+
+/// Turns tracing on. Rings are allocated lazily per emitting thread (and
+/// reused — with their original capacity — across Disable/Enable cycles);
+/// already-buffered events are cleared so a new session starts empty.
+void TraceEnable(std::size_t events_per_thread = 65536);
+
+/// Turns tracing off. Rings are retained (threads may be mid-emit; nothing
+/// is ever freed), just no longer written.
+void TraceDisable();
+
+bool TraceEnabled();
+
+/// Records one complete-duration event. No-op unless tracing is enabled
+/// AND recording is not paused (see metrics.h — the crash injector pauses
+/// recording, so crash sweeps see zero instrumentation activity). `name`
+/// must outlive the tracing session (use a string literal).
+void TraceEmit(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns);
+
+/// Events currently buffered across all rings (test/diagnostic hook).
+std::size_t TraceEventCount();
+
+/// Writes everything buffered as a Chrome trace_event JSON file
+/// (`{"traceEvents": [...]}`, "ph":"X" complete events, microsecond
+/// timestamps). Returns false when the file cannot be written. May be
+/// called while tracing is live (SIGUSR1 handler path); events emitted
+/// concurrently with the dump may or may not be included.
+bool TraceDumpJson(const std::string& path);
+
+}  // namespace obs
+}  // namespace rwd
+
+#endif  // REWIND_OBS_TRACE_H_

@@ -5,18 +5,41 @@
 #include <utility>
 
 #include "src/nvm/crash.h"
+#include "src/obs/metrics.h"
 
 namespace rwd {
 namespace serve {
+namespace {
+
+/// Batcher phase + per-write-op latency histograms. The server-side write
+/// latency (submit to post-fence ack dispatch) lives here because only
+/// the batcher knows when a group's covering batch fenced.
+struct BatchMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Histogram* window = reg.GetHistogram("batcher.window");
+  obs::Histogram* commit = reg.GetHistogram("batcher.commit");
+  obs::Histogram* op_put = reg.GetHistogram("server.op.put");
+  obs::Histogram* op_del = reg.GetHistogram("server.op.del");
+  obs::Histogram* op_mput = reg.GetHistogram("server.op.mput");
+};
+
+BatchMetrics& Metrics() {
+  static BatchMetrics m;
+  return m;
+}
+
+}  // namespace
 
 GroupCommitBatcher::GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
                                        std::size_t max_pending_ops,
-                                       CompletionSink sink, CrashHook on_crash)
+                                       CompletionSink sink, CrashHook on_crash,
+                                       std::uint64_t slow_op_threshold_us)
     : store_(store),
       window_us_(window_us),
       max_pending_ops_(max_pending_ops == 0 ? 1 : max_pending_ops),
       sink_(std::move(sink)),
-      on_crash_(std::move(on_crash)) {}
+      on_crash_(std::move(on_crash)),
+      slow_op_threshold_us_(slow_op_threshold_us) {}
 
 GroupCommitBatcher::~GroupCommitBatcher() { Stop(); }
 
@@ -42,7 +65,8 @@ bool GroupCommitBatcher::Submit(std::uint32_t worker, std::uint64_t conn_id,
     if (stop_) return false;
     std::size_t first = pending_ops_.size();
     for (KvWriteOp& w : ops) pending_ops_.push_back(std::move(w));
-    pending_groups_.push_back({worker, conn_id, op, first, ops.size()});
+    std::uint64_t now = obs::RecordingEnabled() ? obs::NowNs() : 0;
+    pending_groups_.push_back({worker, conn_id, op, first, ops.size(), now});
     depth_.fetch_add(ops.size(), std::memory_order_relaxed);
   }
   cv_.notify_one();
@@ -80,7 +104,15 @@ void GroupCommitBatcher::Loop() {
 
 bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
                                      std::vector<Group>& groups) {
+  // Coalescing window actually achieved by this batch: oldest submit to
+  // commit start (window sleep + queue wait, what an acked write waited
+  // before its commit even began).
+  if (!groups.empty() && groups.front().submit_ns != 0 &&
+      obs::RecordingEnabled()) {
+    Metrics().window->Record(obs::NowNs() - groups.front().submit_ns);
+  }
   try {
+    obs::ScopedTimer commit_timer(Metrics().commit, "batch.commit");
     store_->ApplyBatch(ops);
   } catch (const CrashException&) {
     // The "machine" lost power mid-batch: nothing from this batch is
@@ -91,7 +123,26 @@ bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_writes_.fetch_add(ops.size(), std::memory_order_relaxed);
+  // The batch has fenced: every group's writes are durable. Record each
+  // group's submit-to-ack-dispatch latency as the server-side write
+  // latency (the epoll worker's send() is not included — acceptable for a
+  // server-internal SLO).
+  std::uint64_t ack_ns =
+      obs::RecordingEnabled() ? obs::NowNs() : 0;
   std::map<std::uint32_t, std::vector<WriteCompletion>> by_worker;
+  for (const Group& g : groups) {
+    if (ack_ns != 0 && g.submit_ns != 0) {
+      std::uint64_t dur = ack_ns - g.submit_ns;
+      obs::Histogram* hist = g.op == Op::kPut   ? Metrics().op_put
+                             : g.op == Op::kDel ? Metrics().op_del
+                                                : Metrics().op_mput;
+      hist->Record(dur);
+      obs::SlowOpLog(g.op == Op::kPut   ? "PUT"
+                     : g.op == Op::kDel ? "DEL"
+                                        : "MPUT",
+                     g.count, dur, slow_op_threshold_us_);
+    }
+  }
   for (const Group& g : groups) {
     Status status = Status::kOk;
     std::uint64_t applied = 0;

@@ -47,9 +47,13 @@ class GroupCommitBatcher {
   /// commits immediately, so the queue drains at full speed instead of
   /// growing while the window timer runs. (The server additionally stops
   /// reading from connections whose own writes are not draining.)
+  /// `slow_op_threshold_us` feeds the rate-limited slow-op log: a write
+  /// group whose submit-to-ack latency exceeds it is reported to stderr
+  /// (0 disables).
   GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
                      std::size_t max_pending_ops, CompletionSink sink,
-                     CrashHook on_crash);
+                     CrashHook on_crash,
+                     std::uint64_t slow_op_threshold_us = 0);
   ~GroupCommitBatcher();
 
   void Start();
@@ -83,6 +87,9 @@ class GroupCommitBatcher {
     Op op;
     std::size_t first;
     std::size_t count;
+    /// Submit timestamp for the write-latency histograms (0 while
+    /// recording is paused — then nothing is recorded at commit either).
+    std::uint64_t submit_ns;
   };
 
   void Loop();
@@ -95,6 +102,7 @@ class GroupCommitBatcher {
   std::size_t max_pending_ops_;
   CompletionSink sink_;
   CrashHook on_crash_;
+  std::uint64_t slow_op_threshold_us_;
 
   std::mutex mu_;
   std::condition_variable cv_;

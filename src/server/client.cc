@@ -89,6 +89,11 @@ void KvClient::QueueStats() {
   ++pending_;
 }
 
+void KvClient::QueueStats2() {
+  EncodeStats2(&send_);
+  ++pending_;
+}
+
 bool KvClient::SendAll(const char* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
@@ -199,6 +204,14 @@ bool KvClient::Stats(StatsReply* out) {
   Reply r;
   if (!RoundTrip(&r) || r.status != Status::kOk) return false;
   return DecodeStatsPayload(r.payload, out);
+}
+
+bool KvClient::Stats2(std::vector<MetricSample>* out) {
+  if (pending_ != 0) return false;
+  QueueStats2();
+  Reply r;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  return DecodeStats2Payload(r.payload, out);
 }
 
 }  // namespace serve

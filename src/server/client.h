@@ -43,6 +43,7 @@ class KvClient {
   void QueueMput(
       const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
   void QueueStats();
+  void QueueStats2();
   /// Sends everything queued. False on socket error (connection closed).
   bool Flush();
   /// Reads the next reply frame; replies arrive in request order. False on
@@ -62,6 +63,9 @@ class KvClient {
   bool MultiPut(
       const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
   bool Stats(StatsReply* out);
+  /// STATS v2: the self-describing metric dump. Unknown names and sample
+  /// types decode fine — callers filter by the names they understand.
+  bool Stats2(std::vector<MetricSample>* out);
 
  private:
   bool SendAll(const char* data, std::size_t size);

@@ -18,9 +18,20 @@
 //                                         arrays are per-shard log bytes,
 //                                         then per-shard read-latch
 //                                         acquisitions)
+//   STATS2 (empty)                     -> OK n:u32 n*(name_len:u16 name
+//                                         type:u8 value:f64-bits-as-u64)
+//                                         — the self-describing metrics
+//                                         snapshot. New metrics never
+//                                         change this format (no more
+//                                         kStatsWords bumps): decoders
+//                                         read triples generically and
+//                                         ignore names/types they do not
+//                                         know, so old clients stay
+//                                         forward compatible.
 #ifndef REWIND_SERVER_PROTOCOL_H_
 #define REWIND_SERVER_PROTOCOL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -38,6 +49,7 @@ enum class Op : std::uint8_t {
   kScan = 4,
   kMput = 5,
   kStats = 6,
+  kStats2 = 7,  ///< self-describing metrics snapshot (RewindScope)
 };
 
 enum class Status : std::uint8_t {
@@ -85,6 +97,28 @@ struct StatsReply {
   std::vector<std::uint64_t> shard_read_latches;
 };
 constexpr std::size_t kStatsWords = 18;
+
+/// One STATS2 (name, type, value) triple. `type` mirrors
+/// obs::SampleType's wire values — 0 counter, 1 gauge, 2 derived value —
+/// but is carried as a raw byte so decoders accept types they do not know
+/// yet (the value field is always IEEE-754 f64 bits regardless of type).
+struct MetricSample {
+  std::string name;
+  std::uint8_t type = 2;
+  double value = 0;
+};
+
+inline void AppendU16(std::string* s, std::uint16_t v) {
+  char b[2];
+  std::memcpy(b, &v, 2);
+  s->append(b, 2);
+}
+
+inline std::uint16_t ReadU16(const char* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
 
 inline void AppendU32(std::string* s, std::uint32_t v) {
   char b[4];
@@ -172,6 +206,24 @@ inline void EncodeStats(std::string* out) {
   EndFrame(out, at);
 }
 
+inline void EncodeStats2(std::string* out) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kStats2));
+  EndFrame(out, at);
+}
+
+/// Appends one STATS2 triple (server side / test fixtures). Names longer
+/// than 64 KiB truncate (never happens for registry names).
+inline void AppendMetricSample(std::string* out, const MetricSample& m) {
+  std::uint16_t len = static_cast<std::uint16_t>(
+      std::min<std::size_t>(m.name.size(), 0xffff));
+  AppendU16(out, len);
+  out->append(m.name.data(), len);
+  out->push_back(static_cast<char>(m.type));
+  std::uint64_t bits;
+  std::memcpy(&bits, &m.value, 8);
+  AppendU64(out, bits);
+}
+
 // --- payload decoders shared by client and tests ---
 
 /// Parses a SCAN response payload into (key, value) pairs.
@@ -233,6 +285,37 @@ inline bool DecodeStatsPayload(std::string_view payload, StatsReply* out) {
         ReadU64(p + (kStatsWords + out->shards + s) * 8));
   }
   return true;
+}
+
+/// Parses a STATS2 response payload into samples. Deliberately generic:
+/// every triple is (length-prefixed name, type byte, f64 bits), so
+/// metrics added by a NEWER server — unknown names, unknown type bytes —
+/// decode fine and callers simply skip names they do not recognize.
+inline bool DecodeStats2Payload(std::string_view payload,
+                                std::vector<MetricSample>* out) {
+  if (payload.size() < 4) return false;
+  std::uint32_t n = ReadU32(payload.data());
+  std::size_t off = 4;
+  out->clear();
+  out->reserve(std::min<std::uint32_t>(n, 4096));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (payload.size() - off < 2) return false;
+    std::uint16_t name_len = ReadU16(payload.data() + off);
+    off += 2;
+    if (payload.size() - off < static_cast<std::size_t>(name_len) + 9) {
+      return false;
+    }
+    MetricSample m;
+    m.name.assign(payload.data() + off, name_len);
+    off += name_len;
+    m.type = static_cast<std::uint8_t>(payload[off]);
+    off += 1;
+    std::uint64_t bits = ReadU64(payload.data() + off);
+    std::memcpy(&m.value, &bits, 8);
+    off += 8;
+    out->push_back(std::move(m));
+  }
+  return off == payload.size();
 }
 
 }  // namespace serve

@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace rwd {
 namespace serve {
 namespace {
@@ -24,8 +26,63 @@ namespace {
 constexpr std::uint64_t kIdWake = 0;
 constexpr std::uint64_t kIdListen = 1;
 
+/// Read-path server op latencies (request execution through reply
+/// serialization). Write ops are timed in batcher.cc, where the covering
+/// batch's fence — the durability point — is known.
+struct ServerMetrics {
+  obs::Registry& reg = obs::Registry::Get();
+  obs::Histogram* op_get = reg.GetHistogram("server.op.get");
+  obs::Histogram* op_scan = reg.GetHistogram("server.op.scan");
+};
+
+ServerMetrics& SrvMetrics() {
+  static ServerMetrics m;
+  return m;
+}
+
 bool ValidWriteKey(std::uint64_t key) {
   return key != 0 && key != ~std::uint64_t{0};
+}
+
+/// STATS v2 payload: registry metrics (histograms pre-expanded into
+/// .count/.p50_us/.p90_us/.p99_us/.p999_us/.mean_us/.max_us samples) plus
+/// the v1 counters republished under stable dotted names. A generic
+/// scraper decodes it without knowing kStatsWords or any metric name.
+void AppendStats2Payload(const StatsReply& stats, std::string* out) {
+  std::vector<MetricSample> samples;
+  auto counter = [&samples](const char* name, std::uint64_t v) {
+    samples.push_back({name,
+                       static_cast<std::uint8_t>(obs::SampleType::kCounter),
+                       static_cast<double>(v)});
+  };
+  auto gauge = [&samples](const char* name, std::uint64_t v) {
+    samples.push_back({name,
+                       static_cast<std::uint8_t>(obs::SampleType::kGauge),
+                       static_cast<double>(v)});
+  };
+  gauge("server.keys", stats.keys);
+  counter("server.acked_writes", stats.acked_writes);
+  counter("server.batches", stats.batches);
+  counter("server.batched_writes", stats.batched_writes);
+  counter("server.gets", stats.gets);
+  counter("server.scans", stats.scans);
+  counter("server.connections", stats.connections);
+  gauge("server.shards", stats.shards);
+  gauge("server.batcher_depth", stats.batcher_depth);
+  gauge("server.prepared_txns", stats.prepared_txns);
+  gauge("server.heap_used_bytes", stats.heap_used_bytes);
+  gauge("server.heap_high_watermark", stats.heap_high_watermark);
+  counter("kv.optimistic_hits", stats.optimistic_hits);
+  counter("kv.optimistic_retries", stats.optimistic_retries);
+  counter("kv.read_latch_acquires", stats.read_latch_acquires);
+  counter("txn.parallel_prepares", stats.parallel_prepares);
+  gauge("txn.max_prepare_fanout", stats.max_prepare_fanout);
+  for (const obs::Sample& s : obs::Registry::Get().Snapshot()) {
+    samples.push_back(
+        {s.name, static_cast<std::uint8_t>(s.type), s.value});
+  }
+  AppendU32(out, static_cast<std::uint32_t>(samples.size()));
+  for (const MetricSample& m : samples) AppendMetricSample(out, m);
 }
 
 /// One parsed request frame, queued per connection in arrival order.
@@ -128,7 +185,8 @@ bool KvServer::Start() {
       },
       [this] {
         for (auto& w : workers_) WakeWorker(*w);
-      });
+      },
+      config_.slow_op_threshold_us);
   batcher_->Start();
   stop_.store(false, std::memory_order_release);
   for (auto& w : workers_) {
@@ -372,7 +430,8 @@ bool KvServer::ParseFrames(Conn& c) {
         break;
       }
       case Op::kStats:
-        req.op = Op::kStats;
+      case Op::kStats2:
+        req.op = static_cast<Op>(static_cast<std::uint8_t>(*p));
         if (body != 0) req.bad = true;
         break;
       default:
@@ -406,6 +465,10 @@ void KvServer::Drive(Worker& w, Conn& c) {
         EndFrame(&c.out, at);
       } else if (req.op == Op::kGet) {
         gets_.fetch_add(1, std::memory_order_relaxed);
+        // One clock pair per server GET (not per KvStore::Get — clocks in
+        // the latch-free read path itself would halve its throughput).
+        bool timed = obs::RecordingEnabled();
+        std::uint64_t t0 = timed ? obs::NowNs() : 0;
         std::string value;
         bool found = store_->Get(req.key, &value);
         std::size_t at = BeginFrame(
@@ -413,8 +476,15 @@ void KvServer::Drive(Worker& w, Conn& c) {
                                                     : Status::kNotFound));
         if (found) c.out.append(value);
         EndFrame(&c.out, at);
+        if (timed) {
+          std::uint64_t dur = obs::NowNs() - t0;
+          SrvMetrics().op_get->Record(dur);
+          obs::SlowOpLog("GET", req.key, dur, config_.slow_op_threshold_us);
+        }
       } else if (req.op == Op::kScan) {
         scans_.fetch_add(1, std::memory_order_relaxed);
+        bool timed = obs::RecordingEnabled();
+        std::uint64_t t0 = timed ? obs::NowNs() : 0;
         std::uint32_t max_items =
             std::min(req.max_items, config_.max_scan_items);
         std::string items;
@@ -439,6 +509,16 @@ void KvServer::Drive(Worker& w, Conn& c) {
             BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
         AppendU32(&c.out, count);
         c.out.append(items);
+        EndFrame(&c.out, at);
+        if (timed) {
+          std::uint64_t dur = obs::NowNs() - t0;
+          SrvMetrics().op_scan->Record(dur);
+          obs::SlowOpLog("SCAN", req.key, dur, config_.slow_op_threshold_us);
+        }
+      } else if (req.op == Op::kStats2) {
+        std::size_t at =
+            BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
+        AppendStats2Payload(StatsSnapshot(), &c.out);
         EndFrame(&c.out, at);
       } else {  // Op::kStats
         StatsReply stats = StatsSnapshot();

@@ -44,6 +44,10 @@ struct ServerConfig {
   /// Per-connection cap on writes awaiting group commit; over it the
   /// connection likewise stops being read until acks arrive.
   std::uint32_t max_unacked_writes = 512;
+  /// Slow-op threshold (microseconds) for the rate-limited stderr report:
+  /// reads slower than this at execution, and writes slower than this
+  /// from submit to post-fence ack, get logged. 0 disables.
+  std::uint64_t slow_op_threshold_us = 0;
 };
 
 class KvServer {

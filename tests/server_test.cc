@@ -114,6 +114,94 @@ TEST(KvServer, RoundTripAllOps) {
   EXPECT_FALSE(server.crashed());
 }
 
+// STATS v2: the self-describing metric dump round-trips over a live
+// server and carries both the v1-derived samples and RewindScope's
+// latency histograms (non-zero percentiles, no kStatsWords involved).
+TEST(KvServer, Stats2SelfDescribingMetrics) {
+  KvStore store(ServerKvConfig());
+  serve::KvServer server(&store, TestServerConfig());
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+
+  for (std::uint64_t k = 1; k <= 20; ++k) {
+    ASSERT_TRUE(client.Put(k, ValueFor(k, 0)));
+  }
+  // A multi-key MPUT spans shards, forcing the 2PC (prepare) path.
+  ASSERT_TRUE(client.MultiPut(
+      {{101, "a"}, {102, "b"}, {103, "c"}, {104, "d"}, {105, "e"}}));
+  std::string value;
+  for (std::uint64_t k = 1; k <= 20; ++k) {
+    ASSERT_TRUE(client.Get(k, &value));
+  }
+
+  std::vector<serve::MetricSample> samples;
+  ASSERT_TRUE(client.Stats2(&samples));
+  std::map<std::string, serve::MetricSample> by_name;
+  for (const serve::MetricSample& m : samples) by_name[m.name] = m;
+
+  // The v1-derived samples agree with the v1 STATS reply (still served).
+  serve::StatsReply v1;
+  ASSERT_TRUE(client.Stats(&v1));
+  ASSERT_TRUE(by_name.count("server.keys"));
+  EXPECT_EQ(by_name["server.keys"].value, static_cast<double>(v1.keys));
+  EXPECT_EQ(by_name["server.keys"].type, 1);  // gauge
+  ASSERT_TRUE(by_name.count("server.gets"));
+  EXPECT_GE(by_name["server.gets"].value, 20.0);
+  EXPECT_EQ(by_name["server.gets"].type, 0);  // counter
+
+  // RewindScope histograms (process-global registry, so >=): the timed
+  // GETs landed and sub-µs phases still export non-zero µs doubles.
+  ASSERT_TRUE(by_name.count("server.op.get.count"));
+  EXPECT_GE(by_name["server.op.get.count"].value, 20.0);
+  ASSERT_TRUE(by_name.count("server.op.get.p99_us"));
+  EXPECT_GT(by_name["server.op.get.p99_us"].value, 0.0);
+  ASSERT_TRUE(by_name.count("server.op.put.count"));
+  EXPECT_GE(by_name["server.op.put.count"].value, 20.0);
+  ASSERT_TRUE(by_name.count("txn.prepare.count"));
+  EXPECT_GT(by_name["txn.prepare.count"].value, 0.0);
+  ASSERT_TRUE(by_name.count("txn.prepare.p99_us"));
+  EXPECT_GT(by_name["txn.prepare.p99_us"].value, 0.0);
+  ASSERT_TRUE(by_name.count("batcher.commit.count"));
+  EXPECT_GT(by_name["batcher.commit.count"].value, 0.0);
+
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
+// Forward compatibility at the wire level: the generic STATS v2 decoder
+// accepts metric names and sample-type bytes it has never seen (an older
+// scraper must keep working against a newer server), while truncation
+// and trailing garbage fail cleanly.
+TEST(Stats2Wire, DecodeAcceptsUnknownMetricsRejectsTruncation) {
+  std::string payload;
+  serve::AppendU32(&payload, 3);
+  serve::AppendMetricSample(&payload, {"metric.from.the.future", 7, 42.5});
+  serve::AppendMetricSample(&payload, {"server.keys", 1, 10.0});
+  serve::AppendMetricSample(&payload, {"", 0, -1.0});  // empty name is legal
+
+  std::vector<serve::MetricSample> out;
+  ASSERT_TRUE(serve::DecodeStats2Payload(payload, &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].name, "metric.from.the.future");
+  EXPECT_EQ(out[0].type, 7);  // unknown type byte passes through verbatim
+  EXPECT_EQ(out[0].value, 42.5);
+  EXPECT_EQ(out[1].name, "server.keys");
+  EXPECT_EQ(out[1].value, 10.0);
+  EXPECT_EQ(out[2].name, "");
+  EXPECT_EQ(out[2].value, -1.0);
+
+  // Truncation at every byte boundary fails without crashing.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<serve::MetricSample> tmp;
+    EXPECT_FALSE(
+        serve::DecodeStats2Payload(payload.substr(0, cut), &tmp))
+        << "cut=" << cut;
+  }
+  std::vector<serve::MetricSample> tmp;
+  EXPECT_FALSE(serve::DecodeStats2Payload(payload + "x", &tmp));
+}
+
 // One connection streams a deep pipeline of interleaved writes and reads
 // in a single flush; replies come back in request order and every read
 // observes the writes queued before it (the per-connection barrier).
