@@ -9,11 +9,17 @@
 //        --ops=N  --value-size=BYTES  --pipeline=N (in-flight reqs/conn)
 //        --skip-load=1 (reuse an already-loaded server)
 //        --json=PATH (machine-readable results: ops/s, p50/p99, config)
+//        --read-from-follower=PORT (RewindRepl read scale-out: odd driver
+//        threads read from the follower at --host:PORT; the run starts
+//        only after the follower's key count catches the leader's. Use
+//        with read-dominated mixes — workload c.)
 // REWIND_BENCH_SCALE scales --records/--ops defaults like the other
 // benches. Exits nonzero when the server is unreachable or no operation
 // completed, so smoke tests can assert on the exit code alone.
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "src/server/client.h"
@@ -36,6 +42,8 @@ int Main(int argc, char** argv) {
   net.host = StringFlag(argc, argv, "host", "127.0.0.1");
   net.port = static_cast<std::uint16_t>(FlagOr(argc, argv, "port", 7170));
   net.pipeline_depth = FlagOr(argc, argv, "pipeline", 16);
+  net.follower_port = static_cast<std::uint16_t>(
+      FlagOr(argc, argv, "read-from-follower", 0));
   bool skip_load = FlagOr(argc, argv, "skip-load", 0) != 0;
   std::string json_path = StringFlag(argc, argv, "json");
 
@@ -69,6 +77,38 @@ int Main(int argc, char** argv) {
     std::printf("# load: %lu keys in %.3f s (%.0f keys/s)\n",
                 static_cast<unsigned long>(loaded), load_s,
                 static_cast<double>(loaded) / load_s);
+  }
+
+  if (net.follower_port != 0) {
+    // Let replication catch up before timing reads against the follower:
+    // poll until its key count matches the leader's (bounded wait).
+    serve::KvClient leader, follower;
+    if (!leader.Connect(net.host, net.port) ||
+        !follower.Connect(net.host, net.follower_port)) {
+      std::fprintf(stderr, "cannot reach follower %s:%u\n", net.host.c_str(),
+                   net.follower_port);
+      return 1;
+    }
+    serve::StatsReply ls{}, fs{};
+    bool caught_up = false;
+    for (int i = 0; i < 200; ++i) {  // up to ~20 s
+      if (leader.Stats(&ls) && follower.Stats(&fs) && fs.keys >= ls.keys) {
+        caught_up = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (!caught_up) {
+      std::fprintf(stderr, "follower never caught up (leader=%lu "
+                   "follower=%lu keys)\n",
+                   static_cast<unsigned long>(ls.keys),
+                   static_cast<unsigned long>(fs.keys));
+      return 1;
+    }
+    std::printf("# follower %s:%u caught up (%lu keys); odd threads read "
+                "from it\n",
+                net.host.c_str(), net.follower_port,
+                static_cast<unsigned long>(fs.keys));
   }
 
   bool ok = true;
@@ -165,6 +205,8 @@ int Main(int argc, char** argv) {
     json.Add("workload", std::string(1, workload));
     json.Add("host", net.host);
     json.Add("port", static_cast<std::uint64_t>(net.port));
+    json.Add("read_from_follower",
+             static_cast<std::uint64_t>(net.follower_port));
     json.Add("threads", static_cast<std::uint64_t>(spec.threads));
     json.Add("pipeline", static_cast<std::uint64_t>(net.pipeline_depth));
     json.Add("records", spec.record_count);

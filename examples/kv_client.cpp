@@ -3,12 +3,18 @@
 // smoke (write, SIGKILL the server, restart on the same heap file, read
 // back) and handy for poking a live server by hand.
 //
-//   ./build/examples/kv_client --port=7170 put 42 hello
+//   ./build/examples/kv_client --port=7170 put 42 hello  # prints the gtid
 //   ./build/examples/kv_client --port=7170 get 42        # prints "hello"
 //   ./build/examples/kv_client --port=7170 del 42
 //   ./build/examples/kv_client --port=7170 stats
 //   ./build/examples/kv_client --port=7170 metrics   # STATS v2, one
 //                                                    # "name value" per line
+//   ./build/examples/kv_client --port=7171 getryw 42 GTID  # follower read
+//                                                    # honoring the token
+//   ./build/examples/kv_client --port=7171 promote   # follower -> leader
+//
+// --replica-of=HOST:PORT routes `get` to that replica instead of the
+// primary endpoint (reads scale out; writes keep going to --host/--port).
 //
 // Exit status: 0 on success, 2 on NOT_FOUND, 1 on usage/connection errors.
 #include <cstdio>
@@ -24,7 +30,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: kv_client [--host=H] [--port=N] "
-               "put KEY VALUE | get KEY | del KEY | stats | metrics\n");
+               "[--replica-of=H:P] put KEY VALUE | get KEY | "
+               "getryw KEY GTID | del KEY | promote | stats | metrics\n");
   return 1;
 }
 
@@ -43,6 +50,17 @@ int main(int argc, char** argv) {
   std::string cmd = argv[cmd_at];
   int args_left = argc - cmd_at - 1;
 
+  // Read routing: with --replica-of, plain `get` goes to the replica; all
+  // other commands keep talking to the primary endpoint.
+  std::string replica = StringFlag(argc, argv, "replica-of");
+  if (!replica.empty() && cmd == "get") {
+    std::size_t colon = replica.rfind(':');
+    if (colon == std::string::npos) return Usage();
+    host = replica.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::strtoul(replica.c_str() + colon + 1, nullptr, 10));
+  }
+
   serve::KvClient client;
   if (!client.Connect(host, port, /*recv_timeout_ms=*/10000)) {
     std::fprintf(stderr, "kv_client: cannot connect to %s:%u\n",
@@ -52,10 +70,14 @@ int main(int argc, char** argv) {
 
   if (cmd == "put" && args_left >= 2) {
     std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
-    if (!client.Put(key, argv[cmd_at + 2])) {
+    std::uint64_t gtid = 0;
+    if (!client.Put(key, argv[cmd_at + 2], &gtid)) {
       std::fprintf(stderr, "kv_client: put failed\n");
       return 1;
     }
+    // The replication gtid: feed it to `getryw` against a follower for a
+    // read guaranteed to observe this write.
+    std::printf("%lu\n", static_cast<unsigned long>(gtid));
     return 0;
   }
   if (cmd == "get" && args_left >= 1) {
@@ -63,6 +85,21 @@ int main(int argc, char** argv) {
     std::string value;
     if (!client.Get(key, &value)) return 2;
     std::printf("%s\n", value.c_str());
+    return 0;
+  }
+  if (cmd == "getryw" && args_left >= 2) {
+    std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
+    std::uint64_t gtid = std::strtoull(argv[cmd_at + 2], nullptr, 10);
+    std::string value;
+    if (!client.GetRyw(key, gtid, &value)) return 2;
+    std::printf("%s\n", value.c_str());
+    return 0;
+  }
+  if (cmd == "promote") {
+    if (!client.Promote()) {
+      std::fprintf(stderr, "kv_client: promote failed\n");
+      return 1;
+    }
     return 0;
   }
   if (cmd == "del" && args_left >= 1) {

@@ -15,6 +15,16 @@
 //        0 = off)  --trace-out=PATH (record phase events to per-thread
 //        rings; dumped as Chrome trace_event JSON on shutdown and on
 //        SIGUSR1 — load it in chrome://tracing or Perfetto)
+//
+// Replication (RewindRepl):
+//        --follower-of=HOST:PORT  start as a read-only follower of that
+//        leader: subscribe, catch up (snapshot if needed), apply the
+//        stream, refuse writes with NOT_LEADER until a client sends
+//        PROMOTE (kv_client promote). With --heap-file the applied
+//        position survives restarts.
+//        --sync-repl=1  leader-side semi-synchronous mode: client write
+//        acks wait until every connected follower applied the batch.
+//        --repl-ring=N  leader-side replication ring capacity (records).
 #include <csignal>
 #include <cstdio>
 #include <sys/stat.h>
@@ -25,6 +35,9 @@
 #include "bench/bench_util.h"
 #include "src/kv/kv_store.h"
 #include "src/obs/trace.h"
+#include "src/repl/applier.h"
+#include "src/repl/follower_agent.h"
+#include "src/repl/replication_log.h"
 #include "src/server/server.h"
 
 namespace {
@@ -68,6 +81,8 @@ int main(int argc, char** argv) {
       FlagOr(argc, argv, "batch-window-us", 150));
   server_config.slow_op_threshold_us =
       FlagOr(argc, argv, "slow-op-us", 0);
+  server_config.sync_repl = FlagOr(argc, argv, "sync-repl", 0) != 0;
+  std::string follower_of = StringFlag(argc, argv, "follower-of");
   std::string trace_out = StringFlag(argc, argv, "trace-out");
   if (!trace_out.empty()) obs::TraceEnable();
 
@@ -99,18 +114,55 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "kv_server: %s\n", e.what());
     return 1;
   }
+  // Every server carries a ReplicationLog so followers can subscribe at
+  // any time; the ring is tiny relative to the store. A follower also
+  // publishes what it applies — after promotion its own followers can
+  // chain off it without a restart.
+  repl::ReplicationLog repl_log(
+      static_cast<std::size_t>(FlagOr(argc, argv, "repl-ring", 4096)));
+  store->SetReplicationLog(&repl_log);
+
+  // Follower role: replay the leader's stream through our own ApplyBatch
+  // and refuse client writes until promoted.
+  std::unique_ptr<repl::ReplApplier> applier;
+  std::unique_ptr<repl::FollowerAgent> agent;
+  if (!follower_of.empty()) {
+    std::size_t colon = follower_of.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "kv_server: --follower-of wants HOST:PORT\n");
+      return 1;
+    }
+    applier = std::make_unique<repl::ReplApplier>(store.get());
+    agent = std::make_unique<repl::FollowerAgent>(
+        applier.get(), follower_of.substr(0, colon),
+        static_cast<std::uint16_t>(
+            std::stoul(follower_of.substr(colon + 1))));
+    server_config.read_only = true;
+    server_config.applier = applier.get();
+    server_config.on_promote = [&agent] { agent->Stop(); };
+  }
+
   serve::KvServer server(store.get(), server_config);
   if (!server.Start()) {
     std::fprintf(stderr, "kv_server: cannot bind port %u\n",
                  server_config.port);
     return 1;
   }
+  if (agent) agent->Start();
   std::printf("kv_server listening on port %u — shards=%zu workers=%u "
-              "batch-window=%uus rewind=%s heap=%s\n",
+              "batch-window=%uus rewind=%s heap=%s role=%s\n",
               server.port(), store->shards(), server_config.workers,
               server_config.batch_window_us,
               config.rewind.Label().c_str(),
-              heap_file.empty() ? "dram" : heap_file.c_str());
+              heap_file.empty() ? "dram" : heap_file.c_str(),
+              follower_of.empty()
+                  ? (server_config.sync_repl ? "leader(sync)" : "leader")
+                  : "follower");
+  if (!follower_of.empty()) {
+    std::printf("kv_server: following %s (applied_gtid=%lu)\n",
+                follower_of.c_str(),
+                static_cast<unsigned long>(applier->applied_gtid()));
+  }
   std::fflush(stdout);
 
   for (;;) {
@@ -130,7 +182,18 @@ int main(int argc, char** argv) {
   }
 
   std::printf("kv_server: shutting down...\n");
+  if (agent) agent->Stop();
   server.Stop();
+  std::string applied_note;
+  if (applier) {
+    applied_note =
+        " applied_gtid=" + std::to_string(applier->applied_gtid());
+  }
+  std::printf("kv_server: repl published=%lu last_gtid=%lu lag=%lu%s\n",
+              static_cast<unsigned long>(repl_log.records_published()),
+              static_cast<unsigned long>(repl_log.last_gtid()),
+              static_cast<unsigned long>(repl_log.lag_batches()),
+              applied_note.c_str());
   if (!trace_out.empty() && obs::TraceDumpJson(trace_out)) {
     std::printf("kv_server: dumped %zu trace events to %s\n",
                 obs::TraceEventCount(), trace_out.c_str());

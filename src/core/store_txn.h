@@ -69,7 +69,17 @@ class StoreTxn {
   /// produce and by the hardware). The pool also stands down whenever the
   /// crash injector is armed, keeping crash-sweep tests deterministic and
   /// delivering the injected CrashException on the calling thread.
-  explicit StoreTxn(Runtime* runtime, std::size_t pool_threads = 0);
+  ///
+  /// `truncate_batch` controls lazy decision-log truncation: the decision
+  /// records of committed transactions are batched and erased
+  /// `truncate_batch` at a time instead of one erase (with its log
+  /// bookkeeping) per commit. <= 1 restores the eager per-commit erase;
+  /// the eager path is also always used while the crash injector is armed
+  /// (crash sweeps step through a deterministic persistence-event
+  /// schedule). Lingering records are safe: recovery treats a decision
+  /// whose participants all ENDed as a no-op and clears the log.
+  explicit StoreTxn(Runtime* runtime, std::size_t pool_threads = 0,
+                    std::size_t truncate_batch = 32);
   ~StoreTxn();
 
   StoreTxn(const StoreTxn&) = delete;
@@ -114,13 +124,27 @@ class StoreTxn {
     return offloaded_tasks_.load(std::memory_order_relaxed);
   }
 
-  /// Clears the prepared gauge after a simulated power failure (the
-  /// in-flight commit it counted no longer exists; recovery resolved it).
-  void ResetAfterCrash() {
-    prepared_now_.store(0, std::memory_order_relaxed);
+  /// Erases every backlogged consumed decision record now (tests, and
+  /// graceful shutdown). Counts as one truncation when records flush.
+  void FlushDecisionBacklog();
+  /// Times the backlog has been flushed to the coordinator log (the
+  /// STATS v2 `txn.decision_log_truncations` counter).
+  std::uint64_t decision_log_truncations() const {
+    return decision_truncations_.load(std::memory_order_relaxed);
   }
+  /// Consumed decision records awaiting a batched erase.
+  std::size_t decision_backlog() const;
+
+  /// Clears the prepared gauge after a simulated power failure (the
+  /// in-flight commit it counted no longer exists; recovery resolved it)
+  /// and drops the decision backlog — recovery rebuilt the coordinator
+  /// log, so the backlogged LogRecord pointers no longer name anything.
+  void ResetAfterCrash();
 
  private:
+  /// Consumes a committed transaction's decision record: eager erase, or
+  /// push onto the backlog and erase `truncate_batch_` at a time.
+  void RetireDecision(LogRecord* decision);
   /// Applies `fn` to every participant. With `parallel` (and a live pool)
   /// participants [1, n) are offloaded as pool tasks while the caller runs
   /// participant 0, then joins; exceptions from any side are rethrown on
@@ -141,6 +165,12 @@ class StoreTxn {
   std::atomic<std::uint64_t> parallel_prepares_{0};
   std::atomic<std::uint64_t> max_prepare_fanout_{0};
   std::atomic<std::uint64_t> offloaded_tasks_{0};
+
+  // Lazy decision-log truncation.
+  const std::size_t truncate_batch_;
+  mutable std::mutex decisions_mu_;
+  std::vector<LogRecord*> consumed_decisions_;
+  std::atomic<std::uint64_t> decision_truncations_{0};
 
   // Fan-out pool: a plain task queue so any number of concurrent Commit()
   // calls (disjoint shard sets latch independently) can share the workers.

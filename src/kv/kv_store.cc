@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "src/nvm/atomic_mem.h"
+#include "src/repl/replication_log.h"
 
 namespace rwd {
 namespace {
@@ -43,7 +44,8 @@ KvStore::KvStore(const KvConfig& config, Runtime::OpenMode open)
           /*coordinator_partition=*/std::max<std::size_t>(config.shards, 1),
           open)),
       store_txn_(std::make_unique<StoreTxn>(runtime_.get(),
-                                            config.prepare_threads)) {
+                                            config.prepare_threads,
+                                            config.decision_truncate_batch)) {
   std::size_t n = runtime_->partitions() - 1;
   NvmHeap& heap = runtime_->nvm().heap();
   shards_.reserve(n);
@@ -163,6 +165,12 @@ bool KvStore::DeleteInOp(Shard& s, std::uint64_t key) {
   return true;
 }
 
+void KvStore::PublishRepl(const std::vector<KvWriteOp>& ops) {
+  if (repl_log_ == nullptr || ops.empty()) return;
+  std::uint64_t gtid = repl_log_->Publish(ops);
+  last_pub_gtid_.store(gtid, std::memory_order_release);
+}
+
 bool KvStore::Put(std::uint64_t key, std::string_view value) {
   if (!ValidKey(key)) return false;
   Shard& s = *shards_[ShardOf(key)];
@@ -173,6 +181,13 @@ bool KvStore::Put(std::uint64_t key, std::string_view value) {
   PutInOp(s, key, value);
   s.ops->CommitOp();
   WriteEnd(s);
+  if (repl_log_ != nullptr) {
+    KvWriteOp op;
+    op.key = key;
+    op.value = std::string(value);
+    op.applied = true;
+    PublishRepl({std::move(op)});
+  }
   return true;
 }
 
@@ -217,7 +232,17 @@ bool KvStore::Get(std::uint64_t key, std::string* value_out) {
   // the server-op layer instead.
   ReadStripe& rs = s.stats.read[obs::ThreadStripe()];
   rs.gets.fetch_add(1, std::memory_order_relaxed);
-  if (config_.optimistic_reads) {
+  // Writer-starvation guard: when the shard has eaten a run of
+  // back-to-back validation conflicts (a reader burst spinning against a
+  // writer that holds the exclusive latch), stop feeding the spin — go
+  // straight to the shared latch, which queues fairly behind the writer.
+  // The fast path only LOADS the shared counter; it is written on
+  // conflicts (already the slow path) and once per recovery read.
+  const std::uint32_t limit = config_.starvation_retry_limit;
+  bool starved =
+      limit != 0 &&
+      s.consec_retries.load(std::memory_order_relaxed) >= limit;
+  if (config_.optimistic_reads && !starved) {
     // A couple of latch-free attempts; under a write burst the shared
     // latch is cheaper than spinning on validation conflicts.
     for (int attempt = 0; attempt < 2; ++attempt) {
@@ -225,10 +250,16 @@ bool KvStore::Get(std::uint64_t key, std::string* value_out) {
       if (TryOptimisticGet(s, key, value_out, &found)) {
         rs.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
         if (found) rs.hits.fetch_add(1, std::memory_order_relaxed);
+        if (s.consec_retries.load(std::memory_order_relaxed) != 0) {
+          s.consec_retries.store(0, std::memory_order_relaxed);
+        }
         return found;
       }
       rs.optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+      s.consec_retries.fetch_add(1, std::memory_order_relaxed);
     }
+  } else if (starved) {
+    rs.starvation_fallbacks.fetch_add(1, std::memory_order_relaxed);
   }
   // Shared-latch fallback: excludes writers only; concurrent readers
   // proceed. With writers excluded the relaxed probe is exact (the Batch
@@ -236,6 +267,11 @@ bool KvStore::Get(std::uint64_t key, std::string* value_out) {
   // locked path reads the same way the optimistic one does.
   std::shared_lock<std::shared_mutex> lock(s.mu);
   rs.read_latch_acquires.fetch_add(1, std::memory_order_relaxed);
+  // A latched read completing means the writer burst has drained past us;
+  // re-arm the optimistic path (the guard is an escape hatch, not a mode).
+  if (s.consec_retries.load(std::memory_order_relaxed) != 0) {
+    s.consec_retries.store(0, std::memory_order_relaxed);
+  }
   std::uint64_t ptr = 0;
   if (!s.secondary->GetRelaxed(key, &ptr)) return false;
   rs.hits.fetch_add(1, std::memory_order_relaxed);
@@ -259,6 +295,13 @@ bool KvStore::Delete(std::uint64_t key) {
   EraseInOp(s, key, ptr);
   s.ops->CommitOp();
   WriteEnd(s);
+  if (repl_log_ != nullptr) {
+    KvWriteOp op;
+    op.kind = KvWriteOp::Kind::kDelete;
+    op.key = key;
+    op.applied = true;
+    PublishRepl({std::move(op)});
+  }
   return true;
 }
 
@@ -341,6 +384,20 @@ bool KvStore::MultiPut(
   }
   CommitInvolved(involved);
   for (std::size_t i : involved) WriteEnd(*shards_[i]);
+  if (repl_log_ != nullptr) {
+    // Still under the involved shard latches: the record orders correctly
+    // against every other writer touching these keys.
+    std::vector<KvWriteOp> rec;
+    rec.reserve(kvs.size());
+    for (const auto& [key, value] : kvs) {
+      KvWriteOp op;
+      op.key = key;
+      op.value = value;
+      op.applied = true;
+      rec.push_back(std::move(op));
+    }
+    PublishRepl(rec);
+  }
   return true;
 }
 
@@ -396,6 +453,15 @@ void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
   }
   CommitInvolved(involved);
   for (std::size_t i : involved) WriteEnd(*shards_[i]);
+  if (repl_log_ != nullptr) {
+    // Ship only the ops that took effect (a delete-miss has nothing to
+    // replay); still under the involved shard latches.
+    std::vector<KvWriteOp> rec;
+    for (const KvWriteOp& op : ops) {
+      if (op.applied) rec.push_back(op);
+    }
+    PublishRepl(rec);
+  }
 }
 
 void KvStore::CrashAndRecover(double evict_probability, std::uint64_t seed) {
@@ -467,6 +533,8 @@ KvShardStats KvStore::shard_stats(std::size_t shard) {
         rs.optimistic_retries.load(std::memory_order_relaxed);
     stats.read_latch_acquires +=
         rs.read_latch_acquires.load(std::memory_order_relaxed);
+    stats.starvation_fallbacks +=
+        rs.starvation_fallbacks.load(std::memory_order_relaxed);
   }
   std::shared_lock<std::shared_mutex> lock(s.mu);
   stats.keys = s.primary->size(s.ops.get());
@@ -484,7 +552,7 @@ void KvStore::ResetStats() {
     for (ReadStripe& rs : c.read) {
       for (std::atomic<std::uint64_t>* a :
            {&rs.gets, &rs.hits, &rs.optimistic_hits, &rs.optimistic_retries,
-            &rs.read_latch_acquires}) {
+            &rs.read_latch_acquires, &rs.starvation_fallbacks}) {
         a->store(0, std::memory_order_relaxed);
       }
     }

@@ -26,6 +26,10 @@
 
 namespace rwd {
 
+namespace repl {
+class ReplicationLog;
+}  // namespace repl
+
 /// Configuration of a RewindKV instance.
 struct KvConfig {
   /// REWIND configuration shared by every shard (log layout, policy, NVM).
@@ -49,6 +53,16 @@ struct KvConfig {
   /// (StoreTxn): 0 sizes it automatically from the hardware, 1 forces the
   /// sequential (pre-fan-out) pipeline.
   std::size_t prepare_threads = 0;
+  /// Writer-starvation guard for the latch-free read path: once this many
+  /// consecutive optimistic attempts on one shard have failed validation
+  /// (a reader burst spinning against back-to-back writers), readers skip
+  /// straight to the shared latch until a read completes cleanly. 0
+  /// disables the guard.
+  std::uint32_t starvation_retry_limit = 16;
+  /// Coordinator decision records consumed by committed 2PC transactions
+  /// are erased lazily in batches of this size (StoreTxn); <= 1 restores
+  /// the eager erase-per-commit behaviour.
+  std::size_t decision_truncate_batch = 32;
 };
 
 /// Per-shard operation counters (volatile; reset by ResetStats()).
@@ -65,6 +79,8 @@ struct KvShardStats {
   std::uint64_t optimistic_hits = 0;     ///< Gets served latch-free
   std::uint64_t optimistic_retries = 0;  ///< seqlock validation conflicts
   std::uint64_t read_latch_acquires = 0; ///< shared-mode latch acquisitions
+  std::uint64_t starvation_fallbacks = 0;  ///< reads that skipped the
+                                           ///< optimistic path (guard hit)
 };
 
 /// One write in an ApplyBatch group commit: a put or a delete, plus the
@@ -215,6 +231,23 @@ class KvStore {
   StoreTxn& store_txn() { return *store_txn_; }
   Runtime& runtime() { return *runtime_; }
 
+  // --- RewindRepl leader hook ---
+
+  /// Attaches a replication log: from now on every committed write
+  /// (Put/Delete/MultiPut/ApplyBatch) publishes one record while the
+  /// involved shard latches are still held, so per-key record order
+  /// matches commit order and the record's gtid exists before the write
+  /// is acked. Pass nullptr to detach. Not thread-safe against in-flight
+  /// writes — attach before serving traffic (or while quiesced).
+  void SetReplicationLog(repl::ReplicationLog* log) { repl_log_ = log; }
+  repl::ReplicationLog* replication_log() const { return repl_log_; }
+  /// gtid of the most recently published record (0 before the first, or
+  /// with no log attached). For the single-committer batcher this is the
+  /// gtid of the batch ApplyBatch just applied.
+  std::uint64_t replication_gtid() const {
+    return last_pub_gtid_.load(std::memory_order_acquire);
+  }
+
   /// True when the emulated NVM device is backed by a heap file (the store
   /// survives real process exits; see Open()).
   bool file_backed() { return runtime_->nvm().heap().file_backed(); }
@@ -257,6 +290,7 @@ class KvStore {
     std::atomic<std::uint64_t> optimistic_hits{0};
     std::atomic<std::uint64_t> optimistic_retries{0};
     std::atomic<std::uint64_t> read_latch_acquires{0};
+    std::atomic<std::uint64_t> starvation_fallbacks{0};
   };
 
   /// Per-shard counters. Write-side counters stay single relaxed atomics
@@ -283,6 +317,11 @@ class KvStore {
     /// the exclusive latch is held; re-evened by CrashAndRecover for
     /// writers that died mid-bump to a simulated power failure.
     std::atomic<std::uint64_t> seq{0};
+    /// Consecutive failed optimistic-read attempts on this shard since
+    /// the last clean read; drives the writer-starvation guard. Shared
+    /// across readers, but only written when nonzero or on a conflict —
+    /// the uncontended fast path just reads it.
+    std::atomic<std::uint32_t> consec_retries{0};
     ShardCounters stats;
   };
 
@@ -334,10 +373,16 @@ class KvStore {
   /// directly, several go through the two-phase pipeline.
   void CommitInvolved(const std::vector<std::size_t>& involved);
 
+  /// Publishes a committed write batch to the attached replication log
+  /// (no-op without one). Must run with the involved shard latches held.
+  void PublishRepl(const std::vector<KvWriteOp>& ops);
+
   KvConfig config_;
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<StoreTxn> store_txn_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  repl::ReplicationLog* repl_log_ = nullptr;
+  std::atomic<std::uint64_t> last_pub_gtid_{0};
 };
 
 }  // namespace rwd

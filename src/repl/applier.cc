@@ -1,0 +1,118 @@
+#include "src/repl/applier.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+namespace repl {
+namespace {
+
+/// Snapshot install applies in bounded batches so one giant snapshot
+/// doesn't hold every shard latch (or one huge NVM transaction) at once.
+constexpr std::size_t kInstallChunk = 1024;
+
+}  // namespace
+
+ReplApplier::ReplApplier(KvStore* store)
+    : store_(store),
+      applied_gauge_(obs::Registry::Get().GetGauge("repl.applied_gtid")),
+      applied_counter_(
+          obs::Registry::Get().GetCounter("repl.records_applied")),
+      skipped_counter_(
+          obs::Registry::Get().GetCounter("repl.records_skipped")) {
+  NvmManager& nvm = store_->runtime().nvm();
+  slot_ = static_cast<std::uint64_t*>(nvm.heap().GetRoot("repl_gtid"));
+  if (slot_ == nullptr) {
+    slot_ = static_cast<std::uint64_t*>(nvm.Alloc(sizeof(std::uint64_t)));
+    nvm.StoreNT(slot_, std::uint64_t{0});
+    nvm.Fence();
+    nvm.heap().SetRoot("repl_gtid", slot_);
+  }
+  applied_.store(*slot_, std::memory_order_release);
+  applied_gauge_->Set(static_cast<double>(*slot_));
+}
+
+void ReplApplier::CommitGtid(std::uint64_t gtid) {
+  NvmManager& nvm = store_->runtime().nvm();
+  nvm.StoreNT(slot_, gtid);
+  nvm.Fence();
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    applied_.store(gtid, std::memory_order_release);
+  }
+  wait_cv_.notify_all();
+  applied_gauge_->Set(static_cast<double>(gtid));
+}
+
+bool ReplApplier::Apply(const ReplRecord& rec) {
+  if (rec.gtid <= applied_.load(std::memory_order_acquire)) {
+    skipped_count_.fetch_add(1, std::memory_order_relaxed);
+    skipped_counter_->Add();
+    return true;
+  }
+  // ApplyBatch mutates per-op `applied` flags; replay from a copy.
+  std::vector<KvWriteOp> ops = rec.ops;
+  store_->ApplyBatch(ops);
+  // gtid persists only after ApplyBatch's durability fence returned: a
+  // crash between the two re-applies this record on restart (idempotent),
+  // never skips it.
+  CommitGtid(rec.gtid);
+  applied_count_.fetch_add(1, std::memory_order_relaxed);
+  applied_counter_->Add();
+  return true;
+}
+
+void ReplApplier::InstallSnapshot(
+    std::uint64_t snap_gtid,
+    const std::vector<std::pair<std::uint64_t, std::string>>& kvs) {
+  std::unordered_set<std::uint64_t> keep;
+  keep.reserve(kvs.size());
+  for (const auto& [key, value] : kvs) keep.insert(key);
+
+  // Keys this follower holds that the snapshot lacks were deleted on the
+  // leader during the gap; drop them or they resurrect forever.
+  std::vector<std::uint64_t> stale;
+  store_->Scan(1, ~std::size_t{0},
+               [&](std::uint64_t key, std::string_view) {
+                 if (keep.find(key) == keep.end()) stale.push_back(key);
+                 return true;
+               });
+
+  std::vector<KvWriteOp> batch;
+  auto flush = [&] {
+    if (batch.empty()) return;
+    store_->ApplyBatch(batch);
+    batch.clear();
+  };
+  for (std::uint64_t key : stale) {
+    KvWriteOp op;
+    op.kind = KvWriteOp::Kind::kDelete;
+    op.key = key;
+    batch.push_back(std::move(op));
+    if (batch.size() >= kInstallChunk) flush();
+  }
+  for (const auto& [key, value] : kvs) {
+    KvWriteOp op;
+    op.kind = KvWriteOp::Kind::kPut;
+    op.key = key;
+    op.value = value;
+    batch.push_back(std::move(op));
+    if (batch.size() >= kInstallChunk) flush();
+  }
+  flush();
+  CommitGtid(snap_gtid);
+}
+
+bool ReplApplier::WaitForApplied(std::uint64_t gtid,
+                                 std::uint32_t timeout_ms) {
+  if (applied_.load(std::memory_order_acquire) >= gtid) return true;
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  return wait_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return applied_.load(std::memory_order_acquire) >= gtid;
+  });
+}
+
+}  // namespace repl
+}  // namespace rwd

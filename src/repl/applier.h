@@ -1,0 +1,85 @@
+// ReplApplier: the follower-side half of RewindRepl. Replays shipped
+// records through the follower store's own ApplyBatch (the same
+// crash-atomic group-commit path the leader uses) and persists the
+// last-applied gtid as a named NVM catalog root, persisted strictly
+// AFTER the batch's durability fence — so the recorded gtid can lag the
+// applied state but never lead it, and replay after a follower crash
+// re-applies at most a suffix, idempotently.
+#ifndef REWIND_REPL_APPLIER_H_
+#define REWIND_REPL_APPLIER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/obs/metrics.h"
+#include "src/repl/replication_log.h"
+
+namespace rwd {
+namespace repl {
+
+class ReplApplier {
+ public:
+  /// Binds to the follower store. On a file-backed store, finds or
+  /// creates the "repl_gtid" catalog root and resumes from its value;
+  /// DRAM stores start from 0.
+  explicit ReplApplier(KvStore* store);
+
+  ReplApplier(const ReplApplier&) = delete;
+  ReplApplier& operator=(const ReplApplier&) = delete;
+
+  /// Applies one record. Records at or below the persisted applied gtid
+  /// are skipped (idempotent re-delivery after a crash or reconnect).
+  /// Returns true when the record was applied or skipped as a duplicate.
+  bool Apply(const ReplRecord& rec);
+
+  /// Replaces the follower's state with a leader snapshot at `snap_gtid`:
+  /// deletes keys the snapshot does not contain (a lost delete otherwise
+  /// resurrects on this follower forever), upserts everything it does,
+  /// then persists the gtid. Streaming resumes from snap_gtid.
+  void InstallSnapshot(
+      std::uint64_t snap_gtid,
+      const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
+
+  /// Blocks until applied_gtid() >= gtid (read-your-writes waits).
+  /// False on timeout.
+  bool WaitForApplied(std::uint64_t gtid, std::uint32_t timeout_ms);
+
+  std::uint64_t applied_gtid() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+  std::uint64_t records_applied() const {
+    return applied_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t records_skipped() const {
+    return skipped_count_.load(std::memory_order_relaxed);
+  }
+
+  KvStore* store() { return store_; }
+
+ private:
+  /// Persists `gtid` into the catalog-rooted slot (file-backed only) and
+  /// publishes it to waiters + the repl.applied_gtid gauge.
+  void CommitGtid(std::uint64_t gtid);
+
+  KvStore* store_;
+  std::uint64_t* slot_ = nullptr;  ///< NVM cell behind the catalog root
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> applied_count_{0};
+  std::atomic<std::uint64_t> skipped_count_{0};
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  obs::Gauge* applied_gauge_;
+  obs::Counter* applied_counter_;
+  obs::Counter* skipped_counter_;
+};
+
+}  // namespace repl
+}  // namespace rwd
+
+#endif  // REWIND_REPL_APPLIER_H_

@@ -1,0 +1,210 @@
+#include "src/repl/follower_agent.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/server/protocol.h"
+
+namespace rwd {
+namespace repl {
+namespace {
+
+/// Reconnect backoff; also the cadence at which Stop() is noticed while
+/// the leader is down.
+constexpr int kBackoffMs = 200;
+/// recv timeout: bounds how long Stop() can be ignored mid-stream.
+constexpr int kRecvTimeoutMs = 200;
+
+bool SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FollowerAgent::FollowerAgent(ReplApplier* applier, std::string leader_host,
+                             std::uint16_t leader_port)
+    : applier_(applier),
+      host_(std::move(leader_host)),
+      port_(leader_port),
+      reconnect_counter_(
+          obs::Registry::Get().GetCounter("repl.follower.reconnects")),
+      snapshot_counter_(
+          obs::Registry::Get().GetCounter("repl.follower.snapshots")) {}
+
+FollowerAgent::~FollowerAgent() { Stop(); }
+
+void FollowerAgent::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void FollowerAgent::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  int fd = fd_.load(std::memory_order_relaxed);
+  // Shutdown (not close) unblocks the agent thread's recv without racing
+  // the fd number against a concurrent reuse.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+}
+
+int FollowerAgent::ConnectToLeader() {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host_.c_str(), std::to_string(port_).c_str(), &hints,
+                    &res) != 0 ||
+      res == nullptr) {
+    return -1;
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype | SOCK_CLOEXEC,
+                    res->ai_protocol);
+  bool ok = fd >= 0 && ::connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+  ::freeaddrinfo(res);
+  if (!ok) {
+    if (fd >= 0) ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = kRecvTimeoutMs / 1000;
+  tv.tv_usec = (kRecvTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+void FollowerAgent::Run() {
+  bool first = true;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!first) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      reconnect_counter_->Add();
+    }
+    first = false;
+    Session();
+    connected_.store(false, std::memory_order_relaxed);
+    if (stop_.load(std::memory_order_relaxed)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kBackoffMs));
+  }
+}
+
+void FollowerAgent::Session() {
+  int fd = ConnectToLeader();
+  if (fd < 0) return;
+  fd_.store(fd, std::memory_order_relaxed);
+
+  // Frame reader over this session's socket. Timeouts (EAGAIN) are
+  // retried until stop; anything else ends the session.
+  std::string buf;
+  std::size_t off = 0;
+  auto fill_to = [&](std::size_t need) {
+    while (buf.size() - off < need) {
+      if (stop_.load(std::memory_order_relaxed)) return false;
+      char chunk[65536];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)) {
+        continue;
+      }
+      return false;
+    }
+    return true;
+  };
+  // Reads one [len][tag][payload] frame; false ends the session.
+  auto read_frame = [&](std::uint8_t* tag, std::string* payload) {
+    if (!fill_to(4)) return false;
+    std::uint32_t len = serve::ReadU32(buf.data() + off);
+    if (len < 1 || len > serve::kMaxFrameBytes) return false;
+    if (!fill_to(4 + static_cast<std::size_t>(len))) return false;
+    *tag = static_cast<std::uint8_t>(buf[off + 4]);
+    payload->assign(buf.data() + off + 5, len - 1);
+    off += 4 + len;
+    if (off == buf.size()) {
+      buf.clear();
+      off = 0;
+    }
+    return true;
+  };
+
+  std::string out;
+  serve::EncodeReplSubscribe(&out, applier_->applied_gtid());
+  bool alive = SendAll(fd, out.data(), out.size());
+
+  // Subscribe reply: [status][mode:u8][start:u64]. kBadRequest (e.g. the
+  // target runs without a replication log) retries via the normal
+  // backoff.
+  std::uint8_t status = 0;
+  std::string payload;
+  alive = alive && read_frame(&status, &payload);
+  if (alive && status == static_cast<std::uint8_t>(serve::Status::kOk) &&
+      payload.size() == 9) {
+    connected_.store(true, std::memory_order_relaxed);
+    bool snapshotting = payload[0] != 0;
+    std::vector<std::pair<std::uint64_t, std::string>> snap_kvs;
+    while (alive && !stop_.load(std::memory_order_relaxed)) {
+      std::uint8_t tag = 0;
+      if (!read_frame(&tag, &payload)) break;
+      if (tag == static_cast<std::uint8_t>(serve::Op::kReplSnapshot) &&
+          snapshotting) {
+        // [last:u8][snap_gtid:u64][n:u32] n*(key,len,bytes)
+        if (payload.size() < 13) break;
+        bool last = payload[0] != 0;
+        std::uint64_t snap_gtid = serve::ReadU64(payload.data() + 1);
+        if (!serve::DecodeScanPayload(
+                std::string_view(payload).substr(9), &snap_kvs)) {
+          break;
+        }
+        if (last) {
+          applier_->InstallSnapshot(snap_gtid, snap_kvs);
+          snap_kvs.clear();
+          snapshotting = false;
+          snapshots_loaded_.fetch_add(1, std::memory_order_relaxed);
+          snapshot_counter_->Add();
+          out.clear();
+          serve::EncodeReplAck(&out, applier_->applied_gtid());
+          alive = SendAll(fd, out.data(), out.size());
+        }
+      } else if (tag == static_cast<std::uint8_t>(serve::Op::kReplBatch) &&
+                 !snapshotting) {
+        ReplRecord rec;
+        if (!DecodeRecordPayload(payload, &rec)) break;
+        applier_->Apply(rec);
+        out.clear();
+        serve::EncodeReplAck(&out, applier_->applied_gtid());
+        alive = SendAll(fd, out.data(), out.size());
+      } else {
+        break;  // protocol violation
+      }
+    }
+  }
+
+  fd_.store(-1, std::memory_order_relaxed);
+  ::close(fd);
+}
+
+}  // namespace repl
+}  // namespace rwd

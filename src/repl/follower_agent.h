@@ -1,0 +1,66 @@
+// FollowerAgent: the follower's TCP replication client. Owns one thread
+// that connects to the leader, sends REPL_SUBSCRIBE with the persisted
+// applied gtid, installs a snapshot when the leader says the position is
+// unreachable, then applies streamed REPL_BATCH frames through the
+// ReplApplier and acks each one. Reconnects with backoff forever until
+// Stop() — a leader restart or a dropped link is routine, not fatal.
+#ifndef REWIND_REPL_FOLLOWER_AGENT_H_
+#define REWIND_REPL_FOLLOWER_AGENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/repl/applier.h"
+
+namespace rwd {
+namespace repl {
+
+class FollowerAgent {
+ public:
+  FollowerAgent(ReplApplier* applier, std::string leader_host,
+                std::uint16_t leader_port);
+  ~FollowerAgent();
+
+  FollowerAgent(const FollowerAgent&) = delete;
+  FollowerAgent& operator=(const FollowerAgent&) = delete;
+
+  void Start();
+  /// Idempotent and thread-safe (promotion calls it from a server worker
+  /// thread while the agent thread is mid-recv).
+  void Stop();
+
+  bool connected() const { return connected_.load(std::memory_order_relaxed); }
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t snapshots_loaded() const {
+    return snapshots_loaded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  /// One connect->subscribe->stream session; returns when the link drops
+  /// or Stop() is called.
+  void Session();
+  int ConnectToLeader();
+
+  ReplApplier* applier_;
+  std::string host_;
+  std::uint16_t port_;
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> snapshots_loaded_{0};
+  std::thread thread_;
+  obs::Counter* reconnect_counter_;
+  obs::Counter* snapshot_counter_;
+};
+
+}  // namespace repl
+}  // namespace rwd
+
+#endif  // REWIND_REPL_FOLLOWER_AGENT_H_

@@ -1,0 +1,154 @@
+#include "src/repl/replication_log.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rwd {
+namespace repl {
+
+ReplicationLog::ReplicationLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      last_gtid_gauge_(obs::Registry::Get().GetGauge("repl.last_gtid")),
+      lag_gauge_(obs::Registry::Get().GetGauge("repl.lag_batches")),
+      published_counter_(
+          obs::Registry::Get().GetCounter("repl.records_published")) {
+  // Publish zeros immediately so scrapes see the gauges before traffic.
+  last_gtid_gauge_->Set(0);
+  lag_gauge_->Set(0);
+}
+
+std::uint64_t ReplicationLog::Publish(const std::vector<KvWriteOp>& ops) {
+  ReplRecord rec;
+  rec.publish_ns = obs::RecordingEnabled() ? obs::NowNs() : 0;
+  rec.ops.reserve(ops.size());
+  for (const KvWriteOp& op : ops) {
+    KvWriteOp copy;
+    copy.kind = op.kind;
+    copy.key = op.key;
+    copy.value = op.value;
+    copy.applied = true;
+    rec.ops.push_back(std::move(copy));
+  }
+  std::uint64_t gtid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gtid = ++last_;
+    rec.gtid = gtid;
+    ring_.push_back(std::move(rec));
+    while (ring_.size() > capacity_) ring_.pop_front();
+    UpdateLagLocked();
+  }
+  records_published_.fetch_add(1, std::memory_order_relaxed);
+  published_counter_->Add();
+  last_gtid_gauge_->Set(static_cast<double>(gtid));
+  cv_.notify_all();
+  return gtid;
+}
+
+std::uint64_t ReplicationLog::last_gtid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+bool ReplicationLog::CanResume(std::uint64_t after) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (after > last_) return false;  // ahead of us: another epoch's gtid
+  if (after == last_) return true;  // caught up; ring contents irrelevant
+  if (ring_.empty()) return false;
+  return ring_.front().gtid <= after + 1;
+}
+
+ReplicationLog::PollResult ReplicationLog::Poll(std::uint64_t after,
+                                                std::size_t max,
+                                                std::uint32_t wait_ms,
+                                                std::vector<ReplRecord>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (after > last_) return PollResult::kGap;
+  if (after == last_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                 [&] { return last_ != after; });
+    if (last_ == after) return PollResult::kOk;  // timeout, empty out
+  }
+  // There are records after `after` now; they must still be in the ring.
+  if (ring_.empty() || ring_.front().gtid > after + 1) {
+    return PollResult::kGap;
+  }
+  for (const ReplRecord& rec : ring_) {
+    if (rec.gtid <= after) continue;
+    out->push_back(rec);
+    if (out->size() >= max) break;
+  }
+  return PollResult::kOk;
+}
+
+void ReplicationLog::Nudge() { cv_.notify_all(); }
+
+std::uint64_t ReplicationLog::Subscribe(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t id = next_sub_id_++;
+  subs_[id] = Sub{name, 0};
+  UpdateLagLocked();
+  return id;
+}
+
+void ReplicationLog::Ack(std::uint64_t id, std::uint64_t gtid) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subs_.find(id);
+    if (it == subs_.end()) return;
+    it->second.acked = std::max(it->second.acked, gtid);
+    UpdateLagLocked();
+  }
+  cv_.notify_all();
+}
+
+void ReplicationLog::Unsubscribe(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subs_.erase(id);
+    UpdateLagLocked();
+  }
+  // A departing subscriber can unblock semi-sync WaitAcked waiters.
+  cv_.notify_all();
+}
+
+std::size_t ReplicationLog::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.size();
+}
+
+std::uint64_t ReplicationLog::MinAckedLocked() const {
+  std::uint64_t min_acked = ~std::uint64_t{0};
+  for (const auto& [id, sub] : subs_) {
+    min_acked = std::min(min_acked, sub.acked);
+  }
+  return min_acked;
+}
+
+void ReplicationLog::UpdateLagLocked() {
+  double lag = 0;
+  if (!subs_.empty()) {
+    std::uint64_t min_acked = MinAckedLocked();
+    lag = min_acked >= last_ ? 0
+                             : static_cast<double>(last_ - min_acked);
+  }
+  lag_gauge_->Set(lag);
+}
+
+bool ReplicationLog::WaitAcked(std::uint64_t gtid, std::uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return subs_.empty() || MinAckedLocked() >= gtid;
+  });
+}
+
+std::uint64_t ReplicationLog::lag_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (subs_.empty()) return 0;
+  std::uint64_t min_acked = MinAckedLocked();
+  return min_acked >= last_ ? 0 : last_ - min_acked;
+}
+
+}  // namespace repl
+}  // namespace rwd

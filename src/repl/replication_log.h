@@ -1,0 +1,169 @@
+// RewindRepl: log-shipping replication for RewindKV.
+//
+// The group-commit batcher (PR 3) already emits exactly ONE atomic
+// cross-shard decision per batch — the ideal replication unit. The
+// ReplicationLog gives every committed write batch a dense global sequence
+// number (gtid) and keeps the most recent records in an in-memory ring;
+// Shippers stream them to followers, which replay through their own
+// ApplyBatch. gtids are an *epoch-local* sequence: they start at 1 for
+// every leader process and are never persisted on the leader — a follower
+// whose position the ring cannot serve (it fell behind, or the leader
+// restarted and began a fresh epoch) resynchronizes from a full snapshot.
+//
+// Publishing happens while the involved shards' latches are held, so for
+// any single key the record order in the log matches the commit order on
+// the leader, and a record's gtid is assigned before the covering write is
+// acked — an acked write's gtid is a valid read-your-writes token.
+#ifndef REWIND_REPL_REPLICATION_LOG_H_
+#define REWIND_REPL_REPLICATION_LOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/obs/metrics.h"
+#include "src/server/protocol.h"
+
+namespace rwd {
+namespace repl {
+
+/// One replication record: a committed write batch plus its global
+/// sequence number.
+struct ReplRecord {
+  std::uint64_t gtid = 0;
+  /// Leader steady-clock at publish (0 while recording is paused); feeds
+  /// the publish-to-ship latency histogram, never crosses the wire.
+  std::uint64_t publish_ns = 0;
+  std::vector<KvWriteOp> ops;
+};
+
+/// Record wire codec (the REPL_BATCH frame payload):
+///   [u64 gtid][u32 n] n*([u8 kind][u64 key][u32 vlen][bytes])
+inline void EncodeRecordPayload(const ReplRecord& rec, std::string* out) {
+  serve::AppendU64(out, rec.gtid);
+  serve::AppendU32(out, static_cast<std::uint32_t>(rec.ops.size()));
+  for (const KvWriteOp& op : rec.ops) {
+    out->push_back(static_cast<char>(op.kind));
+    serve::AppendU64(out, op.key);
+    serve::AppendU32(out, static_cast<std::uint32_t>(op.value.size()));
+    out->append(op.value);
+  }
+}
+
+inline bool DecodeRecordPayload(std::string_view payload, ReplRecord* out) {
+  if (payload.size() < 12) return false;
+  out->gtid = serve::ReadU64(payload.data());
+  std::uint32_t n = serve::ReadU32(payload.data() + 8);
+  std::size_t off = 12;
+  out->ops.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (payload.size() - off < 13) return false;
+    KvWriteOp op;
+    op.kind = static_cast<KvWriteOp::Kind>(
+        static_cast<std::uint8_t>(payload[off]));
+    op.key = serve::ReadU64(payload.data() + off + 1);
+    std::uint32_t vlen = serve::ReadU32(payload.data() + off + 9);
+    off += 13;
+    if (payload.size() - off < vlen) return false;
+    op.value.assign(payload.data() + off, vlen);
+    off += vlen;
+    out->ops.push_back(std::move(op));
+  }
+  return off == payload.size();
+}
+
+/// The leader-side replication core: an in-memory ring of the most recent
+/// records plus a registry of subscriber cursors (for lag accounting and
+/// semi-synchronous acks). All methods are thread-safe.
+class ReplicationLog {
+ public:
+  enum class PollResult {
+    kOk,   ///< `out` holds records (possibly none after a timeout)
+    kGap,  ///< position not in the ring — the follower must resync
+  };
+
+  /// `capacity` bounds the ring (records, not bytes); a follower that
+  /// falls further behind than this resynchronizes from a snapshot.
+  explicit ReplicationLog(std::size_t capacity = 4096);
+
+  ReplicationLog(const ReplicationLog&) = delete;
+  ReplicationLog& operator=(const ReplicationLog&) = delete;
+
+  /// Appends one record for `ops`, assigning the next gtid. Ops are
+  /// copied (the caller's batch keeps its buffers). Called by KvStore
+  /// while the involved shard latches are held, so per-key record order
+  /// matches commit order. Returns the record's gtid; ops must be
+  /// non-empty.
+  std::uint64_t Publish(const std::vector<KvWriteOp>& ops);
+
+  /// Highest gtid published so far (0 before the first record).
+  std::uint64_t last_gtid() const;
+
+  /// True when a subscriber that has applied up to `after` can resume
+  /// from the ring (records after+1 .. last are all present).
+  bool CanResume(std::uint64_t after) const;
+
+  /// Copies up to `max` records with gtid > `after` into `out`. Blocks up
+  /// to `wait_ms` for new records when none are immediately available.
+  /// kGap means the position left the ring (or belongs to another epoch).
+  PollResult Poll(std::uint64_t after, std::size_t max,
+                  std::uint32_t wait_ms, std::vector<ReplRecord>* out);
+
+  /// Wakes every Poll/WaitAcked waiter (used when tearing a shipper down
+  /// without waiting out its poll timeout).
+  void Nudge();
+
+  // --- subscriber cursors (lag + semi-sync acks) ---
+
+  /// Registers a follower cursor; the returned id keys Ack/Unsubscribe.
+  std::uint64_t Subscribe(const std::string& name);
+  void Ack(std::uint64_t id, std::uint64_t gtid);
+  void Unsubscribe(std::uint64_t id);
+  std::size_t subscriber_count() const;
+
+  /// Blocks until every registered subscriber has acked `gtid` (or none
+  /// remain registered). False on timeout — semi-sync callers decide
+  /// whether to ack the client anyway.
+  bool WaitAcked(std::uint64_t gtid, std::uint32_t timeout_ms);
+
+  /// last_gtid minus the slowest registered subscriber's ack (0 with no
+  /// subscribers): how many batches the laggiest follower still misses.
+  std::uint64_t lag_batches() const;
+
+  std::uint64_t records_published() const {
+    return records_published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t MinAckedLocked() const;
+  void UpdateLagLocked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< new records AND ack progress
+  std::deque<ReplRecord> ring_;
+  std::uint64_t last_ = 0;
+  std::uint64_t next_sub_id_ = 1;
+  struct Sub {
+    std::string name;
+    std::uint64_t acked = 0;
+  };
+  std::unordered_map<std::uint64_t, Sub> subs_;
+  std::atomic<std::uint64_t> records_published_{0};
+
+  obs::Gauge* last_gtid_gauge_;
+  obs::Gauge* lag_gauge_;
+  obs::Counter* published_counter_;
+};
+
+}  // namespace repl
+}  // namespace rwd
+
+#endif  // REWIND_REPL_REPLICATION_LOG_H_

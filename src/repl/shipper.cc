@@ -1,0 +1,60 @@
+#include "src/repl/shipper.h"
+
+#include <vector>
+
+namespace rwd {
+namespace repl {
+namespace {
+
+/// Poll timeout: bounds both Stop() latency and the idle-hook cadence
+/// (ack draining for ReplSession sinks).
+constexpr std::uint32_t kPollWaitMs = 100;
+constexpr std::size_t kMaxRecordsPerPoll = 256;
+
+}  // namespace
+
+Shipper::Shipper(ReplicationLog* log, std::uint64_t start_after, Sink sink,
+                 IdleFn idle)
+    : log_(log),
+      sink_(std::move(sink)),
+      idle_(std::move(idle)),
+      shipped_(start_after),
+      ship_hist_(obs::Registry::Get().GetHistogram("repl.ship")) {}
+
+Shipper::~Shipper() { Stop(); }
+
+void Shipper::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Shipper::Run() {
+  std::vector<ReplRecord> batch;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (idle_ && !idle_()) return;
+    std::uint64_t after = shipped_.load(std::memory_order_relaxed);
+    ReplicationLog::PollResult res =
+        log_->Poll(after, kMaxRecordsPerPoll, kPollWaitMs, &batch);
+    if (res == ReplicationLog::PollResult::kGap) {
+      gapped_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    for (const ReplRecord& rec : batch) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      if (rec.publish_ns != 0 && obs::RecordingEnabled()) {
+        std::uint64_t now = obs::NowNs();
+        if (now > rec.publish_ns) ship_hist_->Record(now - rec.publish_ns);
+      }
+      if (!sink_(rec)) return;
+      shipped_.store(rec.gtid, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Shipper::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (log_ != nullptr) log_->Nudge();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace repl
+}  // namespace rwd

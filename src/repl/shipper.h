@@ -1,0 +1,67 @@
+// Shipper: drains a ReplicationLog from a position toward a sink. One
+// shipper serves one follower; the sink is either a direct in-process
+// apply hook (same binary, second KvStore) or a socket-send lambda (the
+// leader-side ReplSession). Run() is the synchronous pump; Start() wraps
+// it in an owned thread for the in-process topology.
+#ifndef REWIND_REPL_SHIPPER_H_
+#define REWIND_REPL_SHIPPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/repl/replication_log.h"
+
+namespace rwd {
+namespace repl {
+
+class Shipper {
+ public:
+  /// Delivers one record; false stops the shipper (sink broken).
+  using Sink = std::function<bool(const ReplRecord&)>;
+  /// Called between polls (ack draining, liveness); false stops the
+  /// shipper.
+  using IdleFn = std::function<bool()>;
+
+  /// Ships records with gtid > `start_after`. The sink owns delivery;
+  /// the shipper only sequences and measures.
+  Shipper(ReplicationLog* log, std::uint64_t start_after, Sink sink,
+          IdleFn idle = nullptr);
+  ~Shipper();
+
+  Shipper(const Shipper&) = delete;
+  Shipper& operator=(const Shipper&) = delete;
+
+  /// Spawns the pump on an owned thread (in-process follower topology).
+  void Start();
+  /// Synchronous pump; returns when stopped, the sink/idle hook fails,
+  /// or the log reports a gap. Used directly by ReplSession threads.
+  void Run();
+  /// Idempotent; joins the owned thread if Start() was used.
+  void Stop();
+
+  /// True when Run() exited because the log could not serve the
+  /// position (follower must resynchronize from a snapshot).
+  bool gapped() const { return gapped_.load(std::memory_order_relaxed); }
+  /// Highest gtid handed to the sink so far.
+  std::uint64_t shipped_gtid() const {
+    return shipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ReplicationLog* log_;
+  Sink sink_;
+  IdleFn idle_;
+  std::atomic<std::uint64_t> shipped_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> gapped_{false};
+  std::thread thread_;
+  obs::Histogram* ship_hist_;  ///< publish-to-ship latency: repl.ship
+};
+
+}  // namespace repl
+}  // namespace rwd
+
+#endif  // REWIND_REPL_SHIPPER_H_

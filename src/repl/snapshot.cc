@@ -1,0 +1,21 @@
+#include "src/repl/snapshot.h"
+
+namespace rwd {
+namespace repl {
+
+StoreSnapshot TakeSnapshot(KvStore* store, ReplicationLog* log) {
+  StoreSnapshot snap;
+  // Position first, state second: anything published between these two
+  // reads is included in the scan AND replayed — idempotently — while
+  // the reverse order could lose a batch forever.
+  snap.gtid = log != nullptr ? log->last_gtid() : 0;
+  store->Scan(1, ~std::size_t{0},
+              [&](std::uint64_t key, std::string_view value) {
+                snap.kvs.emplace_back(key, std::string(value));
+                return true;
+              });
+  return snap;
+}
+
+}  // namespace repl
+}  // namespace rwd

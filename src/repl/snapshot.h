@@ -1,0 +1,31 @@
+// Full-state snapshot for follower resynchronization: a consistent Scan
+// of the leader store plus the log position the stream resumes from.
+#ifndef REWIND_REPL_SNAPSHOT_H_
+#define REWIND_REPL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/repl/replication_log.h"
+
+namespace rwd {
+namespace repl {
+
+struct StoreSnapshot {
+  /// Stream position: records with gtid > this replay on top. The gtid
+  /// is read BEFORE the scan, so records committed during the scan may
+  /// be both inside the snapshot and replayed — safe, because put and
+  /// delete replay idempotently.
+  std::uint64_t gtid = 0;
+  std::vector<std::pair<std::uint64_t, std::string>> kvs;
+};
+
+StoreSnapshot TakeSnapshot(KvStore* store, ReplicationLog* log);
+
+}  // namespace repl
+}  // namespace rwd
+
+#endif  // REWIND_REPL_SNAPSHOT_H_

@@ -6,6 +6,7 @@
 
 #include "src/nvm/crash.h"
 #include "src/obs/metrics.h"
+#include "src/repl/replication_log.h"
 
 namespace rwd {
 namespace serve {
@@ -33,13 +34,17 @@ BatchMetrics& Metrics() {
 GroupCommitBatcher::GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
                                        std::size_t max_pending_ops,
                                        CompletionSink sink, CrashHook on_crash,
-                                       std::uint64_t slow_op_threshold_us)
+                                       std::uint64_t slow_op_threshold_us,
+                                       bool sync_repl,
+                                       std::uint32_t sync_repl_timeout_ms)
     : store_(store),
       window_us_(window_us),
       max_pending_ops_(max_pending_ops == 0 ? 1 : max_pending_ops),
       sink_(std::move(sink)),
       on_crash_(std::move(on_crash)),
-      slow_op_threshold_us_(slow_op_threshold_us) {}
+      slow_op_threshold_us_(slow_op_threshold_us),
+      sync_repl_(sync_repl),
+      sync_repl_timeout_ms_(sync_repl_timeout_ms) {}
 
 GroupCommitBatcher::~GroupCommitBatcher() { Stop(); }
 
@@ -123,6 +128,22 @@ bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_writes_.fetch_add(ops.size(), std::memory_order_relaxed);
+  // Replication gtid covering this batch: the highest gtid the store has
+  // published. All this batch's publishes happened inside ApplyBatch
+  // (under the shard latches), so by now the value covers every op here.
+  std::uint64_t gtid = store_->replication_gtid();
+  repl::ReplicationLog* rlog = store_->replication_log();
+  if (sync_repl_ && rlog != nullptr && gtid != 0 &&
+      rlog->subscriber_count() > 0) {
+    // Semi-sync: hold the acks until every follower caught up to this
+    // batch. On timeout the write is still durable locally — ack anyway,
+    // but count the breach so operators see the degradation.
+    if (!rlog->WaitAcked(gtid, sync_repl_timeout_ms_)) {
+      static obs::Counter* timeouts =
+          obs::Registry::Get().GetCounter("repl.sync_timeouts");
+      timeouts->Add(1);
+    }
+  }
   // The batch has fenced: every group's writes are durable. Record each
   // group's submit-to-ack-dispatch latency as the server-side write
   // latency (the epoll worker's send() is not included — acceptable for a
@@ -156,7 +177,7 @@ bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
       // server's validation) must never be acked as durable.
       status = Status::kBadRequest;
     }
-    by_worker[g.worker].push_back({g.conn_id, g.op, status});
+    by_worker[g.worker].push_back({g.conn_id, g.op, status, gtid});
     acked_writes_.fetch_add(applied, std::memory_order_relaxed);
   }
   for (auto& [worker, completions] : by_worker) {

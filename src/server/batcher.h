@@ -30,6 +30,10 @@ struct WriteCompletion {
   std::uint64_t conn_id = 0;
   Op op = Op::kPut;
   Status status = Status::kOk;
+  /// Replication gtid covering this write (0 without a ReplicationLog):
+  /// the read-your-writes token carried in the ack frame, valid on any
+  /// follower whose applied gtid has reached it.
+  std::uint64_t gtid = 0;
 };
 
 class GroupCommitBatcher {
@@ -50,10 +54,18 @@ class GroupCommitBatcher {
   /// `slow_op_threshold_us` feeds the rate-limited slow-op log: a write
   /// group whose submit-to-ack latency exceeds it is reported to stderr
   /// (0 disables).
+  /// `sync_repl` turns on semi-synchronous replication: after a batch
+  /// fences, its completions are held until every subscribed follower has
+  /// acked the batch's gtid (or `sync_repl_timeout_ms` elapses — the batch
+  /// is durable locally either way, so the ack still goes out, and a
+  /// `repl.sync_timeouts` counter records the breach). With no
+  /// ReplicationLog attached or no subscribers the wait is a no-op.
   GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
                      std::size_t max_pending_ops, CompletionSink sink,
                      CrashHook on_crash,
-                     std::uint64_t slow_op_threshold_us = 0);
+                     std::uint64_t slow_op_threshold_us = 0,
+                     bool sync_repl = false,
+                     std::uint32_t sync_repl_timeout_ms = 2000);
   ~GroupCommitBatcher();
 
   void Start();
@@ -103,6 +115,8 @@ class GroupCommitBatcher {
   CompletionSink sink_;
   CrashHook on_crash_;
   std::uint64_t slow_op_threshold_us_;
+  bool sync_repl_;
+  std::uint32_t sync_repl_timeout_ms_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -94,6 +94,11 @@ void KvClient::QueueStats2() {
   ++pending_;
 }
 
+void KvClient::QueueGetRyw(std::uint64_t key, std::uint64_t min_gtid) {
+  EncodeGetRyw(&send_, key, min_gtid);
+  ++pending_;
+}
+
 bool KvClient::SendAll(const char* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
@@ -157,11 +162,24 @@ bool KvClient::RoundTrip(Reply* reply) {
   return Flush() && ReadReply(reply);
 }
 
-bool KvClient::Put(std::uint64_t key, std::string_view value) {
+namespace {
+
+/// Pulls the replication gtid out of a write-ack payload (0 on the wire
+/// format of a pre-replication server, whose acks were empty).
+std::uint64_t AckGtid(const KvClient::Reply& r) {
+  return r.payload.size() >= 8 ? ReadU64(r.payload.data()) : 0;
+}
+
+}  // namespace
+
+bool KvClient::Put(std::uint64_t key, std::string_view value,
+                   std::uint64_t* gtid_out) {
   if (pending_ != 0) return false;
   QueuePut(key, value);
   Reply r;
-  return RoundTrip(&r) && r.status == Status::kOk;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  if (gtid_out != nullptr) *gtid_out = AckGtid(r);
+  return true;
 }
 
 bool KvClient::Get(std::uint64_t key, std::string* value_out) {
@@ -173,11 +191,23 @@ bool KvClient::Get(std::uint64_t key, std::string* value_out) {
   return true;
 }
 
-bool KvClient::Delete(std::uint64_t key) {
+bool KvClient::GetRyw(std::uint64_t key, std::uint64_t min_gtid,
+                      std::string* value_out) {
+  if (pending_ != 0) return false;
+  QueueGetRyw(key, min_gtid);
+  Reply r;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  if (value_out != nullptr) *value_out = std::move(r.payload);
+  return true;
+}
+
+bool KvClient::Delete(std::uint64_t key, std::uint64_t* gtid_out) {
   if (pending_ != 0) return false;
   QueueDel(key);
   Reply r;
-  return RoundTrip(&r) && r.status == Status::kOk;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  if (gtid_out != nullptr) *gtid_out = AckGtid(r);
+  return true;
 }
 
 bool KvClient::Scan(
@@ -191,9 +221,20 @@ bool KvClient::Scan(
 }
 
 bool KvClient::MultiPut(
-    const std::vector<std::pair<std::uint64_t, std::string>>& kvs) {
+    const std::vector<std::pair<std::uint64_t, std::string>>& kvs,
+    std::uint64_t* gtid_out) {
   if (pending_ != 0) return false;
   QueueMput(kvs);
+  Reply r;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  if (gtid_out != nullptr) *gtid_out = AckGtid(r);
+  return true;
+}
+
+bool KvClient::Promote() {
+  if (pending_ != 0) return false;
+  EncodePromote(&send_);
+  ++pending_;
   Reply r;
   return RoundTrip(&r) && r.status == Status::kOk;
 }

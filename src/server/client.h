@@ -44,6 +44,9 @@ class KvClient {
       const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
   void QueueStats();
   void QueueStats2();
+  /// GET with a read-your-writes token (`min_gtid` from a write ack):
+  /// against a follower the server answers only once it applied that far.
+  void QueueGetRyw(std::uint64_t key, std::uint64_t min_gtid);
   /// Sends everything queued. False on socket error (connection closed).
   bool Flush();
   /// Reads the next reply frame; replies arrive in request order. False on
@@ -53,15 +56,25 @@ class KvClient {
   std::size_t pending() const { return pending_; }
 
   // --- blocking conveniences (require pending() == 0) ---
-  bool Put(std::uint64_t key, std::string_view value);
+  /// Write acks carry the covering batch's replication gtid — the
+  /// read-your-writes token for follower reads. `gtid_out` (optional)
+  /// receives it; 0 when the server runs without replication.
+  bool Put(std::uint64_t key, std::string_view value,
+           std::uint64_t* gtid_out = nullptr);
   bool Get(std::uint64_t key, std::string* value_out);
-  bool Delete(std::uint64_t key);
+  /// GET honoring a read-your-writes token (see QueueGetRyw).
+  bool GetRyw(std::uint64_t key, std::uint64_t min_gtid,
+              std::string* value_out);
+  bool Delete(std::uint64_t key, std::uint64_t* gtid_out = nullptr);
   /// Returns items via `out`; false on error (out left partial on parse
   /// failure). An empty result is success.
   bool Scan(std::uint64_t from_key, std::uint32_t max_items,
             std::vector<std::pair<std::uint64_t, std::string>>* out);
   bool MultiPut(
-      const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
+      const std::vector<std::pair<std::uint64_t, std::string>>& kvs,
+      std::uint64_t* gtid_out = nullptr);
+  /// Promotes a read-only follower to leader (idempotent).
+  bool Promote();
   bool Stats(StatsReply* out);
   /// STATS v2: the self-describing metric dump. Unknown names and sample
   /// types decode fine — callers filter by the names they understand.

@@ -50,6 +50,31 @@ enum class Op : std::uint8_t {
   kMput = 5,
   kStats = 6,
   kStats2 = 7,  ///< self-describing metrics snapshot (RewindScope)
+  // --- RewindRepl (replication) ---
+  /// Client->leader: become a replication stream. Payload: the follower's
+  /// applied gtid (u64). The reply is [kOk][mode:u8][start:u64] — mode 0
+  /// resumes the record stream after `start`, mode 1 means a full
+  /// snapshot (kReplSnapshot frames) precedes the stream. After the
+  /// reply, the connection leaves the request/response protocol: the
+  /// leader pushes kReplBatch frames, the follower answers with
+  /// kReplAck frames.
+  kReplSubscribe = 8,
+  /// Leader->follower push: one replication record.
+  /// Payload: [gtid:u64][n:u32] n*([kind:u8][key:u64][vlen:u32][bytes]).
+  kReplBatch = 9,
+  /// Follower->leader: records applied through `gtid` (u64).
+  kReplAck = 10,
+  /// Leader->follower: one snapshot chunk.
+  /// Payload: [last:u8][snap_gtid:u64][n:u32] n*([key:u64][vlen:u32][bytes]);
+  /// `last` flags the final chunk, after which the record stream begins.
+  kReplSnapshot = 11,
+  /// GET with a read-your-writes token: [key:u64][min_gtid:u64]. The
+  /// server answers only once its applied gtid reaches min_gtid (or
+  /// fails kServerError on timeout). On a leader the token is trivially
+  /// satisfied.
+  kGetRyw = 12,
+  /// Promotes a read-only follower to leader (idempotent; empty payload).
+  kPromote = 13,
 };
 
 enum class Status : std::uint8_t {
@@ -57,6 +82,7 @@ enum class Status : std::uint8_t {
   kNotFound = 1,
   kBadRequest = 2,
   kServerError = 3,  ///< shutting down / batcher unavailable
+  kNotLeader = 4,    ///< write refused: this node is a read-only follower
 };
 
 /// Upper bound on one frame (guards the server against hostile lengths).
@@ -95,6 +121,9 @@ struct StatsReply {
   /// Per-shard shared-mode read-latch acquisitions (optimistic fallbacks
   /// plus scans), exposing per-shard read skew.
   std::vector<std::uint64_t> shard_read_latches;
+  // --- STATS2-only (PR 7): not part of the 18-word v1 wire payload ---
+  std::uint64_t starvation_fallbacks = 0;  ///< reader anti-starvation trips
+  std::uint64_t decision_log_truncations = 0;  ///< batched decision erases
 };
 constexpr std::size_t kStatsWords = 18;
 
@@ -208,6 +237,32 @@ inline void EncodeStats(std::string* out) {
 
 inline void EncodeStats2(std::string* out) {
   std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kStats2));
+  EndFrame(out, at);
+}
+
+inline void EncodeReplSubscribe(std::string* out, std::uint64_t applied) {
+  std::size_t at =
+      BeginFrame(out, static_cast<std::uint8_t>(Op::kReplSubscribe));
+  AppendU64(out, applied);
+  EndFrame(out, at);
+}
+
+inline void EncodeReplAck(std::string* out, std::uint64_t gtid) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kReplAck));
+  AppendU64(out, gtid);
+  EndFrame(out, at);
+}
+
+inline void EncodeGetRyw(std::string* out, std::uint64_t key,
+                         std::uint64_t min_gtid) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kGetRyw));
+  AppendU64(out, key);
+  AppendU64(out, min_gtid);
+  EndFrame(out, at);
+}
+
+inline void EncodePromote(std::string* out) {
+  std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kPromote));
   EndFrame(out, at);
 }
 

@@ -1,0 +1,199 @@
+#include "src/server/repl_session.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/repl/snapshot.h"
+#include "src/server/protocol.h"
+
+namespace rwd {
+namespace serve {
+namespace {
+
+/// Soft cap on one snapshot chunk's item bytes; frames stay far below
+/// kMaxFrameBytes even with max-size values in the store.
+constexpr std::size_t kSnapshotChunkBytes = 1u << 20;
+
+}  // namespace
+
+ReplSession::ReplSession(KvStore* store, repl::ReplicationLog* log, int fd,
+                         std::uint64_t start_after, std::string pre_out,
+                         std::string pre_in)
+    : store_(store),
+      log_(log),
+      fd_(fd),
+      start_after_(start_after),
+      pre_out_(std::move(pre_out)),
+      in_(std::move(pre_in)) {
+  // The fd arrives non-blocking from the epoll loop; both session threads
+  // (record sender, ack receiver) want plain blocking I/O.
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+}
+
+ReplSession::~ReplSession() { Stop(); }
+
+void ReplSession::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ReplSession::Stop() {
+  stop_.store(true, std::memory_order_release);
+  ::shutdown(fd_, SHUT_RDWR);  // unblocks any in-flight send
+  log_->Nudge();               // unblocks the shipper's poll wait
+  if (thread_.joinable()) thread_.join();
+  // Closed here, after the join, so Stop's shutdown() can never race a
+  // close and hit a recycled descriptor.
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ReplSession::SendAll(const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    if (stop_.load(std::memory_order_acquire)) return false;
+    ssize_t r = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t ReplSession::SendSnapshot() {
+  repl::StoreSnapshot snap = repl::TakeSnapshot(store_, log_);
+  // Chunked so one giant store never builds a near-kMaxFrameBytes frame.
+  // Every chunk repeats snap_gtid; the follower acts on the `last` one.
+  std::size_t i = 0;
+  do {
+    std::string frame;
+    std::size_t at =
+        BeginFrame(&frame, static_cast<std::uint8_t>(Op::kReplSnapshot));
+    std::size_t count_at = frame.size() + 9;  // after [last][snap_gtid]
+    frame.push_back('\0');                    // `last`, patched below
+    AppendU64(&frame, snap.gtid);
+    AppendU32(&frame, 0);  // item count, patched below
+    std::uint32_t items = 0;
+    std::size_t body_start = frame.size();
+    while (i < snap.kvs.size() &&
+           frame.size() - body_start < kSnapshotChunkBytes) {
+      AppendU64(&frame, snap.kvs[i].first);
+      AppendU32(&frame,
+                static_cast<std::uint32_t>(snap.kvs[i].second.size()));
+      frame.append(snap.kvs[i].second);
+      ++items;
+      ++i;
+    }
+    bool last = i == snap.kvs.size();
+    frame[count_at - 9] = last ? '\1' : '\0';
+    std::memcpy(&frame[count_at], &items, 4);
+    EndFrame(&frame, at);
+    if (!SendAll(frame.data(), frame.size())) return ~std::uint64_t{0};
+  } while (i < snap.kvs.size());
+  return snap.gtid;
+}
+
+void ReplSession::RecvAcks() {
+  char buf[4096];
+  for (;;) {
+    // Parse whatever is buffered (the detach residue on the first pass),
+    // then block for more. Each ack advances the cursor immediately —
+    // Ack() notifies the log's cv, releasing semi-sync WaitAcked callers.
+    std::size_t off = 0;
+    bool broken = false;
+    while (in_.size() - off >= 4) {
+      std::uint32_t len = ReadU32(in_.data() + off);
+      if (len < 1 || len > kMaxFrameBytes) {
+        broken = true;
+        break;
+      }
+      if (in_.size() - off < 4 + static_cast<std::size_t>(len)) break;
+      const char* p = in_.data() + off + 4;
+      if (static_cast<Op>(static_cast<std::uint8_t>(*p)) != Op::kReplAck ||
+          len != 9) {
+        broken = true;  // only acks flow leader-ward on a stream
+        break;
+      }
+      log_->Ack(sub_id_, ReadU64(p + 1));
+      off += 4 + len;
+    }
+    in_.erase(0, off);
+    if (broken) break;
+    ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      in_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    break;  // peer closed, Stop()'s shutdown, or a hard error
+  }
+  peer_gone_.store(true, std::memory_order_release);
+  log_->Nudge();  // wake the shipper so its idle hook sees peer_gone_
+}
+
+void ReplSession::Run() {
+  // Residue first: replies to requests the follower pipelined before its
+  // subscribe must reach it before the subscribe reply.
+  bool ok = pre_out_.empty() || SendAll(pre_out_.data(), pre_out_.size());
+  pre_out_.clear();
+  std::uint64_t resume = start_after_;
+  bool snapshot_first = ok && !log_->CanResume(start_after_);
+  if (ok) {
+    // Subscribe reply: [kOk][mode:u8][start:u64].
+    std::string reply;
+    std::size_t at =
+        BeginFrame(&reply, static_cast<std::uint8_t>(Status::kOk));
+    reply.push_back(snapshot_first ? '\1' : '\0');
+    AppendU64(&reply, resume);
+    EndFrame(&reply, at);
+    ok = SendAll(reply.data(), reply.size());
+  }
+  if (ok && snapshot_first) {
+    resume = SendSnapshot();
+    ok = resume != ~std::uint64_t{0};
+  }
+  if (ok) {
+    sub_id_ = log_->Subscribe("tcp-follower");
+    // Seed the cursor at the resume point so a fresh follower does not
+    // stall semi-sync acks for gtids it was never shipped.
+    log_->Ack(sub_id_, resume);
+    // Acks ride their own blocking thread: the cursor advances the moment
+    // an ack frame lands instead of at the next shipper poll boundary.
+    ack_thread_ = std::thread([this] { RecvAcks(); });
+    repl::Shipper shipper(
+        log_, resume,
+        [this](const repl::ReplRecord& rec) {
+          std::string frame;
+          std::size_t at =
+              BeginFrame(&frame, static_cast<std::uint8_t>(Op::kReplBatch));
+          repl::EncodeRecordPayload(rec, &frame);
+          EndFrame(&frame, at);
+          return SendAll(frame.data(), frame.size());
+        },
+        [this] {
+          return !stop_.load(std::memory_order_acquire) &&
+                 !peer_gone_.load(std::memory_order_acquire);
+        });
+    shipper.Run();
+    // A gap means the ring rotated past this follower mid-stream. The
+    // stream just ends; the follower reconnects and resynchronizes from
+    // a snapshot. (The fd is closed by Stop(), after the joins.)
+    ::shutdown(fd_, SHUT_RD);  // unblock the ack receiver
+    ack_thread_.join();
+    log_->Unsubscribe(sub_id_);
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+}  // namespace serve
+}  // namespace rwd

@@ -1,0 +1,79 @@
+// ReplSession: the leader-side half of one TCP replication stream. When a
+// connection sends REPL_SUBSCRIBE, the epoll worker detaches its fd and
+// hands it here; a dedicated thread then answers the subscribe (stream
+// resume or full snapshot first), registers a subscriber cursor on the
+// ReplicationLog, and pumps a Shipper whose sink is a socket send of
+// REPL_BATCH frames. Follower REPL_ACK frames are received on a second,
+// blocking thread and advance the cursor the moment they arrive — semi-sync
+// write acks never wait out a shipper poll interval.
+//
+// A dedicated blocking thread per follower is the right shape: follower
+// counts are small (1..a few), the stream is long-lived and mostly
+// throughput-bound, and it keeps the epoll workers' request/response state
+// machine free of half-duplex streaming cases.
+#ifndef REWIND_SERVER_REPL_SESSION_H_
+#define REWIND_SERVER_REPL_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/kv/kv_store.h"
+#include "src/repl/replication_log.h"
+#include "src/repl/shipper.h"
+
+namespace rwd {
+namespace serve {
+
+class ReplSession {
+ public:
+  /// Takes ownership of `fd`. `start_after` is the follower's applied
+  /// gtid from its subscribe frame; `pre_out` is unsent reply residue for
+  /// requests pipelined BEFORE the subscribe, `pre_in` any bytes that
+  /// arrived after it (early acks) — both are honoured before streaming.
+  ReplSession(KvStore* store, repl::ReplicationLog* log, int fd,
+              std::uint64_t start_after, std::string pre_out,
+              std::string pre_in);
+  ~ReplSession();
+
+  ReplSession(const ReplSession&) = delete;
+  ReplSession& operator=(const ReplSession&) = delete;
+
+  void Start();
+  /// Idempotent: wakes the stream (socket shutdown + log nudge) and joins.
+  void Stop();
+
+  /// True once the streaming thread exited (the session can be reaped).
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ private:
+  void Run();
+  bool SendAll(const char* data, std::size_t n);
+  /// Sends the full-store snapshot as chunked kReplSnapshot frames.
+  /// Returns the stream resume position, or ~0 on a send failure.
+  std::uint64_t SendSnapshot();
+  /// Ack-receiver thread body: blocking recv of kReplAck frames, each one
+  /// advancing the subscriber cursor. Sets `peer_gone_` (and nudges the
+  /// log so the shipper notices) when the peer closes or breaks protocol.
+  void RecvAcks();
+
+  KvStore* store_;
+  repl::ReplicationLog* log_;
+  int fd_;
+  std::uint64_t start_after_;
+  std::string pre_out_;
+  std::string in_;  ///< unparsed inbound bytes (ack frames)
+  std::uint64_t sub_id_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> peer_gone_{false};
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+  std::thread ack_thread_;
+};
+
+}  // namespace serve
+}  // namespace rwd
+
+#endif  // REWIND_SERVER_REPL_SESSION_H_

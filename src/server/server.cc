@@ -17,6 +17,9 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/repl/applier.h"
+#include "src/repl/replication_log.h"
+#include "src/server/repl_session.h"
 
 namespace rwd {
 namespace serve {
@@ -75,8 +78,10 @@ void AppendStats2Payload(const StatsReply& stats, std::string* out) {
   counter("kv.optimistic_hits", stats.optimistic_hits);
   counter("kv.optimistic_retries", stats.optimistic_retries);
   counter("kv.read_latch_acquires", stats.read_latch_acquires);
+  counter("kv.starvation_fallbacks", stats.starvation_fallbacks);
   counter("txn.parallel_prepares", stats.parallel_prepares);
   gauge("txn.max_prepare_fanout", stats.max_prepare_fanout);
+  counter("txn.decision_log_truncations", stats.decision_log_truncations);
   for (const obs::Sample& s : obs::Registry::Get().Snapshot()) {
     samples.push_back(
         {s.name, static_cast<std::uint8_t>(s.type), s.value});
@@ -91,6 +96,7 @@ struct Request {
   bool bad = false;  ///< malformed payload or invalid write key
   std::uint64_t key = 0;
   std::uint32_t max_items = 0;
+  std::uint64_t gtid = 0;  ///< GET_RYW read-your-writes token
   std::string value;
   std::vector<std::pair<std::uint64_t, std::string>> kvs;
 };
@@ -111,6 +117,11 @@ struct KvServer::Conn {
   std::uint32_t unacked = 0;
   bool want_write = false;     ///< out buffer has unsent residue
   std::uint32_t interest = 0;  ///< epoll event mask currently registered
+  /// Set by Drive on REPL_SUBSCRIBE (once the unacked barrier drained):
+  /// the caller must hand this connection to DetachRepl instead of
+  /// flushing it.
+  bool repl_detach = false;
+  std::uint64_t repl_start = 0;  ///< the follower's applied gtid
 };
 
 struct KvServer::Worker {
@@ -186,8 +197,10 @@ bool KvServer::Start() {
       [this] {
         for (auto& w : workers_) WakeWorker(*w);
       },
-      config_.slow_op_threshold_us);
+      config_.slow_op_threshold_us, config_.sync_repl,
+      config_.sync_repl_timeout_ms);
   batcher_->Start();
+  read_only_.store(config_.read_only, std::memory_order_release);
   stop_.store(false, std::memory_order_release);
   for (auto& w : workers_) {
     std::uint32_t idx = w->idx;
@@ -219,6 +232,13 @@ void KvServer::Stop() {
     ::close(w->epfd);
   }
   workers_.clear();
+  {
+    // After the batcher: a semi-sync drain may still be waiting on these
+    // sessions' acks, and their Unsubscribe releases it either way.
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    for (auto& s : repl_sessions_) s->Stop();
+    repl_sessions_.clear();
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -292,6 +312,10 @@ void KvServer::HandleInbox(Worker& w) {
     Conn& c = *it->second;
     std::size_t at =
         BeginFrame(&c.out, static_cast<std::uint8_t>(comp.status));
+    // Write acks carry the covering batch's replication gtid (0 without
+    // replication): the client's read-your-writes token for follower
+    // reads.
+    AppendU64(&c.out, comp.gtid);
     EndFrame(&c.out, at);
     if (c.unacked > 0) --c.unacked;
     if (std::find(touched.begin(), touched.end(), &c) == touched.end()) {
@@ -300,6 +324,10 @@ void KvServer::HandleInbox(Worker& w) {
   }
   for (Conn* c : touched) {
     Drive(w, *c);
+    if (c->repl_detach) {
+      DetachRepl(w, *c);  // frees the Conn, keeps the fd
+      continue;
+    }
     if (!TryFlush(w, *c)) CloseConn(w, *c);
   }
 }
@@ -357,6 +385,10 @@ bool KvServer::HandleReadable(Worker& w, Conn& c) {
   }
   if (!ParseFrames(c)) return false;  // protocol error
   Drive(w, c);
+  if (c.repl_detach) {
+    DetachRepl(w, c);  // frees the Conn, keeps the fd
+    return true;
+  }
   return TryFlush(w, c);
 }
 
@@ -431,11 +463,31 @@ bool KvServer::ParseFrames(Conn& c) {
       }
       case Op::kStats:
       case Op::kStats2:
+      case Op::kPromote:
         req.op = static_cast<Op>(static_cast<std::uint8_t>(*p));
         if (body != 0) req.bad = true;
         break;
+      case Op::kGetRyw:
+        req.op = Op::kGetRyw;
+        if (body != 16) {
+          req.bad = true;
+        } else {
+          req.key = ReadU64(q);
+          req.gtid = ReadU64(q + 8);
+        }
+        break;
+      case Op::kReplSubscribe:
+        req.op = Op::kReplSubscribe;
+        if (body != 8) {
+          req.bad = true;
+        } else {
+          req.key = ReadU64(q);  // the follower's applied gtid
+        }
+        break;
       default:
-        return false;  // unknown opcode: drop the connection
+        // Unknown opcode — and kReplBatch/kReplSnapshot/kReplAck, which
+        // never flow toward a serving socket: drop the connection.
+        return false;
     }
     c.reqs.push_back(std::move(req));
   }
@@ -457,13 +509,37 @@ void KvServer::Drive(Worker& w, Conn& c) {
     // pipelined read observes the writes issued before it.
     bool is_write = !req.bad && (req.op == Op::kPut || req.op == Op::kDel ||
                                  req.op == Op::kMput);
+    if (is_write && read_only_.load(std::memory_order_acquire)) {
+      // Follower role: refuse the write, but never jump ahead of acks
+      // still in flight (a promotion race could have let some through).
+      if (c.unacked > 0) return;
+      std::size_t at = BeginFrame(
+          &c.out, static_cast<std::uint8_t>(Status::kNotLeader));
+      EndFrame(&c.out, at);
+      c.reqs.pop_front();
+      continue;
+    }
     if (!is_write) {
       if (c.unacked > 0) return;  // parked until the acks drain
       if (req.bad) {
         std::size_t at = BeginFrame(
             &c.out, static_cast<std::uint8_t>(Status::kBadRequest));
         EndFrame(&c.out, at);
-      } else if (req.op == Op::kGet) {
+      } else if (req.op == Op::kGet || req.op == Op::kGetRyw) {
+        // GET_RYW on a follower first waits for the applier to reach the
+        // token (on a leader the token is trivially satisfied — an acked
+        // write is already local). The wait blocks this epoll worker for
+        // up to ryw_wait_ms; acceptable for the follower read topology,
+        // where RYW reads are rare relative to plain reads.
+        if (req.op == Op::kGetRyw && req.gtid != 0 &&
+            config_.applier != nullptr &&
+            !config_.applier->WaitForApplied(req.gtid, config_.ryw_wait_ms)) {
+          std::size_t at = BeginFrame(
+              &c.out, static_cast<std::uint8_t>(Status::kServerError));
+          EndFrame(&c.out, at);
+          c.reqs.pop_front();
+          continue;
+        }
         gets_.fetch_add(1, std::memory_order_relaxed);
         // One clock pair per server GET (not per KvStore::Get — clocks in
         // the latch-free read path itself would halve its throughput).
@@ -514,6 +590,31 @@ void KvServer::Drive(Worker& w, Conn& c) {
           std::uint64_t dur = obs::NowNs() - t0;
           SrvMetrics().op_scan->Record(dur);
           obs::SlowOpLog("SCAN", req.key, dur, config_.slow_op_threshold_us);
+        }
+      } else if (req.op == Op::kPromote) {
+        // Idempotent: the first promote flips the role and runs the hook
+        // (the host stops its follower agent there); repeats just ack.
+        bool was_follower = read_only_.exchange(false,
+                                                std::memory_order_acq_rel);
+        if (was_follower && config_.on_promote) config_.on_promote();
+        std::size_t at =
+            BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
+        EndFrame(&c.out, at);
+      } else if (req.op == Op::kReplSubscribe) {
+        if (store_->replication_log() == nullptr) {
+          std::size_t at = BeginFrame(
+              &c.out, static_cast<std::uint8_t>(Status::kBadRequest));
+          EndFrame(&c.out, at);
+        } else {
+          // Leave the request/response protocol: the caller detaches this
+          // connection into a dedicated ReplSession streaming thread,
+          // which sends the subscribe reply itself (it decides stream vs
+          // snapshot). Anything pipelined after the subscribe is the
+          // stream's business now.
+          c.repl_detach = true;
+          c.repl_start = req.key;
+          c.reqs.pop_front();
+          return;
         }
       } else if (req.op == Op::kStats2) {
         std::size_t at =
@@ -633,6 +734,32 @@ void KvServer::CloseConn(Worker& w, Conn& c) {
   w.conns.erase(c.id);  // frees `c`
 }
 
+void KvServer::DetachRepl(Worker& w, Conn& c) {
+  ::epoll_ctl(w.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+  int fd = c.fd;
+  std::uint64_t start = c.repl_start;
+  // Unsent reply residue (requests pipelined before the subscribe) and
+  // unparsed inbound bytes both move into the session.
+  std::string pre_out = c.out.substr(c.out_off);
+  std::string pre_in = c.in.substr(c.in_off);
+  w.conns.erase(c.id);  // frees `c`; the fd lives on in the session
+  auto session = std::make_unique<ReplSession>(
+      store_, store_->replication_log(), fd, start, std::move(pre_out),
+      std::move(pre_in));
+  session->Start();
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  // Opportunistically reap sessions whose follower already went away.
+  for (auto it = repl_sessions_.begin(); it != repl_sessions_.end();) {
+    if ((*it)->done()) {
+      (*it)->Stop();
+      it = repl_sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  repl_sessions_.push_back(std::move(session));
+}
+
 StatsReply KvServer::StatsSnapshot() {
   StatsReply r;
   r.keys = store_->Size();
@@ -652,11 +779,14 @@ StatsReply KvServer::StatsSnapshot() {
   r.heap_high_watermark = store_->heap_high_watermark();
   r.parallel_prepares = store_->store_txn().parallel_prepares();
   r.max_prepare_fanout = store_->store_txn().max_prepare_fanout();
+  r.decision_log_truncations =
+      store_->store_txn().decision_log_truncations();
   for (std::size_t s = 0; s < store_->shards(); ++s) {
     KvShardStats shard = store_->shard_stats(s);
     r.optimistic_hits += shard.optimistic_hits;
     r.optimistic_retries += shard.optimistic_retries;
     r.read_latch_acquires += shard.read_latch_acquires;
+    r.starvation_fallbacks += shard.starvation_fallbacks;
     r.shard_log_bytes.push_back(store_->ShardLogBytes(s));
     r.shard_read_latches.push_back(shard.read_latch_acquires);
   }

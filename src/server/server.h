@@ -14,7 +14,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -23,7 +25,14 @@
 #include "src/server/protocol.h"
 
 namespace rwd {
+
+namespace repl {
+class ReplApplier;
+}  // namespace repl
+
 namespace serve {
+
+class ReplSession;
 
 struct ServerConfig {
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
@@ -48,6 +57,22 @@ struct ServerConfig {
   /// reads slower than this at execution, and writes slower than this
   /// from submit to post-fence ack, get logged. 0 disables.
   std::uint64_t slow_op_threshold_us = 0;
+  // --- replication (RewindRepl) ---
+  /// Start read-only: writes answer kNotLeader until a PROMOTE arrives
+  /// (the follower role). Reads, STATS and GET_RYW stay available.
+  bool read_only = false;
+  /// Semi-synchronous replication: hold each batch's acks until every
+  /// subscribed follower acked its gtid (see GroupCommitBatcher).
+  bool sync_repl = false;
+  std::uint32_t sync_repl_timeout_ms = 2000;
+  /// How long a GET_RYW may wait for the applier to reach its token.
+  std::uint32_t ryw_wait_ms = 1000;
+  /// Follower role: the applier whose gtid GET_RYW waits on (nullptr on a
+  /// leader — tokens are then trivially satisfied, the data is local).
+  repl::ReplApplier* applier = nullptr;
+  /// Invoked once when a PROMOTE flips this node to leader (the host
+  /// stops its follower agent here). Called on a worker thread.
+  std::function<void()> on_promote;
 };
 
 class KvServer {
@@ -72,6 +97,11 @@ class KvServer {
   /// True once a simulated power failure fired inside a group commit; the
   /// server has dropped every connection and stopped acking.
   bool crashed() const { return batcher_ && batcher_->crashed(); }
+
+  /// True while writes are refused with kNotLeader (follower role).
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
 
   /// Aggregate counters (also the STATS op's payload).
   StatsReply StatsSnapshot();
@@ -99,6 +129,10 @@ class KvServer {
   void UpdateInterest(Worker& w, Conn& c);
   void CloseConn(Worker& w, Conn& c);
   void WakeWorker(Worker& w);
+  /// Pulls a connection that sent REPL_SUBSCRIBE out of the epoll loop and
+  /// hands its fd (plus unsent reply bytes) to a dedicated ReplSession
+  /// streaming thread.
+  void DetachRepl(Worker& w, Conn& c);
 
   KvStore* store_;
   ServerConfig config_;
@@ -114,6 +148,13 @@ class KvServer {
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> gets_{0};
   std::atomic<std::uint64_t> scans_{0};
+
+  // --- replication ---
+  std::atomic<bool> read_only_{false};
+  /// Leader-side per-follower streaming threads (REPL_SUBSCRIBE detaches
+  /// the connection here). Guarded by repl_mu_; reaped on Stop().
+  std::mutex repl_mu_;
+  std::vector<std::unique_ptr<ReplSession>> repl_sessions_;
 };
 
 }  // namespace serve

@@ -71,8 +71,13 @@ std::uint64_t NetWorkloadDriver::Load() {
 
 void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
                                 WorkloadResult* result, bool* conn_ok) {
+  // Read scale-out: with a follower endpoint configured, odd threads
+  // drive it while even threads stay on the leader — fan the read load
+  // across both nodes without splitting a single connection's pipeline.
+  bool to_follower = net_.follower_port != 0 && thread_idx % 2 == 1;
   serve::KvClient client;
-  if (!client.Connect(net_.host, net_.port)) {
+  if (!client.Connect(net_.host,
+                      to_follower ? net_.follower_port : net_.port)) {
     *conn_ok = false;
     return;
   }

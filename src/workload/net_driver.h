@@ -21,6 +21,12 @@ struct NetDriverSpec {
   std::uint16_t port = 7170;
   /// Requests each connection keeps in flight before blocking on a reply.
   std::size_t pipeline_depth = 16;
+  /// Read scale-out (RewindRepl): when non-zero, odd-indexed driver
+  /// threads connect to `host:follower_port` instead of the leader.
+  /// Meant for read-dominated mixes (YCSB C): a follower answers writes
+  /// with kNotLeader, which the accounting simply drops. Load() always
+  /// goes to the leader.
+  std::uint16_t follower_port = 0;
 };
 
 /// Drives a remote KvStore with a WorkloadSpec over TCP. Latency samples

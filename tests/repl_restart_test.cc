@@ -1,0 +1,360 @@
+// RewindRepl crash tests (fork/SIGKILL — deliberately NOT part of the
+// TSan job; the thread-based replication tests live in repl_test.cc).
+//
+// Topology: the gtest parent holds no store and no threads — every node
+// (leader, follower, late joiner) is a forked CHILD running a full
+// KvStore + KvServer, reporting its ephemeral port back through a pipe
+// and then parking until the parent kills it. The parent drives writes
+// over KvClient connections, delivers real SIGKILLs, and verifies the
+// replication guarantees from the outside:
+//
+//  * kill-the-leader sweep: under semi-synchronous replication, every
+//    write the client saw acked is served by the promoted follower, at
+//    several different kill points — and a late-joining follower chained
+//    off the promoted node converges to the same state.
+//  * follower SIGKILL: a file-backed follower killed mid-catch-up
+//    restarts, resumes from its persisted applied gtid, re-applies
+//    idempotently, and converges including writes issued while it was
+//    down.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/kv/kv_store.h"
+#include "src/repl/applier.h"
+#include "src/repl/follower_agent.h"
+#include "src/repl/replication_log.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace rwd {
+namespace {
+
+std::string TmpPath(const char* name) {
+  return ::testing::TempDir() + "repl_" + name + "_" +
+         std::to_string(::getpid()) + ".heap";
+}
+
+std::string Val(std::uint64_t key, std::uint64_t version) {
+  return "v" + std::to_string(version) + "-" + std::to_string(key) + "-" +
+         std::string(24, 'r');
+}
+
+KvConfig NodeConfig(const std::string& heap_file = "") {
+  KvConfig cfg;
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.layers = Layers::kOne;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 64;
+  cfg.rewind.nvm.mode = NvmMode::kFast;
+  cfg.rewind.nvm.heap_bytes = std::size_t{32} << 20;
+  cfg.rewind.nvm.write_latency_ns = 0;
+  cfg.rewind.nvm.fence_latency_ns = 0;
+  cfg.rewind.nvm.heap_file = heap_file;
+  cfg.shards = 3;
+  cfg.checkpoint_period_ms = 0;
+  return cfg;
+}
+
+/// A forked server node. The child builds the store + server, writes the
+/// ephemeral port (u16) to a pipe, then parks in pause() until killed —
+/// SIGKILL only, so destructors never run, exactly like a real crash.
+struct ChildNode {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+
+  ChildNode() = default;
+  // Owning handle: moves transfer the pid (NRVO is optional, and a copy
+  // whose twin's destructor reaps the child would kill it silently).
+  ChildNode(ChildNode&& other) noexcept
+      : pid(other.pid), port(other.port) {
+    other.pid = -1;
+  }
+  ChildNode& operator=(ChildNode&& other) noexcept {
+    if (this != &other) {
+      Kill();
+      pid = other.pid;
+      port = other.port;
+      other.pid = -1;
+    }
+    return *this;
+  }
+  ChildNode(const ChildNode&) = delete;
+  ChildNode& operator=(const ChildNode&) = delete;
+
+  void Kill() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+  }
+  ~ChildNode() { Kill(); }
+};
+
+/// Forks a node. `setup` runs in the child and must return the listening
+/// port (0 = failure, child exits 1). The child never returns.
+template <typename Setup>
+ChildNode ForkNode(Setup setup) {
+  int pipe_fd[2];
+  if (::pipe(pipe_fd) != 0) return {};
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(pipe_fd[0]);
+    std::uint16_t port = setup();
+    if (port == 0) ::_exit(1);
+    if (::write(pipe_fd[1], &port, sizeof(port)) != sizeof(port)) ::_exit(1);
+    ::close(pipe_fd[1]);
+    for (;;) ::pause();
+  }
+  ::close(pipe_fd[1]);
+  ChildNode node;
+  node.pid = pid;
+  ssize_t n = ::read(pipe_fd[0], &node.port, sizeof(node.port));
+  ::close(pipe_fd[0]);
+  if (n != sizeof(node.port)) {
+    node.Kill();
+    node.port = 0;
+  }
+  return node;
+}
+
+/// Leader child: DRAM store + ReplicationLog + KvServer, optionally in
+/// semi-synchronous mode.
+ChildNode ForkLeader(bool sync_repl) {
+  return ForkNode([sync_repl]() -> std::uint16_t {
+    static KvStore store(NodeConfig());
+    static repl::ReplicationLog log(8192);
+    store.SetReplicationLog(&log);
+    serve::ServerConfig cfg;
+    cfg.port = 0;
+    cfg.workers = 2;
+    cfg.batch_window_us = 100;
+    cfg.sync_repl = sync_repl;
+    cfg.sync_repl_timeout_ms = 2000;
+    static serve::KvServer server(&store, cfg);
+    if (!server.Start()) return 0;
+    return server.port();
+  });
+}
+
+/// Follower child: store (file-backed when `heap_file` is set) + applier
+/// + agent chasing `leader_port`, fronted by a read-only KvServer. The
+/// follower carries its OWN ReplicationLog and publishes what it applies,
+/// so after a promotion new followers can chain off it directly.
+ChildNode ForkFollower(std::uint16_t leader_port,
+                       const std::string& heap_file = "") {
+  return ForkNode([leader_port, heap_file]() -> std::uint16_t {
+    KvConfig kv_cfg = NodeConfig(heap_file);
+    static std::unique_ptr<KvStore> store;
+    struct stat st;
+    bool reattach = !heap_file.empty() &&
+                    ::stat(heap_file.c_str(), &st) == 0 && st.st_size > 0;
+    try {
+      store = reattach ? KvStore::Open(heap_file, kv_cfg)
+                       : std::make_unique<KvStore>(kv_cfg);
+    } catch (...) {
+      return 0;
+    }
+    static repl::ReplicationLog log(8192);
+    store->SetReplicationLog(&log);
+    static repl::ReplApplier applier(store.get());
+    static repl::FollowerAgent agent(&applier, "127.0.0.1", leader_port);
+    serve::ServerConfig cfg;
+    cfg.port = 0;
+    cfg.workers = 2;
+    cfg.batch_window_us = 100;
+    cfg.read_only = true;
+    cfg.applier = &applier;
+    cfg.on_promote = [] { agent.Stop(); };
+    static serve::KvServer server(store.get(), cfg);
+    if (!server.Start()) return 0;
+    agent.Start();
+    return server.port();
+  });
+}
+
+/// Polls `port`'s STATS until `pred(keys)` holds. False on timeout.
+bool WaitForKeys(std::uint16_t port,
+                 const std::function<bool(std::uint64_t)>& pred,
+                 std::uint32_t timeout_ms = 15000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    serve::KvClient probe;
+    serve::StatsReply stats;
+    if (probe.Connect("127.0.0.1", port, 2000) && probe.Stats(&stats) &&
+        pred(stats.keys)) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+// The acceptance sweep: a semi-synchronous leader is SIGKILLed with a
+// pipeline of writes in flight, at several kill points. Every write whose
+// ack the client READ must be on the promoted follower; a late joiner
+// chained off the promoted node converges to the identical state.
+TEST(ReplRestart, KillTheLeaderSweepServesEveryAckedWrite) {
+  for (std::size_t acks_before_kill : {20u, 60u, 140u}) {
+    SCOPED_TRACE("kill after " + std::to_string(acks_before_kill) +
+                 " acked writes");
+    ChildNode leader = ForkLeader(/*sync_repl=*/true);
+    ASSERT_NE(leader.port, 0u);
+    ChildNode follower = ForkFollower(leader.port);
+    ASSERT_NE(follower.port, 0u);
+
+    serve::KvClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", leader.port, 5000));
+    // The first write can race the follower's subscription (no cursor ->
+    // no semi-sync wait), so establish the link before the sweep proper.
+    ASSERT_TRUE(client.Put(1, Val(1, 0)));
+    ASSERT_TRUE(WaitForKeys(follower.port,
+                            [](std::uint64_t keys) { return keys >= 1; }));
+
+    // Pipeline writes; kill the leader once `acks_before_kill` acks have
+    // been READ, with more writes still in flight. Every ack the client
+    // saw is a durability promise the promoted follower must honour.
+    std::map<std::uint64_t, std::string> acked = {{1, Val(1, 0)}};
+    constexpr std::size_t kDepth = 32;
+    constexpr std::uint64_t kTotal = 400;
+    std::vector<std::uint64_t> queued;
+    std::size_t read_at = 0;
+    bool leader_dead = false;
+    for (std::uint64_t key = 2; key <= kTotal && !leader_dead; ++key) {
+      client.QueuePut(key, Val(key, 0));
+      queued.push_back(key);
+      while (client.pending() >= kDepth) {
+        serve::KvClient::Reply reply;
+        if (!client.Flush() || !client.ReadReply(&reply)) {
+          leader_dead = true;
+          break;
+        }
+        if (reply.status == serve::Status::kOk) {
+          std::uint64_t k = queued[read_at];
+          acked[k] = Val(k, 0);
+        }
+        ++read_at;
+        if (acked.size() == acks_before_kill) leader.Kill();
+      }
+    }
+    // Drain what the kernel already delivered: those acks count too.
+    while (!leader_dead && read_at < queued.size()) {
+      serve::KvClient::Reply reply;
+      if (!client.Flush() || !client.ReadReply(&reply)) break;
+      if (reply.status == serve::Status::kOk) {
+        std::uint64_t k = queued[read_at];
+        acked[k] = Val(k, 0);
+      }
+      ++read_at;
+      if (acked.size() == acks_before_kill) leader.Kill();
+    }
+    leader.Kill();  // idempotent: in case the loop never reached the count
+    ASSERT_GE(acked.size(), acks_before_kill);
+
+    // Promote the survivor and audit every acked write against it.
+    serve::KvClient to_follower;
+    ASSERT_TRUE(to_follower.Connect("127.0.0.1", follower.port, 5000));
+    ASSERT_TRUE(to_follower.Promote());
+    std::string value;
+    for (const auto& [key, expect] : acked) {
+      ASSERT_TRUE(to_follower.Get(key, &value))
+          << "acked key " << key << " lost after promotion";
+      EXPECT_EQ(value, expect);
+    }
+    // The promoted node is a real leader: it takes writes again.
+    ASSERT_TRUE(to_follower.Put(9999, Val(9999, 1)));
+
+    // Late joiner: chain a brand-new follower off the promoted node and
+    // wait until it has everything, acked writes included.
+    serve::StatsReply promoted_stats;
+    ASSERT_TRUE(to_follower.Stats(&promoted_stats));
+    ChildNode late = ForkFollower(follower.port);
+    ASSERT_NE(late.port, 0u);
+    std::uint64_t want = promoted_stats.keys;
+    ASSERT_TRUE(WaitForKeys(
+        late.port, [want](std::uint64_t keys) { return keys >= want; }));
+    serve::KvClient to_late;
+    ASSERT_TRUE(to_late.Connect("127.0.0.1", late.port, 5000));
+    for (const auto& [key, expect] : acked) {
+      ASSERT_TRUE(to_late.Get(key, &value)) << "late joiner missing " << key;
+      EXPECT_EQ(value, expect);
+    }
+    ASSERT_TRUE(to_late.Get(9999, &value));
+    EXPECT_EQ(value, Val(9999, 1));
+  }
+}
+
+// A file-backed follower SIGKILLed mid-catch-up restarts on the same heap,
+// resumes from the persisted applied gtid (re-applying any suffix
+// idempotently), and converges — including overwrites and writes issued
+// while it was down.
+TEST(ReplRestart, FollowerSigkillResumesFromPersistedGtid) {
+  std::string heap = TmpPath("follower");
+  ::unlink(heap.c_str());
+
+  ChildNode leader = ForkLeader(/*sync_repl=*/false);
+  ASSERT_NE(leader.port, 0u);
+
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", leader.port, 5000));
+  for (std::uint64_t k = 1; k <= 60; ++k) {
+    ASSERT_TRUE(client.Put(k, Val(k, 0)));
+  }
+
+  // Cold-join the follower against the 60-key backlog and SIGKILL it
+  // almost immediately — with luck mid-apply; either way the persisted
+  // gtid can only lag the applied state, never lead it.
+  {
+    ChildNode follower = ForkFollower(leader.port, heap);
+    ASSERT_NE(follower.port, 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    follower.Kill();
+  }
+
+  // While the follower is down: new keys, overwrites, a delete.
+  for (std::uint64_t k = 61; k <= 80; ++k) {
+    ASSERT_TRUE(client.Put(k, Val(k, 0)));
+  }
+  for (std::uint64_t k = 1; k <= 10; ++k) {
+    ASSERT_TRUE(client.Put(k, Val(k, 1)));
+  }
+  ASSERT_TRUE(client.Delete(42));
+
+  // Restart on the same heap file: re-attach, resume, converge.
+  ChildNode follower = ForkFollower(leader.port, heap);
+  ASSERT_NE(follower.port, 0u);
+  ASSERT_TRUE(WaitForKeys(follower.port,
+                          [](std::uint64_t keys) { return keys >= 79; }));
+
+  serve::KvClient to_follower;
+  ASSERT_TRUE(to_follower.Connect("127.0.0.1", follower.port, 5000));
+  std::string value;
+  for (std::uint64_t k = 1; k <= 80; ++k) {
+    if (k == 42) {
+      EXPECT_FALSE(to_follower.Get(k, &value)) << "deleted key resurrected";
+      continue;
+    }
+    ASSERT_TRUE(to_follower.Get(k, &value)) << "key " << k;
+    EXPECT_EQ(value, Val(k, k <= 10 ? 1 : 0));
+  }
+
+  ::unlink(heap.c_str());
+}
+
+}  // namespace
+}  // namespace rwd

@@ -1,0 +1,457 @@
+// RewindRepl tests (thread-based, TSan-clean — the fork/SIGKILL sweeps
+// live in repl_restart_test.cc): the ReplicationLog ring and subscriber
+// cursors, in-process shipping into a second KvStore, TCP cold-join
+// catch-up over a live KvServer (both the stream and the snapshot path),
+// gap-forced resnapshot with delete reconciliation, follower read-only
+// semantics with PROMOTE, read-your-writes tokens, and semi-synchronous
+// leader acks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/repl/applier.h"
+#include "src/repl/follower_agent.h"
+#include "src/repl/replication_log.h"
+#include "src/repl/shipper.h"
+#include "src/repl/snapshot.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/workload/workload.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+KvConfig ReplKvConfig(std::size_t shards = 4) {
+  KvConfig cfg;
+  cfg.rewind.nvm = TestNvmConfig(64);
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 32;
+  cfg.rewind.batch_group_size = 4;
+  cfg.shards = shards;
+  return cfg;
+}
+
+serve::ServerConfig TestServerConfig(std::uint32_t batch_window_us = 100) {
+  serve::ServerConfig cfg;
+  cfg.port = 0;  // ephemeral
+  cfg.workers = 2;
+  cfg.batch_window_us = batch_window_us;
+  return cfg;
+}
+
+std::string ValueFor(std::uint64_t key, std::uint64_t version) {
+  return WorkloadDriver::MakeValue(key, version, 48);
+}
+
+/// Polls `pred` every 2 ms until it holds or `timeout_ms` elapses.
+bool WaitUntil(const std::function<bool()>& pred,
+               std::uint32_t timeout_ms = 10000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+KvWriteOp PutOp(std::uint64_t key, std::string value) {
+  KvWriteOp op;
+  op.kind = KvWriteOp::Kind::kPut;
+  op.key = key;
+  op.value = std::move(value);
+  return op;
+}
+
+// The ring hands back exactly the published records, positions that fell
+// out of the ring report a gap, and subscriber cursors drive lag and the
+// semi-sync WaitAcked barrier.
+TEST(ReplicationLog, RingPollAndSubscriberCursors) {
+  repl::ReplicationLog log(/*capacity=*/4);
+  EXPECT_EQ(log.last_gtid(), 0u);
+  EXPECT_TRUE(log.CanResume(0));  // empty log: nothing to miss
+
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(log.Publish({PutOp(i, "v" + std::to_string(i))}), i);
+  }
+  std::vector<repl::ReplRecord> out;
+  ASSERT_EQ(log.Poll(0, 16, 0, &out), repl::ReplicationLog::PollResult::kOk);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].gtid, 1u);
+  EXPECT_EQ(out[2].gtid, 3u);
+  ASSERT_EQ(out[1].ops.size(), 1u);
+  EXPECT_EQ(out[1].ops[0].key, 2u);
+  EXPECT_EQ(out[1].ops[0].value, "v2");
+
+  // Overflow the capacity-4 ring: position 0 now gaps, recent resumes.
+  for (std::uint64_t i = 4; i <= 9; ++i) {
+    log.Publish({PutOp(i, "x")});
+  }
+  EXPECT_FALSE(log.CanResume(0));
+  EXPECT_TRUE(log.CanResume(5));  // ring holds 6..9
+  out.clear();
+  EXPECT_EQ(log.Poll(0, 16, 0, &out),
+            repl::ReplicationLog::PollResult::kGap);
+  ASSERT_EQ(log.Poll(7, 16, 0, &out),
+            repl::ReplicationLog::PollResult::kOk);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].gtid, 8u);
+
+  // Cursors: lag tracks the slowest subscriber; WaitAcked releases once
+  // every cursor reaches the gtid and fails fast on timeout before that.
+  std::uint64_t a = log.Subscribe("a");
+  std::uint64_t b = log.Subscribe("b");
+  EXPECT_EQ(log.subscriber_count(), 2u);
+  log.Ack(a, 9);
+  log.Ack(b, 7);
+  EXPECT_EQ(log.lag_batches(), 2u);
+  EXPECT_FALSE(log.WaitAcked(9, 20));
+  log.Ack(b, 9);
+  EXPECT_TRUE(log.WaitAcked(9, 1000));
+  EXPECT_EQ(log.lag_batches(), 0u);
+  log.Unsubscribe(a);
+  log.Unsubscribe(b);
+  EXPECT_TRUE(log.WaitAcked(42, 0));  // no subscribers: trivially acked
+}
+
+// The record codec round-trips puts and deletes byte-exactly.
+TEST(ReplicationLog, RecordCodecRoundTrip) {
+  repl::ReplRecord rec;
+  rec.gtid = 77;
+  rec.ops.push_back(PutOp(5, std::string(300, 'z')));
+  KvWriteOp del;
+  del.kind = KvWriteOp::Kind::kDelete;
+  del.key = 6;
+  rec.ops.push_back(del);
+
+  std::string wire;
+  repl::EncodeRecordPayload(rec, &wire);
+  repl::ReplRecord back;
+  ASSERT_TRUE(repl::DecodeRecordPayload(wire, &back));
+  EXPECT_EQ(back.gtid, 77u);
+  ASSERT_EQ(back.ops.size(), 2u);
+  EXPECT_EQ(back.ops[0].kind, KvWriteOp::Kind::kPut);
+  EXPECT_EQ(back.ops[0].value, rec.ops[0].value);
+  EXPECT_EQ(back.ops[1].kind, KvWriteOp::Kind::kDelete);
+  EXPECT_EQ(back.ops[1].key, 6u);
+
+  // Truncated payloads fail cleanly instead of over-reading.
+  EXPECT_FALSE(repl::DecodeRecordPayload(
+      std::string_view(wire).substr(0, wire.size() - 1), &back));
+}
+
+// In-process topology: a Shipper pumps the leader's log straight into a
+// second store's applier. The follower converges, and re-delivering an
+// already-applied record is skipped, not double-applied.
+TEST(Replication, InProcessShipperConverges) {
+  KvStore leader(ReplKvConfig());
+  // Big enough that the synchronous apply sink can never fall out of the
+  // ring while the put loop sprints ahead.
+  repl::ReplicationLog log(1024);
+  leader.SetReplicationLog(&log);
+
+  KvStore follower(ReplKvConfig(/*shards=*/3));
+  repl::ReplApplier applier(&follower);
+
+  repl::Shipper shipper(&log, /*start_after=*/0,
+                        [&](const repl::ReplRecord& rec) {
+                          return applier.Apply(rec);
+                        });
+  shipper.Start();
+
+  for (std::uint64_t k = 1; k <= 200; ++k) {
+    ASSERT_TRUE(leader.Put(k, ValueFor(k, 0)));
+  }
+  ASSERT_TRUE(leader.Delete(50));
+  ASSERT_TRUE(leader.MultiPut({{500, "a"}, {501, "b"}}));
+
+  std::uint64_t last = log.last_gtid();
+  ASSERT_TRUE(WaitUntil([&] { return applier.applied_gtid() >= last; }));
+  shipper.Stop();
+  EXPECT_FALSE(shipper.gapped());
+
+  EXPECT_EQ(follower.Size(), leader.Size());
+  std::string value;
+  ASSERT_TRUE(follower.Get(7, &value));
+  EXPECT_EQ(value, ValueFor(7, 0));
+  EXPECT_FALSE(follower.Get(50, &value));
+  ASSERT_TRUE(follower.Get(501, &value));
+  EXPECT_EQ(value, "b");
+
+  // Idempotence: replay the last record by hand — counted as skipped.
+  std::vector<repl::ReplRecord> out;
+  ASSERT_EQ(log.Poll(last - 1, 1, 0, &out),
+            repl::ReplicationLog::PollResult::kOk);
+  std::uint64_t skipped_before = applier.records_skipped();
+  EXPECT_TRUE(applier.Apply(out[0]));
+  EXPECT_EQ(applier.records_skipped(), skipped_before + 1);
+  EXPECT_EQ(follower.Size(), leader.Size());
+}
+
+// TakeSnapshot orders the gtid read before the scan so concurrent commits
+// land either in the snapshot or in the stream the follower replays next —
+// here, statically: snapshot matches store content at the recorded gtid.
+TEST(Replication, SnapshotCapturesStoreAtGtid) {
+  KvStore leader(ReplKvConfig());
+  repl::ReplicationLog log(64);
+  leader.SetReplicationLog(&log);
+  for (std::uint64_t k = 1; k <= 30; ++k) {
+    ASSERT_TRUE(leader.Put(k, ValueFor(k, 0)));
+  }
+  ASSERT_TRUE(leader.Delete(11));
+
+  repl::StoreSnapshot snap = repl::TakeSnapshot(&leader, &log);
+  EXPECT_EQ(snap.gtid, log.last_gtid());
+  EXPECT_EQ(snap.kvs.size(), 29u);
+  for (const auto& [key, value] : snap.kvs) {
+    EXPECT_NE(key, 11u);
+    EXPECT_EQ(value, ValueFor(key, 0));
+  }
+}
+
+// TCP cold join while the whole history is still in the ring: the follower
+// resumes from gtid 0 and streams everything — no snapshot involved.
+TEST(Replication, TcpColdJoinStreamsFromRing) {
+  KvStore leader(ReplKvConfig());
+  repl::ReplicationLog log(4096);
+  leader.SetReplicationLog(&log);
+  serve::KvServer server(&leader, TestServerConfig());
+  ASSERT_TRUE(server.Start());
+
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+  std::uint64_t gtid = 0;
+  for (std::uint64_t k = 1; k <= 120; ++k) {
+    ASSERT_TRUE(client.Put(k, ValueFor(k, 0), &gtid));
+    EXPECT_GT(gtid, 0u) << "write acks must carry the replication gtid";
+  }
+
+  KvStore fstore(ReplKvConfig(/*shards=*/2));
+  repl::ReplApplier applier(&fstore);
+  repl::FollowerAgent agent(&applier, "127.0.0.1", server.port());
+  agent.Start();
+
+  std::uint64_t last = log.last_gtid();
+  ASSERT_TRUE(WaitUntil([&] { return applier.applied_gtid() >= last; }));
+  EXPECT_EQ(agent.snapshots_loaded(), 0u);
+  EXPECT_EQ(fstore.Size(), 120u);
+
+  // The stream stays live: new leader writes keep flowing.
+  ASSERT_TRUE(client.Put(7, ValueFor(7, 1), &gtid));
+  ASSERT_TRUE(WaitUntil([&] { return applier.applied_gtid() >= gtid; }));
+  std::string value;
+  ASSERT_TRUE(fstore.Get(7, &value));
+  EXPECT_EQ(value, ValueFor(7, 1));
+
+  agent.Stop();
+  server.Stop();
+}
+
+// TCP cold join after the ring rolled over: the leader pushes a full
+// snapshot first (delete already folded in), then streams from the
+// snapshot position.
+TEST(Replication, TcpColdJoinFallsBackToSnapshot) {
+  KvStore leader(ReplKvConfig());
+  repl::ReplicationLog log(/*capacity=*/8);  // tiny: force the gap
+  leader.SetReplicationLog(&log);
+  serve::KvServer server(&leader, TestServerConfig());
+  ASSERT_TRUE(server.Start());
+
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+  for (std::uint64_t k = 1; k <= 60; ++k) {
+    ASSERT_TRUE(client.Put(k, ValueFor(k, 0)));
+  }
+  ASSERT_TRUE(client.Delete(33));
+  ASSERT_FALSE(log.CanResume(0));  // a cold joiner cannot stream
+
+  KvStore fstore(ReplKvConfig(/*shards=*/2));
+  repl::ReplApplier applier(&fstore);
+  repl::FollowerAgent agent(&applier, "127.0.0.1", server.port());
+  agent.Start();
+
+  std::uint64_t last = log.last_gtid();
+  ASSERT_TRUE(WaitUntil([&] { return applier.applied_gtid() >= last; }));
+  EXPECT_EQ(agent.snapshots_loaded(), 1u);
+  EXPECT_EQ(fstore.Size(), 59u);
+  std::string value;
+  EXPECT_FALSE(fstore.Get(33, &value));
+  ASSERT_TRUE(fstore.Get(60, &value));
+  EXPECT_EQ(value, ValueFor(60, 0));
+
+  // Post-snapshot the link is a normal stream.
+  std::uint64_t gtid = 0;
+  ASSERT_TRUE(client.Put(1000, "after-snap", &gtid));
+  ASSERT_TRUE(WaitUntil([&] { return applier.applied_gtid() >= gtid; }));
+  ASSERT_TRUE(fstore.Get(1000, &value));
+  EXPECT_EQ(value, "after-snap");
+
+  agent.Stop();
+  server.Stop();
+}
+
+// A follower that disconnects and falls further behind than the ring must
+// resynchronize from a snapshot, and the install reconciles deletes: keys
+// removed on the leader during the gap disappear on the follower too.
+TEST(Replication, GapForcesResnapshotAndReconcilesDeletes) {
+  KvStore leader(ReplKvConfig());
+  repl::ReplicationLog log(/*capacity=*/8);
+  leader.SetReplicationLog(&log);
+  serve::KvServer server(&leader, TestServerConfig());
+  ASSERT_TRUE(server.Start());
+
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+  for (std::uint64_t k = 1; k <= 5; ++k) {
+    ASSERT_TRUE(client.Put(k, ValueFor(k, 0)));
+  }
+
+  KvStore fstore(ReplKvConfig(/*shards=*/2));
+  repl::ReplApplier applier(&fstore);
+  {
+    repl::FollowerAgent agent(&applier, "127.0.0.1", server.port());
+    agent.Start();
+    std::uint64_t last = log.last_gtid();
+    ASSERT_TRUE(WaitUntil([&] { return applier.applied_gtid() >= last; }));
+    agent.Stop();  // follower drops off the air
+  }
+
+  // While the follower is away: delete a key it holds and publish more
+  // records than the ring keeps, so its position gaps out.
+  ASSERT_TRUE(client.Delete(2));
+  for (std::uint64_t k = 100; k < 120; ++k) {
+    ASSERT_TRUE(client.Put(k, ValueFor(k, 0)));
+  }
+  ASSERT_FALSE(log.CanResume(applier.applied_gtid()));
+
+  repl::FollowerAgent rejoin(&applier, "127.0.0.1", server.port());
+  rejoin.Start();
+  std::uint64_t last = log.last_gtid();
+  ASSERT_TRUE(WaitUntil([&] { return applier.applied_gtid() >= last; }));
+  EXPECT_EQ(rejoin.snapshots_loaded(), 1u);
+  std::string value;
+  EXPECT_FALSE(fstore.Get(2, &value));  // delete reconciled
+  EXPECT_EQ(fstore.Size(), leader.Size());
+
+  rejoin.Stop();
+  server.Stop();
+}
+
+// Follower serving semantics over TCP: writes bounce with NOT_LEADER,
+// GET_RYW honors the token (waits for the apply, times out when the
+// position never arrives), and PROMOTE flips the node to a writable
+// leader, firing the promotion hook exactly once.
+TEST(Replication, FollowerReadsRywAndPromote) {
+  KvStore leader(ReplKvConfig());
+  repl::ReplicationLog log(4096);
+  leader.SetReplicationLog(&log);
+  serve::KvServer lserver(&leader, TestServerConfig());
+  ASSERT_TRUE(lserver.Start());
+
+  KvStore fstore(ReplKvConfig(/*shards=*/2));
+  repl::ReplApplier applier(&fstore);
+  repl::FollowerAgent agent(&applier, "127.0.0.1", lserver.port());
+
+  int promotions = 0;
+  serve::ServerConfig fconfig = TestServerConfig();
+  fconfig.read_only = true;
+  fconfig.applier = &applier;
+  fconfig.ryw_wait_ms = 150;
+  fconfig.on_promote = [&] {
+    ++promotions;
+    agent.Stop();
+  };
+  serve::KvServer fserver(&fstore, fconfig);
+  ASSERT_TRUE(fserver.Start());
+  agent.Start();
+
+  serve::KvClient to_leader;
+  ASSERT_TRUE(to_leader.Connect("127.0.0.1", lserver.port(), 5000));
+  serve::KvClient to_follower;
+  ASSERT_TRUE(to_follower.Connect("127.0.0.1", fserver.port(), 5000));
+
+  // Writes on the follower are refused with NOT_LEADER.
+  to_follower.QueuePut(1, "nope");
+  serve::KvClient::Reply reply;
+  ASSERT_TRUE(to_follower.Flush());
+  ASSERT_TRUE(to_follower.ReadReply(&reply));
+  EXPECT_EQ(reply.status, serve::Status::kNotLeader);
+
+  // RYW: the leader's ack gtid is a token the follower honors — the read
+  // blocks until the covering batch applied, then returns the value.
+  std::uint64_t gtid = 0;
+  ASSERT_TRUE(to_leader.Put(42, ValueFor(42, 3), &gtid));
+  ASSERT_GT(gtid, 0u);
+  std::string value;
+  ASSERT_TRUE(to_follower.GetRyw(42, gtid, &value));
+  EXPECT_EQ(value, ValueFor(42, 3));
+
+  // A token from the future times out with SERVER_ERROR instead of
+  // returning stale data.
+  to_follower.QueueGetRyw(42, gtid + 1000000);
+  ASSERT_TRUE(to_follower.Flush());
+  ASSERT_TRUE(to_follower.ReadReply(&reply));
+  EXPECT_EQ(reply.status, serve::Status::kServerError);
+
+  // PROMOTE: the node starts taking writes and the hook fired once.
+  ASSERT_TRUE(to_follower.Promote());
+  ASSERT_TRUE(to_follower.Promote());  // idempotent
+  EXPECT_EQ(promotions, 1);
+  ASSERT_TRUE(to_follower.Put(4242, "post-promotion"));
+  ASSERT_TRUE(to_follower.Get(4242, &value));
+  EXPECT_EQ(value, "post-promotion");
+  // On the (now) leader the RYW wait is trivially satisfied.
+  ASSERT_TRUE(to_follower.GetRyw(4242, gtid, &value));
+
+  fserver.Stop();
+  lserver.Stop();
+}
+
+// Semi-synchronous mode: with a follower subscribed, a write ack implies
+// the follower already applied the covering batch — the client can turn
+// around and read its write on the follower with a plain GET.
+TEST(Replication, SyncReplAcksAfterFollowerApplied) {
+  KvStore leader(ReplKvConfig());
+  repl::ReplicationLog log(4096);
+  leader.SetReplicationLog(&log);
+  serve::ServerConfig lconfig = TestServerConfig();
+  lconfig.sync_repl = true;
+  lconfig.sync_repl_timeout_ms = 5000;
+  serve::KvServer lserver(&leader, lconfig);
+  ASSERT_TRUE(lserver.Start());
+
+  KvStore fstore(ReplKvConfig(/*shards=*/2));
+  repl::ReplApplier applier(&fstore);
+  repl::FollowerAgent agent(&applier, "127.0.0.1", lserver.port());
+  agent.Start();
+
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", lserver.port(), 5000));
+  // First write races the subscription (no subscriber -> no wait); make
+  // sure the cursor is registered before asserting the sync property.
+  ASSERT_TRUE(client.Put(1, ValueFor(1, 0)));
+  ASSERT_TRUE(WaitUntil([&] { return log.subscriber_count() > 0; }));
+
+  for (std::uint64_t k = 2; k <= 40; ++k) {
+    std::uint64_t gtid = 0;
+    ASSERT_TRUE(client.Put(k, ValueFor(k, 0), &gtid));
+    EXPECT_GE(applier.applied_gtid(), gtid)
+        << "sync ack returned before follower applied gtid " << gtid;
+    std::string value;
+    ASSERT_TRUE(fstore.Get(k, &value));
+    EXPECT_EQ(value, ValueFor(k, 0));
+  }
+
+  agent.Stop();
+  lserver.Stop();
+}
+
+}  // namespace
+}  // namespace rwd

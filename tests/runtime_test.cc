@@ -130,6 +130,14 @@ TEST(Runtime, StoreTxnCommitsAndAbortsAcrossPartitions) {
   EXPECT_EQ(rt.tm(1).Read(d1), 2u);
   EXPECT_EQ(st.two_phase_commits(), 1u);
   EXPECT_EQ(st.prepared_now(), 0u);
+  // Decision truncation is lazy: the consumed record waits in the backlog
+  // (it is harmless to recovery — all participants ENDed) until a batch
+  // flush erases a run of them with one pass of log bookkeeping.
+  EXPECT_EQ(rt.tm(2).LogSize(), 1u) << "decision erased eagerly?";
+  EXPECT_EQ(st.decision_backlog(), 1u);
+  st.FlushDecisionBacklog();
+  EXPECT_EQ(st.decision_log_truncations(), 1u);
+  EXPECT_EQ(st.decision_backlog(), 0u);
   EXPECT_EQ(rt.tm(2).LogSize(), 0u) << "decision log kept residue";
 
   t0 = rt.tm(0).Begin();
