@@ -5,7 +5,7 @@
 //   ./build/examples/kv_server --port=7170 &
 //   ./build/bench/server_loadgen --port=7170 --workload=a --threads=4
 //
-// Flags: --host=IP  --port=N  --workload=a..f  --threads=N  --records=N
+// Flags: --host=IP  --port=N  --workload=a..f|w  --threads=N  --records=N
 //        --ops=N  --value-size=BYTES  --pipeline=N (in-flight reqs/conn)
 //        --skip-load=1 (reuse an already-loaded server)
 //        --json=PATH (machine-readable results: ops/s, p50/p99, config)
@@ -129,6 +129,11 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long>(r.scanned_items),
               static_cast<unsigned long>(r.rmws),
               ok ? "" : " [connection errors]");
+  if (r.mputs != 0) {
+    std::printf("# run: mputs=%lu (keys=%lu)\n",
+                static_cast<unsigned long>(r.mputs),
+                static_cast<unsigned long>(r.mput_keys));
+  }
   std::printf("# latency: p50=%.1fus p99=%.1fus over %zu samples\n", p50,
               p99, r.latencies_us.size());
 
@@ -190,6 +195,14 @@ int Main(int argc, char** argv) {
                 metric("server.op.put.p99_us"),
                 metric("txn.prepare.p99_us"),
                 metric("batcher.commit.p99_us"));
+    std::printf("# server write pipeline: parallel_applies=%.0f "
+                "apply_fanout=%.0f pipeline_depth=%.0f window_us=%.0f "
+                "presumed_commits=%.0f\n",
+                metric("kv.parallel_applies"),
+                metric("batcher.apply_fanout"),
+                metric("batcher.pipeline_depth"),
+                metric("batcher.window_us"),
+                metric("txn.presumed_commits"));
   }
 
   if (!json_path.empty()) {
@@ -225,6 +238,8 @@ int Main(int argc, char** argv) {
     json.Add("scans", r.scans);
     json.Add("scanned_items", r.scanned_items);
     json.Add("rmws", r.rmws);
+    json.Add("mputs", r.mputs);
+    json.Add("mput_keys", r.mput_keys);
     json.Add("server_acked_writes", stats.acked_writes);
     json.Add("server_batches", stats.batches);
     json.Add("server_shards", stats.shards);
@@ -248,6 +263,11 @@ int Main(int argc, char** argv) {
     json.Add("server_txn_prepare_p99_us", metric("txn.prepare.p99_us"));
     json.Add("server_batcher_commit_p99_us",
              metric("batcher.commit.p99_us"));
+    json.Add("server_parallel_applies", metric("kv.parallel_applies"));
+    json.Add("server_apply_fanout", metric("batcher.apply_fanout"));
+    json.Add("server_pipeline_depth", metric("batcher.pipeline_depth"));
+    json.Add("server_window_us", metric("batcher.window_us"));
+    json.Add("server_presumed_commits", metric("txn.presumed_commits"));
     if (!json.WriteTo(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

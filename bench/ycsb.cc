@@ -4,7 +4,7 @@
 //
 //   ./build/bench/ycsb --workload=a --shards=4 --threads=4
 //
-// Flags: --workload=a..f  --shards=N  --threads=N  --records=N  --ops=N
+// Flags: --workload=a..f|w  --shards=N  --threads=N  --records=N  --ops=N
 //        --duration-seconds=S (fixed wall-clock window instead of --ops;
 //        the right mode for perf comparisons — sub-second op-count runs
 //        are too noisy to judge a change)
@@ -76,7 +76,8 @@ int Main(int argc, char** argv) {
   store.ResetStats();
   WorkloadResult r = driver.Run();
   std::printf("# run: %lu ops in %.3f s — reads=%lu (misses=%lu) "
-              "updates=%lu inserts=%lu scans=%lu (items=%lu) rmw=%lu\n",
+              "updates=%lu inserts=%lu scans=%lu (items=%lu) rmw=%lu "
+              "mputs=%lu (keys=%lu)\n",
               static_cast<unsigned long>(r.ops()), r.seconds,
               static_cast<unsigned long>(r.reads),
               static_cast<unsigned long>(r.read_misses),
@@ -84,7 +85,9 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long>(r.inserts),
               static_cast<unsigned long>(r.scans),
               static_cast<unsigned long>(r.scanned_items),
-              static_cast<unsigned long>(r.rmws));
+              static_cast<unsigned long>(r.rmws),
+              static_cast<unsigned long>(r.mputs),
+              static_cast<unsigned long>(r.mput_keys));
 
   CsvTable table({"shard", "keys", "puts", "gets", "hits", "deletes",
                   "scans", "multiput_keys", "opt_hits", "opt_retries",
@@ -166,6 +169,11 @@ int Main(int argc, char** argv) {
     json.Add("read_latch_acquires", latched_reads);
     json.Add("parallel_prepares", store.store_txn().parallel_prepares());
     json.Add("max_prepare_fanout", store.store_txn().max_prepare_fanout());
+    // Parallel write pipeline (PR 8): batches whose per-shard apply loops
+    // ran fanned out across the shared pool, and 2PC commits that retired
+    // their decision by the presumed-commit bulk path.
+    json.Add("parallel_applies", store.parallel_applies());
+    json.Add("presumed_commits", store.store_txn().presumed_commits());
     // Heap dimension: where the emulated NVM device lives and how much of
     // the arena the run consumed.
     json.Add("heap_mode",
@@ -192,6 +200,8 @@ int Main(int argc, char** argv) {
     json.Add("scans", r.scans);
     json.Add("scanned_items", r.scanned_items);
     json.Add("rmws", r.rmws);
+    json.Add("mputs", r.mputs);
+    json.Add("mput_keys", r.mput_keys);
     if (!json.WriteTo(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

@@ -12,6 +12,8 @@
 //   ./build/examples/kv_client --port=7171 getryw 42 GTID  # follower read
 //                                                    # honoring the token
 //   ./build/examples/kv_client --port=7171 promote   # follower -> leader
+//   ./build/examples/kv_client --port=7170 replstatus  # follower health
+//                                                    # as seen by the leader
 //
 // --replica-of=HOST:PORT routes `get` to that replica instead of the
 // primary endpoint (reads scale out; writes keep going to --host/--port).
@@ -31,7 +33,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: kv_client [--host=H] [--port=N] "
                "[--replica-of=H:P] put KEY VALUE | get KEY | "
-               "getryw KEY GTID | del KEY | promote | stats | metrics\n");
+               "getryw KEY GTID | del KEY | promote | stats | metrics | "
+               "replstatus\n");
   return 1;
 }
 
@@ -147,6 +150,23 @@ int main(int argc, char** argv) {
     }
     for (const serve::MetricSample& m : samples) {
       std::printf("%s %.6f\n", m.name.c_str(), m.value);
+    }
+    return 0;
+  }
+  if (cmd == "replstatus") {
+    serve::ReplStatusReply r;
+    if (!client.ReplStatus(&r)) {
+      std::fprintf(stderr, "kv_client: replstatus failed\n");
+      return 1;
+    }
+    std::printf("last_gtid=%lu subscribers=%lu\n",
+                static_cast<unsigned long>(r.last_gtid),
+                static_cast<unsigned long>(r.subs.size()));
+    for (const serve::ReplSubStatus& s : r.subs) {
+      std::printf("sub=%s acked_gtid=%lu lag_batches=%lu staleness_ms=%lu\n",
+                  s.name.c_str(), static_cast<unsigned long>(s.acked_gtid),
+                  static_cast<unsigned long>(s.lag_batches),
+                  static_cast<unsigned long>(s.staleness_ms));
     }
     return 0;
   }

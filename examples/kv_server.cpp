@@ -7,7 +7,10 @@
 //   ./build/bench/server_loadgen --port=7170 --workload=a
 //
 // Flags: --port=N (0 = ephemeral)  --shards=N  --workers=N
-//        --batch-window-us=N  --checkpoint-ms=N (0 = off)  --heap-mb=N
+//        --batch-window-us=N|auto (auto: the batcher's adaptive
+//        controller sizes the window per batch — zero while idle, up to
+//        --batch-window-cap-us under sustained load)
+//        --checkpoint-ms=N (0 = off)  --heap-mb=N
 //        --heap-file=PATH (durable store: creates the file on first run,
 //        re-attaches and recovers on every later run — a SIGTERM'd or even
 //        SIGKILL'd server restarts with its data)
@@ -27,6 +30,7 @@
 //        --repl-ring=N  leader-side replication ring capacity (records).
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -77,8 +81,16 @@ int main(int argc, char** argv) {
       static_cast<std::uint16_t>(FlagOr(argc, argv, "port", 7170));
   server_config.workers =
       static_cast<std::uint32_t>(FlagOr(argc, argv, "workers", 2));
-  server_config.batch_window_us = static_cast<std::uint32_t>(
-      FlagOr(argc, argv, "batch-window-us", 150));
+  std::string window_flag =
+      StringFlag(argc, argv, "batch-window-us", "150");
+  if (window_flag == "auto") {
+    server_config.adaptive_batch_window = true;
+    server_config.batch_window_cap_us = static_cast<std::uint32_t>(
+        FlagOr(argc, argv, "batch-window-cap-us", 500));
+  } else {
+    server_config.batch_window_us = static_cast<std::uint32_t>(
+        std::strtoul(window_flag.c_str(), nullptr, 10));
+  }
   server_config.slow_op_threshold_us =
       FlagOr(argc, argv, "slow-op-us", 0);
   server_config.sync_repl = FlagOr(argc, argv, "sync-repl", 0) != 0;
@@ -149,10 +161,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (agent) agent->Start();
+  std::string window_label =
+      server_config.adaptive_batch_window
+          ? "auto(cap=" + std::to_string(server_config.batch_window_cap_us) +
+                "us)"
+          : std::to_string(server_config.batch_window_us) + "us";
   std::printf("kv_server listening on port %u — shards=%zu workers=%u "
-              "batch-window=%uus rewind=%s heap=%s role=%s\n",
+              "batch-window=%s rewind=%s heap=%s role=%s\n",
               server.port(), store->shards(), server_config.workers,
-              server_config.batch_window_us,
+              window_label.c_str(),
               config.rewind.Label().c_str(),
               heap_file.empty() ? "dram" : heap_file.c_str(),
               follower_of.empty()
@@ -211,12 +228,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long>(stats.scans),
               static_cast<unsigned long>(stats.connections));
   std::printf("kv_server: commit pipeline batcher_depth=%lu "
-              "prepared_txns=%lu 2pc_commits=%lu fast_commits=%lu\n",
+              "prepared_txns=%lu 2pc_commits=%lu fast_commits=%lu "
+              "parallel_applies=%lu presumed_commits=%lu\n",
               static_cast<unsigned long>(stats.batcher_depth),
               static_cast<unsigned long>(stats.prepared_txns),
               static_cast<unsigned long>(
                   store->store_txn().two_phase_commits()),
-              static_cast<unsigned long>(store->store_txn().fast_commits()));
+              static_cast<unsigned long>(store->store_txn().fast_commits()),
+              static_cast<unsigned long>(stats.parallel_applies),
+              static_cast<unsigned long>(stats.presumed_commits));
   std::printf("kv_server: read path optimistic_hits=%lu "
               "optimistic_retries=%lu read_latch_acquires=%lu; 2pc fan-out "
               "parallel_prepares=%lu max_width=%lu\n",

@@ -1,8 +1,8 @@
 #include "src/core/store_txn.h"
 
 #include <algorithm>
-#include <exception>
 #include <stdexcept>
+#include <thread>
 
 #include "src/obs/metrics.h"
 
@@ -28,7 +28,7 @@ TxnMetrics& Metrics() {
 }  // namespace
 
 StoreTxn::StoreTxn(Runtime* runtime, std::size_t pool_threads,
-                   std::size_t truncate_batch)
+                   std::size_t truncate_batch, WorkPool* shared_pool)
     : runtime_(runtime),
       coordinator_(runtime->has_coordinator()
                        ? &runtime->tm(runtime->coordinator_partition())
@@ -38,6 +38,10 @@ StoreTxn::StoreTxn(Runtime* runtime, std::size_t pool_threads,
     // Fail at construction, not at the first multi-participant commit.
     throw std::logic_error(
         "StoreTxn requires a Runtime built with a coordinator partition");
+  }
+  if (shared_pool != nullptr) {
+    pool_ = shared_pool;
+    return;
   }
   // Pool sizing: `pool_threads` counts the calling thread, so W workers =
   // width - 1. Auto (0) bounds the width by the widest possible commit
@@ -51,9 +55,8 @@ StoreTxn::StoreTxn(Runtime* runtime, std::size_t pool_threads,
     if (hw == 0) hw = 2;
     width = std::min<std::size_t>({participants_max, hw, 8});
   }
-  for (std::size_t i = 0; i + 1 < width; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  owned_pool_ = std::make_unique<WorkPool>(width);
+  pool_ = owned_pool_.get();
 }
 
 StoreTxn::~StoreTxn() {
@@ -62,82 +65,13 @@ StoreTxn::~StoreTxn() {
   // pointers may predate a recovery that rebuilt the log — and sweeps run
   // the eager path anyway, so there is nothing real to flush.
   if (!runtime_->nvm().crash_injector().armed()) FlushDecisionBacklog();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    stop_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
-}
-
-void StoreTxn::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-    offloaded_tasks_.fetch_add(1, std::memory_order_relaxed);
-  }
 }
 
 void StoreTxn::ForEachParticipant(
     const std::vector<Participant>& participants, bool parallel,
     const std::function<void(const Participant&)>& fn) {
-  std::size_t n = participants.size();
-  if (!parallel || n < 2 || workers_.empty()) {
-    for (const Participant& p : participants) fn(p);
-    return;
-  }
-  // Offload participants [1, n); the caller takes participant 0 — the
-  // phase's latency is max-of-shards, and a pool narrower than the batch
-  // still makes progress (tasks queue and drain as workers free up).
-  struct Join {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t done = 0;
-    std::exception_ptr error;
-  };
-  auto join = std::make_shared<Join>();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    for (std::size_t i = 1; i < n; ++i) {
-      const Participant& p = participants[i];
-      queue_.emplace_back([join, &p, &fn] {
-        try {
-          fn(p);
-        } catch (...) {
-          std::lock_guard<std::mutex> l(join->mu);
-          if (!join->error) join->error = std::current_exception();
-        }
-        {
-          std::lock_guard<std::mutex> l(join->mu);
-          ++join->done;
-        }
-        join->cv.notify_one();
-      });
-    }
-  }
-  queue_cv_.notify_all();
-  std::exception_ptr local;
-  try {
-    fn(participants[0]);
-  } catch (...) {
-    local = std::current_exception();
-  }
-  {
-    std::unique_lock<std::mutex> lock(join->mu);
-    join->cv.wait(lock, [&] { return join->done == n - 1; });
-  }
-  // The caller's own failure wins (it fired first from this thread's point
-  // of view — notably an injected CrashException a crash-sweep test
-  // expects to catch); otherwise surface the first worker failure.
-  if (local) std::rethrow_exception(local);
-  if (join->error) std::rethrow_exception(join->error);
+  pool_->RunIndexed(participants.size(), parallel,
+                    [&](std::size_t i) { fn(participants[i]); });
 }
 
 void StoreTxn::Commit(const std::vector<Participant>& participants) {
@@ -169,7 +103,7 @@ void StoreTxn::Commit(const std::vector<Participant>& participants) {
                          prepared_now_.fetch_add(1, std::memory_order_relaxed);
                        });
   }
-  if (parallel && !workers_.empty()) {
+  if (parallel && pool_->worker_count() > 0) {
     parallel_prepares_.fetch_add(1, std::memory_order_relaxed);
     std::uint64_t width = participants.size();
     std::uint64_t cur = max_prepare_fanout_.load(std::memory_order_relaxed);
@@ -211,6 +145,11 @@ void StoreTxn::RetireDecision(LogRecord* decision) {
     coordinator_->EraseDecision(decision);
     return;
   }
+  // Presumed-commit: every participant's END is durable behind the fence
+  // that just ran, so this decision is already a recovery no-op — skip
+  // its erase round. Reclamation is amortized: one wholesale latched
+  // erase per truncate_batch_ commits.
+  presumed_commits_.fetch_add(1, std::memory_order_relaxed);
   std::vector<LogRecord*> batch;
   {
     std::lock_guard<std::mutex> lock(decisions_mu_);
@@ -218,7 +157,7 @@ void StoreTxn::RetireDecision(LogRecord* decision) {
     if (consumed_decisions_.size() < truncate_batch_) return;
     batch.swap(consumed_decisions_);
   }
-  for (LogRecord* d : batch) coordinator_->EraseDecision(d);
+  coordinator_->EraseDecisions(batch);
   decision_truncations_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -229,7 +168,7 @@ void StoreTxn::FlushDecisionBacklog() {
     batch.swap(consumed_decisions_);
   }
   if (batch.empty()) return;
-  for (LogRecord* d : batch) coordinator_->EraseDecision(d);
+  coordinator_->EraseDecisions(batch);
   decision_truncations_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -15,14 +15,24 @@
 //             are persistent the decision record is erased again
 //
 // Both logging phases touch independent per-partition logs, so a wide
-// batch fans them out across a small internal worker pool (the caller
-// thread takes one participant itself) and joins before crossing into the
-// next protocol step: cross-shard commit latency is max-of-shards instead
-// of sum-of-shards, while the decision record keeps its place as the
-// single serialization point. The protocol's crash-atomicity argument is
-// untouched — it never depended on the order participants prepare in,
-// only on "all prepares durable before the decision, all ENDs durable
-// before the decision is erased", which the joins preserve.
+// batch fans them out across a worker pool (the caller thread takes one
+// participant itself; see WorkPool — shared with KvStore's per-shard
+// apply fan-out) and joins before crossing into the next protocol step:
+// cross-shard commit latency is max-of-shards instead of sum-of-shards,
+// while the decision record keeps its place as the single serialization
+// point. The protocol's crash-atomicity argument is untouched — it never
+// depended on the order participants prepare in, only on "all prepares
+// durable before the decision, all ENDs durable before the decision is
+// erased", which the joins preserve.
+//
+// Decision retirement runs the *presumed-commit* variant: once the
+// post-END fence has made every participant's END durable, the decision
+// record is provably a recovery no-op (recovery treats a fully-ENDed
+// decision as such and clears it), so the commit skips its own erase
+// round entirely. Retired decisions accumulate on a backlog and are
+// reclaimed `truncate_batch` at a time through ONE coordinator-latch
+// acquisition (TransactionManager::EraseDecisions) instead of one
+// latched erase (with its per-record log bookkeeping) per commit.
 //
 // Recovery (Runtime::RecoverAllPartitions) replays the contract: prepared
 // transactions whose gtid has a persistent TXN_COMMIT are completed,
@@ -32,15 +42,14 @@
 #define REWIND_CORE_STORE_TXN_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "src/core/runtime.h"
+#include "src/core/work_pool.h"
 
 namespace rwd {
 
@@ -70,16 +79,23 @@ class StoreTxn {
   /// crash injector is armed, keeping crash-sweep tests deterministic and
   /// delivering the injected CrashException on the calling thread.
   ///
-  /// `truncate_batch` controls lazy decision-log truncation: the decision
-  /// records of committed transactions are batched and erased
-  /// `truncate_batch` at a time instead of one erase (with its log
-  /// bookkeeping) per commit. <= 1 restores the eager per-commit erase;
-  /// the eager path is also always used while the crash injector is armed
-  /// (crash sweeps step through a deterministic persistence-event
-  /// schedule). Lingering records are safe: recovery treats a decision
-  /// whose participants all ENDed as a no-op and clears the log.
+  /// `shared_pool`, when non-null, is an externally owned WorkPool the
+  /// phases fan out on instead of a private one (`pool_threads` is then
+  /// ignored) — KvStore passes the pool its ApplyBatch apply loop already
+  /// uses, so one set of workers serves the whole write pipeline.
+  ///
+  /// `truncate_batch` controls presumed-commit decision reclamation: the
+  /// decision records of committed transactions are batched and erased
+  /// `truncate_batch` at a time through one latched pass instead of one
+  /// erase (with its log bookkeeping) per commit. <= 1 restores the eager
+  /// per-commit erase; the eager path is also always used while the crash
+  /// injector is armed (crash sweeps step through a deterministic
+  /// persistence-event schedule). Lingering records are safe: recovery
+  /// treats a decision whose participants all ENDed as a no-op and clears
+  /// the log.
   explicit StoreTxn(Runtime* runtime, std::size_t pool_threads = 0,
-                    std::size_t truncate_batch = 32);
+                    std::size_t truncate_batch = 32,
+                    WorkPool* shared_pool = nullptr);
   ~StoreTxn();
 
   StoreTxn(const StoreTxn&) = delete;
@@ -119,10 +135,9 @@ class StoreTxn {
     return max_prepare_fanout_.load(std::memory_order_relaxed);
   }
   /// Total phase tasks executed by pool workers (excludes the caller's
-  /// own share; test hook proving work actually ran off-thread).
-  std::uint64_t offloaded_tasks() const {
-    return offloaded_tasks_.load(std::memory_order_relaxed);
-  }
+  /// own share; test hook proving work actually ran off-thread). With a
+  /// shared pool this counts every user of the pool, ApplyBatch included.
+  std::uint64_t offloaded_tasks() const { return pool_->offloaded_tasks(); }
 
   /// Erases every backlogged consumed decision record now (tests, and
   /// graceful shutdown). Counts as one truncation when records flush.
@@ -131,6 +146,12 @@ class StoreTxn {
   /// STATS v2 `txn.decision_log_truncations` counter).
   std::uint64_t decision_log_truncations() const {
     return decision_truncations_.load(std::memory_order_relaxed);
+  }
+  /// 2PC commits that skipped their own decision-erase round because the
+  /// post-END fence already made the decision a recovery no-op (the
+  /// presumed-commit variant; STATS v2 `txn.presumed_commits`).
+  std::uint64_t presumed_commits() const {
+    return presumed_commits_.load(std::memory_order_relaxed);
   }
   /// Consumed decision records awaiting a batched erase.
   std::size_t decision_backlog() const;
@@ -143,18 +164,15 @@ class StoreTxn {
 
  private:
   /// Consumes a committed transaction's decision record: eager erase, or
-  /// push onto the backlog and erase `truncate_batch_` at a time.
+  /// presumed-commit (push onto the backlog, one wholesale latched erase
+  /// every `truncate_batch_` commits).
   void RetireDecision(LogRecord* decision);
-  /// Applies `fn` to every participant. With `parallel` (and a live pool)
-  /// participants [1, n) are offloaded as pool tasks while the caller runs
-  /// participant 0, then joins; exceptions from any side are rethrown on
-  /// the calling thread after the join (first one wins). Sequential
-  /// otherwise.
+  /// Applies `fn` to every participant through the pool (see
+  /// WorkPool::RunIndexed for the caller-participates/join/exception
+  /// contract). Sequential when `parallel` is false.
   void ForEachParticipant(const std::vector<Participant>& participants,
                           bool parallel,
                           const std::function<void(const Participant&)>& fn);
-
-  void WorkerLoop();
 
   Runtime* runtime_;
   TransactionManager* coordinator_;
@@ -164,21 +182,17 @@ class StoreTxn {
   std::atomic<std::uint64_t> two_phase_commits_{0};
   std::atomic<std::uint64_t> parallel_prepares_{0};
   std::atomic<std::uint64_t> max_prepare_fanout_{0};
-  std::atomic<std::uint64_t> offloaded_tasks_{0};
+  std::atomic<std::uint64_t> presumed_commits_{0};
 
-  // Lazy decision-log truncation.
+  // Presumed-commit decision reclamation.
   const std::size_t truncate_batch_;
   mutable std::mutex decisions_mu_;
   std::vector<LogRecord*> consumed_decisions_;
   std::atomic<std::uint64_t> decision_truncations_{0};
 
-  // Fan-out pool: a plain task queue so any number of concurrent Commit()
-  // calls (disjoint shard sets latch independently) can share the workers.
-  std::vector<std::thread> workers_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  // Fan-out pool: owned unless the constructor was handed a shared one.
+  std::unique_ptr<WorkPool> owned_pool_;
+  WorkPool* pool_;
 };
 
 }  // namespace rwd

@@ -409,14 +409,27 @@ LogRecord* TransactionManager::LogDecision(std::uint64_t gtid, bool commit) {
 
 void TransactionManager::EraseDecision(LogRecord* rec) {
   std::lock_guard<std::mutex> lock(latch_);
+  EraseDecisionLocked(rec);
+  if (auto* bl = dynamic_cast<BucketLog*>(log_.get())) bl->ReclaimBuckets();
+}
+
+void TransactionManager::EraseDecisions(const std::vector<LogRecord*>& recs) {
+  if (recs.empty()) return;
+  // One latch acquisition and one bucket-reclaim pass for the whole batch:
+  // the presumed-commit retirement path (StoreTxn) erases decisions in
+  // bulk, and paying the coarse-grained costs per record was most of what
+  // the old per-commit erase round spent.
+  std::lock_guard<std::mutex> lock(latch_);
+  for (LogRecord* rec : recs) EraseDecisionLocked(rec);
+  if (auto* bl = dynamic_cast<BucketLog*>(log_.get())) bl->ReclaimBuckets();
+}
+
+void TransactionManager::EraseDecisionLocked(LogRecord* rec) {
   if (config_.two_layer()) {
     index_->RemoveTxn(rec->tid);
     table_.Erase(rec->tid);
   } else {
     log_->Remove(rec);
-    if (auto* bl = dynamic_cast<BucketLog*>(log_.get())) {
-      bl->ReclaimBuckets();
-    }
   }
   FreeRecordLocked(rec);
 }

@@ -132,6 +132,12 @@ class TransactionManager {
   /// have durable ENDs; the decision is no longer needed for recovery).
   void EraseDecision(LogRecord* rec);
 
+  /// Bulk form of EraseDecision(): removes every record under ONE latch
+  /// acquisition and one bucket-reclaim pass. The presumed-commit
+  /// retirement path (StoreTxn) batches consumed decisions and reclaims
+  /// them here instead of paying a latched erase round per commit.
+  void EraseDecisions(const std::vector<LogRecord*>& recs);
+
   /// Live-log query: is there a TXN_COMMIT decision record for `gtid`?
   /// Used when a single partition re-runs recovery while the coordinator
   /// manager is still running (Runtime::RecoverPartition).
@@ -209,6 +215,8 @@ class TransactionManager {
   void RollbackLocked(std::uint32_t tid, std::uint64_t undo_horizon_lsn);
   /// Collects `tid`'s records, oldest first (helper for 2L paths).
   std::vector<LogRecord*> ChainRecordsLocked(std::uint32_t tid) const;
+  /// Erase body shared by EraseDecision/EraseDecisions (no bucket reclaim).
+  void EraseDecisionLocked(LogRecord* rec);
   /// Visits every live record in either layout (append order in 1L,
   /// per-transaction chains in 2L). Stops early when `fn` returns false.
   void ForEachRecordLocked(const std::function<bool(LogRecord*)>& fn) const;

@@ -1,0 +1,87 @@
+#include "src/core/work_pool.h"
+
+#include <exception>
+#include <memory>
+
+namespace rwd {
+
+WorkPool::WorkPool(std::size_t width) {
+  for (std::size_t i = 0; i + 1 < width; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkPool::~WorkPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void WorkPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    offloaded_tasks_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void WorkPool::RunIndexed(std::size_t n, bool parallel,
+                          const std::function<void(std::size_t)>& fn) {
+  if (!parallel || n < 2 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Offload indexes [1, n); the caller takes index 0 — the fan-out's
+  // latency is max-of-parts, and a pool narrower than the fan-out still
+  // makes progress (tasks queue and drain as workers free up).
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    std::exception_ptr error;
+  };
+  auto join = std::make_shared<Join>();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (std::size_t i = 1; i < n; ++i) {
+      queue_.emplace_back([join, i, &fn] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> l(join->mu);
+          if (!join->error) join->error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> l(join->mu);
+          ++join->done;
+        }
+        join->cv.notify_one();
+      });
+    }
+  }
+  queue_cv_.notify_all();
+  std::exception_ptr local;
+  try {
+    fn(0);
+  } catch (...) {
+    local = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(join->mu);
+    join->cv.wait(lock, [&] { return join->done == n - 1; });
+  }
+  if (local) std::rethrow_exception(local);
+  if (join->error) std::rethrow_exception(join->error);
+}
+
+}  // namespace rwd

@@ -1,0 +1,79 @@
+// A small shared fork/join worker pool for latency-critical fan-outs.
+//
+// Extracted from StoreTxn's 2PC prepare/END fan-out (PR 5) so the same
+// workers can serve every caller-participating parallel phase in the
+// store — today the two-phase commit phases AND KvStore::ApplyBatch's
+// per-shard apply loop. One pool, one set of threads: a batch that fans
+// its applies out and then fans its prepares out reuses the same warm
+// workers instead of two pools fighting over the cores.
+//
+// The model is deliberately narrow: RunIndexed(n, fn) runs fn(0..n-1)
+// with the CALLING thread taking index 0 and the workers taking [1, n),
+// then joins before returning. The caller always participates, so a
+// pool of width 1 (no worker threads at all) degrades to a plain
+// sequential loop with zero synchronization — and so does any call with
+// `parallel == false`, which is how crash-sweep determinism is enforced
+// (the injected CrashException must surface on the calling thread at a
+// stable persistence-event ordinal; see StoreTxn).
+//
+// Tasks never block on other tasks, so any number of concurrent
+// RunIndexed calls (e.g. disjoint-shard batches) share the queue without
+// deadlock: every caller drains its own share and waits only for its own
+// n-1 offloaded indexes.
+#ifndef REWIND_CORE_WORK_POOL_H_
+#define REWIND_CORE_WORK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rwd {
+
+class WorkPool {
+ public:
+  /// `width` is the total parallelism of a fan-out *including the calling
+  /// thread*, so the pool spawns width - 1 workers; width <= 1 spawns none
+  /// and every RunIndexed degrades to the sequential loop.
+  explicit WorkPool(std::size_t width);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  /// Runs fn(0), fn(1), ..., fn(n-1). With `parallel` (and a nonzero
+  /// worker count) indexes [1, n) are offloaded as pool tasks while the
+  /// caller runs index 0, then joins; exceptions are rethrown on the
+  /// calling thread after the join, the caller's own exception winning
+  /// over any worker's (it fired first from this thread's point of view —
+  /// notably an injected CrashException a crash-sweep test expects to
+  /// catch). Sequential in-order execution otherwise.
+  void RunIndexed(std::size_t n, bool parallel,
+                  const std::function<void(std::size_t)>& fn);
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Total tasks executed by pool workers (excludes every caller's own
+  /// index-0 share; test hook proving work actually ran off-thread).
+  std::uint64_t offloaded_tasks() const {
+    return offloaded_tasks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> offloaded_tasks_{0};
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_CORE_WORK_POOL_H_

@@ -3,12 +3,23 @@
 #include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "src/nvm/atomic_mem.h"
 #include "src/repl/replication_log.h"
 
 namespace rwd {
 namespace {
+
+/// Width of the store's shared fan-out pool (caller included): the
+/// configured value, or min(shards, hardware, 8) — there is never a
+/// reason to fan one batch wider than its possible shard count.
+std::size_t FanoutWidth(std::size_t configured, std::size_t shards) {
+  if (configured != 0) return configured;
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return std::min<std::size_t>({std::max<std::size_t>(shards, 1), hw, 8});
+}
 
 /// Copies a value buffer's bytes with relaxed word loads (the latch-free
 /// read path may race a writer; the caller validates the seqlock after the
@@ -43,9 +54,12 @@ KvStore::KvStore(const KvConfig& config, Runtime::OpenMode open)
           config.rewind, std::max<std::size_t>(config.shards, 1) + 1,
           /*coordinator_partition=*/std::max<std::size_t>(config.shards, 1),
           open)),
+      work_pool_(std::make_unique<WorkPool>(
+          FanoutWidth(config.prepare_threads, config.shards))),
       store_txn_(std::make_unique<StoreTxn>(runtime_.get(),
-                                            config.prepare_threads,
-                                            config.decision_truncate_batch)) {
+                                            /*pool_threads=*/0,
+                                            config.decision_truncate_batch,
+                                            work_pool_.get())) {
   std::size_t n = runtime_->partitions() - 1;
   NvmHeap& heap = runtime_->nvm().heap();
   shards_.reserve(n);
@@ -439,9 +453,18 @@ void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
     WriteBegin(*shards_[i]);
     shards_[i]->ops->BeginOp();
   }
-  for (std::size_t i : involved) {
-    Shard& s = *shards_[i];
-    for (KvWriteOp* op : by_shard[i]) {
+  // Fan the per-shard apply loops out across the shared pool: shards are
+  // independent REWIND log partitions (own transaction manager, own log,
+  // thread-safe NVM allocator), so an 8-shard batch applies on up to 8
+  // cores instead of 1 and then flows into the already-parallel 2PC
+  // prepare. The pool stands down while the crash injector is armed —
+  // crash sweeps need the injected CrashException at a deterministic
+  // persistence-event ordinal on the calling thread.
+  bool fanout = involved.size() >= 2 && work_pool_->worker_count() > 0 &&
+                !runtime_->nvm().crash_injector().armed();
+  work_pool_->RunIndexed(involved.size(), fanout, [&](std::size_t idx) {
+    Shard& s = *shards_[involved[idx]];
+    for (KvWriteOp* op : by_shard[involved[idx]]) {
       if (op->kind == KvWriteOp::Kind::kPut) {
         PutInOp(s, op->key, op->value);
         op->applied = true;
@@ -449,6 +472,16 @@ void KvStore::ApplyBatch(std::vector<KvWriteOp>& ops) {
         op->applied = DeleteInOp(s, op->key);
       }
       s.stats.batched_writes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  if (fanout) {
+    parallel_applies_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::RecordingEnabled()) {
+      // Last batch's fan-out width (gauge): how many shards one group
+      // commit actually spread across.
+      static obs::Gauge* fanout_gauge =
+          obs::Registry::Get().GetGauge("batcher.apply_fanout");
+      fanout_gauge->Set(static_cast<double>(involved.size()));
     }
   }
   CommitInvolved(involved);

@@ -49,8 +49,10 @@ struct KvConfig {
   /// read-mostly op never touches the shard latch's cacheline. Reads fall
   /// back to the shared latch after repeated validation conflicts.
   bool optimistic_reads = true;
-  /// Threads in the two-phase-commit prepare/commit fan-out pool
-  /// (StoreTxn): 0 sizes it automatically from the hardware, 1 forces the
+  /// Width of the store's shared fan-out pool (WorkPool), counting the
+  /// calling thread: ApplyBatch's per-shard apply loops and StoreTxn's
+  /// two-phase-commit prepare/END phases all fan out on it. 0 sizes it
+  /// automatically from the shard count and the hardware, 1 forces the
   /// sequential (pre-fan-out) pipeline.
   std::size_t prepare_threads = 0;
   /// Writer-starvation guard for the latch-free read path: once this many
@@ -223,6 +225,13 @@ class KvStore {
   /// (a gauge; nonzero only while a cross-shard commit is in flight).
   std::uint64_t prepared_txns() const { return store_txn_->prepared_now(); }
 
+  /// ApplyBatch calls whose per-shard apply loops ran fanned out across
+  /// the shared worker pool (the STATS v2 `kv.parallel_applies` counter;
+  /// zero while the crash injector forces the sequential path).
+  std::uint64_t parallel_applies() const {
+    return parallel_applies_.load(std::memory_order_relaxed);
+  }
+
   /// Live bytes in one shard's log partition (record count × record size).
   std::uint64_t ShardLogBytes(std::size_t shard) {
     return runtime_->tm(shard).LogSize() * sizeof(LogRecord);
@@ -379,10 +388,14 @@ class KvStore {
 
   KvConfig config_;
   std::unique_ptr<Runtime> runtime_;
+  /// Shared fan-out workers (declared before store_txn_: StoreTxn borrows
+  /// the pool, so it must be destroyed after it).
+  std::unique_ptr<WorkPool> work_pool_;
   std::unique_ptr<StoreTxn> store_txn_;
   std::vector<std::unique_ptr<Shard>> shards_;
   repl::ReplicationLog* repl_log_ = nullptr;
   std::atomic<std::uint64_t> last_pub_gtid_{0};
+  std::atomic<std::uint64_t> parallel_applies_{0};
 };
 
 }  // namespace rwd

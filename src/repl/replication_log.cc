@@ -5,6 +5,18 @@
 
 namespace rwd {
 namespace repl {
+namespace {
+
+/// Steady-clock ns for subscriber staleness — independent of the obs
+/// recording pause (health must stay accurate during crash tests).
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ReplicationLog::ReplicationLog(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
@@ -87,7 +99,7 @@ void ReplicationLog::Nudge() { cv_.notify_all(); }
 std::uint64_t ReplicationLog::Subscribe(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t id = next_sub_id_++;
-  subs_[id] = Sub{name, 0};
+  subs_[id] = Sub{name, 0, SteadyNowNs()};
   UpdateLagLocked();
   return id;
 }
@@ -98,6 +110,7 @@ void ReplicationLog::Ack(std::uint64_t id, std::uint64_t gtid) {
     auto it = subs_.find(id);
     if (it == subs_.end()) return;
     it->second.acked = std::max(it->second.acked, gtid);
+    it->second.last_ack_ns = SteadyNowNs();
     UpdateLagLocked();
   }
   cv_.notify_all();
@@ -141,6 +154,24 @@ bool ReplicationLog::WaitAcked(std::uint64_t gtid, std::uint32_t timeout_ms) {
   return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
     return subs_.empty() || MinAckedLocked() >= gtid;
   });
+}
+
+std::vector<ReplicationLog::SubscriberInfo> ReplicationLog::Subscribers()
+    const {
+  std::uint64_t now = SteadyNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SubscriberInfo> out;
+  out.reserve(subs_.size());
+  for (const auto& [id, sub] : subs_) {
+    SubscriberInfo info;
+    info.name = sub.name;
+    info.acked = sub.acked;
+    info.lag_batches = sub.acked >= last_ ? 0 : last_ - sub.acked;
+    info.staleness_ms =
+        now <= sub.last_ack_ns ? 0 : (now - sub.last_ack_ns) / 1000000;
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 std::uint64_t ReplicationLog::lag_batches() const {

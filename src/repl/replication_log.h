@@ -137,6 +137,16 @@ class ReplicationLog {
   /// subscribers): how many batches the laggiest follower still misses.
   std::uint64_t lag_batches() const;
 
+  /// One registered follower's health, snapshotted for REPL_STATUS and
+  /// the STATS2 per-subscriber samples.
+  struct SubscriberInfo {
+    std::string name;
+    std::uint64_t acked = 0;        ///< last acked gtid
+    std::uint64_t lag_batches = 0;  ///< last_gtid - acked
+    std::uint64_t staleness_ms = 0; ///< since the last ack (or subscribe)
+  };
+  std::vector<SubscriberInfo> Subscribers() const;
+
   std::uint64_t records_published() const {
     return records_published_.load(std::memory_order_relaxed);
   }
@@ -154,6 +164,9 @@ class ReplicationLog {
   struct Sub {
     std::string name;
     std::uint64_t acked = 0;
+    /// Steady-clock ns of the last Ack (subscribe time initially); drives
+    /// the staleness column in Subscribers().
+    std::uint64_t last_ack_ns = 0;
   };
   std::unordered_map<std::uint64_t, Sub> subs_;
   std::atomic<std::uint64_t> records_published_{0};

@@ -1,5 +1,6 @@
 #include "src/server/batcher.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <utility>
@@ -22,6 +23,8 @@ struct BatchMetrics {
   obs::Histogram* op_put = reg.GetHistogram("server.op.put");
   obs::Histogram* op_del = reg.GetHistogram("server.op.del");
   obs::Histogram* op_mput = reg.GetHistogram("server.op.mput");
+  obs::Gauge* pipeline_depth = reg.GetGauge("batcher.pipeline_depth");
+  obs::Gauge* window_us = reg.GetGauge("batcher.window_us");
 };
 
 BatchMetrics& Metrics() {
@@ -36,7 +39,9 @@ GroupCommitBatcher::GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
                                        CompletionSink sink, CrashHook on_crash,
                                        std::uint64_t slow_op_threshold_us,
                                        bool sync_repl,
-                                       std::uint32_t sync_repl_timeout_ms)
+                                       std::uint32_t sync_repl_timeout_ms,
+                                       bool adaptive_window,
+                                       std::uint32_t window_cap_us)
     : store_(store),
       window_us_(window_us),
       max_pending_ops_(max_pending_ops == 0 ? 1 : max_pending_ops),
@@ -44,11 +49,15 @@ GroupCommitBatcher::GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
       on_crash_(std::move(on_crash)),
       slow_op_threshold_us_(slow_op_threshold_us),
       sync_repl_(sync_repl),
-      sync_repl_timeout_ms_(sync_repl_timeout_ms) {}
+      sync_repl_timeout_ms_(sync_repl_timeout_ms),
+      adaptive_(adaptive_window),
+      adaptive_window_(window_cap_us),
+      window_now_(adaptive_window ? 0 : window_us) {}
 
 GroupCommitBatcher::~GroupCommitBatcher() { Stop(); }
 
 void GroupCommitBatcher::Start() {
+  completion_thread_ = std::thread([this] { CompletionLoop(); });
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -58,7 +67,8 @@ void GroupCommitBatcher::Stop() {
     stop_ = true;
   }
   cv_.notify_all();
-  // Join outside the latch: the batch thread takes mu_ to drain.
+  // Join outside the latch: the batch thread takes mu_ to drain. The
+  // apply thread shuts the completion thread down on its own way out.
   if (thread_.joinable()) thread_.join();
 }
 
@@ -80,65 +90,173 @@ bool GroupCommitBatcher::Submit(std::uint32_t worker, std::uint64_t conn_id,
 
 void GroupCommitBatcher::Loop() {
   for (;;) {
-    std::vector<KvWriteOp> ops;
-    std::vector<Group> groups;
+    InFlight batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !pending_groups_.empty(); });
-      if (pending_groups_.empty()) return;  // stop requested, queue drained
+      if (pending_groups_.empty()) {
+        // Stop requested, queue drained; flush whatever is still in
+        // flight, then exit.
+        ShutdownPipeline(/*discard=*/false);
+        return;
+      }
       bool draining = stop_;
       // Backpressure: a queue already at its cap forfeits the coalescing
       // window — committing immediately drains faster than coalescing
       // further, and the cap bounds how much a window can accumulate.
       bool saturated = pending_ops_.size() >= max_pending_ops_;
-      if (!draining && !saturated && window_us_ != 0) {
+      std::uint32_t window =
+          adaptive_ ? adaptive_window_.window_us() : window_us_;
+      if (!draining && !saturated && window != 0) {
         // The coalescing window: the first write of a batch waits briefly
         // so concurrent connections' writes share its commit and fence.
-        lock.unlock();
-        std::this_thread::sleep_for(std::chrono::microseconds(window_us_));
-        lock.lock();
+        if (!adaptive_) {
+          lock.unlock();
+          std::this_thread::sleep_for(std::chrono::microseconds(window));
+          lock.lock();
+        } else {
+          // Adaptive mode sleeps the window in arrival-gated quanta: once
+          // a quantum passes with no new ops the burst is fully collected
+          // and further sleeping is pure added latency, so stop early. A
+          // cap-wide window therefore costs nothing beyond one quantum of
+          // overshoot, which lets the controller widen aggressively.
+          std::uint32_t slept = 0;
+          while (slept < window) {
+            std::size_t before = pending_ops_.size();
+            std::uint32_t quantum = std::min<std::uint32_t>(
+                window - slept, AdaptiveWindow::kQuantumUs);
+            lock.unlock();
+            std::this_thread::sleep_for(std::chrono::microseconds(quantum));
+            lock.lock();
+            slept += quantum;
+            if (stop_ || pending_ops_.size() >= max_pending_ops_) break;
+            if (pending_ops_.size() == before) break;
+          }
+        }
       }
-      ops.swap(pending_ops_);
-      groups.swap(pending_groups_);
+      batch.ops.swap(pending_ops_);
+      batch.groups.swap(pending_groups_);
     }
-    bool ok = CommitBatch(ops, groups);
-    depth_.fetch_sub(ops.size(), std::memory_order_relaxed);
-    if (!ok) return;  // simulated power failure
+    std::size_t batch_ops = batch.ops.size();
+    // Sampled at collect time, BEFORE this batch enters the pipeline: were
+    // earlier batches still unacked while this one's ops arrived? That is
+    // the controller's sustained-load signal (see AdaptiveWindow).
+    bool pipeline_busy = false;
+    if (adaptive_) {
+      std::lock_guard<std::mutex> lock(fly_mu_);
+      pipeline_busy = in_flight_count_ > 0;
+    }
+    // Crash sweeps arm the injector and count persistence events on ONE
+    // deterministic thread: stand the pipeline down (drain, then run the
+    // full commit synchronously) whenever the injector is armed.
+    bool standdown = store_->runtime().nvm().crash_injector().armed();
+    if (standdown) {
+      // Everything already in flight acks first — the order-preserving
+      // hand-over from pipelined to synchronous operation.
+      DrainPipeline();
+      if (!ApplyOne(batch)) {
+        ShutdownPipeline(/*discard=*/true);
+        if (on_crash_) on_crash_();
+        return;
+      }
+      FinishBatch(batch);
+    } else {
+      // Reserve a pipeline slot BEFORE applying: with kPipelineDepth
+      // fenced batches unacked, the apply thread waits — bounded overlap.
+      {
+        std::unique_lock<std::mutex> lock(fly_mu_);
+        fly_space_cv_.wait(
+            lock, [this] { return in_flight_count_ < kPipelineDepth; });
+      }
+      if (!ApplyOne(batch)) {
+        ShutdownPipeline(/*discard=*/true);
+        if (on_crash_) on_crash_();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(fly_mu_);
+        in_flight_.push_back(std::move(batch));
+        ++in_flight_count_;
+        Metrics().pipeline_depth->Set(
+            static_cast<double>(in_flight_count_));
+      }
+      fly_cv_.notify_one();
+    }
+    if (adaptive_) {
+      std::size_t queued_after;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        queued_after = pending_ops_.size();
+      }
+      adaptive_window_.Observe(batch_ops, queued_after, pipeline_busy);
+      std::uint32_t w = adaptive_window_.window_us();
+      window_now_.store(w, std::memory_order_relaxed);
+      Metrics().window_us->Set(static_cast<double>(w));
+    }
   }
 }
 
-bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
-                                     std::vector<Group>& groups) {
+void GroupCommitBatcher::CompletionLoop() {
+  for (;;) {
+    InFlight batch;
+    {
+      std::unique_lock<std::mutex> lock(fly_mu_);
+      fly_cv_.wait(lock, [this] { return fly_stop_ || !in_flight_.empty(); });
+      if (in_flight_.empty()) return;  // stopped and drained
+      batch = std::move(in_flight_.front());
+      in_flight_.pop_front();
+    }
+    // Popping before finishing keeps `in_flight_count_` (not the queue
+    // size) as the pipeline bound: this batch still occupies its slot
+    // until its acks are dispatched.
+    FinishBatch(batch);
+    {
+      std::lock_guard<std::mutex> lock(fly_mu_);
+      --in_flight_count_;
+    }
+    fly_space_cv_.notify_all();
+  }
+}
+
+bool GroupCommitBatcher::ApplyOne(InFlight& batch) {
   // Coalescing window actually achieved by this batch: oldest submit to
   // commit start (window sleep + queue wait, what an acked write waited
   // before its commit even began).
-  if (!groups.empty() && groups.front().submit_ns != 0 &&
+  if (!batch.groups.empty() && batch.groups.front().submit_ns != 0 &&
       obs::RecordingEnabled()) {
-    Metrics().window->Record(obs::NowNs() - groups.front().submit_ns);
+    Metrics().window->Record(obs::NowNs() - batch.groups.front().submit_ns);
   }
   try {
     obs::ScopedTimer commit_timer(Metrics().commit, "batch.commit");
-    store_->ApplyBatch(ops);
+    store_->ApplyBatch(batch.ops);
   } catch (const CrashException&) {
     // The "machine" lost power mid-batch: nothing from this batch is
     // acked (earlier batches already fenced before their acks went out).
     crashed_.store(true, std::memory_order_release);
-    if (on_crash_) on_crash_();
+    depth_.fetch_sub(batch.ops.size(), std::memory_order_relaxed);
     return false;
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
-  batched_writes_.fetch_add(ops.size(), std::memory_order_relaxed);
+  batched_writes_.fetch_add(batch.ops.size(), std::memory_order_relaxed);
   // Replication gtid covering this batch: the highest gtid the store has
   // published. All this batch's publishes happened inside ApplyBatch
   // (under the shard latches), so by now the value covers every op here.
-  std::uint64_t gtid = store_->replication_gtid();
+  // Captured on the apply thread — the next batch's ApplyBatch may bump
+  // the store-wide gtid before the completion thread runs.
+  batch.gtid = store_->replication_gtid();
+  return true;
+}
+
+void GroupCommitBatcher::FinishBatch(InFlight& batch) {
   repl::ReplicationLog* rlog = store_->replication_log();
-  if (sync_repl_ && rlog != nullptr && gtid != 0 &&
+  if (sync_repl_ && rlog != nullptr && batch.gtid != 0 &&
       rlog->subscriber_count() > 0) {
     // Semi-sync: hold the acks until every follower caught up to this
     // batch. On timeout the write is still durable locally — ack anyway,
-    // but count the breach so operators see the degradation.
-    if (!rlog->WaitAcked(gtid, sync_repl_timeout_ms_)) {
+    // but count the breach so operators see the degradation. Runs on the
+    // completion thread, so a slow follower stalls only ack release, not
+    // the apply pipeline.
+    if (!rlog->WaitAcked(batch.gtid, sync_repl_timeout_ms_)) {
       static obs::Counter* timeouts =
           obs::Registry::Get().GetCounter("repl.sync_timeouts");
       timeouts->Add(1);
@@ -148,10 +266,8 @@ bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
   // group's submit-to-ack-dispatch latency as the server-side write
   // latency (the epoll worker's send() is not included — acceptable for a
   // server-internal SLO).
-  std::uint64_t ack_ns =
-      obs::RecordingEnabled() ? obs::NowNs() : 0;
-  std::map<std::uint32_t, std::vector<WriteCompletion>> by_worker;
-  for (const Group& g : groups) {
+  std::uint64_t ack_ns = obs::RecordingEnabled() ? obs::NowNs() : 0;
+  for (const Group& g : batch.groups) {
     if (ack_ns != 0 && g.submit_ns != 0) {
       std::uint64_t dur = ack_ns - g.submit_ns;
       obs::Histogram* hist = g.op == Op::kPut   ? Metrics().op_put
@@ -164,11 +280,12 @@ bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
                      g.count, dur, slow_op_threshold_us_);
     }
   }
-  for (const Group& g : groups) {
+  std::map<std::uint32_t, std::vector<WriteCompletion>> by_worker;
+  for (const Group& g : batch.groups) {
     Status status = Status::kOk;
     std::uint64_t applied = 0;
     for (std::size_t i = 0; i < g.count; ++i) {
-      if (ops[g.first + i].applied) ++applied;
+      if (batch.ops[g.first + i].applied) ++applied;
     }
     if (g.op == Op::kDel) {
       status = applied != 0 ? Status::kOk : Status::kNotFound;
@@ -177,13 +294,38 @@ bool GroupCommitBatcher::CommitBatch(std::vector<KvWriteOp>& ops,
       // server's validation) must never be acked as durable.
       status = Status::kBadRequest;
     }
-    by_worker[g.worker].push_back({g.conn_id, g.op, status, gtid});
+    by_worker[g.worker].push_back({g.conn_id, g.op, status, batch.gtid});
     acked_writes_.fetch_add(applied, std::memory_order_relaxed);
   }
   for (auto& [worker, completions] : by_worker) {
     sink_(worker, std::move(completions));
   }
-  return true;
+  depth_.fetch_sub(batch.ops.size(), std::memory_order_relaxed);
+}
+
+void GroupCommitBatcher::DrainPipeline() {
+  std::unique_lock<std::mutex> lock(fly_mu_);
+  fly_space_cv_.wait(lock, [this] { return in_flight_count_ == 0; });
+}
+
+void GroupCommitBatcher::ShutdownPipeline(bool discard) {
+  {
+    std::lock_guard<std::mutex> lock(fly_mu_);
+    if (discard) {
+      // Crash path: the queued batches are fenced and durable, but every
+      // connection is about to be dropped — release their slots without
+      // dispatching acks. (A batch the completion thread already popped
+      // finishes normally; the join below waits for it.)
+      for (InFlight& b : in_flight_) {
+        depth_.fetch_sub(b.ops.size(), std::memory_order_relaxed);
+        --in_flight_count_;
+      }
+      in_flight_.clear();
+    }
+    fly_stop_ = true;
+  }
+  fly_cv_.notify_all();
+  if (completion_thread_.joinable()) completion_thread_.join();
 }
 
 }  // namespace serve

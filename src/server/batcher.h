@@ -7,12 +7,33 @@
 // of once per request. Acks are released only after the covering batch has
 // committed and fenced — every acked write is durable, and a batch
 // spanning shards recovers all-or-nothing.
+//
+// The commit is PIPELINED (two stages, one thread each):
+//
+//   apply thread      collect window -> swap -> ApplyBatch (incl. the
+//                     batch fence) -> hand the fenced batch to ...
+//   completion thread ... which runs the post-fence tail: the semi-sync
+//                     replication wait, latency recording and the per-
+//                     group ack dispatch.
+//
+// So batch N+1 coalesces and applies while batch N waits for follower
+// acks and dispatches completions — a slow follower can no longer stall
+// unrelated writes, and the apply thread never sleeps inside WaitAcked.
+// A small in-flight window (kPipelineDepth fenced batches) bounds the
+// overlap; the single completion consumer pops in FIFO order, so acks are
+// released strictly in batch order and a batch is never acked before its
+// own fence (ApplyBatch returns post-fence). While the crash injector is
+// armed the pipeline stands down: the in-flight window drains, then every
+// batch runs apply+finish synchronously on the apply thread — crash
+// sweeps keep their deterministic single-threaded persistence-event
+// schedule.
 #ifndef REWIND_SERVER_BATCHER_H_
 #define REWIND_SERVER_BATCHER_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,13 +57,78 @@ struct WriteCompletion {
   std::uint64_t gtid = 0;
 };
 
+/// AIMD controller for the coalescing window (`--batch-window-us=auto`):
+/// starts at zero (latency-first), doubles toward `cap_us` while write
+/// traffic is continuous, and halves back toward zero when the server
+/// goes genuinely idle (an idle server should not sleep on the first
+/// write of a burst). "Continuous" is detected two ways, because
+/// closed-loop clients (pipelined connections gated on acks) drain the
+/// queue every batch by construction and so defeat any queue-depth-only
+/// signal: either the queue refilled behind the commit, or the
+/// completion pipeline still had earlier batches in flight when this one
+/// was collected — new work arriving before old work finished acking IS
+/// sustained load, whatever the instantaneous queue depth says. Without
+/// the second signal the controller falls into a tiny-batch trap: a
+/// small window produces small batches, small batches commit fast and
+/// never let the queue build, and the observed "empty queue" shrinks the
+/// window further. Driven and read by the apply thread only; the wide
+/// window costs nothing when traffic stops mid-burst because the apply
+/// loop sleeps it in arrival-gated quanta (see Loop). Genuinely idle
+/// means a TINY batch committed, nothing queued behind it, and an empty
+/// pipeline.
+class AdaptiveWindow {
+ public:
+  /// First nonzero window when widening out of 0.
+  static constexpr std::uint32_t kSeedUs = 16;
+  /// A committed batch at least this big proves real coalescing demand,
+  /// holding the window even when the queue drained behind it.
+  static constexpr std::size_t kIdleBatchOps = 8;
+  /// Arrival-gated sleep quantum for the adaptive window (see the
+  /// batcher's Loop): the window is slept in slices this long, stopping
+  /// early once a whole quantum passes without a new op arriving.
+  static constexpr std::uint32_t kQuantumUs = 25;
+
+  explicit AdaptiveWindow(std::uint32_t cap_us) : cap_us_(cap_us) {}
+
+  /// Feeds one finished commit: `batch_ops` write ops committed,
+  /// `queued_after` write ops already waiting when it finished, and
+  /// whether earlier batches were still in the completion pipeline when
+  /// this batch was collected.
+  void Observe(std::size_t batch_ops, std::size_t queued_after,
+               bool pipeline_busy) {
+    if (pipeline_busy || queued_after > batch_ops / 2) {
+      // Sustained traffic: widen multiplicatively toward the cap —
+      // coalescing harder amortizes the fence better than committing
+      // sooner.
+      window_us_ =
+          window_us_ == 0 ? kSeedUs : std::min(cap_us_, window_us_ * 2);
+      if (window_us_ > cap_us_) window_us_ = cap_us_;
+    } else if (queued_after == 0 && batch_ops < kIdleBatchOps) {
+      // Idle pipeline, empty queue, near-empty batch: the traffic
+      // stopped, decay toward no window at all.
+      window_us_ /= 2;
+    }
+  }
+
+  std::uint32_t window_us() const { return window_us_; }
+
+ private:
+  std::uint32_t cap_us_;
+  std::uint32_t window_us_ = 0;
+};
+
 class GroupCommitBatcher {
  public:
+  /// Fenced-but-unacked batches the apply thread may run ahead of the
+  /// completion thread (the pipeline's in-flight window).
+  static constexpr std::size_t kPipelineDepth = 3;
+
   /// Routes a batch's completions to the worker that owns the connections.
-  /// Called on the batcher thread; implementations must only enqueue+wake.
+  /// Called on the completion (or, standing down, the apply) thread;
+  /// implementations must only enqueue+wake.
   using CompletionSink =
       std::function<void(std::uint32_t worker, std::vector<WriteCompletion>)>;
-  /// Called (once, on the batcher thread) when ApplyBatch hits a simulated
+  /// Called (once, on the apply thread) when ApplyBatch hits a simulated
   /// power failure; the server uses it to drop every connection.
   using CrashHook = std::function<void()>;
 
@@ -59,18 +145,23 @@ class GroupCommitBatcher {
   /// acked the batch's gtid (or `sync_repl_timeout_ms` elapses — the batch
   /// is durable locally either way, so the ack still goes out, and a
   /// `repl.sync_timeouts` counter records the breach). With no
-  /// ReplicationLog attached or no subscribers the wait is a no-op.
+  /// ReplicationLog attached or no subscribers the wait is a no-op. The
+  /// wait runs on the completion thread, off the apply critical path.
+  /// `adaptive_window` replaces the fixed `window_us` sleep with the
+  /// AdaptiveWindow controller above, capped at `window_cap_us`.
   GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
                      std::size_t max_pending_ops, CompletionSink sink,
                      CrashHook on_crash,
                      std::uint64_t slow_op_threshold_us = 0,
                      bool sync_repl = false,
-                     std::uint32_t sync_repl_timeout_ms = 2000);
+                     std::uint32_t sync_repl_timeout_ms = 2000,
+                     bool adaptive_window = false,
+                     std::uint32_t window_cap_us = 500);
   ~GroupCommitBatcher();
 
   void Start();
   /// Drains and commits everything still queued (unless a crash was
-  /// observed), then joins the batch thread. Idempotent.
+  /// observed), then joins both pipeline threads. Idempotent.
   void Stop();
 
   /// Enqueues one logical client write — 1 op for PUT/DEL, n for MPUT — as
@@ -89,6 +180,11 @@ class GroupCommitBatcher {
   std::uint64_t depth() const {
     return depth_.load(std::memory_order_relaxed);
   }
+  /// The coalescing window the next batch will use (µs); tracks the
+  /// controller in adaptive mode, constant otherwise.
+  std::uint32_t current_window_us() const {
+    return window_now_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One submitted write group: `count` ops starting at `first` in the
@@ -104,10 +200,29 @@ class GroupCommitBatcher {
     std::uint64_t submit_ns;
   };
 
+  /// One batch travelling the pipeline: applied and fenced by the apply
+  /// thread, finished (repl wait + ack dispatch) by the completion thread.
+  struct InFlight {
+    std::vector<KvWriteOp> ops;
+    std::vector<Group> groups;
+    std::uint64_t gtid = 0;
+  };
+
   void Loop();
-  /// Applies one swapped-out batch and dispatches its completions.
-  /// Returns false when a simulated crash fired mid-batch.
-  bool CommitBatch(std::vector<KvWriteOp>& ops, std::vector<Group>& groups);
+  void CompletionLoop();
+  /// Applies one swapped-out batch (window metric, timed ApplyBatch —
+  /// which ends with the batch fence — and gtid capture). Returns false
+  /// when a simulated crash fired mid-batch.
+  bool ApplyOne(InFlight& batch);
+  /// Post-fence tail: semi-sync wait, latency records, per-group status
+  /// computation, ack dispatch, depth release.
+  void FinishBatch(InFlight& batch);
+  /// Blocks until every pipelined batch has fully dispatched.
+  void DrainPipeline();
+  /// Stops and joins the completion thread; with `discard`, pending
+  /// in-flight batches are dropped unacked (they are durable — the crash
+  /// path is dropping every connection anyway).
+  void ShutdownPipeline(bool discard);
 
   KvStore* store_;
   std::uint32_t window_us_;
@@ -117,12 +232,27 @@ class GroupCommitBatcher {
   std::uint64_t slow_op_threshold_us_;
   bool sync_repl_;
   std::uint32_t sync_repl_timeout_ms_;
+  bool adaptive_;
+  AdaptiveWindow adaptive_window_;
+  std::atomic<std::uint32_t> window_now_;
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<KvWriteOp> pending_ops_;
   std::vector<Group> pending_groups_;
   bool stop_ = false;
+
+  // Pipeline hand-off (apply thread -> completion thread).
+  std::mutex fly_mu_;
+  std::condition_variable fly_cv_;        ///< completion thread waits here
+  std::condition_variable fly_space_cv_;  ///< apply thread waits for space
+  std::deque<InFlight> in_flight_;
+  /// Batches applied but not yet fully dispatched: the queue above plus
+  /// the one the completion thread is finishing. Bounds the pipeline and
+  /// drives DrainPipeline.
+  std::size_t in_flight_count_ = 0;
+  bool fly_stop_ = false;
+  std::thread completion_thread_;
 
   std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> depth_{0};

@@ -94,6 +94,11 @@ void KvClient::QueueStats2() {
   ++pending_;
 }
 
+void KvClient::QueueReplStatus() {
+  EncodeReplStatus(&send_);
+  ++pending_;
+}
+
 void KvClient::QueueGetRyw(std::uint64_t key, std::uint64_t min_gtid) {
   EncodeGetRyw(&send_, key, min_gtid);
   ++pending_;
@@ -253,6 +258,14 @@ bool KvClient::Stats2(std::vector<MetricSample>* out) {
   Reply r;
   if (!RoundTrip(&r) || r.status != Status::kOk) return false;
   return DecodeStats2Payload(r.payload, out);
+}
+
+bool KvClient::ReplStatus(ReplStatusReply* out) {
+  if (pending_ != 0) return false;
+  QueueReplStatus();
+  Reply r;
+  if (!RoundTrip(&r) || r.status != Status::kOk) return false;
+  return DecodeReplStatusPayload(r.payload, out);
 }
 
 }  // namespace serve

@@ -44,6 +44,7 @@ class KvClient {
       const std::vector<std::pair<std::uint64_t, std::string>>& kvs);
   void QueueStats();
   void QueueStats2();
+  void QueueReplStatus();
   /// GET with a read-your-writes token (`min_gtid` from a write ack):
   /// against a follower the server answers only once it applied that far.
   void QueueGetRyw(std::uint64_t key, std::uint64_t min_gtid);
@@ -79,6 +80,9 @@ class KvClient {
   /// STATS v2: the self-describing metric dump. Unknown names and sample
   /// types decode fine — callers filter by the names they understand.
   bool Stats2(std::vector<MetricSample>* out);
+  /// Leader-side replication health: last published gtid plus one entry
+  /// per subscribed follower (empty on a node without replication).
+  bool ReplStatus(ReplStatusReply* out);
 
  private:
   bool SendAll(const char* data, std::size_t size);

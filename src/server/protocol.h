@@ -75,6 +75,11 @@ enum class Op : std::uint8_t {
   kGetRyw = 12,
   /// Promotes a read-only follower to leader (idempotent; empty payload).
   kPromote = 13,
+  /// Leader-side replication health (empty payload). Reply:
+  /// [last_gtid:u64][n:u32] n*([name_len:u16][name][acked_gtid:u64]
+  /// [lag_batches:u64][staleness_ms:u64]) — one entry per subscribed
+  /// follower. On a node with no ReplicationLog: last_gtid 0, n 0.
+  kReplStatus = 14,
 };
 
 enum class Status : std::uint8_t {
@@ -124,8 +129,26 @@ struct StatsReply {
   // --- STATS2-only (PR 7): not part of the 18-word v1 wire payload ---
   std::uint64_t starvation_fallbacks = 0;  ///< reader anti-starvation trips
   std::uint64_t decision_log_truncations = 0;  ///< batched decision erases
+  // --- STATS2-only (PR 8): parallel write pipeline ---
+  std::uint64_t parallel_applies = 0;   ///< batches applied with shard fan-out
+  std::uint64_t presumed_commits = 0;   ///< 2PC commits that skipped the erase
 };
 constexpr std::size_t kStatsWords = 18;
+
+/// One follower's health in a REPL_STATUS reply.
+struct ReplSubStatus {
+  std::string name;               ///< the follower's subscriber name
+  std::uint64_t acked_gtid = 0;   ///< last gtid the follower acked
+  std::uint64_t lag_batches = 0;  ///< published batches not yet acked
+  std::uint64_t staleness_ms = 0; ///< time since the follower's last ack
+};
+
+/// REPL_STATUS response: the leader's replication head plus one health
+/// entry per subscribed follower.
+struct ReplStatusReply {
+  std::uint64_t last_gtid = 0;  ///< leader's last published gtid
+  std::vector<ReplSubStatus> subs;
+};
 
 /// One STATS2 (name, type, value) triple. `type` mirrors
 /// obs::SampleType's wire values — 0 counter, 1 gauge, 2 derived value —
@@ -266,6 +289,12 @@ inline void EncodePromote(std::string* out) {
   EndFrame(out, at);
 }
 
+inline void EncodeReplStatus(std::string* out) {
+  std::size_t at =
+      BeginFrame(out, static_cast<std::uint8_t>(Op::kReplStatus));
+  EndFrame(out, at);
+}
+
 /// Appends one STATS2 triple (server side / test fixtures). Names longer
 /// than 64 KiB truncate (never happens for registry names).
 inline void AppendMetricSample(std::string* out, const MetricSample& m) {
@@ -340,6 +369,33 @@ inline bool DecodeStatsPayload(std::string_view payload, StatsReply* out) {
         ReadU64(p + (kStatsWords + out->shards + s) * 8));
   }
   return true;
+}
+
+/// Parses a REPL_STATUS response payload.
+inline bool DecodeReplStatusPayload(std::string_view payload,
+                                    ReplStatusReply* out) {
+  if (payload.size() < 12) return false;
+  out->last_gtid = ReadU64(payload.data());
+  std::uint32_t n = ReadU32(payload.data() + 8);
+  std::size_t off = 12;
+  out->subs.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (payload.size() - off < 2) return false;
+    std::uint16_t name_len = ReadU16(payload.data() + off);
+    off += 2;
+    if (payload.size() - off < static_cast<std::size_t>(name_len) + 24) {
+      return false;
+    }
+    ReplSubStatus s;
+    s.name.assign(payload.data() + off, name_len);
+    off += name_len;
+    s.acked_gtid = ReadU64(payload.data() + off);
+    s.lag_batches = ReadU64(payload.data() + off + 8);
+    s.staleness_ms = ReadU64(payload.data() + off + 16);
+    off += 24;
+    out->subs.push_back(std::move(s));
+  }
+  return off == payload.size();
 }
 
 /// Parses a STATS2 response payload into samples. Deliberately generic:

@@ -51,7 +51,9 @@ bool ValidWriteKey(std::uint64_t key) {
 /// .count/.p50_us/.p90_us/.p99_us/.p999_us/.mean_us/.max_us samples) plus
 /// the v1 counters republished under stable dotted names. A generic
 /// scraper decodes it without knowing kStatsWords or any metric name.
-void AppendStats2Payload(const StatsReply& stats, std::string* out) {
+/// `rlog`, when attached, contributes per-subscriber follower health.
+void AppendStats2Payload(const StatsReply& stats, repl::ReplicationLog* rlog,
+                         std::string* out) {
   std::vector<MetricSample> samples;
   auto counter = [&samples](const char* name, std::uint64_t v) {
     samples.push_back({name,
@@ -82,6 +84,19 @@ void AppendStats2Payload(const StatsReply& stats, std::string* out) {
   counter("txn.parallel_prepares", stats.parallel_prepares);
   gauge("txn.max_prepare_fanout", stats.max_prepare_fanout);
   counter("txn.decision_log_truncations", stats.decision_log_truncations);
+  counter("kv.parallel_applies", stats.parallel_applies);
+  counter("txn.presumed_commits", stats.presumed_commits);
+  if (rlog != nullptr) {
+    // Per-follower health: one sample triple per subscriber per column,
+    // named by the follower so dashboards need no extra protocol op.
+    for (const repl::ReplicationLog::SubscriberInfo& sub :
+         rlog->Subscribers()) {
+      std::string prefix = "repl.sub." + sub.name;
+      gauge((prefix + ".acked_gtid").c_str(), sub.acked);
+      gauge((prefix + ".lag_batches").c_str(), sub.lag_batches);
+      gauge((prefix + ".staleness_ms").c_str(), sub.staleness_ms);
+    }
+  }
   for (const obs::Sample& s : obs::Registry::Get().Snapshot()) {
     samples.push_back(
         {s.name, static_cast<std::uint8_t>(s.type), s.value});
@@ -198,7 +213,8 @@ bool KvServer::Start() {
         for (auto& w : workers_) WakeWorker(*w);
       },
       config_.slow_op_threshold_us, config_.sync_repl,
-      config_.sync_repl_timeout_ms);
+      config_.sync_repl_timeout_ms, config_.adaptive_batch_window,
+      config_.batch_window_cap_us);
   batcher_->Start();
   read_only_.store(config_.read_only, std::memory_order_release);
   stop_.store(false, std::memory_order_release);
@@ -464,6 +480,7 @@ bool KvServer::ParseFrames(Conn& c) {
       case Op::kStats:
       case Op::kStats2:
       case Op::kPromote:
+      case Op::kReplStatus:
         req.op = static_cast<Op>(static_cast<std::uint8_t>(*p));
         if (body != 0) req.bad = true;
         break;
@@ -619,7 +636,30 @@ void KvServer::Drive(Worker& w, Conn& c) {
       } else if (req.op == Op::kStats2) {
         std::size_t at =
             BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
-        AppendStats2Payload(StatsSnapshot(), &c.out);
+        AppendStats2Payload(StatsSnapshot(), store_->replication_log(),
+                            &c.out);
+        EndFrame(&c.out, at);
+      } else if (req.op == Op::kReplStatus) {
+        repl::ReplicationLog* rlog = store_->replication_log();
+        std::size_t at =
+            BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
+        if (rlog == nullptr) {
+          AppendU64(&c.out, 0);
+          AppendU32(&c.out, 0);
+        } else {
+          auto subs = rlog->Subscribers();
+          AppendU64(&c.out, rlog->last_gtid());
+          AppendU32(&c.out, static_cast<std::uint32_t>(subs.size()));
+          for (const repl::ReplicationLog::SubscriberInfo& sub : subs) {
+            AppendU16(&c.out, static_cast<std::uint16_t>(std::min<
+                                  std::size_t>(sub.name.size(), 0xffff)));
+            c.out.append(sub.name.data(),
+                         std::min<std::size_t>(sub.name.size(), 0xffff));
+            AppendU64(&c.out, sub.acked);
+            AppendU64(&c.out, sub.lag_batches);
+            AppendU64(&c.out, sub.staleness_ms);
+          }
+        }
         EndFrame(&c.out, at);
       } else {  // Op::kStats
         StatsReply stats = StatsSnapshot();
@@ -781,6 +821,8 @@ StatsReply KvServer::StatsSnapshot() {
   r.max_prepare_fanout = store_->store_txn().max_prepare_fanout();
   r.decision_log_truncations =
       store_->store_txn().decision_log_truncations();
+  r.parallel_applies = store_->parallel_applies();
+  r.presumed_commits = store_->store_txn().presumed_commits();
   for (std::size_t s = 0; s < store_->shards(); ++s) {
     KvShardStats shard = store_->shard_stats(s);
     r.optimistic_hits += shard.optimistic_hits;

@@ -40,7 +40,14 @@ struct ServerConfig {
   /// Epoll worker threads; connections are assigned round-robin.
   std::uint32_t workers = 2;
   /// Group-commit coalescing window (microseconds; 0 commits eagerly).
+  /// Ignored when `adaptive_batch_window` is set.
   std::uint32_t batch_window_us = 150;
+  /// Adaptive coalescing window (`--batch-window-us=auto`): the batcher's
+  /// AIMD controller sizes the window each batch — zero while idle,
+  /// widening toward `batch_window_cap_us` while the queue outgrows the
+  /// drain rate.
+  bool adaptive_batch_window = false;
+  std::uint32_t batch_window_cap_us = 500;
   /// Server-side cap on one SCAN's item count.
   std::uint32_t max_scan_items = kMaxScanItems;
   // --- backpressure caps (overload protection, not request limits) ---

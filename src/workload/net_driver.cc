@@ -23,10 +23,12 @@ struct Inflight {
     kScan,
     kRmwGet,   // the read half of an RMW; not counted as an op
     kRmwPut,   // the write half; counts the RMW
+    kMput,     // atomic batch insert of `count` contiguous keys
   };
   Kind kind;
-  std::uint64_t key;
+  std::uint64_t key;  // kMput: first key of the contiguous range
   Clock::time_point sent_at;
+  std::uint32_t count = 1;  // kMput: keys in the range
 };
 
 }  // namespace
@@ -120,6 +122,12 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
         if (!ok) return;
         ++result->rmws;
         break;
+      case Inflight::Kind::kMput:
+        if (!ok) return;
+        ++result->mputs;
+        result->mput_keys += sent.count;
+        chooser_.PublishInserted(sent.key + sent.count - 1);
+        break;
     }
     if (spec_.collect_latencies) {
       result->latencies_us.push_back(static_cast<std::uint32_t>(
@@ -178,6 +186,21 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
         inflight.push_back({Inflight::Kind::kRmwPut, key, now});
         break;
       }
+      case KvOp::kMultiPut: {
+        std::uint32_t n = static_cast<std::uint32_t>(
+            spec_.mput_batch == 0 ? 1 : spec_.mput_batch);
+        std::uint64_t first = chooser_.AllocateInsertRange(n);
+        std::vector<std::pair<std::uint64_t, std::string>> kvs;
+        kvs.reserve(n);
+        for (std::uint32_t j = 0; j < n; ++j) {
+          kvs.emplace_back(
+              first + j,
+              WorkloadDriver::MakeValue(first + j, 0, spec_.value_size));
+        }
+        client.QueueMput(kvs);
+        inflight.push_back({Inflight::Kind::kMput, first, now, n});
+        break;
+      }
     }
     while (inflight.size() >= depth) {
       if (!read_one()) {
@@ -227,6 +250,8 @@ WorkloadResult NetWorkloadDriver::Run(bool* ok) {
     total.scans += r.scans;
     total.scanned_items += r.scanned_items;
     total.rmws += r.rmws;
+    total.mputs += r.mputs;
+    total.mput_keys += r.mput_keys;
     if (total.latencies_us.empty()) {
       total.latencies_us = std::move(r.latencies_us);
     } else {

@@ -64,6 +64,8 @@ KvOp PickOp(const WorkloadSpec& spec, std::mt19937_64& rng) {
   if (p < spec.insert_prop) return KvOp::kInsert;
   p -= spec.insert_prop;
   if (p < spec.scan_prop) return KvOp::kScan;
+  p -= spec.scan_prop;
+  if (p < spec.mput_prop) return KvOp::kMultiPut;
   return KvOp::kReadModifyWrite;
 }
 
@@ -109,6 +111,15 @@ WorkloadSpec WorkloadSpec::Preset(char workload) {
       s.read_prop = 0.5;
       s.update_prop = 0.0;
       s.rmw_prop = 0.5;
+      break;
+    case 'w':
+      // Write-heavy ingest: no reads at all, every op exercises the
+      // group-commit write pipeline; the MPUT share adds cross-shard
+      // atomic groups.
+      s.read_prop = 0.0;
+      s.update_prop = 0.4;
+      s.insert_prop = 0.4;
+      s.mput_prop = 0.2;
       break;
   }
   return s;
@@ -238,6 +249,23 @@ void WorkloadDriver::RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
         ++result->rmws;
         break;
       }
+      case KvOp::kMultiPut: {
+        // Batch insert over a contiguous fresh key range: one atomic
+        // cross-shard group through the store.
+        std::size_t n = spec_.mput_batch == 0 ? 1 : spec_.mput_batch;
+        std::uint64_t first = chooser_.AllocateInsertRange(n);
+        std::vector<std::pair<std::uint64_t, std::string>> kvs;
+        kvs.reserve(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          kvs.emplace_back(first + j,
+                           MakeValue(first + j, 0, spec_.value_size));
+        }
+        store_->MultiPut(kvs);
+        chooser_.PublishInserted(first + n - 1);
+        ++result->mputs;
+        result->mput_keys += n;
+        break;
+      }
     }
     if (spec_.collect_latencies) {
       result->latencies_us.push_back(static_cast<std::uint32_t>(
@@ -286,6 +314,8 @@ WorkloadResult WorkloadDriver::Run() {
     total.scans += r.scans;
     total.scanned_items += r.scanned_items;
     total.rmws += r.rmws;
+    total.mputs += r.mputs;
+    total.mput_keys += r.mput_keys;
     if (total.latencies_us.empty()) {
       total.latencies_us = std::move(r.latencies_us);
     } else {

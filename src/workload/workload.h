@@ -57,8 +57,10 @@ class ScrambledZipfianChooser {
   ZipfianChooser zipf_;
 };
 
-/// Operation mix of one YCSB workload.
-enum class KvOp { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+/// Operation mix of one YCSB workload (kMultiPut is the write-heavy 'w'
+/// preset's cross-shard atomic batch insert).
+enum class KvOp { kRead, kUpdate, kInsert, kScan, kReadModifyWrite,
+                  kMultiPut };
 
 /// Key-choice distribution for reads/updates.
 enum class KeyDist {
@@ -74,12 +76,17 @@ enum class KeyDist {
 ///   D: 95% read /  5% insert, latest           (status feed)
 ///   E: 95% scan /  5% insert, zipfian          (threaded conversations)
 ///   F: 50% read / 50% read-modify-write, zipfian (user database)
+/// plus the non-standard write-heavy preset:
+///   W: 100% writes — 40% update / 40% insert / 20% MPUT batch insert
+///      (ingest; drives the group-commit write pipeline to saturation)
 struct WorkloadSpec {
   double read_prop = 0.5;
   double update_prop = 0.5;
   double insert_prop = 0.0;
   double scan_prop = 0.0;
   double rmw_prop = 0.0;
+  double mput_prop = 0.0;        ///< cross-shard atomic batch inserts
+  std::size_t mput_batch = 8;    ///< keys per MPUT operation
   KeyDist dist = KeyDist::kZipfian;
   std::uint64_t record_count = 10000;  ///< keys loaded before the run
   std::uint64_t op_count = 10000;      ///< total operations in the run
@@ -98,7 +105,7 @@ struct WorkloadSpec {
   /// WorkloadResult::latencies_us for percentile reporting.
   bool collect_latencies = false;
 
-  /// Returns the preset for workload 'a'..'f' (case-insensitive).
+  /// Returns the preset for workload 'a'..'f' or 'w' (case-insensitive).
   /// Unknown letters fall back to workload A.
   static WorkloadSpec Preset(char workload);
 };
@@ -128,6 +135,12 @@ class KeyChooser {
   /// Allocates the next insert key.
   std::uint64_t AllocateInsertKey() {
     return next_key_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Allocates `n` contiguous insert keys, returning the first (for MPUT
+  /// batches; publish first + n - 1 once the batch committed).
+  std::uint64_t AllocateInsertRange(std::uint64_t n) {
+    return next_key_.fetch_add(n, std::memory_order_relaxed) + 1;
   }
 
   /// Publishes an inserted key as readable once its write completed.
@@ -164,12 +177,14 @@ struct WorkloadResult {
   std::uint64_t scans = 0;
   std::uint64_t scanned_items = 0;
   std::uint64_t rmws = 0;
+  std::uint64_t mputs = 0;       ///< MPUT operations (each mput_batch keys)
+  std::uint64_t mput_keys = 0;   ///< keys written by those MPUTs
   double seconds = 0;
   /// Per-op latency samples (µs); filled when spec.collect_latencies.
   std::vector<std::uint32_t> latencies_us;
 
   std::uint64_t ops() const {
-    return reads + updates + inserts + scans + rmws;
+    return reads + updates + inserts + scans + rmws + mputs;
   }
   double throughput() const { return seconds > 0 ? ops() / seconds : 0; }
   /// Latency percentile in µs (p in [0,100]); 0 when no samples were

@@ -379,5 +379,194 @@ INSTANTIATE_TEST_SUITE_P(AllConfigs, KvConcurrencyCrashSweep,
                            return ConfigName(i.param);
                          });
 
+// --- torture 4: the parallel ApplyBatch fan-out (PR 8) ------------------
+
+// ApplyBatch (the group-commit apply path) fans its per-shard apply loops
+// out across the shared worker pool when a batch spans shards — and stands
+// down to the sequential path the moment the crash injector is armed, so
+// crash sweeps see their injected CrashException at a deterministic
+// persistence-event ordinal on the calling thread.
+TEST(KvConcurrency, ApplyBatchFansOutAndStandsDownWhenArmed) {
+  KvConfig config;
+  config.rewind.nvm = TestNvmConfig(16);
+  config.rewind.log_impl = LogImpl::kBatch;
+  config.rewind.policy = Policy::kNoForce;
+  config.shards = 4;
+  // Force the shared pool on (auto sizing stands down on single-core
+  // hosts): this test is about the fan-out path actually running.
+  config.prepare_threads = 4;
+  KvStore store(config);
+
+  // A batch spanning at least 3 shards.
+  std::vector<KvWriteOp> ops;
+  std::set<std::size_t> touched;
+  for (std::uint64_t k = 1; ops.size() < 24; ++k) {
+    KvWriteOp op;
+    op.key = k;
+    op.value = TortureValue(k, 1);
+    ops.push_back(std::move(op));
+    touched.insert(store.ShardOf(k));
+  }
+  ASSERT_GE(touched.size(), 3u);
+
+  std::uint64_t offloaded_before = store.store_txn().offloaded_tasks();
+  store.ApplyBatch(ops);
+  EXPECT_EQ(store.parallel_applies(), 1u);
+  EXPECT_GT(store.store_txn().offloaded_tasks(), offloaded_before)
+      << "the apply fan-out never moved work onto the pool";
+  std::string value;
+  for (const KvWriteOp& op : ops) {
+    EXPECT_TRUE(op.applied);
+    ASSERT_TRUE(store.Get(op.key, &value));
+    EXPECT_EQ(CheckTortureValue(op.key, value), 1u);
+  }
+
+  // Armed (target far beyond reach, so nothing fires): the same batch must
+  // apply sequentially on the calling thread — the counter may not move —
+  // and still apply correctly.
+  store.runtime().nvm().crash_injector().Arm(std::uint64_t{1} << 40);
+  for (KvWriteOp& op : ops) op.value = TortureValue(op.key, 2);
+  store.ApplyBatch(ops);
+  store.runtime().nvm().crash_injector().Disarm();
+  EXPECT_EQ(store.parallel_applies(), 1u)
+      << "apply fan-out ran while the crash injector was armed";
+  for (const KvWriteOp& op : ops) {
+    EXPECT_TRUE(op.applied);
+    ASSERT_TRUE(store.Get(op.key, &value));
+    EXPECT_EQ(CheckTortureValue(op.key, value), 2u);
+  }
+}
+
+// --- torture 5: crash sweep through the parallel apply path -------------
+
+// Concurrent ApplyBatch group commits — shared pool forced on, every group
+// spanning >= 3 shards — swept with a crash at sampled persistence events.
+// Each iteration first runs an UNARMED round (the fan-out genuinely runs
+// on the pool, so recovery is checked against state the parallel path
+// produced), then arms and lets two writer threads race until the shot
+// lands. Every group must stay all-or-nothing across every crash.
+TEST(KvConcurrency, ConcurrentApplyBatchGroupsStayAtomicAcrossCrash) {
+  KvConfig config;
+  config.rewind.nvm = TestNvmConfig(32);
+  config.rewind.log_impl = LogImpl::kBatch;
+  config.rewind.policy = Policy::kNoForce;
+  config.rewind.batch_group_size = 4;
+  config.shards = 8;
+  config.prepare_threads = 4;
+  KvStore store(config);
+  NvmManager& nvm = store.runtime().nvm();
+
+  // Writer w's keys stay inside its own half of the shard space (see the
+  // MultiPut sweep above for why confinement matters after a crash), while
+  // still spanning >= 3 shards so the fan-out is really multi-shard.
+  const std::size_t writers = 2;
+  std::vector<std::vector<std::uint64_t>> groups(writers);
+  {
+    std::vector<std::set<std::size_t>> owned = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+    std::uint64_t k = 1;
+    for (std::size_t w = 0; w < writers; ++w) {
+      while (groups[w].size() < 8) {
+        if (owned[w].count(store.ShardOf(k)) != 0) groups[w].push_back(k);
+        ++k;
+      }
+      std::set<std::size_t> spanned;
+      for (std::uint64_t gk : groups[w]) spanned.insert(store.ShardOf(gk));
+      ASSERT_GE(spanned.size(), 3u) << "group " << w << " spans too few shards";
+    }
+  }
+  auto batch_for = [&](std::size_t w, std::uint64_t version) {
+    std::vector<KvWriteOp> ops;
+    for (std::uint64_t gk : groups[w]) {
+      KvWriteOp op;
+      op.key = gk;
+      op.value = TortureValue(gk, version);
+      ops.push_back(std::move(op));
+    }
+    return ops;
+  };
+  auto check_groups = [&](const char* when, std::uint64_t at) {
+    for (std::size_t w = 0; w < writers; ++w) {
+      std::string value;
+      std::size_t present = 0;
+      std::uint64_t version = 0;
+      for (std::uint64_t k : groups[w]) {
+        if (!store.Get(k, &value)) continue;
+        std::uint64_t v = CheckTortureValue(k, value);
+        if (present == 0) version = v;
+        ASSERT_EQ(v, version)
+            << when << " at event " << at << ": writer " << w
+            << " group torn (key " << k << ")";
+        ++present;
+      }
+      ASSERT_TRUE(present == 0 || present == groups[w].size())
+          << when << " at event " << at << ": writer " << w
+          << " group applied a prefix (" << present << "/"
+          << groups[w].size() << " keys)";
+    }
+  };
+
+  const std::uint64_t iters_each = 2;
+  std::uint64_t crash_events = 0;
+  std::uint64_t at = 1;
+  const std::uint64_t step = kTsan ? 131 : 3;
+  for (;;) {
+    // Unarmed round: the fan-out must engage on the pool before each
+    // armed run, so the sweep's recovery covers parallel-applied state.
+    for (std::size_t w = 0; w < writers; ++w) {
+      std::vector<KvWriteOp> ops = batch_for(w, at * 100 + 99);
+      store.ApplyBatch(ops);
+    }
+    nvm.crash_injector().Arm(at);
+    std::atomic<bool> crashed{false};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < writers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          for (std::uint64_t i = 0; i < iters_each; ++i) {
+            if (crashed.load(std::memory_order_relaxed)) return;
+            std::vector<KvWriteOp> ops = batch_for(w, at * 100 + i);
+            store.ApplyBatch(ops);
+          }
+        } catch (const CrashException&) {
+          crashed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      // A latch-free reader rides along; it must never see a torn value.
+      std::string value;
+      std::mt19937_64 rng(11);
+      while (!done.load(std::memory_order_relaxed)) {
+        for (std::size_t w = 0; w < writers; ++w) {
+          std::uint64_t k = groups[w][rng() % groups[w].size()];
+          if (store.Get(k, &value)) CheckTortureValue(k, value);
+        }
+      }
+    });
+    for (std::size_t w = 0; w < writers; ++w) threads[w].join();
+    done.store(true, std::memory_order_relaxed);
+    threads.back().join();
+    nvm.crash_injector().Disarm();
+
+    if (!crashed.load()) break;  // the armed run fit under `at` events
+    ++crash_events;
+    nvm.SimulateCrash();
+    store.CrashAndRecover();
+    check_groups("post-recovery", at);
+    for (std::size_t p = 0; p < store.runtime().partitions(); ++p) {
+      ASSERT_EQ(store.runtime().tm(p).LogSize(), 0u)
+          << "partition " << p << " dirty after recovery at event " << at;
+    }
+    at += step;
+  }
+  EXPECT_GT(crash_events, kTsan ? 2u : 30u)
+      << "the sweep barely exercised the parallel apply path";
+  check_groups("final", at);
+  // Every iteration's unarmed round fanned out on the pool.
+  EXPECT_GE(store.parallel_applies(), crash_events)
+      << "the unarmed rounds never engaged the apply fan-out";
+}
+
 }  // namespace
 }  // namespace rwd

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/kv/kv_store.h"
+#include "src/server/batcher.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
 #include "src/workload/net_driver.h"
@@ -314,6 +315,162 @@ TEST(KvServer, BackpressurePausesAndResumesUnderTinyCaps) {
   EXPECT_FALSE(server.crashed());
 }
 
+// The AIMD batch-window controller: latency-first (zero window) until
+// sustained traffic shows up — a queue refilling faster than half a batch
+// per commit, OR new batches collected while earlier ones were still in
+// the completion pipeline (the signal closed-loop clients actually
+// produce, since they drain the queue every batch by construction) — then
+// multiplicative widening toward the cap; decays back to zero only when
+// tiny batches with an idle pipeline prove the traffic actually stopped,
+// and re-seeds (not 0*2 = 0 forever) on its return.
+TEST(AdaptiveWindow, WidensUnderLoadDecaysWhenIdle) {
+  serve::AdaptiveWindow w(/*cap_us=*/500);
+  EXPECT_EQ(w.window_us(), 0u);
+
+  // Backlog: seed out of zero, then double every commit, clamped at cap.
+  w.Observe(/*batch_ops=*/64, /*queued_after=*/64, /*pipeline_busy=*/false);
+  EXPECT_EQ(w.window_us(), serve::AdaptiveWindow::kSeedUs);
+  std::uint32_t prev = w.window_us();
+  for (int i = 0; i < 10; ++i) {
+    w.Observe(64, 64, false);
+    EXPECT_GE(w.window_us(), prev);
+    EXPECT_LE(w.window_us(), 500u);
+    prev = w.window_us();
+  }
+  EXPECT_EQ(w.window_us(), 500u) << "sustained backlog must reach the cap";
+
+  // A small residual queue (nonzero but <= half a batch) holds steady,
+  // and so does a LARGE batch that drained the queue — closed-loop
+  // saturation empties the queue every commit by construction.
+  w.Observe(64, 10, false);
+  EXPECT_EQ(w.window_us(), 500u);
+  for (int i = 0; i < 4; ++i) w.Observe(64, 0, false);
+  EXPECT_EQ(w.window_us(), 500u)
+      << "large drained batches must hold the window, not decay it";
+
+  // Tiny batches with nothing waiting and an idle pipeline: traffic
+  // stopped, decay to zero.
+  for (int i = 0; i < 16 && w.window_us() > 0; ++i) {
+    w.Observe(serve::AdaptiveWindow::kIdleBatchOps - 1, 0, false);
+  }
+  EXPECT_EQ(w.window_us(), 0u);
+
+  // The tiny-batch trap escape: batches of 1-2 ops with an empty queue
+  // but a BUSY pipeline are sustained load (new work arrived before old
+  // work acked), so the window must widen, never shrink — otherwise a
+  // small window makes small fast batches that keep the queue empty and
+  // the controller pins itself at zero under full load.
+  w.Observe(/*batch_ops=*/1, /*queued_after=*/0, /*pipeline_busy=*/true);
+  EXPECT_EQ(w.window_us(), serve::AdaptiveWindow::kSeedUs);
+  prev = w.window_us();
+  for (int i = 0; i < 10; ++i) {
+    w.Observe(2, 0, true);
+    EXPECT_GE(w.window_us(), prev);
+    prev = w.window_us();
+  }
+  EXPECT_EQ(w.window_us(), 500u) << "busy pipeline alone must reach the cap";
+
+  // Back to idle, then load returning re-seeds rather than sticking at 0.
+  for (int i = 0; i < 16 && w.window_us() > 0; ++i) {
+    w.Observe(1, 0, false);
+  }
+  EXPECT_EQ(w.window_us(), 0u);
+  w.Observe(64, 64, false);
+  EXPECT_EQ(w.window_us(), serve::AdaptiveWindow::kSeedUs);
+}
+
+// The PR 8 batcher pipelines: batch N+1 collects and applies while batch
+// N's completion stage (semi-sync replication wait, stats, ack dispatch)
+// is still running. The single completion consumer must release acks in
+// strict batch order regardless — a tiny window forces a long stream of
+// small group commits under one deep client pipeline, and read-your-writes
+// across every batch boundary proves neither applies nor acks reordered.
+TEST(KvServer, PipelinedBatchesAckInOrderAcrossGroupCommits) {
+  KvStore store(ServerKvConfig());
+  serve::KvServer server(&store, TestServerConfig(/*batch_window_us=*/5));
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 10000));
+
+  constexpr std::uint64_t kKeys = 150;
+  enum class Expect { kOk, kValue };
+  std::vector<std::pair<Expect, std::string>> expected;
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    client.QueuePut(k, ValueFor(k, 1));
+    expected.emplace_back(Expect::kOk, "");
+    client.QueueGet(k);
+    expected.emplace_back(Expect::kValue, ValueFor(k, 1));
+    client.QueuePut(k, ValueFor(k, 2));
+    expected.emplace_back(Expect::kOk, "");
+    client.QueueGet(k);
+    expected.emplace_back(Expect::kValue, ValueFor(k, 2));
+  }
+  ASSERT_TRUE(client.Flush());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    serve::KvClient::Reply reply;
+    ASSERT_TRUE(client.ReadReply(&reply)) << "reply " << i;
+    ASSERT_EQ(reply.status, serve::Status::kOk) << "reply " << i;
+    if (expected[i].first == Expect::kValue) {
+      EXPECT_EQ(reply.payload, expected[i].second) << "reply " << i;
+    }
+  }
+
+  // The stream really was split into many group commits (material for the
+  // pipeline to overlap), every write was acked exactly once, and STATS v2
+  // exports the pipeline gauges.
+  serve::StatsReply stats;
+  ASSERT_TRUE(client.Stats(&stats));
+  EXPECT_EQ(stats.acked_writes, 2 * kKeys);
+  EXPECT_GE(stats.batches, 4u) << "everything landed in a single batch";
+  std::vector<serve::MetricSample> samples;
+  ASSERT_TRUE(client.Stats2(&samples));
+  bool saw_depth = false, saw_window = false;
+  for (const serve::MetricSample& m : samples) {
+    saw_depth |= m.name == "batcher.pipeline_depth";
+    saw_window |= m.name == "batcher.window_us";
+  }
+  EXPECT_TRUE(saw_depth);
+  EXPECT_TRUE(saw_window);
+
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
+// `--batch-window-us=auto` end to end: the server runs the adaptive
+// controller and keeps every guarantee through a write burst — all writes
+// acked through the batcher, values correct, clean shutdown.
+TEST(KvServer, AdaptiveWindowServerServesBurstsCorrectly) {
+  KvStore store(ServerKvConfig());
+  serve::ServerConfig cfg = TestServerConfig();
+  cfg.adaptive_batch_window = true;
+  cfg.batch_window_cap_us = 200;
+  serve::KvServer server(&store, cfg);
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 10000));
+
+  constexpr std::uint64_t kWrites = 400;
+  for (std::uint64_t k = 1; k <= kWrites; ++k) {
+    client.QueuePut(k, ValueFor(k, 4));
+  }
+  ASSERT_TRUE(client.Flush());
+  for (std::uint64_t k = 1; k <= kWrites; ++k) {
+    serve::KvClient::Reply reply;
+    ASSERT_TRUE(client.ReadReply(&reply)) << "reply " << k;
+    EXPECT_EQ(reply.status, serve::Status::kOk) << "reply " << k;
+  }
+  serve::StatsReply stats;
+  ASSERT_TRUE(client.Stats(&stats));
+  EXPECT_EQ(stats.acked_writes, kWrites);
+  EXPECT_EQ(stats.batched_writes, kWrites);
+  std::string value;
+  ASSERT_TRUE(client.Get(kWrites, &value));
+  EXPECT_EQ(value, ValueFor(kWrites, 4));
+  EXPECT_EQ(store.Size(), kWrites);
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
 // The network driver reuses the YCSB mixes over many pipelined
 // connections; everything it loads and writes is served and survives a
 // whole-store crash+recovery.
@@ -534,6 +691,88 @@ TEST(KvServerRecovery, KillMidBatchMputSpanningAllShardsIsAtomic) {
     }
   }
   EXPECT_GT(crashes, 0) << "the sweep never hit a mid-batch crash";
+}
+
+// The PR 8 acceptance sweep: unlike KillMidBatchDurabilitySweep (armed
+// before any traffic, so the batcher runs synchronously throughout), here
+// the injector is armed MID-STREAM — after the batcher has been pipelining
+// freely with batches in flight while earlier ones ack. Arming forces the
+// drain-then-synchronous stand-down transition, and the swept crash then
+// fires at a deterministic persistence event. Recovery must show every
+// ACKED write intact and no torn unacked write: the pipelined-to-standdown
+// handover may not lose, reorder, or prematurely ack anything.
+TEST(KvServerRecovery, KillMidPipelineDurabilitySweep) {
+  constexpr std::uint64_t kKeys = 150;
+  constexpr std::uint64_t kArmAt = kKeys / 3;  // writes sent before arming
+  const std::uint64_t version = 8;
+  bool completed_without_crash = false;
+  int crashes = 0;
+  for (std::uint64_t at = 60; !completed_without_crash; at += 223) {
+    KvStore store(ServerKvConfig());
+    NvmManager& nvm = store.runtime().nvm();
+    serve::KvServer server(&store, TestServerConfig(/*batch_window_us=*/30));
+    ASSERT_TRUE(server.Start());
+    serve::KvClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+
+    std::map<std::uint64_t, std::string> sent;
+    std::map<std::uint64_t, std::string> acked;
+    std::deque<std::uint64_t> inflight;
+    bool conn_lost = false;
+    auto read_one = [&]() -> bool {
+      serve::KvClient::Reply reply;
+      if (!client.Flush() || !client.ReadReply(&reply)) return false;
+      if (reply.status == serve::Status::kOk) {
+        acked[inflight.front()] = sent[inflight.front()];
+      }
+      inflight.pop_front();
+      return true;
+    };
+    for (std::uint64_t k = 1; k <= kKeys && !conn_lost; ++k) {
+      if (k == kArmAt) nvm.crash_injector().Arm(at);
+      std::string v = ValueFor(k, version);
+      sent[k] = v;
+      client.QueuePut(k, v);
+      inflight.push_back(k);
+      while (inflight.size() >= 32 && !conn_lost) {
+        conn_lost = !read_one();
+      }
+    }
+    while (!conn_lost && !inflight.empty()) {
+      conn_lost = !read_one();
+    }
+    nvm.crash_injector().Disarm();
+
+    if (conn_lost) {
+      EXPECT_TRUE(server.crashed()) << "connection lost without a crash";
+      ++crashes;
+    } else {
+      EXPECT_FALSE(server.crashed());
+      EXPECT_EQ(acked.size(), kKeys);
+      completed_without_crash = true;
+    }
+    server.Stop();
+    store.CrashAndRecover();
+
+    std::string value;
+    for (const auto& [k, v] : acked) {
+      ASSERT_TRUE(store.Get(k, &value))
+          << "acked key " << k << " lost (crash at event " << at << ")";
+      EXPECT_EQ(value, v) << "acked key " << k << " torn at event " << at;
+    }
+    for (const auto& [k, v] : sent) {
+      if (acked.count(k) != 0) continue;
+      if (store.Get(k, &value)) {
+        EXPECT_EQ(value, v)
+            << "unacked key " << k << " torn at event " << at;
+      }
+    }
+    for (std::size_t s = 0; s < store.shards(); ++s) {
+      EXPECT_EQ(store.runtime().tm(s).LogSize(), 0u)
+          << "shard " << s << " log dirty after recovery at event " << at;
+    }
+  }
+  EXPECT_GT(crashes, 0) << "the sweep never hit a mid-pipeline crash";
 }
 
 }  // namespace
