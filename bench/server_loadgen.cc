@@ -8,6 +8,10 @@
 // Flags: --host=IP  --port=N  --workload=a..f|w  --threads=N  --records=N
 //        --ops=N  --value-size=BYTES  --pipeline=N (in-flight reqs/conn)
 //        --skip-load=1 (reuse an already-loaded server)
+//        --stream-scans=1 (run scans via SCAN_STREAM: chunked, never
+//        truncated; each scan drains its connection's pipeline first)
+//        --max-scan-len=N (scan-length ceiling for workload e's zipfian
+//        length draw)
 //        --json=PATH (machine-readable results: ops/s, p50/p99, config)
 //        --read-from-follower=PORT (RewindRepl read scale-out: odd driver
 //        threads read from the follower at --host:PORT; the run starts
@@ -36,6 +40,7 @@ int Main(int argc, char** argv) {
   spec.op_count = FlagOr(argc, argv, "ops", Scaled(50000));
   spec.value_size = FlagOr(argc, argv, "value-size", 100);
   spec.threads = FlagOr(argc, argv, "threads", 4);
+  spec.max_scan_len = FlagOr(argc, argv, "max-scan-len", spec.max_scan_len);
   spec.collect_latencies = true;
 
   NetDriverSpec net;
@@ -44,15 +49,17 @@ int Main(int argc, char** argv) {
   net.pipeline_depth = FlagOr(argc, argv, "pipeline", 16);
   net.follower_port = static_cast<std::uint16_t>(
       FlagOr(argc, argv, "read-from-follower", 0));
+  net.stream_scans = FlagOr(argc, argv, "stream-scans", 0) != 0;
   bool skip_load = FlagOr(argc, argv, "skip-load", 0) != 0;
   std::string json_path = StringFlag(argc, argv, "json");
 
   std::printf("# server_loadgen %s:%u workload=%c threads=%zu pipeline=%zu "
-              "records=%lu ops=%lu value=%zuB\n",
+              "records=%lu ops=%lu value=%zuB%s\n",
               net.host.c_str(), net.port, workload, spec.threads,
               net.pipeline_depth,
               static_cast<unsigned long>(spec.record_count),
-              static_cast<unsigned long>(spec.op_count), spec.value_size);
+              static_cast<unsigned long>(spec.op_count), spec.value_size,
+              net.stream_scans ? " stream-scans" : "");
 
   NetWorkloadDriver driver(net, spec);
   if (skip_load) {
@@ -195,6 +202,20 @@ int Main(int argc, char** argv) {
                 metric("server.op.put.p99_us"),
                 metric("txn.prepare.p99_us"),
                 metric("batcher.commit.p99_us"));
+    if (metric("server.scan_chunks") > 0) {
+      std::printf("# server scan stream: chunks=%.0f bytes=%.0f "
+                  "first_chunk p50=%.1fus p99=%.1fus; total p50=%.1fus "
+                  "p99=%.1fus; optimistic sub-scans hits=%.0f "
+                  "retries=%.0f\n",
+                  metric("server.scan_chunks"),
+                  metric("server.scan_stream_bytes"),
+                  metric("server.op.scan_stream.first_chunk.p50_us"),
+                  metric("server.op.scan_stream.first_chunk.p99_us"),
+                  metric("server.op.scan_stream.p50_us"),
+                  metric("server.op.scan_stream.p99_us"),
+                  metric("kv.scan_optimistic_hits"),
+                  metric("kv.scan_optimistic_retries"));
+    }
     std::printf("# server write pipeline: parallel_applies=%.0f "
                 "apply_fanout=%.0f pipeline_depth=%.0f window_us=%.0f "
                 "presumed_commits=%.0f\n",
@@ -213,7 +234,8 @@ int Main(int argc, char** argv) {
         "|pipeline=" + std::to_string(net.pipeline_depth) +
         "|records=" + std::to_string(spec.record_count) +
         "|value=" + std::to_string(spec.value_size) +
-        "|shards=" + std::to_string(stats.shards)));
+        "|shards=" + std::to_string(stats.shards) +
+        "|stream=" + std::to_string(net.stream_scans ? 1 : 0)));
     json.Add("bench", std::string("server_loadgen"));
     json.Add("workload", std::string(1, workload));
     json.Add("host", net.host);
@@ -237,6 +259,19 @@ int Main(int argc, char** argv) {
     json.Add("inserts", r.inserts);
     json.Add("scans", r.scans);
     json.Add("scanned_items", r.scanned_items);
+    json.Add("stream_scans",
+             static_cast<std::uint64_t>(net.stream_scans ? 1 : 0));
+    json.Add("server_scan_chunks", metric("server.scan_chunks"));
+    json.Add("server_scan_stream_bytes",
+             metric("server.scan_stream_bytes"));
+    json.Add("server_scan_stream_first_chunk_p50_us",
+             metric("server.op.scan_stream.first_chunk.p50_us"));
+    json.Add("server_scan_stream_p99_us",
+             metric("server.op.scan_stream.p99_us"));
+    json.Add("server_scan_optimistic_hits",
+             metric("kv.scan_optimistic_hits"));
+    json.Add("server_scan_optimistic_retries",
+             metric("kv.scan_optimistic_retries"));
     json.Add("rmws", r.rmws);
     json.Add("mputs", r.mputs);
     json.Add("mput_keys", r.mput_keys);

@@ -6,6 +6,9 @@
 //   ./build/examples/kv_client --port=7170 put 42 hello  # prints the gtid
 //   ./build/examples/kv_client --port=7170 get 42        # prints "hello"
 //   ./build/examples/kv_client --port=7170 del 42
+//   ./build/examples/kv_client --port=7170 scan 1 5000  # streamed scan:
+//                                                    # one "KEY VALUE" line
+//                                                    # per item, in order
 //   ./build/examples/kv_client --port=7170 stats
 //   ./build/examples/kv_client --port=7170 metrics   # STATS v2, one
 //                                                    # "name value" per line
@@ -33,8 +36,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: kv_client [--host=H] [--port=N] "
                "[--replica-of=H:P] put KEY VALUE | get KEY | "
-               "getryw KEY GTID | del KEY | promote | stats | metrics | "
-               "replstatus\n");
+               "getryw KEY GTID | del KEY | scan FROM COUNT | promote | "
+               "stats | metrics | replstatus\n");
   return 1;
 }
 
@@ -96,6 +99,31 @@ int main(int argc, char** argv) {
     std::string value;
     if (!client.GetRyw(key, gtid, &value)) return 2;
     std::printf("%s\n", value.c_str());
+    return 0;
+  }
+  if (cmd == "scan" && args_left >= 2) {
+    std::uint64_t from = std::strtoull(argv[cmd_at + 1], nullptr, 10);
+    std::uint64_t count = std::strtoull(argv[cmd_at + 2], nullptr, 10);
+    // Streamed (SCAN_STREAM): chunks print as they arrive, and a result
+    // set larger than the buffered-reply byte cap arrives untruncated.
+    if (!client.ScanStreamBegin(
+            from, static_cast<std::uint32_t>(
+                      std::min<std::uint64_t>(count, 0xffffffffu)))) {
+      std::fprintf(stderr, "kv_client: scan failed\n");
+      return 1;
+    }
+    bool done = false;
+    while (!done) {
+      std::vector<std::pair<std::uint64_t, std::string>> items;
+      if (!client.ScanStreamNext(&items, &done)) {
+        std::fprintf(stderr, "kv_client: scan stream broke mid-flight\n");
+        return 1;
+      }
+      for (const auto& [key, value] : items) {
+        std::printf("%lu %s\n", static_cast<unsigned long>(key),
+                    value.c_str());
+      }
+    }
     return 0;
   }
   if (cmd == "promote") {

@@ -7,6 +7,11 @@
 //   ./build/bench/server_loadgen --port=7170 --workload=a
 //
 // Flags: --port=N (0 = ephemeral)  --shards=N  --workers=N
+//        --shard-layout=hash|range (range: each shard owns a contiguous
+//        key slice — ordered scans stream shard by shard without the
+//        all-shard merge; recorded in the heap, enforced on re-attach)
+//        --range-max-key=N (range layout: creation-time key-space ceiling
+//        for the even split; keys above it land in the last shard)
 //        --batch-window-us=N|auto (auto: the batcher's adaptive
 //        controller sizes the window per batch — zero while idle, up to
 //        --batch-window-cap-us under sustained load)
@@ -75,6 +80,17 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(FlagOr(argc, argv, "checkpoint-ms", 50));
   std::string heap_file = StringFlag(argc, argv, "heap-file");
   config.rewind.nvm.heap_file = heap_file;
+  std::string layout_flag =
+      StringFlag(argc, argv, "shard-layout", "hash");
+  if (layout_flag == "range") {
+    config.shard_layout = ShardLayout::kRange;
+    config.range_max_key = std::max<std::uint64_t>(
+        FlagOr(argc, argv, "range-max-key", 1u << 20), 1);
+  } else if (layout_flag != "hash") {
+    std::fprintf(stderr,
+                 "kv_server: --shard-layout wants 'hash' or 'range'\n");
+    return 1;
+  }
 
   serve::ServerConfig server_config;
   server_config.port =
@@ -166,10 +182,13 @@ int main(int argc, char** argv) {
           ? "auto(cap=" + std::to_string(server_config.batch_window_cap_us) +
                 "us)"
           : std::to_string(server_config.batch_window_us) + "us";
-  std::printf("kv_server listening on port %u — shards=%zu workers=%u "
-              "batch-window=%s rewind=%s heap=%s role=%s\n",
-              server.port(), store->shards(), server_config.workers,
-              window_label.c_str(),
+  std::printf("kv_server listening on port %u — shards=%zu layout=%s "
+              "workers=%u batch-window=%s rewind=%s heap=%s role=%s\n",
+              server.port(), store->shards(),
+              store->partitioner().layout() == ShardLayout::kRange
+                  ? "range"
+                  : "hash",
+              server_config.workers, window_label.c_str(),
               config.rewind.Label().c_str(),
               heap_file.empty() ? "dram" : heap_file.c_str(),
               follower_of.empty()

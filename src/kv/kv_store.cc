@@ -24,6 +24,12 @@ std::size_t FanoutWidth(std::size_t configured, std::size_t shards) {
 /// Copies a value buffer's bytes with relaxed word loads (the latch-free
 /// read path may race a writer; the caller validates the seqlock after the
 /// copy and discards on conflict, so a torn copy is harmless).
+/// Largest per-shard remainder the range-layout scan will attempt
+/// latch-free: bounds the snapshot buffer and, more importantly, the
+/// validation window — a long window under write traffic would never
+/// validate and just burn two failed attempts per shard.
+constexpr std::size_t kOptimisticSubScanMax = 128;
+
 void CopyValueRelaxed(std::string* out, const std::uint64_t* payload,
                       std::uint64_t size) {
   out->resize(size);
@@ -78,6 +84,24 @@ KvStore::KvStore(const KvConfig& config, Runtime::OpenMode open)
           std::to_string(dir->shard_count) + " shards but config asks for " +
           std::to_string(n));
     }
+    if (dir->layout != static_cast<std::uint64_t>(config_.shard_layout)) {
+      throw HeapAttachError(
+          "KvStore: heap file '" + heap.file_path() + "' was created with " +
+          std::string(dir->layout ==
+                              static_cast<std::uint64_t>(ShardLayout::kRange)
+                          ? "range"
+                          : "hash") +
+          "-partitioned shards but config asks for the other layout");
+    }
+    if (config_.shard_layout == ShardLayout::kRange) {
+      // The key-range ownership that matters is the one the data was
+      // written under: reconstruct it from the directory, not the config.
+      std::vector<std::uint64_t> lo(n);
+      for (std::size_t i = 0; i < n; ++i) lo[i] = dir->entries[i].range_lo;
+      partitioner_ = std::make_unique<RangePartitioner>(std::move(lo));
+    } else {
+      partitioner_ = std::make_unique<HashPartitioner>(n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       auto* primary = reinterpret_cast<void*>(dir->entries[i].primary);
       auto* secondary = reinterpret_cast<void*>(dir->entries[i].secondary);
@@ -95,6 +119,11 @@ KvStore::KvStore(const KvConfig& config, Runtime::OpenMode open)
       shards_.push_back(std::move(shard));
     }
   } else {
+    if (config_.shard_layout == ShardLayout::kRange) {
+      partitioner_ = RangePartitioner::EvenSplit(n, config_.range_max_key);
+    } else {
+      partitioner_ = std::make_unique<HashPartitioner>(n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       auto shard = std::make_unique<Shard>();
       shard->ops = std::make_unique<RewindOps>(&runtime_->tm(i));
@@ -112,6 +141,8 @@ KvStore::KvStore(const KvConfig& config, Runtime::OpenMode open)
     auto* dir = static_cast<ShardDir*>(
         nvm.Alloc(sizeof(ShardDir) + n * sizeof(ShardDirEntry)));
     nvm.StoreNT(&dir->shard_count, static_cast<std::uint64_t>(n));
+    nvm.StoreNT(&dir->layout,
+                static_cast<std::uint64_t>(config_.shard_layout));
     for (std::size_t i = 0; i < n; ++i) {
       nvm.StoreNT(&dir->entries[i].primary,
                   reinterpret_cast<std::uint64_t>(
@@ -119,6 +150,7 @@ KvStore::KvStore(const KvConfig& config, Runtime::OpenMode open)
       nvm.StoreNT(&dir->entries[i].secondary,
                   reinterpret_cast<std::uint64_t>(
                       shards_[i]->secondary->persistent_anchor()));
+      nvm.StoreNT(&dir->entries[i].range_lo, partitioner_->LowerBound(i));
     }
     nvm.Fence();
     heap.SetRoot("kv_dir", dir);
@@ -322,49 +354,201 @@ bool KvStore::Delete(std::uint64_t key) {
 std::size_t KvStore::Scan(
     std::uint64_t from_key, std::size_t max_items,
     const std::function<bool(std::uint64_t, std::string_view)>& fn) {
-  if (max_items == 0) return 0;
-  // Shard-ordered SHARED latch acquisition: the scan still sees one
-  // consistent cut (writers are excluded from every shard at once) but no
-  // longer blocks other readers — scans and gets overlap freely. The
-  // merge-sort across per-shard prefixes stays; range-partitioned sharding
-  // (so a scan streams one shard at a time) is a ROADMAP follow-up.
-  std::vector<std::shared_lock<std::shared_mutex>> locks;
-  locks.reserve(shards_.size());
-  for (auto& s : shards_) locks.emplace_back(s->mu);
+  return ScanPage(from_key, max_items, fn).visited;
+}
 
-  struct Item {
+KvStore::ScanPageResult KvStore::ScanPage(
+    std::uint64_t from_key, std::size_t max_items,
+    const std::function<bool(std::uint64_t, std::string_view)>& fn) {
+  if (max_items == 0) return {};
+  if (config_.shard_layout == ShardLayout::kRange) {
+    return ScanPageRange(from_key, max_items, fn);
+  }
+  return ScanPageHash(from_key, max_items, fn);
+}
+
+bool KvStore::TryOptimisticSubScan(
+    Shard& s, std::uint64_t from_key, std::size_t max_items,
+    std::vector<std::pair<std::uint64_t, std::string>>* out, bool* shard_more,
+    std::uint64_t* shard_next) const {
+  std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+  if (s1 & 1) return false;  // a writer is mutating this shard right now
+  // Snapshot one pair beyond the budget so "does the shard go on?" is
+  // decided inside the validated window, not by a separate racy probe.
+  std::vector<std::pair<std::uint64_t, const std::uint64_t*>> snap;
+  snap.reserve(max_items + 1);
+  bool walk_ok =
+      s.primary->SnapshotRangeRelaxed(from_key, max_items + 1, &snap);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (!walk_ok || s.seq.load(std::memory_order_relaxed) != s1) return false;
+  // A stable counter proves the leaf walk saw the shard's real (key,
+  // payload-block) pairs. Same staged validation as TryOptimisticGet from
+  // here: read every block's (value_ptr, size), validate — so the sizes
+  // are genuine lengths, not torn reads of recycled blocks — then copy
+  // the value bytes and validate once more.
+  *shard_more = snap.size() > max_items;
+  if (*shard_more) {
+    *shard_next = snap.back().first;
+    snap.pop_back();
+  }
+  struct Val {
     std::uint64_t key;
     const std::uint64_t* buf;
     std::uint64_t size;
   };
-  std::vector<Item> items;
-  for (auto& sp : shards_) {
-    Shard& s = *sp;
+  std::vector<Val> vals;
+  vals.reserve(snap.size());
+  for (const auto& [k, blk] : snap) {
+    vals.push_back({k,
+                    reinterpret_cast<const std::uint64_t*>(
+                        RelaxedLoad64(&blk[0])),
+                    RelaxedLoad64(&blk[1])});
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.seq.load(std::memory_order_relaxed) != s1) return false;
+  out->clear();
+  out->reserve(vals.size());
+  for (const Val& v : vals) {
+    out->emplace_back(v.key, std::string());
+    CopyValueRelaxed(&out->back().second, v.buf + 1, v.size);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return s.seq.load(std::memory_order_relaxed) == s1;
+}
+
+KvStore::ScanPageResult KvStore::ScanPageRange(
+    std::uint64_t from_key, std::size_t max_items,
+    const std::function<bool(std::uint64_t, std::string_view)>& fn) {
+  ScanPageResult res;
+  const std::size_t n = shards_.size();
+  std::uint64_t cur = from_key;
+  // Shards partition the key space in order: walk them one at a time from
+  // the owner of from_key. At most ONE shard is latched (shared) at any
+  // moment, and short tails skip even that via the seqlock sub-scan.
+  for (std::size_t si = partitioner_->ShardOf(from_key); si < n; ++si) {
+    Shard& s = *shards_[si];
     s.stats.scans.fetch_add(1, std::memory_order_relaxed);
-    StorageOps* ops = s.ops.get();
-    s.primary->ScanRange(
-        ops, from_key, ~std::uint64_t{0}, max_items,
-        [&](std::uint64_t k, const void* payload) {
-          const auto* p = static_cast<const std::uint64_t*>(payload);
-          items.push_back({k,
-                           reinterpret_cast<const std::uint64_t*>(
-                               ops->Load(&p[0])),
-                           ops->Load(&p[1])});
-          return true;
-        });
-  }
-  std::sort(items.begin(), items.end(),
-            [](const Item& a, const Item& b) { return a.key < b.key; });
-  std::size_t visited = 0;
-  for (const Item& it : items) {
-    if (visited == max_items) break;
-    ++visited;
-    if (!fn(it.key, std::string_view(
-                        reinterpret_cast<const char*>(it.buf + 1), it.size))) {
-      break;
+    std::size_t remaining = max_items - res.visited;
+    bool drained = false;
+    if (config_.optimistic_reads && remaining <= kOptimisticSubScanMax) {
+      // Only when the remainder fits one bounded attempt, so a single
+      // validated snapshot covers this shard's whole segment and the
+      // per-shard-cut guarantee holds on the latch-free path too.
+      ReadStripe& rs = s.stats.read[obs::ThreadStripe()];
+      std::vector<std::pair<std::uint64_t, std::string>> items;
+      bool shard_more = false;
+      std::uint64_t shard_next = 0;
+      bool ok = false;
+      for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
+        ok = TryOptimisticSubScan(s, cur, remaining, &items, &shard_more,
+                                  &shard_next);
+        if (!ok) {
+          rs.scan_optimistic_retries.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (ok) {
+        rs.scan_optimistic_hits.fetch_add(1, std::memory_order_relaxed);
+        for (const auto& [k, v] : items) {
+          ++res.visited;
+          if (!fn(k, v)) {
+            res.next_key = k;
+            res.more = true;
+            return res;
+          }
+        }
+        if (shard_more) {  // budget filled with the shard still going
+          res.next_key = shard_next;
+          res.more = true;
+          return res;
+        }
+        drained = true;
+      }
     }
+    if (!drained) {
+      // Shared-latch fallback: excludes writers from THIS shard only for
+      // the duration of its segment (the per-shard cut).
+      std::shared_lock<std::shared_mutex> lock(s.mu);
+      StorageOps* ops = s.ops.get();
+      for (BTree::Cursor c = s.primary->Seek(ops, cur); c.Valid();
+           c.Next(ops)) {
+        if (res.visited == max_items) {
+          res.next_key = c.key();
+          res.more = true;
+          return res;
+        }
+        const auto* p = static_cast<const std::uint64_t*>(c.payload());
+        const auto* buf =
+            reinterpret_cast<const std::uint64_t*>(ops->Load(&p[0]));
+        std::uint64_t size = ops->Load(&p[1]);
+        ++res.visited;
+        if (!fn(c.key(), std::string_view(
+                             reinterpret_cast<const char*>(buf + 1), size))) {
+          res.next_key = c.key();
+          res.more = true;
+          return res;
+        }
+      }
+    }
+    if (si + 1 < n) cur = partitioner_->LowerBound(si + 1);
   }
-  return visited;
+  return res;  // every shard exhausted
+}
+
+KvStore::ScanPageResult KvStore::ScanPageHash(
+    std::uint64_t from_key, std::size_t max_items,
+    const std::function<bool(std::uint64_t, std::string_view)>& fn) {
+  ScanPageResult res;
+  const std::size_t n = shards_.size();
+  // Shard-ordered SHARED latch acquisition: hash scatter means any shard
+  // may own the next key in order, so correctness (one consistent cut
+  // across the store — a cross-shard MultiPut is never observed torn)
+  // requires excluding writers from every shard at the start. From there a
+  // bounded k-way merge pulls the minimum cursor head one item at a time —
+  // no global materialize+sort buffer — and a shard's latch drops the
+  // moment its cursor exhausts, so the scan only keeps latching the shards
+  // it is still pulling from.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(n);
+  for (auto& s : shards_) locks.emplace_back(s->mu);
+  std::vector<BTree::Cursor> cursors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Shard& s = *shards_[i];
+    s.stats.scans.fetch_add(1, std::memory_order_relaxed);
+    cursors[i] = s.primary->Seek(s.ops.get(), from_key);
+    if (!cursors[i].Valid()) locks[i].unlock();
+  }
+  for (;;) {
+    // Linear min-select across the cursor heads: k == shard count, far
+    // below the crossover where a heap would pay off.
+    std::size_t min_i = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cursors[i].Valid() &&
+          (min_i == n || cursors[i].key() < cursors[min_i].key())) {
+        min_i = i;
+      }
+    }
+    if (min_i == n) return res;  // every cursor exhausted
+    BTree::Cursor& c = cursors[min_i];
+    if (res.visited == max_items) {
+      res.next_key = c.key();
+      res.more = true;
+      return res;
+    }
+    Shard& s = *shards_[min_i];
+    StorageOps* ops = s.ops.get();
+    const auto* p = static_cast<const std::uint64_t*>(c.payload());
+    const auto* buf = reinterpret_cast<const std::uint64_t*>(ops->Load(&p[0]));
+    std::uint64_t size = ops->Load(&p[1]);
+    ++res.visited;
+    if (!fn(c.key(), std::string_view(reinterpret_cast<const char*>(buf + 1),
+                                      size))) {
+      res.next_key = c.key();
+      res.more = true;
+      return res;
+    }
+    c.Next(ops);
+    if (!c.Valid()) locks[min_i].unlock();  // drained: let writers back in
+  }
 }
 
 bool KvStore::MultiPut(
@@ -568,6 +752,10 @@ KvShardStats KvStore::shard_stats(std::size_t shard) {
         rs.read_latch_acquires.load(std::memory_order_relaxed);
     stats.starvation_fallbacks +=
         rs.starvation_fallbacks.load(std::memory_order_relaxed);
+    stats.scan_optimistic_hits +=
+        rs.scan_optimistic_hits.load(std::memory_order_relaxed);
+    stats.scan_optimistic_retries +=
+        rs.scan_optimistic_retries.load(std::memory_order_relaxed);
   }
   std::shared_lock<std::shared_mutex> lock(s.mu);
   stats.keys = s.primary->size(s.ops.get());
@@ -585,7 +773,8 @@ void KvStore::ResetStats() {
     for (ReadStripe& rs : c.read) {
       for (std::atomic<std::uint64_t>* a :
            {&rs.gets, &rs.hits, &rs.optimistic_hits, &rs.optimistic_retries,
-            &rs.read_latch_acquires, &rs.starvation_fallbacks}) {
+            &rs.read_latch_acquires, &rs.starvation_fallbacks,
+            &rs.scan_optimistic_hits, &rs.scan_optimistic_retries}) {
         a->store(0, std::memory_order_relaxed);
       }
     }

@@ -19,6 +19,7 @@
 #include "src/core/hash.h"
 #include "src/core/runtime.h"
 #include "src/core/store_txn.h"
+#include "src/kv/partitioner.h"
 #include "src/obs/metrics.h"
 #include "src/structures/btree.h"
 #include "src/structures/phash.h"
@@ -65,6 +66,15 @@ struct KvConfig {
   /// are erased lazily in batches of this size (StoreTxn); <= 1 restores
   /// the eager erase-per-commit behaviour.
   std::size_t decision_truncate_batch = 32;
+  /// How keys map to shards (see partitioner.h). kHash scatters adjacent
+  /// keys for write balance; kRange gives each shard a contiguous key
+  /// range so scans stream one shard at a time. The layout is persisted in
+  /// the shard directory; Open() refuses a mismatching config.
+  ShardLayout shard_layout = ShardLayout::kHash;
+  /// Range layout only: ceiling of the expected key space, split evenly
+  /// across shards at creation ([1, range_max_key]). Keys above it are
+  /// legal but all land in the last shard.
+  std::uint64_t range_max_key = 1u << 20;
 };
 
 /// Per-shard operation counters (volatile; reset by ResetStats()).
@@ -83,6 +93,9 @@ struct KvShardStats {
   std::uint64_t read_latch_acquires = 0; ///< shared-mode latch acquisitions
   std::uint64_t starvation_fallbacks = 0;  ///< reads that skipped the
                                            ///< optimistic path (guard hit)
+  std::uint64_t scan_optimistic_hits = 0;  ///< per-shard sub-scans served
+                                           ///< latch-free (range layout)
+  std::uint64_t scan_optimistic_retries = 0;  ///< sub-scan seqlock conflicts
 };
 
 /// One write in an ApplyBatch group commit: a put or a delete, plus the
@@ -98,7 +111,9 @@ struct KvWriteOp {
 };
 
 /// An embedded key-value store mapping non-zero 64-bit keys to byte-string
-/// values. Keys are hashed across N shards; each shard pairs a recoverable
+/// values. Keys map onto N shards through a pluggable Partitioner — hashed
+/// (default) or range-partitioned (KvConfig::shard_layout); each shard
+/// pairs a recoverable
 /// B+-tree primary index (ordered, drives Scan) with a recoverable hash
 /// table secondary index (O(1), drives Get), both updated atomically in ONE
 /// REWIND transaction on the shard's own log partition — multi-structure
@@ -119,14 +134,18 @@ struct KvWriteOp {
 ///      before re-evening the counter, and freed buffers stay mapped (a
 ///      racy probe reads garbage, never faults, and is always discarded).
 ///   2. On conflict (or when KvConfig::optimistic_reads is off) Get — and
-///      always Scan — take the shard latch in *shared* mode: readers run
-///      concurrently with each other and exclude only writers.
+///      scans' per-shard sub-walks — take the shard latch in *shared*
+///      mode: readers run concurrently with each other and exclude only
+///      writers. (Range-layout scans first try an optimistic
+///      seqlock-validated leaf snapshot per shard, the scan analogue of
+///      path 1; see Scan.)
 ///   3. Writers (Put/Delete/MultiPut/ApplyBatch) take their shards'
 ///      latches *exclusive* and bump the seqlock around the mutation.
-/// Scan / MultiPut / ApplyBatch / CrashAndRecover latch all involved
-/// shards in ascending shard order (shard-ordered acquisition, so they
-/// cannot deadlock against each other; shared and exclusive acquisitions
-/// of the same ordered set cannot either).
+/// Hash-layout Scan / MultiPut / ApplyBatch / CrashAndRecover latch all
+/// involved shards in ascending shard order (shard-ordered acquisition, so
+/// they cannot deadlock against each other; shared and exclusive
+/// acquisitions of the same ordered set cannot either). Range-layout scans
+/// latch at most ONE shard at a time, so they order trivially.
 ///
 /// Valid keys are [1, 2^64-2]: 0 and ~0 are the secondary index's empty and
 /// tombstone sentinels. Operations on invalid keys return false.
@@ -161,13 +180,44 @@ class KvStore {
   /// transaction). Returns presence.
   bool Delete(std::uint64_t key);
 
-  /// Snapshot-consistent ordered scan: visits up to `max_items` live
-  /// (key, value) pairs with key >= from_key in ascending key order,
-  /// stopping early when `fn` returns false. All shards are latched in
-  /// shard order for the duration, so the callback sees one consistent
-  /// cut across the whole store. The string_view is only valid during the
-  /// callback. Returns the number of pairs visited.
+  /// Ordered scan: visits up to `max_items` live (key, value) pairs with
+  /// key >= from_key in ascending key order, stopping early when `fn`
+  /// returns false. The string_view is only valid during the callback.
+  /// Returns the number of pairs visited (a pair whose callback returned
+  /// false still counts — it was delivered).
+  ///
+  /// Consistency depends on the layout:
+  ///  - kHash: every shard is latched (shared, ascending order) at the
+  ///    start and items come off a bounded k-way merge of per-shard
+  ///    cursors; a shard's latch is dropped as soon as its cursor
+  ///    exhausts. The callback sees ONE consistent cut across the whole
+  ///    store (a cross-shard MultiPut is all-new or all-old).
+  ///  - kRange: shards are visited one at a time in key order — never
+  ///    more than one latch held, no merge buffer — and short sub-scans
+  ///    go through an optimistic seqlock-validated leaf snapshot that
+  ///    skips even the shared latch. Each shard's segment is internally
+  ///    consistent (PER-SHARD cut), but a write landing between shard
+  ///    visits can appear mid-scan; a cross-shard group can be observed
+  ///    partially applied across segment boundaries.
   std::size_t Scan(
+      std::uint64_t from_key, std::size_t max_items,
+      const std::function<bool(std::uint64_t, std::string_view)>& fn);
+
+  /// Outcome of one ScanPage call.
+  struct ScanPageResult {
+    std::size_t visited = 0;  ///< pairs delivered to `fn`
+    /// Key to resume from when `more`: the first pair past max_items, or
+    /// the pair whose callback returned false (a resume RE-delivers it —
+    /// the callback declining an item means it did not consume it).
+    std::uint64_t next_key = 0;
+    bool more = false;  ///< pairs (possibly) remain at/after next_key
+  };
+
+  /// The incremental core Scan is built on: same ordering/consistency/
+  /// counting contract, but reports where to resume — the primitive behind
+  /// the server's chunked SCAN_STREAM and the buffered scan's truncation
+  /// trailer.
+  ScanPageResult ScanPage(
       std::uint64_t from_key, std::size_t max_items,
       const std::function<bool(std::uint64_t, std::string_view)>& fn);
 
@@ -211,8 +261,14 @@ class KvStore {
 
   std::size_t shards() const { return shards_.size(); }
   std::size_t ShardOf(std::uint64_t key) const {
-    return HashKey(key) % shards_.size();
+    // Devirtualized hash fast path: ShardOf sits on the latch-free Get
+    // path, where an indirect call is measurable at millions of ops/s.
+    if (config_.shard_layout == ShardLayout::kHash) {
+      return HashKey(key) % shards_.size();
+    }
+    return partitioner_->ShardOf(key);
   }
+  const Partitioner& partitioner() const { return *partitioner_; }
 
   /// Total live keys across all shards.
   std::uint64_t Size();
@@ -272,16 +328,21 @@ class KvStore {
 
  private:
   /// Persistent shard directory, reachable from the heap catalog's
-  /// "kv_dir" root: how many shards the store was created with and, per
-  /// shard, the anchors of its primary and secondary index. The log
-  /// partition mapping is positional (shard i == Runtime partition i,
-  /// coordinator last), recorded by the Runtime's own "tm<i>" roots.
+  /// "kv_dir" root: how many shards the store was created with, the shard
+  /// layout, and, per shard, the anchors of its primary and secondary
+  /// index plus (range layout) the lower bound of the key range it owns —
+  /// so a re-attached store reconstructs the exact creation-time
+  /// partitioning. The log partition mapping is positional (shard i ==
+  /// Runtime partition i, coordinator last), recorded by the Runtime's own
+  /// "tm<i>" roots.
   struct ShardDirEntry {
     std::uint64_t primary;    // BTree header
     std::uint64_t secondary;  // PHash anchor
+    std::uint64_t range_lo;   // smallest owned key (0 under hash layout)
   };
   struct ShardDir {
     std::uint64_t shard_count;
+    std::uint64_t layout;  // ShardLayout, as persisted word
     ShardDirEntry entries[];  // flexible array member
   };
 
@@ -292,7 +353,7 @@ class KvStore {
   /// latch-free Get fast path bumps a thread-private cacheline instead of
   /// a shard-shared one — with 8+ reader threads the shared stats line was
   /// the hottest contended line left on the read path (PR 5 follow-up).
-  /// The five counters fit one 64-byte line per stripe.
+  /// The eight counters exactly fill one 64-byte line per stripe.
   struct alignas(64) ReadStripe {
     std::atomic<std::uint64_t> gets{0};
     std::atomic<std::uint64_t> hits{0};
@@ -300,6 +361,8 @@ class KvStore {
     std::atomic<std::uint64_t> optimistic_retries{0};
     std::atomic<std::uint64_t> read_latch_acquires{0};
     std::atomic<std::uint64_t> starvation_fallbacks{0};
+    std::atomic<std::uint64_t> scan_optimistic_hits{0};
+    std::atomic<std::uint64_t> scan_optimistic_retries{0};
   };
 
   /// Per-shard counters. Write-side counters stay single relaxed atomics
@@ -352,6 +415,26 @@ class KvStore {
   bool TryOptimisticGet(Shard& s, std::uint64_t key, std::string* value_out,
                         bool* found) const;
 
+  /// Range-layout page: shards visited in key order, at most one latched.
+  ScanPageResult ScanPageRange(
+      std::uint64_t from_key, std::size_t max_items,
+      const std::function<bool(std::uint64_t, std::string_view)>& fn);
+  /// Hash-layout page: all-shard shared latch + bounded k-way cursor merge
+  /// (global consistent cut; exhausted shards' latches drop early).
+  ScanPageResult ScanPageHash(
+      std::uint64_t from_key, std::size_t max_items,
+      const std::function<bool(std::uint64_t, std::string_view)>& fn);
+
+  /// One latch-free sub-scan attempt on shard `s` (range layout): leaf
+  /// snapshot with relaxed loads, value copies, then seqlock validation.
+  /// On success `*out` holds up to max_items validated pairs and
+  /// *shard_more says whether the shard has further keys. Returns false on
+  /// a seqlock conflict or an aborted walk (caller retries or latches).
+  bool TryOptimisticSubScan(
+      Shard& s, std::uint64_t from_key, std::size_t max_items,
+      std::vector<std::pair<std::uint64_t, std::string>>* out,
+      bool* shard_more, std::uint64_t* shard_next) const;
+
   static bool ValidKey(std::uint64_t key) {
     return key != 0 && key != ~std::uint64_t{0};
   }
@@ -387,6 +470,7 @@ class KvStore {
   void PublishRepl(const std::vector<KvWriteOp>& ops);
 
   KvConfig config_;
+  std::unique_ptr<Partitioner> partitioner_;
   std::unique_ptr<Runtime> runtime_;
   /// Shared fan-out workers (declared before store_txn_: StoreTxn borrows
   /// the pool, so it must be destroyed after it).

@@ -1,0 +1,108 @@
+// Shard-partitioning policies for RewindKV: how a key picks its shard.
+#ifndef REWIND_KV_PARTITIONER_H_
+#define REWIND_KV_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/hash.h"
+
+namespace rwd {
+
+/// Shard layout of a RewindKV store. The choice is recorded in the
+/// persistent shard directory at creation and enforced on re-attach.
+enum class ShardLayout : std::uint64_t {
+  /// Keys scatter via Mix64(key) % shards: adjacent keys spread across
+  /// shards (write balance), so an ordered scan must merge all shards.
+  kHash = 0,
+  /// Each shard owns one contiguous key range: an ordered scan visits
+  /// shards one at a time in key order, never latching more than one.
+  kRange = 1,
+};
+
+/// Pluggable key -> shard policy. Implementations are immutable after
+/// construction and safe to call from any thread.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::size_t ShardOf(std::uint64_t key) const = 0;
+  /// True when shard order equals key order (every key in shard i sorts
+  /// before every key in shard i+1) — the property range scans exploit.
+  virtual bool ordered() const = 0;
+  /// Smallest key shard `shard` owns (range layout; 0 under hash, where
+  /// ownership is not contiguous).
+  virtual std::uint64_t LowerBound(std::size_t shard) const = 0;
+  virtual ShardLayout layout() const = 0;
+  virtual std::size_t shards() const = 0;
+};
+
+/// The seed-era layout: Mix64 scatter. Balanced under any key pattern,
+/// order-free.
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(std::size_t shards) : shards_(shards) {}
+  std::size_t ShardOf(std::uint64_t key) const override {
+    return Mix64(key) % shards_;
+  }
+  bool ordered() const override { return false; }
+  std::uint64_t LowerBound(std::size_t) const override { return 0; }
+  ShardLayout layout() const override { return ShardLayout::kHash; }
+  std::size_t shards() const override { return shards_; }
+
+ private:
+  std::size_t shards_;
+};
+
+/// Range layout: shard i owns [lower_bounds[i], lower_bounds[i+1]), the
+/// last shard extending to the top of the valid key space. Bounds are
+/// fixed at store creation (an even split of [1, range_max_key]) and
+/// persisted per shard in the NVM shard directory, so a re-attached store
+/// reconstructs the exact same ownership regardless of the attaching
+/// config. Keys above the creation-time ceiling all land in the last
+/// shard — legal, merely unbalanced.
+class RangePartitioner final : public Partitioner {
+ public:
+  /// `lower_bounds` must be non-empty and ascending with
+  /// lower_bounds[0] == 1 (the smallest valid key).
+  explicit RangePartitioner(std::vector<std::uint64_t> lower_bounds)
+      : lower_bounds_(std::move(lower_bounds)) {}
+
+  /// Even split of the valid keys [1, range_max_key] across `shards`.
+  static std::unique_ptr<RangePartitioner> EvenSplit(
+      std::size_t shards, std::uint64_t range_max_key) {
+    if (range_max_key < shards) range_max_key = shards;
+    std::vector<std::uint64_t> lo(shards);
+    std::uint64_t width = range_max_key / shards;
+    for (std::size_t i = 0; i < shards; ++i) lo[i] = 1 + i * width;
+    return std::make_unique<RangePartitioner>(std::move(lo));
+  }
+
+  std::size_t ShardOf(std::uint64_t key) const override {
+    // Last bound <= key; keys below lower_bounds[0] clamp to shard 0.
+    std::size_t lo = 0, hi = lower_bounds_.size();
+    while (hi - lo > 1) {
+      std::size_t mid = lo + (hi - lo) / 2;
+      if (lower_bounds_[mid] <= key) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  bool ordered() const override { return true; }
+  std::uint64_t LowerBound(std::size_t shard) const override {
+    return lower_bounds_[shard];
+  }
+  ShardLayout layout() const override { return ShardLayout::kRange; }
+  std::size_t shards() const override { return lower_bounds_.size(); }
+
+ private:
+  std::vector<std::uint64_t> lower_bounds_;
+};
+
+}  // namespace rwd
+
+#endif  // REWIND_KV_PARTITIONER_H_

@@ -56,6 +56,7 @@ void KvClient::Close() {
   recv_.clear();
   recv_off_ = 0;
   pending_ = 0;
+  stream_open_ = false;
 }
 
 void KvClient::QueueGet(std::uint64_t key) {
@@ -142,7 +143,7 @@ bool KvClient::FillTo(std::size_t need) {
   return true;
 }
 
-bool KvClient::ReadReply(Reply* out) {
+bool KvClient::ReadFrame(Reply* out) {
   if (fd_ < 0) return false;
   if (!FillTo(4)) return false;
   std::uint32_t len = ReadU32(recv_.data() + recv_off_);
@@ -159,6 +160,11 @@ bool KvClient::ReadReply(Reply* out) {
     recv_.clear();
     recv_off_ = 0;
   }
+  return true;
+}
+
+bool KvClient::ReadReply(Reply* out) {
+  if (!ReadFrame(out)) return false;
   if (pending_ > 0) --pending_;
   return true;
 }
@@ -217,12 +223,58 @@ bool KvClient::Delete(std::uint64_t key, std::uint64_t* gtid_out) {
 
 bool KvClient::Scan(
     std::uint64_t from_key, std::uint32_t max_items,
-    std::vector<std::pair<std::uint64_t, std::string>>* out) {
+    std::vector<std::pair<std::uint64_t, std::string>>* out,
+    bool* truncated, std::uint64_t* next_key) {
   if (pending_ != 0) return false;
   QueueScan(from_key, max_items);
   Reply r;
   if (!RoundTrip(&r) || r.status != Status::kOk) return false;
-  return DecodeScanPayload(r.payload, out);
+  return DecodeScanPayload(r.payload, out, truncated, next_key);
+}
+
+bool KvClient::ScanStreamBegin(std::uint64_t from_key,
+                               std::uint32_t max_items) {
+  if (pending_ != 0 || stream_open_ || fd_ < 0) return false;
+  EncodeScanStream(&send_, from_key, max_items);
+  ++pending_;  // the stream counts as one outstanding request
+  if (!Flush()) {
+    pending_ = 0;
+    return false;
+  }
+  stream_open_ = true;
+  return true;
+}
+
+bool KvClient::ScanStreamNext(
+    std::vector<std::pair<std::uint64_t, std::string>>* out, bool* done) {
+  if (!stream_open_) return false;
+  Reply r;
+  ScanChunk chunk;
+  if (!ReadFrame(&r) || r.status != Status::kOk ||
+      !DecodeScanChunkPayload(r.payload, &chunk)) {
+    // A broken stream is unrecoverable mid-flight: later frames could be
+    // chunks or some other reply, so drop the connection cleanly.
+    Close();
+    return false;
+  }
+  for (auto& item : chunk.items) out->push_back(std::move(item));
+  if (done != nullptr) *done = !chunk.more;
+  if (!chunk.more) {
+    stream_open_ = false;
+    if (pending_ > 0) --pending_;
+  }
+  return true;
+}
+
+bool KvClient::ScanStream(
+    std::uint64_t from_key, std::uint32_t max_items,
+    std::vector<std::pair<std::uint64_t, std::string>>* out) {
+  if (!ScanStreamBegin(from_key, max_items)) return false;
+  bool done = false;
+  while (!done) {
+    if (!ScanStreamNext(out, &done)) return false;
+  }
+  return true;
 }
 
 bool KvClient::MultiPut(

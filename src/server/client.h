@@ -68,9 +68,29 @@ class KvClient {
               std::string* value_out);
   bool Delete(std::uint64_t key, std::uint64_t* gtid_out = nullptr);
   /// Returns items via `out`; false on error (out left partial on parse
-  /// failure). An empty result is success.
+  /// failure). An empty result is success. `truncated` (optional) reports
+  /// whether the server cut the result short of the request — byte cap or
+  /// server item cap — with `next_key` the key a follow-up scan resumes
+  /// from; pre-trailer servers simply report false/0.
   bool Scan(std::uint64_t from_key, std::uint32_t max_items,
-            std::vector<std::pair<std::uint64_t, std::string>>* out);
+            std::vector<std::pair<std::uint64_t, std::string>>* out,
+            bool* truncated = nullptr, std::uint64_t* next_key = nullptr);
+
+  // --- streaming scans (SCAN_STREAM): pull chunks as the server emits
+  // them, so a result set larger than the buffered-reply byte cap arrives
+  // whole without truncation ---
+  /// Sends a SCAN_STREAM request (requires pending() == 0). While the
+  /// stream is open only ScanStreamNext may touch the connection.
+  bool ScanStreamBegin(std::uint64_t from_key, std::uint32_t max_items);
+  /// Reads one chunk, appending its items to `out` (never cleared) and
+  /// setting *done on the final chunk. False on socket/protocol error —
+  /// the connection is closed (a half-consumed stream is unrecoverable).
+  bool ScanStreamNext(std::vector<std::pair<std::uint64_t, std::string>>* out,
+                      bool* done);
+  /// Convenience: streams the whole result set into `out`.
+  bool ScanStream(std::uint64_t from_key, std::uint32_t max_items,
+                  std::vector<std::pair<std::uint64_t, std::string>>* out);
+  bool stream_open() const { return stream_open_; }
   bool MultiPut(
       const std::vector<std::pair<std::uint64_t, std::string>>& kvs,
       std::uint64_t* gtid_out = nullptr);
@@ -88,6 +108,9 @@ class KvClient {
   bool SendAll(const char* data, std::size_t size);
   /// Ensures `recv_` holds at least `need` unconsumed bytes.
   bool FillTo(std::size_t need);
+  /// Reads one frame off the wire without touching pending_ (a streamed
+  /// reply is many frames for one request).
+  bool ReadFrame(Reply* out);
   /// Runs one queued request to completion and returns its reply.
   bool RoundTrip(Reply* reply);
 
@@ -96,6 +119,7 @@ class KvClient {
   std::string recv_;
   std::size_t recv_off_ = 0;
   std::size_t pending_ = 0;
+  bool stream_open_ = false;
 };
 
 }  // namespace serve

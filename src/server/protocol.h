@@ -12,6 +12,20 @@
 //   PUT   key:u64 value-bytes          -> OK   (acked after group commit)
 //   DEL   key:u64                      -> OK | NOT_FOUND (after commit)
 //   SCAN  from:u64 max:u32             -> OK n:u32 n*(key:u64 len:u32 bytes)
+//                                         [truncated:u8 next:u64]
+//                                         (trailer present since PR 9: set
+//                                         when the server cut the result
+//                                         short — byte cap or server item
+//                                         cap — with `next` the key to
+//                                         resume from; old replies simply
+//                                         omit the 9 bytes)
+//   SCAN_STREAM from:u64 max:u32       -> a SEQUENCE of OK chunk frames:
+//                                         [flags:u8][next:u64][n:u32]
+//                                         n*(key:u64 len:u32 bytes);
+//                                         flags bit0 = more chunks follow.
+//                                         The stream ends with the first
+//                                         chunk whose bit0 is clear. `next`
+//                                         resumes a broken stream.
 //   MPUT  n:u32 n*(key:u64 len:u32 bytes) -> OK (cross-shard atomic batch)
 //   STATS (empty)                      -> OK 18*u64 + 2*shards*u64
 //                                         (see StatsReply; the trailing
@@ -80,6 +94,16 @@ enum class Op : std::uint8_t {
   /// [lag_batches:u64][staleness_ms:u64]) — one entry per subscribed
   /// follower. On a node with no ReplicationLog: last_gtid 0, n 0.
   kReplStatus = 14,
+  /// Streaming scan: same request payload as kScan ([from:u64][max:u32]),
+  /// but the server answers with a SEQUENCE of kOk chunk frames written
+  /// onto the wire as shards produce them — the reply is never buffered
+  /// whole, so a scan larger than kMaxScanReplyBytes completes without
+  /// truncation. Chunk payload:
+  ///   [flags:u8][next_key:u64][n:u32] n*(key:u64 len:u32 bytes)
+  /// flags bit0 (more) set = further chunks follow; the chunk with bit0
+  /// clear ends the stream. `next_key` is where a resumed SCAN_STREAM
+  /// would continue (meaningful while `more` is set).
+  kScanStream = 15,
 };
 
 enum class Status : std::uint8_t {
@@ -132,6 +156,11 @@ struct StatsReply {
   // --- STATS2-only (PR 8): parallel write pipeline ---
   std::uint64_t parallel_applies = 0;   ///< batches applied with shard fan-out
   std::uint64_t presumed_commits = 0;   ///< 2PC commits that skipped the erase
+  // --- STATS2-only (PR 9): streaming scans / range layout ---
+  std::uint64_t scan_chunks = 0;        ///< SCAN_STREAM chunks sent
+  std::uint64_t scan_stream_bytes = 0;  ///< SCAN_STREAM item bytes sent
+  std::uint64_t scan_optimistic_hits = 0;     ///< latch-free sub-scans
+  std::uint64_t scan_optimistic_retries = 0;  ///< sub-scan seqlock conflicts
 };
 constexpr std::size_t kStatsWords = 18;
 
@@ -148,6 +177,13 @@ struct ReplSubStatus {
 struct ReplStatusReply {
   std::uint64_t last_gtid = 0;  ///< leader's last published gtid
   std::vector<ReplSubStatus> subs;
+};
+
+/// One decoded SCAN_STREAM chunk.
+struct ScanChunk {
+  bool more = false;           ///< further chunks follow on this stream
+  std::uint64_t next_key = 0;  ///< resume point (meaningful while `more`)
+  std::vector<std::pair<std::uint64_t, std::string>> items;
 };
 
 /// One STATS2 (name, type, value) triple. `type` mirrors
@@ -240,6 +276,15 @@ inline void EncodeScan(std::string* out, std::uint64_t from_key,
   EndFrame(out, at);
 }
 
+inline void EncodeScanStream(std::string* out, std::uint64_t from_key,
+                             std::uint32_t max_items) {
+  std::size_t at =
+      BeginFrame(out, static_cast<std::uint8_t>(Op::kScanStream));
+  AppendU64(out, from_key);
+  AppendU32(out, max_items);
+  EndFrame(out, at);
+}
+
 inline void EncodeMput(
     std::string* out,
     const std::vector<std::pair<std::uint64_t, std::string>>& kvs) {
@@ -310,10 +355,20 @@ inline void AppendMetricSample(std::string* out, const MetricSample& m) {
 
 // --- payload decoders shared by client and tests ---
 
-/// Parses a SCAN response payload into (key, value) pairs.
+/// Parses a SCAN response payload into (key, value) pairs. Since PR 9 the
+/// reply may carry a 9-byte [truncated:u8][next_key:u64] trailer after the
+/// items — set when the server cut the result short of the client's ask
+/// (reply-byte cap, server-side item cap); `next_key` is where a follow-up
+/// scan resumes. Pre-trailer replies (and in-bound results, which omit it)
+/// decode identically: `truncated`/`next_key` (optional) then report
+/// false/0. Exactly 0 or 9 trailing bytes are accepted — anything else is
+/// a framing error.
 inline bool DecodeScanPayload(
     std::string_view payload,
-    std::vector<std::pair<std::uint64_t, std::string>>* out) {
+    std::vector<std::pair<std::uint64_t, std::string>>* out,
+    bool* truncated = nullptr, std::uint64_t* next_key = nullptr) {
+  if (truncated != nullptr) *truncated = false;
+  if (next_key != nullptr) *next_key = 0;
   if (payload.size() < 4) return false;
   std::uint32_t n = ReadU32(payload.data());
   std::size_t off = 4;
@@ -324,6 +379,34 @@ inline bool DecodeScanPayload(
     off += 12;
     if (payload.size() - off < vlen) return false;
     out->emplace_back(key, std::string(payload.substr(off, vlen)));
+    off += vlen;
+  }
+  std::size_t rem = payload.size() - off;
+  if (rem == 0) return true;
+  if (rem != 9) return false;
+  if (truncated != nullptr) {
+    *truncated = payload[off] != 0;
+  }
+  if (next_key != nullptr) *next_key = ReadU64(payload.data() + off + 1);
+  return true;
+}
+
+/// Parses one SCAN_STREAM chunk payload.
+inline bool DecodeScanChunkPayload(std::string_view payload,
+                                   ScanChunk* out) {
+  if (payload.size() < 13) return false;
+  out->more = (static_cast<std::uint8_t>(payload[0]) & 1) != 0;
+  out->next_key = ReadU64(payload.data() + 1);
+  std::uint32_t n = ReadU32(payload.data() + 9);
+  std::size_t off = 13;
+  out->items.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (payload.size() - off < 12) return false;
+    std::uint64_t key = ReadU64(payload.data() + off);
+    std::uint32_t vlen = ReadU32(payload.data() + off + 8);
+    off += 12;
+    if (payload.size() - off < vlen) return false;
+    out->items.emplace_back(key, std::string(payload.substr(off, vlen)));
     off += vlen;
   }
   return off == payload.size();

@@ -36,6 +36,12 @@ struct ServerMetrics {
   obs::Registry& reg = obs::Registry::Get();
   obs::Histogram* op_get = reg.GetHistogram("server.op.get");
   obs::Histogram* op_scan = reg.GetHistogram("server.op.scan");
+  /// SCAN_STREAM: request arrival to the first chunk hitting the out
+  /// buffer (what a streaming consumer waits for), and to the final chunk.
+  obs::Histogram* op_scan_stream_first =
+      reg.GetHistogram("server.op.scan_stream.first_chunk");
+  obs::Histogram* op_scan_stream =
+      reg.GetHistogram("server.op.scan_stream");
 };
 
 ServerMetrics& SrvMetrics() {
@@ -86,6 +92,10 @@ void AppendStats2Payload(const StatsReply& stats, repl::ReplicationLog* rlog,
   counter("txn.decision_log_truncations", stats.decision_log_truncations);
   counter("kv.parallel_applies", stats.parallel_applies);
   counter("txn.presumed_commits", stats.presumed_commits);
+  counter("server.scan_chunks", stats.scan_chunks);
+  counter("server.scan_stream_bytes", stats.scan_stream_bytes);
+  counter("kv.scan_optimistic_hits", stats.scan_optimistic_hits);
+  counter("kv.scan_optimistic_retries", stats.scan_optimistic_retries);
   if (rlog != nullptr) {
     // Per-follower health: one sample triple per subscriber per column,
     // named by the follower so dashboards need no extra protocol op.
@@ -137,6 +147,14 @@ struct KvServer::Conn {
   /// flushing it.
   bool repl_detach = false;
   std::uint64_t repl_start = 0;  ///< the follower's applied gtid
+  // --- SCAN_STREAM state (one stream at a time per connection; later
+  // requests queue behind it, preserving reply order) ---
+  bool stream_active = false;
+  std::uint64_t stream_next = 0;       ///< first key of the next chunk
+  std::uint64_t stream_remaining = 0;  ///< items still owed to the client
+  std::uint64_t stream_t0 = 0;         ///< request arrival (ns, if timed)
+  bool stream_timed = false;
+  bool stream_first_sent = false;
 };
 
 struct KvServer::Worker {
@@ -291,7 +309,15 @@ void KvServer::WorkerLoop(std::uint32_t idx) {
         Conn& c = *it->second;
         bool ok = (events[i].events & (EPOLLERR | EPOLLHUP)) == 0;
         if (ok && (events[i].events & EPOLLIN)) ok = HandleReadable(w, c);
-        if (ok && (events[i].events & EPOLLOUT)) ok = TryFlush(w, c);
+        if (ok && (events[i].events & EPOLLOUT)) {
+          ok = TryFlush(w, c);
+          // A drained out buffer hands control back to an active scan
+          // stream: produce the next chunks, then flush what they added.
+          if (ok && c.stream_active) {
+            Drive(w, c);
+            ok = TryFlush(w, c);
+          }
+        }
         if (!ok) CloseConn(w, c);
       }
     }
@@ -442,7 +468,8 @@ bool KvServer::ParseFrames(Conn& c) {
         }
         break;
       case Op::kScan:
-        req.op = Op::kScan;
+      case Op::kScanStream:
+        req.op = static_cast<Op>(static_cast<std::uint8_t>(*p));
         if (body != 12) {
           req.bad = true;
         } else {
@@ -519,7 +546,16 @@ bool KvServer::ParseFrames(Conn& c) {
 }
 
 void KvServer::Drive(Worker& w, Conn& c) {
-  while (!c.reqs.empty()) {
+  for (;;) {
+    // An active stream owns the reply channel: its chunks go out before
+    // any later request's reply (reply order == request order). The pump
+    // parks on the out-buffer cap; EPOLLOUT drains and re-enters here.
+    if (c.stream_active) {
+      PumpScanStream(w, c);
+      if (c.stream_active) return;
+      continue;
+    }
+    if (c.reqs.empty()) return;
     Request& req = c.reqs.front();
     // Every response — including errors and reads — waits behind the
     // connection's unacked writes, so replies keep request order and a
@@ -582,32 +618,53 @@ void KvServer::Drive(Worker& w, Conn& c) {
             std::min(req.max_items, config_.max_scan_items);
         std::string items;
         std::uint32_t count = 0;
-        store_->Scan(req.key, max_items,
-                     [&](std::uint64_t key, std::string_view value) {
-                       // Byte budget: the whole frame must stay under
-                       // kMaxFrameBytes or the client (rightly) drops the
-                       // connection; large-value scans truncate instead.
-                       if (items.size() + 12 + value.size() >
-                           kMaxScanReplyBytes) {
-                         return false;
-                       }
-                       AppendU64(&items, key);
-                       AppendU32(&items,
-                                 static_cast<std::uint32_t>(value.size()));
-                       items.append(value);
-                       ++count;
-                       return true;
-                     });
+        bool byte_capped = false;
+        KvStore::ScanPageResult page = store_->ScanPage(
+            req.key, max_items,
+            [&](std::uint64_t key, std::string_view value) {
+              // Byte budget: the whole frame must stay under
+              // kMaxFrameBytes or the client (rightly) drops the
+              // connection; large-value scans truncate instead.
+              if (items.size() + 12 + value.size() > kMaxScanReplyBytes) {
+                byte_capped = true;
+                return false;
+              }
+              AppendU64(&items, key);
+              AppendU32(&items, static_cast<std::uint32_t>(value.size()));
+              items.append(value);
+              ++count;
+              return true;
+            });
+        // Truncated = the client got fewer items than it asked for while
+        // the store had more: the byte cap fired mid-result, or the
+        // server-side item cap undercut the request. next_key (which
+        // ScanPage points at the first undelivered item) lets the client
+        // resume instead of silently believing the scan was complete.
+        bool truncated =
+            byte_capped || (page.more && req.max_items > max_items);
         std::size_t at =
             BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
         AppendU32(&c.out, count);
         c.out.append(items);
+        c.out.push_back(truncated ? 1 : 0);
+        AppendU64(&c.out, truncated ? page.next_key : 0);
         EndFrame(&c.out, at);
         if (timed) {
           std::uint64_t dur = obs::NowNs() - t0;
           SrvMetrics().op_scan->Record(dur);
           obs::SlowOpLog("SCAN", req.key, dur, config_.slow_op_threshold_us);
         }
+      } else if (req.op == Op::kScanStream) {
+        // Arm the stream and let the loop head pump it: chunks are
+        // produced straight into the out buffer, so nothing is buffered
+        // beyond the backpressure cap and no byte-cap truncation exists.
+        scans_.fetch_add(1, std::memory_order_relaxed);
+        c.stream_active = true;
+        c.stream_next = req.key;
+        c.stream_remaining = req.max_items;
+        c.stream_timed = obs::RecordingEnabled();
+        c.stream_t0 = c.stream_timed ? obs::NowNs() : 0;
+        c.stream_first_sent = false;
       } else if (req.op == Op::kPromote) {
         // Idempotent: the first promote flips the role and runs the hook
         // (the host stops its follower agent there); repeats just ack.
@@ -728,6 +785,76 @@ void KvServer::Drive(Worker& w, Conn& c) {
   }
 }
 
+void KvServer::PumpScanStream(Worker& w, Conn& c) {
+  while (c.stream_active) {
+    if (c.out.size() - c.out_off >= config_.max_conn_out_bytes) {
+      // Parked on backpressure. UpdateInterest keeps EPOLLOUT subscribed
+      // for an active stream, so the drain re-enters Drive -> here even
+      // though want_write may already be false after a full flush.
+      UpdateInterest(w, c);
+      return;
+    }
+    std::uint64_t item_budget =
+        std::min<std::uint64_t>(c.stream_remaining, config_.max_scan_items);
+    std::size_t at =
+        BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
+    std::size_t flags_at = c.out.size();
+    c.out.push_back(0);    // flags — patched below
+    AppendU64(&c.out, 0);  // next_key — patched below
+    std::size_t n_at = c.out.size();
+    AppendU32(&c.out, 0);  // n — patched below
+    std::size_t body_start = c.out.size();
+    std::uint32_t appended = 0;
+    KvStore::ScanPageResult page{0, 0, false};
+    if (item_budget > 0) {
+      page = store_->ScanPage(
+          c.stream_next, item_budget,
+          [&](std::uint64_t key, std::string_view value) {
+            // Per-chunk byte budget; the first item always fits, so a
+            // value wider than the chunk target stretches its chunk
+            // instead of wedging the stream.
+            if (appended > 0 && c.out.size() - body_start + 12 +
+                                        value.size() >
+                                    config_.scan_chunk_bytes) {
+              return false;
+            }
+            AppendU64(&c.out, key);
+            AppendU32(&c.out, static_cast<std::uint32_t>(value.size()));
+            c.out.append(value);
+            ++appended;
+            return true;
+          });
+    }
+    // page.visited counts the budget-rejected item too (next_key points
+    // at it for re-delivery), so the stream's item budget shrinks by the
+    // chunk's own appended count, never by `visited`.
+    c.stream_remaining -= appended;
+    bool more = page.more && c.stream_remaining > 0;
+    c.out[flags_at] = static_cast<char>(more ? 1 : 0);
+    std::memcpy(&c.out[flags_at + 1], &page.next_key, 8);
+    std::memcpy(&c.out[n_at], &appended, 4);
+    EndFrame(&c.out, at);
+    c.stream_next = page.next_key;
+    scan_chunks_.fetch_add(1, std::memory_order_relaxed);
+    scan_stream_bytes_.fetch_add(c.out.size() - body_start,
+                                 std::memory_order_relaxed);
+    if (c.stream_timed && !c.stream_first_sent) {
+      SrvMetrics().op_scan_stream_first->Record(obs::NowNs() -
+                                                c.stream_t0);
+    }
+    c.stream_first_sent = true;
+    if (!more) {
+      c.stream_active = false;
+      if (c.stream_timed) {
+        std::uint64_t dur = obs::NowNs() - c.stream_t0;
+        SrvMetrics().op_scan_stream->Record(dur);
+        obs::SlowOpLog("SCAN_STREAM", c.stream_next, dur,
+                       config_.slow_op_threshold_us);
+      }
+    }
+  }
+}
+
 bool KvServer::TryFlush(Worker& w, Conn& c) {
   while (c.out_off < c.out.size()) {
     ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
@@ -759,8 +886,12 @@ void KvServer::UpdateInterest(Worker& w, Conn& c) {
   // EPOLLIN once the connection is under its caps again.
   bool paused = c.out.size() - c.out_off >= config_.max_conn_out_bytes ||
                 c.unacked >= config_.max_unacked_writes;
+  // An active scan stream holds EPOLLOUT even when the out buffer is
+  // fully flushed (want_write false): writability is what re-enters the
+  // pump to produce the next chunks.
   std::uint32_t want =
-      (paused ? 0u : EPOLLIN) | (c.want_write ? EPOLLOUT : 0u);
+      (paused ? 0u : EPOLLIN) |
+      ((c.want_write || c.stream_active) ? EPOLLOUT : 0u);
   if (want == c.interest) return;
   epoll_event ev{};
   ev.events = want;
@@ -811,6 +942,9 @@ StatsReply KvServer::StatsSnapshot() {
   }
   r.gets = gets_.load(std::memory_order_relaxed);
   r.scans = scans_.load(std::memory_order_relaxed);
+  r.scan_chunks = scan_chunks_.load(std::memory_order_relaxed);
+  r.scan_stream_bytes =
+      scan_stream_bytes_.load(std::memory_order_relaxed);
   r.connections = connections_.load(std::memory_order_relaxed);
   r.shards = store_->shards();
   r.prepared_txns = store_->prepared_txns();
@@ -829,6 +963,8 @@ StatsReply KvServer::StatsSnapshot() {
     r.optimistic_retries += shard.optimistic_retries;
     r.read_latch_acquires += shard.read_latch_acquires;
     r.starvation_fallbacks += shard.starvation_fallbacks;
+    r.scan_optimistic_hits += shard.scan_optimistic_hits;
+    r.scan_optimistic_retries += shard.scan_optimistic_retries;
     r.shard_log_bytes.push_back(store_->ShardLogBytes(s));
     r.shard_read_latches.push_back(shard.read_latch_acquires);
   }

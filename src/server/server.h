@@ -48,8 +48,15 @@ struct ServerConfig {
   /// drain rate.
   bool adaptive_batch_window = false;
   std::uint32_t batch_window_cap_us = 500;
-  /// Server-side cap on one SCAN's item count.
+  /// Server-side cap on one SCAN's item count. Buffered SCAN replies are
+  /// additionally capped at kMaxScanReplyBytes and report truncation via
+  /// the reply trailer; SCAN_STREAM has no byte cap (it chunks).
   std::uint32_t max_scan_items = kMaxScanItems;
+  /// Target payload bytes per SCAN_STREAM chunk: the granularity at which
+  /// a streamed scan yields the shard latch and the wire. A chunk always
+  /// carries at least one item, so oversized values stretch a chunk rather
+  /// than wedge the stream.
+  std::uint32_t scan_chunk_bytes = 256u << 10;
   // --- backpressure caps (overload protection, not request limits) ---
   /// Batcher queue cap: at this many pending write ops the batcher stops
   /// coalescing (commits immediately) until the queue drains.
@@ -128,6 +135,11 @@ class KvServer {
   /// batcher) honouring the read-after-write barrier. Stops early when a
   /// response must wait behind unacked writes.
   void Drive(Worker& w, Conn& c);
+  /// Produces SCAN_STREAM chunks for a connection's active stream until
+  /// the stream completes or the out buffer reaches its backpressure cap;
+  /// cooperates with epoll (EPOLLOUT re-enters Drive, which re-enters
+  /// here) so one giant scan never wedges a worker or buffers unboundedly.
+  void PumpScanStream(Worker& w, Conn& c);
   /// Flushes the out buffer; false = close.
   bool TryFlush(Worker& w, Conn& c);
   /// Recomputes the connection's epoll interest: EPOLLOUT while the out
@@ -155,6 +167,8 @@ class KvServer {
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> gets_{0};
   std::atomic<std::uint64_t> scans_{0};
+  std::atomic<std::uint64_t> scan_chunks_{0};        ///< stream chunks sent
+  std::atomic<std::uint64_t> scan_stream_bytes_{0};  ///< stream item bytes
 
   // --- replication ---
   std::atomic<bool> read_only_{false};

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/nvm/atomic_mem.h"
+
 namespace rwd {
 
 namespace {
@@ -273,6 +275,75 @@ std::uint64_t BTree::ScanRange(
     leaf = reinterpret_cast<Node*>(ops->Load(&leaf->next));
   }
   return visited;
+}
+
+void BTree::Cursor::Settle(StorageOps* ops) {
+  while (node_ != nullptr) {
+    std::uint64_t cnt = ops->Load(&node_->count);
+    if (idx_ < cnt) {
+      key_ = ops->Load(&node_->keys[idx_]);
+      payload_ = reinterpret_cast<const void*>(ops->Load(&node_->ptrs[idx_]));
+      return;
+    }
+    node_ = reinterpret_cast<Node*>(ops->Load(&node_->next));
+    idx_ = 0;
+  }
+  payload_ = nullptr;
+}
+
+void BTree::Cursor::Next(StorageOps* ops) {
+  ++idx_;
+  Settle(ops);
+}
+
+BTree::Cursor BTree::Seek(StorageOps* ops, std::uint64_t from_key) const {
+  Cursor c;
+  c.node_ = FindLeaf(ops, from_key);
+  // Skip keys below from_key within the landing leaf (stale separators can
+  // route the descent one leaf early; Settle's chain hop covers the rest).
+  std::uint64_t cnt = ops->Load(&c.node_->count);
+  while (c.idx_ < cnt && ops->Load(&c.node_->keys[c.idx_]) < from_key) {
+    ++c.idx_;
+  }
+  c.Settle(ops);
+  return c;
+}
+
+bool BTree::SnapshotRangeRelaxed(
+    std::uint64_t from_key, std::uint64_t max_items,
+    std::vector<std::pair<std::uint64_t, const std::uint64_t*>>* out) const {
+  // Everything below reads racily-mutable words with RelaxedLoad64 and
+  // trusts nothing: bounds on descent depth and leaf hops, a sanity cap on
+  // counts. The caller's seqlock validation is the only correctness check.
+  auto* root =
+      reinterpret_cast<Node*>(RelaxedLoad64(&header_->root));
+  Node* n = root;
+  for (int depth = 0; n != nullptr && RelaxedLoad64(&n->is_leaf) == 0;
+       ++depth) {
+    if (depth > 64) return false;  // torn pointers formed a cycle
+    std::uint64_t cnt = RelaxedLoad64(&n->count);
+    if (cnt > kFanout) return false;
+    std::uint64_t idx = 0;
+    while (idx < cnt && from_key >= RelaxedLoad64(&n->keys[idx])) ++idx;
+    n = reinterpret_cast<Node*>(RelaxedLoad64(&n->ptrs[idx]));
+  }
+  // Hop budget: a stable tree with half-full leaves needs ~max_items/16
+  // hops; anything far beyond that is a racy cycle, not data.
+  std::uint64_t hops = 8 + max_items / 4;
+  while (n != nullptr && out->size() < max_items) {
+    if (hops-- == 0) return false;
+    std::uint64_t cnt = RelaxedLoad64(&n->count);
+    if (cnt > kFanout) return false;
+    for (std::uint64_t i = 0; i < cnt && out->size() < max_items; ++i) {
+      std::uint64_t k = RelaxedLoad64(&n->keys[i]);
+      if (k < from_key) continue;
+      out->emplace_back(
+          k, reinterpret_cast<const std::uint64_t*>(
+                 RelaxedLoad64(&n->ptrs[i])));
+    }
+    n = reinterpret_cast<Node*>(RelaxedLoad64(&n->next));
+  }
+  return true;
 }
 
 bool BTree::CheckInvariants(StorageOps* ops) const {

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "src/structures/storage_ops.h"
 
@@ -25,6 +27,8 @@ namespace rwd {
 /// common production simplification and keeps the logged write sequences
 /// (shifts, splits, unlinks) representative of the paper's workload.
 class BTree {
+  struct Node;  // private; forward-declared for Cursor below
+
  public:
   /// 32-byte records, as in the paper's B+-tree experiments.
   static constexpr std::size_t kPayloadWords = 4;
@@ -85,6 +89,51 @@ class BTree {
       StorageOps* ops, std::uint64_t from_key, std::uint64_t to_key,
       std::uint64_t limit,
       const std::function<bool(std::uint64_t, const void*)>& fn) const;
+
+  /// An incremental position in the leaf chain: the pull-based counterpart
+  /// of ScanRange, built for k-way merges across trees (RewindKV's
+  /// hash-layout scan pulls the minimum head among per-shard cursors, one
+  /// item at a time, instead of materializing every shard's prefix).
+  /// Valid only while the caller excludes writers of this tree (shared
+  /// latch at the RewindKV layer); Seek/Next go through `ops` like every
+  /// other read.
+  class Cursor {
+   public:
+    Cursor() = default;
+    bool Valid() const { return node_ != nullptr; }
+    std::uint64_t key() const { return key_; }
+    /// The 32-byte payload block of the current key.
+    const void* payload() const { return payload_; }
+    /// Advances to the next key in order; Valid() goes false at the end.
+    void Next(StorageOps* ops);
+
+   private:
+    friend class BTree;
+    /// Loads (key, payload) at node_/idx_, hopping exhausted leaves.
+    void Settle(StorageOps* ops);
+    Node* node_ = nullptr;
+    std::uint64_t idx_ = 0;
+    std::uint64_t key_ = 0;
+    const void* payload_ = nullptr;
+  };
+
+  /// Positions a cursor at the first key >= from_key (invalid when none).
+  Cursor Seek(StorageOps* ops, std::uint64_t from_key) const;
+
+  /// Latch-free bounded snapshot of the leaf range starting at `from_key`:
+  /// descends and walks the chain with RELAXED word loads — no logging, no
+  /// transaction manager, safe to race writers — collecting up to
+  /// `max_items` (key, payload_block) pairs into `*out`. The caller MUST
+  /// validate a seqlock (or equivalent) afterwards and discard the result
+  /// on conflict: under a race the snapshot can be torn in every way
+  /// (stale keys, recycled pointers, garbage counts). Depth and leaf hops
+  /// are bounded so a torn `next` pointer cannot cycle forever. Returns
+  /// false when the walk aborted on an insane node or exhausted its hop
+  /// budget — the caller falls back to the latched path (a false return
+  /// with a clean seqlock can only mean the budget, not corruption).
+  bool SnapshotRangeRelaxed(
+      std::uint64_t from_key, std::uint64_t max_items,
+      std::vector<std::pair<std::uint64_t, const std::uint64_t*>>* out) const;
 
   std::uint64_t size(StorageOps* ops) const {
     return ops->Load(&header_->size);

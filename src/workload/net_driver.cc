@@ -29,6 +29,7 @@ struct Inflight {
   std::uint64_t key;  // kMput: first key of the contiguous range
   Clock::time_point sent_at;
   std::uint32_t count = 1;  // kMput: keys in the range
+                            // kScan: items still owed to this scan op
 };
 
 }  // namespace
@@ -85,6 +86,8 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
   }
   std::mt19937_64 rng(seed_ ^ (0x9E3779B97F4A7C15ull * (thread_idx + 1)));
   std::size_t depth = net_.pipeline_depth == 0 ? 1 : net_.pipeline_depth;
+  std::size_t scan_len_cap = spec_.max_scan_len == 0 ? 1 : spec_.max_scan_len;
+  ZipfianChooser scan_len_zipf(scan_len_cap);  // YCSB E scan lengths
   std::deque<Inflight> inflight;
   if (spec_.collect_latencies) result->latencies_us.reserve(ops);
 
@@ -109,13 +112,34 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
         ++result->inserts;
         chooser_.PublishInserted(sent.key);
         break;
-      case Inflight::Kind::kScan:
+      case Inflight::Kind::kScan: {
         if (!ok) return;
-        ++result->scans;
-        if (reply.payload.size() >= 4) {
-          result->scanned_items += serve::ReadU32(reply.payload.data());
+        // Decode the items a real consumer would materialize, and finish
+        // what the server cut short: a truncated reply (byte cap or
+        // server item cap) carries a continuation key, so the driver
+        // re-issues the remainder — a scan op completes only when its
+        // full result set arrived, same contract as streamed mode.
+        std::vector<std::pair<std::uint64_t, std::string>> items;
+        bool truncated = false;
+        std::uint64_t next_key = 0;
+        if (!serve::DecodeScanPayload(reply.payload, &items, &truncated,
+                                      &next_key)) {
+          return;
         }
+        result->scanned_items += items.size();
+        std::uint32_t remaining =
+            sent.count > items.size()
+                ? sent.count - static_cast<std::uint32_t>(items.size())
+                : 0;
+        if (truncated && remaining > 0) {
+          client.QueueScan(next_key, remaining);
+          inflight.push_back(
+              {Inflight::Kind::kScan, 0, sent.sent_at, remaining});
+          return;  // the op (and its latency sample) ends with the tail
+        }
+        ++result->scans;
         break;
+      }
       case Inflight::Kind::kRmwGet:
         return;  // the write half carries the op count and the sample
       case Inflight::Kind::kRmwPut:
@@ -170,9 +194,44 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
       case KvOp::kScan: {
         std::uint64_t from = chooser_.Choose(rng);
         std::uint32_t len = static_cast<std::uint32_t>(
-            1 + rng() % (spec_.max_scan_len == 0 ? 1 : spec_.max_scan_len));
+            spec_.scan_len_zipfian ? 1 + scan_len_zipf.Next(rng)
+                                   : 1 + rng() % scan_len_cap);
+        if (net_.stream_scans) {
+          // SCAN_STREAM owns the reply channel: drain the pipeline, then
+          // pull chunks synchronously. Latency covers begin-to-last-chunk
+          // — what a streaming consumer experiences end to end.
+          while (!inflight.empty()) {
+            if (!read_one()) {
+              *conn_ok = false;
+              return;
+            }
+          }
+          Clock::time_point t0 = Clock::now();
+          if (!client.ScanStreamBegin(from, len)) {
+            *conn_ok = false;
+            return;
+          }
+          bool done = false;
+          std::vector<std::pair<std::uint64_t, std::string>> items;
+          while (!done) {
+            if (!client.ScanStreamNext(&items, &done)) {
+              *conn_ok = false;
+              return;
+            }
+            result->scanned_items += items.size();
+            items.clear();
+          }
+          ++result->scans;
+          if (spec_.collect_latencies) {
+            result->latencies_us.push_back(static_cast<std::uint32_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - t0)
+                    .count()));
+          }
+          break;
+        }
         client.QueueScan(from, len);
-        inflight.push_back({Inflight::Kind::kScan, 0, now});
+        inflight.push_back({Inflight::Kind::kScan, 0, now, len});
         break;
       }
       case KvOp::kReadModifyWrite: {

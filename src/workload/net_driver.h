@@ -27,6 +27,11 @@ struct NetDriverSpec {
   /// with kNotLeader, which the accounting simply drops. Load() always
   /// goes to the leader.
   std::uint16_t follower_port = 0;
+  /// Execute scans via SCAN_STREAM instead of buffered SCAN. A stream
+  /// owns the connection's reply channel, so the driver drains its
+  /// pipeline first and runs the scan synchronously — the trade YCSB E
+  /// makes for untruncated, backpressured results.
+  bool stream_scans = false;
 };
 
 /// Drives a remote KvStore with a WorkloadSpec over TCP. Latency samples

@@ -106,6 +106,7 @@ WorkloadSpec WorkloadSpec::Preset(char workload) {
       s.update_prop = 0.0;
       s.scan_prop = 0.95;
       s.insert_prop = 0.05;
+      s.scan_len_zipfian = true;
       break;
     case 'f':
       s.read_prop = 0.5;
@@ -191,6 +192,14 @@ void WorkloadDriver::RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
                                    const std::atomic<bool>* stop,
                                    WorkloadResult* result) {
   std::mt19937_64 rng(seed_ ^ (0x9E3779B97F4A7C15ull * (thread_idx + 1)));
+  // Scan-length distribution: YCSB E draws zipfian lengths (mostly short,
+  // heavy tail to max_scan_len); other mixes keep the uniform draw.
+  std::size_t scan_len_cap = spec_.max_scan_len == 0 ? 1 : spec_.max_scan_len;
+  ZipfianChooser scan_len_zipf(scan_len_cap);
+  auto next_scan_len = [&](std::mt19937_64& r) {
+    return spec_.scan_len_zipfian ? 1 + scan_len_zipf.Next(r)
+                                  : 1 + r() % scan_len_cap;
+  };
   if (spec_.collect_latencies && stop == nullptr) {
     result->latencies_us.reserve(ops);
   }
@@ -232,9 +241,7 @@ void WorkloadDriver::RunThreadBody(std::size_t thread_idx, std::uint64_t ops,
       }
       case KvOp::kScan: {
         std::uint64_t from = chooser_.Choose(rng);
-        std::size_t len = 1 + rng() % (spec_.max_scan_len == 0
-                                           ? 1
-                                           : spec_.max_scan_len);
+        std::size_t len = next_scan_len(rng);
         result->scanned_items += store_->Scan(
             from, len, [](std::uint64_t, std::string_view) { return true; });
         ++result->scans;

@@ -98,6 +98,10 @@ struct WorkloadSpec {
   double duration_seconds = 0;
   std::size_t value_size = 100;        ///< bytes per value
   std::size_t max_scan_len = 100;      ///< scan length ~ U[1, max]
+  /// Zipfian scan lengths (YCSB E's ScrambledZipfian length generator):
+  /// mostly short scans with a heavy tail up to max_scan_len, instead of
+  /// the uniform draw. Set by Preset('e').
+  bool scan_len_zipfian = false;
   std::size_t threads = 1;
   std::size_t load_batch = 64;  ///< keys per MultiPut during Load()
 

@@ -1,0 +1,774 @@
+// PR 9 scan tests: range-partitioned shard layout (persisted ownership,
+// ordered per-shard cursor scans, optimistic sub-scans), ScanPage
+// truncation/resume semantics on both layouts, concurrent scan torture,
+// a crash sweep with a scanner in flight, and the SCAN_STREAM protocol
+// (chunked streaming, buffered-scan truncation trailer, kill-mid-stream
+// on both ends).
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kv/kv_store.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+constexpr std::uint64_t kSalt = 0x5Ec10C0E5A17ull;
+
+/// Checksummed 40-byte value (see kv_concurrency_test.cc): any torn or
+/// recycled read fails the checksum recomputation.
+std::string TortureValue(std::uint64_t key, std::uint64_t version) {
+  std::uint64_t words[5];
+  words[0] = key;
+  words[1] = version;
+  words[2] = key ^ version ^ kSalt;
+  words[3] = key * 0x9E3779B97F4A7C15ull + version;
+  words[4] = words[2] ^ words[3];
+  std::string out(sizeof(words), '\0');
+  std::memcpy(&out[0], words, sizeof(words));
+  return out;
+}
+
+std::uint64_t CheckTortureValue(std::uint64_t key, const std::string& value) {
+  if (value.size() != 40) {
+    ADD_FAILURE() << "key " << key << ": torn value size " << value.size();
+    return ~std::uint64_t{0};
+  }
+  std::uint64_t words[5];
+  std::memcpy(words, value.data(), sizeof(words));
+  EXPECT_EQ(words[0], key) << "value belongs to another key";
+  EXPECT_EQ(words[2], words[0] ^ words[1] ^ kSalt)
+      << "key " << key << ": torn checksum word 2";
+  EXPECT_EQ(words[3], words[0] * 0x9E3779B97F4A7C15ull + words[1])
+      << "key " << key << ": torn checksum word 3";
+  EXPECT_EQ(words[4], words[2] ^ words[3])
+      << "key " << key << ": torn checksum word 4";
+  return words[1];
+}
+
+KvConfig LayoutConfig(ShardLayout layout, std::size_t shards = 4,
+                      std::uint64_t range_max = 400,
+                      std::size_t heap_mb = 64) {
+  KvConfig cfg;
+  cfg.rewind.nvm = TestNvmConfig(heap_mb);
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 32;
+  cfg.rewind.batch_group_size = 4;
+  cfg.shards = shards;
+  cfg.shard_layout = layout;
+  cfg.range_max_key = range_max;
+  return cfg;
+}
+
+std::string Val(std::uint64_t key) {
+  return "v-" + std::to_string(key) + "-" + std::string(13, 'x');
+}
+
+// --- range layout: ordering, ownership, paging --------------------------
+
+TEST(ScanRange, OrderedCompleteAndResumable) {
+  KvStore store(LayoutConfig(ShardLayout::kRange, 4, 400));
+  // Insert out of order so ordering comes from the structures, not luck.
+  for (std::uint64_t k = 300; k >= 1; --k) ASSERT_TRUE(store.Put(k, Val(k)));
+
+  // One full scan: every key, ascending, correct values.
+  std::uint64_t expect = 1;
+  std::size_t n = store.Scan(1, 100000,
+                             [&](std::uint64_t k, std::string_view v) {
+                               EXPECT_EQ(k, expect);
+                               EXPECT_EQ(v, Val(k));
+                               ++expect;
+                               return true;
+                             });
+  EXPECT_EQ(n, 300u);
+
+  // Page through with ScanPage: completeness and ordering across resume
+  // points, including pages that straddle shard boundaries.
+  std::vector<std::uint64_t> keys;
+  std::uint64_t from = 1;
+  for (;;) {
+    KvStore::ScanPageResult page =
+        store.ScanPage(from, 37, [&](std::uint64_t k, std::string_view) {
+          keys.push_back(k);
+          return true;
+        });
+    if (!page.more) break;
+    from = page.next_key;
+  }
+  ASSERT_EQ(keys.size(), 300u);
+  for (std::uint64_t k = 1; k <= 300; ++k) EXPECT_EQ(keys[k - 1], k);
+}
+
+TEST(ScanRange, ShardOwnershipIsContiguousAndOrdered) {
+  KvStore store(LayoutConfig(ShardLayout::kRange, 4, 400));
+  // Shard index is non-decreasing in key order, uses every shard, and
+  // keys past the creation ceiling land in the last shard.
+  std::size_t prev = 0;
+  std::set<std::size_t> used;
+  for (std::uint64_t k = 1; k <= 400; ++k) {
+    std::size_t s = store.ShardOf(k);
+    EXPECT_GE(s, prev) << "key " << k;
+    prev = s;
+    used.insert(s);
+  }
+  EXPECT_EQ(used.size(), 4u);
+  EXPECT_EQ(store.ShardOf(401), 3u);
+  EXPECT_EQ(store.ShardOf(~std::uint64_t{0} - 1), 3u);
+  EXPECT_TRUE(store.partitioner().ordered());
+}
+
+class ScanPageSemantics : public ::testing::TestWithParam<ShardLayout> {};
+
+TEST_P(ScanPageSemantics, TruncationAndCallbackStop) {
+  KvStore store(LayoutConfig(GetParam(), 4, 400));
+  for (std::uint64_t k = 1; k <= 200; ++k) ASSERT_TRUE(store.Put(k, Val(k)));
+
+  // max_items stop: 50 delivered, next_key names the 51st.
+  std::size_t delivered = 0;
+  KvStore::ScanPageResult page = store.ScanPage(
+      1, 50, [&](std::uint64_t, std::string_view) {
+        ++delivered;
+        return true;
+      });
+  EXPECT_EQ(delivered, 50u);
+  EXPECT_EQ(page.visited, 50u);
+  EXPECT_TRUE(page.more);
+  EXPECT_EQ(page.next_key, 51u);
+
+  // Callback-false stop: the rejected pair counts as visited and a resume
+  // from next_key RE-delivers it.
+  page = store.ScanPage(1, 100, [&](std::uint64_t k, std::string_view) {
+    return k < 5;
+  });
+  EXPECT_EQ(page.visited, 5u);
+  EXPECT_TRUE(page.more);
+  EXPECT_EQ(page.next_key, 5u);
+  bool saw_5_again = false;
+  store.ScanPage(page.next_key, 1, [&](std::uint64_t k, std::string_view) {
+    saw_5_again = (k == 5);
+    return true;
+  });
+  EXPECT_TRUE(saw_5_again);
+
+  // Full drain reports no more.
+  page = store.ScanPage(1, 100000,
+                        [](std::uint64_t, std::string_view) { return true; });
+  EXPECT_EQ(page.visited, 200u);
+  EXPECT_FALSE(page.more);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, ScanPageSemantics,
+                         ::testing::Values(ShardLayout::kHash,
+                                           ShardLayout::kRange),
+                         [](const ::testing::TestParamInfo<ShardLayout>& i) {
+                           return i.param == ShardLayout::kRange ? "range"
+                                                                 : "hash";
+                         });
+
+// --- persistence: range bounds survive restart, layout is enforced ------
+
+TEST(ScanRange, BoundsSurviveRestartAndLayoutMismatchIsRejected) {
+  std::string heap = ::testing::TempDir() + "scan_range_" +
+                     std::to_string(::getpid()) + ".heap";
+  std::remove(heap.c_str());
+  KvConfig create_cfg = LayoutConfig(ShardLayout::kRange, 3, 64, 16);
+  create_cfg.rewind.nvm.heap_file = heap;
+  std::vector<std::size_t> owner(101);
+  {
+    KvStore store(create_cfg);
+    for (std::uint64_t k = 1; k <= 100; ++k) {
+      ASSERT_TRUE(store.Put(k, Val(k)));
+      owner[k] = store.ShardOf(k);
+    }
+    // Keys above the creation ceiling (64) all sit in the last shard.
+    EXPECT_EQ(owner[100], 2u);
+  }
+  {
+    // Re-attach with a WILDLY different range_max_key: the persisted
+    // bounds must win, or keys silently change owner and vanish.
+    KvConfig attach_cfg = LayoutConfig(ShardLayout::kRange, 3, 1u << 20, 16);
+    attach_cfg.rewind.nvm.heap_file = heap;
+    std::unique_ptr<KvStore> store = KvStore::Open(heap, attach_cfg);
+    EXPECT_EQ(store->Size(), 100u);
+    std::string value;
+    for (std::uint64_t k = 1; k <= 100; ++k) {
+      EXPECT_EQ(store->ShardOf(k), owner[k]) << "key " << k;
+      ASSERT_TRUE(store->Get(k, &value)) << "key " << k;
+      EXPECT_EQ(value, Val(k));
+    }
+    // Ordered full scan still complete after re-attach.
+    std::uint64_t seen = 0;
+    store->Scan(1, 100000, [&](std::uint64_t k, std::string_view) {
+      EXPECT_EQ(k, seen + 1);
+      ++seen;
+      return true;
+    });
+    EXPECT_EQ(seen, 100u);
+  }
+  {
+    // A hash-config attach against a range-created heap must refuse
+    // loudly, not scatter the key space.
+    KvConfig wrong = LayoutConfig(ShardLayout::kHash, 3, 64, 16);
+    wrong.rewind.nvm.heap_file = heap;
+    EXPECT_THROW(KvStore::Open(heap, wrong), HeapAttachError);
+  }
+  std::remove(heap.c_str());
+
+  // And the mirror image: hash-created heap, range-config attach.
+  std::string heap2 = ::testing::TempDir() + "scan_hash_" +
+                      std::to_string(::getpid()) + ".heap";
+  std::remove(heap2.c_str());
+  KvConfig hash_cfg = LayoutConfig(ShardLayout::kHash, 3, 64, 16);
+  hash_cfg.rewind.nvm.heap_file = heap2;
+  {
+    KvStore store(hash_cfg);
+    ASSERT_TRUE(store.Put(1, Val(1)));
+  }
+  KvConfig range_cfg = LayoutConfig(ShardLayout::kRange, 3, 64, 16);
+  range_cfg.rewind.nvm.heap_file = heap2;
+  EXPECT_THROW(KvStore::Open(heap2, range_cfg), HeapAttachError);
+  std::remove(heap2.c_str());
+}
+
+// --- concurrency: scan torture on both layouts --------------------------
+
+// Hash layout: the all-shard shared-latch merge gives one GLOBAL cut, so
+// a scan must never observe a cross-shard MultiPut group at mixed
+// versions.
+TEST(ScanConcurrency, HashScansNeverSeeTornCrossShardGroups) {
+  KvConfig config = LayoutConfig(ShardLayout::kHash, 4);
+  config.rewind.nvm.mode = NvmMode::kFast;
+  KvStore store(config);
+  std::vector<std::uint64_t> group = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::set<std::size_t> spanned;
+  for (std::uint64_t k : group) spanned.insert(store.ShardOf(k));
+  ASSERT_GE(spanned.size(), 3u);
+  auto batch = [&](std::uint64_t version) {
+    std::vector<std::pair<std::uint64_t, std::string>> b;
+    for (std::uint64_t k : group) b.emplace_back(k, TortureValue(k, version));
+    return b;
+  };
+  ASSERT_TRUE(store.MultiPut(batch(0)));
+
+  const std::uint64_t writes_each = kTsan ? 120 : 500;
+  std::atomic<std::uint64_t> next_version{1};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < writes_each; ++i) {
+        store.MultiPut(batch(next_version.fetch_add(1)));
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        std::map<std::uint64_t, std::uint64_t> seen;
+        store.Scan(1, 64, [&](std::uint64_t k, std::string_view v) {
+          seen[k] = CheckTortureValue(k, std::string(v));
+          return true;
+        });
+        ASSERT_EQ(seen.size(), group.size());
+        std::uint64_t version = seen.begin()->second;
+        for (auto& [k, ver] : seen) {
+          ASSERT_EQ(ver, version)
+              << "hash-layout scan observed a MIXED group at key " << k;
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) threads[t].join();
+  done.store(true, std::memory_order_relaxed);
+  for (std::size_t t = 2; t < threads.size(); ++t) threads[t].join();
+}
+
+// Range layout: the cut is PER SHARD, so the invariant a scan may rely on
+// is shard-local: a group confined to one shard is all-or-one-version.
+// The optimistic (latch-free, seqlock-validated) sub-scan path must both
+// engage and never leak a torn cut.
+TEST(ScanConcurrency, RangeScansSeeShardConsistentGroups) {
+  KvConfig config = LayoutConfig(ShardLayout::kRange, 4, 400);
+  config.rewind.nvm.mode = NvmMode::kFast;
+  KvStore store(config);
+  // Shard s owns [1+100s, 100(s+1)]: one 6-key group per shard, fully
+  // shard-confined.
+  std::vector<std::vector<std::uint64_t>> groups(4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::uint64_t j = 0; j < 6; ++j) {
+      std::uint64_t k = 100 * s + 1 + j;
+      ASSERT_EQ(store.ShardOf(k), s);
+      groups[s].push_back(k);
+    }
+  }
+  auto batch = [&](std::size_t s, std::uint64_t version) {
+    std::vector<std::pair<std::uint64_t, std::string>> b;
+    for (std::uint64_t k : groups[s]) {
+      b.emplace_back(k, TortureValue(k, version));
+    }
+    return b;
+  };
+  for (std::size_t s = 0; s < 4; ++s) ASSERT_TRUE(store.MultiPut(batch(s, 0)));
+
+  const std::uint64_t writes_each = kTsan ? 150 : 800;
+  std::atomic<std::uint64_t> next_version{1};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(100 + t);
+      for (std::uint64_t i = 0; i < writes_each; ++i) {
+        store.MultiPut(batch(rng() % 4, next_version.fetch_add(1)));
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(200 + t);
+      while (!done.load(std::memory_order_relaxed)) {
+        std::size_t s = rng() % 4;
+        // Short scan over one shard's group: remaining <= the optimistic
+        // sub-scan ceiling, so this exercises the latch-free path.
+        std::map<std::uint64_t, std::uint64_t> seen;
+        store.Scan(100 * s + 1, 6,
+                   [&](std::uint64_t k, std::string_view v) {
+                     seen[k] = CheckTortureValue(k, std::string(v));
+                     return true;
+                   });
+        ASSERT_EQ(seen.size(), 6u);
+        std::uint64_t version = seen.begin()->second;
+        for (auto& [k, ver] : seen) {
+          ASSERT_EQ(ver, version)
+              << "range-layout scan tore shard " << s << "'s group at key "
+              << k << " (per-shard cut broke)";
+        }
+      }
+    });
+  }
+  // Plus one full-range scanner: cross-shard uniformity is NOT promised
+  // (per-shard cut), but every pair must still be internally consistent.
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      store.Scan(1, 400, [](std::uint64_t k, std::string_view v) {
+        CheckTortureValue(k, std::string(v));
+        return true;
+      });
+    }
+  });
+  for (int t = 0; t < 2; ++t) threads[t].join();
+  done.store(true, std::memory_order_relaxed);
+  for (std::size_t t = 2; t < threads.size(); ++t) threads[t].join();
+
+  std::uint64_t opt_hits = 0;
+  for (std::size_t s = 0; s < store.shards(); ++s) {
+    opt_hits += store.shard_stats(s).scan_optimistic_hits;
+  }
+  EXPECT_GT(opt_hits, 0u) << "optimistic sub-scan path never engaged";
+}
+
+// --- crash sweep with a scanner in flight -------------------------------
+
+TEST(ScanCrash, RangeLayoutSweepWithScannerRidingAlong) {
+  KvConfig config = LayoutConfig(ShardLayout::kRange, 4, 400, 16);
+  config.rewind.bucket_capacity = 16;
+  KvStore store(config);
+  NvmManager& nvm = store.runtime().nvm();
+
+  // One cross-shard group per writer, confined to its own shard pair
+  // (same post-crash-commit reasoning as the kv_concurrency sweep).
+  std::vector<std::vector<std::uint64_t>> groups = {
+      {1, 2, 3, 101, 102, 103},        // shards 0+1
+      {201, 202, 203, 301, 302, 303},  // shards 2+3
+  };
+  for (std::uint64_t k : groups[0]) ASSERT_LE(store.ShardOf(k), 1u);
+  for (std::uint64_t k : groups[1]) ASSERT_GE(store.ShardOf(k), 2u);
+
+  auto check_groups = [&](std::uint64_t at) {
+    for (std::size_t w = 0; w < groups.size(); ++w) {
+      std::string value;
+      std::size_t present = 0;
+      std::uint64_t version = 0;
+      for (std::uint64_t k : groups[w]) {
+        if (!store.Get(k, &value)) continue;
+        std::uint64_t v = CheckTortureValue(k, value);
+        if (present == 0) version = v;
+        ASSERT_EQ(v, version) << "event " << at << ": group " << w
+                              << " torn at key " << k;
+        ++present;
+      }
+      ASSERT_TRUE(present == 0 || present == groups[w].size())
+          << "event " << at << ": group " << w << " applied a prefix";
+    }
+  };
+
+  std::uint64_t crash_events = 0;
+  std::uint64_t at = 1;
+  const std::uint64_t step = kTsan ? 97 : 3;
+  for (;;) {
+    nvm.crash_injector().Arm(at);
+    std::atomic<bool> crashed{false};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < groups.size(); ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          for (std::uint64_t i = 0; i < 2; ++i) {
+            if (crashed.load(std::memory_order_relaxed)) return;
+            std::vector<std::pair<std::uint64_t, std::string>> batch;
+            for (std::uint64_t k : groups[w]) {
+              batch.emplace_back(k, TortureValue(k, at * 100 + i));
+            }
+            store.MultiPut(batch);
+          }
+        } catch (const CrashException&) {
+          crashed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    // The in-flight scanner: pages across the whole range (and through
+    // the optimistic sub-scan path) while the crash fires; it must never
+    // surface a torn pair, before or after the simulated failure.
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        store.Scan(1, 400, [](std::uint64_t k, std::string_view v) {
+          CheckTortureValue(k, std::string(v));
+          return true;
+        });
+      }
+    });
+    for (std::size_t w = 0; w < groups.size(); ++w) threads[w].join();
+    done.store(true, std::memory_order_relaxed);
+    threads.back().join();
+    nvm.crash_injector().Disarm();
+
+    if (!crashed.load()) break;
+    ++crash_events;
+    nvm.SimulateCrash();
+    store.CrashAndRecover();
+    check_groups(at);
+    for (std::size_t p = 0; p < store.runtime().partitions(); ++p) {
+      ASSERT_EQ(store.runtime().tm(p).LogSize(), 0u)
+          << "partition " << p << " dirty after recovery at event " << at;
+    }
+    at += step;
+  }
+  EXPECT_GT(crash_events, kTsan ? 3u : 20u);
+  check_groups(at);
+}
+
+// --- server: SCAN_STREAM and the buffered-scan trailer ------------------
+
+serve::ServerConfig StreamServerConfig(std::uint32_t chunk_bytes) {
+  serve::ServerConfig sc;
+  sc.port = 0;
+  sc.workers = 2;
+  sc.batch_window_us = 100;
+  sc.scan_chunk_bytes = chunk_bytes;
+  return sc;
+}
+
+void LoadKeys(serve::KvClient* client, std::uint64_t count,
+              std::size_t value_size) {
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  for (std::uint64_t k = 1; k <= count; ++k) {
+    batch.emplace_back(k, std::string(value_size, 'a' + k % 26));
+    if (batch.size() == 128 || k == count) {
+      ASSERT_TRUE(client->MultiPut(batch));
+      batch.clear();
+    }
+  }
+}
+
+class StreamLayouts : public ::testing::TestWithParam<ShardLayout> {};
+
+TEST_P(StreamLayouts, StreamedScanIsChunkedOrderedAndComplete) {
+  KvStore store(LayoutConfig(GetParam(), 4, 4096));
+  // Tiny chunks force many frames for a modest result set.
+  serve::KvServer server(&store, StreamServerConfig(/*chunk_bytes=*/512));
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+  const std::uint64_t kKeys = 600;
+  LoadKeys(&client, kKeys, 40);
+
+  std::vector<std::pair<std::uint64_t, std::string>> items;
+  ASSERT_TRUE(client.ScanStreamBegin(1, 100000));
+  std::size_t chunks = 0;
+  bool done = false;
+  while (!done) {
+    ASSERT_TRUE(client.ScanStreamNext(&items, &done));
+    ++chunks;
+  }
+  EXPECT_FALSE(client.stream_open());
+  EXPECT_GT(chunks, 1u) << "result set should not fit one 512-byte chunk";
+  ASSERT_EQ(items.size(), kKeys);
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    EXPECT_EQ(items[k - 1].first, k);
+    EXPECT_EQ(items[k - 1].second, std::string(40, 'a' + k % 26));
+  }
+  // The connection is reusable after a completed stream.
+  std::string value;
+  ASSERT_TRUE(client.Get(1, &value));
+
+  // STATS v2 carries the streaming counters.
+  std::vector<serve::MetricSample> samples;
+  ASSERT_TRUE(client.Stats2(&samples));
+  std::map<std::string, double> by_name;
+  for (const serve::MetricSample& m : samples) by_name[m.name] = m.value;
+  EXPECT_GE(by_name["server.scan_chunks"], static_cast<double>(chunks));
+  EXPECT_GT(by_name["server.scan_stream_bytes"], 0.0);
+  ASSERT_TRUE(by_name.count("server.op.scan_stream.count"));
+  ASSERT_TRUE(by_name.count("server.op.scan_stream.first_chunk.count"));
+
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLayouts, StreamLayouts,
+                         ::testing::Values(ShardLayout::kHash,
+                                           ShardLayout::kRange),
+                         [](const ::testing::TestParamInfo<ShardLayout>& i) {
+                           return i.param == ShardLayout::kRange ? "range"
+                                                                 : "hash";
+                         });
+
+TEST(ScanServer, BufferedScanReportsItemCapTruncationWithResumeKey) {
+  KvStore store(LayoutConfig(ShardLayout::kRange, 4, 8192));
+  serve::ServerConfig sc = StreamServerConfig(256 << 10);
+  sc.max_scan_items = 100;  // small server-side cap to hit cheaply
+  serve::KvServer server(&store, sc);
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+  LoadKeys(&client, 250, 16);
+
+  // Ask past the server's item cap: the reply is short AND says so.
+  std::vector<std::pair<std::uint64_t, std::string>> items;
+  bool truncated = false;
+  std::uint64_t next_key = 0;
+  ASSERT_TRUE(client.Scan(1, 250, &items, &truncated, &next_key));
+  EXPECT_EQ(items.size(), 100u);
+  EXPECT_TRUE(truncated) << "silent truncation: the client had no way to "
+                            "know 150 items are missing";
+  EXPECT_EQ(next_key, 101u);
+  // Resuming from the continuation key completes the result.
+  while (truncated) {
+    ASSERT_TRUE(client.Scan(next_key, 250, &items, &truncated, &next_key));
+  }
+  EXPECT_EQ(items.size(), 250u);
+  for (std::uint64_t k = 1; k <= 250; ++k) EXPECT_EQ(items[k - 1].first, k);
+
+  // An in-bounds scan is NOT flagged: asking for exactly 50 and getting
+  // 50 is a complete answer even though more keys exist.
+  items.clear();
+  ASSERT_TRUE(client.Scan(1, 50, &items, &truncated, &next_key));
+  EXPECT_EQ(items.size(), 50u);
+  EXPECT_FALSE(truncated);
+
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
+TEST(ScanServer, StreamedScanLargerThanBufferedByteCapCompletes) {
+  if (kTsan) GTEST_SKIP() << "12 MB value set is too slow under TSan";
+  // 3000 * 4 KiB = ~12 MB of values: past the 8 MiB buffered-reply cap.
+  KvStore store(LayoutConfig(ShardLayout::kRange, 4, 8192, 192));
+  serve::KvServer server(&store, StreamServerConfig(256 << 10));
+  ASSERT_TRUE(server.Start());
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 10000));
+  const std::uint64_t kKeys = 3000;
+  const std::size_t kValue = 4096;
+  LoadKeys(&client, kKeys, kValue);
+
+  // Buffered: hits the byte cap, reports the cut instead of lying.
+  std::vector<std::pair<std::uint64_t, std::string>> items;
+  bool truncated = false;
+  std::uint64_t next_key = 0;
+  ASSERT_TRUE(client.Scan(1, static_cast<std::uint32_t>(kKeys), &items,
+                          &truncated, &next_key));
+  EXPECT_LT(items.size(), kKeys);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(next_key, items.size() + 1);
+
+  // Streamed: the same ask completes whole.
+  items.clear();
+  ASSERT_TRUE(
+      client.ScanStream(1, static_cast<std::uint32_t>(kKeys), &items));
+  ASSERT_EQ(items.size(), kKeys);
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    EXPECT_EQ(items[k - 1].first, k);
+    ASSERT_EQ(items[k - 1].second.size(), kValue);
+  }
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
+TEST(ScanServer, ClientVanishingMidStreamLeavesServerServing) {
+  KvStore store(LayoutConfig(ShardLayout::kRange, 4, 65536));
+  serve::KvServer server(&store, StreamServerConfig(/*chunk_bytes=*/512));
+  ASSERT_TRUE(server.Start());
+  {
+    serve::KvClient loader;
+    ASSERT_TRUE(loader.Connect("127.0.0.1", server.port(), 5000));
+    LoadKeys(&loader, kTsan ? 2000 : 20000, 100);
+  }
+  {
+    // Open a long stream, read one chunk, vanish.
+    serve::KvClient victim;
+    ASSERT_TRUE(victim.Connect("127.0.0.1", server.port(), 5000));
+    ASSERT_TRUE(victim.ScanStreamBegin(1, 1000000));
+    std::vector<std::pair<std::uint64_t, std::string>> items;
+    bool done = false;
+    ASSERT_TRUE(victim.ScanStreamNext(&items, &done));
+    ASSERT_FALSE(done);
+    victim.Close();
+  }
+  // The server must shrug the dead stream off and keep serving.
+  serve::KvClient after;
+  ASSERT_TRUE(after.Connect("127.0.0.1", server.port(), 5000));
+  std::string value;
+  ASSERT_TRUE(after.Get(1, &value));
+  std::vector<std::pair<std::uint64_t, std::string>> items;
+  ASSERT_TRUE(after.ScanStream(1, 64, &items));
+  EXPECT_EQ(items.size(), 64u);
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+}
+
+TEST(ScanServer, ServerStoppingMidStreamFailsTheClientCleanly) {
+  KvStore store(LayoutConfig(ShardLayout::kRange, 4, 65536));
+  // Small out-buffer cap so a big stream is guaranteed to be parked on
+  // backpressure (still incomplete) when the server stops.
+  serve::ServerConfig sc = StreamServerConfig(/*chunk_bytes=*/4096);
+  sc.max_conn_out_bytes = 64 << 10;
+  serve::KvServer server(&store, sc);
+  ASSERT_TRUE(server.Start());
+  const std::uint64_t kKeys = kTsan ? 4000 : 20000;
+  {
+    serve::KvClient loader;
+    ASSERT_TRUE(loader.Connect("127.0.0.1", server.port(), 5000));
+    LoadKeys(&loader, kKeys, 100);
+  }
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5000));
+  ASSERT_TRUE(client.ScanStreamBegin(1, 1000000));
+  std::vector<std::pair<std::uint64_t, std::string>> items;
+  bool done = false;
+  ASSERT_TRUE(client.ScanStreamNext(&items, &done));
+  ASSERT_FALSE(done);
+  server.Stop();
+  EXPECT_FALSE(server.crashed());
+  // The client drains whatever chunks were already on the wire, then gets
+  // a clean failure — never a hang, never a "complete" lie.
+  bool failed = false;
+  for (int i = 0; i < 1000000 && !done; ++i) {
+    if (!client.ScanStreamNext(&items, &done)) {
+      failed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(failed) << "stream claimed completion after " << items.size()
+                      << " of " << kKeys << " items";
+  EXPECT_LT(items.size(), kKeys);
+  EXPECT_FALSE(client.connected());
+}
+
+// --- protocol: trailer tolerance ----------------------------------------
+
+TEST(ScanProtocol, DecodeScanPayloadAcceptsTrailerAndLegacyReplies) {
+  // Build an items blob: 2 items.
+  std::string payload;
+  serve::AppendU32(&payload, 2);
+  serve::AppendU64(&payload, 7);
+  serve::AppendU32(&payload, 3);
+  payload.append("abc");
+  serve::AppendU64(&payload, 9);
+  serve::AppendU32(&payload, 0);
+
+  // Legacy shape (no trailer): decodes, reports not-truncated.
+  std::vector<std::pair<std::uint64_t, std::string>> items;
+  bool truncated = true;
+  std::uint64_t next_key = 99;
+  ASSERT_TRUE(
+      serve::DecodeScanPayload(payload, &items, &truncated, &next_key));
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].first, 7u);
+  EXPECT_EQ(items[0].second, "abc");
+  EXPECT_EQ(items[1].first, 9u);
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(next_key, 0u);
+
+  // Trailer shape: flag and continuation key decode.
+  std::string with_trailer = payload;
+  with_trailer.push_back(1);
+  serve::AppendU64(&with_trailer, 10);
+  items.clear();
+  ASSERT_TRUE(serve::DecodeScanPayload(with_trailer, &items, &truncated,
+                                       &next_key));
+  EXPECT_EQ(items.size(), 2u);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(next_key, 10u);
+  // Old-style callers that ignore the trailer still decode fine.
+  items.clear();
+  EXPECT_TRUE(serve::DecodeScanPayload(with_trailer, &items));
+
+  // Anything between 0 and 9 trailing bytes is a framing error.
+  for (std::size_t junk = 1; junk < 9; ++junk) {
+    std::string bad = payload + std::string(junk, '\0');
+    items.clear();
+    EXPECT_FALSE(serve::DecodeScanPayload(bad, &items)) << junk << " bytes";
+  }
+}
+
+TEST(ScanProtocol, DecodeScanChunkPayloadRoundTrips) {
+  std::string payload;
+  payload.push_back(1);  // more
+  serve::AppendU64(&payload, 42);
+  serve::AppendU32(&payload, 1);
+  serve::AppendU64(&payload, 41);
+  serve::AppendU32(&payload, 2);
+  payload.append("hi");
+  serve::ScanChunk chunk;
+  ASSERT_TRUE(serve::DecodeScanChunkPayload(payload, &chunk));
+  EXPECT_TRUE(chunk.more);
+  EXPECT_EQ(chunk.next_key, 42u);
+  ASSERT_EQ(chunk.items.size(), 1u);
+  EXPECT_EQ(chunk.items[0].first, 41u);
+  EXPECT_EQ(chunk.items[0].second, "hi");
+  // Truncated or padded payloads are rejected.
+  EXPECT_FALSE(serve::DecodeScanChunkPayload(
+      std::string_view(payload).substr(0, 12), &chunk));
+  EXPECT_FALSE(serve::DecodeScanChunkPayload(payload + "x", &chunk));
+}
+
+}  // namespace
+}  // namespace rwd
