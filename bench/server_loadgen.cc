@@ -17,6 +17,11 @@
 //        threads read from the follower at --host:PORT; the run starts
 //        only after the follower's key count catches the leader's. Use
 //        with read-dominated mixes — workload c.)
+//        --failover-port=PORT --max-reconnects=N (RewindGuard failover
+//        ride-through: a dropped connection or a fenced leader makes the
+//        driver reconnect — toward the kNotLeader redirect hint, else
+//        alternating --port/--failover-port — up to N times per
+//        connection instead of failing the run)
 // REWIND_BENCH_SCALE scales --records/--ops defaults like the other
 // benches. Exits nonzero when the server is unreachable or no operation
 // completed, so smoke tests can assert on the exit code alone.
@@ -50,6 +55,11 @@ int Main(int argc, char** argv) {
   net.follower_port = static_cast<std::uint16_t>(
       FlagOr(argc, argv, "read-from-follower", 0));
   net.stream_scans = FlagOr(argc, argv, "stream-scans", 0) != 0;
+  net.failover_port = static_cast<std::uint16_t>(
+      FlagOr(argc, argv, "failover-port", 0));
+  net.max_reconnects = static_cast<std::uint32_t>(
+      FlagOr(argc, argv, "max-reconnects",
+             net.failover_port != 0 ? 8 : 0));
   bool skip_load = FlagOr(argc, argv, "skip-load", 0) != 0;
   std::string json_path = StringFlag(argc, argv, "json");
 

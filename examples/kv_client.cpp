@@ -21,6 +21,14 @@
 // --replica-of=HOST:PORT routes `get` to that replica instead of the
 // primary endpoint (reads scale out; writes keep going to --host/--port).
 //
+// Failover (RewindGuard): put/get/del ride a leader-following client —
+// a NOT_LEADER reply follows the server's redirect hint, a dead endpoint
+// rotates, each attempt bounded by --timeout-ms (connect AND read, so a
+// half-open/black-holed server can never hang the command).
+//   --timeout-ms=N   per-attempt connect/read deadline (default 10000)
+//   --retries=N      extra attempts after the first (default 2)
+//   --also=HOST:PORT a second candidate endpoint to rotate toward
+//
 // Exit status: 0 on success, 2 on NOT_FOUND, 1 on usage/connection errors.
 #include <cstdio>
 #include <cstdlib>
@@ -67,32 +75,56 @@ int main(int argc, char** argv) {
         std::strtoul(replica.c_str() + colon + 1, nullptr, 10));
   }
 
+  int timeout_ms =
+      static_cast<int>(FlagOr(argc, argv, "timeout-ms", 10000));
+  std::uint32_t retries =
+      static_cast<std::uint32_t>(FlagOr(argc, argv, "retries", 2));
+  std::string also = StringFlag(argc, argv, "also");
+
+  // put/get/del ride the leader-following FailoverClient: redirect
+  // hints, endpoint rotation, bounded timeouts per attempt.
+  if (cmd == "put" || cmd == "get" || cmd == "del") {
+    serve::FailoverClient::Config fc;
+    fc.endpoints.push_back(host + ":" + std::to_string(port));
+    if (!also.empty()) fc.endpoints.push_back(also);
+    fc.timeout_ms = timeout_ms;
+    fc.max_attempts = retries + 1;
+    fc.jitter_seed = static_cast<std::uint64_t>(port) + 1;
+    serve::FailoverClient fclient(fc);
+    if (cmd == "put" && args_left >= 2) {
+      std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
+      std::uint64_t gtid = 0;
+      if (!fclient.Put(key, argv[cmd_at + 2], &gtid)) {
+        std::fprintf(stderr, "kv_client: put failed (%s)\n",
+                     fclient.endpoint().c_str());
+        return 1;
+      }
+      // The replication gtid: feed it to `getryw` against a follower for
+      // a read guaranteed to observe this write.
+      std::printf("%lu\n", static_cast<unsigned long>(gtid));
+      return 0;
+    }
+    if (cmd == "get" && args_left >= 1) {
+      std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
+      std::string value;
+      if (!fclient.Get(key, &value)) return 2;
+      std::printf("%s\n", value.c_str());
+      return 0;
+    }
+    if (cmd == "del" && args_left >= 1) {
+      std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
+      return fclient.Delete(key) ? 0 : 2;
+    }
+    return Usage();
+  }
+
   serve::KvClient client;
-  if (!client.Connect(host, port, /*recv_timeout_ms=*/10000)) {
+  if (!client.Connect(host, port, timeout_ms, timeout_ms)) {
     std::fprintf(stderr, "kv_client: cannot connect to %s:%u\n",
                  host.c_str(), port);
     return 1;
   }
 
-  if (cmd == "put" && args_left >= 2) {
-    std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
-    std::uint64_t gtid = 0;
-    if (!client.Put(key, argv[cmd_at + 2], &gtid)) {
-      std::fprintf(stderr, "kv_client: put failed\n");
-      return 1;
-    }
-    // The replication gtid: feed it to `getryw` against a follower for a
-    // read guaranteed to observe this write.
-    std::printf("%lu\n", static_cast<unsigned long>(gtid));
-    return 0;
-  }
-  if (cmd == "get" && args_left >= 1) {
-    std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
-    std::string value;
-    if (!client.Get(key, &value)) return 2;
-    std::printf("%s\n", value.c_str());
-    return 0;
-  }
   if (cmd == "getryw" && args_left >= 2) {
     std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
     std::uint64_t gtid = std::strtoull(argv[cmd_at + 2], nullptr, 10);
@@ -132,10 +164,6 @@ int main(int argc, char** argv) {
       return 1;
     }
     return 0;
-  }
-  if (cmd == "del" && args_left >= 1) {
-    std::uint64_t key = std::strtoull(argv[cmd_at + 1], nullptr, 10);
-    return client.Delete(key) ? 0 : 2;
   }
   if (cmd == "stats") {
     serve::StatsReply s;
@@ -187,9 +215,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "kv_client: replstatus failed\n");
       return 1;
     }
-    std::printf("last_gtid=%lu subscribers=%lu\n",
-                static_cast<unsigned long>(r.last_gtid),
-                static_cast<unsigned long>(r.subs.size()));
+    if (r.has_role) {
+      std::printf("last_gtid=%lu subscribers=%lu epoch=%lu role=%s\n",
+                  static_cast<unsigned long>(r.last_gtid),
+                  static_cast<unsigned long>(r.subs.size()),
+                  static_cast<unsigned long>(r.epoch),
+                  r.leader ? "leader" : "follower");
+    } else {
+      std::printf("last_gtid=%lu subscribers=%lu\n",
+                  static_cast<unsigned long>(r.last_gtid),
+                  static_cast<unsigned long>(r.subs.size()));
+    }
     for (const serve::ReplSubStatus& s : r.subs) {
       std::printf("sub=%s acked_gtid=%lu lag_batches=%lu staleness_ms=%lu\n",
                   s.name.c_str(), static_cast<unsigned long>(s.acked_gtid),

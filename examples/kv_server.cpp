@@ -33,6 +33,17 @@
 //        --sync-repl=1  leader-side semi-synchronous mode: client write
 //        acks wait until every connected follower applied the batch.
 //        --repl-ring=N  leader-side replication ring capacity (records).
+//
+// Failover (RewindGuard):
+//        --lease-ms=N  enable the guard: the leader heartbeats its
+//        followers and self-fences after N ms without follower contact;
+//        a follower self-promotes (NO explicit PROMOTE needed) when the
+//        heartbeats stop. The fencing epoch persists in the heap file,
+//        so SIGKILL + restart cannot resurrect a stale leader.
+//        --heartbeat-ms=N  heartbeat cadence (default lease/4).
+//        --peer=HOST:PORT  the other node: the redirect hint in
+//        NOT_LEADER replies and the rejoin target after a demotion
+//        (defaults to --follower-of on a follower).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -40,12 +51,14 @@
 #include <unistd.h>
 
 #include <memory>
+#include <mutex>
 
 #include "bench/bench_util.h"
 #include "src/kv/kv_store.h"
 #include "src/obs/trace.h"
 #include "src/repl/applier.h"
 #include "src/repl/follower_agent.h"
+#include "src/repl/guard.h"
 #include "src/repl/replication_log.h"
 #include "src/server/server.h"
 
@@ -150,25 +163,62 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(FlagOr(argc, argv, "repl-ring", 4096)));
   store->SetReplicationLog(&repl_log);
 
+  // Failover: with --lease-ms the guard owns the node's fencing epoch
+  // and lease; its monitor elects / fences autonomously.
+  std::uint32_t lease_ms =
+      static_cast<std::uint32_t>(FlagOr(argc, argv, "lease-ms", 0));
+  std::string peer = StringFlag(argc, argv, "peer");
+  if (peer.empty()) peer = follower_of;
+  std::unique_ptr<repl::RewindGuard> guard;
+  if (lease_ms != 0) {
+    repl::GuardConfig gcfg;
+    gcfg.lease_ms = lease_ms;
+    gcfg.heartbeat_ms =
+        static_cast<std::uint32_t>(FlagOr(argc, argv, "heartbeat-ms", 0));
+    gcfg.start_leader = follower_of.empty();
+    gcfg.peer_addr = peer;
+    gcfg.jitter_seed = static_cast<std::uint64_t>(server_config.port) ^
+                       (static_cast<std::uint64_t>(::getpid()) << 16);
+    guard = std::make_unique<repl::RewindGuard>(store.get(), gcfg);
+    server_config.guard = guard.get();
+  }
+
   // Follower role: replay the leader's stream through our own ApplyBatch
-  // and refuse client writes until promoted.
+  // and refuse client writes until promoted. With a guard, even an
+  // initial leader needs the applier — after a fence it rejoins the new
+  // leader as a follower (forced snapshot: its never-acked divergent
+  // writes are discarded by the keep-set reconciliation).
   std::unique_ptr<repl::ReplApplier> applier;
   std::unique_ptr<repl::FollowerAgent> agent;
-  if (!follower_of.empty()) {
-    std::size_t colon = follower_of.rfind(':');
-    if (colon == std::string::npos) {
+  std::mutex agent_mu;  // guard callbacks run on the monitor thread
+  auto start_agent = [&](const std::string& addr, bool force_snapshot) {
+    std::size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || applier == nullptr) return;
+    std::lock_guard<std::mutex> lock(agent_mu);
+    if (agent) agent->Stop();
+    agent = std::make_unique<repl::FollowerAgent>(
+        applier.get(), addr.substr(0, colon),
+        static_cast<std::uint16_t>(std::stoul(addr.substr(colon + 1))),
+        guard.get(), force_snapshot);
+    agent->Start();
+  };
+  auto stop_agent = [&] {
+    std::lock_guard<std::mutex> lock(agent_mu);
+    if (agent) {
+      agent->Stop();
+      agent.reset();
+    }
+  };
+  if (!follower_of.empty() || guard) {
+    if (!follower_of.empty() && follower_of.rfind(':') == std::string::npos) {
       std::fprintf(stderr, "kv_server: --follower-of wants HOST:PORT\n");
       return 1;
     }
     applier = std::make_unique<repl::ReplApplier>(store.get());
-    agent = std::make_unique<repl::FollowerAgent>(
-        applier.get(), follower_of.substr(0, colon),
-        static_cast<std::uint16_t>(
-            std::stoul(follower_of.substr(colon + 1))));
-    server_config.read_only = true;
     server_config.applier = applier.get();
-    server_config.on_promote = [&agent] { agent->Stop(); };
+    server_config.on_promote = stop_agent;
   }
+  server_config.read_only = !follower_of.empty();
 
   serve::KvServer server(store.get(), server_config);
   if (!server.Start()) {
@@ -176,7 +226,18 @@ int main(int argc, char** argv) {
                  server_config.port);
     return 1;
   }
-  if (agent) agent->Start();
+  if (guard) {
+    // Election runs the same path as an explicit PROMOTE (epoch bump
+    // before the read_only flip); a fence flips read-only and rejoins
+    // the new leader's stream from a forced snapshot.
+    guard->on_election = [&server] { server.Promote(); };
+    guard->on_fence = [&server, &start_agent, peer] {
+      server.Demote();
+      start_agent(peer, /*force_snapshot=*/true);
+    };
+    guard->Start();
+  }
+  if (!follower_of.empty()) start_agent(follower_of, false);
   std::string window_label =
       server_config.adaptive_batch_window
           ? "auto(cap=" + std::to_string(server_config.batch_window_cap_us) +
@@ -199,6 +260,13 @@ int main(int argc, char** argv) {
                 follower_of.c_str(),
                 static_cast<unsigned long>(applier->applied_gtid()));
   }
+  if (guard) {
+    std::printf("kv_server: guard lease=%ums heartbeat=%ums epoch=%lu "
+                "peer=%s\n",
+                guard->lease_ms(), guard->heartbeat_ms(),
+                static_cast<unsigned long>(guard->epoch()),
+                peer.empty() ? "(none)" : peer.c_str());
+  }
   std::fflush(stdout);
 
   for (;;) {
@@ -218,8 +286,22 @@ int main(int argc, char** argv) {
   }
 
   std::printf("kv_server: shutting down...\n");
-  if (agent) agent->Stop();
+  // Guard first (no more role flips or rejoin agents), then the agent,
+  // then the server (whose batcher may hold a guarded semi-sync wait —
+  // Stop() halts it).
+  if (guard) guard->Stop();
+  stop_agent();
   server.Stop();
+  if (guard) {
+    std::printf("kv_server: guard epoch=%lu role=%s elections=%lu "
+                "demotions=%lu lease_renewals=%lu fenced_writes=%lu\n",
+                static_cast<unsigned long>(guard->epoch()),
+                guard->is_leader() ? "leader" : "follower",
+                static_cast<unsigned long>(guard->elections()),
+                static_cast<unsigned long>(guard->demotions()),
+                static_cast<unsigned long>(guard->lease_renewals()),
+                static_cast<unsigned long>(guard->fenced_writes()));
+  }
   std::string applied_note;
   if (applier) {
     applied_note =

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -19,9 +20,6 @@ namespace rwd {
 namespace repl {
 namespace {
 
-/// Reconnect backoff; also the cadence at which Stop() is noticed while
-/// the leader is down.
-constexpr int kBackoffMs = 200;
 /// recv timeout: bounds how long Stop() can be ignored mid-stream.
 constexpr int kRecvTimeoutMs = 200;
 
@@ -41,13 +39,30 @@ bool SendAll(int fd, const char* data, std::size_t size) {
 
 }  // namespace
 
+std::uint32_t ReconnectBackoffMs(std::uint32_t attempt, std::uint64_t seed) {
+  constexpr std::uint32_t kBase = 50;
+  constexpr std::uint32_t kCap = 2000;
+  std::uint32_t backoff =
+      attempt >= 6 ? kCap : std::min(kCap, kBase << attempt);
+  // splitmix64-style mix keyed on (seed, attempt): deterministic for a
+  // given agent yet uncorrelated across agents.
+  std::uint64_t x = seed ^ (0x9E3779B97F4A7C15ull * (attempt + 1));
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return backoff + static_cast<std::uint32_t>(x % (backoff / 2 + 1));
+}
+
 FollowerAgent::FollowerAgent(ReplApplier* applier, std::string leader_host,
-                             std::uint16_t leader_port)
+                             std::uint16_t leader_port, RewindGuard* guard,
+                             bool force_snapshot)
     : applier_(applier),
       host_(std::move(leader_host)),
       port_(leader_port),
+      guard_(guard),
+      force_snapshot_(force_snapshot),
       reconnect_counter_(
-          obs::Registry::Get().GetCounter("repl.follower.reconnects")),
+          obs::Registry::Get().GetCounter("repl.reconnects")),
       snapshot_counter_(
           obs::Registry::Get().GetCounter("repl.follower.snapshots")) {}
 
@@ -95,23 +110,40 @@ int FollowerAgent::ConnectToLeader() {
 
 void FollowerAgent::Run() {
   bool first = true;
+  std::uint32_t attempt = 0;
+  // Jitter seed: the target endpoint + this object's address — stable
+  // within a process, distinct across a restarting fleet.
+  std::uint64_t seed =
+      (static_cast<std::uint64_t>(port_) << 32) ^
+      reinterpret_cast<std::uintptr_t>(this);
   while (!stop_.load(std::memory_order_relaxed)) {
     if (!first) {
       reconnects_.fetch_add(1, std::memory_order_relaxed);
       reconnect_counter_->Add();
     }
     first = false;
-    Session();
+    bool streamed = Session();
     connected_.store(false, std::memory_order_relaxed);
     if (stop_.load(std::memory_order_relaxed)) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(kBackoffMs));
+    // A session that actually subscribed resets the backoff: the link
+    // was healthy until just now, so retry promptly and only back off
+    // again if the leader stays unreachable.
+    if (streamed) attempt = 0;
+    std::uint32_t delay = ReconnectBackoffMs(attempt++, seed);
+    // Sliced so Stop() is honoured within ~50ms even at the 2s cap.
+    while (delay > 0 && !stop_.load(std::memory_order_relaxed)) {
+      std::uint32_t slice = std::min<std::uint32_t>(delay, 50);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      delay -= slice;
+    }
   }
 }
 
-void FollowerAgent::Session() {
+bool FollowerAgent::Session() {
   int fd = ConnectToLeader();
-  if (fd < 0) return;
+  if (fd < 0) return false;
   fd_.store(fd, std::memory_order_relaxed);
+  bool subscribed = false;
 
   // Frame reader over this session's socket. Timeouts (EAGAIN) are
   // retried until stop; anything else ends the session.
@@ -150,26 +182,63 @@ void FollowerAgent::Session() {
     return true;
   };
 
+  // A fenced ex-leader's first rejoin forces a snapshot: its applied
+  // gtid belongs to its OWN former epoch and the snapshot's keep-set
+  // reconciliation discards any divergent never-acked writes.
+  std::uint64_t sub_pos = force_snapshot_ && !forced_done_
+                              ? serve::kReplSubscribeSnapshot
+                              : applier_->applied_gtid();
+  std::uint64_t own_epoch = guard_ != nullptr ? guard_->epoch() : 0;
   std::string out;
-  serve::EncodeReplSubscribe(&out, applier_->applied_gtid());
+  serve::EncodeReplSubscribe(&out, sub_pos, own_epoch);
   bool alive = SendAll(fd, out.data(), out.size());
 
-  // Subscribe reply: [status][mode:u8][start:u64]. kBadRequest (e.g. the
-  // target runs without a replication log) retries via the normal
-  // backoff.
+  // Subscribe reply: [status][mode:u8][start:u64] plus a [epoch:u64]
+  // trailer since PR 10 — both lengths accepted. kBadRequest (e.g. the
+  // target runs without a replication log) and kNotLeader (the target is
+  // itself fenced) retry via the normal backoff.
   std::uint8_t status = 0;
   std::string payload;
   alive = alive && read_frame(&status, &payload);
   if (alive && status == static_cast<std::uint8_t>(serve::Status::kOk) &&
-      payload.size() == 9) {
+      (payload.size() == 9 || payload.size() == 17)) {
+    if (guard_ != nullptr && payload.size() == 17 &&
+        !guard_->ObserveLeaderHeartbeat(serve::ReadU64(payload.data() + 9),
+                                        0, applier_->applied_gtid())) {
+      // The "leader" presented a LOWER epoch than ours: it is stale.
+      // Drop the session rather than apply a fenced node's stream.
+      fd_.store(-1, std::memory_order_relaxed);
+      ::close(fd);
+      return false;
+    }
+    subscribed = true;
     connected_.store(true, std::memory_order_relaxed);
     bool snapshotting = payload[0] != 0;
     std::vector<std::pair<std::uint64_t, std::string>> snap_kvs;
     while (alive && !stop_.load(std::memory_order_relaxed)) {
       std::uint8_t tag = 0;
       if (!read_frame(&tag, &payload)) break;
-      if (tag == static_cast<std::uint8_t>(serve::Op::kReplSnapshot) &&
-          snapshotting) {
+      if (tag == static_cast<std::uint8_t>(serve::Op::kReplHeartbeat)) {
+        // [epoch:u64][last_gtid:u64]: renew the lease, answer with an
+        // ack so the leader's lease renews too. While a snapshot is
+        // still streaming the ack carries gtid 0 — the real applied
+        // gtid is from another epoch and must not move our cursor.
+        if (payload.size() != 16) break;
+        std::uint64_t e = serve::ReadU64(payload.data());
+        std::uint64_t leader_gtid = serve::ReadU64(payload.data() + 8);
+        if (guard_ != nullptr &&
+            !guard_->ObserveLeaderHeartbeat(e, leader_gtid,
+                                            applier_->applied_gtid())) {
+          break;  // stale leader mid-stream
+        }
+        out.clear();
+        serve::EncodeReplAck(
+            &out, snapshotting ? 0 : applier_->applied_gtid(),
+            guard_ != nullptr ? guard_->epoch() : 0);
+        alive = SendAll(fd, out.data(), out.size());
+      } else if (tag ==
+                     static_cast<std::uint8_t>(serve::Op::kReplSnapshot) &&
+                 snapshotting) {
         // [last:u8][snap_gtid:u64][n:u32] n*(key,len,bytes)
         if (payload.size() < 13) break;
         bool last = payload[0] != 0;
@@ -182,10 +251,12 @@ void FollowerAgent::Session() {
           applier_->InstallSnapshot(snap_gtid, snap_kvs);
           snap_kvs.clear();
           snapshotting = false;
+          forced_done_ = true;
           snapshots_loaded_.fetch_add(1, std::memory_order_relaxed);
           snapshot_counter_->Add();
           out.clear();
-          serve::EncodeReplAck(&out, applier_->applied_gtid());
+          serve::EncodeReplAck(&out, applier_->applied_gtid(),
+                               guard_ != nullptr ? guard_->epoch() : 0);
           alive = SendAll(fd, out.data(), out.size());
         }
       } else if (tag == static_cast<std::uint8_t>(serve::Op::kReplBatch) &&
@@ -194,7 +265,8 @@ void FollowerAgent::Session() {
         if (!DecodeRecordPayload(payload, &rec)) break;
         applier_->Apply(rec);
         out.clear();
-        serve::EncodeReplAck(&out, applier_->applied_gtid());
+        serve::EncodeReplAck(&out, applier_->applied_gtid(),
+                             guard_ != nullptr ? guard_->epoch() : 0);
         alive = SendAll(fd, out.data(), out.size());
       } else {
         break;  // protocol violation
@@ -204,6 +276,7 @@ void FollowerAgent::Session() {
 
   fd_.store(-1, std::memory_order_relaxed);
   ::close(fd);
+  return subscribed;
 }
 
 }  // namespace repl

@@ -14,14 +14,28 @@
 
 #include "src/obs/metrics.h"
 #include "src/repl/applier.h"
+#include "src/repl/guard.h"
 
 namespace rwd {
 namespace repl {
 
+/// Reconnect delay before attempt `attempt` (0-based): 50ms doubling to a
+/// 2s cap, plus a deterministic seed-derived jitter of up to half the
+/// base — so a fleet of followers restarting against one reborn leader
+/// spreads out instead of thundering in lockstep. Pure function, exposed
+/// for tests.
+std::uint32_t ReconnectBackoffMs(std::uint32_t attempt, std::uint64_t seed);
+
 class FollowerAgent {
  public:
+  /// With a `guard`, the agent feeds it leader heartbeats / epochs (and
+  /// refuses streams from stale, lower-epoch leaders). `force_snapshot`
+  /// makes the FIRST successful subscribe request a full snapshot resync
+  /// (kReplSubscribeSnapshot) — the rejoin path for a fenced ex-leader,
+  /// whose own applied gtid is meaningless in the new leader's epoch.
   FollowerAgent(ReplApplier* applier, std::string leader_host,
-                std::uint16_t leader_port);
+                std::uint16_t leader_port, RewindGuard* guard = nullptr,
+                bool force_snapshot = false);
   ~FollowerAgent();
 
   FollowerAgent(const FollowerAgent&) = delete;
@@ -43,13 +57,17 @@ class FollowerAgent {
  private:
   void Run();
   /// One connect->subscribe->stream session; returns when the link drops
-  /// or Stop() is called.
-  void Session();
+  /// or Stop() is called. True when the subscribe was accepted (resets
+  /// the reconnect backoff).
+  bool Session();
   int ConnectToLeader();
 
   ReplApplier* applier_;
   std::string host_;
   std::uint16_t port_;
+  RewindGuard* guard_;
+  bool force_snapshot_;
+  bool forced_done_ = false;  ///< agent-thread only
   std::atomic<int> fd_{-1};
   std::atomic<bool> stop_{false};
   std::atomic<bool> connected_{false};

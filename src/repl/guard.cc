@@ -1,0 +1,235 @@
+#include "src/repl/guard.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/nvm/nvm_manager.h"
+
+namespace rwd {
+namespace repl {
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// splitmix64 finalizer: turns an arbitrary seed into well-mixed bits so
+/// two nodes seeded from adjacent ports still land on distinct jitter.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RewindGuard::RewindGuard(KvStore* store, GuardConfig cfg)
+    : store_(store),
+      cfg_(std::move(cfg)),
+      epoch_gauge_(obs::Registry::Get().GetGauge("repl.epoch")),
+      role_gauge_(obs::Registry::Get().GetGauge("repl.role")),
+      renewals_counter_(
+          obs::Registry::Get().GetCounter("repl.lease_renewals")),
+      elections_counter_(obs::Registry::Get().GetCounter("repl.elections")),
+      demotions_counter_(obs::Registry::Get().GetCounter("repl.demotions")),
+      fenced_counter_(
+          obs::Registry::Get().GetCounter("repl.fenced_writes")),
+      heartbeats_counter_(
+          obs::Registry::Get().GetCounter("repl.heartbeats_sent")) {
+  if (cfg_.lease_ms == 0) cfg_.lease_ms = 1000;
+  heartbeat_ms_ = cfg_.heartbeat_ms != 0
+                      ? cfg_.heartbeat_ms
+                      : std::max<std::uint32_t>(5, cfg_.lease_ms / 4);
+  jitter_ms_ = static_cast<std::uint32_t>(
+      Mix(cfg_.jitter_seed) % std::max<std::uint32_t>(1, heartbeat_ms_));
+
+  // The epoch lives behind its own catalog root, exactly like the
+  // applier's "repl_gtid": found on re-attach, created at 0 otherwise.
+  // On a DRAM heap the root exists but does not outlive the process —
+  // acceptable there, since neither does the data.
+  NvmManager& nvm = store_->runtime().nvm();
+  slot_ = static_cast<std::uint64_t*>(nvm.heap().GetRoot("repl_epoch"));
+  if (slot_ == nullptr) {
+    slot_ = static_cast<std::uint64_t*>(nvm.Alloc(sizeof(std::uint64_t)));
+    nvm.StoreNT(slot_, std::uint64_t{0});
+    nvm.Fence();
+    nvm.heap().SetRoot("repl_epoch", slot_);
+  }
+  epoch_.store(*slot_, std::memory_order_release);
+  max_seen_.store(*slot_, std::memory_order_release);
+  epoch_gauge_->Set(static_cast<double>(*slot_));
+  leader_.store(cfg_.start_leader, std::memory_order_release);
+  SetRoleGauge(cfg_.start_leader);
+  if (cfg_.start_leader) {
+    last_contact_ns_.store(NowNs(), std::memory_order_release);
+  }
+}
+
+RewindGuard::~RewindGuard() { Stop(); }
+
+void RewindGuard::Start() {
+  stop_.store(false, std::memory_order_release);
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+void RewindGuard::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void RewindGuard::StoreEpochLocked(std::uint64_t e) {
+  NvmManager& nvm = store_->runtime().nvm();
+  nvm.StoreNT(slot_, e);
+  nvm.Fence();
+  epoch_.store(e, std::memory_order_release);
+  epoch_gauge_->Set(static_cast<double>(e));
+}
+
+void RewindGuard::SetRoleGauge(bool leader) {
+  role_gauge_->Set(leader ? 1.0 : 0.0);
+}
+
+std::uint64_t RewindGuard::Promote() {
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  std::uint64_t e = std::max(epoch_.load(std::memory_order_acquire),
+                             max_seen_.load(std::memory_order_acquire)) +
+                    1;
+  // Persist BEFORE taking the role: a SIGKILL after the first acked
+  // write must come back knowing it led at epoch e, or a second
+  // promotion elsewhere could reuse it.
+  StoreEpochLocked(e);
+  hb_armed_.store(false, std::memory_order_release);
+  had_follower_.store(false, std::memory_order_release);
+  last_contact_ns_.store(NowNs(), std::memory_order_release);
+  leader_.store(true, std::memory_order_release);
+  SetRoleGauge(true);
+  return e;
+}
+
+void RewindGuard::DemoteToFollower() {
+  bool was_leader = leader_.exchange(false, std::memory_order_acq_rel);
+  // Disarmed until the NEW leader heartbeats us: during the partition
+  // that fenced us there is nobody whose silence should elect us.
+  hb_armed_.store(false, std::memory_order_release);
+  had_follower_.store(false, std::memory_order_release);
+  SetRoleGauge(false);
+  if (was_leader) {
+    demotions_.fetch_add(1, std::memory_order_relaxed);
+    demotions_counter_->Add();
+  }
+}
+
+void RewindGuard::AdoptEpoch(std::uint64_t e) {
+  // max_seen_ via CAS max (no fetch_max pre-C++26).
+  std::uint64_t seen = max_seen_.load(std::memory_order_relaxed);
+  while (e > seen &&
+         !max_seen_.compare_exchange_weak(seen, e,
+                                          std::memory_order_acq_rel)) {
+  }
+  if (e <= epoch_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (e > epoch_.load(std::memory_order_acquire)) StoreEpochLocked(e);
+}
+
+void RewindGuard::ObserveRemoteEpoch(std::uint64_t e) {
+  if (!is_leader()) {
+    AdoptEpoch(e);
+    return;
+  }
+  std::uint64_t seen = max_seen_.load(std::memory_order_relaxed);
+  while (e > seen &&
+         !max_seen_.compare_exchange_weak(seen, e,
+                                          std::memory_order_acq_rel)) {
+  }
+}
+
+bool RewindGuard::ObserveLeaderHeartbeat(std::uint64_t leader_epoch,
+                                         std::uint64_t leader_gtid,
+                                         std::uint64_t applied_gtid) {
+  if (leader_epoch < epoch_.load(std::memory_order_acquire)) return false;
+  AdoptEpoch(leader_epoch);
+  lag_.store(leader_gtid > applied_gtid ? leader_gtid - applied_gtid : 0,
+             std::memory_order_relaxed);
+  last_hb_ns_.store(NowNs(), std::memory_order_release);
+  hb_armed_.store(true, std::memory_order_release);
+  renewals_.fetch_add(1, std::memory_order_relaxed);
+  renewals_counter_->Add();
+  return true;
+}
+
+void RewindGuard::ObserveFollowerContact() {
+  last_contact_ns_.store(NowNs(), std::memory_order_release);
+  had_follower_.store(true, std::memory_order_release);
+}
+
+void RewindGuard::CountFencedWrites(std::uint64_t n) {
+  fenced_writes_.fetch_add(n, std::memory_order_relaxed);
+  fenced_counter_->Add(n);
+}
+
+void RewindGuard::CountHeartbeatSent() {
+  heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  heartbeats_counter_->Add();
+}
+
+std::uint32_t RewindGuard::ElectionDelayMs(std::uint64_t lag_batches) const {
+  std::uint64_t penalty =
+      std::min<std::uint64_t>(lag_batches, 16) * heartbeat_ms_ / 16;
+  std::uint64_t delay = std::uint64_t{cfg_.lease_ms} + heartbeat_ms_ +
+                        jitter_ms_ + penalty;
+  // Keep the total under 15/8 lease: the leader self-fenced at +lease,
+  // and the acceptance bound is promotion within 2 lease intervals.
+  std::uint64_t cap = std::uint64_t{cfg_.lease_ms} * 15 / 8;
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(
+      std::min(delay, std::max<std::uint64_t>(cap, cfg_.lease_ms + 1)),
+      1));
+}
+
+void RewindGuard::MonitorLoop() {
+  const std::uint32_t tick_ms = std::max<std::uint32_t>(2, heartbeat_ms_ / 2);
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(tick_ms));
+    if (stop_.load(std::memory_order_acquire)) break;
+    std::uint64_t now = NowNs();
+    if (is_leader()) {
+      bool stale =
+          max_seen_.load(std::memory_order_acquire) >
+          epoch_.load(std::memory_order_acquire);
+      std::uint64_t last = last_contact_ns_.load(std::memory_order_acquire);
+      bool lapsed = expects_follower() && last != 0 &&
+                    now - last > std::uint64_t{cfg_.lease_ms} * 1000000ull;
+      if (stale || lapsed) {
+        // Fence: a higher epoch exists (someone got promoted past us) or
+        // our follower went silent a full lease — either way we can no
+        // longer prove our acks reach a majority of the pair.
+        AdoptEpoch(max_seen_.load(std::memory_order_acquire));
+        DemoteToFollower();
+        if (on_fence) on_fence();
+      }
+    } else {
+      if (!hb_armed_.load(std::memory_order_acquire)) continue;
+      std::uint64_t last = last_hb_ns_.load(std::memory_order_acquire);
+      std::uint64_t delay_ns =
+          std::uint64_t{ElectionDelayMs(
+              lag_.load(std::memory_order_relaxed))} *
+          1000000ull;
+      if (now - last > delay_ns) {
+        hb_armed_.store(false, std::memory_order_release);
+        elections_.fetch_add(1, std::memory_order_relaxed);
+        elections_counter_->Add();
+        if (on_election) {
+          on_election();
+        } else {
+          Promote();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace repl
+}  // namespace rwd

@@ -1,0 +1,217 @@
+// RewindGuard: lease-based automatic failover and epoch fencing for
+// RewindRepl. One guard runs per node and owns two things:
+//
+//  * The node's **fencing epoch** — a monotonically increasing u64,
+//    persisted as the "repl_epoch" NVM catalog root so it survives
+//    SIGKILL. Every promotion bumps it (to max-seen + 1) BEFORE the node
+//    accepts its first write, so any two leaders in history have distinct,
+//    ordered epochs. The epoch rides on REPL_SUBSCRIBE / REPL_ACK /
+//    heartbeats / write acks; whoever sees a higher epoch than its own
+//    knows it is stale.
+//
+//  * The node's **lease state**. A leader expects follower contact
+//    (acks, including heartbeat acks) and self-fences — demotes to
+//    read-only follower — when no follower has been heard from for a
+//    full lease: if it cannot reach its follower, it must assume the
+//    follower can't reach IT and is about to take over. A follower
+//    expects leader heartbeats and self-promotes when they stop for
+//    `ElectionDelayMs` (lease + heartbeat + deterministic jitter + a
+//    replication-lag penalty, clamped under 2 lease intervals).
+//
+// The guard itself is transport-agnostic: `ReplSession` (leader side)
+// and `FollowerAgent` (follower side) feed it observations; it reports
+// role flips through `on_election` / `on_fence` callbacks, which the
+// host wires to `KvServer::Promote()` / `Demote()` plus rejoin logic.
+//
+// Split-brain safety does NOT depend on clocks agreeing across nodes —
+// only on each node's own steady clock ticking. A partitioned leader
+// fences itself no later than one lease after losing its follower; the
+// follower waits strictly longer than that (lease + heartbeat + jitter)
+// before electing, so by the time the new leader can ack a write, the
+// old one is read-only. Writes the old leader applied but never acked
+// (fenced mid-batch) are discarded when it rejoins via forced snapshot.
+#ifndef REWIND_REPL_GUARD_H_
+#define REWIND_REPL_GUARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/kv/kv_store.h"
+#include "src/obs/metrics.h"
+
+namespace rwd {
+namespace repl {
+
+struct GuardConfig {
+  /// Lease duration. A leader fences after this long without follower
+  /// contact; a follower's election delay is derived from it (see
+  /// ElectionDelayMs).
+  std::uint32_t lease_ms = 1000;
+  /// Heartbeat cadence. 0 derives lease_ms / 4 (clamped to >= 5ms).
+  std::uint32_t heartbeat_ms = 0;
+  /// Initial role. The epoch root may still demote a start_leader node
+  /// immediately if a peer later presents a higher epoch.
+  bool start_leader = true;
+  /// The OTHER node's "host:port": the redirect hint carried in
+  /// kNotLeader replies, and the rejoin target after a demotion. May be
+  /// empty (hint-less fencing still works; clients fall back to their
+  /// endpoint lists).
+  std::string peer_addr;
+  /// Seed for the deterministic election jitter (tests pin it; servers
+  /// derive one from their port so two nodes never share a seed).
+  std::uint64_t jitter_seed = 0;
+};
+
+class RewindGuard {
+ public:
+  /// Binds to the node's store and loads (or creates) the "repl_epoch"
+  /// catalog root. Does not start the monitor thread.
+  RewindGuard(KvStore* store, GuardConfig cfg);
+  ~RewindGuard();
+
+  RewindGuard(const RewindGuard&) = delete;
+  RewindGuard& operator=(const RewindGuard&) = delete;
+
+  /// Fired by the monitor when a follower's election delay lapses,
+  /// INSTEAD of self-promoting — wire it to KvServer::Promote() so the
+  /// epoch bump and the read_only flip stay ordered. When unset the
+  /// guard promotes itself (library / test use). Set before Start().
+  std::function<void()> on_election;
+  /// Fired by the monitor right after this node demoted itself (lease
+  /// lapse as leader, or a higher epoch was observed). The guard's own
+  /// role is already follower; the host should make the server
+  /// read-only and start a rejoin agent toward peer_addr.
+  std::function<void()> on_fence;
+
+  void Start();
+  void Stop();
+
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  bool is_leader() const {
+    return leader_.load(std::memory_order_acquire);
+  }
+  std::uint32_t lease_ms() const { return cfg_.lease_ms; }
+  std::uint32_t heartbeat_ms() const { return heartbeat_ms_; }
+  const std::string& leader_hint() const { return cfg_.peer_addr; }
+
+  /// Takes leadership: persists epoch = max(own, max seen) + 1, then
+  /// flips the role. Returns the new epoch. Idempotent-ish: calling as
+  /// leader still bumps the epoch (a re-promotion fences any concurrent
+  /// leader at the old epoch).
+  std::uint64_t Promote();
+
+  /// Drops to follower. The lease stays DISARMED until a heartbeat from
+  /// the (new) leader arrives — a partitioned ex-leader must not win an
+  /// election against silence it caused itself.
+  void DemoteToFollower();
+
+  /// Adopts `e` if it exceeds the current epoch (persisted). Role is
+  /// untouched — demotion decisions belong to the monitor / callers.
+  void AdoptEpoch(std::uint64_t e);
+
+  /// Records an epoch observed on the wire. A follower adopts it
+  /// immediately; a leader only records it and lets the monitor fence
+  /// (so the fence and its callback run on one thread).
+  void ObserveRemoteEpoch(std::uint64_t e);
+
+  /// Follower side: a heartbeat (or subscribe reply) from the leader at
+  /// `leader_epoch`, whose log head is `leader_gtid`, while we have
+  /// applied `applied_gtid`. Renews the lease and adopts the epoch.
+  /// Returns false — and renews nothing — when the sender's epoch is
+  /// below ours (a stale leader; the caller should drop the session).
+  bool ObserveLeaderHeartbeat(std::uint64_t leader_epoch,
+                              std::uint64_t leader_gtid,
+                              std::uint64_t applied_gtid);
+
+  /// Leader side: a follower ack (data or heartbeat) arrived — renews
+  /// the leader's own lease.
+  void ObserveFollowerContact();
+
+  /// True once any follower has ever contacted this leader. Gates both
+  /// the leader's self-fencing (a node serving solo without a configured
+  /// follower must not fence on silence) and the batcher's guarded
+  /// semi-sync wait.
+  bool expects_follower() const {
+    return had_follower_.load(std::memory_order_acquire);
+  }
+
+  void CountFencedWrites(std::uint64_t n);
+  void CountHeartbeatSent();
+
+  /// Deterministic time a follower waits after the LAST heartbeat before
+  /// electing itself: lease + heartbeat + jitter[0, heartbeat) + a lag
+  /// penalty of (min(lag, 16) * heartbeat / 16) — the least-caught-up
+  /// follower yields to better-positioned peers — clamped to
+  /// 15/8 * lease so promotion lands within 2 lease intervals of the
+  /// leader's death.
+  std::uint32_t ElectionDelayMs(std::uint64_t lag_batches) const;
+
+  std::uint64_t elections() const {
+    return elections_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lease_renewals() const {
+    return renewals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fenced_writes() const {
+    return fenced_writes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t heartbeats_sent() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void MonitorLoop();
+  /// Persists `e` into the catalog root and publishes it. Caller holds
+  /// persist_mu_.
+  void StoreEpochLocked(std::uint64_t e);
+  void SetRoleGauge(bool leader);
+
+  KvStore* store_;
+  GuardConfig cfg_;
+  std::uint32_t heartbeat_ms_;
+  std::uint32_t jitter_ms_;  ///< precomputed deterministic election jitter
+
+  std::uint64_t* slot_ = nullptr;  ///< NVM cell behind "repl_epoch"
+  std::mutex persist_mu_;          ///< serializes epoch persistence
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> max_seen_{0};  ///< highest epoch on the wire
+  std::atomic<bool> leader_{false};
+
+  // Lease clocks (steady-clock ns; 0 = never).
+  std::atomic<std::uint64_t> last_contact_ns_{0};  ///< follower -> us
+  std::atomic<std::uint64_t> last_hb_ns_{0};       ///< leader -> us
+  std::atomic<bool> hb_armed_{false};  ///< follower lease armed
+  std::atomic<bool> had_follower_{false};
+  std::atomic<std::uint64_t> lag_{0};  ///< batches behind, per last hb
+
+  std::atomic<std::uint64_t> elections_{0};
+  std::atomic<std::uint64_t> demotions_{0};
+  std::atomic<std::uint64_t> renewals_{0};
+  std::atomic<std::uint64_t> fenced_writes_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+
+  obs::Gauge* epoch_gauge_;
+  obs::Gauge* role_gauge_;
+  obs::Counter* renewals_counter_;
+  obs::Counter* elections_counter_;
+  obs::Counter* demotions_counter_;
+  obs::Counter* fenced_counter_;
+  obs::Counter* heartbeats_counter_;
+
+  std::atomic<bool> stop_{false};
+  std::thread monitor_;
+};
+
+}  // namespace repl
+}  // namespace rwd
+
+#endif  // REWIND_REPL_GUARD_H_

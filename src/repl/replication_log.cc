@@ -139,6 +139,14 @@ std::uint64_t ReplicationLog::MinAckedLocked() const {
   return min_acked;
 }
 
+std::uint64_t ReplicationLog::MaxAckedLocked() const {
+  std::uint64_t max_acked = 0;
+  for (const auto& [id, sub] : subs_) {
+    max_acked = std::max(max_acked, sub.acked);
+  }
+  return max_acked;
+}
+
 void ReplicationLog::UpdateLagLocked() {
   double lag = 0;
   if (!subs_.empty()) {
@@ -153,6 +161,14 @@ bool ReplicationLog::WaitAcked(std::uint64_t gtid, std::uint32_t timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
     return subs_.empty() || MinAckedLocked() >= gtid;
+  });
+}
+
+bool ReplicationLog::WaitAckedBySome(std::uint64_t gtid,
+                                     std::uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return !subs_.empty() && MaxAckedLocked() >= gtid;
   });
 }
 

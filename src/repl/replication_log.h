@@ -133,6 +133,13 @@ class ReplicationLog {
   /// whether to ack the client anyway.
   bool WaitAcked(std::uint64_t gtid, std::uint32_t timeout_ms);
 
+  /// Blocks until AT LEAST ONE registered subscriber has acked `gtid`.
+  /// Unlike WaitAcked, an empty subscriber set does NOT satisfy the
+  /// wait — this is the guarded semi-sync predicate: when a partition
+  /// tears the follower's session down, the write stays unacked instead
+  /// of sailing through a momentarily-empty set. False on timeout.
+  bool WaitAckedBySome(std::uint64_t gtid, std::uint32_t timeout_ms);
+
   /// last_gtid minus the slowest registered subscriber's ack (0 with no
   /// subscribers): how many batches the laggiest follower still misses.
   std::uint64_t lag_batches() const;
@@ -153,6 +160,7 @@ class ReplicationLog {
 
  private:
   std::uint64_t MinAckedLocked() const;
+  std::uint64_t MaxAckedLocked() const;
   void UpdateLagLocked();
 
   const std::size_t capacity_;

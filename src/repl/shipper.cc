@@ -6,18 +6,16 @@ namespace rwd {
 namespace repl {
 namespace {
 
-/// Poll timeout: bounds both Stop() latency and the idle-hook cadence
-/// (ack draining for ReplSession sinks).
-constexpr std::uint32_t kPollWaitMs = 100;
 constexpr std::size_t kMaxRecordsPerPoll = 256;
 
 }  // namespace
 
 Shipper::Shipper(ReplicationLog* log, std::uint64_t start_after, Sink sink,
-                 IdleFn idle)
+                 IdleFn idle, std::uint32_t poll_wait_ms)
     : log_(log),
       sink_(std::move(sink)),
       idle_(std::move(idle)),
+      poll_wait_ms_(poll_wait_ms == 0 ? 100 : poll_wait_ms),
       shipped_(start_after),
       ship_hist_(obs::Registry::Get().GetHistogram("repl.ship")) {}
 
@@ -33,7 +31,7 @@ void Shipper::Run() {
     if (idle_ && !idle_()) return;
     std::uint64_t after = shipped_.load(std::memory_order_relaxed);
     ReplicationLog::PollResult res =
-        log_->Poll(after, kMaxRecordsPerPoll, kPollWaitMs, &batch);
+        log_->Poll(after, kMaxRecordsPerPoll, poll_wait_ms_, &batch);
     if (res == ReplicationLog::PollResult::kGap) {
       gapped_.store(true, std::memory_order_relaxed);
       return;

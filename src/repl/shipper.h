@@ -26,9 +26,11 @@ class Shipper {
   using IdleFn = std::function<bool()>;
 
   /// Ships records with gtid > `start_after`. The sink owns delivery;
-  /// the shipper only sequences and measures.
+  /// the shipper only sequences and measures. `poll_wait_ms` bounds one
+  /// Poll and therefore the idle-hook cadence — guarded ReplSessions
+  /// lower it so lease heartbeats keep their schedule on a quiet log.
   Shipper(ReplicationLog* log, std::uint64_t start_after, Sink sink,
-          IdleFn idle = nullptr);
+          IdleFn idle = nullptr, std::uint32_t poll_wait_ms = 100);
   ~Shipper();
 
   Shipper(const Shipper&) = delete;
@@ -54,6 +56,7 @@ class Shipper {
   ReplicationLog* log_;
   Sink sink_;
   IdleFn idle_;
+  std::uint32_t poll_wait_ms_;
   std::atomic<std::uint64_t> shipped_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> gapped_{false};

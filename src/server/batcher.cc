@@ -7,11 +7,17 @@
 
 #include "src/nvm/crash.h"
 #include "src/obs/metrics.h"
+#include "src/repl/guard.h"
 #include "src/repl/replication_log.h"
 
 namespace rwd {
 namespace serve {
 namespace {
+
+/// Guarded semi-sync waits in short slices so demotion (guard) and
+/// shutdown (halt_) are noticed promptly; there is no overall timeout by
+/// design.
+constexpr std::uint32_t kGuardWaitSliceMs = 20;
 
 /// Batcher phase + per-write-op latency histograms. The server-side write
 /// latency (submit to post-fence ack dispatch) lives here because only
@@ -41,7 +47,8 @@ GroupCommitBatcher::GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
                                        bool sync_repl,
                                        std::uint32_t sync_repl_timeout_ms,
                                        bool adaptive_window,
-                                       std::uint32_t window_cap_us)
+                                       std::uint32_t window_cap_us,
+                                       repl::RewindGuard* guard)
     : store_(store),
       window_us_(window_us),
       max_pending_ops_(max_pending_ops == 0 ? 1 : max_pending_ops),
@@ -50,6 +57,7 @@ GroupCommitBatcher::GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
       slow_op_threshold_us_(slow_op_threshold_us),
       sync_repl_(sync_repl),
       sync_repl_timeout_ms_(sync_repl_timeout_ms),
+      guard_(guard),
       adaptive_(adaptive_window),
       adaptive_window_(window_cap_us),
       window_now_(adaptive_window ? 0 : window_us) {}
@@ -66,6 +74,7 @@ void GroupCommitBatcher::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
+  halt_.store(true, std::memory_order_release);
   cv_.notify_all();
   // Join outside the latch: the batch thread takes mu_ to drain. The
   // apply thread shuts the completion thread down on its own way out.
@@ -249,8 +258,32 @@ bool GroupCommitBatcher::ApplyOne(InFlight& batch) {
 
 void GroupCommitBatcher::FinishBatch(InFlight& batch) {
   repl::ReplicationLog* rlog = store_->replication_log();
+  bool fenced = false;
   if (sync_repl_ && rlog != nullptr && batch.gtid != 0 &&
-      rlog->subscriber_count() > 0) {
+      guard_ != nullptr && guard_->expects_follower()) {
+    // Guarded semi-sync (RewindGuard): the ack releases only on a REAL
+    // follower ack — never on a timeout, never because the subscriber
+    // set is momentarily empty (a partition tears the session down, and
+    // acking into that gap is exactly the lost-acked-write semi-sync
+    // exists to prevent). The wait ends three ways: a follower acked
+    // (ack the writes), the guard fenced this node (fail them
+    // kNotLeader), or shutdown (halt_).
+    bool acked = false;
+    while (!acked && guard_->is_leader() &&
+           !halt_.load(std::memory_order_acquire)) {
+      acked = rlog->WaitAckedBySome(batch.gtid, kGuardWaitSliceMs);
+    }
+    if (!acked) {
+      if (!guard_->is_leader()) {
+        fenced = true;
+      } else {
+        static obs::Counter* timeouts =
+            obs::Registry::Get().GetCounter("repl.sync_timeouts");
+        timeouts->Add(1);  // shutdown with the follower still behind
+      }
+    }
+  } else if (sync_repl_ && rlog != nullptr && batch.gtid != 0 &&
+             rlog->subscriber_count() > 0) {
     // Semi-sync: hold the acks until every follower caught up to this
     // batch. On timeout the write is still durable locally — ack anyway,
     // but count the breach so operators see the degradation. Runs on the
@@ -287,7 +320,12 @@ void GroupCommitBatcher::FinishBatch(InFlight& batch) {
     for (std::size_t i = 0; i < g.count; ++i) {
       if (batch.ops[g.first + i].applied) ++applied;
     }
-    if (g.op == Op::kDel) {
+    if (fenced) {
+      // Demoted mid-wait: the write reached this node's store but was
+      // never replicated and must not be acked — the client retries
+      // against the new leader.
+      status = Status::kNotLeader;
+    } else if (g.op == Op::kDel) {
       status = applied != 0 ? Status::kOk : Status::kNotFound;
     } else if (applied != g.count) {
       // A put ApplyBatch refused (invalid key that slipped past the
@@ -295,7 +333,12 @@ void GroupCommitBatcher::FinishBatch(InFlight& batch) {
       status = Status::kBadRequest;
     }
     by_worker[g.worker].push_back({g.conn_id, g.op, status, batch.gtid});
-    acked_writes_.fetch_add(applied, std::memory_order_relaxed);
+    if (!fenced) {
+      acked_writes_.fetch_add(applied, std::memory_order_relaxed);
+    }
+  }
+  if (fenced && guard_ != nullptr) {
+    guard_->CountFencedWrites(batch.groups.size());
   }
   for (auto& [worker, completions] : by_worker) {
     sink_(worker, std::move(completions));
@@ -309,6 +352,9 @@ void GroupCommitBatcher::DrainPipeline() {
 }
 
 void GroupCommitBatcher::ShutdownPipeline(bool discard) {
+  // The completion thread may be parked in a guarded semi-sync wait;
+  // release it before joining.
+  halt_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(fly_mu_);
     if (discard) {

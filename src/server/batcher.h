@@ -43,6 +43,9 @@
 #include "src/server/protocol.h"
 
 namespace rwd {
+namespace repl {
+class RewindGuard;
+}  // namespace repl
 namespace serve {
 
 /// Delivered to the owning worker once a submitted write group's batch has
@@ -149,6 +152,14 @@ class GroupCommitBatcher {
   /// wait runs on the completion thread, off the apply critical path.
   /// `adaptive_window` replaces the fixed `window_us` sleep with the
   /// AdaptiveWindow controller above, capped at `window_cap_us`.
+  /// With a `guard` (RewindGuard) AND sync_repl, the semi-sync wait
+  /// hardens into a fence: once a follower has ever subscribed, a
+  /// write's ack is released only when a live follower has acked its
+  /// gtid — an ack never times out into an unreplicated success. If the
+  /// guard demotes this node while a batch waits, the batch's groups
+  /// complete kNotLeader instead (the writes are durable locally but
+  /// were never promised; the forced rejoin snapshot reconciles them
+  /// away).
   GroupCommitBatcher(KvStore* store, std::uint32_t window_us,
                      std::size_t max_pending_ops, CompletionSink sink,
                      CrashHook on_crash,
@@ -156,7 +167,8 @@ class GroupCommitBatcher {
                      bool sync_repl = false,
                      std::uint32_t sync_repl_timeout_ms = 2000,
                      bool adaptive_window = false,
-                     std::uint32_t window_cap_us = 500);
+                     std::uint32_t window_cap_us = 500,
+                     repl::RewindGuard* guard = nullptr);
   ~GroupCommitBatcher();
 
   void Start();
@@ -232,6 +244,11 @@ class GroupCommitBatcher {
   std::uint64_t slow_op_threshold_us_;
   bool sync_repl_;
   std::uint32_t sync_repl_timeout_ms_;
+  repl::RewindGuard* guard_;
+  /// Escape hatch for the guarded semi-sync wait (which has no overall
+  /// timeout): set on Stop/ShutdownPipeline so a batch stuck waiting for
+  /// a follower that will never ack lets shutdown proceed.
+  std::atomic<bool> halt_{false};
   bool adaptive_;
   AdaptiveWindow adaptive_window_;
   std::atomic<std::uint32_t> window_now_;

@@ -1,22 +1,58 @@
 #include "src/server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <utility>
 
 namespace rwd {
 namespace serve {
+namespace {
+
+/// connect(2) with a deadline: non-blocking connect, poll for
+/// writability, then read back SO_ERROR. Returns false (socket left for
+/// the caller to close) on timeout or connection failure.
+bool ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                        int timeout_ms) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return false;
+  }
+  int rc = ::connect(fd, addr, addrlen);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) return false;  // timeout or poll error
+    int err = 0;
+    socklen_t errlen = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) != 0 ||
+        err != 0) {
+      return false;
+    }
+  }
+  return ::fcntl(fd, F_SETFL, flags) == 0;  // back to blocking
+}
+
+}  // namespace
 
 KvClient::~KvClient() { Close(); }
 
 bool KvClient::Connect(const std::string& host, std::uint16_t port,
-                       int recv_timeout_ms) {
+                       int recv_timeout_ms, int connect_timeout_ms) {
   Close();
   addrinfo hints{};
   hints.ai_family = AF_INET;
@@ -29,7 +65,11 @@ bool KvClient::Connect(const std::string& host, std::uint16_t port,
   }
   int fd = ::socket(res->ai_family, res->ai_socktype | SOCK_CLOEXEC,
                     res->ai_protocol);
-  bool ok = fd >= 0 && ::connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+  bool ok = fd >= 0 &&
+            (connect_timeout_ms > 0
+                 ? ConnectWithTimeout(fd, res->ai_addr, res->ai_addrlen,
+                                      connect_timeout_ms)
+                 : ::connect(fd, res->ai_addr, res->ai_addrlen) == 0);
   ::freeaddrinfo(res);
   if (!ok) {
     if (fd >= 0) ::close(fd);
@@ -42,6 +82,9 @@ bool KvClient::Connect(const std::string& host, std::uint16_t port,
     tv.tv_sec = recv_timeout_ms / 1000;
     tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // Bound sends too: a black-holed peer stops draining its window and
+    // send() would otherwise block forever once the buffer fills.
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   fd_ = fd;
   return true;
@@ -318,6 +361,184 @@ bool KvClient::ReplStatus(ReplStatusReply* out) {
   Reply r;
   if (!RoundTrip(&r) || r.status != Status::kOk) return false;
   return DecodeReplStatusPayload(r.payload, out);
+}
+
+// --- FailoverClient ---
+
+namespace {
+
+/// The epoch trailer of a guard-era write ack ([gtid:u64][epoch:u64]);
+/// 0 against a pre-guard server whose acks carry only the gtid.
+std::uint64_t AckEpoch(const KvClient::Reply& r) {
+  return r.payload.size() >= 16 ? ReadU64(r.payload.data() + 8) : 0;
+}
+
+/// Splits "host:port"; false (and untouched outputs) on a bad spec.
+bool SplitEndpoint(const std::string& spec, std::string* host,
+                   std::uint16_t* port) {
+  std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  std::uint32_t p = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    if (spec[i] < '0' || spec[i] > '9') return false;
+    p = p * 10 + static_cast<std::uint32_t>(spec[i] - '0');
+    if (p > 0xffff) return false;
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return p != 0;
+}
+
+}  // namespace
+
+FailoverClient::FailoverClient(Config config)
+    : config_(std::move(config)) {
+  if (!config_.endpoints.empty()) endpoint_ = config_.endpoints.front();
+  rr_ = 1;
+}
+
+void FailoverClient::Close() { client_.Close(); }
+
+std::uint32_t FailoverClient::BackoffMs(std::uint32_t attempt) const {
+  std::uint32_t backoff = std::min(
+      config_.backoff_cap_ms,
+      config_.backoff_base_ms << std::min<std::uint32_t>(attempt, 10));
+  backoff = std::max<std::uint32_t>(backoff, 1);
+  std::uint64_t x =
+      config_.jitter_seed ^ (0x9E3779B97F4A7C15ull * (attempt + 1));
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return backoff + static_cast<std::uint32_t>(x % (backoff / 2 + 1));
+}
+
+bool FailoverClient::EnsureConnected() {
+  if (client_.connected()) return true;
+  std::string host;
+  std::uint16_t port = 0;
+  if (!SplitEndpoint(endpoint_, &host, &port)) return false;
+  return client_.Connect(host, port, config_.timeout_ms,
+                         config_.timeout_ms);
+}
+
+FailoverClient::Outcome FailoverClient::Classify(
+    const KvClient::Reply& r) {
+  last_status_ = r.status;
+  if (r.status == Status::kOk) return Outcome::kDone;
+  if (r.status != Status::kNotLeader) return Outcome::kFailed;
+  // Fenced node: follow its redirect hint when it knows the leader,
+  // otherwise rotate endpoints. The reply frame itself was well-formed,
+  // but this connection points at a non-leader — drop it either way.
+  NotLeaderHint hint;
+  if (DecodeNotLeaderPayload(r.payload, &hint) && hint.has_addr) {
+    endpoint_ = hint.host + ":" + std::to_string(hint.port);
+    use_hint_ = true;
+  } else {
+    use_hint_ = false;
+    if (!config_.endpoints.empty()) {
+      endpoint_ = config_.endpoints[rr_++ % config_.endpoints.size()];
+    }
+  }
+  ++redirects_;
+  client_.Close();
+  return Outcome::kRedirect;
+}
+
+bool FailoverClient::Run(const std::function<Outcome(KvClient&)>& op) {
+  for (std::uint32_t attempt = 0; attempt < config_.max_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(attempt - 1)));
+    }
+    if (!EnsureConnected()) {
+      // Unreachable endpoint: a followed hint falls back to the
+      // configured set, otherwise rotate.
+      use_hint_ = false;
+      if (!config_.endpoints.empty()) {
+        endpoint_ = config_.endpoints[rr_++ % config_.endpoints.size()];
+      }
+      continue;
+    }
+    Outcome o = op(client_);
+    switch (o) {
+      case Outcome::kDone:
+        return true;
+      case Outcome::kFailed:
+        return false;
+      case Outcome::kTransport:
+        // The op closed the client (send/recv failure). Rotate unless we
+        // were aimed by a fresh hint, which deserves one direct retry.
+        if (!use_hint_ && !config_.endpoints.empty()) {
+          endpoint_ = config_.endpoints[rr_++ % config_.endpoints.size()];
+        }
+        use_hint_ = false;
+        break;
+      case Outcome::kRedirect:
+        break;  // Classify already re-aimed endpoint_
+    }
+  }
+  return false;
+}
+
+bool FailoverClient::Put(std::uint64_t key, std::string_view value,
+                         std::uint64_t* gtid_out) {
+  return Run([&](KvClient& c) {
+    KvClient::Reply r;
+    c.QueuePut(key, value);
+    if (!c.Flush() || !c.ReadReply(&r)) return Outcome::kTransport;
+    Outcome o = Classify(r);
+    if (o == Outcome::kDone) {
+      if (gtid_out != nullptr) *gtid_out = AckGtid(r);
+      last_epoch_ = AckEpoch(r);
+    }
+    return o;
+  });
+}
+
+bool FailoverClient::Get(std::uint64_t key, std::string* value_out) {
+  return Run([&](KvClient& c) {
+    KvClient::Reply r;
+    c.QueueGet(key);
+    if (!c.Flush() || !c.ReadReply(&r)) return Outcome::kTransport;
+    Outcome o = Classify(r);
+    if (o == Outcome::kDone && value_out != nullptr) {
+      *value_out = std::move(r.payload);
+    }
+    return o;
+  });
+}
+
+bool FailoverClient::GetRyw(std::uint64_t key, std::uint64_t min_gtid,
+                            std::string* value_out) {
+  return Run([&](KvClient& c) {
+    KvClient::Reply r;
+    c.QueueGetRyw(key, min_gtid);
+    if (!c.Flush() || !c.ReadReply(&r)) return Outcome::kTransport;
+    Outcome o = Classify(r);
+    if (o == Outcome::kDone && value_out != nullptr) {
+      *value_out = std::move(r.payload);
+    }
+    return o;
+  });
+}
+
+bool FailoverClient::Delete(std::uint64_t key, std::uint64_t* gtid_out) {
+  return Run([&](KvClient& c) {
+    KvClient::Reply r;
+    c.QueueDel(key);
+    if (!c.Flush() || !c.ReadReply(&r)) return Outcome::kTransport;
+    Outcome o = Classify(r);
+    if (o == Outcome::kDone) {
+      if (gtid_out != nullptr) *gtid_out = AckGtid(r);
+      last_epoch_ = AckEpoch(r);
+    }
+    return o;
+  });
 }
 
 }  // namespace serve

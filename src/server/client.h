@@ -5,6 +5,7 @@
 #define REWIND_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -28,10 +29,14 @@ class KvClient {
   KvClient& operator=(const KvClient&) = delete;
 
   /// Connects to a RewindServe endpoint (numeric IPv4 or a resolvable
-  /// host name). `recv_timeout_ms` bounds every blocking read; a timeout
-  /// closes the connection so callers never hang on a dead server.
+  /// host name). `recv_timeout_ms` bounds every blocking read AND send
+  /// (a black-holed peer that never drains its window times out instead
+  /// of wedging the caller); a timeout closes the connection so callers
+  /// never hang on a dead server. `connect_timeout_ms` > 0 bounds the
+  /// TCP connect itself (0 = the OS default, which can be minutes
+  /// against a dropped-SYN partition).
   bool Connect(const std::string& host, std::uint16_t port,
-               int recv_timeout_ms = 30000);
+               int recv_timeout_ms = 30000, int connect_timeout_ms = 0);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
@@ -120,6 +125,79 @@ class KvClient {
   std::size_t recv_off_ = 0;
   std::size_t pending_ = 0;
   bool stream_open_ = false;
+};
+
+/// FailoverClient: a leader-following wrapper over KvClient (PR 10). It
+/// holds a set of candidate endpoints, connects with bounded connect/recv
+/// timeouts, and retries each operation through failures:
+///   - transport errors (refused, timeout, reset) rotate to the next
+///     endpoint after a capped, jittered backoff;
+///   - kNotLeader replies follow the redirect hint when the fenced node
+///     knows the leader's address, else rotate.
+/// Every operation either succeeds against exactly one leader or fails
+/// after `max_attempts` tries — it never blocks unboundedly.
+class FailoverClient {
+ public:
+  struct Config {
+    /// Candidate "host:port" endpoints, tried round-robin.
+    std::vector<std::string> endpoints;
+    /// Per-attempt connect AND recv timeout.
+    int timeout_ms = 2000;
+    /// Total connection/operation attempts before giving up.
+    std::uint32_t max_attempts = 16;
+    /// Retry backoff: base doubling to cap, plus deterministic jitter of
+    /// up to half the base (seeded so tests replay exactly).
+    std::uint32_t backoff_base_ms = 20;
+    std::uint32_t backoff_cap_ms = 500;
+    std::uint64_t jitter_seed = 1;
+  };
+
+  explicit FailoverClient(Config config);
+
+  FailoverClient(const FailoverClient&) = delete;
+  FailoverClient& operator=(const FailoverClient&) = delete;
+
+  bool Put(std::uint64_t key, std::string_view value,
+           std::uint64_t* gtid_out = nullptr);
+  bool Get(std::uint64_t key, std::string* value_out);
+  /// GET honoring a read-your-writes token from a prior write ack.
+  bool GetRyw(std::uint64_t key, std::uint64_t min_gtid,
+              std::string* value_out);
+  bool Delete(std::uint64_t key, std::uint64_t* gtid_out = nullptr);
+  void Close();
+
+  /// Redirects followed (kNotLeader replies) across all operations.
+  std::uint64_t redirects() const { return redirects_; }
+  /// Reconnect/retry attempts beyond each operation's first try.
+  std::uint64_t retries() const { return retries_; }
+  /// The epoch carried by the last successful write ack (0 = no guard).
+  std::uint64_t last_epoch() const { return last_epoch_; }
+  /// Status of the last reply frame seen (kServerError before any).
+  Status last_status() const { return last_status_; }
+  /// The endpoint the current/most recent connection targets.
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  enum class Outcome { kDone, kFailed, kTransport, kRedirect };
+
+  /// Runs `op` against a connected client, retrying through transport
+  /// failures and redirects up to max_attempts.
+  bool Run(const std::function<Outcome(KvClient&)>& op);
+  bool EnsureConnected();
+  /// Classifies a reply: kOk -> kDone; kNotLeader -> aim at the hint (or
+  /// rotate) and kRedirect; anything else -> kFailed.
+  Outcome Classify(const KvClient::Reply& r);
+  std::uint32_t BackoffMs(std::uint32_t attempt) const;
+
+  Config config_;
+  KvClient client_;
+  std::string endpoint_;     ///< "host:port" currently targeted
+  std::size_t rr_ = 0;       ///< next endpoints_ index on rotation
+  bool use_hint_ = false;    ///< endpoint_ came from a redirect hint
+  std::uint64_t redirects_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t last_epoch_ = 0;
+  Status last_status_ = Status::kServerError;
 };
 
 }  // namespace serve

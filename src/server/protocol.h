@@ -104,6 +104,14 @@ enum class Op : std::uint8_t {
   /// clear ends the stream. `next_key` is where a resumed SCAN_STREAM
   /// would continue (meaningful while `more` is set).
   kScanStream = 15,
+  /// Leader->follower (RewindGuard): lease heartbeat pushed on the
+  /// replication stream while it is idle. Payload:
+  /// [epoch:u64][last_gtid:u64]. The follower renews its leader lease,
+  /// adopts the epoch, and answers with a kReplAck (its applied gtid) —
+  /// the ack doubles as the follower-contact signal that keeps the
+  /// LEADER's own lease alive, so liveness is checked in both directions
+  /// even on a write-idle stream.
+  kReplHeartbeat = 16,
 };
 
 enum class Status : std::uint8_t {
@@ -111,8 +119,20 @@ enum class Status : std::uint8_t {
   kNotFound = 1,
   kBadRequest = 2,
   kServerError = 3,  ///< shutting down / batcher unavailable
-  kNotLeader = 4,    ///< write refused: this node is a read-only follower
+  /// Write refused: this node is a read-only follower (or a fenced
+  /// ex-leader). With RewindGuard the payload carries a redirect hint —
+  /// [epoch:u64][addr_len:u16][addr-bytes] — naming the current epoch and
+  /// (when known) the leader's host:port; pre-guard replies carry an
+  /// empty payload and clients must fall back to their endpoint list.
+  kNotLeader = 4,
 };
+
+/// REPL_SUBSCRIBE position sentinel (RewindGuard): "discard my state and
+/// send a full snapshot". A demoted ex-leader's applied gtid is from its
+/// OWN former epoch — meaningless against the new leader's epoch-local
+/// gtids — so rejoin always resyncs via snapshot (whose keep-set
+/// reconciliation also discards any divergent, never-replicated writes).
+constexpr std::uint64_t kReplSubscribeSnapshot = ~0ull;
 
 /// Upper bound on one frame (guards the server against hostile lengths).
 constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
@@ -173,10 +193,24 @@ struct ReplSubStatus {
 };
 
 /// REPL_STATUS response: the leader's replication head plus one health
-/// entry per subscribed follower.
+/// entry per subscribed follower. Since PR 10 the payload may end with a
+/// 9-byte [epoch:u64][role:u8] trailer (role 1 = leader, 0 = follower);
+/// pre-guard replies omit it and decode with `has_role` false.
 struct ReplStatusReply {
   std::uint64_t last_gtid = 0;  ///< leader's last published gtid
   std::vector<ReplSubStatus> subs;
+  std::uint64_t epoch = 0;  ///< fencing epoch (0 when no guard)
+  bool leader = false;      ///< role at reply time
+  bool has_role = false;    ///< trailer present (server has PR 10)
+};
+
+/// Decoded kNotLeader payload: the rejecting node's view of the current
+/// epoch and, when it knows one, the leader's address to redirect to.
+struct NotLeaderHint {
+  std::uint64_t epoch = 0;
+  std::string host;
+  std::uint16_t port = 0;
+  bool has_addr = false;
 };
 
 /// One decoded SCAN_STREAM chunk.
@@ -308,17 +342,80 @@ inline void EncodeStats2(std::string* out) {
   EndFrame(out, at);
 }
 
-inline void EncodeReplSubscribe(std::string* out, std::uint64_t applied) {
+/// REPL_SUBSCRIBE request. Since PR 10 the payload carries the follower's
+/// fencing epoch after its applied gtid (16 bytes); the server accepts
+/// the old 8-byte form with epoch 0. `applied` may be
+/// kReplSubscribeSnapshot to force a full snapshot resync. The reply is
+/// [kOk][mode:u8][start:u64][epoch:u64] (the trailing leader epoch added
+/// in PR 10; followers accept the 9-byte pre-guard form too).
+inline void EncodeReplSubscribe(std::string* out, std::uint64_t applied,
+                                std::uint64_t epoch = 0) {
   std::size_t at =
       BeginFrame(out, static_cast<std::uint8_t>(Op::kReplSubscribe));
   AppendU64(out, applied);
+  AppendU64(out, epoch);
   EndFrame(out, at);
 }
 
-inline void EncodeReplAck(std::string* out, std::uint64_t gtid) {
+/// REPL_ACK frame. Since PR 10 the payload carries the follower's epoch
+/// after the applied gtid (16 bytes); leaders accept the old 8-byte form.
+inline void EncodeReplAck(std::string* out, std::uint64_t gtid,
+                          std::uint64_t epoch = 0) {
   std::size_t at = BeginFrame(out, static_cast<std::uint8_t>(Op::kReplAck));
   AppendU64(out, gtid);
+  AppendU64(out, epoch);
   EndFrame(out, at);
+}
+
+/// REPL_HEARTBEAT frame (leader -> follower on the replication stream).
+inline void EncodeReplHeartbeat(std::string* out, std::uint64_t epoch,
+                                std::uint64_t last_gtid) {
+  std::size_t at =
+      BeginFrame(out, static_cast<std::uint8_t>(Op::kReplHeartbeat));
+  AppendU64(out, epoch);
+  AppendU64(out, last_gtid);
+  EndFrame(out, at);
+}
+
+/// Appends a kNotLeader redirect payload: [epoch:u64][addr_len:u16][addr].
+/// `addr` is "host:port" or empty when this node has no leader hint.
+inline void AppendNotLeaderPayload(std::string* out, std::uint64_t epoch,
+                                   std::string_view addr) {
+  AppendU64(out, epoch);
+  std::uint16_t len = static_cast<std::uint16_t>(
+      std::min<std::size_t>(addr.size(), 0xffff));
+  AppendU16(out, len);
+  out->append(addr.data(), len);
+}
+
+/// Parses a kNotLeader payload. An EMPTY payload is valid (pre-guard
+/// server: no epoch, no hint) and yields epoch 0 / has_addr false. A
+/// hint without a ':' or with a bad port parses as addr-less.
+inline bool DecodeNotLeaderPayload(std::string_view payload,
+                                   NotLeaderHint* out) {
+  *out = NotLeaderHint{};
+  if (payload.empty()) return true;
+  if (payload.size() < 10) return false;
+  out->epoch = ReadU64(payload.data());
+  std::uint16_t len = ReadU16(payload.data() + 8);
+  if (payload.size() != std::size_t{10} + len) return false;
+  std::string_view addr = payload.substr(10, len);
+  std::size_t colon = addr.rfind(':');
+  if (colon == std::string_view::npos || colon + 1 >= addr.size()) {
+    return true;
+  }
+  std::uint32_t port = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    char c = addr[i];
+    if (c < '0' || c > '9') return true;
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    if (port > 0xffff) return true;
+  }
+  if (port == 0) return true;
+  out->host = std::string(addr.substr(0, colon));
+  out->port = static_cast<std::uint16_t>(port);
+  out->has_addr = true;
+  return true;
 }
 
 inline void EncodeGetRyw(std::string* out, std::uint64_t key,
@@ -454,7 +551,10 @@ inline bool DecodeStatsPayload(std::string_view payload, StatsReply* out) {
   return true;
 }
 
-/// Parses a REPL_STATUS response payload.
+/// Parses a REPL_STATUS response payload. Exactly 0 or 9 bytes may follow
+/// the subscriber entries (the PR 10 [epoch:u64][role:u8] trailer, same
+/// idiom as the SCAN truncation trailer); anything else is a framing
+/// error.
 inline bool DecodeReplStatusPayload(std::string_view payload,
                                     ReplStatusReply* out) {
   if (payload.size() < 12) return false;
@@ -462,6 +562,9 @@ inline bool DecodeReplStatusPayload(std::string_view payload,
   std::uint32_t n = ReadU32(payload.data() + 8);
   std::size_t off = 12;
   out->subs.clear();
+  out->epoch = 0;
+  out->leader = false;
+  out->has_role = false;
   for (std::uint32_t i = 0; i < n; ++i) {
     if (payload.size() - off < 2) return false;
     std::uint16_t name_len = ReadU16(payload.data() + off);
@@ -478,7 +581,13 @@ inline bool DecodeReplStatusPayload(std::string_view payload,
     off += 24;
     out->subs.push_back(std::move(s));
   }
-  return off == payload.size();
+  std::size_t rem = payload.size() - off;
+  if (rem == 0) return true;
+  if (rem != 9) return false;
+  out->epoch = ReadU64(payload.data() + off);
+  out->leader = payload[off + 8] != 0;
+  out->has_role = true;
+  return true;
 }
 
 /// Parses a STATS2 response payload into samples. Deliberately generic:

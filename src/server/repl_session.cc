@@ -4,7 +4,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -23,11 +25,14 @@ constexpr std::size_t kSnapshotChunkBytes = 1u << 20;
 
 ReplSession::ReplSession(KvStore* store, repl::ReplicationLog* log, int fd,
                          std::uint64_t start_after, std::string pre_out,
-                         std::string pre_in)
+                         std::string pre_in, repl::RewindGuard* guard,
+                         std::uint64_t follower_epoch)
     : store_(store),
       log_(log),
       fd_(fd),
       start_after_(start_after),
+      guard_(guard),
+      follower_epoch_(follower_epoch),
       pre_out_(std::move(pre_out)),
       in_(std::move(pre_in)) {
   // The fd arrives non-blocking from the epoll loop; both session threads
@@ -119,12 +124,19 @@ void ReplSession::RecvAcks() {
       }
       if (in_.size() - off < 4 + static_cast<std::size_t>(len)) break;
       const char* p = in_.data() + off + 4;
+      // Only acks flow leader-ward on a stream: 9 bytes pre-guard,
+      // 17 with the follower's epoch appended (PR 10).
       if (static_cast<Op>(static_cast<std::uint8_t>(*p)) != Op::kReplAck ||
-          len != 9) {
-        broken = true;  // only acks flow leader-ward on a stream
+          (len != 9 && len != 17)) {
+        broken = true;
         break;
       }
       log_->Ack(sub_id_, ReadU64(p + 1));
+      if (guard_ != nullptr) {
+        // Every ack — data or heartbeat reply — renews our own lease.
+        guard_->ObserveFollowerContact();
+        if (len == 17) guard_->ObserveRemoteEpoch(ReadU64(p + 9));
+      }
       off += 4 + len;
     }
     in_.erase(0, off);
@@ -146,15 +158,35 @@ void ReplSession::Run() {
   // subscribe must reach it before the subscribe reply.
   bool ok = pre_out_.empty() || SendAll(pre_out_.data(), pre_out_.size());
   pre_out_.clear();
-  std::uint64_t resume = start_after_;
-  bool snapshot_first = ok && !log_->CanResume(start_after_);
+  if (ok && guard_ != nullptr && follower_epoch_ > guard_->epoch()) {
+    // The subscriber is from a later epoch than ours: WE are the stale
+    // node. Refuse with a redirect hint and let the guard's monitor run
+    // the demotion (fence + rejoin) on its own thread.
+    guard_->ObserveRemoteEpoch(follower_epoch_);
+    std::string reply;
+    std::size_t at =
+        BeginFrame(&reply, static_cast<std::uint8_t>(Status::kNotLeader));
+    AppendNotLeaderPayload(&reply, guard_->epoch(), guard_->leader_hint());
+    EndFrame(&reply, at);
+    SendAll(reply.data(), reply.size());
+    done_.store(true, std::memory_order_release);
+    return;
+  }
+  bool forced = start_after_ == kReplSubscribeSnapshot;
+  std::uint64_t resume = forced ? 0 : start_after_;
+  // The sentinel must short-circuit CanResume: ~0 is "past the ring's
+  // head" and would otherwise read as resumable.
+  bool snapshot_first = ok && (forced || !log_->CanResume(resume));
   if (ok) {
-    // Subscribe reply: [kOk][mode:u8][start:u64].
+    // Subscribe reply: [kOk][mode:u8][start:u64][epoch:u64] (the epoch
+    // trailer since PR 10; pre-guard followers ignore unknown bytes by
+    // accepting either length).
     std::string reply;
     std::size_t at =
         BeginFrame(&reply, static_cast<std::uint8_t>(Status::kOk));
     reply.push_back(snapshot_first ? '\1' : '\0');
     AppendU64(&reply, resume);
+    AppendU64(&reply, guard_ != nullptr ? guard_->epoch() : 0);
     EndFrame(&reply, at);
     ok = SendAll(reply.data(), reply.size());
   }
@@ -170,6 +202,15 @@ void ReplSession::Run() {
     // Acks ride their own blocking thread: the cursor advances the moment
     // an ack frame lands instead of at the next shipper poll boundary.
     ack_thread_ = std::thread([this] { RecvAcks(); });
+    // With a guard, heartbeats ride the shipper's idle hook, so the poll
+    // wait must undercut the heartbeat interval or a quiet log would
+    // starve the lease.
+    std::uint32_t hb_ms = guard_ != nullptr ? guard_->heartbeat_ms() : 0;
+    std::uint32_t poll_wait_ms =
+        hb_ms != 0 ? std::max<std::uint32_t>(2, std::min(hb_ms / 2, 100u))
+                   : 100;
+    auto last_hb = std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(hb_ms);  // first one now
     repl::Shipper shipper(
         log_, resume,
         [this](const repl::ReplRecord& rec) {
@@ -180,10 +221,27 @@ void ReplSession::Run() {
           EndFrame(&frame, at);
           return SendAll(frame.data(), frame.size());
         },
-        [this] {
-          return !stop_.load(std::memory_order_acquire) &&
-                 !peer_gone_.load(std::memory_order_acquire);
-        });
+        [this, hb_ms, &last_hb] {
+          if (stop_.load(std::memory_order_acquire) ||
+              peer_gone_.load(std::memory_order_acquire)) {
+            return false;
+          }
+          // Leaders only: a demoted node keeps streaming what it applies
+          // (chained topology) but stops claiming the lease.
+          if (guard_ != nullptr && guard_->is_leader()) {
+            auto now = std::chrono::steady_clock::now();
+            if (now - last_hb >= std::chrono::milliseconds(hb_ms)) {
+              std::string frame;
+              EncodeReplHeartbeat(&frame, guard_->epoch(),
+                                  log_->last_gtid());
+              if (!SendAll(frame.data(), frame.size())) return false;
+              last_hb = now;
+              guard_->CountHeartbeatSent();
+            }
+          }
+          return true;
+        },
+        poll_wait_ms);
     shipper.Run();
     // A gap means the ring rotated past this follower mid-stream. The
     // stream just ends; the follower reconnects and resynchronizes from

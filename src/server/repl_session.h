@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "src/kv/kv_store.h"
+#include "src/repl/guard.h"
 #include "src/repl/replication_log.h"
 #include "src/repl/shipper.h"
 
@@ -30,12 +31,18 @@ namespace serve {
 class ReplSession {
  public:
   /// Takes ownership of `fd`. `start_after` is the follower's applied
-  /// gtid from its subscribe frame; `pre_out` is unsent reply residue for
-  /// requests pipelined BEFORE the subscribe, `pre_in` any bytes that
-  /// arrived after it (early acks) — both are honoured before streaming.
+  /// gtid from its subscribe frame (kReplSubscribeSnapshot forces a full
+  /// resync); `pre_out` is unsent reply residue for requests pipelined
+  /// BEFORE the subscribe, `pre_in` any bytes that arrived after it
+  /// (early acks) — both are honoured before streaming. With a guard
+  /// attached (RewindGuard), `follower_epoch` is the epoch the follower
+  /// presented: a subscriber from a HIGHER epoch is refused with
+  /// kNotLeader (this node is the stale one), and the stream carries
+  /// lease heartbeats while this node leads.
   ReplSession(KvStore* store, repl::ReplicationLog* log, int fd,
               std::uint64_t start_after, std::string pre_out,
-              std::string pre_in);
+              std::string pre_in, repl::RewindGuard* guard = nullptr,
+              std::uint64_t follower_epoch = 0);
   ~ReplSession();
 
   ReplSession(const ReplSession&) = delete;
@@ -63,6 +70,8 @@ class ReplSession {
   repl::ReplicationLog* log_;
   int fd_;
   std::uint64_t start_after_;
+  repl::RewindGuard* guard_;
+  std::uint64_t follower_epoch_;
   std::string pre_out_;
   std::string in_;  ///< unparsed inbound bytes (ack frames)
   std::uint64_t sub_id_ = 0;

@@ -18,6 +18,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/repl/applier.h"
+#include "src/repl/guard.h"
 #include "src/repl/replication_log.h"
 #include "src/server/repl_session.h"
 
@@ -147,6 +148,7 @@ struct KvServer::Conn {
   /// flushing it.
   bool repl_detach = false;
   std::uint64_t repl_start = 0;  ///< the follower's applied gtid
+  std::uint64_t repl_epoch = 0;  ///< the follower's epoch (0 = pre-guard)
   // --- SCAN_STREAM state (one stream at a time per connection; later
   // requests queue behind it, preserving reply order) ---
   bool stream_active = false;
@@ -232,7 +234,7 @@ bool KvServer::Start() {
       },
       config_.slow_op_threshold_us, config_.sync_repl,
       config_.sync_repl_timeout_ms, config_.adaptive_batch_window,
-      config_.batch_window_cap_us);
+      config_.batch_window_cap_us, config_.guard);
   batcher_->Start();
   read_only_.store(config_.read_only, std::memory_order_release);
   stop_.store(false, std::memory_order_release);
@@ -354,10 +356,20 @@ void KvServer::HandleInbox(Worker& w) {
     Conn& c = *it->second;
     std::size_t at =
         BeginFrame(&c.out, static_cast<std::uint8_t>(comp.status));
-    // Write acks carry the covering batch's replication gtid (0 without
-    // replication): the client's read-your-writes token for follower
-    // reads.
-    AppendU64(&c.out, comp.gtid);
+    if (comp.status == Status::kNotLeader && config_.guard != nullptr) {
+      // A batch fenced mid-commit (the guard lost the lease while the
+      // semi-sync wait was pending): redirect the writer instead of an
+      // ack payload. Counted by the batcher, not here.
+      AppendNotLeaderPayload(&c.out, config_.guard->epoch(),
+                             config_.guard->leader_hint());
+    } else {
+      // Write acks carry the covering batch's replication gtid (0 without
+      // replication) — the client's read-your-writes token for follower
+      // reads — plus the acking leader's epoch since PR 10.
+      AppendU64(&c.out, comp.gtid);
+      AppendU64(&c.out,
+                config_.guard != nullptr ? config_.guard->epoch() : 0);
+    }
     EndFrame(&c.out, at);
     if (c.unacked > 0) --c.unacked;
     if (std::find(touched.begin(), touched.end(), &c) == touched.end()) {
@@ -522,10 +534,12 @@ bool KvServer::ParseFrames(Conn& c) {
         break;
       case Op::kReplSubscribe:
         req.op = Op::kReplSubscribe;
-        if (body != 8) {
+        // 8 bytes pre-guard, 16 with the subscriber's epoch (PR 10).
+        if (body != 8 && body != 16) {
           req.bad = true;
         } else {
           req.key = ReadU64(q);  // the follower's applied gtid
+          if (body == 16) req.gtid = ReadU64(q + 8);  // follower's epoch
         }
         break;
       default:
@@ -568,6 +582,14 @@ void KvServer::Drive(Worker& w, Conn& c) {
       if (c.unacked > 0) return;
       std::size_t at = BeginFrame(
           &c.out, static_cast<std::uint8_t>(Status::kNotLeader));
+      if (config_.guard != nullptr) {
+        // Redirect hint: the epoch we know of plus the leader's address
+        // (learned from its heartbeats), so the client can follow the
+        // topology instead of polling every endpoint.
+        AppendNotLeaderPayload(&c.out, config_.guard->epoch(),
+                               config_.guard->leader_hint());
+        config_.guard->CountFencedWrites(1);
+      }
       EndFrame(&c.out, at);
       c.reqs.pop_front();
       continue;
@@ -668,9 +690,7 @@ void KvServer::Drive(Worker& w, Conn& c) {
       } else if (req.op == Op::kPromote) {
         // Idempotent: the first promote flips the role and runs the hook
         // (the host stops its follower agent there); repeats just ack.
-        bool was_follower = read_only_.exchange(false,
-                                                std::memory_order_acq_rel);
-        if (was_follower && config_.on_promote) config_.on_promote();
+        Promote();
         std::size_t at =
             BeginFrame(&c.out, static_cast<std::uint8_t>(Status::kOk));
         EndFrame(&c.out, at);
@@ -687,6 +707,7 @@ void KvServer::Drive(Worker& w, Conn& c) {
           // stream's business now.
           c.repl_detach = true;
           c.repl_start = req.key;
+          c.repl_epoch = req.gtid;
           c.reqs.pop_front();
           return;
         }
@@ -716,6 +737,12 @@ void KvServer::Drive(Worker& w, Conn& c) {
             AppendU64(&c.out, sub.lag_batches);
             AppendU64(&c.out, sub.staleness_ms);
           }
+        }
+        // Guard trailer (PR 10): [epoch:u64][role:u8]. Absent without a
+        // guard; pre-guard clients never read past the subscriber list.
+        if (config_.guard != nullptr) {
+          AppendU64(&c.out, config_.guard->epoch());
+          c.out.push_back(config_.guard->is_leader() ? '\1' : '\0');
         }
         EndFrame(&c.out, at);
       } else {  // Op::kStats
@@ -909,6 +936,7 @@ void KvServer::DetachRepl(Worker& w, Conn& c) {
   ::epoll_ctl(w.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
   int fd = c.fd;
   std::uint64_t start = c.repl_start;
+  std::uint64_t follower_epoch = c.repl_epoch;
   // Unsent reply residue (requests pipelined before the subscribe) and
   // unparsed inbound bytes both move into the session.
   std::string pre_out = c.out.substr(c.out_off);
@@ -916,7 +944,7 @@ void KvServer::DetachRepl(Worker& w, Conn& c) {
   w.conns.erase(c.id);  // frees `c`; the fd lives on in the session
   auto session = std::make_unique<ReplSession>(
       store_, store_->replication_log(), fd, start, std::move(pre_out),
-      std::move(pre_in));
+      std::move(pre_in), config_.guard, follower_epoch);
   session->Start();
   std::lock_guard<std::mutex> lock(repl_mu_);
   // Opportunistically reap sessions whose follower already went away.
@@ -929,6 +957,23 @@ void KvServer::DetachRepl(Worker& w, Conn& c) {
     }
   }
   repl_sessions_.push_back(std::move(session));
+}
+
+void KvServer::Promote() {
+  // Epoch first, role second: by the time any write can be acked under
+  // the new role, the bumped epoch is already durable (guard.cc persists
+  // it before returning), so a SIGKILL after the first ack can never
+  // resurrect a node claiming the old epoch.
+  if (config_.guard != nullptr && !config_.guard->is_leader()) {
+    config_.guard->Promote();
+  }
+  bool was_follower =
+      read_only_.exchange(false, std::memory_order_acq_rel);
+  if (was_follower && config_.on_promote) config_.on_promote();
+}
+
+void KvServer::Demote() {
+  read_only_.store(true, std::memory_order_release);
 }
 
 StatsReply KvServer::StatsSnapshot() {

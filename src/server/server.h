@@ -28,6 +28,7 @@ namespace rwd {
 
 namespace repl {
 class ReplApplier;
+class RewindGuard;
 }  // namespace repl
 
 namespace serve {
@@ -87,6 +88,11 @@ struct ServerConfig {
   /// Invoked once when a PROMOTE flips this node to leader (the host
   /// stops its follower agent here). Called on a worker thread.
   std::function<void()> on_promote;
+  /// RewindGuard (PR 10): lease/epoch authority for this node. With a
+  /// guard attached, writes bounced with kNotLeader carry an epoch +
+  /// leader-address redirect hint, semi-sync acks are fenced on role
+  /// loss, and REPL_SUBSCRIBE/REPL_ACK exchange epochs. Not owned.
+  repl::RewindGuard* guard = nullptr;
 };
 
 class KvServer {
@@ -116,6 +122,16 @@ class KvServer {
   bool read_only() const {
     return read_only_.load(std::memory_order_acquire);
   }
+
+  /// Take the leader role: bumps the guard's epoch (persisted before the
+  /// role flip, when a guard is attached), clears read_only, and runs
+  /// on_promote once per follower->leader transition. Idempotent; also
+  /// the PROMOTE op's handler and the guard's election callback.
+  void Promote();
+
+  /// Drop to the follower role (fencing): writes answer kNotLeader with
+  /// a redirect hint until a future Promote(). Reads stay available.
+  void Demote();
 
   /// Aggregate counters (also the STATS op's payload).
   StatsReply StatsSnapshot();

@@ -1,11 +1,13 @@
 #include "src/workload/net_driver.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/repl/follower_agent.h"
 #include "src/server/client.h"
 #include "src/server/protocol.h"
 
@@ -79,8 +81,22 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
   // across both nodes without splitting a single connection's pipeline.
   bool to_follower = net_.follower_port != 0 && thread_idx % 2 == 1;
   serve::KvClient client;
-  if (!client.Connect(net_.host,
-                      to_follower ? net_.follower_port : net_.port)) {
+  std::string cur_host = net_.host;
+  std::uint16_t cur_port = to_follower ? net_.follower_port : net_.port;
+  // Failover ride-through state: with a reconnect budget, connects get
+  // bounded timeouts (a black-holed leader must fail fast, not wedge the
+  // run) and kNotLeader hints re-aim the next reconnect.
+  std::uint32_t reconnects_left = net_.max_reconnects;
+  std::string hint_host;
+  std::uint16_t hint_port = 0;
+  std::uint64_t notleader_streak = 0;
+  std::uint32_t backoff_attempt = 0;
+  auto connect_now = [&]() {
+    return net_.max_reconnects != 0
+               ? client.Connect(cur_host, cur_port, 5000, 2000)
+               : client.Connect(cur_host, cur_port);
+  };
+  if (!connect_now() && reconnects_left == 0) {
     *conn_ok = false;
     return;
   }
@@ -97,6 +113,19 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
   auto account = [&](const Inflight& sent,
                      const serve::KvClient::Reply& reply) {
     bool ok = reply.status == serve::Status::kOk;
+    if (reply.status == serve::Status::kNotLeader) {
+      // Fenced or follower target: remember the redirect hint; a streak
+      // as long as the pipeline triggers a reconnect toward it.
+      ++notleader_streak;
+      serve::NotLeaderHint hint;
+      if (serve::DecodeNotLeaderPayload(reply.payload, &hint) &&
+          hint.has_addr) {
+        hint_host = hint.host;
+        hint_port = hint.port;
+      }
+    } else {
+      notleader_streak = 0;
+    }
     switch (sent.kind) {
       case Inflight::Kind::kGet:
         if (!ok && reply.status != serve::Status::kNotFound) return;
@@ -169,6 +198,50 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
     return true;
   };
 
+  // Drops the broken connection's in-flight requests (abandoned, never
+  // accounted) and reconnects — to the hinted leader when one was seen,
+  // else alternating toward the failover endpoint. False once the
+  // reconnect budget is spent.
+  auto reconnect = [&]() -> bool {
+    while (reconnects_left > 0) {
+      --reconnects_left;
+      inflight.clear();
+      notleader_streak = 0;
+      if (hint_port != 0) {
+        cur_host = hint_host;
+        cur_port = hint_port;
+        hint_port = 0;
+      } else if (net_.failover_port != 0) {
+        cur_port = cur_port == net_.failover_port ? net_.port
+                                                  : net_.failover_port;
+      }
+      std::uint32_t delay = repl::ReconnectBackoffMs(
+          backoff_attempt++,
+          seed_ ^ (0xD1B54A32D192ED03ull * (thread_idx + 1)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      if (connect_now()) {
+        backoff_attempt = 0;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // One reply off the pipeline, riding through failures when a budget
+  // remains: a dead link reconnects, and a pipeline-deep kNotLeader
+  // streak (every slot bounced — the target is fenced for good) re-aims
+  // at the hinted leader rather than burning the whole op budget.
+  auto pump = [&]() -> bool {
+    if (!client.connected() || !read_one()) {
+      if (!reconnect()) return false;
+    } else if (notleader_streak >= std::max<std::uint64_t>(depth, 4) &&
+               reconnects_left > 0) {
+      client.Close();
+      if (!reconnect()) return false;
+    }
+    return true;
+  };
+
   for (std::uint64_t i = 0; i < ops; ++i) {
     KvOp op = PickOp(spec_, rng);
     Clock::time_point now = Clock::now();
@@ -201,7 +274,7 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
           // pull chunks synchronously. Latency covers begin-to-last-chunk
           // — what a streaming consumer experiences end to end.
           while (!inflight.empty()) {
-            if (!read_one()) {
+            if (!pump()) {
               *conn_ok = false;
               return;
             }
@@ -262,14 +335,14 @@ void NetWorkloadDriver::RunConn(std::size_t thread_idx, std::uint64_t ops,
       }
     }
     while (inflight.size() >= depth) {
-      if (!read_one()) {
+      if (!pump()) {
         *conn_ok = false;
         return;
       }
     }
   }
   while (!inflight.empty()) {
-    if (!read_one()) {
+    if (!pump()) {
       *conn_ok = false;
       return;
     }

@@ -32,6 +32,16 @@ struct NetDriverSpec {
   /// pipeline first and runs the scan synchronously — the trade YCSB E
   /// makes for untruncated, backpressured results.
   bool stream_scans = false;
+  /// Failover ride-through (PR 10): with a non-zero reconnect budget a
+  /// connection survives transport failures and fenced-leader bounces
+  /// instead of failing the run. On a dropped link — or a kNotLeader
+  /// streak as long as the pipeline — it reconnects after a capped,
+  /// jittered backoff, following the kNotLeader redirect hint when one
+  /// was seen, else alternating toward `host:failover_port`. Requests
+  /// in flight on the broken link are abandoned unaccounted: only acked
+  /// operations ever count, so the result reflects real completions.
+  std::uint16_t failover_port = 0;
+  std::uint32_t max_reconnects = 0;
 };
 
 /// Drives a remote KvStore with a WorkloadSpec over TCP. Latency samples

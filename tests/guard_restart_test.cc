@@ -1,0 +1,405 @@
+// RewindGuard crash tests (fork/SIGKILL — deliberately NOT part of the
+// TSan job; the thread-based guard tests live in guard_test.cc).
+//
+// Same topology as repl_restart_test.cc: every node is a forked child
+// running a full KvStore + RewindGuard + KvServer, reporting its
+// ephemeral port through a pipe and parking until SIGKILLed. The parent
+// verifies the two PR 10 crash guarantees from the outside:
+//
+//  * the "repl_epoch" catalog root survives SIGKILL on a file-backed
+//    heap: a restarted node re-promotes to a strictly HIGHER epoch than
+//    any it led at before the crash — two leaderships never share an
+//    epoch, even across power loss;
+//  * the automatic failover sweep: a guarded leader is SIGKILLed with a
+//    pipeline of writes in flight and the follower self-promotes — NO
+//    PROMOTE op is ever issued — within two lease intervals, after
+//    which every write the client saw acked is served by the new
+//    leader, reachable through the FailoverClient rotation path.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/kv/kv_store.h"
+#include "src/repl/applier.h"
+#include "src/repl/follower_agent.h"
+#include "src/repl/guard.h"
+#include "src/repl/replication_log.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace rwd {
+namespace {
+
+constexpr std::uint32_t kLeaseMs = 400;
+
+std::string TmpPath(const char* name) {
+  return ::testing::TempDir() + "guard_" + name + "_" +
+         std::to_string(::getpid()) + ".heap";
+}
+
+std::string Val(std::uint64_t key, std::uint64_t version) {
+  return "g" + std::to_string(version) + "-" + std::to_string(key) + "-" +
+         std::string(24, 'q');
+}
+
+KvConfig NodeConfig(const std::string& heap_file = "") {
+  KvConfig cfg;
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.layers = Layers::kOne;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 64;
+  cfg.rewind.nvm.mode = NvmMode::kFast;
+  cfg.rewind.nvm.heap_bytes = std::size_t{32} << 20;
+  cfg.rewind.nvm.write_latency_ns = 0;
+  cfg.rewind.nvm.fence_latency_ns = 0;
+  cfg.rewind.nvm.heap_file = heap_file;
+  cfg.shards = 3;
+  cfg.checkpoint_period_ms = 0;
+  return cfg;
+}
+
+/// A forked server node (see repl_restart_test.cc): SIGKILL only, so
+/// destructors never run — exactly like a real crash.
+struct ChildNode {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+
+  ChildNode() = default;
+  ChildNode(ChildNode&& other) noexcept
+      : pid(other.pid), port(other.port) {
+    other.pid = -1;
+  }
+  ChildNode& operator=(ChildNode&& other) noexcept {
+    if (this != &other) {
+      Kill();
+      pid = other.pid;
+      port = other.port;
+      other.pid = -1;
+    }
+    return *this;
+  }
+  ChildNode(const ChildNode&) = delete;
+  ChildNode& operator=(const ChildNode&) = delete;
+
+  void Kill() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+  }
+  ~ChildNode() { Kill(); }
+};
+
+/// Forks a node. `setup` runs in the child and must return the
+/// listening port (0 = failure, child exits 1). The child never returns.
+template <typename Setup>
+ChildNode ForkNode(Setup setup) {
+  int pipe_fd[2];
+  if (::pipe(pipe_fd) != 0) return {};
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(pipe_fd[0]);
+    std::uint16_t port = setup();
+    if (port == 0) ::_exit(1);
+    if (::write(pipe_fd[1], &port, sizeof(port)) != sizeof(port)) ::_exit(1);
+    ::close(pipe_fd[1]);
+    for (;;) ::pause();
+  }
+  ::close(pipe_fd[1]);
+  ChildNode node;
+  node.pid = pid;
+  ssize_t n = ::read(pipe_fd[0], &node.port, sizeof(node.port));
+  ::close(pipe_fd[0]);
+  if (n != sizeof(node.port)) {
+    node.Kill();
+    node.port = 0;
+  }
+  return node;
+}
+
+/// Guarded leader child: DRAM store + log + RewindGuard (leader role) +
+/// semi-synchronous KvServer. A huge lease would mask nothing here —
+/// the leader dies by SIGKILL, not by fencing — but the guard stamps
+/// epochs on acks and heartbeats on the stream.
+ChildNode ForkGuardLeader() {
+  return ForkNode([]() -> std::uint16_t {
+    static KvStore store(NodeConfig());
+    static repl::ReplicationLog log(8192);
+    store.SetReplicationLog(&log);
+    repl::GuardConfig gcfg;
+    gcfg.lease_ms = kLeaseMs;
+    gcfg.start_leader = true;
+    gcfg.jitter_seed = 21;
+    static repl::RewindGuard guard(&store, gcfg);
+    serve::ServerConfig cfg;
+    cfg.port = 0;
+    cfg.workers = 2;
+    cfg.batch_window_us = 100;
+    cfg.sync_repl = true;
+    cfg.sync_repl_timeout_ms = 2000;
+    cfg.guard = &guard;
+    static serve::KvServer server(&store, cfg);
+    if (!server.Start()) return 0;
+    guard.Start();
+    return server.port();
+  });
+}
+
+/// Guarded follower child: applier + agent chasing `leader_port`, with
+/// the guard's election wired to KvServer::Promote — the ONLY path to
+/// leadership in this test; the parent never sends a PROMOTE op.
+ChildNode ForkGuardFollower(std::uint16_t leader_port) {
+  return ForkNode([leader_port]() -> std::uint16_t {
+    static KvStore store(NodeConfig());
+    static repl::ReplicationLog log(8192);
+    store.SetReplicationLog(&log);
+    static repl::ReplApplier applier(&store);
+    repl::GuardConfig gcfg;
+    gcfg.lease_ms = kLeaseMs;
+    gcfg.start_leader = false;
+    gcfg.jitter_seed = 22;
+    static repl::RewindGuard guard(&store, gcfg);
+    static repl::FollowerAgent agent(&applier, "127.0.0.1", leader_port,
+                                     &guard);
+    serve::ServerConfig cfg;
+    cfg.port = 0;
+    cfg.workers = 2;
+    cfg.batch_window_us = 100;
+    cfg.read_only = true;
+    cfg.applier = &applier;
+    cfg.guard = &guard;
+    cfg.on_promote = [] { agent.Stop(); };
+    static serve::KvServer server(&store, cfg);
+    if (!server.Start()) return 0;
+    guard.on_election = [] { server.Promote(); };
+    guard.Start();
+    agent.Start();
+    return server.port();
+  });
+}
+
+/// Epoch-persistence child: file-backed store (re-attached when the
+/// heap exists) whose guard promotes once at boot, then serves so the
+/// parent can read the epoch back via REPL_STATUS.
+ChildNode ForkEpochNode(const std::string& heap_file) {
+  return ForkNode([heap_file]() -> std::uint16_t {
+    KvConfig kv_cfg = NodeConfig(heap_file);
+    static std::unique_ptr<KvStore> store;
+    struct stat st;
+    bool reattach =
+        ::stat(heap_file.c_str(), &st) == 0 && st.st_size > 0;
+    try {
+      store = reattach ? KvStore::Open(heap_file, kv_cfg)
+                       : std::make_unique<KvStore>(kv_cfg);
+    } catch (...) {
+      return 0;
+    }
+    static repl::ReplicationLog log(1024);
+    store->SetReplicationLog(&log);
+    repl::GuardConfig gcfg;
+    gcfg.lease_ms = 60000;  // no peer: the lease never matters here
+    gcfg.start_leader = true;
+    static repl::RewindGuard guard(store.get(), gcfg);
+    guard.Promote();  // epoch = persisted max + 1, persisted again
+    serve::ServerConfig cfg;
+    cfg.port = 0;
+    cfg.workers = 2;
+    cfg.batch_window_us = 100;
+    cfg.guard = &guard;
+    static serve::KvServer server(store.get(), cfg);
+    if (!server.Start()) return 0;
+    return server.port();
+  });
+}
+
+/// Polls `port`'s STATS until `pred(keys)` holds. False on timeout.
+bool WaitForKeys(std::uint16_t port,
+                 const std::function<bool(std::uint64_t)>& pred,
+                 std::uint32_t timeout_ms = 15000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    serve::KvClient probe;
+    serve::StatsReply stats;
+    if (probe.Connect("127.0.0.1", port, 2000) && probe.Stats(&stats) &&
+        pred(stats.keys)) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// Reads the node's guard state over REPL_STATUS. False when the node
+/// is unreachable or runs without a guard.
+bool ReadGuardStatus(std::uint16_t port, serve::ReplStatusReply* out) {
+  serve::KvClient probe;
+  return probe.Connect("127.0.0.1", port, 2000) && probe.ReplStatus(out) &&
+         out->has_role;
+}
+
+// The epoch root outlives SIGKILL: each reborn node promotes past every
+// epoch it ever persisted, alongside the surviving user data.
+TEST(GuardRestart, EpochRootSurvivesSigkill) {
+  std::string heap = TmpPath("epoch");
+  ::unlink(heap.c_str());
+
+  std::uint64_t prev_epoch = 0;
+  for (int boot = 0; boot < 3; ++boot) {
+    SCOPED_TRACE("boot " + std::to_string(boot));
+    ChildNode node = ForkEpochNode(heap);
+    ASSERT_NE(node.port, 0u);
+
+    serve::ReplStatusReply status;
+    ASSERT_TRUE(ReadGuardStatus(node.port, &status));
+    EXPECT_TRUE(status.leader);
+    // Boot N has promoted N+1 times across history; SIGKILL between
+    // boots must never hand an already-used epoch out again.
+    EXPECT_GT(status.epoch, prev_epoch);
+    EXPECT_EQ(status.epoch, static_cast<std::uint64_t>(boot) + 1);
+    prev_epoch = status.epoch;
+
+    // Data and epoch share the heap: both must come back.
+    serve::KvClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", node.port, 5000));
+    ASSERT_TRUE(client.Put(100 + static_cast<std::uint64_t>(boot),
+                           Val(100, static_cast<std::uint64_t>(boot))));
+    std::string value;
+    for (int b = 0; b <= boot; ++b) {
+      ASSERT_TRUE(
+          client.Get(100 + static_cast<std::uint64_t>(b), &value));
+      EXPECT_EQ(value, Val(100, static_cast<std::uint64_t>(b)));
+    }
+    node.Kill();  // SIGKILL: no destructors, no clean close
+  }
+  ::unlink(heap.c_str());
+}
+
+// The acceptance sweep: SIGKILL the guarded leader with writes in
+// flight. The follower's lease lapses and it elects itself — the
+// parent never issues PROMOTE — within two lease intervals, serving
+// every write whose ack the client read, and taking new writes through
+// the FailoverClient rotation path.
+TEST(GuardRestart, AutoFailoverServesEveryAckedWriteWithoutPromote) {
+  ChildNode leader = ForkGuardLeader();
+  ASSERT_NE(leader.port, 0u);
+  ChildNode follower = ForkGuardFollower(leader.port);
+  ASSERT_NE(follower.port, 0u);
+
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", leader.port, 5000));
+  // Establish the replication link before the sweep (the first write
+  // can race the subscription) and pin down the pre-crash roles.
+  ASSERT_TRUE(client.Put(1, Val(1, 0)));
+  ASSERT_TRUE(WaitForKeys(follower.port,
+                          [](std::uint64_t keys) { return keys >= 1; }));
+  serve::ReplStatusReply status;
+  ASSERT_TRUE(ReadGuardStatus(follower.port, &status));
+  ASSERT_FALSE(status.leader);
+
+  // Pipeline writes; kill the leader once 60 acks have been read, with
+  // more still in flight. Every ack READ is a durability promise.
+  std::map<std::uint64_t, std::string> acked = {{1, Val(1, 0)}};
+  constexpr std::size_t kDepth = 32;
+  constexpr std::size_t kKillAfter = 60;
+  std::vector<std::uint64_t> queued;
+  std::size_t read_at = 0;
+  bool leader_dead = false;
+  for (std::uint64_t key = 2; key <= 300 && !leader_dead; ++key) {
+    client.QueuePut(key, Val(key, 0));
+    queued.push_back(key);
+    while (client.pending() >= kDepth) {
+      serve::KvClient::Reply reply;
+      if (!client.Flush() || !client.ReadReply(&reply)) {
+        leader_dead = true;
+        break;
+      }
+      if (reply.status == serve::Status::kOk) {
+        std::uint64_t k = queued[read_at];
+        acked[k] = Val(k, 0);
+      }
+      ++read_at;
+      if (acked.size() == kKillAfter) leader.Kill();
+    }
+  }
+  while (!leader_dead && read_at < queued.size()) {
+    serve::KvClient::Reply reply;
+    if (!client.Flush() || !client.ReadReply(&reply)) break;
+    if (reply.status == serve::Status::kOk) {
+      std::uint64_t k = queued[read_at];
+      acked[k] = Val(k, 0);
+    }
+    ++read_at;
+    if (acked.size() == kKillAfter) leader.Kill();
+  }
+  leader.Kill();  // idempotent
+  auto killed_at = std::chrono::steady_clock::now();
+  ASSERT_GE(acked.size(), kKillAfter);
+
+  // The follower must self-promote. Design bound: election delay is
+  // clamped under 15/8 lease, so role=leader lands within two lease
+  // intervals of the last heartbeat; allow scheduling slack on top.
+  bool promoted = false;
+  while (!promoted &&
+         std::chrono::steady_clock::now() - killed_at <
+             std::chrono::milliseconds(2 * kLeaseMs + 2000)) {
+    if (ReadGuardStatus(follower.port, &status) && status.leader) {
+      promoted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(promoted) << "follower never self-promoted";
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - killed_at)
+                     .count();
+  // Soft-assert the latency bound with slack for a loaded CI box: the
+  // guard's own clamp is 15/8 lease = 750ms after the last heartbeat.
+  EXPECT_LE(elapsed, 2 * kLeaseMs + 2000)
+      << "promotion took " << elapsed << "ms";
+  EXPECT_GT(status.epoch, 0u);
+
+  // Every acked write is served by the self-promoted leader, reached
+  // the way a real client would: FailoverClient rotating off the dead
+  // endpoint (which refuses connections — the hint path is exercised
+  // by the in-process partition test, where the old leader still runs).
+  serve::FailoverClient::Config fc;
+  fc.endpoints = {"127.0.0.1:" + std::to_string(leader.port),
+                  "127.0.0.1:" + std::to_string(follower.port)};
+  fc.timeout_ms = 2000;
+  fc.max_attempts = 8;
+  fc.backoff_base_ms = 10;
+  fc.backoff_cap_ms = 50;
+  serve::FailoverClient fclient(fc);
+  std::string value;
+  for (const auto& [key, expect] : acked) {
+    ASSERT_TRUE(fclient.Get(key, &value))
+        << "acked key " << key << " lost after auto-failover";
+    EXPECT_EQ(value, expect);
+  }
+  EXPECT_EQ(fclient.endpoint(),
+            "127.0.0.1:" + std::to_string(follower.port));
+
+  // The new leader takes writes, stamped with its (bumped) epoch.
+  std::uint64_t gtid = 0;
+  ASSERT_TRUE(fclient.Put(9999, Val(9999, 1), &gtid));
+  EXPECT_EQ(fclient.last_epoch(), status.epoch);
+  ASSERT_TRUE(fclient.Get(9999, &value));
+  EXPECT_EQ(value, Val(9999, 1));
+}
+
+}  // namespace
+}  // namespace rwd

@@ -1,0 +1,600 @@
+// RewindGuard tests (thread-based, TSan-clean — the fork/SIGKILL epoch
+// and auto-failover sweeps live in guard_restart_test.cc). Covered here:
+//
+//  * the deterministic timing functions (reconnect backoff, election
+//    delay) and the PR 10 wire codecs (kNotLeader hint payload, epoch-
+//    carrying repl frames, the REPL_STATUS role trailer);
+//  * the FaultProxy harness itself — transparent forwarding, one-way
+//    black-holes, connection kills, refused endpoints — since every
+//    failover guarantee below is only as trustworthy as the faults;
+//  * guard role mechanics: epoch monotonicity across promotions, stale-
+//    heartbeat rejection, fencing on a higher observed epoch, election
+//    on heartbeat silence, and the disarmed-follower rule;
+//  * the end-to-end pair: leader + follower with guards on both sides,
+//    partitioned by the proxy — the follower self-promotes, the old
+//    leader self-fences, no write is ever acked by both, and a
+//    FailoverClient rides the redirect to the new leader.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kv/kv_store.h"
+#include "src/repl/applier.h"
+#include "src/repl/follower_agent.h"
+#include "src/repl/guard.h"
+#include "src/repl/replication_log.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "tests/net_fault.h"
+#include "tests/test_util.h"
+
+namespace rwd {
+namespace {
+
+KvConfig GuardKvConfig(std::size_t shards = 2) {
+  KvConfig cfg;
+  cfg.rewind.nvm = TestNvmConfig(32);
+  cfg.rewind.log_impl = LogImpl::kBatch;
+  cfg.rewind.policy = Policy::kNoForce;
+  cfg.rewind.bucket_capacity = 32;
+  cfg.shards = shards;
+  return cfg;
+}
+
+serve::ServerConfig GuardServerConfig() {
+  serve::ServerConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 2;
+  cfg.batch_window_us = 100;
+  return cfg;
+}
+
+/// Polls `pred` every 2 ms until it holds or `timeout_ms` elapses.
+bool WaitUntil(const std::function<bool()>& pred,
+               std::uint32_t timeout_ms = 10000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+// --- deterministic timing units -------------------------------------
+
+// Same (attempt, seed) always yields the same delay; the base doubles
+// from 50ms to the 2s cap; jitter stays under half the base.
+TEST(GuardUnits, ReconnectBackoffDeterministicAndCapped) {
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    std::uint32_t a = repl::ReconnectBackoffMs(attempt, 42);
+    std::uint32_t b = repl::ReconnectBackoffMs(attempt, 42);
+    EXPECT_EQ(a, b) << "attempt " << attempt;
+  }
+  EXPECT_GE(repl::ReconnectBackoffMs(0, 7), 50u);
+  EXPECT_LT(repl::ReconnectBackoffMs(0, 7), 50u + 26u);
+  // From attempt 6 on the base is pinned at the 2s cap.
+  for (std::uint32_t attempt = 6; attempt < 10; ++attempt) {
+    std::uint32_t d = repl::ReconnectBackoffMs(attempt, 99);
+    EXPECT_GE(d, 2000u);
+    EXPECT_LE(d, 3000u);
+  }
+  // Different seeds spread a follower fleet out (true for these seeds;
+  // the jitter space is 25ms wide at attempt 0).
+  EXPECT_NE(repl::ReconnectBackoffMs(0, 1), repl::ReconnectBackoffMs(0, 3));
+}
+
+// The election delay always exceeds the leader's self-fence point
+// (lease), grows with replication lag, and clamps under 15/8 lease so
+// promotion lands within two lease intervals.
+TEST(GuardUnits, ElectionDelayExceedsLeaseAndClamps) {
+  KvStore store(GuardKvConfig());
+  repl::GuardConfig cfg;
+  cfg.lease_ms = 200;
+  cfg.start_leader = false;
+  cfg.jitter_seed = 5;
+  repl::RewindGuard guard(&store, cfg);
+  EXPECT_EQ(guard.heartbeat_ms(), 50u);  // lease / 4
+
+  std::uint32_t base = guard.ElectionDelayMs(0);
+  EXPECT_GT(base, 200u + 50u);  // strictly past lease + heartbeat
+  EXPECT_GE(guard.ElectionDelayMs(8), base);
+  EXPECT_GE(guard.ElectionDelayMs(16), guard.ElectionDelayMs(8));
+  // Lag beyond 16 batches adds nothing (the penalty saturates).
+  EXPECT_EQ(guard.ElectionDelayMs(16), guard.ElectionDelayMs(1000));
+  for (std::uint64_t lag : {0ull, 4ull, 16ull, 1000ull}) {
+    EXPECT_LE(guard.ElectionDelayMs(lag), 200u * 15 / 8);
+  }
+  EXPECT_EQ(base, guard.ElectionDelayMs(0));  // deterministic
+
+  // A tiny lease still clamps: everything fits under 15/8 * lease.
+  repl::GuardConfig tiny = cfg;
+  tiny.lease_ms = 8;
+  repl::RewindGuard tguard(&store, tiny);
+  EXPECT_LE(tguard.ElectionDelayMs(1000), 15u);
+}
+
+// --- PR 10 wire codecs ----------------------------------------------
+
+// The kNotLeader payload round-trips epoch + address; an empty payload
+// (pre-guard server) and an addr-less hint both decode cleanly; junk
+// ports degrade to "epoch only", truncation is rejected.
+TEST(GuardCodec, NotLeaderPayloadRoundTrip) {
+  std::string wire;
+  serve::AppendNotLeaderPayload(&wire, 7, "127.0.0.1:7171");
+  serve::NotLeaderHint hint;
+  ASSERT_TRUE(serve::DecodeNotLeaderPayload(wire, &hint));
+  EXPECT_EQ(hint.epoch, 7u);
+  ASSERT_TRUE(hint.has_addr);
+  EXPECT_EQ(hint.host, "127.0.0.1");
+  EXPECT_EQ(hint.port, 7171);
+
+  wire.clear();
+  serve::AppendNotLeaderPayload(&wire, 3, "");
+  ASSERT_TRUE(serve::DecodeNotLeaderPayload(wire, &hint));
+  EXPECT_EQ(hint.epoch, 3u);
+  EXPECT_FALSE(hint.has_addr);
+
+  ASSERT_TRUE(serve::DecodeNotLeaderPayload("", &hint));  // legacy
+  EXPECT_EQ(hint.epoch, 0u);
+  EXPECT_FALSE(hint.has_addr);
+
+  for (const char* bad : {"host-without-colon", "h:0", "h:99999", "h:2x"}) {
+    wire.clear();
+    serve::AppendNotLeaderPayload(&wire, 9, bad);
+    ASSERT_TRUE(serve::DecodeNotLeaderPayload(wire, &hint)) << bad;
+    EXPECT_EQ(hint.epoch, 9u);
+    EXPECT_FALSE(hint.has_addr) << bad;
+  }
+
+  wire.clear();
+  serve::AppendNotLeaderPayload(&wire, 9, "127.0.0.1:7171");
+  EXPECT_FALSE(serve::DecodeNotLeaderPayload(
+      std::string_view(wire).substr(0, wire.size() - 1), &hint));
+  EXPECT_FALSE(serve::DecodeNotLeaderPayload("12345", &hint));
+}
+
+// Subscribe / ack / heartbeat frames all carry [u64][u64] bodies with
+// the epoch in the documented slot.
+TEST(GuardCodec, ReplFramesCarryEpoch) {
+  struct Case {
+    std::function<void(std::string*)> enc;
+    serve::Op op;
+    std::uint64_t first, second;
+  };
+  std::vector<Case> cases = {
+      {[](std::string* o) { serve::EncodeReplSubscribe(o, 55, 4); },
+       serve::Op::kReplSubscribe, 55, 4},
+      {[](std::string* o) { serve::EncodeReplAck(o, 90, 6); },
+       serve::Op::kReplAck, 90, 6},
+      {[](std::string* o) { serve::EncodeReplHeartbeat(o, 6, 90); },
+       serve::Op::kReplHeartbeat, 6, 90},
+  };
+  for (const Case& c : cases) {
+    std::string wire;
+    c.enc(&wire);
+    ASSERT_EQ(wire.size(), 4u + 1 + 16);
+    EXPECT_EQ(serve::ReadU32(wire.data()), 17u);  // tag + 16-byte body
+    EXPECT_EQ(wire[4], static_cast<char>(c.op));
+    EXPECT_EQ(serve::ReadU64(wire.data() + 5), c.first);
+    EXPECT_EQ(serve::ReadU64(wire.data() + 13), c.second);
+  }
+}
+
+// REPL_STATUS decodes both the pre-guard shape (no trailer) and the
+// PR 10 [epoch][role] trailer; a torn trailer is a framing error.
+TEST(GuardCodec, ReplStatusRoleTrailer) {
+  std::string payload;
+  serve::AppendU64(&payload, 120);  // last_gtid
+  serve::AppendU32(&payload, 1);    // one subscriber
+  serve::AppendU16(&payload, 4);
+  payload += "foll";
+  serve::AppendU64(&payload, 118);  // acked
+  serve::AppendU64(&payload, 2);    // lag
+  serve::AppendU64(&payload, 30);   // staleness
+
+  serve::ReplStatusReply r;
+  ASSERT_TRUE(serve::DecodeReplStatusPayload(payload, &r));
+  EXPECT_EQ(r.last_gtid, 120u);
+  ASSERT_EQ(r.subs.size(), 1u);
+  EXPECT_EQ(r.subs[0].name, "foll");
+  EXPECT_FALSE(r.has_role);
+  EXPECT_EQ(r.epoch, 0u);
+
+  std::string with_role = payload;
+  serve::AppendU64(&with_role, 12);
+  with_role.push_back('\1');
+  ASSERT_TRUE(serve::DecodeReplStatusPayload(with_role, &r));
+  EXPECT_TRUE(r.has_role);
+  EXPECT_EQ(r.epoch, 12u);
+  EXPECT_TRUE(r.leader);
+
+  std::string torn = payload;
+  serve::AppendU32(&torn, 1);  // neither 0 nor 9 trailing bytes
+  EXPECT_FALSE(serve::DecodeReplStatusPayload(torn, &r));
+}
+
+// --- the fault harness itself ---------------------------------------
+
+// With no fault armed the proxy is invisible: a client through it sees
+// the same server, and both direction counters advance.
+TEST(FaultProxy, ForwardsTransparently) {
+  KvStore store(GuardKvConfig());
+  serve::KvServer server(&store, GuardServerConfig());
+  ASSERT_TRUE(server.Start());
+  testfault::FaultProxy proxy(server.port());
+  ASSERT_TRUE(proxy.Start());
+
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", proxy.port(), 5000));
+  ASSERT_TRUE(client.Put(1, "through-the-proxy"));
+  std::string value;
+  ASSERT_TRUE(client.Get(1, &value));
+  EXPECT_EQ(value, "through-the-proxy");
+  EXPECT_EQ(proxy.connections(), 1u);
+  EXPECT_GT(proxy.forwarded_c2s(), 0u);
+  EXPECT_GT(proxy.forwarded_s2c(), 0u);
+  EXPECT_EQ(proxy.dropped_bytes(), 0u);
+
+  client.Close();
+  proxy.Stop();
+  server.Stop();
+}
+
+// A server->client black-hole consumes the reply (the client times out
+// against silence, not a reset); KillConnections then breaks the link
+// outright, and a reconnect through the healed proxy works.
+TEST(FaultProxy, BlackHoleSilencesAndKillBreaks) {
+  KvStore store(GuardKvConfig());
+  serve::KvServer server(&store, GuardServerConfig());
+  ASSERT_TRUE(server.Start());
+  testfault::FaultProxy proxy(server.port());
+  ASSERT_TRUE(proxy.Start());
+
+  serve::KvClient client;
+  // Short recv timeout: the black-holed reply must fail the read fast.
+  ASSERT_TRUE(client.Connect("127.0.0.1", proxy.port(), 400));
+  ASSERT_TRUE(client.Put(5, "pre-fault"));
+
+  proxy.BlackHole(/*client_to_server=*/false, /*server_to_client=*/true);
+  client.QueueGet(5);
+  serve::KvClient::Reply reply;
+  ASSERT_TRUE(client.Flush());  // request still flows c2s
+  EXPECT_FALSE(client.ReadReply(&reply));
+  EXPECT_TRUE(WaitUntil([&] { return proxy.dropped_bytes() > 0; }, 2000));
+
+  proxy.BlackHole(false, false);
+  proxy.KillConnections();
+  client.Close();
+
+  serve::KvClient again;
+  ASSERT_TRUE(again.Connect("127.0.0.1", proxy.port(), 5000));
+  std::string value;
+  ASSERT_TRUE(again.Get(5, &value));
+  EXPECT_EQ(value, "pre-fault");
+
+  again.Close();
+  proxy.Stop();
+  server.Stop();
+}
+
+// A refusing endpoint never hangs a FailoverClient: it burns one
+// transport attempt and rotates to the healthy endpoint.
+TEST(FaultProxy, RefusedEndpointRotates) {
+  KvStore store(GuardKvConfig());
+  serve::KvServer server(&store, GuardServerConfig());
+  ASSERT_TRUE(server.Start());
+  testfault::FaultProxy proxy(server.port());
+  ASSERT_TRUE(proxy.Start());
+  proxy.RefuseNew(true);
+
+  serve::FailoverClient::Config fc;
+  fc.endpoints = {"127.0.0.1:" + std::to_string(proxy.port()),
+                  "127.0.0.1:" + std::to_string(server.port())};
+  fc.timeout_ms = 500;
+  fc.max_attempts = 6;
+  fc.backoff_base_ms = 5;
+  fc.backoff_cap_ms = 20;
+  serve::FailoverClient fclient(fc);
+  ASSERT_TRUE(fclient.Put(9, "rotated"));
+  EXPECT_EQ(fclient.endpoint(),
+            "127.0.0.1:" + std::to_string(server.port()));
+  EXPECT_GE(fclient.retries(), 1u);
+  std::string value;
+  ASSERT_TRUE(fclient.Get(9, &value));
+  EXPECT_EQ(value, "rotated");
+
+  fclient.Close();
+  proxy.Stop();
+  server.Stop();
+}
+
+// --- guard role mechanics -------------------------------------------
+
+// Promotions bump past everything ever seen on the wire, so any two
+// leaderships in history carry distinct, ordered epochs.
+TEST(GuardRoles, PromoteBumpsEpochPastMaxSeen) {
+  KvStore store(GuardKvConfig());
+  repl::GuardConfig cfg;
+  cfg.lease_ms = 200;
+  cfg.start_leader = false;
+  repl::RewindGuard guard(&store, cfg);
+  EXPECT_EQ(guard.epoch(), 0u);
+  EXPECT_FALSE(guard.is_leader());
+
+  guard.ObserveRemoteEpoch(5);  // follower adopts immediately
+  EXPECT_EQ(guard.epoch(), 5u);
+  EXPECT_EQ(guard.Promote(), 6u);
+  EXPECT_TRUE(guard.is_leader());
+  EXPECT_EQ(guard.Promote(), 7u);  // re-promotion fences epoch-6 peers
+
+  guard.DemoteToFollower();
+  EXPECT_FALSE(guard.is_leader());
+  EXPECT_EQ(guard.epoch(), 7u);  // demotion never rolls the epoch back
+  EXPECT_EQ(guard.demotions(), 1u);
+}
+
+// Heartbeats from a lower epoch are refused (the caller drops that
+// stale leader's session); equal/higher epochs renew and adopt.
+TEST(GuardRoles, StaleHeartbeatRejected) {
+  KvStore store(GuardKvConfig());
+  repl::GuardConfig cfg;
+  cfg.lease_ms = 200;
+  cfg.start_leader = false;
+  repl::RewindGuard guard(&store, cfg);
+  guard.AdoptEpoch(5);
+
+  EXPECT_FALSE(guard.ObserveLeaderHeartbeat(3, 100, 90));
+  EXPECT_EQ(guard.lease_renewals(), 0u);
+  EXPECT_TRUE(guard.ObserveLeaderHeartbeat(5, 100, 90));
+  EXPECT_TRUE(guard.ObserveLeaderHeartbeat(7, 120, 100));
+  EXPECT_EQ(guard.epoch(), 7u);
+  EXPECT_EQ(guard.lease_renewals(), 2u);
+}
+
+// A leader that sees a higher epoch on the wire fences itself from the
+// monitor thread: role drops, the epoch is adopted, on_fence fires.
+TEST(GuardRoles, LeaderFencesOnHigherObservedEpoch) {
+  KvStore store(GuardKvConfig());
+  repl::GuardConfig cfg;
+  cfg.lease_ms = 100;
+  cfg.start_leader = true;
+  repl::RewindGuard guard(&store, cfg);
+  std::atomic<int> fenced{0};
+  guard.on_fence = [&] { fenced.fetch_add(1); };
+  guard.Start();
+  EXPECT_TRUE(guard.is_leader());
+
+  guard.ObserveRemoteEpoch(guard.epoch() + 9);
+  ASSERT_TRUE(WaitUntil([&] { return !guard.is_leader(); }, 3000));
+  EXPECT_GE(guard.epoch(), 9u);
+  EXPECT_EQ(guard.demotions(), 1u);
+  ASSERT_TRUE(WaitUntil([&] { return fenced.load() == 1; }, 1000));
+  guard.Stop();
+}
+
+// While heartbeats keep arriving a follower never elects; once they
+// stop, it elects within the (clamped) election delay and the election
+// callback substitutes for self-promotion.
+TEST(GuardRoles, FollowerElectsOnlyAfterHeartbeatSilence) {
+  KvStore store(GuardKvConfig());
+  repl::GuardConfig cfg;
+  cfg.lease_ms = 100;
+  cfg.start_leader = false;
+  cfg.jitter_seed = 11;
+  repl::RewindGuard guard(&store, cfg);
+  std::atomic<int> elected{0};
+  guard.on_election = [&] {
+    elected.fetch_add(1);
+    guard.Promote();
+  };
+  guard.Start();
+
+  // Feed heartbeats for ~3 lease intervals: silence never accumulates.
+  auto feed_until = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(300);
+  while (std::chrono::steady_clock::now() < feed_until) {
+    ASSERT_TRUE(guard.ObserveLeaderHeartbeat(4, 50, 50));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(guard.elections(), 0u);
+  EXPECT_FALSE(guard.is_leader());
+
+  // Silence: election no later than 15/8 lease + one monitor tick.
+  ASSERT_TRUE(WaitUntil([&] { return elected.load() > 0; }, 2000));
+  EXPECT_TRUE(guard.is_leader());
+  EXPECT_EQ(guard.elections(), 1u);
+  EXPECT_GE(guard.epoch(), 5u);  // past the heartbeat epoch it adopted
+  guard.Stop();
+}
+
+// The disarmed-follower rule: a node that never heard a leader — or
+// was just fenced — must not elect itself against silence. Only a
+// fresh heartbeat re-arms the lease.
+TEST(GuardRoles, DisarmedFollowerNeverElects) {
+  KvStore store(GuardKvConfig());
+  repl::GuardConfig cfg;
+  cfg.lease_ms = 60;
+  cfg.start_leader = false;
+  repl::RewindGuard guard(&store, cfg);
+  guard.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // 5 leases
+  EXPECT_EQ(guard.elections(), 0u);
+  EXPECT_FALSE(guard.is_leader());
+
+  // Arm, then demote (the fenced ex-leader path): disarmed again.
+  ASSERT_TRUE(guard.ObserveLeaderHeartbeat(1, 0, 0));
+  guard.DemoteToFollower();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(guard.elections(), 0u);
+  guard.Stop();
+}
+
+// A solo leader with no follower history must keep serving: the lease
+// only fences leaders that once HAD a follower (expects_follower).
+TEST(GuardRoles, SoloLeaderNeverSelfFences) {
+  KvStore store(GuardKvConfig());
+  repl::GuardConfig cfg;
+  cfg.lease_ms = 60;
+  cfg.start_leader = true;
+  repl::RewindGuard guard(&store, cfg);
+  guard.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_TRUE(guard.is_leader());
+  EXPECT_EQ(guard.demotions(), 0u);
+
+  // With follower contact on record, a lapse does fence.
+  guard.ObserveFollowerContact();
+  EXPECT_TRUE(guard.expects_follower());
+  ASSERT_TRUE(WaitUntil([&] { return !guard.is_leader(); }, 2000));
+  EXPECT_EQ(guard.demotions(), 1u);
+  guard.Stop();
+}
+
+// --- end-to-end failover under the fault harness --------------------
+
+// The split-brain acceptance scenario, in-process: a semi-synchronous
+// leader + guarded follower replicate through the FaultProxy. A full
+// partition makes the follower self-promote (no PROMOTE op anywhere)
+// and the old leader self-fence. Every write acked before the
+// partition is served by the new leader; writes aimed at the fenced
+// ex-leader bounce with kNotLeader (never acked by both nodes); a
+// FailoverClient follows the redirect hint to the new leader.
+TEST(Failover, PartitionPromotesFollowerAndFencesOldLeader) {
+  // Leader node.
+  KvStore lstore(GuardKvConfig());
+  repl::ReplicationLog llog(4096);
+  lstore.SetReplicationLog(&llog);
+
+  // Follower node (its own log, so it could lead onward replication).
+  KvStore fstore(GuardKvConfig());
+  repl::ReplicationLog flog(4096);
+  fstore.SetReplicationLog(&flog);
+  repl::ReplApplier applier(&fstore);
+
+  // Follower server first: the leader's redirect hint needs its port.
+  repl::GuardConfig fg;
+  fg.lease_ms = 150;
+  fg.start_leader = false;
+  fg.jitter_seed = 2;
+  repl::RewindGuard fguard(&fstore, fg);
+  serve::ServerConfig fcfg = GuardServerConfig();
+  fcfg.read_only = true;
+  fcfg.applier = &applier;
+  fcfg.guard = &fguard;
+  serve::KvServer fserver(&fstore, fcfg);
+  ASSERT_TRUE(fserver.Start());
+  std::string faddr = "127.0.0.1:" + std::to_string(fserver.port());
+
+  repl::GuardConfig lg;
+  lg.lease_ms = 150;
+  lg.start_leader = true;
+  lg.peer_addr = faddr;
+  lg.jitter_seed = 3;
+  repl::RewindGuard lguard(&lstore, lg);
+  serve::ServerConfig lcfg = GuardServerConfig();
+  lcfg.sync_repl = true;
+  lcfg.sync_repl_timeout_ms = 4000;
+  lcfg.guard = &lguard;
+  serve::KvServer lserver(&lstore, lcfg);
+  ASSERT_TRUE(lserver.Start());
+
+  // The replication link runs through the proxy; the guards' clocks
+  // only ever see what the proxy lets through.
+  testfault::FaultProxy proxy(lserver.port());
+  ASSERT_TRUE(proxy.Start());
+  repl::FollowerAgent agent(&applier, "127.0.0.1", proxy.port(), &fguard);
+  fguard.on_election = [&] { fserver.Promote(); };
+  lguard.on_fence = [&] { lserver.Demote(); };
+  fguard.Start();
+  lguard.Start();
+  agent.Start();
+
+  serve::KvClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", lserver.port(), 8000));
+  ASSERT_TRUE(WaitUntil([&] { return lguard.expects_follower(); }));
+  // Semi-sync acked writes: on the follower by the time the ack lands.
+  std::uint64_t acked_epoch = 0;
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    std::uint64_t gtid = 0;
+    ASSERT_TRUE(client.Put(k, "v" + std::to_string(k), &gtid));
+    EXPECT_GT(gtid, 0u);
+  }
+  acked_epoch = lguard.epoch();
+  ASSERT_TRUE(WaitUntil([&] { return fguard.lease_renewals() > 0; }));
+
+  // Partition. The follower's silence fences the leader within one
+  // lease; the follower elects after its (longer) election delay.
+  proxy.Partition(true);
+  ASSERT_TRUE(WaitUntil([&] { return fguard.is_leader(); }, 5000));
+  ASSERT_TRUE(WaitUntil([&] { return !lguard.is_leader(); }, 5000));
+  EXPECT_EQ(fguard.elections(), 1u);
+  EXPECT_GT(fguard.epoch(), acked_epoch);
+  // Note the agent's TCP link may still LOOK up: a black-hole is
+  // silence, not a reset — exactly why the lease exists.
+
+  // Zero dual-leader acks: the fenced ex-leader refuses writes with a
+  // redirect hint at the follower, and counts the fenced attempt.
+  serve::KvClient to_old;
+  ASSERT_TRUE(to_old.Connect("127.0.0.1", lserver.port(), 5000));
+  to_old.QueuePut(777, "must-not-ack");
+  serve::KvClient::Reply reply;
+  ASSERT_TRUE(to_old.Flush());
+  ASSERT_TRUE(to_old.ReadReply(&reply));
+  EXPECT_EQ(reply.status, serve::Status::kNotLeader);
+  serve::NotLeaderHint hint;
+  ASSERT_TRUE(serve::DecodeNotLeaderPayload(reply.payload, &hint));
+  EXPECT_GE(hint.epoch, acked_epoch);
+  ASSERT_TRUE(hint.has_addr);
+  EXPECT_EQ(hint.port, fserver.port());
+  EXPECT_GE(lguard.fenced_writes(), 1u);
+
+  // Every pre-partition acked write is on the new leader, which is
+  // writable without any PROMOTE op having been issued.
+  serve::KvClient to_new;
+  ASSERT_TRUE(to_new.Connect("127.0.0.1", fserver.port(), 5000));
+  std::string value;
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    ASSERT_TRUE(to_new.Get(k, &value)) << "acked key " << k << " lost";
+    EXPECT_EQ(value, "v" + std::to_string(k));
+  }
+  std::uint64_t gtid = 0;
+  ASSERT_TRUE(to_new.Put(900, "post-failover", &gtid));
+  EXPECT_FALSE(to_new.Get(777, &value));  // the fenced write never landed
+
+  // A FailoverClient aimed at the dead endpoint rides the kNotLeader
+  // hint to the new leader.
+  serve::FailoverClient::Config fc;
+  fc.endpoints = {"127.0.0.1:" + std::to_string(lserver.port())};
+  fc.timeout_ms = 1000;
+  fc.max_attempts = 6;
+  fc.backoff_base_ms = 5;
+  fc.backoff_cap_ms = 20;
+  serve::FailoverClient fclient(fc);
+  ASSERT_TRUE(fclient.Put(901, "via-redirect"));
+  EXPECT_GE(fclient.redirects(), 1u);
+  EXPECT_EQ(fclient.endpoint(), faddr);
+  EXPECT_EQ(fclient.last_epoch(), fguard.epoch());
+  ASSERT_TRUE(to_new.Get(901, &value));
+  EXPECT_EQ(value, "via-redirect");
+
+  fclient.Close();
+  to_new.Close();
+  to_old.Close();
+  client.Close();
+  lguard.Stop();
+  fguard.Stop();
+  agent.Stop();
+  proxy.Stop();
+  lserver.Stop();
+  fserver.Stop();
+}
+
+}  // namespace
+}  // namespace rwd

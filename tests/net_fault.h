@@ -1,0 +1,305 @@
+// FaultProxy: a deterministic TCP fault-injection shim for failover
+// tests. It listens on an ephemeral port and forwards byte streams to a
+// real server, with per-direction faults togglable at any moment from
+// the test thread:
+//
+//   * black-hole  — keep the connection up but deliver nothing (bytes
+//     are consumed, mimicking a one-way partition: the peer sees
+//     silence, not a reset);
+//   * delay      — sleep before forwarding each chunk (slow link);
+//   * duplicate  — forward each chunk twice (retransmit storms; a
+//     correct length-prefixed protocol must reject or tolerate it);
+//   * kill       — hard-close every active connection (crash/reset);
+//   * refuse     — accept-and-close new connections (dead endpoint that
+//     still answers SYNs).
+//
+// The proxy is plain blocking threads (one acceptor, two pumps per
+// connection) with short recv timeouts so Stop() and fault toggles take
+// effect within ~50ms. No randomness anywhere: what a test scripts is
+// exactly what the wire does, run after run.
+#ifndef REWIND_TESTS_NET_FAULT_H_
+#define REWIND_TESTS_NET_FAULT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rwd {
+namespace testfault {
+
+class FaultProxy {
+ public:
+  /// Forwards connections to 127.0.0.1:`target_port`.
+  explicit FaultProxy(std::uint16_t target_port)
+      : target_port_(target_port) {}
+
+  ~FaultProxy() { Stop(); }
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Binds an ephemeral listen port (see port()) and starts accepting.
+  bool Start() {
+    listen_fd_ =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return false;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+    port_ = ntohs(bound.sin_port);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return true;
+  }
+
+  void Stop() {
+    if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    KillConnections();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& c : conns_) {
+        if (c->a.joinable()) c->a.join();
+        if (c->b.joinable()) c->b.join();
+        ::close(c->client_fd);
+        ::close(c->server_fd);
+      }
+      conns_.clear();
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  // --- fault controls (take effect within one recv timeout, ~50ms) ---
+
+  /// One-way partition: consume but never deliver bytes flowing
+  /// client->server and/or server->client.
+  void BlackHole(bool client_to_server, bool server_to_client) {
+    drop_c2s_.store(client_to_server, std::memory_order_release);
+    drop_s2c_.store(server_to_client, std::memory_order_release);
+  }
+
+  /// Full partition: silence in both directions AND refuse new
+  /// connections (a black-holed endpoint, not a resetting one).
+  void Partition(bool on) {
+    BlackHole(on, on);
+    refuse_.store(on, std::memory_order_release);
+  }
+
+  /// Per-chunk forwarding delay, both directions.
+  void SetDelayMs(std::uint32_t ms) {
+    delay_ms_.store(ms, std::memory_order_release);
+  }
+
+  /// Forward every chunk twice (stream protocols must not re-apply).
+  void SetDuplicate(bool on) {
+    duplicate_.store(on, std::memory_order_release);
+  }
+
+  /// Accept-and-close new connections without forwarding.
+  void RefuseNew(bool on) { refuse_.store(on, std::memory_order_release); }
+
+  /// Hard-close every active proxied connection (both sides see EOF /
+  /// reset — the crash-style fault, vs BlackHole's silence).
+  void KillConnections() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& c : conns_) {
+      ::shutdown(c->client_fd, SHUT_RDWR);
+      ::shutdown(c->server_fd, SHUT_RDWR);
+    }
+  }
+
+  std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t forwarded_c2s() const {
+    return fwd_c2s_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t forwarded_s2c() const {
+    return fwd_s2c_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped_bytes() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int client_fd = -1;
+    int server_fd = -1;
+    std::thread a, b;  ///< client->server and server->client pumps
+  };
+
+  static void SetRecvTimeout(int fd) {
+    timeval tv{};
+    tv.tv_usec = 50 * 1000;  // 50ms: the fault-toggle reaction bound
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  int ConnectTarget() {
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(target_port_);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+
+  void AcceptLoop() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (cfd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener shut down
+      }
+      if (refuse_.load(std::memory_order_acquire) ||
+          stop_.load(std::memory_order_acquire)) {
+        ::close(cfd);
+        continue;
+      }
+      int sfd = ConnectTarget();
+      if (sfd < 0) {
+        ::close(cfd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      SetRecvTimeout(cfd);
+      SetRecvTimeout(sfd);
+      connections_.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_unique<Conn>();
+      conn->client_fd = cfd;
+      conn->server_fd = sfd;
+      Conn* c = conn.get();
+      c->a = std::thread([this, c] {
+        Pump(c->client_fd, c->server_fd, &drop_c2s_, &fwd_c2s_);
+      });
+      c->b = std::thread([this, c] {
+        Pump(c->server_fd, c->client_fd, &drop_s2c_, &fwd_s2c_);
+      });
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_.push_back(std::move(conn));
+    }
+  }
+
+  /// One direction of one connection: recv on `from`, apply the faults,
+  /// send to `to`. Ends on EOF/error of either side or Stop().
+  void Pump(int from, int to, std::atomic<bool>* drop,
+            std::atomic<std::uint64_t>* fwd) {
+    char buf[16384];
+    for (;;) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      ssize_t n = ::recv(from, buf, sizeof(buf), 0);
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;  // timeout tick: re-check stop and fault flags
+        }
+        break;
+      }
+      if (drop->load(std::memory_order_acquire)) {
+        // Black-holed: the bytes vanish. The sender's TCP stack saw
+        // them acked by the proxy, so from its view the network simply
+        // went silent — exactly a one-way partition.
+        dropped_.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+        continue;
+      }
+      std::uint32_t delay = delay_ms_.load(std::memory_order_acquire);
+      if (delay != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        // Re-check: a partition raised during the delay wins.
+        if (drop->load(std::memory_order_acquire)) {
+          dropped_.fetch_add(static_cast<std::uint64_t>(n),
+                             std::memory_order_relaxed);
+          continue;
+        }
+      }
+      int copies = duplicate_.load(std::memory_order_acquire) ? 2 : 1;
+      bool sent = true;
+      for (int k = 0; k < copies && sent; ++k) {
+        sent = SendAll(to, buf, static_cast<std::size_t>(n));
+      }
+      if (!sent) break;
+      fwd->fetch_add(static_cast<std::uint64_t>(n),
+                     std::memory_order_relaxed);
+    }
+    // Half-close propagation: when one direction dies, wake the other
+    // side so the peer observes EOF instead of hanging.
+    ::shutdown(to, SHUT_WR);
+    ::shutdown(from, SHUT_RD);
+  }
+
+  static bool SendAll(int fd, const char* data, std::size_t size) {
+    std::size_t off = 0;
+    while (off < size) {
+      ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint16_t target_port_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drop_c2s_{false};
+  std::atomic<bool> drop_s2c_{false};
+  std::atomic<bool> refuse_{false};
+  std::atomic<bool> duplicate_{false};
+  std::atomic<std::uint32_t> delay_ms_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> fwd_c2s_{0};
+  std::atomic<std::uint64_t> fwd_s2c_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace testfault
+}  // namespace rwd
+
+#endif  // REWIND_TESTS_NET_FAULT_H_
